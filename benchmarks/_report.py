@@ -1,0 +1,20 @@
+"""Shared reporting helper for the benchmark suite.
+
+pytest captures stdout, so each bench also writes its regenerated
+table/figure to ``benchmarks/results/<name>.txt`` — those files are the
+reproduction artifacts referenced by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)

@@ -1,0 +1,63 @@
+"""ABL2 — is the merging queue load-bearing?
+
+Ablation of the Section 3.4 redundant-request machinery: the
+"A,B,A,B,..." flood against VPNM with merging enabled (the paper's
+design) and disabled (every redundant read pays its own delay-storage
+row and bank access).  Without merging, a two-address flood saturates
+two banks and the delay storage; with it, the flood costs two bank
+accesses per reply generation and nothing stalls.
+"""
+
+from repro.core import VPNMConfig, VPNMController
+from repro.sim.runner import run_workload
+from repro.workloads.adversarial import RedundancyFloodAdversary
+
+from _report import report
+
+REQUESTS = 2000
+
+
+def run_one(merge_reads: bool):
+    ctrl = VPNMController(
+        VPNMConfig(banks=32, queue_depth=8, delay_rows=32, hash_latency=0,
+                   stall_policy="drop", merge_reads=merge_reads),
+        seed=5,
+    )
+    flood = RedundancyFloodAdversary(hot_addresses=[0xA, 0xB])
+    result = run_workload(ctrl, flood.requests(REQUESTS))
+    return {
+        "acceptance": result.accepted / REQUESTS,
+        "stalls": ctrl.stats.stalls,
+        "accesses": ctrl.device.total_accesses(),
+        "merged": ctrl.stats.reads_merged,
+        "replies": len(result.replies),
+    }
+
+
+def run_all():
+    return {True: run_one(True), False: run_one(False)}
+
+
+def test_ablation_merging(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    with_merge, without = rows[True], rows[False]
+
+    # With merging: perfect acceptance, almost no DRAM traffic.
+    assert with_merge["acceptance"] == 1.0
+    assert with_merge["stalls"] == 0
+    assert with_merge["accesses"] <= REQUESTS / 20
+    assert with_merge["merged"] >= REQUESTS - 10
+
+    # Without: the flood overwhelms the two victim banks.
+    assert without["acceptance"] < 0.5
+    assert without["stalls"] > REQUESTS / 4
+    assert without["accesses"] > with_merge["accesses"] * 10
+
+    lines = [f"{'':<14} {'accept':>8} {'stalls':>7} {'DRAM ops':>9} "
+             f"{'merged':>7} {'replies':>8}"]
+    for label, row in [("merging ON", with_merge),
+                       ("merging OFF", without)]:
+        lines.append(f"{label:<14} {row['acceptance']:>8.1%} "
+                     f"{row['stalls']:>7} {row['accesses']:>9} "
+                     f"{row['merged']:>7} {row['replies']:>8}")
+    report("ablation_merging", "\n".join(lines))

@@ -1,0 +1,77 @@
+"""ABL4 — DRAM refresh vs the deterministic-latency contract.
+
+The paper sizes D = L*Q assuming the bank is always available; real
+DRAM periodically refreshes.  This bench measures latency violations
+(replies forced out before their data) under full-rate load as refresh
+duty grows, at R = 1.0 and R = 1.3 — showing that the bus-scaling
+margin the paper introduces for schedule slack *also* absorbs moderate
+refresh, and quantifying the D padding needed beyond that.
+"""
+
+import random
+
+from repro.core import VPNMConfig, VPNMController, read_request
+
+from _report import report
+
+REQUESTS = 4000
+REFRESH_POINTS = [None, (80, 6), (40, 12), (40, 20)]
+
+
+def run_one(bus_scaling, refresh, normalized_delay=None):
+    config = VPNMConfig(banks=4, bank_latency=8, queue_depth=4,
+                        delay_rows=32, hash_latency=0, address_bits=16,
+                        stall_policy="drop", bus_scaling=bus_scaling,
+                        normalized_delay=normalized_delay)
+    controller = VPNMController(config, seed=4, refresh=refresh)
+    rng = random.Random(2)
+    for _ in range(REQUESTS):
+        controller.step(read_request(rng.getrandbits(16)))
+    controller.drain()
+    return controller
+
+
+def run_all():
+    grid = {}
+    for ratio in (1.0, 1.3):
+        for refresh in REFRESH_POINTS:
+            controller = run_one(ratio, refresh)
+            grid[(ratio, refresh)] = (
+                controller.stats.late_replies,
+                controller.stats.replies_delivered,
+            )
+    padded = run_one(1.0, (40, 12), normalized_delay=8 * 4 * 3)
+    grid["padded"] = (padded.stats.late_replies,
+                      padded.stats.replies_delivered)
+    return grid
+
+
+def test_ablation_refresh(benchmark):
+    grid = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # No refresh -> no violations, at either ratio.
+    assert grid[(1.0, None)][0] == 0
+    assert grid[(1.3, None)][0] == 0
+    # R=1.0 has no margin: moderate refresh already violates.
+    assert grid[(1.0, (40, 12))][0] > 0
+    # R=1.3's headroom absorbs moderate refresh but not heavy.
+    assert grid[(1.3, (40, 12))][0] == 0
+    assert grid[(1.3, (40, 20))][0] > 0
+    # Violations grow with refresh duty at R=1.0.
+    assert grid[(1.0, (40, 12))][0] >= grid[(1.0, (80, 6))][0]
+    # Padding D restores the contract at R=1.0.
+    assert grid["padded"][0] == 0
+
+    lines = [f"late replies / delivered over {REQUESTS} full-rate requests "
+             "(B=4, L=8, Q=4)"]
+    for ratio in (1.0, 1.3):
+        for refresh in REFRESH_POINTS:
+            label = "no refresh" if refresh is None else (
+                f"{refresh[1]}/{refresh[0]} duty"
+            )
+            late, delivered = grid[(ratio, refresh)]
+            lines.append(f"  R={ratio:<4} {label:<12} {late:>6} / {delivered}")
+    late, delivered = grid["padded"]
+    lines.append(f"  R=1.0  12/40 duty with D padded to 3*L*Q: "
+                 f"{late} / {delivered}")
+    report("ablation_refresh", "\n".join(lines))

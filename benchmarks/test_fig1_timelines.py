@@ -1,0 +1,64 @@
+"""FIG1 — latency-normalization timelines (paper Figure 1).
+
+Regenerates the paper's three scenarios on a single bank controller with
+D=30, L=15 (Q = D/L = 2): typical operation, the redundant-request
+short-cut, and the bank-overload stall.
+"""
+
+from repro.core import VPNMConfig, VPNMController, read_request
+from repro.sim.tracing import render_gantt, trace_requests
+
+from _report import report
+
+
+def figure1_controller():
+    return VPNMController(
+        VPNMConfig(banks=1, bank_latency=15, queue_depth=2, delay_rows=4,
+                   bus_scaling=1.0, hash_latency=0, address_bits=16,
+                   stall_policy="drop"),
+        seed=0,
+    )
+
+
+def scenario(requests):
+    ctrl = figure1_controller()
+    timelines = trace_requests(ctrl, requests)
+    return timelines, render_gantt(timelines)
+
+
+def run_all():
+    sections = []
+    # Left panel: typical operating mode.
+    timelines, art = scenario(
+        [read_request(0xA, tag="A"), read_request(0xB, tag="B")]
+    )
+    assert all(t.pipeline_latency == 30 for t in timelines)
+    assert timelines[1].issue_slot >= timelines[0].ready_slot
+    sections.append("typical operating mode (D=30, L=15):\n" + art)
+
+    # Middle panel: short-cut (redundant) accesses.
+    timelines, art = scenario(
+        [read_request(0xA, tag="A"), read_request(0xB, tag="B"),
+         read_request(0xA, tag="A'"), read_request(0xA, tag="A''")]
+    )
+    merged = [t for t in timelines if t.merged]
+    assert len(merged) == 2
+    assert all(t.issue_slot is None for t in merged)
+    assert all(t.pipeline_latency == 30 for t in timelines)
+    sections.append("short-cut accesses (A repeated):\n" + art)
+
+    # Right panel: bank overload stall (A..E swamp Q=2).
+    requests = [read_request(0xA + i, tag=chr(ord("A") + i))
+                for i in range(5)]
+    timelines, art = scenario(requests)
+    stalled = [t for t in timelines if t.stalled]
+    completed = [t for t in timelines if t.completed_at is not None]
+    assert stalled, "the overload panel must show a stall"
+    assert all(t.pipeline_latency == 30 for t in completed)
+    sections.append("bank overload stall (requests A-E):\n" + art)
+    return "\n\n".join(sections)
+
+
+def test_fig1_timelines(benchmark):
+    text = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("fig1_timelines", text)

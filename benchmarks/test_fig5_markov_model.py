@@ -1,0 +1,63 @@
+"""FIG5 — the bank-access-queue Markov model (paper Figure 5).
+
+Regenerates the toy chain the paper draws (L=3, Q=2, arrival probability
+1/B with B=6) as its transition matrix, and checks the structural facts
+the figure shows: 8 states (idle, 1..6, fail), the fail state absorbing,
+idle looping with probability 1-1/B, and every arrival arrow carrying
+probability 1/B.
+"""
+
+import numpy as np
+
+from repro.analysis.markov import BankQueueChain
+
+from _report import report
+
+B, L, Q = 6, 3, 2
+
+
+def compute():
+    chain = BankQueueChain(banks=B, bank_latency=L, queue_depth=Q,
+                           bus_scaling=1.0)
+    return chain, chain.transition_matrix()
+
+
+def render(matrix):
+    labels = ["idle"] + [str(s) for s in range(1, Q * L + 1)] + ["fail"]
+    width = max(len(x) for x in labels) + 1
+    lines = [f"transition matrix M (L={L}, Q={Q}, arrival prob 1/B, B={B}):"]
+    lines.append(" " * width + " ".join(f"{lab:>6}" for lab in labels))
+    for i, row in enumerate(matrix):
+        cells = " ".join(f"{v:6.3f}" if v else "     ." for v in row)
+        lines.append(f"{labels[i]:>{width}}" + cells)
+    return "\n".join(lines)
+
+
+def test_fig5_markov_model(benchmark):
+    chain, matrix = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    assert matrix.shape == (Q * L + 2, Q * L + 2)
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+    # fail is absorbing.
+    assert matrix[-1, -1] == 1.0
+    # idle self-loop with probability 1 - 1/B; arrival arrow with 1/B.
+    assert np.isclose(matrix[0, 0], 1 - 1 / B)
+    assert np.isclose(matrix[0, L - 1], 1 / B)
+    # every transient state emits exactly one 1/B arrival arrow
+    # (to a higher state or to fail) and one drain arrow.
+    for state in range(Q * L + 1):
+        arrival_mass = sum(
+            matrix[state, target]
+            for target in list(range(state, Q * L + 1)) + [Q * L + 1]
+            if target > max(0, state - 1)
+        )
+        assert np.isclose(arrival_mass, 1 / B), state
+    # the full state fails on any arrival.
+    assert np.isclose(matrix[Q * L, -1], 1 / B)
+
+    text = render(matrix)
+    text += (f"\n\nmean time to stall from idle: "
+             f"{chain.mean_time_to_stall():.1f} cycles"
+             f"\nmedian (paper's 50% point):   "
+             f"{chain.median_time_to_stall():.1f} cycles")
+    report("fig5_markov_model", text)

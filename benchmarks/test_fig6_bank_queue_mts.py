@@ -1,0 +1,66 @@
+"""FIG6 — MTS vs bank-access-queue entries Q (paper Figure 6).
+
+Regenerates the five curves B in {4, 8, 16, 32, 64} at R=1.3, L=20 over
+Q = 4..64 in log10(per-bank MTS cycles), the paper's plotted quantity.
+Shape checks: exponential growth with Q for B >= 32, a hard plateau for
+B < 32 ("an SDRAM with its small number of banks cannot achieve a
+reasonable MTS"), and the top curves reaching the >= 10^14 decade by
+Q = 64 (our linear solve saturates at ~10^15 and reports inf beyond).
+"""
+
+import math
+
+from repro.analysis.markov import bank_queue_mts
+
+from _report import report
+
+BANKS = [4, 8, 16, 32, 64]
+Q_VALUES = [4, 8, 12, 16, 24, 32, 48, 64]
+L, R = 20, 1.3
+CAP = 16.0
+
+
+def compute():
+    table = {}
+    for banks in BANKS:
+        row = []
+        for queue_depth in Q_VALUES:
+            value = bank_queue_mts(banks, L, queue_depth, R, kind="median")
+            row.append(CAP if value == math.inf else math.log10(value))
+        table[banks] = row
+    return table
+
+
+def render(table):
+    lines = [f"log10(per-bank MTS) vs Q   (R={R}, L={L}; "
+             "values at 16.0 exceed numerical resolution)"]
+    lines.append("Q:     " + " ".join(f"{q:>6}" for q in Q_VALUES))
+    for banks, row in table.items():
+        lines.append(f"B={banks:<4} " + " ".join(f"{v:6.1f}" for v in row))
+    return "\n".join(lines)
+
+
+def test_fig6_bank_queue_mts(benchmark):
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    # Exponential growth with Q for the well-banked systems.
+    for banks in (32, 64):
+        row = table[banks]
+        deltas = [b - a for a, b in zip(row, row[1:]) if b < CAP]
+        assert all(d > 0.5 for d in deltas), (banks, row)
+
+    # B=32 reaches at least the 10^14 decade by Q=64 (paper: 10^14).
+    assert table[32][-1] >= 14.0
+
+    # Low-bank systems plateau: B=4 stays below ~10^3 for every Q
+    # (paper: 'a maximum MTS value of 10^2 even for larger values of Q').
+    assert max(table[4]) < 3.5
+    assert max(table[8]) < 7.0
+
+    # Monotone in B at fixed Q (more banks = lower arrival rate).
+    for index in range(len(Q_VALUES)):
+        column = [table[b][index] for b in BANKS]
+        capped = [v for v in column if v < CAP]
+        assert capped == sorted(capped)
+
+    report("fig6_bank_queue_mts", render(table))

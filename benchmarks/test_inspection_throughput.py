@@ -1,0 +1,71 @@
+"""EXT2 — content-inspection (Aho-Corasick) throughput on VPNM.
+
+The paper's conclusion names packet inspection as future work.  The DFA
+transition table is the canonical irregular structure: one read per
+scanned byte, next address data-dependent.  With at least D concurrent
+streams the engine sustains ~1 byte per interface cycle (8 gbps/GHz
+from one controller), and hot shared transitions merge.
+"""
+
+import random
+
+from repro.apps.inspection import AhoCorasick, VPNMInspectionEngine
+from repro.core import VPNMConfig, VPNMController
+
+from _report import report
+
+PATTERNS = [b"EVIL", b"WORM2006", b"EXPLOIT", b"\x90\x90\x90\x90",
+            b"root:", b"/bin/sh"]
+
+
+def run():
+    automaton = AhoCorasick(PATTERNS)
+    engine = VPNMInspectionEngine(
+        automaton,
+        VPNMController(VPNMConfig(banks=32, queue_depth=8, delay_rows=32,
+                                  hash_latency=0), seed=55),
+    )
+    engine.load_table()
+    depth = engine.controller.config.normalized_delay
+    rng = random.Random(3)
+    streams = []
+    for stream_id in range(depth + 60):
+        body = bytearray(rng.getrandbits(8) for _ in range(24))
+        if stream_id % 7 == 0:  # plant signatures in some streams
+            body[4:4] = rng.choice(PATTERNS)
+        streams.append((stream_id, bytes(body)))
+    results = engine.scan_streams(streams)
+    return automaton, engine, streams, results
+
+
+def test_inspection_throughput(benchmark):
+    automaton, engine, streams, results = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Correctness against the functional automaton, every stream.
+    for stream_id, data in streams:
+        expected = sorted(automaton.scan(data),
+                          key=lambda m: (m.end, m.pattern))
+        got = sorted(results[stream_id], key=lambda m: (m.end, m.pattern))
+        assert got == expected, stream_id
+
+    planted = sum(1 for sid, _ in streams if sid % 7 == 0)
+    detected = sum(1 for sid, _ in streams if sid % 7 == 0 and results[sid])
+    assert detected == planted  # every planted signature found
+
+    assert engine.controller.stats.stalls == 0
+    rate = engine.throughput_gbps(1000.0)
+    assert rate > 4.8  # >60% of the 8 gbps one-byte-per-cycle bound
+
+    text = (
+        f"automaton: {automaton.state_count} states "
+        f"({len(PATTERNS)} signatures)\n"
+        f"streams: {len(streams)}   bytes scanned: {engine.bytes_scanned}\n"
+        f"cycles: {engine.controller.now}   stalls: 0\n"
+        f"throughput at 1 GHz: {rate:.1f} gbps "
+        f"(bound: 8.0 at one byte/cycle)\n"
+        f"signatures planted/detected: {planted}/{detected}\n"
+        f"transition reads merged: {engine.controller.stats.reads_merged}"
+    )
+    report("inspection_throughput", text)

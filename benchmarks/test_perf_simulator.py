@@ -1,0 +1,42 @@
+"""Simulator performance: cycles per second of the two engines.
+
+Not a paper artifact — this is the repository's own performance budget,
+so regressions in the controller's hot path are caught.  The full
+controller carries data and replies; the fast stall simulator models
+occupancy only and is the engine behind the multi-million-cycle
+validation runs.
+"""
+
+import random
+
+from repro.core import VPNMConfig, VPNMController, read_request
+from repro.sim.fastsim import FastStallSimulator
+
+CYCLES_FULL = 20_000
+CYCLES_FAST = 200_000
+
+
+def test_perf_full_controller(benchmark):
+    rng = random.Random(0)
+    requests = [read_request(rng.getrandbits(32))
+                for _ in range(CYCLES_FULL)]
+
+    def run():
+        ctrl = VPNMController(VPNMConfig(), seed=1)
+        for request in requests:
+            ctrl.step(request)
+        return ctrl
+
+    ctrl = benchmark(run)
+    # The paper-default config stalls roughly once per 10^5 cycles, so a
+    # couple of rejections in a 20k-cycle run are legitimate.
+    assert ctrl.stats.reads_accepted >= CYCLES_FULL - 5
+
+
+def test_perf_fast_simulator(benchmark):
+    def run():
+        sim = FastStallSimulator(VPNMConfig(), seed=1)
+        return sim.run(CYCLES_FAST)
+
+    result = benchmark(run)
+    assert result.accepted + result.stalls == CYCLES_FAST

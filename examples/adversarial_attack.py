@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Adversarial traffic: why the universal hash is load-bearing.
+
+Three head-to-head experiments (paper Sections 2, 3.2, 5):
+
+1. A stride pattern (stride == bank count) against a conventional
+   low-bit-banked controller vs. VPNM.
+2. A redundant-address flood ("A,B,A,B,...") that the merging queue
+   must absorb.
+3. The observe-and-replay attacker who only sees stalls — against
+   VPNM's hidden universal mapping, replay does no better than chance.
+
+Run:  python examples/adversarial_attack.py
+"""
+
+from repro.apps.baselines import ConventionalController
+from repro.core import VPNMConfig, VPNMController
+from repro.sim.runner import run_workload
+from repro.workloads.adversarial import (
+    RedundancyFloodAdversary,
+    ReplayAdversary,
+)
+from repro.workloads.generators import stride_reads
+
+CYCLES = 2000
+
+print("=" * 64)
+print("1. stride attack (stride = 32 = bank count), 2000 requests")
+print("=" * 64)
+conventional = ConventionalController(banks=32, bank_latency=20,
+                                      queue_depth=8)
+for request in stride_reads(stride=32, count=CYCLES):
+    conventional.step(request)
+conventional.drain()
+print(f"conventional controller: accepted "
+      f"{conventional.stats.acceptance_rate:6.1%}  "
+      f"(max latency {conventional.stats.max_latency} cycles)")
+
+vpnm = VPNMController(VPNMConfig(hash_latency=0, stall_policy="drop"),
+                      seed=42)
+result = run_workload(vpnm, stride_reads(stride=32, count=CYCLES))
+print(f"VPNM:                    accepted {result.acceptance_rate:6.1%}  "
+      f"(every reply at exactly D = {vpnm.normalized_delay})")
+
+print()
+print("=" * 64)
+print("2. redundancy flood: 'A,B,A,B,...' x 1000")
+print("=" * 64)
+vpnm = VPNMController(VPNMConfig(hash_latency=0), seed=42)
+flood = RedundancyFloodAdversary(hot_addresses=[0xA, 0xB])
+result = run_workload(vpnm, flood.requests(1000))
+print(f"replies delivered: {len(result.replies)}   "
+      f"stalls: {vpnm.stats.stalls}")
+print(f"DRAM accesses: {vpnm.device.total_accesses()} "
+      f"(merging absorbed {vpnm.stats.reads_merged} redundant reads)")
+
+print()
+print("=" * 64)
+print("3. observe-and-replay attacker vs fresh random probes")
+print("=" * 64)
+# A deliberately under-provisioned victim so stalls are observable.
+PROBES = 20_000
+
+
+def attack(use_feedback: bool) -> float:
+    victim = VPNMController(
+        VPNMConfig(banks=4, bank_latency=6, queue_depth=2, delay_rows=8,
+                   address_bits=16, hash_latency=0, stall_policy="drop"),
+        seed=5,
+    )
+    attacker = ReplayAdversary(address_bits=16, window=8, perturbation=1,
+                               seed=1)
+    for _ in range(PROBES):
+        request = attacker.next_request()
+        step = victim.step(request)
+        if use_feedback:
+            attacker.observe(request.address, step.accepted)
+    return victim.stats.stalls / PROBES
+
+
+random_rate = attack(use_feedback=False)
+replay_rate = attack(use_feedback=True)
+print(f"fresh random probes:          stall rate {random_rate:6.2%}")
+print(f"replay of stall windows:      stall rate {replay_rate:6.2%}")
+print("""
+replaying the addresses that preceded a stall does not just fail to
+beat chance (the universal mapping hides which of them conflicted) —
+it does *worse*: repeated addresses are redundant reads, which the
+merging queue short-cuts without any bank access at all.  The attack
+starves itself.""")

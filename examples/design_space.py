@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Design-space exploration: picking a VPNM configuration (Section 5.3).
+
+Sweeps (B, Q, K) at several bus scaling ratios, prices each point with
+the calibrated hardware model and the Section 5 MTS analysis, and prints
+the per-R Pareto frontiers plus the paper's Table 2 ladder — ending with
+a concrete recommendation for a given area budget.
+
+Run:  python examples/design_space.py
+"""
+
+import math
+
+from repro.analysis.combine import mts_to_human
+from repro.hardware.sweep import (
+    design_sweep,
+    pareto_by_ratio,
+    table2_points,
+)
+
+print("sweeping the design space (this takes a few seconds)...")
+points = design_sweep(
+    ratios=(1.0, 1.2, 1.3, 1.4),
+    banks_options=(16, 32),
+    queue_options=(8, 12, 16, 24, 32, 48),
+    row_factors=(1.5, 2.0),
+)
+print(f"priced {len(points)} configurations\n")
+
+frontiers = pareto_by_ratio(points)
+for ratio, frontier in frontiers.items():
+    print(f"R = {ratio}  (Pareto frontier, area -> MTS)")
+    for point in frontier:
+        mts = ("unbounded" if point.mts_cycles == math.inf
+               else f"{point.mts_cycles:9.2e}")
+        print(f"  B={point.banks:<3} Q={point.queue_depth:<3} "
+              f"K={point.delay_rows:<4} {point.area_mm2:6.1f} mm2 -> "
+              f"MTS {mts} cycles")
+    print()
+
+print("paper Table 2 ladder (conservative D, our calibrated models):")
+print(f"{'R':>4} {'B':>3} {'Q':>3} {'K':>4} {'mm2':>6} {'MTS':>10} "
+      f"{'nJ':>6}   at 1 GHz")
+for point in table2_points():
+    print(f"{point.bus_scaling:>4} {point.banks:>3} {point.queue_depth:>3} "
+          f"{point.delay_rows:>4} {point.area_mm2:>6.1f} "
+          f"{point.mts_cycles:>10.2e} {point.energy_nj:>6.2f}   "
+          f"{mts_to_human(point.mts_cycles)}")
+
+BUDGET_MM2 = 35.0
+candidates = [p for p in points if p.area_mm2 <= BUDGET_MM2]
+best = max(candidates, key=lambda p: p.mts_cycles)
+print(f"\nrecommendation under a {BUDGET_MM2:.0f} mm2 budget: "
+      f"B={best.banks}, Q={best.queue_depth}, K={best.delay_rows}, "
+      f"R={best.bus_scaling}")
+print(f"  {best.area_mm2:.1f} mm2, {best.energy_nj:.1f} nJ/access, "
+      f"{mts_to_human(best.mts_cycles)}")

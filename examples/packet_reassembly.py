@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""TCP reassembly for content inspection on VPNM (paper Section 5.4.2).
+
+An attacker splits a worm signature across deliberately reordered TCP
+segments; a scanner that inspects packets in arrival order misses it.
+The reassembler reconstructs each connection's byte stream in order —
+with its irregular hole-buffer structure living in VPNM-managed DRAM at
+the paper's budget of five DRAM accesses per 64-byte chunk.
+
+Run:  python examples/packet_reassembly.py
+"""
+
+from repro.apps.reassembly import VPNMReassembler
+from repro.core import VPNMConfig, VPNMController
+from repro.workloads.packets import SyntheticFlow, tcp_segment_stream
+
+SIGNATURE = b"WORM/EXPLOIT-2006"
+
+# Many innocent flows (flow diversity spreads the per-connection
+# records across banks) plus one carrying the split signature.
+flows = [
+    SyntheticFlow(connection=i, data=bytes([65 + i % 26]) * 700, mss=96)
+    for i in range(31)
+]
+evil_payload = b"x" * 333 + SIGNATURE + b"y" * (700 - 333 - len(SIGNATURE))
+flows.append(SyntheticFlow(connection=31, data=evil_payload, mss=96))
+
+wire = tcp_segment_stream(flows, seed=13, adversarial_marker=SIGNATURE)
+
+in_any_single_segment = any(SIGNATURE in s.payload for s in wire)
+print(f"signature visible whole in any one wire segment: "
+      f"{in_any_single_segment}")
+
+engine = VPNMReassembler(
+    VPNMController(VPNMConfig(banks=32, queue_depth=8, delay_rows=32,
+                              hash_latency=0), seed=99)
+)
+for segment in wire:
+    emitted = engine.push(segment)
+    if SIGNATURE in emitted:
+        print(f"  >> signature detected in the in-order stream of "
+              f"connection {segment.connection}")
+engine.finish()
+
+for flow in flows:
+    assert engine.assembler.stream(flow.connection) == flow.data
+print("all 32 connection streams reconstructed byte-exact  [OK]\n")
+
+stats = engine.stats
+print(f"segments: {stats.segments}   64B chunks: {stats.chunks}")
+print(f"DRAM accesses: {stats.dram_accesses} "
+      f"({stats.accesses_per_chunk():.2f} per chunk; paper budget: 5)")
+print(f"stalls: {stats.stalls}")
+print(f"throughput at a 400 MHz request rate: "
+      f"{engine.throughput_gbps(400.0):.1f} gbps (paper: 40 gbps)")
+print(f"scanner staging SRAM (3*D at 40 gbps): "
+      f"{engine.scanner_sram_bytes() / 1024:.0f} KB")

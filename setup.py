@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work on environments without `wheel`.
+
+All real metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` / legacy ``pip install -e .`` fallbacks.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — Virtually Pipelined Network Memory (VPNM).
+
+A complete reproduction of *"Virtually Pipelined Network Memory"*
+(Banit Agrawal and Timothy Sherwood, MICRO 2006): a DRAM memory
+controller that presents a flat, deterministic-latency pipelined memory
+abstraction while internally randomizing addresses across banks with a
+universal hash, normalizing every access to a fixed delay D, and merging
+redundant requests.
+
+Top-level surface (see each subpackage for the full API):
+
+- :mod:`repro.core`      — the controller (config, bank controllers, bus)
+- :mod:`repro.hashing`   — GF(2) universal hash families
+- :mod:`repro.dram`      — behavioural DRAM banks and timing presets
+- :mod:`repro.sim`       — runners, tracing, measurement loops
+- :mod:`repro.analysis`  — the paper's MTS mathematics (Sections 5.1/5.2)
+- :mod:`repro.hardware`  — area/energy overhead model (Section 5.3)
+- :mod:`repro.workloads` — traffic generators incl. adversaries
+- :mod:`repro.apps`      — packet buffering and TCP reassembly (Section 5.4)
+"""
+
+from repro.core import (
+    VPNMConfig,
+    VPNMController,
+    paper_config,
+    read_request,
+    write_request,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VPNMConfig",
+    "VPNMController",
+    "__version__",
+    "paper_config",
+    "read_request",
+    "write_request",
+]

@@ -1,0 +1,54 @@
+"""The paper's Mean-Time-to-Stall mathematics (Section 5).
+
+- :mod:`~repro.analysis.delay_buffer_stall` — Section 5.1's closed-form
+  combinatorial bound for delay-storage-buffer overflow.
+- :mod:`~repro.analysis.markov` — Section 5.2's absorbing Markov chain
+  for bank-access-queue overflow, solved exactly (hitting times) instead
+  of by matrix powering, which also lifts the paper's B < 128 memory
+  limitation.
+- :mod:`~repro.analysis.combine` — system-level MTS combining both
+  mechanisms, plus cycle/time conversions.
+- :mod:`~repro.analysis.pareto` — Pareto-frontier utilities for the
+  Section 5.3 design sweep.
+"""
+
+from repro.analysis.birthday import (
+    collision_probability,
+    expected_accesses_to_first_collision,
+    no_collision_probability,
+)
+from repro.analysis.combine import (
+    combined_mts,
+    mts_seconds,
+    mts_to_human,
+    system_mts,
+)
+from repro.analysis.delay_buffer_stall import (
+    delay_buffer_mts,
+    log10_delay_buffer_mts,
+    stall_window_probability,
+)
+from repro.analysis.markov import (
+    BankQueueChain,
+    bank_queue_mts,
+    build_transition_matrix,
+)
+from repro.analysis.pareto import ParetoPoint, pareto_frontier
+
+__all__ = [
+    "BankQueueChain",
+    "ParetoPoint",
+    "bank_queue_mts",
+    "build_transition_matrix",
+    "collision_probability",
+    "combined_mts",
+    "expected_accesses_to_first_collision",
+    "no_collision_probability",
+    "delay_buffer_mts",
+    "log10_delay_buffer_mts",
+    "mts_seconds",
+    "mts_to_human",
+    "pareto_frontier",
+    "stall_window_probability",
+    "system_mts",
+]

@@ -1,0 +1,99 @@
+"""Birthday-paradox analysis of unqueued bank conflicts (Section 3.3).
+
+"While Universal Hashing provides the means to prevent our theoretical
+adversary from constructing sets of conflicting accesses with greater
+than random probability, even in a random assignment of data to banks a
+relatively large number of bank conflicts can occur due to the Birthday
+Paradox.  In fact if there was no queuing used, then it would take only
+O(sqrt(B)) accesses before the first stall would occur if there are B
+banks."
+
+These helpers quantify that motivating claim — they are why the bank
+access queues exist at all — and the tests check them against both the
+closed form and Monte-Carlo simulation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+
+def no_collision_probability(banks: int, accesses: int) -> float:
+    """P(no two of ``accesses`` uniform bank picks collide).
+
+    The classic birthday product ``prod_{i<n} (1 - i/B)``; 0.0 once
+    ``accesses > banks`` (pigeonhole).
+    """
+    if banks < 1:
+        raise ValueError("banks must be >= 1")
+    if accesses < 0:
+        raise ValueError("accesses must be non-negative")
+    if accesses > banks:
+        return 0.0
+    log_probability = 0.0
+    for i in range(accesses):
+        log_probability += math.log1p(-i / banks)
+    return math.exp(log_probability)
+
+
+def collision_probability(banks: int, accesses: int) -> float:
+    """P(at least one repeated bank among ``accesses`` picks)."""
+    return 1.0 - no_collision_probability(banks, accesses)
+
+
+def expected_accesses_to_first_collision(banks: int) -> float:
+    """Expected number of accesses until the first bank repeat.
+
+    ``E[N] = sum_{n>=0} P(N > n) = sum_n prod_{i<n}(1 - i/B)``, the
+    Ramanujan Q-function plus one; asymptotically
+    ``sqrt(pi*B/2) + 2/3`` — the O(sqrt(B)) of the paper.
+    """
+    if banks < 1:
+        raise ValueError("banks must be >= 1")
+    total = 0.0
+    survival = 1.0
+    for n in range(banks + 1):
+        total += survival
+        survival *= max(0.0, 1.0 - n / banks)
+        if survival < 1e-18:
+            break
+    return total
+
+
+def sqrt_approximation(banks: int) -> float:
+    """The asymptotic ``sqrt(pi*B/2) + 2/3`` form of the expectation."""
+    return math.sqrt(math.pi * banks / 2.0) + 2.0 / 3.0
+
+
+def simulate_first_collision(banks: int, trials: int = 10_000,
+                             seed: Optional[int] = 0) -> float:
+    """Monte-Carlo estimate of the expected first-collision time."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(trials):
+        seen = set()
+        count = 0
+        while True:
+            count += 1
+            bank = rng.randrange(banks)
+            if bank in seen:
+                break
+            seen.add(bank)
+        total += count
+    return total / trials
+
+
+def accesses_for_collision_probability(banks: int,
+                                       probability: float = 0.5) -> int:
+    """Smallest access count whose collision probability reaches the
+    target — e.g. ~1.18*sqrt(B) accesses for a 50% collision."""
+    if not 0.0 < probability < 1.0:
+        raise ValueError("probability must be in (0, 1)")
+    for accesses in range(banks + 2):
+        if collision_probability(banks, accesses) >= probability:
+            return accesses
+    return banks + 1

@@ -1,0 +1,166 @@
+"""Section 5.1 — closed-form MTS of the delay storage buffer.
+
+The paper's derivation: the delay buffer overflows if one bank receives
+``K`` or more of the uniformly-random bank assignments within a window
+of ``D`` cycles.  For any anchor request to a bank, the probability that
+at least ``K - 1`` of the other ``D - 1`` assignments in its window hit
+the same bank is approximated by its leading term
+
+    p = C(D-1, K-1) * (1/B)^(K-1)
+
+and the probability of surviving ``T`` cycles is ``(1 - p)^(T - D + 1)``.
+Setting that to 1/2 and solving for T gives the paper's Mean Time to
+Stall:
+
+    MTS = log(1/2) / log(1 - p) + D
+
+The quantities involved are astronomically small/large (the paper plots
+MTS up to 10^16), so everything here is computed in log space via
+``lgamma``; :func:`delay_buffer_mts` returns ``math.inf`` when the value
+exceeds the float range rather than overflowing.
+"""
+
+from __future__ import annotations
+
+import math
+
+_LN2 = math.log(2.0)
+_LN10 = math.log(10.0)
+
+
+def _validate(rows: int, delay: int, banks: int) -> None:
+    if rows < 1:
+        raise ValueError("rows (K) must be >= 1")
+    if delay < 1:
+        raise ValueError("delay (D) must be >= 1")
+    if banks < 1:
+        raise ValueError("banks (B) must be >= 1")
+
+
+def _log_binomial(n: int, k: int) -> float:
+    """log C(n, k); -inf when the coefficient is zero."""
+    if k < 0 or k > n:
+        return -math.inf
+    return (math.lgamma(n + 1) - math.lgamma(k + 1)
+            - math.lgamma(n - k + 1))
+
+
+def log_stall_window_probability(rows: int, delay: int, banks: int) -> float:
+    """Natural log of the paper's per-window stall probability ``p``.
+
+    ``p = C(D-1, K-1) * (1/B)^(K-1)``.  Returns ``-inf`` when K-1 > D-1
+    (a window physically cannot contain K requests, so no stall).
+    """
+    _validate(rows, delay, banks)
+    log_combinations = _log_binomial(delay - 1, rows - 1)
+    if log_combinations == -math.inf:
+        return -math.inf
+    return log_combinations - (rows - 1) * math.log(banks)
+
+
+def stall_window_probability(rows: int, delay: int, banks: int) -> float:
+    """The per-window stall probability ``p`` itself (may underflow to 0)."""
+    log_p = log_stall_window_probability(rows, delay, banks)
+    if log_p == -math.inf:
+        return 0.0
+    # The leading-term approximation can exceed 1 for tiny/degenerate
+    # configurations (it over-counts); clamp as a probability.
+    return min(1.0, math.exp(log_p))
+
+
+def log_exact_tail_probability(rows: int, delay: int, banks: int) -> float:
+    """Natural log of the exact window-overflow probability.
+
+    ``P(X >= K-1)`` for ``X ~ Binomial(D-1, 1/B)`` — the full binomial
+    tail the paper's leading term approximates.  The paper keeps only
+    the ``j = K-1`` term *without* the ``(1-1/B)^(D-K)`` survival factor;
+    the two errors partially cancel.  We expose the exact value so tests
+    can quantify the approximation (and so design tools can use the
+    tighter number).  Computed by log-sum-exp over the tail terms, which
+    decay geometrically.
+    """
+    _validate(rows, delay, banks)
+    trials = delay - 1
+    threshold = rows - 1
+    if threshold > trials:
+        return -math.inf
+    log_p = -math.log(banks)
+    log_q = math.log1p(-1.0 / banks) if banks > 1 else -math.inf
+    if banks == 1:
+        return 0.0  # every request hits the single bank: certain overflow
+    terms = []
+    for successes in range(threshold, trials + 1):
+        term = (_log_binomial(trials, successes)
+                + successes * log_p
+                + (trials - successes) * log_q)
+        terms.append(term)
+        # Terms decay once past the mode; stop when negligible.
+        if len(terms) > 1 and term < terms[0] - 40.0:
+            break
+    peak = max(terms)
+    return peak + math.log(sum(math.exp(t - peak) for t in terms))
+
+
+def delay_buffer_mts(rows: int, delay: int, banks: int,
+                     tail: str = "leading") -> float:
+    """The paper's Mean Time to Stall, in interface cycles.
+
+    ``MTS = ln(1/2) / ln(1 - p) + D``; for the small ``p`` of real
+    configurations this is ``ln 2 / p + D``.  ``math.inf`` when no
+    window can hold K requests or the value exceeds float range.
+
+    ``tail="leading"`` uses the paper's leading-term ``p`` (default, for
+    reproduction); ``tail="exact"`` uses the full binomial tail.
+    """
+    if tail == "leading":
+        log_p = log_stall_window_probability(rows, delay, banks)
+    elif tail == "exact":
+        log_p = log_exact_tail_probability(rows, delay, banks)
+    else:
+        raise ValueError(f"tail must be 'leading' or 'exact', got {tail!r}")
+    if log_p == -math.inf:
+        return math.inf
+    if log_p >= 0.0:          # p clamps to 1: stall in the first window
+        return float(delay)
+    p = math.exp(log_p)
+    if p > 1e-12:
+        return _LN2 / -math.log1p(-p) + delay
+    # Deep tail: ln(1-p) == -p to double precision.
+    log_mts = math.log(_LN2) - log_p
+    if log_mts > 700.0:       # exp would overflow
+        return math.inf
+    return math.exp(log_mts) + delay
+
+
+def log10_delay_buffer_mts(rows: int, delay: int, banks: int) -> float:
+    """log10 of the MTS — what Figure 4's y-axis actually plots.
+
+    Stays finite far beyond float range (e.g. K=128, B=64 is ~10^150).
+    """
+    log_p = log_stall_window_probability(rows, delay, banks)
+    if log_p == -math.inf:
+        return math.inf
+    if log_p >= 0.0:
+        return math.log10(delay)
+    p = math.exp(log_p)
+    if p > 1e-12:
+        return math.log10(_LN2 / -math.log1p(-p) + delay)
+    return (math.log(_LN2) - log_p) / _LN10
+
+
+def minimum_rows_for_mts(target_mts: float, delay: int, banks: int,
+                         max_rows: int = 4096) -> int:
+    """Smallest K achieving at least ``target_mts`` cycles (design helper).
+
+    Raises ``ValueError`` if even ``max_rows`` is insufficient.
+    """
+    if target_mts <= 0:
+        raise ValueError("target_mts must be positive")
+    target_log10 = math.log10(target_mts)
+    for rows in range(1, max_rows + 1):
+        if log10_delay_buffer_mts(rows, delay, banks) >= target_log10:
+            return rows
+    raise ValueError(
+        f"no K <= {max_rows} reaches MTS 10^{target_log10:.1f} "
+        f"with D={delay}, B={banks}"
+    )

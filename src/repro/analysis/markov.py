@@ -1,0 +1,211 @@
+"""Section 5.2 — the bank access queue as an absorbing Markov chain.
+
+"To analyze the stall rate of the bank access queue we determined that
+the queue essentially acts as a probabilistic state machine."  The state
+is the bank's backlog of outstanding work, measured in memory-work units
+(one unit = one memory-bus cycle of bank occupancy):
+
+* each interface cycle a new request arrives with probability ``1/B``
+  and adds ``L`` units (paper Figure 5);
+* the bank drains ``R`` units per interface cycle — the memory bus runs
+  ``R×`` faster.  For non-integer ``R`` we use a Bernoulli-smoothed
+  drain: ``floor(R)`` units plus one more with probability ``frac(R)``
+  (equal in expectation, keeps the state space integral);
+* an arrival that would push the backlog past the queue's capacity
+  ``Q·L`` is a **bank request queue stall** — the absorbing state.
+
+The paper computed the absorption probability by repeated matrix
+multiplication ``I·M^t`` and reported the t at which it reaches 50%,
+noting that "the large matrix size makes our analysis very difficult
+(the matrix requires more than 2 GB of main memory)" for B ≥ 128.  We
+instead solve the expected hitting time exactly with one linear solve
+over the transient states — O((QL)^3) once, no powering — and recover
+the paper's 50%-point as ``ln 2 ×`` the mean (absorption from the
+quasi-stationary regime is geometrically distributed, so the median is
+``ln 2`` times the mean to within the burn-in transient).  Matrix
+powering is still available (:meth:`BankQueueChain.stall_probability_by`)
+and is used by the tests to confirm the two methods agree.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Tuple
+
+import numpy as np
+
+#: Hitting times above this are beyond float64 linear-solve resolution
+#: (the per-step absorption probability drops below machine epsilon);
+#: they are reported as ``inf`` meaning "at least ~10^15 cycles".  The
+#: paper similarly caps its plots at 10^16.
+PRECISION_CEILING = 1e15
+
+
+class BankQueueChain:
+    """The absorbing chain for one bank's access queue."""
+
+    def __init__(self, banks: int, bank_latency: int, queue_depth: int,
+                 bus_scaling: float = 1.0):
+        if banks < 1:
+            raise ValueError("banks (B) must be >= 1")
+        if bank_latency < 1:
+            raise ValueError("bank_latency (L) must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth (Q) must be >= 1")
+        if bus_scaling < 1.0:
+            raise ValueError("bus_scaling (R) must be >= 1.0")
+        self.banks = banks
+        self.bank_latency = bank_latency
+        self.queue_depth = queue_depth
+        self.bus_scaling = bus_scaling
+        #: Backlog states 0..Q*L; index Q*L+1 is the absorbing stall state.
+        self.capacity = queue_depth * bank_latency
+        self.state_count = self.capacity + 2
+
+    # -- transition structure -------------------------------------------------
+
+    def _outcomes(self) -> Tuple[Tuple[float, int, int], ...]:
+        """(probability, arrival work, drain) atoms of one cycle."""
+        p_arrival = 1.0 / self.banks
+        base_drain = int(math.floor(self.bus_scaling))
+        p_extra = self.bus_scaling - base_drain
+        atoms = []
+        for arrived, p_a in ((1, p_arrival), (0, 1.0 - p_arrival)):
+            work = arrived * self.bank_latency
+            if p_extra > 0.0:
+                atoms.append((p_a * (1 - p_extra), work, base_drain))
+                atoms.append((p_a * p_extra, work, base_drain + 1))
+            else:
+                atoms.append((p_a, work, base_drain))
+        return tuple(a for a in atoms if a[0] > 0.0)
+
+    def transition_matrix(self) -> np.ndarray:
+        """Dense (QL+2)x(QL+2) row-stochastic matrix M (paper Figure 5).
+
+        Row ``s`` gives the distribution of next states; the last row is
+        the absorbing stall state (self-loop 1).
+        """
+        size = self.state_count
+        fail = size - 1
+        matrix = np.zeros((size, size))
+        for state in range(self.capacity + 1):
+            for probability, work, drain in self._outcomes():
+                if state + work > self.capacity:
+                    matrix[state, fail] += probability
+                else:
+                    nxt = max(0, state + work - drain)
+                    matrix[state, nxt] += probability
+        matrix[fail, fail] = 1.0
+        return matrix
+
+    # -- solutions -------------------------------------------------------
+
+    def mean_time_to_stall(self) -> float:
+        """Expected cycles from an idle bank to the first queue stall.
+
+        Solves ``(I - T) h = 1`` where T is the transient sub-matrix.
+        """
+        matrix = self.transition_matrix()
+        transient = matrix[:-1, :-1]
+        system = np.eye(transient.shape[0]) - transient
+        ones = np.ones(transient.shape[0])
+        try:
+            hitting = np.linalg.solve(system, ones)
+        except np.linalg.LinAlgError:
+            return math.inf
+        value = float(hitting[0])
+        if not math.isfinite(value) or value <= 0:
+            return math.inf
+        if value > PRECISION_CEILING:
+            return math.inf
+        return value
+
+    def median_time_to_stall(self) -> float:
+        """The paper's 50%-absorption point: ``ln 2 ×`` the mean."""
+        mean = self.mean_time_to_stall()
+        return mean if mean == math.inf else math.log(2.0) * mean
+
+    def stall_probability_by(self, cycles: int) -> float:
+        """P(at least one stall within ``cycles``) via matrix powering.
+
+        This is the paper's original ``I · M^t`` computation (done with
+        exponentiation-by-squaring); practical for moderate QL and t.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        matrix = self.transition_matrix()
+        power = np.linalg.matrix_power(matrix, cycles)
+        return float(power[0, -1])
+
+    def quasi_stationary_distribution(self) -> np.ndarray:
+        """Backlog distribution conditioned on not having stalled yet.
+
+        The left Perron eigenvector of the transient sub-matrix,
+        computed by power iteration with renormalization.  For the
+        (huge-MTS) regimes of interest absorption is negligible, so this
+        is effectively the steady-state backlog distribution — the thing
+        an occupancy histogram from simulation estimates.
+        """
+        matrix = self.transition_matrix()
+        transient = matrix[:-1, :-1]
+        size = transient.shape[0]
+        distribution = np.full(size, 1.0 / size)
+        for _ in range(100_000):
+            updated = distribution @ transient
+            total = updated.sum()
+            if total <= 0.0:
+                return updated  # certain absorption (degenerate config)
+            updated /= total
+            if np.abs(updated - distribution).sum() < 1e-12:
+                return updated
+            distribution = updated
+        return distribution
+
+    def mean_backlog(self) -> float:
+        """Expected work-unit backlog under the quasi-stationary law."""
+        distribution = self.quasi_stationary_distribution()
+        states = np.arange(distribution.shape[0])
+        return float(states @ distribution)
+
+    def per_cycle_stall_rate(self) -> float:
+        """Asymptotic absorption rate 1/mean (stalls per cycle per bank)."""
+        mean = self.mean_time_to_stall()
+        return 0.0 if mean == math.inf else 1.0 / mean
+
+
+def build_transition_matrix(banks: int, bank_latency: int, queue_depth: int,
+                            bus_scaling: float = 1.0) -> np.ndarray:
+    """Convenience wrapper: the Figure 5 matrix for given parameters."""
+    chain = BankQueueChain(banks, bank_latency, queue_depth, bus_scaling)
+    return chain.transition_matrix()
+
+
+def bank_queue_mts(banks: int, bank_latency: int, queue_depth: int,
+                   bus_scaling: float = 1.3, kind: str = "median",
+                   scope: str = "bank") -> float:
+    """MTS of the bank access queue, in interface cycles.
+
+    ``kind="median"`` reproduces the paper's 50% definition;
+    ``kind="mean"`` is the exact expected hitting time.
+
+    ``scope`` fixes a unit subtlety the paper leaves implicit: the chain
+    describes *one* bank (arrivals at rate 1/B), so its hitting time is
+    the per-bank MTS — which is what Figure 6 plots.  The whole system
+    has B such banks stalling independently, so the system-wide MTS is
+    the per-bank value divided by B (``scope="system"``); that is the
+    quantity comparable to simulation counts and to the Section 5.1
+    formula, and the one :func:`repro.analysis.combine.system_mts` uses.
+    """
+    chain = BankQueueChain(banks, bank_latency, queue_depth, bus_scaling)
+    if kind == "median":
+        value = chain.median_time_to_stall()
+    elif kind == "mean":
+        value = chain.mean_time_to_stall()
+    else:
+        raise ValueError(f"kind must be 'median' or 'mean', got {kind!r}")
+    if scope == "bank":
+        return value
+    if scope == "system":
+        return value if value == math.inf else value / banks
+    raise ValueError(f"scope must be 'bank' or 'system', got {scope!r}")

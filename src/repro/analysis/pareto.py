@@ -1,0 +1,66 @@
+"""Pareto-frontier utilities for the Section 5.3 design sweep.
+
+The paper runs "several thousand configurations with varying
+architectural parameters and consider[s] the Pareto optimal design
+points in terms of area, MTS, and bandwidth utilization (R)."  A design
+point here is anything exposing ``area`` (minimize) and ``mts``
+(maximize); the frontier keeps the points no other point dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design point of the sweep."""
+
+    area_mm2: float
+    mts_cycles: float
+    config: Any = field(default=None, compare=False)
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """No worse on both axes, strictly better on at least one."""
+        no_worse = (self.area_mm2 <= other.area_mm2
+                    and self.mts_cycles >= other.mts_cycles)
+        strictly_better = (self.area_mm2 < other.area_mm2
+                           or self.mts_cycles > other.mts_cycles)
+        return no_worse and strictly_better
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset, sorted by increasing area.
+
+    O(n log n): sort by (area asc, mts desc) and sweep keeping the
+    running MTS maximum.
+    """
+    ordered = sorted(points, key=lambda p: (p.area_mm2, -p.mts_cycles))
+    frontier: List[ParetoPoint] = []
+    best_mts = float("-inf")
+    for point in ordered:
+        if point.mts_cycles > best_mts:
+            frontier.append(point)
+            best_mts = point.mts_cycles
+    return frontier
+
+
+def knee_point(frontier: List[ParetoPoint]) -> Optional[ParetoPoint]:
+    """The frontier point with the best log-MTS gain per mm² from its
+    predecessor — a simple 'best value' pick for the examples."""
+    import math
+    if not frontier:
+        return None
+    if len(frontier) == 1:
+        return frontier[0]
+    best, best_slope = frontier[0], float("-inf")
+    for previous, current in zip(frontier, frontier[1:]):
+        area_delta = current.area_mm2 - previous.area_mm2
+        if area_delta <= 0 or current.mts_cycles <= 0 or previous.mts_cycles <= 0:
+            continue
+        slope = (math.log10(current.mts_cycles)
+                 - math.log10(previous.mts_cycles)) / area_delta
+        if slope > best_slope:
+            best, best_slope = current, slope
+    return best

@@ -1,0 +1,69 @@
+"""Data-plane applications on top of VPNM (paper Section 5.4).
+
+- :mod:`~repro.apps.packet_buffer` — per-interface packet queues in
+  DRAM with only head/tail pointers in SRAM (Section 5.4.1).
+- :mod:`~repro.apps.reassembly` — robust TCP reassembly with hole
+  buffers, five DRAM accesses per 64-byte chunk (Section 5.4.2).
+- :mod:`~repro.apps.baselines` — a conventional banked controller (no
+  randomization, no latency normalization) for contrast.
+- :mod:`~repro.apps.comparison` — the Table 3 scheme comparison:
+  reported rows for Aristides et al., RADS, and CFDS, plus our scheme's
+  row computed from the library's own models.
+
+Plus the paper's named future-work algorithms, implemented here:
+
+- :mod:`~repro.apps.lpm` — longest-prefix-match IP forwarding
+  (multibit trie, one DRAM read per level, pipelined lookups).
+- :mod:`~repro.apps.inspection` — Aho-Corasick content inspection
+  (DFA transition table in DRAM, one read per scanned byte).
+- :mod:`~repro.apps.classification` — two-field packet classification
+  (Lucent bit-vector scheme, per-field tries walked concurrently).
+"""
+
+from repro.apps.baselines import ConventionalController
+from repro.apps.comparison import (
+    CFDS,
+    NIKOLOGIANNIS,
+    RADS,
+    SchemeRow,
+    our_scheme_row,
+    table3,
+)
+from repro.apps.classification import (
+    BitmapTrie,
+    ClassifierRule,
+    RuleSet,
+    VPNMClassifierEngine,
+)
+from repro.apps.inspection import AhoCorasick, Match, VPNMInspectionEngine
+from repro.apps.linecard import LineCard, LineCardReport
+from repro.apps.lpm import MultibitTrie, Route, VPNMLPMEngine
+from repro.apps.packet_buffer import DequeuedPacket, VPNMPacketBuffer
+from repro.apps.reassembly import ReassemblyStats, StreamAssembler, VPNMReassembler
+
+__all__ = [
+    "AhoCorasick",
+    "BitmapTrie",
+    "CFDS",
+    "ClassifierRule",
+    "ConventionalController",
+    "DequeuedPacket",
+    "LineCard",
+    "LineCardReport",
+    "Match",
+    "MultibitTrie",
+    "RuleSet",
+    "VPNMClassifierEngine",
+    "NIKOLOGIANNIS",
+    "RADS",
+    "ReassemblyStats",
+    "Route",
+    "SchemeRow",
+    "StreamAssembler",
+    "VPNMInspectionEngine",
+    "VPNMLPMEngine",
+    "VPNMPacketBuffer",
+    "VPNMReassembler",
+    "our_scheme_row",
+    "table3",
+]

@@ -1,0 +1,145 @@
+"""A conventional banked DRAM controller — the contrast case.
+
+This is the controller the paper argues industry cannot ship for
+worst-case-sensitive data planes: bank = low address bits, per-bank FIFO
+queues, completions returned *whenever the bank finishes* (variable
+latency, out-of-order across banks).  It performs beautifully on
+friendly traffic and collapses under a stride or single-bank pattern —
+exactly the behaviour the ablation bench ABL1 quantifies against VPNM.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Deque, List, NamedTuple, Optional
+
+from repro.core.request import MemoryRequest, Operation
+
+
+class Completion(NamedTuple):
+    """A finished request with its *variable* latency."""
+
+    request_id: int
+    address: int
+    data: Any
+    tag: Any
+    issued_at: int
+    completed_at: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.issued_at
+
+
+@dataclass
+class BaselineStats:
+    cycles: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    completions: int = 0
+    total_latency: int = 0
+    max_latency: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return (self.total_latency / self.completions
+                if self.completions else 0.0)
+
+    @property
+    def acceptance_rate(self) -> float:
+        offered = self.accepted + self.rejected
+        return self.accepted / offered if offered else 0.0
+
+
+class ConventionalController:
+    """Low-bits banking, per-bank FIFOs, out-of-order variable latency."""
+
+    def __init__(self, banks: int = 32, bank_latency: int = 20,
+                 queue_depth: int = 8, bus_scaling: float = 1.0):
+        if banks < 1 or banks & (banks - 1):
+            raise ValueError("banks must be a power of two")
+        self.banks = banks
+        self.bank_latency = bank_latency
+        self.queue_depth = queue_depth
+        ratio = Fraction(bus_scaling).limit_denominator(1000)
+        self._num, self._den = ratio.numerator, ratio.denominator
+        self._queues: List[Deque] = [deque() for _ in range(banks)]
+        self._bank_free_at = [0] * banks
+        self._in_flight: List[tuple] = []  # (finish_slot, entry)
+        self._store = {}
+        self._slots_consumed = 0
+        self._rr = 0
+        self.now = 0
+        self.stats = BaselineStats()
+
+    def _bank_of(self, address: int) -> int:
+        return address & (self.banks - 1)
+
+    def step(self, request: Optional[MemoryRequest] = None) -> List[Completion]:
+        """One interface cycle; returns completions finishing this cycle."""
+        cycle = self.now
+        if request is not None:
+            bank = self._bank_of(request.address)
+            if len(self._queues[bank]) >= self.queue_depth:
+                self.stats.rejected += 1
+            else:
+                self._queues[bank].append((request, cycle))
+                self.stats.accepted += 1
+
+        # Memory-bus slots of this cycle, strict round robin.
+        target = (cycle + 1) * self._num // self._den
+        while self._slots_consumed < target:
+            slot = self._slots_consumed
+            self._slots_consumed += 1
+            for _ in range(self.banks):
+                bank = self._rr
+                self._rr = (self._rr + 1) % self.banks
+                if self._queues[bank] and self._bank_free_at[bank] <= slot:
+                    req, issued_at = self._queues[bank].popleft()
+                    self._bank_free_at[bank] = slot + self.bank_latency
+                    finish = slot + self.bank_latency
+                    if req.operation is Operation.WRITE:
+                        self._store[req.address] = req.data
+                        data = None
+                    else:
+                        data = self._store.get(req.address)
+                    self._in_flight.append((finish, req, issued_at, data))
+                    break
+
+        # Completions whose bank access finished by this cycle's end.
+        completions = []
+        mem_now = (cycle + 1) * self._num // self._den
+        remaining = []
+        for finish, req, issued_at, data in self._in_flight:
+            if finish <= mem_now:
+                latency = cycle - issued_at
+                self.stats.completions += 1
+                self.stats.total_latency += latency
+                self.stats.max_latency = max(self.stats.max_latency, latency)
+                completions.append(Completion(
+                    request_id=req.request_id, address=req.address,
+                    data=data, tag=req.tag, issued_at=issued_at,
+                    completed_at=cycle,
+                ))
+            else:
+                remaining.append((finish, req, issued_at, data))
+        self._in_flight = remaining
+
+        self.now += 1
+        self.stats.cycles = self.now
+        return completions
+
+    def drain(self, limit: Optional[int] = None) -> List[Completion]:
+        """Run idle cycles until every queued request completes."""
+        if limit is None:
+            queued = sum(len(q) for q in self._queues) + len(self._in_flight)
+            limit = (queued + 1) * max(self.bank_latency, self.banks) * 2
+        completions = []
+        for _ in range(limit):
+            completions.extend(self.step())
+            if (not self._in_flight
+                    and all(not q for q in self._queues)):
+                break
+        return completions

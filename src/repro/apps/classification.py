@@ -1,0 +1,369 @@
+"""Packet classification on VPNM (bit-vector scheme).
+
+The first algorithm in the paper's future-work list ("packet
+classification, packet inspection, application-oriented networking"),
+and a headline motivation in its introduction: "classification rules
+have grown from 2000 to 5000."
+
+Design: the classic Lucent bit-vector scheme over two prefix fields
+(source, destination).  Per field a multibit trie maps the field value
+to the set of rules whose prefix covers it (stored as a bitmap); the
+classification result is the highest-priority rule in the intersection
+of the two sets.  The per-field tries are the same irregular structures
+as IP-lookup tries — VPNM hosts them naively, one DRAM read per trie
+level per field, two fields walked concurrently.
+
+Layers, as elsewhere:
+
+* :class:`RuleSet` / :class:`BitmapTrie` — the functional classifier
+  (build, brute-force oracle, per-field bitmap lookup).
+* :class:`VPNMClassifierEngine` — the memory-driven engine, pipelined
+  across packets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import VPNMConfig
+from repro.core.controller import VPNMController, read_request
+
+
+@dataclass(frozen=True)
+class ClassifierRule:
+    """One rule: (src prefix, dst prefix) -> action; index = priority.
+
+    Lower index = higher priority (first match wins), the standard ACL
+    convention.
+    """
+
+    src_prefix: int
+    src_length: int
+    dst_prefix: int
+    dst_length: int
+    action: str = "permit"
+
+    def __post_init__(self) -> None:
+        for prefix, length, name in [
+            (self.src_prefix, self.src_length, "src"),
+            (self.dst_prefix, self.dst_length, "dst"),
+        ]:
+            if not 0 <= length <= 32:
+                raise ValueError(f"{name} length must be in [0, 32]")
+            if prefix >> 32:
+                raise ValueError(f"{name} prefix must fit in 32 bits")
+            if length < 32 and prefix & ((1 << (32 - length)) - 1):
+                raise ValueError(
+                    f"{name} prefix has bits set below its length"
+                )
+
+    def matches(self, src: int, dst: int) -> bool:
+        def field_matches(value, prefix, length):
+            if length == 0:
+                return True
+            mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            return (value & mask) == prefix
+
+        return (field_matches(src, self.src_prefix, self.src_length)
+                and field_matches(dst, self.dst_prefix, self.dst_length))
+
+
+class _BitmapNode:
+    __slots__ = ("node_id", "entries")
+
+    def __init__(self, node_id: int, fanout: int):
+        self.node_id = node_id
+        # entry = [frozenset of rule indices ending here, child or None]
+        self.entries: List[List] = [[frozenset(), None]
+                                    for _ in range(fanout)]
+
+
+class BitmapTrie:
+    """Per-field trie mapping a 32-bit value to its covering rule set.
+
+    Entry sets hold the rules whose prefix *ends* at that entry; a
+    lookup unions the sets along its path, so every covering prefix
+    contributes regardless of length.  Lookup cost: one entry per level,
+    exactly like the LPM trie.
+    """
+
+    def __init__(self, strides: Sequence[int] = (8, 8, 8, 8)):
+        if sum(strides) != 32:
+            raise ValueError(f"strides must sum to 32, got {list(strides)}")
+        if any(s < 1 for s in strides):
+            raise ValueError("every stride must be >= 1")
+        self.strides = tuple(strides)
+        self._nodes: List[_BitmapNode] = []
+        self.root = self._new_node(0)
+
+    def _new_node(self, level: int) -> _BitmapNode:
+        node = _BitmapNode(len(self._nodes), 1 << self.strides[level])
+        self._nodes.append(node)
+        return node
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def insert(self, prefix: int, length: int, rule_index: int) -> None:
+        """Add one rule's field prefix (controlled expansion, OR-ing)."""
+        node = self.root
+        consumed = 0
+        for level, stride in enumerate(self.strides):
+            chunk = (prefix >> (32 - consumed - stride)) & ((1 << stride) - 1)
+            if length <= consumed + stride:
+                defined = length - consumed
+                free = stride - defined
+                base = chunk & ~((1 << free) - 1) if free else chunk
+                for offset in range(1 << free):
+                    entry = node.entries[base | offset]
+                    entry[0] = entry[0] | {rule_index}
+                return
+            entry = node.entries[chunk]
+            if entry[1] is None:
+                entry[1] = self._new_node(level + 1)
+            node = entry[1]
+            consumed += stride
+        raise AssertionError("unreachable: strides sum to 32")
+
+    def lookup(self, value: int) -> FrozenSet[int]:
+        """Union of rule sets along the value's path (the field bitmap)."""
+        if value >> 32:
+            raise ValueError("value must fit in 32 bits")
+        node = self.root
+        consumed = 0
+        matched: FrozenSet[int] = frozenset()
+        for stride in self.strides:
+            chunk = (value >> (32 - consumed - stride)) & ((1 << stride) - 1)
+            rule_set, child = node.entries[chunk]
+            matched = matched | rule_set
+            if child is None:
+                return matched
+            node = child
+            consumed += stride
+        return matched
+
+
+class RuleSet:
+    """A two-field classifier: build tries, classify, brute-force oracle."""
+
+    def __init__(self, rules: Sequence[ClassifierRule],
+                 strides: Sequence[int] = (8, 8, 8, 8)):
+        if not rules:
+            raise ValueError("need at least one rule")
+        self.rules = list(rules)
+        self.src_trie = BitmapTrie(strides)
+        self.dst_trie = BitmapTrie(strides)
+        for index, rule in enumerate(self.rules):
+            self.src_trie.insert(rule.src_prefix, rule.src_length, index)
+            self.dst_trie.insert(rule.dst_prefix, rule.dst_length, index)
+
+    def classify(self, src: int, dst: int) -> Optional[int]:
+        """Highest-priority (lowest-index) rule matching both fields."""
+        candidates = self.src_trie.lookup(src) & self.dst_trie.lookup(dst)
+        return min(candidates) if candidates else None
+
+    def classify_brute_force(self, src: int, dst: int) -> Optional[int]:
+        """The oracle: scan rules in priority order."""
+        for index, rule in enumerate(self.rules):
+            if rule.matches(src, dst):
+                return index
+        return None
+
+    def action_of(self, rule_index: Optional[int],
+                  default: str = "deny") -> str:
+        if rule_index is None:
+            return default
+        return self.rules[rule_index].action
+
+
+@dataclass
+class ClassificationResult:
+    src: int
+    dst: int
+    rule_index: Optional[int]
+    tag: object
+    issued_at: int
+    completed_at: int
+    reads: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.issued_at
+
+
+@dataclass
+class _InFlight:
+    src: int
+    dst: int
+    tag: object
+    issued_at: int
+    # one cursor per field: (field trie, current node id, level) or None
+    # when that field's walk has ended.
+    src_state: Optional[Tuple[int, int]] = (0, 0)   # (node_id, level)
+    dst_state: Optional[Tuple[int, int]] = (0, 0)
+    src_set: FrozenSet[int] = frozenset()
+    dst_set: FrozenSet[int] = frozenset()
+    reads: int = 0
+    outstanding: int = 0    # reads in flight for this packet
+
+
+class VPNMClassifierEngine:
+    """Pipelined two-field classification through a VPNM controller.
+
+    Address map: field f's entry (node, index) lives at
+    ``f * region + node * max_fanout + index``; both field walks of a
+    packet proceed concurrently, so a classification costs at most
+    ``2 x levels`` reads and completes within ``2 x levels x D`` cycles
+    even unpipelined.
+    """
+
+    def __init__(self, ruleset: RuleSet,
+                 controller: Optional[VPNMController] = None):
+        self.ruleset = ruleset
+        self.controller = controller or VPNMController(VPNMConfig())
+        self._fanout = 1 << max(ruleset.src_trie.strides)
+        bits = self.controller.config.address_bits
+        self._region = 1 << (bits - 1)
+        needed = max(ruleset.src_trie.node_count,
+                     ruleset.dst_trie.node_count) * self._fanout
+        if needed > self._region:
+            raise ValueError("rule tries exceed the address space")
+        self._ready: Deque[Tuple[_InFlight, int]] = deque()
+        self._waiting: Dict[int, Tuple[_InFlight, int]] = {}
+        self._next_token = 0
+        self.results: List[ClassificationResult] = []
+        self.loaded = False
+
+    def _entry_address(self, field_index: int, node_id: int,
+                       index: int) -> int:
+        return (field_index * self._region
+                + node_id * self._fanout + index)
+
+    def load_tables(self) -> int:
+        """Install both field tries into DRAM (control-plane poke)."""
+        written = 0
+        for field_index, trie in ((0, self.ruleset.src_trie),
+                                  (1, self.ruleset.dst_trie)):
+            for node in trie._nodes:
+                for index, (rule_set, child) in enumerate(node.entries):
+                    if not rule_set and child is None:
+                        continue
+                    address = self._entry_address(field_index,
+                                                  node.node_id, index)
+                    payload = (rule_set,
+                               child.node_id if child is not None else None)
+                    mapping = self.controller.mapper.map(address)
+                    self.controller.device.banks[mapping.bank]._store[
+                        mapping.line
+                    ] = payload
+                    written += 1
+        self.loaded = True
+        return written
+
+    # -- pipelined classification -----------------------------------------------
+
+    def submit(self, src: int, dst: int, tag: object = None) -> None:
+        if not self.loaded:
+            raise RuntimeError("call load_tables() before submitting")
+        packet = _InFlight(src=src, dst=dst, tag=tag,
+                           issued_at=self.controller.now)
+        self._ready.append((packet, 0))
+        self._ready.append((packet, 1))
+        packet.outstanding = 0
+
+    def _chunk(self, value: int, level: int) -> int:
+        strides = self.ruleset.src_trie.strides
+        consumed = sum(strides[:level])
+        stride = strides[level]
+        return (value >> (32 - consumed - stride)) & ((1 << stride) - 1)
+
+    def step(self) -> None:
+        request = None
+        if self._ready:
+            packet, field_index = self._ready[0]
+            state = packet.src_state if field_index == 0 else packet.dst_state
+            node_id, level = state
+            value = packet.src if field_index == 0 else packet.dst
+            address = self._entry_address(field_index, node_id,
+                                          self._chunk(value, level))
+            request = read_request(address, tag=("cls", self._next_token))
+        result = self.controller.step(request)
+        if request is not None and result.accepted:
+            packet, field_index = self._ready.popleft()
+            packet.outstanding += 1
+            self._waiting[self._next_token] = (packet, field_index)
+            self._next_token += 1
+        for reply in result.replies:
+            if isinstance(reply.tag, tuple) and reply.tag[0] == "cls":
+                self._absorb(reply)
+
+    def _absorb(self, reply) -> None:
+        packet, field_index = self._waiting.pop(reply.tag[1])
+        packet.outstanding -= 1
+        packet.reads += 1
+        rule_set, child_id = reply.data if reply.data is not None else (
+            frozenset(), None
+        )
+        strides = self.ruleset.src_trie.strides
+        if field_index == 0:
+            packet.src_set = packet.src_set | rule_set
+            node_id, level = packet.src_state
+        else:
+            packet.dst_set = packet.dst_set | rule_set
+            node_id, level = packet.dst_state
+        done = child_id is None or level + 1 >= len(strides)
+        if done:
+            if field_index == 0:
+                packet.src_state = None
+            else:
+                packet.dst_state = None
+        else:
+            new_state = (child_id, level + 1)
+            if field_index == 0:
+                packet.src_state = new_state
+            else:
+                packet.dst_state = new_state
+            self._ready.append((packet, field_index))
+        if (packet.src_state is None and packet.dst_state is None
+                and packet.outstanding == 0):
+            candidates = packet.src_set & packet.dst_set
+            self.results.append(ClassificationResult(
+                src=packet.src,
+                dst=packet.dst,
+                rule_index=min(candidates) if candidates else None,
+                tag=packet.tag,
+                issued_at=packet.issued_at,
+                completed_at=self.controller.now,
+                reads=packet.reads,
+            ))
+
+    def run_until_drained(self, limit: Optional[int] = None) -> None:
+        if limit is None:
+            pending = len(self._ready) + len(self._waiting)
+            per_walk = (len(self.ruleset.src_trie.strides)
+                        * (self.controller.config.normalized_delay + 2))
+            limit = (pending + 1) * per_walk + 100
+        while self._ready or self._waiting:
+            if limit <= 0:
+                raise RuntimeError("classifier engine failed to drain")
+            self.step()
+            limit -= 1
+
+    def classify_batch(
+        self, packets: Iterable[Tuple[int, int]]
+    ) -> List[ClassificationResult]:
+        start = len(self.results)
+        for position, (src, dst) in enumerate(packets):
+            self.submit(src, dst, tag=position)
+        self.run_until_drained()
+        batch = self.results[start:]
+        batch.sort(key=lambda r: r.tag)
+        return batch
+
+    def classifications_per_cycle(self) -> float:
+        if not self.controller.now:
+            return 0.0
+        return len(self.results) / self.controller.now

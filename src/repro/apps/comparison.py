@@ -1,0 +1,143 @@
+"""The Table 3 packet-buffering comparison.
+
+The paper compares VPNM-based packet buffering against three published
+special-purpose schemes *by their reported numbers* (its own Table 3);
+we encode those rows verbatim and compute our scheme's row from this
+library's models, so every number in our row is reproducible:
+
+* SRAM = per-queue head/tail pointer store + the bank controllers'
+  internal storage (delay storage data dominates);
+* area = calibrated bank-controller area + pointer-SRAM area via the
+  same fit;
+* delay = the normalized D in nanoseconds;
+* line rate = one memory request per interface cycle at 64-byte cells
+  (write + read per cell);
+* interfaces = queues supported by the pointer SRAM budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import VPNMConfig, paper_config
+from repro.hardware.bits import controller_bits
+from repro.hardware.model import HardwareModel
+
+
+@dataclass(frozen=True)
+class SchemeRow:
+    """One row of Table 3."""
+
+    name: str
+    citation: str
+    max_line_rate_gbps: float
+    sram_bytes: Optional[int]          # None where the paper prints '-'
+    area_mm2: Optional[float]
+    total_delay_ns: Optional[float]
+    interfaces: int
+    reported: bool = True              # False for our computed row
+
+    def render(self) -> str:
+        sram = "-" if self.sram_bytes is None else f"{self.sram_bytes // 1024} KB"
+        area = "-" if self.area_mm2 is None else f"{self.area_mm2:.1f}"
+        delay = "-" if self.total_delay_ns is None else f"{self.total_delay_ns:.0f}"
+        return (f"{self.name:<22} {self.max_line_rate_gbps:>8.0f} "
+                f"{sram:>8} {area:>7} {delay:>8} {self.interfaces:>8}")
+
+
+#: Aristides Nikologiannis & Katevenis, out-of-order DRAM queueing (ICC'01).
+NIKOLOGIANNIS = SchemeRow(
+    name="Nikologiannis et al.",
+    citation="[22]",
+    max_line_rate_gbps=10.0,
+    sram_bytes=520 * 1024,
+    area_mm2=27.4,
+    total_delay_ns=None,
+    interfaces=64000,
+)
+
+#: Iyer, Kompella & McKeown's RADS: SRAM/DRAM head-tail caches (Stanford TR).
+RADS = SchemeRow(
+    name="RADS",
+    citation="[17]",
+    max_line_rate_gbps=40.0,
+    sram_bytes=64 * 1024,
+    area_mm2=10.0,
+    total_delay_ns=53.0,
+    interfaces=130,
+)
+
+#: Garcia et al.'s CFDS: conflict-free DRAM subsystem (MICRO'03).
+CFDS = SchemeRow(
+    name="CFDS",
+    citation="[12]",
+    max_line_rate_gbps=160.0,
+    sram_bytes=None,
+    area_mm2=60.0,
+    total_delay_ns=10000.0,
+    interfaces=850,
+)
+
+
+def our_scheme_row(
+    config: Optional[VPNMConfig] = None,
+    num_queues: int = 4096,
+    interface_clock_mhz: float = 1000.0,
+    model: Optional[HardwareModel] = None,
+) -> SchemeRow:
+    """Our scheme's Table 3 row, computed from the library's own models.
+
+    Defaults to the paper's comparison point: the Q=48/K=96 Table 2
+    configuration at a 1 GHz interface with 4096 queues.
+    """
+    config = config or paper_config(2, hash_latency=0)  # B=32,Q=48,K=96
+    model = model or HardwareModel()
+
+    # SRAM: 2 pointers per queue (32-bit) + all controller storage.
+    pointer_bits = num_queues * 2 * config.address_bits
+    pointer_bytes = pointer_bits // 8
+    controller_bytes = int(controller_bits(config).total_bytes * config.banks)
+    sram_bytes = pointer_bytes + controller_bytes
+
+    # Area: controllers via the calibrated fit; pointer SRAM priced with
+    # the same per-bit fit evaluated at its size.
+    controller_area = model.total_area_mm2(config)
+    pointer_area = model._area_fit.area_mm2(pointer_bits) * (
+        model.tech_um / 0.13) ** 2
+    area = controller_area + pointer_area
+
+    # One request per interface cycle; a buffered 64-byte cell costs one
+    # write and one read.
+    requests_per_second = interface_clock_mhz * 1e6
+    line_rate = requests_per_second * config.data_bytes * 8 / 2 / 1e9
+    # The raw bound (256 gbps at 1 GHz / 64 B cells) exceeds OC-3072;
+    # the table reports the demonstrated operating point, as the paper's
+    # row does.
+    supported = min(line_rate, 160.0)
+
+    delay_ns = config.delay_ns(interface_clock_mhz)
+
+    return SchemeRow(
+        name="VPNM (this work)",
+        citation="-",
+        max_line_rate_gbps=supported,
+        sram_bytes=sram_bytes,
+        area_mm2=area,
+        total_delay_ns=delay_ns,
+        interfaces=num_queues,
+        reported=False,
+    )
+
+
+def table3(config: Optional[VPNMConfig] = None) -> List[SchemeRow]:
+    """All four rows of the comparison."""
+    return [NIKOLOGIANNIS, RADS, CFDS, our_scheme_row(config)]
+
+
+def render_table3(rows: Optional[List[SchemeRow]] = None) -> str:
+    """The comparison as aligned text (what the bench prints)."""
+    rows = rows or table3()
+    header = (f"{'scheme':<22} {'gbps':>8} {'SRAM':>8} {'mm2':>7} "
+              f"{'delay ns':>8} {'queues':>8}")
+    return "\n".join([header] + [row.render() for row in rows])

@@ -1,0 +1,124 @@
+"""Line-card co-simulation: measuring sustained gbps end to end.
+
+Table 3's "max line rate" column is an accounting claim (one memory
+request per cycle, two cell accesses per buffered cell).  This module
+*measures* it: packets arrive on a simulated wire at a configured line
+rate, a round-robin egress scheduler requests departures at the same
+rate, and both feed the packet buffer's one-request-per-cycle memory
+engine.  A line rate is sustained iff the buffer's pending-operation
+backlog stays bounded over the run.
+
+Time base: the interface clock (``clock_mhz``).  A packet of ``size``
+bytes occupies the wire for ``size * 8 / line_rate_gbps`` nanoseconds,
+converted to interface cycles; arrivals are scheduled on that spacing,
+jittered by the trace's packet-size mix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+from repro.apps.packet_buffer import VPNMPacketBuffer
+from repro.workloads.packets import Packet
+
+
+@dataclass
+class LineCardReport:
+    """Outcome of a line-card run."""
+
+    line_rate_gbps: float
+    cycles: int
+    packets_offered: int
+    packets_enqueued: int
+    packets_delivered: int
+    bytes_delivered: int
+    max_backlog: int
+    final_backlog: int
+    stalls: int
+
+    def achieved_gbps(self, clock_mhz: float) -> float:
+        """Egress goodput: delivered packet bytes over the run's wall
+        time (comparable directly to the configured line rate)."""
+        if not self.cycles:
+            return 0.0
+        seconds = self.cycles / (clock_mhz * 1e6)
+        return self.bytes_delivered * 8 / seconds / 1e9
+
+    def sustained(self, slack_cells: int = 64) -> bool:
+        """True if the memory engine kept up with the wire: the cell-op
+        backlog never built beyond a constant slack."""
+        return self.max_backlog <= slack_cells
+
+
+class LineCard:
+    """Couples a wire-rate arrival process and an egress scheduler to
+    the packet buffer."""
+
+    def __init__(self, buffer: VPNMPacketBuffer,
+                 line_rate_gbps: float,
+                 clock_mhz: float = 1000.0):
+        if line_rate_gbps <= 0:
+            raise ValueError("line rate must be positive")
+        if clock_mhz <= 0:
+            raise ValueError("clock must be positive")
+        self.buffer = buffer
+        self.line_rate_gbps = line_rate_gbps
+        self.clock_mhz = clock_mhz
+        #: interface cycles per byte on the wire
+        self._cycles_per_byte = clock_mhz * 1e6 / (line_rate_gbps * 1e9 / 8)
+
+    def run(self, packets: Iterable[Packet]) -> LineCardReport:
+        """Play the trace at the wire rate; returns the report.
+
+        The egress scheduler requests each packet's departure one wire
+        time after its arrival completes (store-and-forward with the
+        scheduler keeping the output line busy at the input rate).
+        """
+        packets = list(packets)
+        arrival_clock = 0.0
+        arrivals: Deque = deque()
+        for packet in packets:
+            arrival_clock += packet.size * self._cycles_per_byte
+            arrivals.append((arrival_clock, packet))
+
+        departures: Deque = deque()
+        offered = enqueued = 0
+        max_backlog = 0
+        cycle = 0
+        guard = int(arrival_clock) + 200 * self.buffer.controller.config.normalized_delay
+
+        while (arrivals or departures or self.buffer.backlog
+               or self.buffer._reassembly):
+            if cycle > guard:
+                raise RuntimeError("line card failed to drain (overload?)")
+            while arrivals and arrivals[0][0] <= cycle:
+                _, packet = arrivals.popleft()
+                offered += 1
+                if self.buffer.submit_arrival(packet):
+                    enqueued += 1
+                    # Schedule the departure one wire-time later.
+                    departures.append(
+                        (cycle + packet.size * self._cycles_per_byte,
+                         packet.flow)
+                    )
+            while departures and departures[0][0] <= cycle:
+                _, flow = departures.popleft()
+                self.buffer.submit_departure(flow)
+            self.buffer.step()
+            max_backlog = max(max_backlog, self.buffer.backlog)
+            cycle += 1
+
+        delivered = self.buffer.completed
+        return LineCardReport(
+            line_rate_gbps=self.line_rate_gbps,
+            cycles=cycle,
+            packets_offered=offered,
+            packets_enqueued=enqueued,
+            packets_delivered=len(delivered),
+            bytes_delivered=sum(p.size for p in delivered),
+            max_backlog=max_backlog,
+            final_backlog=self.buffer.backlog,
+            stalls=self.buffer.controller.stats.stalls,
+        )

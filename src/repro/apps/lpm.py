@@ -1,0 +1,346 @@
+"""Longest-prefix-match IP forwarding on VPNM.
+
+The paper's conclusion lists IP lookup among the data-plane algorithms
+to map onto VPNM next ("in the future we will explore the potential of
+mapping other data plane algorithms into DRAM including packet
+classification, packet inspection, ..."), and its introduction motivates
+it: "Routing tables have grown from 100K to 360K prefixes."  The prior
+art it cites (Baboescu et al.'s tree-based search engine) needs
+NP-complete subtree placement to avoid bank conflicts; on VPNM the trie
+is laid out naively and the randomized mapping does the rest.
+
+Design: a classic multibit trie with configurable strides (default
+8-8-8-8 for IPv4).  Each trie node is an array of ``2^stride`` entries;
+entry ``i`` of node ``n`` lives at line address ``n * 2^stride + i`` in
+a dedicated region, so *one DRAM read per trie level* resolves a lookup
+step.  Lookups are pipelined: with many lookups in flight the engine
+issues one memory request per interface cycle, and a lookup completes
+``levels × D`` cycles after it entered — the deep-pipeline abstraction
+at the application level.
+
+Two layers, as with the other apps:
+
+* :class:`MultibitTrie` — the functional data structure (build, insert,
+  longest-prefix-match oracle).
+* :class:`VPNMLPMEngine` — the memory-driven engine: loads the trie
+  into DRAM through the controller and answers batches of lookups at
+  one memory request per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import VPNMConfig
+from repro.core.controller import VPNMController, read_request, write_request
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing-table entry: ``prefix/length -> next_hop``."""
+
+    prefix: int
+    length: int
+    next_hop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError("prefix length must be in [0, 32]")
+        if self.prefix >> 32:
+            raise ValueError("prefix must fit in 32 bits")
+        if self.length < 32 and self.prefix & ((1 << (32 - self.length)) - 1):
+            raise ValueError(
+                f"prefix {self.prefix:#010x}/{self.length} has bits set "
+                "below its length"
+            )
+
+
+class _Node:
+    """One multibit-trie node: children and per-entry best next hops."""
+
+    __slots__ = ("node_id", "entries")
+
+    def __init__(self, node_id: int, fanout: int):
+        self.node_id = node_id
+        # entry = [next_hop or None, child _Node or None]
+        self.entries: List[List] = [[None, None] for _ in range(fanout)]
+
+
+class MultibitTrie:
+    """A multibit trie over 32-bit addresses with fixed strides.
+
+    ``strides`` must sum to 32.  Prefixes whose length falls inside a
+    stride are *expanded* to every covered entry (controlled prefix
+    expansion), with longer prefixes winning ties — the standard
+    construction, which keeps lookup to exactly one entry read per
+    level.
+    """
+
+    def __init__(self, strides: Sequence[int] = (8, 8, 8, 8)):
+        if sum(strides) != 32:
+            raise ValueError(f"strides must sum to 32, got {list(strides)}")
+        if any(s < 1 for s in strides):
+            raise ValueError("every stride must be >= 1")
+        self.strides = tuple(strides)
+        self._nodes: List[_Node] = []
+        self.root = self._new_node()
+        #: Longest prefix length stored per entry, for expansion ties.
+        self._entry_depth: Dict[Tuple[int, int], int] = {}
+
+    def _new_node(self) -> _Node:
+        node = _Node(len(self._nodes), 1 << self.strides[0])
+        self._nodes.append(node)
+        return node
+
+    def _new_child(self, level: int) -> _Node:
+        node = _Node(len(self._nodes), 1 << self.strides[level])
+        self._nodes.append(node)
+        return node
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def insert(self, route: Route) -> None:
+        """Insert a route with controlled prefix expansion."""
+        node = self.root
+        consumed = 0
+        for level, stride in enumerate(self.strides):
+            chunk = (route.prefix >> (32 - consumed - stride)) & (
+                (1 << stride) - 1
+            )
+            if route.length <= consumed + stride:
+                # The prefix ends inside this level: expand it over all
+                # entries sharing its defined high bits.
+                defined = route.length - consumed
+                free = stride - defined
+                base = chunk & ~((1 << free) - 1) if free else chunk
+                for offset in range(1 << free):
+                    index = base | offset
+                    key = (node.node_id, index)
+                    if self._entry_depth.get(key, -1) <= route.length:
+                        node.entries[index][0] = route.next_hop
+                        self._entry_depth[key] = route.length
+                return
+            # Descend (creating the child if needed).
+            entry = node.entries[chunk]
+            if entry[1] is None:
+                entry[1] = self._new_child(level + 1)
+            node = entry[1]
+            consumed += stride
+        raise AssertionError("unreachable: strides sum to 32")
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Functional longest-prefix match (the oracle for the engine)."""
+        if address >> 32:
+            raise ValueError("address must fit in 32 bits")
+        node = self.root
+        consumed = 0
+        best: Optional[int] = None
+        for stride in self.strides:
+            chunk = (address >> (32 - consumed - stride)) & ((1 << stride) - 1)
+            next_hop, child = node.entries[chunk]
+            if next_hop is not None:
+                best = next_hop
+            if child is None:
+                return best
+            node = child
+            consumed += stride
+        return best
+
+    @classmethod
+    def from_routes(cls, routes: Iterable[Route],
+                    strides: Sequence[int] = (8, 8, 8, 8)) -> "MultibitTrie":
+        """Build a trie, inserting shorter prefixes first so expansion
+        ties resolve in favour of longer prefixes regardless of input
+        order."""
+        trie = cls(strides)
+        for route in sorted(routes, key=lambda r: r.length):
+            trie.insert(route)
+        return trie
+
+
+@dataclass
+class LookupResult:
+    """One completed lookup."""
+
+    address: int
+    next_hop: Optional[int]
+    tag: object
+    issued_at: int
+    completed_at: int
+    levels_visited: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.issued_at
+
+
+@dataclass
+class _InFlight:
+    address: int
+    tag: object
+    issued_at: int
+    level: int = 0
+    node_id: int = 0
+    best: Optional[int] = None
+    levels_visited: int = 0
+
+
+class VPNMLPMEngine:
+    """Pipelined longest-prefix-match lookups through a VPNM controller.
+
+    Entry encoding in DRAM: the line at ``node_id * max_fanout + index``
+    holds the tuple ``(next_hop | None, child_node_id | None)``.
+    ``max_fanout`` is the largest per-level fanout so every node gets a
+    disjoint address range.
+    """
+
+    def __init__(self, trie: MultibitTrie,
+                 controller: Optional[VPNMController] = None):
+        self.trie = trie
+        self.controller = controller or VPNMController(VPNMConfig())
+        self._fanout = 1 << max(trie.strides)
+        needed = trie.node_count * self._fanout
+        space = 1 << self.controller.config.address_bits
+        if needed > space:
+            raise ValueError(
+                f"trie needs {needed} lines, address space has {space}"
+            )
+        self._ready: Deque[_InFlight] = deque()
+        self._waiting: Dict[int, _InFlight] = {}  # request tag -> lookup
+        self._next_token = 0
+        self.results: List[LookupResult] = []
+        self.loaded = False
+
+    # -- table load ------------------------------------------------------
+
+    def _entry_address(self, node_id: int, index: int) -> int:
+        return node_id * self._fanout + index
+
+    def load_table(self, through_memory: bool = False) -> int:
+        """Install the trie's entries into DRAM.
+
+        ``through_memory=True`` streams every entry as a timed write
+        through the controller (slow but fully honest);  the default
+        pokes the backing store directly — table *loading* is control-
+        plane work the paper does not charge to the data path.
+        Returns the number of entries written.
+        """
+        written = 0
+        for node in self.trie._nodes:
+            for index, (next_hop, child) in enumerate(node.entries):
+                if next_hop is None and child is None:
+                    continue
+                payload = (next_hop,
+                           child.node_id if child is not None else None)
+                address = self._entry_address(node.node_id, index)
+                if through_memory:
+                    while not self.controller.step(
+                        write_request(address, payload)
+                    ).accepted:
+                        pass
+                else:
+                    mapping = self.controller.mapper.map(address)
+                    self.controller.device.banks[mapping.bank]._store[
+                        mapping.line
+                    ] = payload
+                written += 1
+        if through_memory:
+            self.controller.drain()
+        self.loaded = True
+        return written
+
+    # -- pipelined lookups ----------------------------------------------------
+
+    def submit(self, address: int, tag: object = None) -> None:
+        """Queue one address for lookup."""
+        if not self.loaded:
+            raise RuntimeError("call load_table() before submitting lookups")
+        self._ready.append(
+            _InFlight(address=address, tag=tag,
+                      issued_at=self.controller.now)
+        )
+
+    def _chunk(self, address: int, level: int) -> int:
+        consumed = sum(self.trie.strides[:level])
+        stride = self.trie.strides[level]
+        return (address >> (32 - consumed - stride)) & ((1 << stride) - 1)
+
+    def step(self) -> None:
+        """One interface cycle: issue at most one trie-level read."""
+        request = None
+        lookup = None
+        if self._ready:
+            lookup = self._ready[0]
+            token = self._next_token
+            line = self._entry_address(
+                lookup.node_id, self._chunk(lookup.address, lookup.level)
+            )
+            request = read_request(line, tag=("lpm", token))
+        result = self.controller.step(request)
+        if request is not None and result.accepted:
+            self._ready.popleft()
+            self._waiting[self._next_token] = lookup
+            self._next_token += 1
+        for reply in result.replies:
+            if isinstance(reply.tag, tuple) and reply.tag[0] == "lpm":
+                self._absorb(reply)
+
+    def _absorb(self, reply) -> None:
+        lookup = self._waiting.pop(reply.tag[1])
+        lookup.levels_visited += 1
+        next_hop, child_id = reply.data if reply.data is not None else (
+            None, None
+        )
+        if next_hop is not None:
+            lookup.best = next_hop
+        last_level = lookup.level + 1 >= len(self.trie.strides)
+        if child_id is None or last_level:
+            self.results.append(LookupResult(
+                address=lookup.address,
+                next_hop=lookup.best,
+                tag=lookup.tag,
+                issued_at=lookup.issued_at,
+                completed_at=self.controller.now,
+                levels_visited=lookup.levels_visited,
+            ))
+            return
+        lookup.level += 1
+        lookup.node_id = child_id
+        self._ready.append(lookup)
+
+    def run_until_drained(self, limit: Optional[int] = None) -> None:
+        """Step until every submitted lookup has completed."""
+        if limit is None:
+            pending = len(self._ready) + len(self._waiting)
+            per_lookup = (len(self.trie.strides)
+                          * (self.controller.config.normalized_delay + 2))
+            limit = (pending + 1) * per_lookup + 100
+        while self._ready or self._waiting:
+            if limit <= 0:
+                raise RuntimeError("LPM engine failed to drain")
+            self.step()
+            limit -= 1
+
+    def lookup_batch(self, addresses: Iterable[int]) -> List[LookupResult]:
+        """Convenience: submit, drain, and return results in input order."""
+        start = len(self.results)
+        for position, address in enumerate(addresses):
+            self.submit(address, tag=position)
+        self.run_until_drained()
+        batch = self.results[start:]
+        batch.sort(key=lambda r: r.tag)
+        return batch
+
+    def lookups_per_cycle(self) -> float:
+        """Measured throughput over the engine's lifetime."""
+        if not self.controller.now:
+            return 0.0
+        return len(self.results) / self.controller.now
+
+    def throughput_mlps(self, clock_mhz: float = 1000.0) -> float:
+        """Millions of lookups per second at a given interface clock."""
+        return self.lookups_per_cycle() * clock_mhz

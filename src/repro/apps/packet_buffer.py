@@ -1,0 +1,252 @@
+"""Packet buffering on VPNM (paper Section 5.4.1).
+
+The special-purpose schemes the paper compares against (RADS, CFDS)
+keep packet heads/tails in large SRAMs and carefully schedule DRAM banks.
+On VPNM none of that is needed: "Instead of keeping large head and tail
+SRAMs to store packets, we just need to store the head and tail pointers
+of each queue in SRAM.  On a read from a particular queue, the head
+pointer will be incremented by the packet size, whereas a write to a
+particular queue will increment the tail pointer by the packet size.
+Our universal hash hardware unit randomizes the address from these
+pointers uniformly across different banks."
+
+Layout: each of ``num_queues`` interfaces owns a circular region of
+``cells_per_queue`` 64-byte cells; the line address of slot ``s`` of
+queue ``q`` is ``q * cells_per_queue + (s mod cells_per_queue)``.  The
+controller's keyed permutation spreads those across banks regardless of
+arrival pattern — *this is the whole trick*: the buffering algorithm is
+the naive one, and the memory system makes it line-rate.
+
+Driving model: one memory request per interface cycle.  ``step()``
+advances one cycle, issuing the next pending cell operation (writes for
+arrivals, reads for departures) and assembling completed packets from
+the controller's replies, which arrive exactly D cycles after issue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.config import VPNMConfig
+from repro.core.controller import VPNMController, read_request, write_request
+from repro.workloads.packets import Packet
+
+
+@dataclass
+class DequeuedPacket:
+    """A packet fully read back out of the buffer."""
+
+    flow: int
+    serial: int
+    size: int
+    payload: bytes
+    completed_at: int    # interface cycle of the last cell reply
+
+
+@dataclass
+class _QueueState:
+    """Per-interface SRAM state: the two pointers plus packet lengths.
+
+    The length FIFO models the descriptor queue any real scheduler keeps
+    (it asks for 'the next packet of queue q', so it must know lengths);
+    it is counted in the SRAM budget by :func:`pointer_sram_bytes`.
+    """
+
+    head: int = 0            # cell index of the oldest stored cell
+    tail: int = 0            # cell index one past the newest stored cell
+    lengths: Deque[Tuple[int, int, int]] = field(default_factory=deque)
+    # (serial, size_bytes, cell_count) per stored packet
+
+
+class VPNMPacketBuffer:
+    """Per-flow packet FIFOs in DRAM behind a VPNM controller."""
+
+    def __init__(
+        self,
+        controller: Optional[VPNMController] = None,
+        num_queues: int = 4096,
+        cell_bytes: int = 64,
+        cells_per_queue: int = 4096,
+    ):
+        if num_queues < 1 or cells_per_queue < 1:
+            raise ValueError("num_queues and cells_per_queue must be >= 1")
+        self.controller = controller or VPNMController(
+            VPNMConfig(data_bytes=cell_bytes)
+        )
+        address_space = 1 << self.controller.config.address_bits
+        if num_queues * cells_per_queue > address_space:
+            raise ValueError(
+                f"{num_queues} queues x {cells_per_queue} cells exceeds the "
+                f"{self.controller.config.address_bits}-bit line address space"
+            )
+        self.num_queues = num_queues
+        self.cell_bytes = cell_bytes
+        self.cells_per_queue = cells_per_queue
+        self._queues: Dict[int, _QueueState] = {}
+        self._pending_ops: Deque = deque()
+        self._reassembly: Dict[int, dict] = {}  # read tag -> partial packet
+        self._next_read_token = 0
+        self.completed: List[DequeuedPacket] = []
+        self.enqueued_packets = 0
+        self.dequeued_packets = 0
+        self.dropped_full = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    def _state(self, queue: int) -> _QueueState:
+        if not 0 <= queue < self.num_queues:
+            raise ValueError(f"queue {queue} out of range")
+        return self._queues.setdefault(queue, _QueueState())
+
+    def _cell_address(self, queue: int, slot: int) -> int:
+        return queue * self.cells_per_queue + slot % self.cells_per_queue
+
+    def _cells_for(self, size_bytes: int) -> int:
+        return -(-size_bytes // self.cell_bytes)  # ceil division
+
+    def occupancy_cells(self, queue: int) -> int:
+        state = self._state(queue)
+        return state.tail - state.head
+
+    # -- submissions --------------------------------------------------------
+
+    def submit_arrival(self, packet: Packet, payload: bytes = None) -> bool:
+        """Queue a packet's cells for writing; False if the queue is full.
+
+        ``payload`` defaults to a serial-stamped filler so data integrity
+        is checkable end to end.
+        """
+        state = self._state(packet.flow)
+        cells = self._cells_for(packet.size)
+        if state.tail - state.head + cells > self.cells_per_queue:
+            self.dropped_full += 1
+            return False
+        if payload is None:
+            payload = self._synthesize_payload(packet)
+        for index in range(cells):
+            address = self._cell_address(packet.flow, state.tail + index)
+            chunk = payload[index * self.cell_bytes:
+                            (index + 1) * self.cell_bytes]
+            self._pending_ops.append(("write", address, chunk))
+        state.tail += cells
+        state.lengths.append((packet.serial, packet.size, cells))
+        self.enqueued_packets += 1
+        return True
+
+    def submit_departure(self, queue: int) -> bool:
+        """Queue reads for the oldest packet of ``queue``; False if empty."""
+        state = self._state(queue)
+        if not state.lengths:
+            return False
+        serial, size, cells = state.lengths.popleft()
+        token = self._next_read_token
+        self._next_read_token += 1
+        self._reassembly[token] = {
+            "flow": queue, "serial": serial, "size": size,
+            "cells_left": cells, "chunks": [None] * cells,
+        }
+        for index in range(cells):
+            address = self._cell_address(queue, state.head + index)
+            self._pending_ops.append(("read", address, (token, index)))
+        state.head += cells
+        self.dequeued_packets += 1
+        return True
+
+    def _synthesize_payload(self, packet: Packet) -> bytes:
+        if packet.payload:
+            return packet.payload.ljust(packet.size, b"\0")[:packet.size]
+        stamp = f"pkt:{packet.serial}:flow:{packet.flow};".encode()
+        repeats = -(-packet.size // len(stamp))
+        return (stamp * repeats)[:packet.size]
+
+    # -- the cycle engine ------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Cell operations still waiting for their interface cycle."""
+        return len(self._pending_ops)
+
+    def step(self) -> None:
+        """One interface cycle: issue at most one cell op, absorb replies."""
+        if self._pending_ops:
+            kind, address, extra = self._pending_ops[0]
+            if kind == "write":
+                result = self.controller.step(write_request(address, extra))
+            else:
+                result = self.controller.step(
+                    read_request(address, tag=extra)
+                )
+            if result.accepted:
+                self._pending_ops.popleft()
+            # On a stall the op is retried next cycle (the interface
+            # simply slips — the paper's 'stall the controller' policy).
+        else:
+            result = self.controller.step()
+        for reply in result.replies:
+            self._absorb(reply)
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self) -> None:
+        """Run until all pending ops are issued and all replies received."""
+        guard = (self.backlog * 10
+                 + 20 * self.controller.config.normalized_delay)
+        while self._pending_ops or self._reassembly:
+            if guard <= 0:
+                raise RuntimeError("packet buffer failed to drain")
+            self.step()
+            guard -= 1
+
+    def _absorb(self, reply) -> None:
+        token, index = reply.tag
+        partial = self._reassembly[token]
+        partial["chunks"][index] = reply.data if reply.data is not None else (
+            b"\0" * self.cell_bytes
+        )
+        partial["cells_left"] -= 1
+        if partial["cells_left"] == 0:
+            del self._reassembly[token]
+            payload = b"".join(partial["chunks"])[:partial["size"]]
+            self.completed.append(
+                DequeuedPacket(
+                    flow=partial["flow"],
+                    serial=partial["serial"],
+                    size=partial["size"],
+                    payload=payload,
+                    completed_at=reply.completed_at,
+                )
+            )
+
+    # -- accounting -------------------------------------------------------------
+
+    def pointer_sram_bytes(self) -> int:
+        """SRAM bytes for the per-queue head/tail pointers.
+
+        Two pointers of ``log2(num_queues * cells_per_queue)`` bits per
+        queue — the paper's "4096 [queues] with an SRAM size of 32 KB"
+        corresponds to 2 x 32-bit pointers per queue.
+        """
+        pointer_bits = max(
+            1, (self.num_queues * self.cells_per_queue - 1).bit_length()
+        )
+        total_bits = self.num_queues * 2 * pointer_bits
+        return -(-total_bits // 8)
+
+    def line_rate_gbps(self, interface_clock_mhz: float = 1000.0,
+                       accesses_per_packet: int = 2,
+                       packet_bytes: int = None) -> float:
+        """Sustainable line rate: one memory request per interface cycle.
+
+        Each buffered packet costs one write and one read of each of its
+        cells; with ``packet_bytes`` omitted, a full-cell packet is
+        assumed (the paper's 64-byte granularity, as in CFDS).
+        """
+        packet_bytes = packet_bytes or self.cell_bytes
+        cells = self._cells_for(packet_bytes)
+        cycles_per_packet = cells * accesses_per_packet
+        packets_per_second = interface_clock_mhz * 1e6 / cycles_per_packet
+        return packets_per_second * packet_bytes * 8 / 1e9

@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+simulate   drive a workload through the cycle-level controller
+analyze    Section 5 MTS analysis for one configuration
+validate   fast simulation vs analytical MTS cross-check
+sweep      design-space sweep with Pareto frontier (Figure 7 style)
+table2     the paper's Table 2 design ladder, from our models
+table3     the paper's Table 3 packet-buffering comparison
+
+Examples::
+
+    python -m repro simulate --workload stride --stride 32 --cycles 2000
+    python -m repro analyze --banks 32 --queue-depth 48 --delay-rows 96
+    python -m repro sweep --budget 35
+    python -m repro table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis.combine import (
+    combined_mts,
+    mts_to_human,
+)
+from repro.analysis.delay_buffer_stall import delay_buffer_mts
+from repro.analysis.markov import bank_queue_mts
+from repro.core.config import VPNMConfig
+from repro.core.controller import VPNMController
+from repro.core.exceptions import ConfigurationError
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("configuration (paper Table 1)")
+    group.add_argument("--banks", "-B", type=int, default=32,
+                       help="number of banks B (default 32)")
+    group.add_argument("--bank-latency", "-L", type=int, default=20,
+                       help="bank access latency L in bus cycles (default 20)")
+    group.add_argument("--queue-depth", "-Q", type=int, default=8,
+                       help="bank access queue entries Q (default 8)")
+    group.add_argument("--delay-rows", "-K", type=int, default=32,
+                       help="delay storage buffer rows K (default 32)")
+    group.add_argument("--ratio", "-R", type=float, default=1.3,
+                       help="bus scaling ratio R (default 1.3)")
+    group.add_argument("--delay-mode", choices=["conservative", "scaled"],
+                       default="conservative",
+                       help="how D is derived (default conservative, D=L*Q)")
+
+
+def _config_from(args: argparse.Namespace) -> VPNMConfig:
+    return VPNMConfig(
+        banks=args.banks,
+        bank_latency=args.bank_latency,
+        queue_depth=args.queue_depth,
+        delay_rows=args.delay_rows,
+        bus_scaling=args.ratio,
+        hash_latency=0,
+        delay_mode=args.delay_mode,
+        stall_policy="drop",
+    )
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.runner import run_workload
+    from repro.workloads.generators import (
+        stride_reads,
+        uniform_reads,
+        zipf_reads,
+    )
+
+    config = _config_from(args)
+    controller = VPNMController(config, seed=args.seed)
+    if args.workload == "uniform":
+        workload = uniform_reads(count=args.cycles, seed=args.seed)
+    elif args.workload == "stride":
+        workload = stride_reads(stride=args.stride, count=args.cycles)
+    elif args.workload == "zipf":
+        workload = zipf_reads(count=args.cycles, seed=args.seed)
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.workload)
+
+    result = run_workload(controller, workload)
+    print(f"config: B={config.banks} L={config.bank_latency} "
+          f"Q={config.queue_depth} K={config.delay_rows} "
+          f"R={config.bus_scaling} D={config.normalized_delay}")
+    print(f"workload: {args.workload} x {args.cycles}")
+    print(controller.stats.summary())
+    print(f"bus utilization:   {controller.bus.utilization:.1%}")
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    buffer_mts = delay_buffer_mts(config.delay_rows, config.normalized_delay,
+                                  config.banks)
+    queue_mts = bank_queue_mts(config.banks, config.bank_latency,
+                               config.queue_depth, config.bus_scaling,
+                               scope="system")
+    total = combined_mts(buffer_mts, queue_mts)
+
+    def show(value: float) -> str:
+        if value == math.inf:
+            return ">1e15 (beyond numerical resolution)"
+        return f"{value:.3e} cycles ({mts_to_human(value, args.clock)})"
+
+    print(f"config: B={config.banks} L={config.bank_latency} "
+          f"Q={config.queue_depth} K={config.delay_rows} "
+          f"R={config.bus_scaling} D={config.normalized_delay}")
+    print(f"normalized delay:        {config.delay_ns(args.clock):.0f} ns "
+          f"at {args.clock:.0f} MHz")
+    print(f"delay-storage MTS:       {show(buffer_mts)}")
+    print(f"bank-queue MTS (system): {show(queue_mts)}")
+    print(f"combined system MTS:     {show(total)}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.hardware.sweep import design_sweep, pareto_by_ratio
+
+    points = design_sweep(ratios=tuple(args.ratios))
+    frontiers = pareto_by_ratio(points)
+    for ratio, frontier in frontiers.items():
+        print(f"R = {ratio}")
+        for point in frontier:
+            if args.budget and point.area_mm2 > args.budget:
+                continue
+            mts = (">1e15" if point.mts_cycles == math.inf
+                   else f"{point.mts_cycles:.2e}")
+            print(f"  B={point.banks:<3} Q={point.queue_depth:<3} "
+                  f"K={point.delay_rows:<4} {point.area_mm2:6.1f} mm2 -> "
+                  f"MTS {mts}")
+    if args.budget:
+        eligible = [p for p in points if p.area_mm2 <= args.budget]
+        if eligible:
+            best = max(eligible, key=lambda p: p.mts_cycles)
+            print(f"\nbest under {args.budget:.0f} mm2: "
+                  f"B={best.banks} Q={best.queue_depth} K={best.delay_rows} "
+                  f"R={best.bus_scaling} ({best.area_mm2:.1f} mm2, "
+                  f"{best.energy_nj:.1f} nJ/access)")
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    """Quick simulation-vs-analysis cross-check for a configuration."""
+    from repro.sim.fastsim import FastStallSimulator
+
+    config = _config_from(args)
+    simulator = FastStallSimulator(config, seed=args.seed)
+    result = simulator.run(args.cycles)
+    buffer_mts = delay_buffer_mts(config.delay_rows, config.normalized_delay,
+                                  config.banks)
+    queue_mts = bank_queue_mts(config.banks, config.bank_latency,
+                               config.queue_depth, config.bus_scaling,
+                               kind="mean", scope="system")
+    predicted = combined_mts(buffer_mts, queue_mts)
+
+    print(f"config: B={config.banks} L={config.bank_latency} "
+          f"Q={config.queue_depth} K={config.delay_rows} "
+          f"R={config.bus_scaling}")
+    print(f"simulated: {result.stalls} stalls in {result.cycles} cycles "
+          f"({result.delay_storage_stalls} delay-storage, "
+          f"{result.bank_queue_stalls} bank-queue)")
+    if result.empirical_mts is not None:
+        print(f"empirical MTS:  {result.empirical_mts:.3e} cycles")
+    else:
+        print("empirical MTS:  no stalls observed (run longer, or this "
+              "configuration's MTS exceeds the simulated horizon)")
+    if predicted == math.inf:
+        print("analytical MTS: >1e15 (beyond numerical resolution)")
+    else:
+        print(f"analytical MTS: {predicted:.3e} cycles")
+    if result.empirical_mts is not None and predicted != math.inf:
+        print(f"ratio (sim/analysis): {result.empirical_mts / predicted:.2f}")
+    return 0
+
+
+def _command_table2(args: argparse.Namespace) -> int:
+    from repro.hardware.sweep import table2_points
+
+    print(f"{'R':>4} {'B':>3} {'Q':>3} {'K':>4} {'area mm2':>9} "
+          f"{'MTS cycles':>11} {'nJ':>6}")
+    for point in table2_points():
+        print(f"{point.bus_scaling:>4} {point.banks:>3} "
+              f"{point.queue_depth:>3} {point.delay_rows:>4} "
+              f"{point.area_mm2:>9.1f} {point.mts_cycles:>11.2e} "
+              f"{point.energy_nj:>6.2f}")
+    return 0
+
+
+def _command_table3(args: argparse.Namespace) -> int:
+    from repro.apps.comparison import render_table3
+
+    print(render_table3())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Virtually Pipelined Network Memory (MICRO 2006) tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="drive a workload through the controller")
+    _add_config_arguments(simulate)
+    simulate.add_argument("--workload", choices=["uniform", "stride", "zipf"],
+                          default="uniform")
+    simulate.add_argument("--stride", type=int, default=32,
+                          help="stride for the stride workload")
+    simulate.add_argument("--cycles", type=int, default=10_000,
+                          help="requests to issue (default 10000)")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=_command_simulate)
+
+    analyze = commands.add_parser(
+        "analyze", help="Section 5 MTS analysis for a configuration")
+    _add_config_arguments(analyze)
+    analyze.add_argument("--clock", type=float, default=1000.0,
+                         help="interface clock in MHz (default 1000)")
+    analyze.set_defaults(handler=_command_analyze)
+
+    validate = commands.add_parser(
+        "validate", help="fast simulation vs analytical MTS cross-check")
+    _add_config_arguments(validate)
+    validate.add_argument("--cycles", type=int, default=1_000_000)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(handler=_command_validate)
+
+    sweep = commands.add_parser(
+        "sweep", help="design-space sweep with Pareto frontiers")
+    sweep.add_argument("--ratios", type=float, nargs="+",
+                       default=[1.0, 1.3, 1.5])
+    sweep.add_argument("--budget", type=float, default=None,
+                       help="area budget in mm2 for a recommendation")
+    sweep.set_defaults(handler=_command_sweep)
+
+    table2 = commands.add_parser(
+        "table2", help="the paper's Table 2 from our models")
+    table2.set_defaults(handler=_command_table2)
+
+    table3 = commands.add_parser(
+        "table3", help="the paper's Table 3 comparison")
+    table3.set_defaults(handler=_command_table3)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ConfigurationError as error:
+        print(f"configuration error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

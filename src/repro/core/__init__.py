@@ -1,0 +1,69 @@
+"""The VPNM controller — the paper's primary contribution.
+
+Quick start::
+
+    from repro.core import VPNMConfig, VPNMController
+
+    ctrl = VPNMController(VPNMConfig(banks=32, queue_depth=8))
+    result = ctrl.read(0xDEAD)       # one interface cycle
+    replies = ctrl.run_idle(ctrl.normalized_delay)
+    assert replies[0].latency == ctrl.normalized_delay
+"""
+
+from repro.core.bank_controller import AcceptResult, BankController
+from repro.core.bank_queue import BankAccessQueue, QueueEntry
+from repro.core.bus import BusScheduler
+from repro.core.config import PAPER_DESIGN_LADDER, VPNMConfig, paper_config
+from repro.core.controller import (
+    StepResult,
+    VPNMController,
+    read_request,
+    write_request,
+)
+from repro.core.delay_line import CircularDelayBuffer
+from repro.core.delay_storage import DelayStorageBuffer
+from repro.core.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    SchedulingInvariantError,
+    UnknownRequestError,
+    VPNMError,
+)
+from repro.core.request import (
+    MemoryRequest,
+    Operation,
+    Reply,
+    RequestState,
+    StallEvent,
+)
+from repro.core.stats import ControllerStats
+from repro.core.write_buffer import WriteBuffer
+
+__all__ = [
+    "AcceptResult",
+    "BankAccessQueue",
+    "BankController",
+    "BusScheduler",
+    "CapacityError",
+    "CircularDelayBuffer",
+    "ConfigurationError",
+    "ControllerStats",
+    "DelayStorageBuffer",
+    "MemoryRequest",
+    "Operation",
+    "PAPER_DESIGN_LADDER",
+    "QueueEntry",
+    "Reply",
+    "RequestState",
+    "SchedulingInvariantError",
+    "StallEvent",
+    "StepResult",
+    "UnknownRequestError",
+    "VPNMConfig",
+    "VPNMController",
+    "VPNMError",
+    "WriteBuffer",
+    "paper_config",
+    "read_request",
+    "write_request",
+]

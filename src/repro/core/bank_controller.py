@@ -1,0 +1,153 @@
+"""One bank's controller (paper Section 4.1–4.2, Figure 3).
+
+Each bank controller owns a delay storage buffer, a bank access queue and
+a write buffer, and pushes commands to its DRAM bank when the bus
+scheduler grants it a memory-bus slot.  The controllers are fully
+decoupled: "If each memory bank has its own controller, there is exactly
+one request per cycle, and each controller ensures that the result of a
+request is returned exactly D cycles later, then there is no need to
+coordinate between the controllers."
+
+Acceptance logic (Section 4.2, verbatim behaviour):
+
+* read, CAM hit             → counter++, reply scheduled (merged; no bank
+                              access — the "short-cut" of Figure 1);
+* read, CAM miss            → allocate row via first-zero, counter := 1,
+                              push (READ, row) to the bank access queue;
+* read, no free row         → **delay storage buffer stall**;
+* read, CAM hit saturated   → **delay storage buffer stall** (the C-bit
+                              counter cannot count another requester and a
+                              duplicate row would corrupt the CAM);
+* write                     → push to write buffer + (WRITE) queue entry;
+                              CAM hit additionally clears the row's
+                              address-valid flag so new reads re-fetch;
+* write, write buffer full  → **write buffer stall**;
+* either, queue full        → **bank request queue stall**.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Optional
+
+from repro.core.bank_queue import BankAccessQueue
+from repro.core.config import VPNMConfig
+from repro.core.delay_storage import ConsumeResult, DelayStorageBuffer
+from repro.core.request import Operation
+from repro.core.write_buffer import WriteBuffer
+from repro.dram.device import DRAMDevice
+
+
+class AcceptResult(NamedTuple):
+    """Outcome of offering one request to a bank controller."""
+
+    accepted: bool
+    merged: bool = False
+    row_id: Optional[int] = None
+    stall_reason: Optional[str] = None
+
+    @classmethod
+    def stall(cls, reason: str) -> "AcceptResult":
+        return cls(accepted=False, stall_reason=reason)
+
+
+class BankController:
+    """Decoupled per-bank request controller."""
+
+    def __init__(self, index: int, config: VPNMConfig, counter_bits: int):
+        self.index = index
+        self.config = config
+        self.delay_storage = DelayStorageBuffer(
+            rows=config.delay_rows, counter_bits=counter_bits
+        )
+        self.access_queue = BankAccessQueue(depth=config.queue_depth)
+        self.write_buffer = WriteBuffer(depth=config.write_buffer_depth)
+        self.accesses_issued = 0
+
+    # -- interface side --------------------------------------------------
+
+    def _queue_has_room(self, bank_busy: bool) -> bool:
+        """Whether one more request fits within Q *overlapping* requests.
+
+        The paper defines Q as "the maximum number of overlapping
+        requests that can be handled" (Figure 1: Q = D/L), so an access
+        currently occupying the DRAM bank still holds its slot: only
+        with that accounting does the normalized delay D = L*Q cover the
+        worst legal backlog (Q-1 requests ahead plus our own access).
+        """
+        occupied = len(self.access_queue) + (1 if bank_busy else 0)
+        return occupied < self.access_queue.depth
+
+    def try_accept_read(self, line: int,
+                        bank_busy: bool = False) -> AcceptResult:
+        """Offer a read for DRAM line ``line`` (already bank-mapped).
+
+        ``bank_busy`` says whether the DRAM bank is mid-access at this
+        instant (the in-service request counts against Q — see
+        :meth:`_queue_has_room`).
+        """
+        merging = self.config.merge_reads
+        if merging:
+            row_id = self.delay_storage.lookup(line)
+            if row_id is not None:
+                if not self.delay_storage.can_reference(row_id):
+                    return AcceptResult.stall("delay_storage")
+                self.delay_storage.add_reference(row_id)
+                return AcceptResult(accepted=True, merged=True,
+                                    row_id=row_id)
+        if self.delay_storage.is_full:
+            return AcceptResult.stall("delay_storage")
+        if not self._queue_has_room(bank_busy):
+            return AcceptResult.stall("bank_queue")
+        row_id = self.delay_storage.allocate(line, cam_visible=merging)
+        self.access_queue.push_read(row_id)
+        return AcceptResult(accepted=True, merged=False, row_id=row_id)
+
+    def try_accept_write(self, line: int, data: Any,
+                         bank_busy: bool = False) -> AcceptResult:
+        """Offer a write; queues it and shadows any mergeable read row."""
+        if self.write_buffer.is_full:
+            return AcceptResult.stall("write_buffer")
+        if not self._queue_has_room(bank_busy):
+            return AcceptResult.stall("bank_queue")
+        self.write_buffer.push(line, data)
+        self.access_queue.push_write()
+        # A valid row for this address must stop matching new reads: they
+        # are ordered after this write and must see the new data.
+        self.delay_storage.invalidate_address(line)
+        return AcceptResult(accepted=True)
+
+    # -- memory side -------------------------------------------------------
+
+    def has_work(self) -> bool:
+        """Whether a command is waiting for a memory-bus slot."""
+        return not self.access_queue.is_empty
+
+    def issue_next(self, device: DRAMDevice, mem_now: int) -> None:
+        """Issue the queue head to the DRAM bank at memory cycle ``mem_now``.
+
+        The caller (bus scheduler) guarantees the bank is free and the
+        bus slot is ours; the device re-checks both.
+        """
+        entry = self.access_queue.pop()
+        if entry.operation is Operation.READ:
+            line = self.delay_storage.address_of(entry.row_id)
+            access = device.read(self.index, line, mem_now)
+            self.delay_storage.fill(entry.row_id, access.data, access.ready_at)
+        else:
+            write = self.write_buffer.pop()
+            device.write(self.index, write.line, write.data, mem_now)
+        self.accesses_issued += 1
+
+    def deliver(self, row_id: int, mem_now: int) -> ConsumeResult:
+        """Hand one due reply to the interface (state: waiting→completed)."""
+        return self.delay_storage.consume(row_id, mem_now)
+
+    # -- observability ----------------------------------------------------
+
+    def occupancy(self) -> dict:
+        """Current fill levels, for stats and tests."""
+        return {
+            "delay_rows": self.delay_storage.rows_used,
+            "queue": len(self.access_queue),
+            "write_buffer": len(self.write_buffer),
+        }

@@ -1,0 +1,75 @@
+"""The Bank Access Queue (paper Figure 3, right block).
+
+"The bank access queue keeps track of all pending read and write requests
+that require access to the memory bank.  It can store up to Q interleaved
+read or write requests in FIFO order.  To avoid keeping Q copies of the
+address and data, each entry is just the index of a target row in the
+delay storage buffer" (plus a one-bit read/write flag; write entries leave
+the row id unused because the write buffer is drained in FIFO order).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, NamedTuple, Optional
+
+from repro.core.exceptions import CapacityError
+from repro.core.request import Operation
+
+
+class QueueEntry(NamedTuple):
+    """One bank-access-queue slot: r/w bit plus a delay-storage row id."""
+
+    operation: Operation
+    row_id: Optional[int]  # None for writes (write buffer is FIFO-matched)
+
+
+class BankAccessQueue:
+    """Q-entry FIFO of pending bank commands for one bank."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("depth (Q) must be >= 1")
+        self.depth = depth
+        self._entries: Deque[QueueEntry] = deque()
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push_read(self, row_id: int) -> None:
+        """Queue a read command targeting a delay-storage row."""
+        self._push(QueueEntry(Operation.READ, row_id))
+
+    def push_write(self) -> None:
+        """Queue a write command (data comes from the write buffer FIFO)."""
+        self._push(QueueEntry(Operation.WRITE, None))
+
+    def _push(self, entry: QueueEntry) -> None:
+        if self.is_full:
+            raise CapacityError(
+                f"bank access queue overflow (Q={self.depth}); the "
+                "controller must stall instead of pushing"
+            )
+        self._entries.append(entry)
+        self.high_water = max(self.high_water, len(self._entries))
+
+    def peek(self) -> QueueEntry:
+        """The next command to issue, without removing it."""
+        if not self._entries:
+            raise IndexError("bank access queue is empty")
+        return self._entries[0]
+
+    def pop(self) -> QueueEntry:
+        """Dequeue the next command for issue to the DRAM bank."""
+        if not self._entries:
+            raise IndexError("bank access queue is empty")
+        return self._entries.popleft()

@@ -1,0 +1,143 @@
+"""Memory-bus scheduling (paper Section 4, Figure 2).
+
+One bus connects all bank controllers to the DRAM banks.  It runs a
+factor ``R`` (the *bus scaling ratio*) faster than the interface clock:
+"The value of R is chosen slightly higher than 1 to provide slightly
+higher access rate on the memory side compared to the interface side.
+This mismatch ensures that idle slots in the schedule do not accumulate
+slowly over time."
+
+Clock-domain bookkeeping is exact: ``R`` is held as a rational
+``num/den`` so the number of memory-bus slots available by the end of
+interface cycle ``t`` is ``floor((t+1) * num / den)`` with no float
+drift.
+
+Two arbitration modes:
+
+* ``skip_idle_slots=True`` (default) — work-conserving round robin over
+  the banks that actually have a pending, issueable command.  This is
+  the paper's "with further analysis or a split-bus architecture this
+  inefficiency can be eliminated" case, and it is the service model the
+  Section 5.2 Markov analysis assumes (a backlogged bank drains one
+  access per L memory cycles).
+* ``skip_idle_slots=False`` — strict round robin: slot ``m`` belongs to
+  bank ``m mod B`` and idles if that bank has nothing to issue or is
+  busy.  Used by the ablation benches to show the cost of naive
+  arbitration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+from typing import Deque, List
+
+from repro.core.bank_controller import BankController
+from repro.core.config import VPNMConfig
+from repro.dram.device import DRAMDevice
+
+
+class BusScheduler:
+    """Grants memory-bus slots to bank controllers."""
+
+    def __init__(self, config: VPNMConfig, device: DRAMDevice,
+                 banks: List[BankController]):
+        self.config = config
+        self.device = device
+        self.banks = banks
+        ratio = Fraction(config.bus_scaling).limit_denominator(1_000)
+        self._num = ratio.numerator
+        self._den = ratio.denominator
+        self._slots_consumed = 0
+        self._strict_pointer = 0
+        self._ready: Deque[int] = deque()
+        self._enqueued = [False] * len(banks)
+        self.slots_idled = 0
+        self.slots_used = 0
+
+    # -- clock domain -----------------------------------------------------
+
+    def slots_by_end_of(self, interface_cycle: int) -> int:
+        """Memory-bus slots available once interface cycle ``t`` finishes."""
+        return (interface_cycle + 1) * self._num // self._den
+
+    def memory_now(self, interface_cycle: int) -> int:
+        """Memory-bus time corresponding to the end of interface cycle t.
+
+        Used for data-readiness checks at reply delivery.
+        """
+        return self.slots_by_end_of(interface_cycle)
+
+    @property
+    def slots_consumed(self) -> int:
+        """Memory-bus slots already arbitrated (current memory time)."""
+        return self._slots_consumed
+
+    # -- work tracking ------------------------------------------------------
+
+    def notify_work(self, bank_index: int) -> None:
+        """A command entered ``bank_index``'s access queue."""
+        if not self._enqueued[bank_index]:
+            self._enqueued[bank_index] = True
+            self._ready.append(bank_index)
+
+    # -- arbitration ---------------------------------------------------------
+
+    def run_cycle(self, interface_cycle: int) -> int:
+        """Issue commands for every memory slot of one interface cycle.
+
+        Returns the number of commands issued.
+        """
+        target = self.slots_by_end_of(interface_cycle)
+        issued = 0
+        while self._slots_consumed < target:
+            slot = self._slots_consumed
+            self._slots_consumed += 1
+            if self._grant(slot):
+                issued += 1
+                self.slots_used += 1
+            else:
+                self.slots_idled += 1
+        return issued
+
+    def _grant(self, slot: int) -> bool:
+        if self.config.skip_idle_slots:
+            return self._grant_work_conserving(slot)
+        return self._grant_strict(slot)
+
+    def _grant_strict(self, slot: int) -> bool:
+        bank_index = slot % len(self.banks)
+        bank = self.banks[bank_index]
+        if bank.has_work() and self.device.bank_available(bank_index, slot):
+            bank.issue_next(self.device, slot)
+            return True
+        return False
+
+    def _grant_work_conserving(self, slot: int) -> bool:
+        # Rotate through the ready list once, looking for a bank whose
+        # DRAM bank is free at this slot.  Busy banks go to the tail so
+        # the scan terminates; fairness among simultaneously-ready banks
+        # is round-robin by construction of the deque.
+        for _ in range(len(self._ready)):
+            bank_index = self._ready.popleft()
+            bank = self.banks[bank_index]
+            if not bank.has_work():
+                self._enqueued[bank_index] = False
+                continue
+            if self.device.bank_available(bank_index, slot):
+                bank.issue_next(self.device, slot)
+                if bank.has_work():
+                    self._ready.append(bank_index)
+                else:
+                    self._enqueued[bank_index] = False
+                return True
+            self._ready.append(bank_index)
+        return False
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed memory slots that carried a command."""
+        total = self.slots_used + self.slots_idled
+        return self.slots_used / total if total else 0.0

@@ -1,0 +1,367 @@
+"""The virtually pipelined memory controller (paper Figure 2).
+
+:class:`VPNMController` glues the pieces together: the universal hash
+engine (HU) randomizes each address to a (bank, line) pair, the request
+is offered to that bank's controller, and a shared circular delay line
+triggers the reply exactly ``D`` interface cycles after acceptance.  A
+bus scheduler drains the bank access queues onto the DRAM device at the
+scaled memory-bus rate ``R``.
+
+Driving model — one call per interface cycle::
+
+    ctrl = VPNMController(VPNMConfig(banks=32))
+    result = ctrl.step(read_request(0xABCD, tag="pkt-17"))
+    # result.accepted      — False means the controller stalled this cycle
+    # result.replies       — reads completing *this* cycle (issued D ago)
+
+Every accepted read's reply arrives with ``latency == config.normalized_delay``
+— that equality is the virtual-pipeline contract, and the controller
+verifies the data actually came back from DRAM in time (a violation
+increments ``stats.late_replies``; it is asserted zero across the test
+suite).
+
+Modeling notes
+--------------
+* The paper's hash unit is a pipeline in front of the bank controllers;
+  a constant pipeline shift applied to *every* request does not change
+  queue dynamics, so we apply the hash combinationally and fold its
+  ``hash_latency`` into ``D`` (the paper makes the same argument in
+  Section 3.4).
+* The paper gives each bank controller its own circular delay buffer.
+  Since the interface accepts at most one read per cycle, at most one of
+  those B buffers is written per cycle; the union of their occupied
+  slots is exactly one ring of D slots carrying (bank, row) pairs, which
+  is what we model (the hardware model still accounts for per-bank
+  buffers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, NamedTuple, Optional
+
+from repro.core.bank_controller import BankController
+from repro.core.bus import BusScheduler
+from repro.core.config import VPNMConfig
+from repro.core.delay_line import CircularDelayBuffer
+from repro.core.exceptions import SchedulingInvariantError, VPNMError
+from repro.core.request import (
+    MemoryRequest,
+    Operation,
+    Reply,
+    RequestState,
+    StallEvent,
+)
+from repro.core.stats import ControllerStats
+from repro.dram.device import DRAMDevice
+from repro.dram.timing import DRAMTiming
+from repro.hashing.mapping import AddressMapper
+
+
+def read_request(address: int, tag: Any = None) -> MemoryRequest:
+    """Convenience constructor for a read request."""
+    return MemoryRequest(operation=Operation.READ, address=address, tag=tag)
+
+
+def write_request(address: int, data: Any, tag: Any = None) -> MemoryRequest:
+    """Convenience constructor for a write request."""
+    return MemoryRequest(
+        operation=Operation.WRITE, address=address, data=data, tag=tag
+    )
+
+
+class StepResult(NamedTuple):
+    """What one interface cycle produced."""
+
+    cycle: int
+    accepted: bool
+    stall: Optional[StallEvent]
+    replies: List[Reply]
+
+
+class _RingEntry(NamedTuple):
+    bank: int
+    row_id: int
+    request: MemoryRequest
+
+
+class VPNMController:
+    """A virtually pipelined network memory controller."""
+
+    def __init__(
+        self,
+        config: VPNMConfig = None,
+        seed: Optional[int] = 0,
+        interface_clock_mhz: float = 1000.0,
+        refresh: Optional[tuple] = None,
+    ):
+        """``refresh=(interval, cycles)`` enables the DRAM refresh model
+        (extension — the paper ignores refresh): every ``interval``
+        memory-bus cycles each bank refuses new accesses for ``cycles``
+        cycles, staggered across banks.  Refresh steals bank time the
+        D = L*Q sizing does not account for, so it can produce late
+        replies under load; the ablation bench quantifies the required
+        padding."""
+        self.config = config or VPNMConfig()
+        self.interface_clock_mhz = interface_clock_mhz
+        self.mapper = AddressMapper(
+            address_bits=self.config.address_bits,
+            banks=self.config.banks,
+            scheme=self.config.hash_scheme,
+            seed=seed,
+        )
+        timing = DRAMTiming(
+            name=f"vpnm-{self.config.banks}x",
+            banks=self.config.banks,
+            access_cycles=self.config.bank_latency,
+            clock_mhz=interface_clock_mhz * self.config.bus_scaling,
+            refresh_interval=refresh[0] if refresh else None,
+            refresh_cycles=refresh[1] if refresh else 0,
+        )
+        self.device = DRAMDevice(timing)
+        self.banks = [
+            BankController(i, self.config, self.config.counter_bits)
+            for i in range(self.config.banks)
+        ]
+        self.bus = BusScheduler(self.config, self.device, self.banks)
+        self._ring = CircularDelayBuffer(self.config.normalized_delay)
+        self.now = 0
+        self.stats = ControllerStats()
+
+    # -- main loop ---------------------------------------------------------
+
+    def step(self, request: Optional[MemoryRequest] = None) -> StepResult:
+        """Advance one interface cycle, optionally offering one request."""
+        cycle = self.now
+        accepted = False
+        stall: Optional[StallEvent] = None
+        ring_payload: Optional[_RingEntry] = None
+
+        if request is not None:
+            accepted, stall, ring_payload = self._accept(request, cycle)
+
+        due = self._ring.advance(ring_payload)
+        replies: List[Reply] = []
+        if due is not None:
+            replies.append(self._deliver(due, cycle))
+
+        self.bus.run_cycle(cycle)
+
+        self.now += 1
+        self.stats.cycles = self.now
+        return StepResult(cycle=cycle, accepted=accepted, stall=stall,
+                          replies=replies)
+
+    def run_idle(self, cycles: int) -> List[Reply]:
+        """Advance ``cycles`` request-less cycles; collects any replies."""
+        replies: List[Reply] = []
+        for _ in range(cycles):
+            replies.extend(self.step().replies)
+        return replies
+
+    def drain(self) -> List[Reply]:
+        """Run until every reply is delivered and every queue is empty."""
+        replies: List[Reply] = []
+        # Bound: one ring revolution per remaining reply wave plus enough
+        # strict-round-robin slots for every queued command; generous by
+        # construction, so hitting it means a genuine livelock bug.
+        queued = sum(len(b.access_queue) for b in self.banks)
+        limit = (
+            self.config.normalized_delay + 1
+            + (queued + 1) * max(self.config.bank_latency, self.config.banks)
+        )
+        for _ in range(limit):
+            replies.extend(self.step().replies)
+            if self._ring.pending() == 0 and not any(
+                b.has_work() for b in self.banks
+            ):
+                break
+        else:
+            raise VPNMError("controller failed to drain (livelock?)")
+        return replies
+
+    # -- acceptance path -----------------------------------------------------
+
+    def _accept(self, request: MemoryRequest, cycle: int):
+        mapping = self.mapper.map(request.address)
+        bank = self.banks[mapping.bank]
+        # The in-service access still occupies its Q slot (see
+        # BankController._queue_has_room); "busy now" is judged at the
+        # memory-bus slots already consumed (this cycle's slots run
+        # after acceptance).
+        bank_busy = (
+            self.device.bank_free_at(mapping.bank)
+            > self.bus.slots_consumed
+        )
+        if request.is_read:
+            result = bank.try_accept_read(mapping.line, bank_busy=bank_busy)
+        else:
+            result = bank.try_accept_write(mapping.line, request.data,
+                                           bank_busy=bank_busy)
+
+        if not result.accepted:
+            request.state = RequestState.STALLED
+            stall = StallEvent(
+                cycle=cycle,
+                bank=mapping.bank,
+                reason=result.stall_reason,
+                request_id=request.request_id,
+            )
+            self.stats.record_stall(cycle, result.stall_reason)
+            if self.config.stall_policy == "drop":
+                self.stats.dropped_requests += 1
+            return False, stall, None
+
+        request.issued_at = cycle
+        request.state = RequestState.PENDING
+        ring_payload: Optional[_RingEntry] = None
+        if request.is_read:
+            request.due_at = cycle + self.config.normalized_delay
+            request.merged = result.merged
+            ring_payload = _RingEntry(mapping.bank, result.row_id, request)
+            self.stats.reads_accepted += 1
+            if result.merged:
+                self.stats.reads_merged += 1
+            else:
+                self.bus.notify_work(mapping.bank)
+        else:
+            self.stats.writes_accepted += 1
+            self.bus.notify_work(mapping.bank)
+
+        occupancy = bank.occupancy()
+        self.stats.max_queue_occupancy = max(
+            self.stats.max_queue_occupancy, occupancy["queue"]
+        )
+        self.stats.max_delay_rows_used = max(
+            self.stats.max_delay_rows_used, occupancy["delay_rows"]
+        )
+        self.stats.max_write_buffer_used = max(
+            self.stats.max_write_buffer_used, occupancy["write_buffer"]
+        )
+        return True, None, ring_payload
+
+    # -- delivery path -----------------------------------------------------
+
+    def _deliver(self, entry: _RingEntry, cycle: int) -> Reply:
+        mem_now = self.bus.memory_now(cycle)
+        result = self.banks[entry.bank].deliver(entry.row_id, mem_now)
+        if not result.ready:
+            self.stats.late_replies += 1
+            if self.config.strict_latency:
+                raise SchedulingInvariantError(
+                    f"reply for request {entry.request.request_id} "
+                    f"(address {entry.request.address:#x}) due at cycle "
+                    f"{cycle} before its DRAM data arrived"
+                )
+        request = entry.request
+        request.state = RequestState.COMPLETED
+        self.stats.replies_delivered += 1
+        self.stats.bank_accesses = self.device.commands_issued
+        return Reply(
+            request_id=request.request_id,
+            address=request.address,
+            data=result.data,
+            tag=request.tag,
+            issued_at=request.issued_at,
+            completed_at=cycle,
+        )
+
+    # -- conveniences -------------------------------------------------------
+
+    def read(self, address: int, tag: Any = None) -> StepResult:
+        """Step one cycle with a read of ``address``."""
+        return self.step(read_request(address, tag))
+
+    def write(self, address: int, data: Any, tag: Any = None) -> StepResult:
+        """Step one cycle with a write to ``address``."""
+        return self.step(write_request(address, data, tag))
+
+    def rekey(self, seed: Optional[int] = None) -> None:
+        """Draw a fresh universal mapping (paper: an expensive, rare event).
+
+        All in-flight state must be drained first; data already in DRAM
+        is *not* relocated, so callers model the reorganization cost —
+        or use :meth:`rekey_with_migration`, which does.
+        """
+        if self._ring.pending() or any(b.has_work() for b in self.banks):
+            raise VPNMError("drain the controller before rekeying")
+        self.mapper.rekey(seed)
+
+    def rekey_with_migration(self, seed: Optional[int] = None) -> int:
+        """Re-randomize the mapping *and* relocate all stored data.
+
+        The paper's mitigation for a suspected hash-key leak: "change
+        the universal mapping function and reorder the data on the
+        occurrence of multiple stalls (an expensive operation, but
+        certainly possible with frequency on the order of once a day)."
+
+        Cost model: every stored line is one read under the old mapping
+        plus one write under the new one; we charge
+        ``2 * lines * ceil(max(L, B) / R)`` interface cycles of downtime
+        (a conservative serial-migration bound) by advancing the clock,
+        and return that cycle count.  In-flight work must be drained
+        first.
+        """
+        if self._ring.pending() or any(b.has_work() for b in self.banks):
+            raise VPNMError("drain the controller before rekeying")
+        # Collect every (address -> data) pair under the old mapping.
+        # The mapper's permutation is invertible, so physical (bank,
+        # line) pairs convert back to interface addresses exactly.
+        contents = []
+        for bank_index, bank in enumerate(self.device.banks):
+            for line, data in list(bank._store.items()):
+                contents.append((bank_index, line, data))
+        old_mapper = self.mapper
+        self.mapper = AddressMapper(
+            address_bits=self.config.address_bits,
+            banks=self.config.banks,
+            scheme=self.config.hash_scheme,
+            seed=None,
+        )
+        self.mapper.rekey(seed)
+        moved = 0
+        for bank_index, line, data in contents:
+            address = self._invert_mapping(old_mapper, bank_index, line)
+            if address is None:
+                continue  # unreachable for bijective mappers
+            del self.device.banks[bank_index]._store[line]
+            new_mapping = self.mapper.map(address)
+            self.device.banks[new_mapping.bank]._store[
+                new_mapping.line
+            ] = data
+            moved += 1
+        # Charge the downtime: serial read+write per line at the
+        # round-robin grant period.
+        grant = max(self.config.bank_latency, self.config.banks)
+        downtime = 2 * moved * math.ceil(grant / self.config.bus_scaling)
+        self.now += downtime
+        self.stats.cycles = self.now
+        return downtime
+
+    @staticmethod
+    def _invert_mapping(mapper: AddressMapper, bank: int,
+                        line: int) -> Optional[int]:
+        """Recover the interface address that maps to (bank, line)."""
+        from repro.hashing.universal import CarterWegmanHash, xor_fold
+        hash_engine = mapper._hash
+        if isinstance(hash_engine, CarterWegmanHash):
+            # permuted = (line << bank_bits) | low_bits, where the fold
+            # of the whole word equals `bank`.  The fold is XOR of
+            # bank_bits-wide chunks, so low_bits = bank XOR fold(high).
+            if mapper.bank_bits == 0:
+                return hash_engine.unpermute(line)
+            high = line << mapper.bank_bits
+            low = bank ^ xor_fold(high, mapper.address_bits,
+                                  mapper.bank_bits)
+            return hash_engine.unpermute(high | low)
+        # Low-bits strawman: address = (line << bank_bits) | bank.
+        return (line << mapper.bank_bits) | bank
+
+    @property
+    def normalized_delay(self) -> int:
+        """D in interface cycles."""
+        return self.config.normalized_delay
+
+    def delay_ns(self) -> float:
+        """D in nanoseconds at the configured interface clock."""
+        return self.config.delay_ns(self.interface_clock_mhz)

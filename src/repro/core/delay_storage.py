@@ -1,0 +1,218 @@
+"""The Delay Storage Buffer (paper Figure 3, left block).
+
+"The delay storage buffer stores the address of each pending and
+accessing request, and stores the address and data of waiting requests.
+Each non-redundant request will have an entry allocated for it in the
+delay buffer for a total of D cycles.  To account for repeated requests
+to the same address, a counter is associated with each address and data.
+The buffer contains K rows, where each row contains an address of A bits,
+a one-bit address valid flag, a counter of C bits, and data words of W
+bits."
+
+This is the paper's "merging queue": redundant reads to the same address
+share one row (one bank access, one copy of the data) while every
+requester still gets its reply at its own ``t + D``.  The row is freed
+when the last outstanding reply has consumed it (counter reaches zero).
+
+Hardware structures modeled:
+
+* the address CAM — here a dict from address to row id over rows whose
+  address-valid flag is set;
+* the first-zero circuit — here a min-heap of free row indices, so
+  allocation always picks the lowest-numbered free row like the priority
+  encoder would;
+* the per-row reference counter, saturating at ``2^C - 1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional
+
+from repro.core.exceptions import CapacityError, UnknownRequestError
+
+
+class DelayRow:
+    """One row: address + valid flag + refcount + data words."""
+
+    __slots__ = ("address", "address_valid", "counter", "data",
+                 "data_ready_at", "access_pending")
+
+    def __init__(self) -> None:
+        self.address: Optional[int] = None
+        self.address_valid = False
+        self.counter = 0
+        self.data: Any = None
+        #: Memory-bus cycle at which the DRAM read data lands in the row;
+        #: None until the access is issued.
+        self.data_ready_at: Optional[int] = None
+        #: True while the row's bank access still sits in the access
+        #: queue; the row cannot be recycled before that command issues
+        #: (it holds the address the command will read) even if every
+        #: reply has already been delivered — which only happens when a
+        #: reply was forced out *before* its data (a latency violation,
+        #: e.g. under the aggressive-refresh extension).
+        self.access_pending = False
+
+    @property
+    def in_use(self) -> bool:
+        return self.counter > 0 or self.access_pending
+
+    def data_ready(self, mem_now: int) -> bool:
+        return self.data_ready_at is not None and mem_now >= self.data_ready_at
+
+
+class DelayStorageBuffer:
+    """K-row delay storage buffer with CAM lookup and refcounted rows."""
+
+    def __init__(self, rows: int, counter_bits: int):
+        if rows < 1:
+            raise ValueError("rows (K) must be >= 1")
+        if counter_bits < 1:
+            raise ValueError("counter_bits (C) must be >= 1")
+        self.capacity = rows
+        self.max_count = (1 << counter_bits) - 1
+        self.rows: List[DelayRow] = [DelayRow() for _ in range(rows)]
+        self._cam: Dict[int, int] = {}
+        self._free_heap: List[int] = list(range(rows))  # already sorted
+        self.high_water = 0
+
+    # -- CAM side -----------------------------------------------------
+
+    def lookup(self, address: int) -> Optional[int]:
+        """CAM search: row id of a valid row holding ``address``, or None."""
+        return self._cam.get(address)
+
+    def can_reference(self, row_id: int) -> bool:
+        """Whether the row's counter has room for one more requester."""
+        return self.rows[row_id].counter < self.max_count
+
+    def add_reference(self, row_id: int) -> None:
+        """Count one more outstanding reply against the row."""
+        row = self.rows[row_id]
+        if row.counter >= self.max_count:
+            raise CapacityError(
+                f"row {row_id} counter saturated at {self.max_count}"
+            )
+        if not row.in_use:
+            raise UnknownRequestError(f"row {row_id} is free")
+        row.counter += 1
+
+    # -- allocation ----------------------------------------------------
+
+    @property
+    def rows_used(self) -> int:
+        return self.capacity - len(self._free_heap)
+
+    @property
+    def is_full(self) -> bool:
+        return not self._free_heap
+
+    def allocate(self, address: int,
+                 cam_visible: bool = True) -> Optional[int]:
+        """Claim the lowest-numbered free row for ``address``.
+
+        Returns None when no row is free — the *delay storage buffer
+        stall* condition.  The new row starts with counter = 1 (the
+        requester that caused the allocation).
+
+        ``cam_visible=False`` allocates a row that later reads will not
+        merge with (the merging-disabled ablation: the row still stores
+        and replays data, but it never enters the CAM).
+        """
+        if not self._free_heap:
+            return None
+        if cam_visible and address in self._cam:
+            raise CapacityError(
+                f"address {address:#x} already has a valid row; merge "
+                "instead of allocating"
+            )
+        row_id = heapq.heappop(self._free_heap)
+        row = self.rows[row_id]
+        row.address = address
+        row.address_valid = cam_visible
+        row.counter = 1
+        row.data = None
+        row.data_ready_at = None
+        row.access_pending = True
+        if cam_visible:
+            self._cam[address] = row_id
+        self.high_water = max(self.high_water, self.rows_used)
+        return row_id
+
+    def invalidate_address(self, address: int) -> Optional[int]:
+        """Unset the address-valid flag of the row holding ``address``.
+
+        Called on a write CAM-hit (paper Section 4.2): the row keeps
+        serving its already-accepted readers (old data — they were
+        ordered before the write) but stops matching new reads.  Returns
+        the affected row id, or None on a CAM miss.
+        """
+        row_id = self._cam.pop(address, None)
+        if row_id is not None:
+            self.rows[row_id].address_valid = False
+        return row_id
+
+    # -- data path ------------------------------------------------------
+
+    def fill(self, row_id: int, data: Any, ready_at_mem: int) -> None:
+        """Record the DRAM read result for a row (state: accessing→waiting)."""
+        row = self.rows[row_id]
+        if not row.in_use:
+            raise UnknownRequestError(f"fill of free row {row_id}")
+        row.data = data
+        row.data_ready_at = ready_at_mem
+        row.access_pending = False
+        if row.counter == 0:
+            # Every reply was already forced out (latency violations);
+            # the access has now completed, so the row can recycle.
+            self._release(row_id)
+
+    def address_of(self, row_id: int) -> int:
+        """Address stored in a row (used when issuing the bank command)."""
+        row = self.rows[row_id]
+        if not row.in_use:
+            raise UnknownRequestError(f"address_of free row {row_id}")
+        return row.address
+
+    def consume(self, row_id: int, mem_now: int) -> "ConsumeResult":
+        """Deliver one reply from the row; frees it on the last reference.
+
+        Returns the data and whether it was actually ready (a not-ready
+        consume is a latency violation the caller counts — it cannot
+        happen with a valid configuration).
+        """
+        row = self.rows[row_id]
+        if not row.in_use:
+            raise UnknownRequestError(f"consume of free row {row_id}")
+        if row.counter <= 0:
+            raise UnknownRequestError(
+                f"row {row_id} has no outstanding replies to consume"
+            )
+        ready = row.data_ready(mem_now)
+        result = ConsumeResult(data=row.data, ready=ready)
+        row.counter -= 1
+        if row.counter == 0 and not row.access_pending:
+            self._release(row_id)
+        return result
+
+    def _release(self, row_id: int) -> None:
+        row = self.rows[row_id]
+        if row.address_valid:
+            self._cam.pop(row.address, None)
+            row.address_valid = False
+        row.address = None
+        row.data = None
+        row.data_ready_at = None
+        row.access_pending = False
+        heapq.heappush(self._free_heap, row_id)
+
+
+class ConsumeResult:
+    """Outcome of delivering one reply from a delay-storage row."""
+
+    __slots__ = ("data", "ready")
+
+    def __init__(self, data: Any, ready: bool):
+        self.data = data
+        self.ready = ready

@@ -1,0 +1,41 @@
+"""Typed error hierarchy for the VPNM controller.
+
+Stalls (the three overflow conditions of paper Section 4.3) are *not*
+exceptions — they are expected, counted events handled by the configured
+stall policy.  Exceptions here mark contract violations: misconfiguration
+or bugs that would correspond to a broken piece of hardware.
+"""
+
+
+class VPNMError(Exception):
+    """Base class for all VPNM controller errors."""
+
+
+class ConfigurationError(VPNMError, ValueError):
+    """A configuration parameter is out of its legal range."""
+
+
+class CapacityError(VPNMError):
+    """A structure was pushed past its capacity.
+
+    The bank controller checks capacity *before* accepting a request and
+    turns a would-be overflow into a stall; seeing this exception means a
+    check was bypassed.
+    """
+
+
+class SchedulingInvariantError(VPNMError):
+    """A timing invariant was violated (a reply came due before its data).
+
+    The virtual-pipeline abstraction promises a reply exactly D cycles
+    after each accepted request.  :class:`~repro.core.config.VPNMConfig`
+    prevents configurations that structurally break that promise, but
+    extensions outside the paper's model (e.g. the DRAM refresh option)
+    can still steal bank time D does not budget for.  By default such
+    violations are *counted* (``stats.late_replies``); with
+    ``strict_latency=True`` they raise this error at the offending cycle.
+    """
+
+
+class UnknownRequestError(VPNMError, KeyError):
+    """A completion or lookup referenced a request the controller never saw."""

@@ -1,0 +1,107 @@
+"""Memory request lifecycle types.
+
+Paper Section 4.2: "At a high level each memory request goes through 4
+states: pending, accessing, waiting, and completed.  New requests start
+out as pending, and when the proper request is actually sent out to the
+DRAM, the request is accessing.  When the result returns from DRAM the
+request is waiting (until D total cycles have elapsed), and finally the
+request is completed and results are returned to the rest of the system."
+
+Redundant reads merged into an existing delay-storage row skip straight
+to whatever state the row's underlying access is in; their *reply* timing
+is tracked separately (each merged requester gets its own reply at its
+own ``t + D``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class RequestState(enum.Enum):
+    """The four states of the paper plus terminal failure states."""
+
+    PENDING = "pending"        # accepted, sitting in the bank access queue
+    ACCESSING = "accessing"    # command issued to the DRAM bank
+    WAITING = "waiting"        # data back from DRAM, waiting for t + D
+    COMPLETED = "completed"    # reply delivered on the interface
+    STALLED = "stalled"        # rejected by a full structure (drop policy)
+
+
+class Operation(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemoryRequest:
+    """One interface-side memory request.
+
+    ``tag`` is an opaque caller token returned with the reply, so
+    applications (packet buffer, reassembler) can match replies to their
+    own bookkeeping without keeping a side table.
+    """
+
+    operation: Operation
+    address: int
+    data: Any = None                      # payload for writes
+    tag: Any = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    issued_at: Optional[int] = None       # interface cycle of acceptance
+    due_at: Optional[int] = None          # issued_at + D for reads
+    state: RequestState = RequestState.PENDING
+    merged: bool = False                  # read satisfied by an existing row
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.operation is Operation.WRITE and self.data is None:
+            raise ValueError("write requests must carry data")
+
+    @property
+    def is_read(self) -> bool:
+        return self.operation is Operation.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.operation is Operation.WRITE
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A completed read delivered on the interface bus at ``completed_at``.
+
+    ``latency`` is always exactly D for accepted reads — that equality is
+    the virtual-pipeline contract and is asserted across the test suite.
+    """
+
+    request_id: int
+    address: int
+    data: Any
+    tag: Any
+    issued_at: int
+    completed_at: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.issued_at
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """A request the controller could not accept this cycle.
+
+    ``reason`` is one of ``"delay_storage"``, ``"bank_queue"``,
+    ``"write_buffer"`` — the three conditions of Section 4.3.
+    """
+
+    cycle: int
+    bank: int
+    reason: str
+    request_id: int

@@ -1,0 +1,89 @@
+"""Counters and derived statistics for controller runs.
+
+Everything the benchmarks report — stall rates, empirical MTS, reply
+latency distribution, structure occupancy high-water marks — funnels
+through :class:`ControllerStats` so the figures are reproducible from a
+single object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ControllerStats:
+    """Aggregated counters for one controller run."""
+
+    cycles: int = 0
+    reads_accepted: int = 0
+    writes_accepted: int = 0
+    reads_merged: int = 0            # redundant reads short-cut (Sec 3.4)
+    replies_delivered: int = 0
+    bank_accesses: int = 0           # commands actually issued to DRAM
+    stalls: int = 0
+    stall_reasons: Dict[str, int] = field(default_factory=dict)
+    stall_cycles: List[int] = field(default_factory=list)
+    dropped_requests: int = 0
+    late_replies: int = 0            # replies whose data was not ready (bug)
+    max_queue_occupancy: int = 0
+    max_delay_rows_used: int = 0
+    max_write_buffer_used: int = 0
+
+    def record_stall(self, cycle: int, reason: str) -> None:
+        self.stalls += 1
+        self.stall_reasons[reason] = self.stall_reasons.get(reason, 0) + 1
+        # Keep at most the first 10k stall cycles; enough for MTS
+        # estimation without unbounded growth on pathological runs.
+        if len(self.stall_cycles) < 10_000:
+            self.stall_cycles.append(cycle)
+
+    @property
+    def requests_accepted(self) -> int:
+        return self.reads_accepted + self.writes_accepted
+
+    @property
+    def stall_rate(self) -> float:
+        """Stalls per interface cycle (0 if the run had no cycles)."""
+        return self.stalls / self.cycles if self.cycles else 0.0
+
+    @property
+    def empirical_mts(self) -> Optional[float]:
+        """Observed mean cycles between stalls; None if no stall occurred.
+
+        Comparable to the analytical Mean Time to Stall of Section 5.
+        """
+        if not self.stalls:
+            return None
+        return self.cycles / self.stalls
+
+    @property
+    def merge_rate(self) -> float:
+        """Fraction of accepted reads satisfied by merging."""
+        if not self.reads_accepted:
+            return 0.0
+        return self.reads_merged / self.reads_accepted
+
+    def bandwidth_utilization(self) -> float:
+        """Accepted requests per interface cycle (peak = 1)."""
+        if not self.cycles:
+            return 0.0
+        return self.requests_accepted / self.cycles
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest (used by the examples)."""
+        mts = self.empirical_mts
+        lines = [
+            f"cycles:            {self.cycles}",
+            f"reads accepted:    {self.reads_accepted} "
+            f"({self.reads_merged} merged)",
+            f"writes accepted:   {self.writes_accepted}",
+            f"replies delivered: {self.replies_delivered}",
+            f"bank accesses:     {self.bank_accesses}",
+            f"stalls:            {self.stalls} "
+            f"({dict(self.stall_reasons) if self.stall_reasons else 'none'})",
+            f"empirical MTS:     {'n/a (no stalls)' if mts is None else f'{mts:.1f} cycles'}",
+            f"late replies:      {self.late_replies}",
+        ]
+        return "\n".join(lines)

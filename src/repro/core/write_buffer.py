@@ -1,0 +1,65 @@
+"""The Write Buffer (paper Figure 3, lower-left block).
+
+"The write buffer is organized as FIFO structure, which stores the
+address and data of all incoming write requests.  Unlike read requests,
+we need not wait for the write requests to complete.  We only need to
+buffer the write request until it gets scheduled to access the memory
+bank."
+
+Sized at half the bank access queue by default (Section 4.3), because
+writes need no delay-storage row and drain at the same bank rate as
+reads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, NamedTuple
+
+from repro.core.exceptions import CapacityError
+
+
+class WriteEntry(NamedTuple):
+    line: int
+    data: Any
+
+
+class WriteBuffer:
+    """FIFO of (line, data) pairs awaiting their bank write slot."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("write buffer depth must be >= 1")
+        self.depth = depth
+        self._entries: Deque[WriteEntry] = deque()
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, line: int, data: Any) -> None:
+        if self.is_full:
+            raise CapacityError(
+                f"write buffer overflow (depth={self.depth}); the "
+                "controller must stall instead of pushing"
+            )
+        self._entries.append(WriteEntry(line, data))
+        self.high_water = max(self.high_water, len(self._entries))
+
+    def pop(self) -> WriteEntry:
+        """Dequeue the oldest write for issue to the bank.
+
+        FIFO order here matches FIFO order of write entries in the bank
+        access queue, which is what lets the queue entry omit the row id.
+        """
+        if not self._entries:
+            raise IndexError("write buffer is empty")
+        return self._entries.popleft()

@@ -1,0 +1,33 @@
+"""Behavioural DRAM substrate (paper Section 3.1).
+
+Models what the VPNM controller needs from commodity DRAM and nothing
+more: ``B`` independent banks, each busy for ``L`` memory-bus cycles per
+access (L = ratio of bank access time to data transfer time; the paper
+conservatively uses L=20), one data transfer per bus cycle, and a backing
+store so reads return the last written value.
+
+Timing presets carry the parts the paper cites: PC133 SDRAM (4 banks,
+~60% measured efficiency), DDR266 (4 banks, ~37%), and the Samsung
+MR18R162GDF0-CM8 RDRAM RIMM (up to 512 banks).
+"""
+
+from repro.dram.bank import BankBusyError, DRAMBank
+from repro.dram.device import DRAMDevice
+from repro.dram.timing import (
+    DDR266,
+    PC133_SDRAM,
+    RDRAM_RIMM_512,
+    RDRAM_SINGLE_DEVICE,
+    DRAMTiming,
+)
+
+__all__ = [
+    "BankBusyError",
+    "DDR266",
+    "DRAMBank",
+    "DRAMDevice",
+    "DRAMTiming",
+    "PC133_SDRAM",
+    "RDRAM_RIMM_512",
+    "RDRAM_SINGLE_DEVICE",
+]

@@ -1,0 +1,117 @@
+"""A single DRAM bank: busy-window timing plus a backing store.
+
+The bank is the unit of contention in the whole system: it can service
+only one access at a time and stays busy for ``L`` memory-bus cycles per
+access.  The VPNM bank controller (:mod:`repro.core.bank_controller`)
+is responsible for never issuing to a busy bank; issuing anyway raises
+:class:`BankBusyError` so scheduling bugs surface loudly instead of
+silently corrupting timing results.
+
+Data is stored per line index in a dict (sparse — the 4 GB packet buffer
+of the paper would not fit in host memory as a dense array).  Reads of
+never-written lines return ``None``, which the controller passes through;
+applications that care initialize their lines first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class BankBusyError(RuntimeError):
+    """An access was issued to a bank that is still busy (scheduler bug)."""
+
+
+class DRAMBank:
+    """One DRAM bank with ``access_cycles`` busy time per access.
+
+    Time is supplied by the caller (memory-bus cycle numbers); the bank
+    itself keeps no clock.  ``issue_read``/``issue_write`` start an access
+    at time ``now`` and the bank is busy until ``now + access_cycles``;
+    the read data is considered available at that completion time.
+    """
+
+    def __init__(self, index: int, access_cycles: int,
+                 refresh_interval: int = None, refresh_cycles: int = 0,
+                 refresh_offset: int = 0):
+        if access_cycles < 1:
+            raise ValueError("access_cycles must be >= 1")
+        self.index = index
+        self.access_cycles = access_cycles
+        self.refresh_interval = refresh_interval
+        self.refresh_cycles = refresh_cycles
+        self.refresh_offset = refresh_offset
+        self._store: Dict[int, Any] = {}
+        self._busy_until = 0  # first cycle at which the bank is free again
+        self.reads_issued = 0
+        self.writes_issued = 0
+
+    def in_refresh(self, now: int) -> bool:
+        """Whether ``now`` falls inside one of this bank's refresh windows.
+
+        Refresh blocks *starting* a new access; an access already in
+        flight completes normally (controllers schedule refresh around
+        accesses, not through them).
+        """
+        if self.refresh_interval is None:
+            return False
+        phase = (now - self.refresh_offset) % self.refresh_interval
+        return phase < self.refresh_cycles
+
+    def is_busy(self, now: int) -> bool:
+        """Whether the bank can NOT start an access at bus cycle ``now``."""
+        return now < self._busy_until or self.in_refresh(now)
+
+    @property
+    def busy_until(self) -> int:
+        """First memory-bus cycle at which the bank will be free."""
+        return self._busy_until
+
+    def _begin_access(self, now: int) -> int:
+        if self.is_busy(now):
+            raise BankBusyError(
+                f"bank {self.index} busy until cycle {self._busy_until}, "
+                f"access issued at {now}"
+            )
+        self._busy_until = now + self.access_cycles
+        return self._busy_until
+
+    def issue_read(self, line: int, now: int) -> "ReadAccess":
+        """Start a read of ``line`` at cycle ``now``.
+
+        Returns a :class:`ReadAccess` whose ``ready_at`` is the cycle the
+        data is on the bus and whose ``data`` is the stored value.
+        """
+        ready_at = self._begin_access(now)
+        self.reads_issued += 1
+        return ReadAccess(line=line, ready_at=ready_at,
+                          data=self._store.get(line))
+
+    def issue_write(self, line: int, data: Any, now: int) -> int:
+        """Start a write at cycle ``now``; returns the completion cycle."""
+        done_at = self._begin_access(now)
+        self.writes_issued += 1
+        self._store[line] = data
+        return done_at
+
+    def peek(self, line: int) -> Optional[Any]:
+        """Read the stored value without any timing effect (for tests)."""
+        return self._store.get(line)
+
+    def occupancy(self) -> int:
+        """Number of distinct lines ever written."""
+        return len(self._store)
+
+
+class ReadAccess:
+    """Result handle of an in-flight bank read."""
+
+    __slots__ = ("line", "ready_at", "data")
+
+    def __init__(self, line: int, ready_at: int, data: Any):
+        self.line = line
+        self.ready_at = ready_at
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"ReadAccess(line={self.line}, ready_at={self.ready_at})"

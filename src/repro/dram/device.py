@@ -1,0 +1,99 @@
+"""A DRAM device: a set of banks behind one shared data bus.
+
+The device enforces the two structural hazards the paper's controller
+must schedule around:
+
+* a *bank conflict* — two accesses to the same bank closer together than
+  ``L`` cycles (the second raises :class:`BankBusyError` if issued), and
+* the *single bus* — at most one access may be issued per memory-bus
+  cycle across all banks.
+
+The round-robin bus scheduler in :mod:`repro.core.bus` guarantees both
+by construction; the device checks them anyway so that any alternative
+scheduler (e.g. the naive baseline) is kept honest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.dram.bank import DRAMBank, ReadAccess
+from repro.dram.timing import DRAMTiming
+
+
+class BusConflictError(RuntimeError):
+    """Two accesses were issued on the shared bus in the same cycle."""
+
+
+class DRAMDevice:
+    """``timing.banks`` DRAM banks behind one single-issue bus."""
+
+    def __init__(self, timing: DRAMTiming):
+        self.timing = timing
+        # Stagger refresh windows across banks so they never all refresh
+        # at once (standard per-bank refresh scheduling).
+        stagger = (timing.refresh_interval // timing.banks
+                   if timing.refresh_interval else 0)
+        self.banks: List[DRAMBank] = [
+            DRAMBank(
+                index=i,
+                access_cycles=timing.access_cycles,
+                refresh_interval=timing.refresh_interval,
+                refresh_cycles=timing.refresh_cycles,
+                refresh_offset=i * stagger,
+            )
+            for i in range(timing.banks)
+        ]
+        self._last_issue_cycle: Optional[int] = None
+        self.commands_issued = 0
+
+    def _claim_bus(self, now: int) -> None:
+        if self._last_issue_cycle is not None and now <= self._last_issue_cycle:
+            if now == self._last_issue_cycle:
+                raise BusConflictError(
+                    f"two bus commands issued in cycle {now}"
+                )
+            raise BusConflictError(
+                f"bus command at cycle {now} issued after cycle "
+                f"{self._last_issue_cycle} (time ran backwards)"
+            )
+        self._last_issue_cycle = now
+        self.commands_issued += 1
+
+    def read(self, bank: int, line: int, now: int) -> ReadAccess:
+        """Issue a read on the bus at cycle ``now``."""
+        self._claim_bus(now)
+        return self.banks[bank].issue_read(line, now)
+
+    def write(self, bank: int, line: int, data: Any, now: int) -> int:
+        """Issue a write on the bus at cycle ``now``; returns completion."""
+        self._claim_bus(now)
+        return self.banks[bank].issue_write(line, data, now)
+
+    def bank_free_at(self, bank: int) -> int:
+        """First cycle at which ``bank``'s current access completes.
+
+        Does not account for refresh windows — use
+        :meth:`bank_available` for can-issue-now checks.
+        """
+        return self.banks[bank].busy_until
+
+    def bank_available(self, bank: int, now: int) -> bool:
+        """Whether ``bank`` can start an access at bus cycle ``now``
+        (free of both an in-flight access and a refresh window)."""
+        return not self.banks[bank].is_busy(now)
+
+    def total_accesses(self) -> int:
+        """Reads plus writes issued across all banks."""
+        return self.commands_issued
+
+    def peak_bandwidth_gbps(self, transfer_bytes: int) -> float:
+        """Peak bus bandwidth for a given per-access transfer size."""
+        transfers_per_second = self.timing.clock_mhz * 1e6
+        return transfers_per_second * transfer_bytes * 8 / 1e9
+
+    def __repr__(self) -> str:
+        return (
+            f"DRAMDevice({self.timing.name}: {self.timing.banks} banks, "
+            f"L={self.timing.access_cycles})"
+        )

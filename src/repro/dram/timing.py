@@ -1,0 +1,112 @@
+"""DRAM timing presets.
+
+The controller's analysis needs only two numbers per part: the bank count
+``B`` and the bank occupancy ``L`` (bank access time over data transfer
+time, in memory-bus cycles — "throughout this paper we conservatively
+assume that there is one transfer per cycle and we select the value of
+L=20" citing the Samsung RDRAM datasheet and Truong's network-memory
+survey).  The presets also record the nominal clock so results can be
+converted from cycles to wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing/geometry parameters of a DRAM part.
+
+    Attributes
+    ----------
+    name:
+        Human-readable part name.
+    banks:
+        Number of independently accessible banks.
+    access_cycles:
+        ``L``: memory-bus cycles a bank stays busy per access.
+    clock_mhz:
+        Memory-bus clock in MHz (one data transfer per cycle).
+    reported_efficiency:
+        Measured fraction of peak bandwidth a conventional controller
+        achieves on the part (paper Section 3.1, citing RamBus [23]);
+        ``None`` where the paper reports no figure.
+    """
+
+    name: str
+    banks: int
+    access_cycles: int
+    clock_mhz: float
+    reported_efficiency: float = None
+    #: Optional refresh model (the paper ignores refresh; we expose it
+    #: as an extension): every ``refresh_interval`` bus cycles each bank
+    #: is blocked from *starting* accesses for ``refresh_cycles`` cycles
+    #: (staggered across banks by the device).  ``None`` disables it.
+    refresh_interval: int = None
+    refresh_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.banks < 1:
+            raise ValueError("banks must be >= 1")
+        if self.access_cycles < 1:
+            raise ValueError("access_cycles must be >= 1")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        if self.reported_efficiency is not None and not (
+            0 < self.reported_efficiency <= 1
+        ):
+            raise ValueError("reported_efficiency must be in (0, 1]")
+        if self.refresh_interval is not None:
+            if self.refresh_interval < 1:
+                raise ValueError("refresh_interval must be >= 1")
+            if not 0 < self.refresh_cycles < self.refresh_interval:
+                raise ValueError(
+                    "refresh_cycles must be in (0, refresh_interval)"
+                )
+
+    @property
+    def cycle_ns(self) -> float:
+        """One memory-bus cycle in nanoseconds."""
+        return 1000.0 / self.clock_mhz
+
+    @property
+    def access_ns(self) -> float:
+        """Random access latency in nanoseconds (L cycles)."""
+        return self.access_cycles * self.cycle_ns
+
+
+#: PC133 SDRAM: 4 internal banks; the paper cites 60% measured efficiency,
+#: 80-85% of the loss due to bank conflicts.
+PC133_SDRAM = DRAMTiming(
+    name="PC133 SDRAM",
+    banks=4,
+    access_cycles=6,
+    clock_mhz=133.0,
+    reported_efficiency=0.60,
+)
+
+#: DDR266 SDRAM: 37% measured efficiency per the same source.
+DDR266 = DRAMTiming(
+    name="DDR266 SDRAM",
+    banks=4,
+    access_cycles=10,
+    clock_mhz=266.0,
+    reported_efficiency=0.37,
+)
+
+#: One Samsung MR18R162GDF0-CM8 RDRAM device: 32 banks at 800 MT/s.
+RDRAM_SINGLE_DEVICE = DRAMTiming(
+    name="Samsung RDRAM device (32 banks)",
+    banks=32,
+    access_cycles=20,
+    clock_mhz=400.0,
+)
+
+#: A full RIMM module: 16 devices x 32 banks = 512 independent banks.
+RDRAM_RIMM_512 = DRAMTiming(
+    name="RDRAM RIMM (16 devices, 512 banks)",
+    banks=512,
+    access_cycles=20,
+    clock_mhz=400.0,
+)

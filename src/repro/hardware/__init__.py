@@ -1,0 +1,44 @@
+"""Hardware overhead model (paper Section 5.3).
+
+The paper built an overhead tool on Cacti 3.0 plus a synthesized Verilog
+model at 0.13 µm.  We replace it with an analytical model **calibrated by
+least squares to the paper's own published outputs**: the 0.15 mm²
+reference controller (L=20, K=24, Q=12) and the four Table 2 design
+points (area and energy).  The model reproduces those anchors within a
+few percent and — more importantly — their *scaling*, which is what the
+Figure 7 Pareto sweep needs.
+
+- :mod:`~repro.hardware.bits` — exact bit counts of each structure in a
+  bank controller (from the Figure 3 geometry).
+- :mod:`~repro.hardware.calibration` — the anchor data and the fits.
+- :mod:`~repro.hardware.model` — area/energy queries for a configuration.
+- :mod:`~repro.hardware.sweep` — the design-space sweep driving Figure 7
+  and Table 2.
+"""
+
+from repro.hardware.bits import ControllerBits, controller_bits
+from repro.hardware.calibration import (
+    AREA_ANCHORS,
+    ENERGY_ANCHORS,
+    AreaFit,
+    EnergyFit,
+    fit_area_model,
+    fit_energy_model,
+)
+from repro.hardware.model import HardwareModel
+from repro.hardware.sweep import DesignPoint, design_sweep, table2_points
+
+__all__ = [
+    "AREA_ANCHORS",
+    "AreaFit",
+    "ControllerBits",
+    "DesignPoint",
+    "ENERGY_ANCHORS",
+    "EnergyFit",
+    "HardwareModel",
+    "controller_bits",
+    "design_sweep",
+    "fit_area_model",
+    "fit_energy_model",
+    "table2_points",
+]

@@ -1,0 +1,65 @@
+"""Bit counts of one bank controller's structures (paper Figure 3).
+
+The delay storage buffer holds K rows of {A-bit address (CAM), 1 valid
+bit, C-bit counter, W-bit data words}; the bank access queue holds Q
+entries of {1 r/w bit, log2 K row id}; the write buffer holds Q/2
+entries of {A-bit address, W-bit data}; the circular delay buffer holds
+D entries of {1 valid bit, log2 K row id} (physically two single-ported
+sets — same bit count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import VPNMConfig
+
+
+@dataclass(frozen=True)
+class ControllerBits:
+    """Storage bit counts for one bank controller, split by cell type."""
+
+    cam_bits: int        # content-addressable (the address CAM)
+    sram_bits: int       # ordinary SRAM cells
+    delay_storage_bits: int
+    bank_queue_bits: int
+    write_buffer_bits: int
+    circular_buffer_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.cam_bits + self.sram_bits
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+
+def controller_bits(config: VPNMConfig) -> ControllerBits:
+    """Exact storage inventory of one bank controller."""
+    address_bits = config.address_bits
+    counter_bits = config.counter_bits
+    data_bits = config.data_bytes * 8
+    row_id_bits = config.row_id_bits
+    delay = config.normalized_delay
+
+    cam = config.delay_rows * address_bits
+    delay_storage_sram = config.delay_rows * (1 + counter_bits + data_bits)
+    bank_queue = config.queue_depth * (1 + row_id_bits)
+    write_buffer = config.write_buffer_depth * (address_bits + data_bits)
+    circular = delay * (1 + row_id_bits)
+
+    return ControllerBits(
+        cam_bits=cam,
+        sram_bits=delay_storage_sram + bank_queue + write_buffer + circular,
+        delay_storage_bits=cam + delay_storage_sram,
+        bank_queue_bits=bank_queue,
+        write_buffer_bits=write_buffer,
+        circular_buffer_bits=circular,
+    )
+
+
+def total_controller_bytes(config: VPNMConfig) -> float:
+    """All B bank controllers' storage in bytes (the SRAM budget that
+    Table 3 reports for the packet-buffering comparison)."""
+    return controller_bits(config).total_bytes * config.banks

@@ -1,0 +1,93 @@
+"""Area/energy queries for a VPNM configuration.
+
+The paper's tool "takes these design parameters (B, L, K, Q, R, tech) as
+inputs and provides area and energy consumption for the set of all bank
+controllers"; :class:`HardwareModel` is the same interface.  Technology
+scaling from the 0.13 µm anchors follows the classical rules: area with
+the square of the feature-size ratio, energy roughly linearly (CV² with
+both C and V shrinking is super-linear in practice; linear is the
+conservative choice and only relative numbers matter for the sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.config import VPNMConfig
+from repro.hardware.bits import ControllerBits, controller_bits
+from repro.hardware.calibration import (
+    REFERENCE_TECH_UM,
+    AreaFit,
+    EnergyFit,
+    fit_area_model,
+    fit_energy_model,
+)
+
+
+@lru_cache(maxsize=1)
+def _fits() -> tuple:
+    return fit_area_model(), fit_energy_model()
+
+
+@dataclass(frozen=True)
+class HardwareEstimate:
+    """Area/energy bill for one configuration."""
+
+    controller_area_mm2: float     # one bank controller
+    total_area_mm2: float          # all B controllers
+    energy_per_access_nj: float
+    sram_kilobytes: float          # total storage across controllers
+    bits: ControllerBits
+
+
+class HardwareModel:
+    """Calibrated area/energy model over (B, L, K, Q, R, tech)."""
+
+    def __init__(self, tech_um: float = REFERENCE_TECH_UM):
+        if tech_um <= 0:
+            raise ValueError("technology node must be positive")
+        self.tech_um = tech_um
+        self._area_fit, self._energy_fit = _fits()
+        ratio = tech_um / REFERENCE_TECH_UM
+        self._area_scale = ratio ** 2
+        self._energy_scale = ratio
+
+    def estimate(self, config: VPNMConfig) -> HardwareEstimate:
+        """Full hardware bill for a configuration."""
+        bits = controller_bits(config)
+        controller_area = (
+            self._area_fit.area_mm2(bits.total_bits) * self._area_scale
+        )
+        energy = (
+            self._energy_fit.energy_nj(bits.total_bits) * self._energy_scale
+        )
+        return HardwareEstimate(
+            controller_area_mm2=controller_area,
+            total_area_mm2=controller_area * config.banks,
+            energy_per_access_nj=energy,
+            sram_kilobytes=bits.total_bytes * config.banks / 1024.0,
+            bits=bits,
+        )
+
+    def controller_area_mm2(self, config: VPNMConfig) -> float:
+        return self.estimate(config).controller_area_mm2
+
+    def total_area_mm2(self, config: VPNMConfig) -> float:
+        return self.estimate(config).total_area_mm2
+
+    def energy_per_access_nj(self, config: VPNMConfig) -> float:
+        return self.estimate(config).energy_per_access_nj
+
+    def energy_of_run_uj(self, config: VPNMConfig, stats) -> float:
+        """Controller-side energy of a finished run, in microjoules.
+
+        The Table 2 calibration gives energy *per bank access* (the CAM
+        search, queue push/pop, delay-buffer write/read and bus drive
+        that each access implies); a run's bill is that figure times the
+        DRAM accesses it issued.  Merged reads never reach a bank and
+        are free at this accounting granularity — which is exactly the
+        saving the merging queue exists to produce.
+        """
+        per_access = self.energy_per_access_nj(config)
+        return per_access * stats.bank_accesses / 1000.0

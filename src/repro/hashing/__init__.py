@@ -1,0 +1,51 @@
+"""Universal hashing substrate for VPNM (paper Section 3.2).
+
+The bank-randomization step of the Virtually Pipelined Network Memory
+relies on universal hash families (Carter & Wegman, 1979) implemented
+over GF(2): an adversary that cannot observe bank conflicts cannot
+construct conflicting address sequences with better-than-random
+probability.
+
+Public API
+----------
+- :class:`~repro.hashing.universal.H3Hash` — the classic H3 family
+  (random GF(2) matrix, XOR of selected rows).
+- :class:`~repro.hashing.universal.CarterWegmanHash` — ``h(x) = a*x + b``
+  in GF(2^n) followed by bit truncation.
+- :class:`~repro.hashing.mapping.AddressMapper` — splits an address into
+  a (bank, line) pair using one of the hash families, as the HU block in
+  the paper's Figure 2 does.
+- :mod:`~repro.hashing.galois` — carry-less GF(2^n) arithmetic and LFSR
+  utilities the hashes are built on.
+"""
+
+from repro.hashing.galois import (
+    GF2Polynomial,
+    GaloisField,
+    GaloisLFSR,
+    carryless_multiply,
+    polynomial_degree,
+    polynomial_mod,
+)
+from repro.hashing.mapping import AddressMapper, BankMapping
+from repro.hashing.universal import (
+    CarterWegmanHash,
+    H3Hash,
+    LowBitsHash,
+    UniversalHash,
+)
+
+__all__ = [
+    "AddressMapper",
+    "BankMapping",
+    "CarterWegmanHash",
+    "GF2Polynomial",
+    "GaloisField",
+    "GaloisLFSR",
+    "H3Hash",
+    "LowBitsHash",
+    "UniversalHash",
+    "carryless_multiply",
+    "polynomial_degree",
+    "polynomial_mod",
+]

@@ -1,0 +1,220 @@
+"""Carry-less GF(2^n) arithmetic.
+
+The paper cites Rau's pseudo-randomly interleaved memory work, which uses
+Galois fields to build bank-randomizing functions that behave well on
+*every* stride.  This module supplies the arithmetic those hash families
+need: polynomials over GF(2) represented as Python integers (bit ``i`` is
+the coefficient of ``x^i``), reduction modulo an irreducible polynomial,
+field multiplication/inversion, and Galois-configuration LFSRs.
+
+Everything here is pure integer arithmetic, so arbitrary field sizes are
+supported (the VPNM address space uses GF(2^32) by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+#: Irreducible polynomials over GF(2) for common field sizes, written as
+#: integers (bit i = coefficient of x^i).  Sources: standard tables of
+#: low-weight irreducible polynomials (e.g. x^32 + x^7 + x^3 + x^2 + 1).
+IRREDUCIBLE_POLYNOMIALS = {
+    4: (1 << 4) | (1 << 1) | 1,                                # x^4+x+1
+    8: (1 << 8) | (1 << 4) | (1 << 3) | (1 << 1) | 1,          # AES polynomial
+    16: (1 << 16) | (1 << 12) | (1 << 3) | (1 << 1) | 1,
+    20: (1 << 20) | (1 << 3) | 1,                              # x^20+x^3+1
+    24: (1 << 24) | (1 << 4) | (1 << 3) | (1 << 1) | 1,
+    32: (1 << 32) | (1 << 7) | (1 << 3) | (1 << 2) | 1,
+    40: (1 << 40) | (1 << 5) | (1 << 4) | (1 << 3) | 1,
+    48: (1 << 48) | (1 << 5) | (1 << 3) | (1 << 2) | 1,
+    64: (1 << 64) | (1 << 4) | (1 << 3) | (1 << 1) | 1,
+}
+
+
+def polynomial_degree(poly: int) -> int:
+    """Degree of a GF(2) polynomial, or -1 for the zero polynomial."""
+    return poly.bit_length() - 1
+
+
+def carryless_multiply(a: int, b: int) -> int:
+    """Multiply two GF(2) polynomials (carry-less / XOR multiplication).
+
+    This is the schoolbook shift-and-XOR product; no modular reduction is
+    applied, so the result may have degree ``deg(a) + deg(b)``.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("polynomials must be non-negative integers")
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def polynomial_mod(poly: int, modulus: int) -> int:
+    """Reduce a GF(2) polynomial modulo another (long division remainder)."""
+    if modulus <= 0:
+        raise ValueError("modulus must be a nonzero polynomial")
+    mod_degree = polynomial_degree(modulus)
+    while polynomial_degree(poly) >= mod_degree:
+        shift = polynomial_degree(poly) - mod_degree
+        poly ^= modulus << shift
+    return poly
+
+
+@dataclass(frozen=True)
+class GF2Polynomial:
+    """A polynomial over GF(2), wrapped for readable algebra in tests.
+
+    The integer ``bits`` encodes the coefficients (bit i = x^i).  The
+    wrapper exists so property-based tests can state ring axioms
+    (`a * b == b * a`, distributivity, ...) without sprinkling raw XORs.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError("polynomial bits must be non-negative")
+
+    @property
+    def degree(self) -> int:
+        return polynomial_degree(self.bits)
+
+    def __add__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(self.bits ^ other.bits)
+
+    __sub__ = __add__  # characteristic 2: subtraction is addition
+
+    def __mul__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(carryless_multiply(self.bits, other.bits))
+
+    def __mod__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(polynomial_mod(self.bits, other.bits))
+
+    def __str__(self) -> str:
+        if self.bits == 0:
+            return "0"
+        terms = []
+        for i in range(self.degree, -1, -1):
+            if (self.bits >> i) & 1:
+                terms.append("1" if i == 0 else ("x" if i == 1 else f"x^{i}"))
+        return " + ".join(terms)
+
+
+class GaloisField:
+    """The finite field GF(2^n) under a chosen irreducible polynomial.
+
+    Elements are integers in ``[0, 2^n)``.  Multiplication is carry-less
+    multiplication followed by reduction; inversion uses the extended
+    Euclidean algorithm over GF(2)[x].
+    """
+
+    def __init__(self, n: int, modulus: int = None):
+        if n <= 0:
+            raise ValueError("field size exponent must be positive")
+        if modulus is None:
+            if n not in IRREDUCIBLE_POLYNOMIALS:
+                raise ValueError(
+                    f"no built-in irreducible polynomial for GF(2^{n}); "
+                    "pass modulus explicitly"
+                )
+            modulus = IRREDUCIBLE_POLYNOMIALS[n]
+        if polynomial_degree(modulus) != n:
+            raise ValueError(
+                f"modulus degree {polynomial_degree(modulus)} does not "
+                f"match field exponent {n}"
+            )
+        self.n = n
+        self.modulus = modulus
+        self.order = 1 << n
+
+    def _check(self, value: int) -> None:
+        if not 0 <= value < self.order:
+            raise ValueError(f"{value} is not an element of GF(2^{self.n})")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        self._check(a)
+        self._check(b)
+        return a ^ b
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication (carry-less product reduced mod the modulus)."""
+        self._check(a)
+        self._check(b)
+        return polynomial_mod(carryless_multiply(a, b), self.modulus)
+
+    def power(self, a: int, exponent: int) -> int:
+        """Field exponentiation by repeated squaring."""
+        self._check(a)
+        if exponent < 0:
+            return self.power(self.inverse(a), -exponent)
+        result = 1
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = self.multiply(result, base)
+            base = self.multiply(base, base)
+            exponent >>= 1
+        return result
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse via extended Euclid over GF(2)[x]."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        # Invariants: old_r = old_s * a  (mod modulus), r = s * a (mod modulus)
+        old_r, r = a, self.modulus
+        old_s, s = 1, 0
+        while r != 0:
+            degree_diff = polynomial_degree(old_r) - polynomial_degree(r)
+            if degree_diff < 0:
+                old_r, r = r, old_r
+                old_s, s = s, old_s
+                continue
+            old_r ^= r << degree_diff
+            old_s ^= s << degree_diff
+        # At termination old_r holds gcd; swap bookkeeping leaves the
+        # gcd in whichever register became zero last.
+        if old_r == 0:
+            old_r, old_s = r, s
+        if old_r != 1:
+            raise ArithmeticError(
+                "modulus is not irreducible: gcd(a, modulus) != 1"
+            )
+        return polynomial_mod(old_s, self.modulus)
+
+    def __repr__(self) -> str:
+        return f"GaloisField(2^{self.n}, modulus={self.modulus:#x})"
+
+
+class GaloisLFSR:
+    """A Galois-configuration linear-feedback shift register.
+
+    Used by the workload generators as a cheap full-period address
+    scrambler, and by tests as a second opinion on the field arithmetic
+    (stepping the LFSR is multiplication by ``x`` in the field).
+    """
+
+    def __init__(self, n: int, seed: int = 1, modulus: int = None):
+        self.field = GaloisField(n, modulus)
+        if not 0 < seed < self.field.order:
+            raise ValueError("seed must be a nonzero field element")
+        self.state = seed
+
+    def step(self) -> int:
+        """Advance one step (multiply state by x); returns the new state."""
+        self.state = self.field.multiply(self.state, 2)
+        return self.state
+
+    def sequence(self, count: int) -> List[int]:
+        """The next ``count`` states as a list."""
+        return [self.step() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.step()

@@ -1,0 +1,119 @@
+"""Address → (bank, line) mapping: the HU block in the paper's Figure 2.
+
+Every memory line (a ``line_bytes``-wide DRAM burst, 64 B in the paper's
+packet-buffering configuration) is owned by exactly one bank.  The mapper
+applies a keyed bijection to the line address and splits the permuted
+value into a bank index (low bits) and an in-bank line index (high bits).
+
+Using a *bijection* rather than a bare hash matters: two distinct
+addresses must never alias to the same (bank, line) pair, otherwise the
+controller would silently return the wrong data.  We permute the address
+with Carter–Wegman ``a·x + b`` over GF(2^A), then set
+
+    bank = xor_fold(permuted, bank_bits)      line = permuted >> bank_bits
+
+The pair is injective: if two permuted words share the same ``line`` they
+differ only in their low ``bank_bits``, and that difference XORs straight
+through the fold, so their ``bank`` values differ.  Folding (instead of
+taking low bits) also keeps strided address sequences spread across all
+banks — see :mod:`repro.hashing.universal`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hashing.universal import (
+    CarterWegmanHash,
+    LowBitsHash,
+    UniversalHash,
+    xor_fold,
+)
+
+
+@dataclass(frozen=True)
+class BankMapping:
+    """Where a line address landed: the bank and the line within the bank."""
+
+    bank: int
+    line: int
+
+
+class AddressMapper:
+    """Splits permuted line addresses into (bank, line) pairs.
+
+    Parameters
+    ----------
+    address_bits:
+        Width of a line address (the paper uses A-bit addresses in the
+        delay storage buffer; 32 by default).
+    banks:
+        Number of banks B; must be a power of two so the bank index is a
+        clean bit field.
+    scheme:
+        ``"carter-wegman"`` (default, the paper's universal mapping) or
+        ``"low-bits"`` (the conventional-controller strawman).
+    seed:
+        Seeds the hash key draw; identical seeds give identical mappings.
+    """
+
+    def __init__(
+        self,
+        address_bits: int = 32,
+        banks: int = 32,
+        scheme: str = "carter-wegman",
+        seed: Optional[int] = None,
+    ):
+        if banks < 1 or banks & (banks - 1):
+            raise ValueError(f"banks must be a power of two, got {banks}")
+        self.address_bits = address_bits
+        self.banks = banks
+        self.bank_bits = banks.bit_length() - 1
+        if self.bank_bits > address_bits:
+            raise ValueError("more bank bits than address bits")
+        self.scheme = scheme
+        if scheme == "carter-wegman":
+            self._hash: UniversalHash = CarterWegmanHash(
+                address_bits, max(self.bank_bits, 1), seed=seed
+            )
+        elif scheme == "low-bits":
+            self._hash = LowBitsHash(address_bits, max(self.bank_bits, 1))
+        else:
+            raise ValueError(f"unknown mapping scheme: {scheme!r}")
+
+    def rekey(self, seed: Optional[int] = None) -> None:
+        """Draw a fresh mapping (the paper's once-a-day re-randomization).
+
+        All data would need to be relocated after a rekey; callers that
+        model that cost do so explicitly (see the ablation benches).
+        """
+        if seed is None:
+            seed = random.getrandbits(64)
+        self._hash.rekey(seed)
+
+    def map(self, address: int) -> BankMapping:
+        """Map a line address to its (bank, line) pair."""
+        if not 0 <= address < (1 << self.address_bits):
+            raise ValueError(
+                f"address {address:#x} out of range for "
+                f"{self.address_bits}-bit addresses"
+            )
+        if self.bank_bits == 0:
+            return BankMapping(bank=0, line=address)
+        if isinstance(self._hash, CarterWegmanHash):
+            permuted = self._hash.permute(address)
+            return BankMapping(
+                bank=xor_fold(permuted, self.address_bits, self.bank_bits),
+                line=permuted >> self.bank_bits,
+            )
+        # Strawman: the conventional controller's low-bit bank select.
+        return BankMapping(
+            bank=self._hash(address),
+            line=address >> self.bank_bits,
+        )
+
+    def bank_of(self, address: int) -> int:
+        """Convenience: just the bank index of an address."""
+        return self.map(address).bank

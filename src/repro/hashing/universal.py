@@ -1,0 +1,234 @@
+"""Universal hash families used to randomize the address→bank mapping.
+
+Paper Section 3.2: "Universal hashes [3], an idea that has been extended
+by the cryptography community, provides a way to ensure that an adversary
+cannot figure out the hash function without direct observation of
+conflicts."
+
+Two constructions are provided:
+
+- :class:`H3Hash` — the H3 family: a random GF(2) matrix; the hash of an
+  address is the XOR of the matrix rows selected by its set bits.  H3 is
+  XOR-universal and maps directly to hardware (one XOR tree per output
+  bit), which is how the paper's HU block would be synthesized.
+- :class:`CarterWegmanHash` — ``h(x) = a·x + b`` evaluated in GF(2^n)
+  with ``a ≠ 0``, then *XOR-folded* down to the output width.  This is
+  the classic strongly-universal family; it is also a bijection on the
+  full n-bit space before folding, which the address mapper exploits so
+  that distinct addresses never collide on the full (bank, line) pair.
+  Folding (rather than truncating to the low bits) matters: for small
+  strides the field products ``a·2^k`` are plain left shifts until the
+  modulus reduction engages, so the *low* output bits of a stride set
+  span a degenerate subspace.  Folding mixes every bit of the product
+  into the output, restoring the any-stride robustness the paper needs
+  (Section 2 cites Rau's Galois-field interleaving for this property).
+
+:class:`LowBitsHash` is the non-randomized strawman (bank = low address
+bits) used by the ablation benchmarks to demonstrate why randomization is
+load-bearing under adversarial traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.hashing.galois import GaloisField
+
+
+class UniversalHash:
+    """Interface for the hash families (duck-typed; this class documents it).
+
+    Subclasses hash ``input_bits``-wide integers to ``output_bits``-wide
+    integers.  All families are deterministic once seeded, so simulations
+    are reproducible; re-keying (the paper's "change the universal mapping
+    function ... once a day" mitigation) is exposed as :meth:`rekey`.
+    """
+
+    input_bits: int
+    output_bits: int
+
+    def __call__(self, value: int) -> int:
+        raise NotImplementedError
+
+    def rekey(self, seed: Optional[int] = None) -> None:
+        """Draw a fresh random function from the family."""
+        raise NotImplementedError
+
+    def _check_input(self, value: int) -> None:
+        if not 0 <= value < (1 << self.input_bits):
+            raise ValueError(
+                f"value {value} out of range for {self.input_bits}-bit input"
+            )
+
+
+class H3Hash(UniversalHash):
+    """The H3 XOR-universal family: ``h(x) = XOR of rows of M selected by x``.
+
+    ``matrix[i]`` is the output contribution of input bit ``i``.  For any
+    two distinct inputs the hash difference is the XOR of a non-empty row
+    subset, which is uniform when rows are uniform — the XOR-universality
+    the MTS analysis needs.
+    """
+
+    def __init__(self, input_bits: int, output_bits: int, seed: Optional[int] = None):
+        if input_bits <= 0 or output_bits <= 0:
+            raise ValueError("input_bits and output_bits must be positive")
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+        self.matrix: List[int] = []
+        self.rekey(seed)
+
+    def rekey(self, seed: Optional[int] = None) -> None:
+        rng = random.Random(seed)
+        mask = (1 << self.output_bits) - 1
+        self.matrix = [rng.getrandbits(self.output_bits) & mask
+                       for _ in range(self.input_bits)]
+
+    def __call__(self, value: int) -> int:
+        self._check_input(value)
+        result = 0
+        index = 0
+        while value:
+            if value & 1:
+                result ^= self.matrix[index]
+            value >>= 1
+            index += 1
+        return result
+
+
+def xor_fold(value: int, width: int, chunk: int) -> int:
+    """Fold a ``width``-bit value down to ``chunk`` bits by XOR of chunks.
+
+    Two values differing only within one aligned chunk fold to different
+    outputs, which is what keeps the (bank, line) split injective.
+    """
+    if chunk <= 0:
+        raise ValueError("chunk width must be positive")
+    mask = (1 << chunk) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= chunk
+    return folded
+
+
+class CarterWegmanHash(UniversalHash):
+    """Strongly universal ``h(x) = a·x + b`` over GF(2^input_bits).
+
+    With ``a ≠ 0`` the map is a bijection on the n-bit space; the hash
+    output XOR-folds the permuted value down to ``output_bits`` (see the
+    module docstring for why folding beats low-bit truncation).  The
+    permutation (before folding) is exposed as :meth:`permute` /
+    :meth:`unpermute` for the address mapper.
+    """
+
+    def __init__(self, input_bits: int, output_bits: int, seed: Optional[int] = None):
+        if output_bits > input_bits:
+            raise ValueError("output_bits cannot exceed input_bits")
+        if input_bits <= 0 or output_bits <= 0:
+            raise ValueError("input_bits and output_bits must be positive")
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+        self.field = GaloisField(input_bits)
+        self.a = 1
+        self.b = 0
+        self._tables: List[List[int]] = []
+        self.rekey(seed)
+
+    def rekey(self, seed: Optional[int] = None) -> None:
+        rng = random.Random(seed)
+        self.a = rng.randrange(1, self.field.order)  # a != 0 keeps bijectivity
+        self.b = rng.randrange(self.field.order)
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Byte-sliced multiply tables: ``a·x = XOR_i T_i[byte_i(x)]``.
+
+        Multiplication by the fixed key ``a`` is GF(2)-linear in ``x``,
+        so it decomposes over the bytes of ``x``.  One 256-entry table
+        per input byte turns the per-access field multiply into a few
+        XORs — the same trick constant-multiplier hardware (and e.g.
+        table-driven CRC) uses.
+        """
+        multiply = self.field.multiply
+        # a * (2^(8*i) * low_byte) for every byte position and byte value.
+        self._tables = []
+        for byte_index in range((self.input_bits + 7) // 8):
+            shift_factor = self.field.power(2, 8 * byte_index)
+            base = multiply(self.a, shift_factor)
+            table = [0] * 256
+            # Build by GF(2)-linearity: table[v] for v with one set bit,
+            # then XOR-combine (table[v] = table[v & -v] ^ table[v & (v-1)]).
+            bit_value = base
+            for bit in range(8):
+                table[1 << bit] = bit_value
+                bit_value = multiply(bit_value, 2)
+            for v in range(1, 256):
+                low = v & -v
+                rest = v ^ low
+                if rest:
+                    table[v] = table[low] ^ table[rest]
+            self._tables.append(table)
+
+    def permute(self, value: int) -> int:
+        """The full-width bijection ``a·x + b`` before truncation."""
+        self._check_input(value)
+        result = self.b
+        index = 0
+        while value:
+            result ^= self._tables[index][value & 0xFF]
+            value >>= 8
+            index += 1
+        return result
+
+    def unpermute(self, value: int) -> int:
+        """Inverse of :meth:`permute` (used to recover addresses in tests)."""
+        self._check_input(value)
+        a_inv = self.field.inverse(self.a)
+        return self.field.multiply(a_inv, self.field.add(value, self.b))
+
+    def __call__(self, value: int) -> int:
+        return xor_fold(self.permute(value), self.input_bits, self.output_bits)
+
+
+class LowBitsHash(UniversalHash):
+    """Non-randomized strawman: output = low bits of the input.
+
+    This is how a conventional controller selects banks.  It is trivially
+    attacked (any stride equal to a multiple of the bank count lands on a
+    single bank), which the ablation bench ABL1 demonstrates.
+    """
+
+    def __init__(self, input_bits: int, output_bits: int, seed: Optional[int] = None):
+        if input_bits <= 0 or output_bits <= 0:
+            raise ValueError("input_bits and output_bits must be positive")
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+
+    def rekey(self, seed: Optional[int] = None) -> None:
+        """No-op: the family has a single member."""
+
+    def __call__(self, value: int) -> int:
+        self._check_input(value)
+        return value & ((1 << self.output_bits) - 1)
+
+
+def empirical_collision_rate(
+    hash_fn: UniversalHash, values: Sequence[int]
+) -> float:
+    """Fraction of distinct input pairs that collide under ``hash_fn``.
+
+    A universal family should keep this near ``2^-output_bits``.  Used by
+    the statistical tests; O(n) via bucket counts.
+    """
+    values = list(dict.fromkeys(values))  # dedupe, preserve order
+    if len(values) < 2:
+        return 0.0
+    counts: dict = {}
+    for value in values:
+        digest = hash_fn(value)
+        counts[digest] = counts.get(digest, 0) + 1
+    colliding_pairs = sum(c * (c - 1) // 2 for c in counts.values())
+    total_pairs = len(values) * (len(values) - 1) // 2
+    return colliding_pairs / total_pairs

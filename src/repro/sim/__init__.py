@@ -1,0 +1,30 @@
+"""Simulation substrate: drivers, tracing, and the fast stall simulator.
+
+- :func:`~repro.sim.runner.run_workload` / :func:`~repro.sim.runner.measure_stall_rate`
+  drive any workload iterator through a :class:`~repro.core.VPNMController`.
+- :func:`~repro.sim.tracing.trace_requests` / :func:`~repro.sim.tracing.render_gantt`
+  capture per-request timelines and draw Figure-1-style charts.
+- :class:`~repro.sim.fastsim.FastStallSimulator` reproduces the stall
+  dynamics alone, for multi-million-cycle MTS validation runs.
+"""
+
+from repro.sim.fastsim import FastRunResult, FastStallSimulator
+from repro.sim.runner import (
+    RunResult,
+    StallMeasurement,
+    measure_stall_rate,
+    run_workload,
+)
+from repro.sim.tracing import RequestTimeline, render_gantt, trace_requests
+
+__all__ = [
+    "FastRunResult",
+    "FastStallSimulator",
+    "RequestTimeline",
+    "RunResult",
+    "StallMeasurement",
+    "measure_stall_rate",
+    "render_gantt",
+    "run_workload",
+    "trace_requests",
+]

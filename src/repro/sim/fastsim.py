@@ -1,0 +1,193 @@
+"""Fast stall-dynamics simulator for MTS validation.
+
+The full :class:`~repro.core.VPNMController` carries data, tags and
+replies; measuring stall statistics over tens of millions of cycles only
+needs the *occupancy dynamics* of the structures.  This module simulates
+exactly those dynamics — same arbitration, same acceptance rules, same
+clock-domain bookkeeping — using integer counters, an order of magnitude
+faster.
+
+Scope: read-only traffic with distinct addresses.  Under a universal
+hash, fresh addresses are i.i.d. uniform over banks, so the bank choice
+is drawn directly from ``randrange(B)`` (this is the same reduction the
+paper's analysis makes in Section 5.1: "we can treat the bank
+assignments as a random sequence of integers").  Merging and writes are
+not modeled; use the full controller for those.
+
+Cross-validated against the full controller in
+``tests/sim/test_fastsim.py``: identical stall counts, cycle for cycle,
+on matched bank sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, List, Optional
+
+from repro.core.config import VPNMConfig
+
+
+@dataclass
+class FastRunResult:
+    """Stall statistics from a fast-simulator run."""
+
+    cycles: int
+    accepted: int
+    stalls: int
+    delay_storage_stalls: int
+    bank_queue_stalls: int
+    stall_cycles: List[int] = field(default_factory=list)
+    #: Histogram of bank-0 work-unit backlog (queued work plus remaining
+    #: busy time), sampled once per cycle when tracking is enabled —
+    #: comparable to the Markov chain's quasi-stationary distribution.
+    backlog_histogram: Optional[dict] = None
+
+    @property
+    def empirical_mts(self) -> Optional[float]:
+        return self.cycles / self.stalls if self.stalls else None
+
+    @property
+    def stall_probability(self) -> float:
+        return self.stalls / self.cycles if self.cycles else 0.0
+
+
+class FastStallSimulator:
+    """Occupancy-only simulation of the VPNM stall dynamics."""
+
+    def __init__(self, config: VPNMConfig, seed: int = 0,
+                 bank_source: Optional[Callable[[], int]] = None):
+        self.config = config
+        self._rng = random.Random(seed)
+        #: Callable returning the bank of the next request; defaults to
+        #: uniform (the universal-hash reduction).  Adversarial benches
+        #: pass their own.
+        self._bank_source = bank_source or (
+            lambda: self._rng.randrange(config.banks)
+        )
+        ratio = Fraction(config.bus_scaling).limit_denominator(1_000)
+        self._num, self._den = ratio.numerator, ratio.denominator
+
+        banks = config.banks
+        self._queue = [0] * banks        # bank access queue occupancy
+        self._rows = [0] * banks         # delay storage rows in use
+        self._bank_free_at = [0] * banks
+        self._ready: deque = deque()     # banks with queued commands
+        self._enqueued = [False] * banks
+        # Row release ring: slot t holds the bank whose row frees at t.
+        self._release = [None] * config.normalized_delay
+        self._slots_consumed = 0
+        self._now = 0
+
+    def run(self, cycles: int, idle_probability: float = 0.0,
+            track_backlog: bool = False) -> FastRunResult:
+        """Simulate ``cycles`` interface cycles of (near-)full-rate reads.
+
+        ``track_backlog=True`` samples bank 0's work-unit backlog
+        (queued requests x L plus the in-service access's remaining
+        cycles) once per cycle into ``backlog_histogram``.
+        """
+        config = self.config
+        queue, rows = self._queue, self._rows
+        bank_free_at = self._bank_free_at
+        ready, enqueued = self._ready, self._enqueued
+        release = self._release
+        delay = config.normalized_delay
+        queue_limit = config.queue_depth
+        row_limit = config.delay_rows
+        latency = config.bank_latency
+        num, den = self._num, self._den
+        strict = not config.skip_idle_slots
+        rng = self._rng
+
+        accepted = 0
+        ds_stalls = 0
+        bq_stalls = 0
+        stall_cycles: List[int] = []
+        histogram: Optional[dict] = {} if track_backlog else None
+
+        for offset in range(cycles):
+            now = self._now + offset
+            ring_slot = now % delay
+
+            # 1. take out (but do not yet apply) the row release due now;
+            #    the controller accepts *before* delivering, so this
+            #    cycle's arrival must still see that row as occupied.
+            freed = release[ring_slot]
+            release[ring_slot] = None
+
+            # 2. arrival
+            if idle_probability and rng.random() < idle_probability:
+                pass
+            else:
+                bank = self._bank_source()
+                # The in-service access still occupies its Q slot, as in
+                # BankController._queue_has_room.
+                busy_slot = 1 if bank_free_at[bank] > self._slots_consumed \
+                    else 0
+                if rows[bank] >= row_limit:
+                    ds_stalls += 1
+                    if len(stall_cycles) < 10_000:
+                        stall_cycles.append(now)
+                elif queue[bank] + busy_slot >= queue_limit:
+                    bq_stalls += 1
+                    if len(stall_cycles) < 10_000:
+                        stall_cycles.append(now)
+                else:
+                    accepted += 1
+                    rows[bank] += 1
+                    queue[bank] += 1
+                    release[ring_slot] = bank
+                    if not enqueued[bank]:
+                        enqueued[bank] = True
+                        ready.append(bank)
+
+            # 3. apply the release (reply delivered after acceptance)
+            if freed is not None:
+                rows[freed] -= 1
+
+            # 4. memory-bus slots of this interface cycle
+            target = (now + 1) * num // den
+            while self._slots_consumed < target:
+                slot = self._slots_consumed
+                self._slots_consumed += 1
+                if strict:
+                    bank = slot % config.banks
+                    if queue[bank] and bank_free_at[bank] <= slot:
+                        queue[bank] -= 1
+                        bank_free_at[bank] = slot + latency
+                    continue
+                for _ in range(len(ready)):
+                    bank = ready.popleft()
+                    if not queue[bank]:
+                        enqueued[bank] = False
+                        continue
+                    if bank_free_at[bank] <= slot:
+                        queue[bank] -= 1
+                        bank_free_at[bank] = slot + latency
+                        if queue[bank]:
+                            ready.append(bank)
+                        else:
+                            enqueued[bank] = False
+                        break
+                    ready.append(bank)
+
+            # 5. optional backlog sample for bank 0 (end of cycle)
+            if histogram is not None:
+                backlog = queue[0] * latency + max(
+                    0, bank_free_at[0] - self._slots_consumed
+                )
+                histogram[backlog] = histogram.get(backlog, 0) + 1
+
+        self._now += cycles
+        return FastRunResult(
+            cycles=cycles,
+            accepted=accepted,
+            stalls=ds_stalls + bq_stalls,
+            delay_storage_stalls=ds_stalls,
+            bank_queue_stalls=bq_stalls,
+            stall_cycles=stall_cycles,
+            backlog_histogram=histogram,
+        )

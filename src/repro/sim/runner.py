@@ -1,0 +1,145 @@
+"""Workload → controller drivers and measurement loops.
+
+Two interface-stall semantics, matching the two policies of Section 4:
+
+* ``retry`` (the "simply stall the controller" option): a rejected
+  request is re-offered every cycle until accepted; the whole input
+  stream slips, which is exactly what a stalled pipeline does.
+* ``drop``: a rejected request is abandoned ("the other alternative is
+  to simply drop the packet") and the stream continues.
+
+:func:`run_workload` is the general loop; :func:`measure_stall_rate`
+is the measurement harness used by the validation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.controller import VPNMController
+from repro.core.request import MemoryRequest, Operation, Reply
+from repro.core.stats import ControllerStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of driving one workload through a controller."""
+
+    controller: VPNMController
+    replies: List[Reply]
+    offered: int = 0
+    accepted: int = 0
+    retries: int = 0
+    dropped: int = 0
+
+    @property
+    def stats(self) -> ControllerStats:
+        return self.controller.stats
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.offered if self.offered else 0.0
+
+
+def run_workload(
+    controller: VPNMController,
+    workload: Iterable[Optional[MemoryRequest]],
+    max_cycles: Optional[int] = None,
+    drain: bool = True,
+) -> RunResult:
+    """Drive ``workload`` through ``controller``, one item per cycle.
+
+    ``None`` items are idle cycles.  Stall handling follows the
+    controller's configured ``stall_policy``: with ``"stall"`` a rejected
+    request is retried on subsequent cycles (a fresh request object is
+    required per offer cycle because acceptance stamps timing onto it —
+    we re-offer the same object, which the controller only mutates on
+    acceptance); with ``"drop"`` it is abandoned.
+    """
+    result = RunResult(controller=controller, replies=[])
+    retry_policy = controller.config.stall_policy == "stall"
+    pending: Optional[MemoryRequest] = None
+    source: Iterator = iter(workload)
+    exhausted = False
+
+    while True:
+        if max_cycles is not None and controller.now >= max_cycles:
+            break
+        if pending is None:
+            try:
+                item = next(source)
+            except StopIteration:
+                exhausted = True
+                break
+            if item is not None:
+                result.offered += 1
+            pending = item
+            fresh = True
+        else:
+            fresh = False
+
+        if pending is None:
+            step = controller.step()
+        else:
+            step = controller.step(pending)
+            if step.accepted:
+                result.accepted += 1
+                pending = None
+            elif retry_policy:
+                result.retries += 1  # keep pending; re-offer next cycle
+            else:
+                result.dropped += 1
+                pending = None
+        result.replies.extend(step.replies)
+
+    if exhausted and pending is not None and retry_policy:
+        # Finish retrying the in-flight request before draining.
+        budget = controller.config.normalized_delay * 4
+        while pending is not None and budget:
+            step = controller.step(pending)
+            result.replies.extend(step.replies)
+            if step.accepted:
+                result.accepted += 1
+                pending = None
+            else:
+                result.retries += 1
+            budget -= 1
+
+    if drain:
+        result.replies.extend(controller.drain())
+    return result
+
+
+def measure_stall_rate(
+    controller: VPNMController,
+    workload: Iterable[Optional[MemoryRequest]],
+    cycles: int,
+) -> "StallMeasurement":
+    """Run for a fixed cycle budget and report stall statistics."""
+    run_workload(controller, workload, max_cycles=cycles, drain=False)
+    stats = controller.stats
+    return StallMeasurement(
+        cycles=stats.cycles,
+        stalls=stats.stalls,
+        stall_reasons=dict(stats.stall_reasons),
+        first_stall_cycle=(stats.stall_cycles[0]
+                           if stats.stall_cycles else None),
+        empirical_mts=stats.empirical_mts,
+    )
+
+
+@dataclass
+class StallMeasurement:
+    cycles: int
+    stalls: int
+    stall_reasons: dict
+    first_stall_cycle: Optional[int]
+    empirical_mts: Optional[float]
+
+    def __str__(self) -> str:
+        mts = "no stalls" if self.empirical_mts is None else (
+            f"MTS~{self.empirical_mts:.0f} cy"
+        )
+        return (f"{self.stalls} stalls / {self.cycles} cycles "
+                f"({self.stall_reasons}) [{mts}]")

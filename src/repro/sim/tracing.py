@@ -1,0 +1,157 @@
+"""Per-request timeline tracing — reproduces the paper's Figure 1.
+
+Figure 1 shows, per memory access, the window during which the request
+is "in the pipeline" (white box, D cycles) and the window during which
+it actually occupies the DRAM bank (grey box, L cycles).  The tracer
+captures both by (a) recording step results on the interface side and
+(b) interposing on the DRAM device to log command issue times, then
+renders an ASCII Gantt chart with the same visual vocabulary:
+
+    req A  |■■■■■■■■■■████████■■■■■■■■■■■■|   ■ pipeline  █ bank access
+    req B   |■■■■■■■■■■■■████████■■■■■■■■■|
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional
+
+from repro.core.controller import VPNMController
+from repro.core.request import MemoryRequest, Reply
+
+
+@dataclass
+class RequestTimeline:
+    """Everything observable about one request's trip through the memory."""
+
+    tag: Any
+    address: int
+    bank: int
+    accepted_at: Optional[int] = None   # interface cycle
+    stalled: bool = False
+    merged: bool = False
+    issue_slot: Optional[int] = None    # memory-bus slot of the command
+    ready_slot: Optional[int] = None    # memory-bus slot data returns
+    completed_at: Optional[int] = None  # interface cycle of the reply
+
+    @property
+    def pipeline_latency(self) -> Optional[int]:
+        if self.accepted_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.accepted_at
+
+
+class _DeviceTap:
+    """Wraps a DRAMDevice, logging (slot, bank, line, kind) per command."""
+
+    def __init__(self, device):
+        self._device = device
+        self.log: List[tuple] = []
+
+    def read(self, bank, line, now):
+        access = self._device.read(bank, line, now)
+        self.log.append((now, bank, line, "read", access.ready_at))
+        return access
+
+    def write(self, bank, line, data, now):
+        done = self._device.write(bank, line, data, now)
+        self.log.append((now, bank, line, "write", done))
+        return done
+
+    def __getattr__(self, name):
+        return getattr(self._device, name)
+
+
+def trace_requests(
+    controller: VPNMController,
+    requests: Iterable[Optional[MemoryRequest]],
+    drain: bool = True,
+) -> List[RequestTimeline]:
+    """Drive ``requests`` (None = idle cycle) and capture full timelines."""
+    tap = _DeviceTap(controller.device)
+    controller.device = tap
+    controller.bus.device = tap
+    try:
+        timelines: List[RequestTimeline] = []
+        by_request_id = {}
+        replies: List[Reply] = []
+        for item in requests:
+            step = controller.step(item)
+            replies.extend(step.replies)
+            if item is None:
+                continue
+            mapping = controller.mapper.map(item.address)
+            timeline = RequestTimeline(
+                tag=item.tag, address=item.address, bank=mapping.bank
+            )
+            if step.accepted:
+                timeline.accepted_at = step.cycle
+                timeline.merged = item.merged
+                by_request_id[item.request_id] = timeline
+            else:
+                timeline.stalled = True
+            timelines.append(timeline)
+        if drain:
+            replies.extend(controller.drain())
+        for reply in replies:
+            timeline = by_request_id.get(reply.request_id)
+            if timeline is not None:
+                timeline.completed_at = reply.completed_at
+        _attach_bank_accesses(timelines, tap.log)
+        return timelines
+    finally:
+        controller.device = tap._device
+        controller.bus.device = tap._device
+
+
+def _attach_bank_accesses(timelines: List[RequestTimeline], log) -> None:
+    """Match logged DRAM commands to the (non-merged) requests they served."""
+    for slot, bank, line, kind, ready in log:
+        if kind != "read":
+            continue
+        for timeline in timelines:
+            if (timeline.issue_slot is None and not timeline.merged
+                    and not timeline.stalled and timeline.bank == bank):
+                timeline.issue_slot = slot
+                timeline.ready_slot = ready
+                break
+
+
+def render_gantt(
+    timelines: List[RequestTimeline],
+    bus_scaling: float = 1.0,
+    width: Optional[int] = None,
+    pipeline_char: str = ".",
+    access_char: str = "#",
+    stall_char: str = "X",
+) -> str:
+    """ASCII Gantt chart in the style of the paper's Figure 1.
+
+    One row per request; ``.`` marks in-the-pipeline cycles, ``#`` marks
+    the bank-access window (converted from memory-bus slots to interface
+    cycles via ``bus_scaling``), ``X`` flags a stalled request.
+    """
+    horizon = 0
+    for timeline in timelines:
+        if timeline.completed_at is not None:
+            horizon = max(horizon, timeline.completed_at + 1)
+    width = width or horizon
+    lines = []
+    for timeline in timelines:
+        label = f"{str(timeline.tag) or timeline.address:>8}"
+        if timeline.stalled:
+            lines.append(f"{label} {stall_char * 8}  (stalled)")
+            continue
+        row = [" "] * width
+        start = timeline.accepted_at
+        end = timeline.completed_at if timeline.completed_at is not None else width
+        for cycle in range(start, min(end + 1, width)):
+            row[cycle] = pipeline_char
+        if timeline.issue_slot is not None:
+            issue = int(timeline.issue_slot / bus_scaling)
+            ready = int(timeline.ready_slot / bus_scaling)
+            for cycle in range(issue, min(ready, width)):
+                row[cycle] = access_char
+        suffix = " (merged)" if timeline.merged else ""
+        lines.append(f"{label} {''.join(row)}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Traffic generators for driving the controller.
+
+Workloads are iterators of :class:`~repro.core.request.MemoryRequest`
+(or ``None`` for an idle interface cycle), which is exactly what
+:meth:`repro.core.VPNMController.step` consumes and what
+:func:`repro.sim.runner.run_workload` drives.
+
+Three families:
+
+- :mod:`~repro.workloads.generators` — well-behaved traffic: uniform
+  random, constant stride, Zipf-skewed reuse, mixed read/write, bursts.
+- :mod:`~repro.workloads.adversarial` — the attackers of the paper's
+  threat model (Sections 3.2, 4): single-bank pileups with oracle
+  knowledge of the hash, redundant-address floods, and the
+  observe-and-replay attacker of Section 4 ("an attacker cannot leverage
+  information about a stall unless they can ... replay the stall causing
+  events with minor changes").
+- :mod:`~repro.workloads.packets` — synthetic packet streams (sizes,
+  flows, TCP segments with reordering) feeding the Section 5.4
+  applications.
+"""
+
+from repro.workloads.adversarial import (
+    RedundancyFloodAdversary,
+    ReplayAdversary,
+    SingleBankAdversary,
+)
+from repro.workloads.generators import (
+    burst_traffic,
+    mixed_read_write,
+    stride_reads,
+    uniform_reads,
+    zipf_reads,
+)
+from repro.workloads.packets import (
+    Packet,
+    SyntheticFlow,
+    TCPSegment,
+    packet_trace,
+    tcp_segment_stream,
+)
+
+__all__ = [
+    "Packet",
+    "RedundancyFloodAdversary",
+    "ReplayAdversary",
+    "SingleBankAdversary",
+    "SyntheticFlow",
+    "TCPSegment",
+    "burst_traffic",
+    "mixed_read_write",
+    "packet_trace",
+    "stride_reads",
+    "tcp_segment_stream",
+    "uniform_reads",
+    "zipf_reads",
+]

@@ -1,0 +1,154 @@
+"""Adversarial traffic (the paper's threat model).
+
+The paper's central security claim (Sections 3.2, 5): with a universal
+hash and latency normalization, "it is provably hard for even a perfect
+adversary to create stalls in our virtual pipeline with greater
+effectiveness than random chance."
+
+The adversaries here are *stronger* than any network attacker:
+
+* :class:`SingleBankAdversary` is an oracle attacker that can inspect
+  the controller's private mapping and aim every request at one bank —
+  the upper bound on damage.  Against the real system such an oracle
+  does not exist; the bench uses it to (a) show the low-bits strawman
+  dies to a plain stride and (b) measure the blast radius if the hash
+  ever leaked.
+* :class:`RedundancyFloodAdversary` hammers a handful of addresses —
+  the "A,A,A,..." / "A,B,A,B,..." patterns of Section 3.4 that the
+  merging queue must absorb without queue growth.
+* :class:`ReplayAdversary` is the realistic attacker of Section 4: it
+  observes only what the interface reveals (acceptance/stall), remembers
+  sequences that preceded a stall, and replays them with perturbations.
+  Because latencies are normalized, stalls are the *only* signal, and
+  the analysis says replays work no better than chance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.controller import read_request
+from repro.core.request import MemoryRequest
+from repro.hashing.mapping import AddressMapper
+
+
+class SingleBankAdversary:
+    """Oracle attacker: aims distinct addresses at a single bank.
+
+    ``mapper`` is the victim's own address mapper (the oracle).  The
+    attacker enumerates addresses until it has a pool that all map to
+    ``target_bank`` and then streams reads over that pool.
+    """
+
+    def __init__(
+        self,
+        mapper: AddressMapper,
+        target_bank: int = 0,
+        pool_size: int = 64,
+        search_limit: int = 1_000_000,
+    ):
+        if not 0 <= target_bank < mapper.banks:
+            raise ValueError("target bank out of range")
+        self.mapper = mapper
+        self.target_bank = target_bank
+        self.pool: List[int] = []
+        address_limit = min(search_limit, 1 << mapper.address_bits)
+        for address in range(address_limit):
+            if mapper.bank_of(address) == target_bank:
+                self.pool.append(address)
+                if len(self.pool) >= pool_size:
+                    break
+        if len(self.pool) < pool_size:
+            raise ValueError(
+                f"found only {len(self.pool)} of {pool_size} addresses "
+                f"for bank {target_bank} within the search limit"
+            )
+
+    def requests(self, count: int) -> Iterator[MemoryRequest]:
+        """``count`` distinct-address reads, all hitting the target bank."""
+        for i in range(count):
+            yield read_request(self.pool[i % len(self.pool)])
+
+
+class RedundancyFloodAdversary:
+    """Floods a tiny set of addresses to attack the merging queue."""
+
+    def __init__(self, hot_addresses: Optional[List[int]] = None,
+                 pattern: str = "round-robin", seed: int = 0):
+        self.hot = hot_addresses if hot_addresses is not None else [0xA, 0xB]
+        if not self.hot:
+            raise ValueError("need at least one hot address")
+        if pattern not in ("round-robin", "random"):
+            raise ValueError(f"unknown pattern {pattern!r}")
+        self.pattern = pattern
+        self._rng = random.Random(seed)
+
+    def requests(self, count: int) -> Iterator[MemoryRequest]:
+        for i in range(count):
+            if self.pattern == "round-robin":
+                address = self.hot[i % len(self.hot)]
+            else:
+                address = self._rng.choice(self.hot)
+            yield read_request(address)
+
+
+class ReplayAdversary:
+    """Observe-and-replay attacker limited to interface-visible signals.
+
+    Strategy: send random probes; when the victim stalls, remember the
+    last ``window`` addresses, then replay that suffix repeatedly with
+    ``perturbation`` random substitutions, hoping the remembered pattern
+    re-collides.  Against a universal hash with hidden conflicts this
+    degenerates to random search (paper Sections 3.2/4); against the
+    low-bits mapping the very first remembered window keeps working.
+
+    Drive it interactively::
+
+        adversary = ReplayAdversary(address_bits=16, seed=7)
+        for _ in range(cycles):
+            request = adversary.next_request()
+            result = controller.step(request)
+            adversary.observe(request.address, result.accepted)
+    """
+
+    def __init__(self, address_bits: int = 32, window: int = 32,
+                 perturbation: int = 2, seed: int = 0):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.address_bits = address_bits
+        self.window = window
+        self.perturbation = perturbation
+        self._rng = random.Random(seed)
+        self._history: List[int] = []
+        self._replay: List[int] = []
+        self._replay_pos = 0
+        self.stalls_observed = 0
+
+    def next_request(self) -> MemoryRequest:
+        if self._replay:
+            address = self._replay[self._replay_pos]
+            self._replay_pos += 1
+            if self._replay_pos >= len(self._replay):
+                self._mutate_replay()
+                self._replay_pos = 0
+        else:
+            address = self._rng.getrandbits(self.address_bits)
+        return read_request(address)
+
+    def observe(self, address: int, accepted: bool) -> None:
+        """Feed back what the interface revealed about the last request."""
+        self._history.append(address)
+        if len(self._history) > self.window:
+            self._history.pop(0)
+        if not accepted:
+            self.stalls_observed += 1
+            # Remember the suffix that (apparently) caused the stall.
+            self._replay = list(self._history)
+            self._replay_pos = 0
+
+    def _mutate_replay(self) -> None:
+        """Perturb a few positions — 'replay ... with minor changes'."""
+        for _ in range(min(self.perturbation, len(self._replay))):
+            index = self._rng.randrange(len(self._replay))
+            self._replay[index] = self._rng.getrandbits(self.address_bits)

@@ -1,0 +1,145 @@
+"""Well-behaved traffic generators.
+
+Each generator yields :class:`~repro.core.request.MemoryRequest` objects
+(or ``None`` for idle cycles) and is infinite unless ``count`` is given —
+callers slice with :func:`itertools.islice` or pass ``count``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Optional
+
+from repro.core.request import MemoryRequest
+from repro.core.controller import read_request, write_request
+
+
+def _bounded(iterator: Iterator, count: Optional[int]) -> Iterator:
+    return iterator if count is None else itertools.islice(iterator, count)
+
+
+def uniform_reads(
+    address_bits: int = 32,
+    count: Optional[int] = None,
+    seed: int = 0,
+) -> Iterator[MemoryRequest]:
+    """Uniform random read addresses — the analytical model's assumption."""
+    rng = random.Random(seed)
+
+    def gen():
+        while True:
+            yield read_request(rng.getrandbits(address_bits))
+
+    return _bounded(gen(), count)
+
+
+def stride_reads(
+    stride: int,
+    start: int = 0,
+    address_bits: int = 32,
+    count: Optional[int] = None,
+) -> Iterator[MemoryRequest]:
+    """Constant-stride reads — the classic banked-memory pathology.
+
+    Against a low-bits bank mapping, ``stride == banks`` pins every
+    access on one bank; against the universal hash it behaves like
+    uniform traffic (paper Section 2, citing Rau).
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    mask = (1 << address_bits) - 1
+
+    def gen():
+        address = start & mask
+        while True:
+            yield read_request(address)
+            address = (address + stride) & mask
+
+    return _bounded(gen(), count)
+
+
+def zipf_reads(
+    universe: int = 4096,
+    exponent: float = 1.1,
+    address_bits: int = 32,
+    count: Optional[int] = None,
+    seed: int = 0,
+) -> Iterator[MemoryRequest]:
+    """Zipf-skewed reads over a working set — models hot data structures.
+
+    Heavy reuse stresses the merging queue: popular addresses should be
+    coalesced into shared delay-storage rows rather than re-fetched.
+    """
+    if universe < 1:
+        raise ValueError("universe must be >= 1")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    rng = random.Random(seed)
+    # Precompute the CDF once; universe is modest by construction.
+    weights = [1.0 / (rank ** exponent) for rank in range(1, universe + 1)]
+    total = sum(weights)
+    cdf = list(itertools.accumulate(w / total for w in weights))
+    # Spread the ranked items over the address space deterministically.
+    spread = random.Random(seed + 1)
+    addresses = [spread.getrandbits(address_bits) for _ in range(universe)]
+
+    def gen():
+        import bisect
+        while True:
+            rank = bisect.bisect_left(cdf, rng.random())
+            yield read_request(addresses[min(rank, universe - 1)])
+
+    return _bounded(gen(), count)
+
+
+def mixed_read_write(
+    read_fraction: float = 0.7,
+    address_bits: int = 32,
+    working_set: int = 65536,
+    count: Optional[int] = None,
+    seed: int = 0,
+) -> Iterator[MemoryRequest]:
+    """Random mix of reads and writes over a bounded working set."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    mask = (1 << address_bits) - 1
+
+    def gen():
+        serial = 0
+        while True:
+            address = rng.randrange(working_set) & mask
+            if rng.random() < read_fraction:
+                yield read_request(address)
+            else:
+                serial += 1
+                yield write_request(address, f"w{serial}")
+
+    return _bounded(gen(), count)
+
+
+def burst_traffic(
+    burst_length: int = 16,
+    gap_length: int = 16,
+    address_bits: int = 32,
+    count: Optional[int] = None,
+    seed: int = 0,
+) -> Iterator[Optional[MemoryRequest]]:
+    """Bursty arrivals: ``burst_length`` back-to-back reads, then idle.
+
+    Yields ``None`` during gaps, modeling an interface that is not
+    saturated every cycle (packet arrivals are bursty at sub-line rates).
+    """
+    if burst_length < 1 or gap_length < 0:
+        raise ValueError("burst_length >= 1 and gap_length >= 0 required")
+    rng = random.Random(seed)
+
+    def gen():
+        while True:
+            for _ in range(burst_length):
+                yield read_request(rng.getrandbits(address_bits))
+            for _ in range(gap_length):
+                yield None
+
+    return _bounded(gen(), count)

@@ -1,0 +1,181 @@
+"""Synthetic packet traces for the Section 5.4 applications.
+
+The paper's production inputs (real line-rate traffic) are replaced by
+synthetic equivalents that exercise the same code paths:
+
+* :func:`packet_trace` — a stream of :class:`Packet` with realistic
+  size mix (the classic Internet trimodal 40/576/1500-byte mix by
+  default) spread over many flows/interfaces, for the packet buffer.
+* :func:`tcp_segment_stream` — per-connection byte streams cut into
+  segments and *reordered within a bounded window* (plus optional
+  adversarial "signature-splitting" reordering, the attack motivating
+  Section 5.4.2), for the reassembler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet arriving at a line card."""
+
+    flow: int            # destination queue / interface
+    size: int            # bytes
+    serial: int          # arrival order stamp
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("packet size must be >= 1 byte")
+        if self.flow < 0:
+            raise ValueError("flow must be non-negative")
+
+
+#: The classic Internet packet-size mix: ~50% minimum-size TCP acks,
+#: ~30%576-byte legacy MTU, ~20% 1500-byte full frames.
+TRIMODAL_SIZES: Sequence[Tuple[int, float]] = (
+    (40, 0.5),
+    (576, 0.3),
+    (1500, 0.2),
+)
+
+
+def packet_trace(
+    count: int,
+    flows: int = 64,
+    sizes: Sequence[Tuple[int, float]] = TRIMODAL_SIZES,
+    seed: int = 0,
+    zipf_flows: bool = True,
+) -> Iterator[Packet]:
+    """A synthetic arrival trace of ``count`` packets.
+
+    Flow popularity is Zipf-skewed by default (a few heavy queues, many
+    light ones), which is the stressful case for per-queue buffering.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if flows < 1:
+        raise ValueError("flows must be >= 1")
+    total = sum(weight for _, weight in sizes)
+    if total <= 0:
+        raise ValueError("size weights must sum to a positive value")
+    rng = random.Random(seed)
+    size_values = [s for s, _ in sizes]
+    size_weights = [w / total for _, w in sizes]
+    if zipf_flows:
+        flow_weights = [1.0 / (rank + 1) for rank in range(flows)]
+    else:
+        flow_weights = [1.0] * flows
+
+    for serial in range(count):
+        size = rng.choices(size_values, weights=size_weights)[0]
+        flow = rng.choices(range(flows), weights=flow_weights)[0]
+        yield Packet(flow=flow, size=size, serial=serial)
+
+
+@dataclass(frozen=True)
+class TCPSegment:
+    """One TCP segment of a connection's byte stream."""
+
+    connection: int
+    sequence: int        # byte offset of the first payload byte
+    payload: bytes
+    fin: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.sequence + len(self.payload)
+
+
+@dataclass
+class SyntheticFlow:
+    """A connection's full byte stream, for generating segment traces."""
+
+    connection: int
+    data: bytes
+    mss: int = 512
+
+    def segments(self) -> List[TCPSegment]:
+        """Cut the stream into in-order segments of at most ``mss`` bytes."""
+        if self.mss < 1:
+            raise ValueError("mss must be >= 1")
+        out = []
+        for offset in range(0, len(self.data), self.mss):
+            chunk = self.data[offset:offset + self.mss]
+            out.append(
+                TCPSegment(
+                    connection=self.connection,
+                    sequence=offset,
+                    payload=chunk,
+                    fin=offset + len(chunk) >= len(self.data),
+                )
+            )
+        if not out:  # empty stream still closes
+            out.append(TCPSegment(self.connection, 0, b"", fin=True))
+        return out
+
+
+def _bounded_shuffle(items: List, window: int, rng: random.Random) -> List:
+    """Reorder so no element moves more than ``window`` positions.
+
+    Models network reordering: displacement is bounded in practice.
+    """
+    keyed = [(index + rng.uniform(0, window), item)
+             for index, item in enumerate(items)]
+    keyed.sort(key=lambda pair: pair[0])
+    return [item for _, item in keyed]
+
+
+def _split_marker(segments: List[TCPSegment], marker: bytes,
+                  rng: random.Random) -> List[TCPSegment]:
+    """Adversarial reorder: move segments containing ``marker`` bytes late.
+
+    Emulates the attacker of Section 5.4.2 who "can craft out-of-sequence
+    TCP packets such that the worm/virus signature is intentionally
+    divided on the boundary of two reordered packets" — an in-order
+    reassembler must still reconstruct the contiguous stream.
+    """
+    carrying = [s for s in segments if marker and marker in s.payload]
+    rest = [s for s in segments if s not in carrying]
+    rng.shuffle(carrying)
+    return rest + carrying
+
+
+def tcp_segment_stream(
+    flows: Sequence[SyntheticFlow],
+    reorder_window: int = 8,
+    seed: int = 0,
+    adversarial_marker: Optional[bytes] = None,
+) -> List[TCPSegment]:
+    """Interleave the flows' segments with bounded reordering.
+
+    With ``adversarial_marker`` set, segments containing that byte string
+    are additionally displaced to the end of their flow (the signature-
+    splitting attack).
+    """
+    rng = random.Random(seed)
+    per_flow: List[List[TCPSegment]] = []
+    for flow in flows:
+        segments = flow.segments()
+        if adversarial_marker is not None:
+            segments = _split_marker(segments, adversarial_marker, rng)
+        elif reorder_window > 0:
+            segments = _bounded_shuffle(segments, reorder_window, rng)
+        per_flow.append(segments)
+
+    # Interleave flows round-robin-ish with jitter.
+    interleaved: List[TCPSegment] = []
+    cursors = [0] * len(per_flow)
+    remaining = sum(len(s) for s in per_flow)
+    while remaining:
+        candidates = [i for i, c in enumerate(cursors)
+                      if c < len(per_flow[i])]
+        flow_index = rng.choice(candidates)
+        interleaved.append(per_flow[flow_index][cursors[flow_index]])
+        cursors[flow_index] += 1
+        remaining -= 1
+    return interleaved

@@ -1,0 +1,125 @@
+"""Tests for the birthday-paradox helpers and the quasi-stationary
+backlog distribution."""
+
+import math
+
+import pytest
+
+from repro.analysis.birthday import (
+    accesses_for_collision_probability,
+    collision_probability,
+    expected_accesses_to_first_collision,
+    no_collision_probability,
+    simulate_first_collision,
+    sqrt_approximation,
+)
+from repro.analysis.markov import BankQueueChain
+from repro.core import VPNMConfig
+from repro.sim.fastsim import FastStallSimulator
+
+
+class TestBirthday:
+    def test_classic_birthday_number(self):
+        """23 people / 365 days: the textbook anchor."""
+        assert collision_probability(365, 23) > 0.5
+        assert collision_probability(365, 22) < 0.5
+        assert accesses_for_collision_probability(365) == 23
+
+    def test_degenerate_cases(self):
+        assert no_collision_probability(10, 0) == 1.0
+        assert no_collision_probability(10, 1) == 1.0
+        assert no_collision_probability(10, 11) == 0.0  # pigeonhole
+        assert collision_probability(1, 2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            no_collision_probability(0, 1)
+        with pytest.raises(ValueError):
+            no_collision_probability(10, -1)
+        with pytest.raises(ValueError):
+            expected_accesses_to_first_collision(0)
+        with pytest.raises(ValueError):
+            accesses_for_collision_probability(10, 0.0)
+        with pytest.raises(ValueError):
+            simulate_first_collision(10, trials=0)
+
+    def test_expectation_matches_sqrt_asymptotics(self):
+        """The paper's O(sqrt(B)) claim: E[N] ~ sqrt(pi*B/2) + 2/3."""
+        for banks in (32, 64, 512):
+            exact = expected_accesses_to_first_collision(banks)
+            approx = sqrt_approximation(banks)
+            assert abs(exact / approx - 1) < 0.03, banks
+
+    def test_expectation_matches_simulation(self):
+        for banks in (16, 64):
+            exact = expected_accesses_to_first_collision(banks)
+            simulated = simulate_first_collision(banks, trials=4000, seed=1)
+            assert abs(simulated / exact - 1) < 0.05, banks
+
+    def test_paper_motivating_numbers(self):
+        """For the paper's B=32: an unqueued system stalls within ~8
+        accesses on average — hence the queues."""
+        expectation = expected_accesses_to_first_collision(32)
+        assert 6 < expectation < 9
+        # ... while the queued system's MTS is ~10^5+ cycles (Figure 6).
+
+    def test_monotone_in_accesses(self):
+        values = [collision_probability(64, n) for n in range(0, 40)]
+        assert values == sorted(values)
+
+
+class TestQuasiStationaryDistribution:
+    def test_is_a_distribution(self):
+        chain = BankQueueChain(banks=8, bank_latency=4, queue_depth=3,
+                               bus_scaling=1.3)
+        dist = chain.quasi_stationary_distribution()
+        assert dist.shape[0] == 3 * 4 + 1
+        assert dist.min() >= 0.0
+        assert abs(dist.sum() - 1.0) < 1e-9
+
+    def test_light_load_concentrates_near_idle(self):
+        chain = BankQueueChain(banks=64, bank_latency=4, queue_depth=4,
+                               bus_scaling=1.3)
+        dist = chain.quasi_stationary_distribution()
+        assert dist[:5].sum() > 0.9
+
+    def test_mean_backlog_grows_with_load(self):
+        light = BankQueueChain(32, 8, 4, 1.3).mean_backlog()
+        heavy = BankQueueChain(8, 8, 4, 1.3).mean_backlog()
+        assert heavy > light * 2
+
+    @pytest.mark.parametrize("params", [
+        dict(banks=16, bank_latency=8, queue_depth=4, bus_scaling=1.3),
+        dict(banks=8, bank_latency=6, queue_depth=3, bus_scaling=1.3),
+    ])
+    def test_matches_simulated_backlog_with_bus_headroom(self, params):
+        """With R > 1 (bus not saturated) the chain's quasi-stationary
+        mean backlog tracks the simulator within ~35%."""
+        config = VPNMConfig(delay_rows=4096, hash_latency=0, **params)
+        result = FastStallSimulator(config, seed=13).run(
+            300_000, track_backlog=True
+        )
+        histogram = result.backlog_histogram
+        total = sum(histogram.values())
+        simulated_mean = sum(k * v for k, v in histogram.items()) / total
+        chain = BankQueueChain(**params)
+        predicted = chain.mean_backlog()
+        assert abs(simulated_mean / predicted - 1) < 0.35, (
+            simulated_mean, predicted
+        )
+
+    def test_saturated_bus_exceeds_chain_prediction(self):
+        """At R=1.0 with full-rate traffic the *bus* is 100% utilized;
+        bus queueing adds backlog the per-bank chain does not model —
+        the quantitative case for R > 1 (paper Section 4)."""
+        params = dict(banks=8, bank_latency=4, queue_depth=4,
+                      bus_scaling=1.0)
+        config = VPNMConfig(delay_rows=4096, hash_latency=0, **params)
+        result = FastStallSimulator(config, seed=13).run(
+            300_000, track_backlog=True
+        )
+        histogram = result.backlog_histogram
+        total = sum(histogram.values())
+        simulated_mean = sum(k * v for k, v in histogram.items()) / total
+        predicted = BankQueueChain(**params).mean_backlog()
+        assert simulated_mean > predicted * 1.5

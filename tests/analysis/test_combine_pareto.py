@@ -1,0 +1,116 @@
+"""Tests for MTS combination, unit conversion, and Pareto utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.combine import (
+    combined_mts,
+    mts_seconds,
+    mts_to_human,
+    system_mts,
+)
+from repro.analysis.pareto import ParetoPoint, knee_point, pareto_frontier
+from repro.core import VPNMConfig, paper_config
+
+
+class TestCombinedMTS:
+    def test_harmonic_combination(self):
+        assert combined_mts(100.0, 100.0) == pytest.approx(50.0)
+        assert combined_mts(10.0, 1e12) == pytest.approx(10.0, rel=1e-6)
+
+    def test_infinite_terms_drop_out(self):
+        assert combined_mts(math.inf, 500.0) == 500.0
+        assert combined_mts(math.inf, math.inf) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            combined_mts()
+        with pytest.raises(ValueError):
+            combined_mts(0.0)
+        with pytest.raises(ValueError):
+            combined_mts(-5.0)
+
+    def test_system_mts_below_each_component(self):
+        cfg = VPNMConfig(hash_latency=0)
+        from repro.analysis.delay_buffer_stall import delay_buffer_mts
+        from repro.analysis.markov import bank_queue_mts
+        total = system_mts(cfg)
+        assert total <= delay_buffer_mts(cfg.delay_rows,
+                                         cfg.normalized_delay, cfg.banks)
+        assert total <= bank_queue_mts(cfg.banks, cfg.bank_latency,
+                                       cfg.queue_depth, cfg.bus_scaling,
+                                       scope="system")
+
+    def test_table2_ladder_is_monotone(self):
+        """Bigger Table 2 design points must have larger analytical MTS,
+        with the big multiplicative steps the paper reports."""
+        values = [system_mts(paper_config(i, hash_latency=0))
+                  for i in range(4)]
+        assert values == sorted(values)
+        assert values[-1] / values[0] > 1e6  # paper: 5.12e5 -> 6.5e13
+
+
+class TestUnits:
+    def test_paper_reference_points(self):
+        """1 GHz clock: 10^9 cycles = 1 s; 3.6e12 = 1 h; 8.64e13 = 1 day."""
+        assert mts_seconds(1e9) == pytest.approx(1.0)
+        assert mts_seconds(3.6e12) == pytest.approx(3600.0)
+        assert mts_seconds(8.64e13) == pytest.approx(86400.0)
+
+    def test_clock_scaling(self):
+        assert mts_seconds(1e9, clock_mhz=500.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mts_seconds(1e9, clock_mhz=0)
+
+    def test_human_rendering(self):
+        assert "days" in mts_to_human(8.64e13 * 3)
+        assert "hours" in mts_to_human(3.6e12 * 2)
+        assert "min" in mts_to_human(1.2e11)
+        assert "ms" in mts_to_human(1e6)
+        assert "ns" in mts_to_human(100)
+        assert "never" in mts_to_human(math.inf)
+        assert ">100 years" in mts_to_human(1e25)
+
+
+class TestPareto:
+    def points(self):
+        return [
+            ParetoPoint(area_mm2=10, mts_cycles=1e6, config="a"),
+            ParetoPoint(area_mm2=20, mts_cycles=1e9, config="b"),
+            ParetoPoint(area_mm2=20, mts_cycles=1e7, config="c"),   # dominated
+            ParetoPoint(area_mm2=30, mts_cycles=1e8, config="d"),   # dominated
+            ParetoPoint(area_mm2=40, mts_cycles=1e13, config="e"),
+        ]
+
+    def test_dominates(self):
+        a = ParetoPoint(10, 1e6)
+        b = ParetoPoint(20, 1e6)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_frontier_filters_dominated(self):
+        frontier = pareto_frontier(self.points())
+        assert [p.config for p in frontier] == ["a", "b", "e"]
+
+    def test_frontier_sorted_by_area(self):
+        frontier = pareto_frontier(self.points())
+        areas = [p.area_mm2 for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_frontier_of_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_knee_point(self):
+        frontier = pareto_frontier(self.points())
+        knee = knee_point(frontier)
+        # b: +3 decades for +10mm2 (0.3/mm2) beats e: +4 for +20 (0.2).
+        assert knee.config == "b"
+
+    def test_knee_degenerate_cases(self):
+        assert knee_point([]) is None
+        only = ParetoPoint(1, 1)
+        assert knee_point([only]) is only

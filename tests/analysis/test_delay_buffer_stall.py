@@ -1,0 +1,155 @@
+"""Tests for the Section 5.1 closed-form MTS."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.delay_buffer_stall import (
+    delay_buffer_mts,
+    log10_delay_buffer_mts,
+    log_exact_tail_probability,
+    log_stall_window_probability,
+    minimum_rows_for_mts,
+    stall_window_probability,
+)
+
+
+class TestWindowProbability:
+    def test_hand_computed_small_case(self):
+        # K=2, D=3, B=2: p = C(2,1) * (1/2)^1 = 1.0
+        assert stall_window_probability(2, 3, 2) == pytest.approx(1.0)
+        # K=3, D=3, B=2: p = C(2,2) * (1/4) = 0.25
+        assert stall_window_probability(3, 3, 2) == pytest.approx(0.25)
+
+    def test_impossible_window_is_zero(self):
+        # K=5 requests cannot fit in a D=3 window.
+        assert stall_window_probability(5, 3, 4) == 0.0
+        assert log_stall_window_probability(5, 3, 4) == -math.inf
+
+    def test_probability_clamped_to_one(self):
+        # Degenerate: leading term exceeds 1 (K=2, D=100, B=2).
+        assert stall_window_probability(2, 100, 2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stall_window_probability(0, 10, 4)
+        with pytest.raises(ValueError):
+            stall_window_probability(4, 0, 4)
+        with pytest.raises(ValueError):
+            stall_window_probability(4, 10, 0)
+
+    @given(rows=st.integers(2, 40), delay=st.integers(2, 300),
+           banks=st.sampled_from([2, 4, 8, 16, 32]))
+    @settings(max_examples=60)
+    def test_monotonic_in_parameters(self, rows, delay, banks):
+        """Longer windows -> higher p; more banks -> lower p; and in the
+        rare-stall regime (K above the window's expected count, where
+        the leading term is a real probability), more rows -> lower p."""
+        from hypothesis import assume
+        p = log_stall_window_probability(rows, delay, banks)
+        assert log_stall_window_probability(rows, delay + 1, banks) >= p
+        assert log_stall_window_probability(rows, delay, banks * 2) <= p
+        # Row-monotonicity holds above the binomial mode; below it the
+        # unnormalized leading term is not a probability and can grow.
+        assume(rows - 1 > (delay - 1) / banks)
+        assert log_stall_window_probability(rows + 1, delay, banks) <= p
+
+    def test_exact_tail_at_least_leading_term_with_survival(self):
+        """The exact tail includes every j >= K-1 term, so it exceeds the
+        single j = K-1 term with its survival factor."""
+        rows, delay, banks = 8, 64, 8
+        trials, threshold = delay - 1, rows - 1
+        leading_with_survival = (
+            math.lgamma(trials + 1) - math.lgamma(threshold + 1)
+            - math.lgamma(trials - threshold + 1)
+            + threshold * math.log(1 / banks)
+            + (trials - threshold) * math.log(1 - 1 / banks)
+        )
+        assert log_exact_tail_probability(rows, delay, banks) >= (
+            leading_with_survival
+        )
+
+    def test_exact_tail_is_a_probability(self):
+        for rows, delay, banks in [(4, 32, 4), (8, 100, 16), (16, 160, 32)]:
+            assert log_exact_tail_probability(rows, delay, banks) <= 0.0
+
+    def test_exact_tail_single_bank_is_certain(self):
+        assert log_exact_tail_probability(3, 10, 1) == 0.0
+
+
+class TestMTS:
+    def test_figure4_headline_point(self):
+        """Paper Figure 4: B=32, K=32 (Q=8 -> D=160) reaches ~10^12;
+        our evaluation of their formula lands within 2 decades."""
+        value = log10_delay_buffer_mts(32, 160, 32)
+        assert 11.5 < value < 14.5
+
+    def test_figure4_b32_vs_b64_nearly_coincide(self):
+        """'The curve for B = 64 follows very closely the curve for
+        B = 32' — within a couple of decades at matched K."""
+        for rows in (32, 64, 96):
+            b32 = log10_delay_buffer_mts(rows, 160, 32)
+            b64 = log10_delay_buffer_mts(rows, 160, 64)
+            assert b64 > b32  # more banks strictly better
+        # ... but low-bank systems are hopeless (B=4 far below B=32).
+        assert log10_delay_buffer_mts(32, 240, 4) < 8 < (
+            log10_delay_buffer_mts(32, 160, 32)
+        )
+
+    def test_mts_certain_stall_is_one_window(self):
+        assert delay_buffer_mts(2, 100, 2) == 100.0
+
+    def test_mts_impossible_stall_is_infinite(self):
+        assert delay_buffer_mts(50, 10, 4) == math.inf
+
+    def test_mts_huge_values_do_not_overflow(self):
+        huge = delay_buffer_mts(128, 160, 64)
+        assert huge > 1e100 or huge == math.inf  # no overflow error
+        assert log10_delay_buffer_mts(128, 160, 64) > 100  # finite log
+        # A value that genuinely exceeds float range returns inf.
+        assert delay_buffer_mts(1024, 1100, 512) == math.inf
+
+    def test_moderate_regime_consistency(self):
+        """Where p is moderate, MTS and its log10 version must agree."""
+        value = delay_buffer_mts(6, 40, 4)
+        assert math.isfinite(value)
+        assert math.log10(value) == pytest.approx(
+            log10_delay_buffer_mts(6, 40, 4), rel=1e-6
+        )
+
+    def test_paper_formula_is_conservative(self):
+        """The paper's leading term omits the ``(1-1/B)^(D-K)`` survival
+        factor, so it *over*-estimates the stall probability: the exact
+        binomial tail yields a larger (more optimistic) MTS.  The paper
+        itself notes its estimate 'counts some stalls multiple times'."""
+        leading = delay_buffer_mts(16, 160, 32, tail="leading")
+        exact = delay_buffer_mts(16, 160, 32, tail="exact")
+        assert exact >= leading
+
+    def test_bad_tail_kind(self):
+        with pytest.raises(ValueError):
+            delay_buffer_mts(4, 10, 4, tail="fat")
+
+    @given(rows=st.integers(3, 30), banks=st.sampled_from([4, 8, 16, 32]))
+    @settings(max_examples=40)
+    def test_mts_monotonic_in_rows(self, rows, banks):
+        delay = 80
+        assert (log10_delay_buffer_mts(rows + 1, delay, banks)
+                >= log10_delay_buffer_mts(rows, delay, banks))
+
+
+class TestDesignHelper:
+    def test_minimum_rows_achieves_target(self):
+        rows = minimum_rows_for_mts(1e12, delay=160, banks=32)
+        assert log10_delay_buffer_mts(rows, 160, 32) >= 12
+        assert log10_delay_buffer_mts(rows - 1, 160, 32) < 12
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            minimum_rows_for_mts(1e12, delay=160, banks=32, max_rows=4)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            minimum_rows_for_mts(0, delay=10, banks=4)

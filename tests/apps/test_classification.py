@@ -1,0 +1,199 @@
+"""Tests for packet classification on VPNM."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.classification import (
+    BitmapTrie,
+    ClassifierRule,
+    RuleSet,
+    VPNMClassifierEngine,
+)
+from repro.core import VPNMConfig, VPNMController
+
+
+def ip(a, b, c, d):
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def prefix_rule(src, src_len, dst, dst_len, action="permit"):
+    return ClassifierRule(src_prefix=src, src_length=src_len,
+                          dst_prefix=dst, dst_length=dst_len, action=action)
+
+
+def make_engine(ruleset, **cfg):
+    params = dict(banks=32, queue_depth=8, delay_rows=32, hash_latency=0)
+    params.update(cfg)
+    engine = VPNMClassifierEngine(
+        ruleset, VPNMController(VPNMConfig(**params), seed=44)
+    )
+    engine.load_tables()
+    return engine
+
+
+class TestClassifierRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prefix_rule(0, 33, 0, 0)
+        with pytest.raises(ValueError):
+            prefix_rule(ip(10, 0, 0, 1), 8, 0, 0)
+        with pytest.raises(ValueError):
+            ClassifierRule(src_prefix=1 << 33, src_length=8,
+                           dst_prefix=0, dst_length=0)
+
+    def test_matches(self):
+        rule = prefix_rule(ip(10, 0, 0, 0), 8, ip(192, 168, 0, 0), 16)
+        assert rule.matches(ip(10, 1, 1, 1), ip(192, 168, 9, 9))
+        assert not rule.matches(ip(11, 1, 1, 1), ip(192, 168, 9, 9))
+        assert not rule.matches(ip(10, 1, 1, 1), ip(192, 169, 9, 9))
+
+    def test_zero_length_matches_everything(self):
+        rule = prefix_rule(0, 0, 0, 0)
+        assert rule.matches(0xFFFFFFFF, 0)
+
+
+class TestBitmapTrie:
+    def test_strides_validation(self):
+        with pytest.raises(ValueError):
+            BitmapTrie(strides=(8, 8))
+
+    def test_lookup_unions_covering_prefixes(self):
+        trie = BitmapTrie()
+        trie.insert(ip(10, 0, 0, 0), 8, 0)
+        trie.insert(ip(10, 1, 0, 0), 16, 1)
+        trie.insert(0, 0, 2)  # matches all
+        assert trie.lookup(ip(10, 1, 5, 5)) == {0, 1, 2}
+        assert trie.lookup(ip(10, 2, 5, 5)) == {0, 2}
+        assert trie.lookup(ip(11, 0, 0, 0)) == {2}
+
+    def test_mid_stride_expansion_ors(self):
+        trie = BitmapTrie()
+        trie.insert(ip(10, 16, 0, 0), 12, 0)
+        trie.insert(ip(10, 20, 0, 0), 16, 1)
+        assert trie.lookup(ip(10, 20, 1, 1)) == {0, 1}
+        assert trie.lookup(ip(10, 17, 1, 1)) == {0}
+
+    def test_lookup_validation(self):
+        with pytest.raises(ValueError):
+            BitmapTrie().lookup(1 << 32)
+
+
+class TestRuleSet:
+    def acl(self):
+        return RuleSet([
+            prefix_rule(ip(10, 0, 0, 0), 8, ip(192, 168, 0, 0), 16,
+                        action="deny"),
+            prefix_rule(ip(10, 0, 0, 0), 8, 0, 0, action="permit"),
+            prefix_rule(0, 0, ip(192, 168, 1, 0), 24, action="log"),
+            prefix_rule(0, 0, 0, 0, action="default"),
+        ])
+
+    def test_priority_first_match_wins(self):
+        acl = self.acl()
+        # Matches rules 0, 1, 3 -> rule 0 (deny) wins.
+        assert acl.classify(ip(10, 5, 5, 5), ip(192, 168, 2, 2)) == 0
+        # Matches rules 1, 3 -> rule 1.
+        assert acl.classify(ip(10, 5, 5, 5), ip(8, 8, 8, 8)) == 1
+        # Matches rules 2, 3 -> rule 2.
+        assert acl.classify(ip(99, 0, 0, 1), ip(192, 168, 1, 9)) == 2
+        # Only the default.
+        assert acl.classify(ip(99, 0, 0, 1), ip(8, 8, 8, 8)) == 3
+
+    def test_action_of(self):
+        acl = self.acl()
+        assert acl.action_of(0) == "deny"
+        assert acl.action_of(None) == "deny"
+        assert acl.action_of(None, default="drop") == "drop"
+
+    def test_no_match_possible(self):
+        ruleset = RuleSet([prefix_rule(ip(10, 0, 0, 0), 8, 0, 0)])
+        assert ruleset.classify(ip(11, 0, 0, 0), 0) is None
+
+    def test_empty_ruleset_rejected(self):
+        with pytest.raises(ValueError):
+            RuleSet([])
+
+    @given(seed=st.integers(0, 10_000), rule_count=st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, seed, rule_count):
+        rng = random.Random(seed)
+        rules = []
+        for _ in range(rule_count):
+            src_len = rng.choice([0, 8, 12, 16, 24])
+            dst_len = rng.choice([0, 8, 16, 24, 32])
+            src = rng.getrandbits(32)
+            src &= (0xFFFFFFFF << (32 - src_len)) & 0xFFFFFFFF if src_len \
+                else 0
+            dst = rng.getrandbits(32)
+            dst &= (0xFFFFFFFF << (32 - dst_len)) & 0xFFFFFFFF if dst_len \
+                else 0
+            rules.append(prefix_rule(src, src_len, dst, dst_len))
+        ruleset = RuleSet(rules)
+        for _ in range(40):
+            src, dst = rng.getrandbits(32), rng.getrandbits(32)
+            assert ruleset.classify(src, dst) == \
+                ruleset.classify_brute_force(src, dst)
+
+
+class TestVPNMClassifierEngine:
+    def test_requires_load(self):
+        ruleset = RuleSet([prefix_rule(0, 0, 0, 0)])
+        engine = VPNMClassifierEngine(
+            ruleset, VPNMController(VPNMConfig(hash_latency=0))
+        )
+        with pytest.raises(RuntimeError):
+            engine.submit(0, 0)
+
+    def test_engine_matches_functional_classifier(self):
+        acl = TestRuleSet().acl()
+        engine = make_engine(acl)
+        rng = random.Random(8)
+        packets = [(rng.getrandbits(32), rng.getrandbits(32))
+                   for _ in range(60)]
+        packets += [(ip(10, 5, 5, 5), ip(192, 168, 2, 2)),
+                    (ip(99, 0, 0, 1), ip(8, 8, 8, 8))]
+        results = engine.classify_batch(packets)
+        assert [r.rule_index for r in results] == [
+            acl.classify(src, dst) for src, dst in packets
+        ]
+
+    def test_reads_bounded_by_two_walks(self):
+        acl = TestRuleSet().acl()
+        engine = make_engine(acl)
+        results = engine.classify_batch([(ip(10, 1, 2, 3),
+                                          ip(192, 168, 1, 1))])
+        (result,) = results
+        levels = len(acl.src_trie.strides)
+        assert 2 <= result.reads <= 2 * levels
+
+    def test_no_stalls_at_paper_design_point(self):
+        acl = TestRuleSet().acl()
+        engine = make_engine(acl)
+        rng = random.Random(9)
+        engine.classify_batch([(rng.getrandbits(32), rng.getrandbits(32))
+                               for _ in range(80)])
+        assert engine.controller.stats.stalls == 0
+
+    def test_pipelining_sustains_throughput(self):
+        acl = TestRuleSet().acl()
+        engine = make_engine(acl)
+        rng = random.Random(10)
+        # Deep-walking packets (both fields match /8+ prefixes).
+        packets = [(ip(10, rng.randrange(256), rng.randrange(256),
+                       rng.randrange(256)),
+                    ip(192, 168, 1, rng.randrange(256)))
+                   for _ in range(400)]
+        engine.classify_batch(packets)
+        rate = engine.classifications_per_cycle()
+        # Bound: 1 / (2 * mean levels); require a healthy fraction.
+        assert rate > 1 / 8 * 0.5
+
+    def test_address_space_check(self):
+        acl = TestRuleSet().acl()
+        with pytest.raises(ValueError):
+            VPNMClassifierEngine(acl, VPNMController(
+                VPNMConfig(address_bits=10, hash_latency=0)
+            ))

@@ -1,0 +1,63 @@
+"""Property-based equivalence: the DRAM classifier engine against the
+brute-force oracle, over random rulesets and packets."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.classification import (
+    ClassifierRule,
+    RuleSet,
+    VPNMClassifierEngine,
+)
+from repro.core import VPNMConfig, VPNMController
+
+
+def random_ruleset(rng, rule_count):
+    rules = []
+    for _ in range(rule_count):
+        src_len = rng.choice([0, 8, 16, 24])
+        dst_len = rng.choice([0, 8, 16, 24])
+        src = rng.getrandbits(32)
+        src &= (0xFFFFFFFF << (32 - src_len)) & 0xFFFFFFFF if src_len else 0
+        dst = rng.getrandbits(32)
+        dst &= (0xFFFFFFFF << (32 - dst_len)) & 0xFFFFFFFF if dst_len else 0
+        rules.append(ClassifierRule(src, src_len, dst, dst_len))
+    return RuleSet(rules)
+
+
+@given(seed=st.integers(0, 10_000), rule_count=st.integers(1, 15),
+       packet_count=st.integers(1, 20))
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_engine_equals_oracle_on_random_rulesets(seed, rule_count,
+                                                 packet_count):
+    rng = random.Random(seed)
+    ruleset = random_ruleset(rng, rule_count)
+    engine = VPNMClassifierEngine(
+        ruleset,
+        VPNMController(
+            VPNMConfig(banks=16, queue_depth=8, delay_rows=32,
+                       hash_latency=0),
+            seed=seed,
+        ),
+    )
+    engine.load_tables()
+    # Mix of fully random packets and packets biased to match rules.
+    packets = []
+    for _ in range(packet_count):
+        if rng.random() < 0.5 and ruleset.rules:
+            rule = rng.choice(ruleset.rules)
+            src = rule.src_prefix | rng.getrandbits(32 - rule.src_length) \
+                if rule.src_length < 32 else rule.src_prefix
+            dst = rule.dst_prefix | rng.getrandbits(32 - rule.dst_length) \
+                if rule.dst_length < 32 else rule.dst_prefix
+            packets.append((src, dst))
+        else:
+            packets.append((rng.getrandbits(32), rng.getrandbits(32)))
+    results = engine.classify_batch(packets)
+    assert [r.rule_index for r in results] == [
+        ruleset.classify_brute_force(src, dst) for src, dst in packets
+    ]
+    assert engine.controller.stats.late_replies == 0

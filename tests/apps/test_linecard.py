@@ -1,0 +1,83 @@
+"""Tests for the line-card co-simulation."""
+
+import pytest
+
+from repro.apps.linecard import LineCard
+from repro.apps.packet_buffer import VPNMPacketBuffer
+from repro.core import VPNMConfig, VPNMController
+from repro.workloads.packets import Packet, packet_trace
+
+
+def make_card(rate_gbps, seed=7, cells_per_queue=4096):
+    controller = VPNMController(
+        VPNMConfig(banks=32, queue_depth=8, delay_rows=32, hash_latency=0),
+        seed=seed,
+    )
+    buffer = VPNMPacketBuffer(controller, num_queues=64,
+                              cells_per_queue=cells_per_queue)
+    return LineCard(buffer, line_rate_gbps=rate_gbps)
+
+
+class TestLineCardBasics:
+    def test_validation(self):
+        buffer = VPNMPacketBuffer(
+            VPNMController(VPNMConfig(hash_latency=0)), num_queues=4,
+            cells_per_queue=64,
+        )
+        with pytest.raises(ValueError):
+            LineCard(buffer, line_rate_gbps=0)
+        with pytest.raises(ValueError):
+            LineCard(buffer, line_rate_gbps=10, clock_mhz=0)
+
+    def test_empty_trace(self):
+        card = make_card(100)
+        report = card.run([])
+        assert report.packets_offered == 0
+        assert report.cycles == 0
+
+    def test_single_packet_round_trip(self):
+        card = make_card(100)
+        report = card.run([Packet(flow=0, size=1500, serial=0)])
+        assert report.packets_delivered == 1
+        assert report.bytes_delivered == 1500
+        assert report.final_backlog == 0
+
+    def test_wire_spacing_scales_with_rate(self):
+        """The same trace takes roughly rate-proportionally less time."""
+        trace = list(packet_trace(count=100, flows=32, seed=1))
+        slow = make_card(40).run(trace)
+        fast = make_card(160).run(trace)
+        assert slow.cycles > fast.cycles * 2.5
+
+
+class TestSustainedRates:
+    def test_oc3072_sustained(self):
+        """160 gbps: the Table 3 operating point, measured end to end."""
+        card = make_card(160)
+        report = card.run(packet_trace(count=300, flows=64, seed=3))
+        assert report.sustained()
+        assert report.stalls == 0
+        assert report.packets_delivered == 300
+        assert report.achieved_gbps(1000.0) > 140
+
+    def test_gross_overload_detected(self):
+        """400 gbps exceeds the one-request-per-cycle bound: the cell-op
+        backlog grows without bound and goodput saturates."""
+        card = make_card(400)
+        report = card.run(packet_trace(count=300, flows=64, seed=3))
+        assert not report.sustained()
+        assert report.max_backlog > 500
+        # Goodput caps near the 256 gbps accounting bound.
+        assert report.achieved_gbps(1000.0) < 280
+
+    def test_crossover_near_accounting_bound(self):
+        """The measured saturation point lands where the accounting says
+        (~256 gbps raw for 64 B cells at 1 GHz, less cell-padding loss)."""
+        sustained = make_card(160).run(
+            packet_trace(count=200, flows=64, seed=5)
+        )
+        saturated = make_card(320).run(
+            packet_trace(count=200, flows=64, seed=5)
+        )
+        assert sustained.sustained()
+        assert not saturated.sustained()

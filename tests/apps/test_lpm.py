@@ -1,0 +1,219 @@
+"""Tests for longest-prefix-match forwarding on VPNM."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lpm import MultibitTrie, Route, VPNMLPMEngine
+from repro.core import VPNMConfig, VPNMController
+
+
+def make_engine(trie, **cfg):
+    params = dict(banks=32, queue_depth=8, delay_rows=32, hash_latency=0)
+    params.update(cfg)
+    engine = VPNMLPMEngine(trie, VPNMController(VPNMConfig(**params),
+                                                seed=21))
+    engine.load_table()
+    return engine
+
+
+def ip(a, b, c, d):
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+class TestRoute:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Route(prefix=0, length=33, next_hop=1)
+        with pytest.raises(ValueError):
+            Route(prefix=1 << 33, length=8, next_hop=1)
+        with pytest.raises(ValueError):
+            # bits set below the prefix length
+            Route(prefix=ip(10, 0, 0, 1), length=8, next_hop=1)
+
+    def test_host_route_allows_all_bits(self):
+        Route(prefix=ip(10, 1, 2, 3), length=32, next_hop=1)
+
+
+class TestMultibitTrie:
+    def test_strides_must_sum_to_32(self):
+        with pytest.raises(ValueError):
+            MultibitTrie(strides=(8, 8, 8))
+        with pytest.raises(ValueError):
+            MultibitTrie(strides=(8, 0, 16, 8))
+
+    def test_basic_lpm_semantics(self):
+        trie = MultibitTrie.from_routes([
+            Route(ip(10, 0, 0, 0), 8, next_hop=100),
+            Route(ip(10, 1, 0, 0), 16, next_hop=200),
+            Route(ip(10, 1, 2, 0), 24, next_hop=300),
+        ])
+        assert trie.lookup(ip(10, 9, 9, 9)) == 100
+        assert trie.lookup(ip(10, 1, 9, 9)) == 200
+        assert trie.lookup(ip(10, 1, 2, 9)) == 300
+        assert trie.lookup(ip(11, 0, 0, 0)) is None
+
+    def test_default_route(self):
+        trie = MultibitTrie.from_routes([
+            Route(0, 0, next_hop=1),
+            Route(ip(192, 168, 0, 0), 16, next_hop=2),
+        ])
+        assert trie.lookup(ip(8, 8, 8, 8)) == 1
+        assert trie.lookup(ip(192, 168, 5, 5)) == 2
+
+    def test_mid_stride_prefix_expansion(self):
+        # /12 falls inside the second 8-bit stride.
+        trie = MultibitTrie.from_routes([
+            Route(ip(10, 16, 0, 0), 12, next_hop=7),
+        ])
+        assert trie.lookup(ip(10, 16, 1, 1)) == 7
+        assert trie.lookup(ip(10, 31, 255, 255)) == 7   # still inside /12
+        assert trie.lookup(ip(10, 32, 0, 0)) is None    # outside
+
+    def test_longer_prefix_wins_regardless_of_insert_order(self):
+        routes = [
+            Route(ip(10, 16, 0, 0), 12, next_hop=7),
+            Route(ip(10, 20, 0, 0), 16, next_hop=8),
+        ]
+        for ordering in (routes, routes[::-1]):
+            trie = MultibitTrie.from_routes(ordering)
+            assert trie.lookup(ip(10, 20, 1, 1)) == 8
+            assert trie.lookup(ip(10, 21, 1, 1)) == 7
+
+    def test_host_route(self):
+        trie = MultibitTrie.from_routes([
+            Route(ip(1, 2, 3, 4), 32, next_hop=9),
+            Route(ip(1, 2, 3, 0), 24, next_hop=5),
+        ])
+        assert trie.lookup(ip(1, 2, 3, 4)) == 9
+        assert trie.lookup(ip(1, 2, 3, 5)) == 5
+
+    def test_alternative_strides(self):
+        for strides in [(16, 8, 8), (8, 12, 12), (4,) * 8]:
+            trie = MultibitTrie.from_routes([
+                Route(ip(10, 0, 0, 0), 8, next_hop=1),
+                Route(ip(10, 1, 0, 0), 16, next_hop=2),
+            ], strides=strides)
+            assert trie.lookup(ip(10, 1, 1, 1)) == 2
+            assert trie.lookup(ip(10, 2, 1, 1)) == 1
+
+    def test_lookup_rejects_wide_address(self):
+        with pytest.raises(ValueError):
+            MultibitTrie().lookup(1 << 32)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        route_count=st.integers(1, 60),
+        strides=st.sampled_from([(8, 8, 8, 8), (16, 8, 8), (12, 12, 8)]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference_implementation(self, seed, route_count,
+                                              strides):
+        """Property: trie lookup == brute-force longest matching prefix."""
+        rng = random.Random(seed)
+        routes = []
+        for hop, _ in enumerate(range(route_count)):
+            length = rng.choice([0, 4, 8, 12, 16, 20, 24, 28, 32])
+            prefix = rng.getrandbits(32)
+            prefix &= ~((1 << (32 - length)) - 1) if length < 32 else 0xFFFFFFFF
+            routes.append(Route(prefix, length, next_hop=hop + 1))
+        # Deduplicate identical (prefix, length): keep the longest-hop
+        # deterministic winner to keep the oracle unambiguous.
+        unique = {}
+        for route in routes:
+            unique[(route.prefix, route.length)] = route
+        routes = list(unique.values())
+        trie = MultibitTrie.from_routes(routes, strides=strides)
+
+        def reference(address):
+            best, best_len = None, -1
+            for route in routes:
+                mask = (0xFFFFFFFF << (32 - route.length)) & 0xFFFFFFFF \
+                    if route.length else 0
+                if (address & mask) == route.prefix and route.length > best_len:
+                    best, best_len = route.next_hop, route.length
+            return best
+
+        for _ in range(50):
+            address = rng.getrandbits(32)
+            assert trie.lookup(address) == reference(address)
+
+
+class TestVPNMLPMEngine:
+    def small_table(self):
+        return MultibitTrie.from_routes([
+            Route(0, 0, next_hop=1),
+            Route(ip(10, 0, 0, 0), 8, next_hop=10),
+            Route(ip(10, 1, 0, 0), 16, next_hop=11),
+            Route(ip(10, 1, 2, 0), 24, next_hop=12),
+            Route(ip(10, 1, 2, 3), 32, next_hop=13),
+            Route(ip(192, 168, 0, 0), 16, next_hop=20),
+        ])
+
+    def test_requires_load(self):
+        engine = VPNMLPMEngine(self.small_table(),
+                               VPNMController(VPNMConfig(hash_latency=0)))
+        with pytest.raises(RuntimeError):
+            engine.submit(0)
+
+    def test_engine_matches_functional_trie(self):
+        trie = self.small_table()
+        engine = make_engine(trie)
+        rng = random.Random(5)
+        addresses = ([ip(10, 1, 2, 3), ip(10, 1, 2, 4), ip(10, 1, 9, 9),
+                      ip(10, 9, 9, 9), ip(192, 168, 1, 1), ip(8, 8, 8, 8)]
+                     + [rng.getrandbits(32) for _ in range(50)])
+        results = engine.lookup_batch(addresses)
+        assert [r.next_hop for r in results] == [
+            trie.lookup(a) for a in addresses
+        ]
+
+    def test_no_stalls_at_paper_design_point(self):
+        engine = make_engine(self.small_table())
+        rng = random.Random(6)
+        engine.lookup_batch([rng.getrandbits(32) for _ in range(100)])
+        assert engine.controller.stats.stalls == 0
+
+    def test_levels_visited_bounded_by_strides(self):
+        engine = make_engine(self.small_table())
+        results = engine.lookup_batch([ip(10, 1, 2, 3), ip(8, 8, 8, 8)])
+        deep, shallow = results
+        assert deep.levels_visited == 4     # host route: walks all levels
+        assert shallow.levels_visited == 1  # default route: root only
+
+    def test_pipelining_sustains_high_issue_rate(self):
+        """With many lookups in flight the engine approaches one memory
+        request per cycle, i.e. ~1/levels lookups per cycle."""
+        trie = self.small_table()
+        engine = make_engine(trie)
+        rng = random.Random(7)
+        # Addresses under 10.1.2/24 walk all 4 levels.
+        engine.lookup_batch([ip(10, 1, 2, rng.randrange(256))
+                             for _ in range(400)])
+        rate = engine.lookups_per_cycle()
+        assert rate > 1 / 4 * 0.6  # within 40% of the 4-level bound
+
+    def test_hot_route_lookups_merge(self):
+        """Identical concurrent lookups share delay-storage rows."""
+        engine = make_engine(self.small_table())
+        engine.lookup_batch([ip(10, 1, 2, 3)] * 50)
+        assert engine.controller.stats.reads_merged > 0
+
+    def test_load_through_memory_path(self):
+        trie = MultibitTrie.from_routes([Route(ip(10, 0, 0, 0), 8, 1)])
+        engine = VPNMLPMEngine(
+            trie, VPNMController(VPNMConfig(hash_latency=0), seed=3)
+        )
+        written = engine.load_table(through_memory=True)
+        assert written > 0
+        (result,) = engine.lookup_batch([ip(10, 5, 5, 5)])
+        assert result.next_hop == 1
+
+    def test_address_space_check(self):
+        trie = self.small_table()
+        with pytest.raises(ValueError):
+            VPNMLPMEngine(trie, VPNMController(
+                VPNMConfig(address_bits=8, hash_latency=0)
+            ))

@@ -1,0 +1,155 @@
+"""Tests for packet buffering on VPNM (Section 5.4.1)."""
+
+import pytest
+
+from repro.apps.packet_buffer import VPNMPacketBuffer
+from repro.core import VPNMConfig, VPNMController
+from repro.workloads.packets import Packet, packet_trace
+
+
+def make_buffer(banks=32, num_queues=64, cells_per_queue=256, **cfg):
+    params = dict(banks=banks, queue_depth=8, delay_rows=32, hash_latency=0)
+    params.update(cfg)
+    controller = VPNMController(VPNMConfig(**params), seed=7)
+    return VPNMPacketBuffer(controller, num_queues=num_queues,
+                            cells_per_queue=cells_per_queue)
+
+
+class TestGeometry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_buffer(num_queues=0)
+        with pytest.raises(ValueError):
+            VPNMPacketBuffer(
+                VPNMController(VPNMConfig(address_bits=16, hash_latency=0)),
+                num_queues=1 << 10, cells_per_queue=1 << 10,
+            )
+
+    def test_queue_range_checked(self):
+        buffer = make_buffer(num_queues=4)
+        with pytest.raises(ValueError):
+            buffer.submit_departure(4)
+
+    def test_cell_math(self):
+        buffer = make_buffer()
+        assert buffer._cells_for(1) == 1
+        assert buffer._cells_for(64) == 1
+        assert buffer._cells_for(65) == 2
+        assert buffer._cells_for(1500) == 24
+
+
+class TestEnqueueDequeue:
+    def test_single_packet_round_trip(self):
+        buffer = make_buffer()
+        packet = Packet(flow=3, size=150, serial=42)
+        assert buffer.submit_arrival(packet)
+        buffer.submit_departure(3)
+        buffer.drain()
+        (out,) = buffer.completed
+        assert (out.flow, out.serial, out.size) == (3, 42, 150)
+        assert out.payload.startswith(b"pkt:42:flow:3;")
+        assert len(out.payload) == 150
+
+    def test_explicit_payload_preserved(self):
+        buffer = make_buffer()
+        payload = bytes(range(256)) * 2
+        packet = Packet(flow=0, size=len(payload), serial=1)
+        buffer.submit_arrival(packet, payload=payload)
+        buffer.submit_departure(0)
+        buffer.drain()
+        assert buffer.completed[0].payload == payload
+
+    def test_fifo_order_within_queue(self):
+        buffer = make_buffer()
+        for serial in range(5):
+            buffer.submit_arrival(Packet(flow=1, size=64, serial=serial))
+        for _ in range(5):
+            buffer.submit_departure(1)
+        buffer.drain()
+        assert [p.serial for p in buffer.completed] == list(range(5))
+
+    def test_empty_queue_dequeue_returns_false(self):
+        buffer = make_buffer()
+        assert not buffer.submit_departure(0)
+
+    def test_full_queue_drops(self):
+        buffer = make_buffer(cells_per_queue=2)
+        assert buffer.submit_arrival(Packet(flow=0, size=128, serial=0))
+        assert not buffer.submit_arrival(Packet(flow=0, size=64, serial=1))
+        assert buffer.dropped_full == 1
+
+    def test_queue_wraps_circularly(self):
+        buffer = make_buffer(cells_per_queue=4)
+        for serial in range(10):  # 10 single-cell packets through 4 slots
+            assert buffer.submit_arrival(Packet(flow=0, size=64,
+                                                serial=serial))
+            buffer.submit_departure(0)
+            buffer.drain()
+        assert [p.serial for p in buffer.completed] == list(range(10))
+
+    def test_occupancy_tracking(self):
+        buffer = make_buffer()
+        buffer.submit_arrival(Packet(flow=2, size=128, serial=0))
+        assert buffer.occupancy_cells(2) == 2
+        buffer.submit_departure(2)
+        assert buffer.occupancy_cells(2) == 0
+
+
+class TestTraceRuns:
+    def test_mixed_trace_integrity(self):
+        """Arrive/depart a whole trace; every payload must survive."""
+        buffer = make_buffer(num_queues=32)
+        packets = list(packet_trace(count=60, flows=32, seed=5))
+        for packet in packets:
+            assert buffer.submit_arrival(packet)
+        for packet in packets:
+            assert buffer.submit_departure(packet.flow)
+        buffer.drain()
+        assert len(buffer.completed) == 60
+        by_serial = {p.serial: p for p in buffer.completed}
+        for packet in packets:
+            out = by_serial[packet.serial]
+            assert out.size == packet.size
+            assert out.flow == packet.flow
+            assert len(out.payload) == packet.size
+
+    def test_paper_config_no_stalls_at_line_rate(self):
+        """At B=32 (the paper's design point), a full-rate interleaved
+        arrival/departure pattern runs without a single stall."""
+        buffer = make_buffer(banks=32, num_queues=64)
+        packets = list(packet_trace(count=40, flows=64, seed=6))
+        for packet in packets:
+            buffer.submit_arrival(packet)
+            buffer.submit_departure(packet.flow)
+        buffer.drain()
+        assert buffer.controller.stats.stalls == 0
+        assert len(buffer.completed) == 40
+
+    def test_backlog_counts_pending_cell_ops(self):
+        buffer = make_buffer()
+        buffer.submit_arrival(Packet(flow=0, size=1500, serial=0))  # 24 cells
+        assert buffer.backlog == 24
+        buffer.step()
+        assert buffer.backlog == 23
+
+
+class TestAccounting:
+    def test_pointer_sram_matches_paper(self):
+        """4096 queues with 2x32-bit pointers = 32 KB (Section 5.4.1)."""
+        controller = VPNMController(VPNMConfig(hash_latency=0))
+        buffer = VPNMPacketBuffer(controller, num_queues=4096,
+                                  cells_per_queue=1024)
+        # 4096 * 2 * 22 bits -> with 32-bit address space the pointer is
+        # log2(4096*1024)=22 bits; the paper rounds to 32-bit words.
+        assert buffer.pointer_sram_bytes() <= 32 * 1024
+
+    def test_line_rate_exceeds_oc3072(self):
+        buffer = make_buffer()
+        rate = buffer.line_rate_gbps(interface_clock_mhz=1000.0)
+        assert rate >= 160.0
+
+    def test_line_rate_scales_with_clock(self):
+        buffer = make_buffer()
+        assert buffer.line_rate_gbps(500.0) == pytest.approx(
+            buffer.line_rate_gbps(1000.0) / 2
+        )

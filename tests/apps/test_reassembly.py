@@ -1,0 +1,199 @@
+"""Tests for TCP reassembly (Section 5.4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.reassembly import Hole, StreamAssembler, VPNMReassembler
+from repro.core import VPNMConfig, VPNMController
+from repro.workloads.packets import SyntheticFlow, TCPSegment, tcp_segment_stream
+
+
+def seg(conn, sequence, payload, fin=False):
+    return TCPSegment(connection=conn, sequence=sequence,
+                      payload=payload, fin=fin)
+
+
+class TestStreamAssembler:
+    def test_in_order_passthrough(self):
+        assembler = StreamAssembler()
+        assert assembler.push(seg(0, 0, b"hello ")) == b"hello "
+        assert assembler.push(seg(0, 6, b"world")) == b"world"
+        assert assembler.stream(0) == b"hello world"
+
+    def test_out_of_order_held_then_released(self):
+        assembler = StreamAssembler()
+        assert assembler.push(seg(0, 6, b"world")) == b""
+        assert assembler.push(seg(0, 0, b"hello ")) == b"hello world"
+
+    def test_holes_reported(self):
+        assembler = StreamAssembler()
+        assembler.push(seg(0, 10, b"x" * 5))
+        assembler.push(seg(0, 20, b"y" * 5))
+        holes = assembler.open_holes(0)
+        assert holes == [Hole(0, 10), Hole(15, 20)]
+
+    def test_hole_validation(self):
+        with pytest.raises(ValueError):
+            Hole(5, 5)
+
+    def test_duplicate_segments_counted_not_emitted(self):
+        assembler = StreamAssembler()
+        assembler.push(seg(0, 0, b"abcd"))
+        assert assembler.push(seg(0, 0, b"abcd")) == b""
+        assert assembler.duplicate_bytes == 4
+        assert assembler.stream(0) == b"abcd"
+
+    def test_partial_overlap_emits_only_novel_suffix(self):
+        assembler = StreamAssembler()
+        assembler.push(seg(0, 0, b"abcd"))
+        out = assembler.push(seg(0, 2, b"cdef"))
+        assert out == b"ef"
+        assert assembler.stream(0) == b"abcdef"
+
+    def test_overlap_buried_inside_buffered_run(self):
+        """A duplicate wholly covered by a longer buffered run must not
+        wedge the emitter."""
+        assembler = StreamAssembler()
+        assembler.push(seg(0, 10, b"0123456789"))  # [10, 20)
+        assembler.push(seg(0, 12, b"234"))         # inside the first
+        out = assembler.push(seg(0, 0, b"x" * 10))
+        assert out == b"x" * 10 + b"0123456789"
+        assert assembler.open_holes(0) == []
+
+    def test_fin_and_completion(self):
+        assembler = StreamAssembler()
+        assembler.push(seg(0, 0, b"data", fin=False))
+        assert not assembler.is_complete(0)
+        assembler.push(seg(0, 4, b"end", fin=True))
+        assert assembler.is_complete(0)
+
+    def test_fin_with_outstanding_hole_not_complete(self):
+        assembler = StreamAssembler()
+        assembler.push(seg(0, 5, b"tail", fin=True))
+        assert not assembler.is_complete(0)
+        assembler.push(seg(0, 0, b"head!"))
+        assert assembler.is_complete(0)
+
+    def test_connections_isolated(self):
+        assembler = StreamAssembler()
+        assembler.push(seg(1, 0, b"one"))
+        assembler.push(seg(2, 0, b"two"))
+        assert assembler.stream(1) == b"one"
+        assert assembler.stream(2) == b"two"
+
+    @given(
+        data=st.binary(min_size=1, max_size=600),
+        mss=st.integers(1, 64),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_reordering_reconstructs_stream(self, data, mss, seed):
+        """Property: segment + arbitrary shuffle -> exact reconstruction."""
+        import random
+        segments = SyntheticFlow(connection=0, data=data, mss=mss).segments()
+        random.Random(seed).shuffle(segments)
+        assembler = StreamAssembler()
+        for segment in segments:
+            assembler.push(segment)
+        assert assembler.stream(0) == data
+        assert assembler.is_complete(0)
+
+    def test_signature_splitting_attack_defeated(self):
+        """The Section 5.4.2 motivation: a signature split across
+        reordered segments is reconstructed contiguously."""
+        marker = b"EVILSIGNATURE"
+        data = b"A" * 95 + marker + b"B" * 92
+        flows = [SyntheticFlow(connection=0, data=data, mss=50)]
+        stream = tcp_segment_stream(flows, seed=1,
+                                    adversarial_marker=marker)
+        # In the wire order the marker never appears whole in one payload.
+        assembler = StreamAssembler()
+        for segment in stream:
+            assembler.push(segment)
+        assert marker in assembler.stream(0)
+
+
+class TestVPNMReassembler:
+    def make(self):
+        controller = VPNMController(
+            VPNMConfig(banks=32, queue_depth=8, delay_rows=32,
+                       hash_latency=0), seed=11
+        )
+        return VPNMReassembler(controller)
+
+    def test_functional_equivalence_with_pure_assembler(self):
+        flows = [SyntheticFlow(connection=i, data=bytes([i]) * 500, mss=120)
+                 for i in range(4)]
+        stream = tcp_segment_stream(flows, reorder_window=5, seed=3)
+        engine = self.make()
+        for segment in stream:
+            engine.push(segment)
+        engine.finish()
+        for flow in flows:
+            assert engine.assembler.stream(flow.connection) == flow.data
+
+    def test_five_accesses_per_chunk(self):
+        """The paper's access budget: 5 DRAM accesses per 64-byte chunk
+        (4 at arrival + 1 deferred scan read)."""
+        engine = self.make()
+        data = bytes(512)
+        for segment in SyntheticFlow(connection=0, data=data,
+                                     mss=64).segments():
+            engine.push(segment)
+        engine.finish()
+        assert engine.stats.chunks == 8
+        assert engine.stats.accesses_per_chunk() == pytest.approx(5.0)
+
+    def test_throughput_approaches_paper_rate(self):
+        """Many interleaved flows: ~5 cycles/chunk -> ~40 Gbps at
+        400 MHz (drain overhead makes it slightly lower).  Flow
+        diversity matters: each flow's connection-record and hole-buffer
+        lines land on different banks, which is what the paper's access
+        budget implicitly assumes (see test below for the single-flow
+        pathology)."""
+        engine = self.make()
+        flows = [SyntheticFlow(connection=i, data=bytes(64) * 4, mss=64)
+                 for i in range(64)]  # 256 chunks across 64 flows
+        stream = tcp_segment_stream(flows, reorder_window=0, seed=4)
+        for segment in stream:
+            engine.push(segment)
+        engine.finish()
+        rate = engine.throughput_gbps(clock_mhz=400.0)
+        assert 30.0 < rate <= 41.0
+
+    def test_single_flow_is_bank_limited(self):
+        """A lone connection concentrates its record/hole lines on two
+        banks and cannot sustain the full rate — writes do not merge.
+        This is a real property of the design, worth pinning down."""
+        engine = self.make()
+        data = bytes(64) * 100
+        for segment in SyntheticFlow(connection=0, data=data,
+                                     mss=64).segments():
+            engine.push(segment)
+        engine.finish()
+        assert engine.stats.stalls > 0
+        assert engine.throughput_gbps(400.0) < 30.0
+
+    def test_no_stalls_at_paper_design_point(self):
+        # Flow diversity spreads the per-connection record/hole lines;
+        # 16 flows is enough for a stall-free run at B=32.
+        engine = self.make()
+        flows = [SyntheticFlow(connection=i, data=bytes(300), mss=60)
+                 for i in range(16)]
+        for segment in tcp_segment_stream(flows, reorder_window=4, seed=9):
+            engine.push(segment)
+        engine.finish()
+        assert engine.stats.stalls == 0
+
+    def test_scanner_sram_same_scale_as_papers_72kb(self):
+        """'72 Kbytes of SRAM' for 3·D of buffering: with the Q=48
+        (D=960 cycles) configuration our formula gives 36 KB — the same
+        scale; the paper's exact clock/rate accounting for this figure
+        is not fully specified (documented in EXPERIMENTS.md)."""
+        from repro.core import paper_config
+        controller = VPNMController(paper_config(2, hash_latency=0), seed=1)
+        engine = VPNMReassembler(controller)
+        sram = engine.scanner_sram_bytes(line_rate_gbps=40.0,
+                                         clock_mhz=400.0)
+        assert 20 * 1024 < sram < 100 * 1024

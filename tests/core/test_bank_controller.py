@@ -1,0 +1,146 @@
+"""Tests for one bank's controller: acceptance logic and stall reasons."""
+
+import pytest
+
+from repro.core.bank_controller import BankController
+from repro.core.config import VPNMConfig
+from repro.dram.device import DRAMDevice
+from repro.dram.timing import DRAMTiming
+
+
+def make_controller(queue_depth=2, delay_rows=4, counter_bits=4,
+                    write_buffer_depth=None, bank_latency=4):
+    config = VPNMConfig(
+        banks=1,
+        bank_latency=bank_latency,
+        queue_depth=queue_depth,
+        delay_rows=delay_rows,
+        counter_bits=counter_bits,
+        write_buffer_depth=write_buffer_depth,
+        bus_scaling=1.0,
+        hash_latency=0,
+    )
+    bank = BankController(index=0, config=config, counter_bits=counter_bits)
+    device = DRAMDevice(DRAMTiming("t", banks=1, access_cycles=bank_latency,
+                                   clock_mhz=100))
+    return bank, device
+
+
+class TestReadAcceptance:
+    def test_fresh_read_allocates_and_queues(self):
+        bank, _ = make_controller()
+        result = bank.try_accept_read(10)
+        assert result.accepted and not result.merged
+        assert bank.occupancy() == {"delay_rows": 1, "queue": 1,
+                                    "write_buffer": 0}
+
+    def test_redundant_read_merges_without_queueing(self):
+        bank, _ = make_controller()
+        first = bank.try_accept_read(10)
+        second = bank.try_accept_read(10)
+        assert second.merged
+        assert second.row_id == first.row_id
+        assert bank.occupancy()["queue"] == 1  # still just one bank access
+
+    def test_delay_storage_stall_when_rows_exhausted(self):
+        bank, _ = make_controller(delay_rows=2, queue_depth=8)
+        bank.try_accept_read(1)
+        bank.try_accept_read(2)
+        result = bank.try_accept_read(3)
+        assert not result.accepted
+        assert result.stall_reason == "delay_storage"
+
+    def test_bank_queue_stall_when_queue_full(self):
+        bank, _ = make_controller(delay_rows=8, queue_depth=2)
+        bank.try_accept_read(1)
+        bank.try_accept_read(2)
+        result = bank.try_accept_read(3)
+        assert result.stall_reason == "bank_queue"
+
+    def test_merge_still_works_when_queue_full(self):
+        """A redundant read needs no queue slot, so it must not stall."""
+        bank, _ = make_controller(delay_rows=8, queue_depth=2)
+        bank.try_accept_read(1)
+        bank.try_accept_read(2)
+        result = bank.try_accept_read(1)  # merge with the first
+        assert result.accepted and result.merged
+
+    def test_saturated_counter_stalls_as_delay_storage(self):
+        bank, _ = make_controller(counter_bits=1)  # max 1 reference
+        bank.try_accept_read(1)
+        result = bank.try_accept_read(1)
+        assert not result.accepted
+        assert result.stall_reason == "delay_storage"
+
+
+class TestWriteAcceptance:
+    def test_write_goes_to_both_structures(self):
+        bank, _ = make_controller()
+        result = bank.try_accept_write(5, "data")
+        assert result.accepted
+        assert bank.occupancy() == {"delay_rows": 0, "queue": 1,
+                                    "write_buffer": 1}
+
+    def test_write_buffer_stall(self):
+        bank, _ = make_controller(write_buffer_depth=1, queue_depth=8)
+        bank.try_accept_write(1, "a")
+        result = bank.try_accept_write(2, "b")
+        assert result.stall_reason == "write_buffer"
+
+    def test_write_queue_stall(self):
+        bank, _ = make_controller(write_buffer_depth=8, queue_depth=1)
+        bank.try_accept_write(1, "a")
+        result = bank.try_accept_write(2, "b")
+        assert result.stall_reason == "bank_queue"
+
+    def test_write_shadows_matching_read_row(self):
+        bank, _ = make_controller(queue_depth=8)
+        bank.try_accept_read(7)
+        bank.try_accept_write(7, "new")
+        # The next read of 7 must NOT merge with the stale row.
+        result = bank.try_accept_read(7)
+        assert result.accepted and not result.merged
+
+
+class TestMemorySide:
+    def test_issue_read_fills_row(self):
+        bank, device = make_controller(bank_latency=4)
+        device.write(0, 10, "stored", now=0)
+        accept = bank.try_accept_read(10)
+        bank.issue_next(device, mem_now=4)
+        row = bank.delay_storage.rows[accept.row_id]
+        assert row.data == "stored"
+        assert row.data_ready_at == 8  # 4 + L
+
+    def test_issue_write_stores_to_dram(self):
+        bank, device = make_controller()
+        bank.try_accept_write(3, "payload")
+        bank.issue_next(device, mem_now=0)
+        assert device.banks[0].peek(3) == "payload"
+        assert not bank.has_work()
+
+    def test_fifo_write_then_read_same_line(self):
+        """RAW hazard: queue order guarantees the read sees the write."""
+        bank, device = make_controller(bank_latency=2)
+        bank.try_accept_write(9, "fresh")
+        accept = bank.try_accept_read(9)
+        bank.issue_next(device, mem_now=0)   # the write
+        bank.issue_next(device, mem_now=2)   # the read
+        assert bank.delay_storage.rows[accept.row_id].data == "fresh"
+
+    def test_deliver_returns_data_and_frees(self):
+        bank, device = make_controller(bank_latency=2)
+        device.write(0, 1, "v", now=0)
+        accept = bank.try_accept_read(1)
+        bank.issue_next(device, mem_now=2)
+        result = bank.deliver(accept.row_id, mem_now=10)
+        assert result.ready and result.data == "v"
+        assert bank.occupancy()["delay_rows"] == 0
+
+    def test_accesses_issued_counter(self):
+        bank, device = make_controller(bank_latency=1)
+        bank.try_accept_read(1)
+        bank.try_accept_write(2, "x")
+        bank.issue_next(device, mem_now=0)
+        bank.issue_next(device, mem_now=1)
+        assert bank.accesses_issued == 2

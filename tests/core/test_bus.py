@@ -1,0 +1,139 @@
+"""Unit tests for the bus scheduler (clock domains and arbitration)."""
+
+import pytest
+
+from repro.core.bank_controller import BankController
+from repro.core.bus import BusScheduler
+from repro.core.config import VPNMConfig
+from repro.dram.device import DRAMDevice
+from repro.dram.timing import DRAMTiming
+
+
+def make_bus(banks=4, latency=4, ratio=1.0, skip_idle=True, queue_depth=4):
+    config = VPNMConfig(banks=banks, bank_latency=latency,
+                        queue_depth=queue_depth, delay_rows=8,
+                        bus_scaling=ratio, hash_latency=0,
+                        skip_idle_slots=skip_idle, address_bits=16)
+    device = DRAMDevice(DRAMTiming("t", banks, latency, 100.0))
+    controllers = [BankController(i, config, config.counter_bits)
+                   for i in range(banks)]
+    return BusScheduler(config, device, controllers), device, controllers
+
+
+class TestClockDomain:
+    def test_unity_ratio_one_slot_per_cycle(self):
+        bus, _, _ = make_bus(ratio=1.0)
+        assert bus.slots_by_end_of(0) == 1
+        assert bus.slots_by_end_of(9) == 10
+
+    def test_fractional_ratio_exact_accounting(self):
+        """R=1.3: 13 slots per 10 interface cycles, no float drift."""
+        bus, _, _ = make_bus(ratio=1.3)
+        assert bus.slots_by_end_of(9) == 13
+        assert bus.slots_by_end_of(99) == 130
+        assert bus.slots_by_end_of(999) == 1300
+
+    def test_slots_never_decrease(self):
+        bus, _, _ = make_bus(ratio=1.4)
+        values = [bus.slots_by_end_of(t) for t in range(100)]
+        assert values == sorted(values)
+        deltas = {b - a for a, b in zip(values, values[1:])}
+        assert deltas == {1, 2}  # 1.4 slots/cycle: ones and twos only
+
+    def test_slots_consumed_tracks_run_cycle(self):
+        bus, _, _ = make_bus(ratio=1.3)
+        assert bus.slots_consumed == 0
+        bus.run_cycle(0)
+        assert bus.slots_consumed == bus.slots_by_end_of(0)
+        bus.run_cycle(1)
+        assert bus.slots_consumed == bus.slots_by_end_of(1)
+
+
+class TestWorkConservingArbitration:
+    def test_idle_banks_issue_nothing(self):
+        bus, device, _ = make_bus()
+        issued = bus.run_cycle(0)
+        assert issued == 0
+        assert device.total_accesses() == 0
+        assert bus.slots_idled == 1
+
+    def test_single_ready_bank_gets_the_slot(self):
+        bus, device, controllers = make_bus()
+        controllers[2].try_accept_read(5)
+        bus.notify_work(2)
+        assert bus.run_cycle(0) == 1
+        assert device.banks[2].reads_issued == 1
+
+    def test_round_robin_among_ready_banks(self):
+        bus, device, controllers = make_bus(banks=4, latency=1)
+        for index in (0, 1, 2):
+            controllers[index].try_accept_read(index)
+            bus.notify_work(index)
+        for cycle in range(3):
+            bus.run_cycle(cycle)
+        assert [device.banks[i].reads_issued for i in range(4)] == [1, 1, 1, 0]
+
+    def test_busy_bank_skipped_in_favor_of_free_one(self):
+        bus, device, controllers = make_bus(banks=2, latency=10)
+        controllers[0].try_accept_read(1)
+        controllers[0].try_accept_read(2)
+        controllers[1].try_accept_read(3)
+        bus.notify_work(0)
+        bus.notify_work(1)
+        bus.run_cycle(0)   # bank 0 issues
+        bus.run_cycle(1)   # bank 0 busy -> bank 1 issues
+        assert device.banks[0].reads_issued == 1
+        assert device.banks[1].reads_issued == 1
+
+    def test_all_banks_busy_idles_the_slot(self):
+        bus, device, controllers = make_bus(banks=1, latency=10)
+        controllers[0].try_accept_read(1)
+        controllers[0].try_accept_read(2)
+        bus.notify_work(0)
+        bus.run_cycle(0)
+        idled_before = bus.slots_idled
+        bus.run_cycle(1)  # bank busy until slot 10
+        assert bus.slots_idled == idled_before + 1
+
+    def test_notify_work_is_idempotent(self):
+        bus, _, controllers = make_bus()
+        controllers[0].try_accept_read(1)
+        bus.notify_work(0)
+        bus.notify_work(0)
+        assert len(bus._ready) == 1
+
+    def test_utilization(self):
+        bus, _, controllers = make_bus(banks=2, latency=1)
+        controllers[0].try_accept_read(1)
+        bus.notify_work(0)
+        bus.run_cycle(0)   # used
+        bus.run_cycle(1)   # idle
+        assert bus.utilization == pytest.approx(0.5)
+
+
+class TestStrictArbitration:
+    def test_slot_belongs_to_its_bank_only(self):
+        bus, device, controllers = make_bus(banks=4, latency=1,
+                                            skip_idle=False)
+        controllers[2].try_accept_read(5)
+        bus.notify_work(2)
+        bus.run_cycle(0)   # slot 0 -> bank 0: idle
+        bus.run_cycle(1)   # slot 1 -> bank 1: idle
+        assert device.banks[2].reads_issued == 0
+        bus.run_cycle(2)   # slot 2 -> bank 2: issues
+        assert device.banks[2].reads_issued == 1
+
+    def test_strict_wastes_slots_work_conserving_does_not(self):
+        def run(skip_idle):
+            bus, device, controllers = make_bus(banks=4, latency=1,
+                                                skip_idle=skip_idle,
+                                                queue_depth=4)
+            for _ in range(3):
+                controllers[1].try_accept_read(_)
+            bus.notify_work(1)
+            for cycle in range(3):
+                bus.run_cycle(cycle)
+            return device.banks[1].reads_issued
+
+        assert run(skip_idle=True) == 3   # back-to-back grants
+        assert run(skip_idle=False) == 1  # one grant per 4-slot rotation

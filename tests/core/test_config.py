@@ -1,0 +1,128 @@
+"""Tests for VPNMConfig parameter validation and derived values."""
+
+import pytest
+
+from repro.core.config import PAPER_DESIGN_LADDER, VPNMConfig, paper_config
+from repro.core.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_are_the_papers_running_example(self):
+        cfg = VPNMConfig()
+        assert cfg.banks == 32
+        assert cfg.bank_latency == 20
+        assert cfg.queue_depth == 8
+        assert cfg.delay_rows == 32
+        assert cfg.bus_scaling == 1.3
+
+    @pytest.mark.parametrize("banks", [0, 3, 5, 12, 33])
+    def test_non_power_of_two_banks_rejected(self, banks):
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(banks=banks)
+
+    def test_bad_scalars_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(bank_latency=0)
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(queue_depth=0)
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(delay_rows=0)
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(bus_scaling=0.9)
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(hash_latency=-1)
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(counter_bits=0)
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(data_bytes=0)
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(write_buffer_depth=0)
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(stall_policy="panic")
+
+    def test_normalized_delay_default_is_lq_plus_hash(self):
+        cfg = VPNMConfig(banks=32, bank_latency=20, queue_depth=8,
+                         hash_latency=4)
+        assert cfg.normalized_delay == 20 * 8 + 4
+
+    def test_figure1_configuration(self):
+        """The paper's Figure 1: D=30, L=15, Q = D/L = 2."""
+        cfg = VPNMConfig(banks=1, bank_latency=15, queue_depth=2,
+                         bus_scaling=1.0, hash_latency=0)
+        assert cfg.normalized_delay == 30
+        assert cfg.interleaved_capacity == 2
+
+    def test_too_small_normalized_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(banks=1, bank_latency=15, queue_depth=2,
+                       bus_scaling=1.0, hash_latency=0, normalized_delay=29)
+
+    def test_explicit_normalized_delay_accepted_when_sufficient(self):
+        cfg = VPNMConfig(banks=1, bank_latency=15, queue_depth=2,
+                         bus_scaling=1.0, hash_latency=0, normalized_delay=40)
+        assert cfg.normalized_delay == 40
+
+    def test_strict_round_robin_inflates_default_delay(self):
+        """With B > L and no slot skipping, grants come every B cycles."""
+        lazy = VPNMConfig(banks=32, bank_latency=4, queue_depth=4,
+                          skip_idle_slots=False, hash_latency=0,
+                          bus_scaling=1.0)
+        eager = VPNMConfig(banks=32, bank_latency=4, queue_depth=4,
+                           skip_idle_slots=True, hash_latency=0,
+                           bus_scaling=1.0)
+        assert lazy.normalized_delay == 32 * 4      # Q * max(L, B)
+        assert eager.normalized_delay == 4 * 4      # Q * L
+
+    def test_write_buffer_defaults_to_half_queue(self):
+        assert VPNMConfig(queue_depth=12).write_buffer_depth == 6
+        assert VPNMConfig(queue_depth=1).write_buffer_depth == 1
+
+    def test_counter_bits_autosized_to_delay(self):
+        cfg = VPNMConfig()  # D = 164 -> 8 bits
+        assert cfg.counter_bits == 8
+        big = paper_config(3)  # Q=64, D=1284 -> 11 bits
+        assert (1 << big.counter_bits) > big.normalized_delay
+
+    def test_frozen(self):
+        cfg = VPNMConfig()
+        with pytest.raises(AttributeError):
+            cfg.banks = 64
+
+
+class TestDerivedValues:
+    def test_bank_bits(self):
+        assert VPNMConfig(banks=32).bank_bits == 5
+        assert VPNMConfig(banks=1).bank_bits == 0
+
+    def test_row_id_bits(self):
+        assert VPNMConfig(delay_rows=32).row_id_bits == 5
+        assert VPNMConfig(delay_rows=33).row_id_bits == 6
+        assert VPNMConfig(delay_rows=1).row_id_bits == 1
+
+    def test_delay_ns_at_1ghz(self):
+        """Paper Table 3: Q=48 at 1 GHz gives 960 ns of delay."""
+        cfg = paper_config(2, hash_latency=0)  # B=32, Q=48
+        assert cfg.delay_ns(1000.0) == pytest.approx(960.0)
+
+    def test_delay_ns_rejects_bad_clock(self):
+        with pytest.raises(ConfigurationError):
+            VPNMConfig().delay_ns(0)
+
+
+class TestPaperLadder:
+    def test_ladder_is_the_table2_progression(self):
+        assert [p["queue_depth"] for p in PAPER_DESIGN_LADDER] == [24, 32, 48, 64]
+        assert [p["delay_rows"] for p in PAPER_DESIGN_LADDER] == [48, 64, 96, 128]
+        assert all(p["banks"] == 32 for p in PAPER_DESIGN_LADDER)
+
+    def test_paper_config_bounds(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(-1)
+        with pytest.raises(ConfigurationError):
+            paper_config(4)
+
+    def test_paper_config_overrides(self):
+        cfg = paper_config(0, bus_scaling=1.4, stall_policy="drop")
+        assert cfg.bus_scaling == 1.4
+        assert cfg.stall_policy == "drop"
+        assert cfg.queue_depth == 24

@@ -1,0 +1,229 @@
+"""Integration tests for the full VPNM controller."""
+
+import pytest
+
+from repro.core import (
+    VPNMConfig,
+    VPNMController,
+    paper_config,
+    read_request,
+    write_request,
+)
+from repro.core.exceptions import VPNMError
+
+
+def small_config(**overrides):
+    """A small configuration that exercises stalls quickly in tests."""
+    params = dict(banks=4, bank_latency=4, queue_depth=4, delay_rows=8,
+                  bus_scaling=1.0, hash_latency=0, address_bits=16)
+    params.update(overrides)
+    return VPNMConfig(**params)
+
+
+class TestDeterministicLatency:
+    def test_single_read_completes_at_exactly_d(self):
+        ctrl = VPNMController(small_config(), seed=1)
+        d = ctrl.normalized_delay
+        result = ctrl.read(0x1234, tag="only")
+        assert result.accepted
+        replies = ctrl.run_idle(d + 1)
+        assert len(replies) == 1
+        assert replies[0].latency == d
+        assert replies[0].tag == "only"
+
+    def test_every_accepted_read_has_latency_d(self):
+        ctrl = VPNMController(small_config(), seed=2)
+        d = ctrl.normalized_delay
+        replies = []
+        for address in range(64):
+            replies.extend(ctrl.step(read_request(address)).replies)
+        replies.extend(ctrl.drain())
+        assert len(replies) == 64
+        assert all(r.latency == d for r in replies)
+        assert ctrl.stats.late_replies == 0
+
+    def test_replies_in_request_order(self):
+        """In-order delivery is what makes it look like a pipeline."""
+        ctrl = VPNMController(small_config(), seed=3)
+        replies = []
+        for address in range(40):
+            replies.extend(ctrl.step(read_request(address, tag=address)).replies)
+        replies.extend(ctrl.drain())
+        assert [r.tag for r in replies] == sorted(r.tag for r in replies)
+
+    def test_paper_default_config_full_rate_no_stall(self):
+        """B=32, Q=8: thousands of uniform requests at full line rate."""
+        ctrl = VPNMController(VPNMConfig(), seed=4)
+        import random
+        rng = random.Random(0)
+        for _ in range(5000):
+            ctrl.step(read_request(rng.getrandbits(32)))
+        ctrl.drain()
+        assert ctrl.stats.stalls == 0
+        assert ctrl.stats.late_replies == 0
+        assert ctrl.stats.replies_delivered == 5000
+
+
+class TestDataCorrectness:
+    def test_read_your_writes(self):
+        ctrl = VPNMController(small_config(), seed=5)
+        for address in range(16):
+            ctrl.step(write_request(address, f"value-{address}"))
+        ctrl.run_idle(50)
+        replies = []
+        for address in range(16):
+            replies.extend(ctrl.step(read_request(address, tag=address)).replies)
+        replies.extend(ctrl.drain())
+        assert {r.tag: r.data for r in replies} == {
+            a: f"value-{a}" for a in range(16)
+        }
+
+    def test_same_cycle_ordering_write_before_read(self):
+        """A read issued after a write to the same address sees new data,
+        even when both are still queued at the bank."""
+        ctrl = VPNMController(small_config(queue_depth=8), seed=6)
+        ctrl.step(write_request(77, "new"))
+        ctrl.step(read_request(77, tag="after-write"))
+        replies = ctrl.drain()
+        assert replies[-1].data == "new"
+
+    def test_unwritten_addresses_read_none(self):
+        ctrl = VPNMController(small_config(), seed=7)
+        ctrl.step(read_request(0x42, tag="fresh"))
+        replies = ctrl.drain()
+        assert replies[0].data is None
+
+
+class TestMerging:
+    def test_redundant_reads_single_bank_access(self):
+        """The 'A,A,A,A' pattern of Section 3.4: one access, many replies."""
+        ctrl = VPNMController(small_config(), seed=8)
+        for _ in range(10):
+            ctrl.step(read_request(0x99))
+        ctrl.drain()
+        assert ctrl.stats.reads_accepted == 10
+        assert ctrl.stats.reads_merged == 9
+        assert ctrl.device.total_accesses() == 1
+        assert ctrl.stats.replies_delivered == 10
+
+    def test_alternating_pattern_two_entries(self):
+        """'A,B,A,B,...' needs only two queue entries (Section 3.4)."""
+        ctrl = VPNMController(small_config(), seed=9)
+        for i in range(20):
+            ctrl.step(read_request(0xA if i % 2 == 0 else 0xB))
+        ctrl.drain()
+        assert ctrl.device.total_accesses() == 2
+        assert ctrl.stats.replies_delivered == 20
+
+    def test_merged_replies_have_correct_individual_latencies(self):
+        ctrl = VPNMController(small_config(), seed=10)
+        d = ctrl.normalized_delay
+        ctrl.step(read_request(0x5, tag="first"))
+        ctrl.run_idle(3)
+        ctrl.step(read_request(0x5, tag="second"))
+        replies = ctrl.drain()
+        by_tag = {r.tag: r for r in replies}
+        assert by_tag["first"].latency == d
+        assert by_tag["second"].latency == d
+        assert by_tag["second"].completed_at == by_tag["first"].completed_at + 4
+
+    def test_merge_before_data_ready(self):
+        """A merge can land while the row is still pending/accessing."""
+        ctrl = VPNMController(small_config(), seed=11)
+        ctrl.device.write(ctrl.mapper.bank_of(0x7),
+                          ctrl.mapper.map(0x7).line, "present", now=0)
+        ctrl.step(read_request(0x7, tag="a"))
+        ctrl.step(read_request(0x7, tag="b"))  # merges immediately
+        replies = ctrl.drain()
+        assert [r.data for r in replies] == ["present", "present"]
+
+
+class TestStalls:
+    def test_single_bank_flood_forces_bank_queue_stall(self):
+        """Distinct addresses forced onto one bank overflow its queue."""
+        cfg = small_config(banks=4, queue_depth=2, delay_rows=32)
+        ctrl = VPNMController(cfg, seed=12)
+        # Find enough distinct addresses mapping to bank 0.
+        targets = [a for a in range(2000) if ctrl.mapper.bank_of(a) == 0][:12]
+        assert len(targets) == 12
+        stalled = 0
+        for address in targets:
+            result = ctrl.step(read_request(address))
+            if not result.accepted:
+                stalled += 1
+                assert result.stall.reason in ("bank_queue", "delay_storage")
+        assert stalled > 0
+        assert ctrl.stats.stalls == stalled
+
+    def test_drop_policy_counts_drops(self):
+        cfg = small_config(banks=4, queue_depth=2, delay_rows=32,
+                           stall_policy="drop")
+        ctrl = VPNMController(cfg, seed=12)
+        targets = [a for a in range(2000) if ctrl.mapper.bank_of(a) == 0][:12]
+        for address in targets:
+            ctrl.step(read_request(address))
+        assert ctrl.stats.dropped_requests == ctrl.stats.stalls > 0
+
+    def test_stalled_request_not_given_a_reply(self):
+        cfg = small_config(banks=1, queue_depth=1, delay_rows=1)
+        ctrl = VPNMController(cfg, seed=13)
+        ctrl.step(read_request(1))
+        result = ctrl.step(read_request(2))  # must stall: row+queue busy
+        assert not result.accepted
+        replies = ctrl.drain()
+        assert len(replies) == 1
+
+    def test_accepted_requests_keep_their_latency_during_stalls(self):
+        """Stalls reject new work but never disturb in-flight replies."""
+        cfg = small_config(banks=1, queue_depth=2, delay_rows=2)
+        ctrl = VPNMController(cfg, seed=14)
+        d = ctrl.normalized_delay
+        accepted = []
+        replies = []
+        for address in range(20):
+            result = ctrl.step(read_request(address, tag=address))
+            replies.extend(result.replies)
+            if result.accepted:
+                accepted.append(address)
+        replies.extend(ctrl.drain())
+        assert {r.tag for r in replies} == set(accepted)
+        assert all(r.latency == d for r in replies)
+
+
+class TestRekey:
+    def test_rekey_requires_drained_controller(self):
+        ctrl = VPNMController(small_config(), seed=15)
+        ctrl.step(read_request(1))
+        with pytest.raises(VPNMError):
+            ctrl.rekey(1)
+        ctrl.drain()
+        ctrl.rekey(1)  # now fine
+
+    def test_rekey_changes_bank_assignment(self):
+        ctrl = VPNMController(small_config(), seed=16)
+        before = [ctrl.mapper.bank_of(a) for a in range(256)]
+        ctrl.rekey(99)
+        assert [ctrl.mapper.bank_of(a) for a in range(256)] != before
+
+
+class TestObservability:
+    def test_stats_summary_renders(self):
+        ctrl = VPNMController(small_config(), seed=17)
+        ctrl.step(read_request(1))
+        ctrl.drain()
+        text = ctrl.stats.summary()
+        assert "reads accepted" in text
+        assert "stalls" in text
+
+    def test_bandwidth_utilization(self):
+        ctrl = VPNMController(small_config(), seed=18)
+        for address in range(10):
+            ctrl.step(read_request(address))
+        assert ctrl.stats.bandwidth_utilization() == pytest.approx(1.0)
+        ctrl.run_idle(10)
+        assert ctrl.stats.bandwidth_utilization() == pytest.approx(0.5)
+
+    def test_delay_ns_reporting(self):
+        ctrl = VPNMController(paper_config(2, hash_latency=0),
+                              interface_clock_mhz=1000.0)
+        assert ctrl.delay_ns() == pytest.approx(960.0)

@@ -1,0 +1,128 @@
+"""Stateful (rule-based) fuzzing of the delay storage buffer.
+
+Hypothesis drives random interleavings of allocate / merge / invalidate
+/ fill / consume against a shadow model, checking after every step that
+the CAM, the refcounts, and the free list stay mutually consistent —
+the invariants a hardware verification bench would assert.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.delay_storage import DelayStorageBuffer
+
+ROWS = 6
+COUNTER_BITS = 3  # max 7 references
+
+
+class DelayStorageMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.buffer = DelayStorageBuffer(rows=ROWS,
+                                         counter_bits=COUNTER_BITS)
+        # shadow model: row_id -> [address, cam_visible, refcount, pending]
+        # pending = the row's bank access has not completed (fill) yet;
+        # a row frees only once refcount == 0 AND pending is False.
+        self.live = {}
+        self.clock = 0
+
+    def _maybe_free(self, row_id):
+        address, visible, count, pending = self.live[row_id]
+        if count == 0 and not pending:
+            del self.live[row_id]
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(address=st.integers(0, 15), visible=st.booleans())
+    def allocate(self, address, visible):
+        cam_hit = self.buffer.lookup(address) is not None
+        row_id = None
+        if not (visible and cam_hit):
+            row_id = self.buffer.allocate(address, cam_visible=visible)
+        if row_id is not None:
+            assert row_id not in self.live
+            self.live[row_id] = [address, visible, 1, True]
+
+    @rule(address=st.integers(0, 15))
+    def merge(self, address):
+        row_id = self.buffer.lookup(address)
+        if row_id is None:
+            return
+        if self.buffer.can_reference(row_id):
+            self.buffer.add_reference(row_id)
+            self.live[row_id][2] += 1
+
+    @rule(address=st.integers(0, 15))
+    def invalidate(self, address):
+        row_id = self.buffer.invalidate_address(address)
+        if row_id is not None:
+            assert self.live[row_id][1] is True
+            self.live[row_id][1] = False
+
+    @precondition(lambda self: any(v[3] for v in self.live.values()))
+    @rule(data=st.data())
+    def fill(self, data):
+        candidates = sorted(r for r, v in self.live.items() if v[3])
+        row_id = data.draw(st.sampled_from(candidates))
+        self.clock += 1
+        self.buffer.fill(row_id, f"payload-{self.clock}", self.clock)
+        self.live[row_id][3] = False
+        self._maybe_free(row_id)
+
+    @precondition(lambda self: any(v[2] > 0 for v in self.live.values()))
+    @rule(data=st.data())
+    def consume(self, data):
+        candidates = sorted(r for r, v in self.live.items() if v[2] > 0)
+        row_id = data.draw(st.sampled_from(candidates))
+        self.clock += 1
+        self.buffer.consume(row_id, self.clock)
+        self.live[row_id][2] -= 1
+        self._maybe_free(row_id)
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def rows_used_matches_model(self):
+        assert self.buffer.rows_used == len(self.live)
+
+    @invariant()
+    def cam_matches_visible_rows(self):
+        visible = {address: row_id
+                   for row_id, (address, vis, _, _p) in self.live.items()
+                   if vis}
+        assert self.buffer._cam == visible
+
+    @invariant()
+    def refcounts_match(self):
+        for row_id, (_, _, count, pending) in self.live.items():
+            row = self.buffer.rows[row_id]
+            assert row.counter == count
+            assert row.access_pending == pending
+            assert 0 <= count <= self.buffer.max_count
+            assert count > 0 or pending  # otherwise it would be free
+
+    @invariant()
+    def free_rows_are_clean(self):
+        for row_id in range(ROWS):
+            if row_id not in self.live:
+                row = self.buffer.rows[row_id]
+                assert row.counter == 0
+                assert not row.access_pending
+                assert not row.address_valid
+
+    @invariant()
+    def capacity_accounting(self):
+        assert 0 <= self.buffer.rows_used <= ROWS
+        assert self.buffer.is_full == (self.buffer.rows_used == ROWS)
+
+
+TestDelayStorageStateful = DelayStorageMachine.TestCase
+TestDelayStorageStateful.settings = settings(
+    max_examples=60, stateful_step_count=60, deadline=None
+)

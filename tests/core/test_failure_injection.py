@@ -1,0 +1,146 @@
+"""Failure injection: broken schedulers and hostile configurations.
+
+The structural checks in the DRAM device and the reply path exist to
+catch scheduler bugs; these tests *inject* such bugs and assert the
+system fails loudly instead of silently corrupting timing results.
+"""
+
+import pytest
+
+from repro.core import (
+    VPNMConfig,
+    VPNMController,
+    read_request,
+)
+from repro.core.bank_controller import BankController
+from repro.core.exceptions import CapacityError, ConfigurationError
+from repro.dram.bank import BankBusyError
+from repro.dram.device import BusConflictError, DRAMDevice
+from repro.dram.timing import DRAMTiming
+
+
+class TestBrokenSchedulers:
+    def make_parts(self, banks=2, latency=10):
+        config = VPNMConfig(banks=banks, bank_latency=latency,
+                            queue_depth=4, delay_rows=8, bus_scaling=1.0,
+                            hash_latency=0, address_bits=16)
+        device = DRAMDevice(DRAMTiming("t", banks, latency, 100.0))
+        controllers = [BankController(i, config, config.counter_bits)
+                       for i in range(banks)]
+        return config, device, controllers
+
+    def test_double_issue_same_cycle_caught(self):
+        _, device, (bank0, bank1) = self.make_parts()
+        bank0.try_accept_read(1)
+        bank1.try_accept_read(2)
+        bank0.issue_next(device, mem_now=0)
+        with pytest.raises(BusConflictError):
+            bank1.issue_next(device, mem_now=0)
+
+    def test_issue_to_busy_bank_caught(self):
+        _, device, (bank0, _) = self.make_parts(latency=10)
+        bank0.try_accept_read(1)
+        bank0.try_accept_read(2)
+        bank0.issue_next(device, mem_now=0)
+        with pytest.raises(BankBusyError):
+            bank0.issue_next(device, mem_now=5)
+
+    def test_time_reversal_caught(self):
+        _, device, (bank0, bank1) = self.make_parts()
+        bank0.try_accept_read(1)
+        bank1.try_accept_read(2)
+        bank0.issue_next(device, mem_now=10)
+        with pytest.raises(BusConflictError):
+            bank1.issue_next(device, mem_now=3)
+
+    def test_queue_overflow_bypass_caught(self):
+        """Pushing past capacity without the stall check is a bug the
+        structure itself rejects."""
+        _, _, (bank0, _) = self.make_parts()
+        for line in range(4):
+            bank0.access_queue.push_read(line)
+        with pytest.raises(CapacityError):
+            bank0.access_queue.push_read(99)
+
+
+class TestLatencyViolationDetection:
+    def test_insufficient_manual_delay_is_rejected_up_front(self):
+        """A D below the provable completion bound cannot be configured."""
+        with pytest.raises(ConfigurationError):
+            VPNMConfig(banks=4, bank_latency=10, queue_depth=4,
+                       bus_scaling=1.0, hash_latency=0, normalized_delay=20)
+
+    def test_late_reply_counter_detects_injected_violation(self):
+        """Force a data-not-ready delivery by tampering with a row's
+        ready time; the reply path must count it, not crash."""
+        ctrl = VPNMController(
+            VPNMConfig(banks=2, bank_latency=4, queue_depth=2, delay_rows=4,
+                       bus_scaling=1.0, hash_latency=0, address_bits=16),
+            seed=2,
+        )
+        result = ctrl.step(read_request(7))
+        assert result.accepted
+        # Sabotage: pretend the DRAM data will only be ready far in the
+        # future (as a scheduling bug would cause).
+        bank = ctrl.mapper.bank_of(7)
+        ctrl.run_idle(5)  # let the access issue and fill the row
+        for row in ctrl.banks[bank].delay_storage.rows:
+            if row.in_use:
+                row.data_ready_at = 10**9
+        ctrl.drain()
+        assert ctrl.stats.late_replies == 1
+
+    def test_healthy_runs_never_count_late_replies(self):
+        import random
+        rng = random.Random(0)
+        ctrl = VPNMController(
+            VPNMConfig(banks=8, bank_latency=5, queue_depth=4,
+                       delay_rows=16, hash_latency=0, address_bits=16),
+            seed=3,
+        )
+        for _ in range(3000):
+            ctrl.step(read_request(rng.getrandbits(16)))
+        ctrl.drain()
+        assert ctrl.stats.late_replies == 0
+
+
+class TestHostileConfigurations:
+    def test_minimum_viable_config(self):
+        """B=1, Q=1, K=1: the degenerate single-everything system still
+        upholds the contract (serially)."""
+        ctrl = VPNMController(
+            VPNMConfig(banks=1, bank_latency=2, queue_depth=1, delay_rows=1,
+                       bus_scaling=1.0, hash_latency=0, address_bits=8),
+            seed=4,
+        )
+        d = ctrl.normalized_delay
+        accepted = 0
+        replies = []
+        for address in range(40):
+            result = ctrl.step(read_request(address % 256))
+            replies.extend(result.replies)
+            accepted += result.accepted
+        replies.extend(ctrl.drain())
+        assert len(replies) == accepted
+        assert all(r.latency == d for r in replies)
+
+    def test_saturated_config_stays_consistent(self):
+        """Utilization > 1 (impossible load): massive stalls, but every
+        accepted request still completes correctly."""
+        import random
+        rng = random.Random(5)
+        ctrl = VPNMController(
+            VPNMConfig(banks=2, bank_latency=16, queue_depth=2,
+                       delay_rows=4, bus_scaling=1.0, hash_latency=0,
+                       address_bits=16, stall_policy="drop"),
+            seed=6,
+        )
+        replies = []
+        for _ in range(2000):
+            result = ctrl.step(read_request(rng.getrandbits(16)))
+            replies.extend(result.replies)
+        replies.extend(ctrl.drain())
+        assert ctrl.stats.stalls > 500
+        assert len(replies) == ctrl.stats.reads_accepted
+        assert all(r.latency == ctrl.normalized_delay for r in replies)
+        assert ctrl.stats.late_replies == 0

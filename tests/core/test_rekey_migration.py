@@ -1,0 +1,98 @@
+"""Tests for rekey-with-migration (the paper's key-leak mitigation)."""
+
+import random
+
+import pytest
+
+from repro.core import VPNMConfig, VPNMController, read_request, write_request
+from repro.core.exceptions import VPNMError
+
+
+def small_controller(**overrides):
+    params = dict(banks=4, bank_latency=4, queue_depth=4, delay_rows=8,
+                  bus_scaling=1.0, hash_latency=0, address_bits=16)
+    params.update(overrides)
+    return VPNMController(VPNMConfig(**params), seed=1)
+
+
+class TestRekeyWithMigration:
+    def write_data(self, ctrl, count=24, seed=0):
+        rng = random.Random(seed)
+        data = {}
+        while len(data) < count:
+            address = rng.getrandbits(16)
+            data[address] = f"value-{address}"
+        for address, value in data.items():
+            while not ctrl.step(write_request(address, value)).accepted:
+                pass
+        ctrl.drain()
+        return data
+
+    def read_back(self, ctrl, addresses):
+        replies = []
+        for address in addresses:
+            while True:
+                result = ctrl.step(read_request(address, tag=address))
+                replies.extend(result.replies)
+                if result.accepted:
+                    break
+        replies.extend(ctrl.drain())
+        return {r.tag: r.data for r in replies}
+
+    def test_data_survives_migration(self):
+        ctrl = small_controller()
+        data = self.write_data(ctrl)
+        ctrl.rekey_with_migration(seed=99)
+        assert self.read_back(ctrl, list(data)) == data
+
+    def test_mapping_actually_changes(self):
+        ctrl = small_controller()
+        self.write_data(ctrl)
+        before = [ctrl.mapper.bank_of(a) for a in range(256)]
+        ctrl.rekey_with_migration(seed=77)
+        assert [ctrl.mapper.bank_of(a) for a in range(256)] != before
+
+    def test_downtime_charged(self):
+        ctrl = small_controller()
+        data = self.write_data(ctrl, count=10)
+        clock_before = ctrl.now
+        downtime = ctrl.rekey_with_migration(seed=5)
+        assert downtime > 0
+        assert ctrl.now == clock_before + downtime
+        # Serial read+write per line at the grant period.
+        grant = max(ctrl.config.bank_latency, ctrl.config.banks)
+        assert downtime == 2 * len(data) * grant
+
+    def test_requires_drained_controller(self):
+        ctrl = small_controller()
+        ctrl.step(read_request(1))
+        with pytest.raises(VPNMError):
+            ctrl.rekey_with_migration(seed=1)
+
+    def test_migration_of_empty_memory_is_free(self):
+        ctrl = small_controller()
+        assert ctrl.rekey_with_migration(seed=3) == 0
+
+    def test_repeated_migrations(self):
+        ctrl = small_controller()
+        data = self.write_data(ctrl, count=8)
+        for seed in (1, 2, 3):
+            ctrl.rekey_with_migration(seed=seed)
+        assert self.read_back(ctrl, list(data)) == data
+
+    def test_low_bits_scheme_migratable_too(self):
+        ctrl = small_controller(hash_scheme="low-bits")
+        data = self.write_data(ctrl, count=8)
+        ctrl.rekey_with_migration(seed=9)  # rekey is a no-op mapping-wise
+        assert self.read_back(ctrl, list(data)) == data
+
+    def test_migration_then_new_traffic(self):
+        """Post-migration, the controller keeps its contract."""
+        ctrl = small_controller()
+        data = self.write_data(ctrl, count=12)
+        ctrl.rekey_with_migration(seed=11)
+        d = ctrl.normalized_delay
+        result = ctrl.step(read_request(next(iter(data)), tag="after"))
+        assert result.accepted
+        replies = ctrl.drain()
+        assert replies[0].latency == d

@@ -1,0 +1,55 @@
+"""Unit tests for controller statistics."""
+
+import pytest
+
+from repro.core.stats import ControllerStats
+
+
+class TestCounters:
+    def test_fresh_stats_are_zero(self):
+        stats = ControllerStats()
+        assert stats.requests_accepted == 0
+        assert stats.stall_rate == 0.0
+        assert stats.empirical_mts is None
+        assert stats.merge_rate == 0.0
+        assert stats.bandwidth_utilization() == 0.0
+
+    def test_record_stall_groups_reasons(self):
+        stats = ControllerStats()
+        stats.record_stall(10, "bank_queue")
+        stats.record_stall(20, "bank_queue")
+        stats.record_stall(30, "delay_storage")
+        assert stats.stalls == 3
+        assert stats.stall_reasons == {"bank_queue": 2, "delay_storage": 1}
+        assert stats.stall_cycles == [10, 20, 30]
+
+    def test_stall_cycle_list_is_bounded(self):
+        stats = ControllerStats()
+        for cycle in range(12_000):
+            stats.record_stall(cycle, "bank_queue")
+        assert len(stats.stall_cycles) == 10_000
+        assert stats.stalls == 12_000
+
+    def test_derived_rates(self):
+        stats = ControllerStats(cycles=1000, reads_accepted=600,
+                                writes_accepted=200, reads_merged=150)
+        stats.stalls = 4
+        assert stats.requests_accepted == 800
+        assert stats.stall_rate == pytest.approx(0.004)
+        assert stats.empirical_mts == pytest.approx(250.0)
+        assert stats.merge_rate == pytest.approx(0.25)
+        assert stats.bandwidth_utilization() == pytest.approx(0.8)
+
+    def test_summary_mentions_everything(self):
+        stats = ControllerStats(cycles=10, reads_accepted=3,
+                                writes_accepted=1)
+        stats.record_stall(5, "write_buffer")
+        text = stats.summary()
+        assert "write_buffer" in text
+        assert "reads accepted:    3" in text
+        assert "empirical MTS" in text
+
+    def test_summary_without_stalls(self):
+        text = ControllerStats(cycles=5).summary()
+        assert "none" in text
+        assert "n/a" in text

@@ -1,0 +1,237 @@
+"""Unit tests for the four bank-controller structures."""
+
+import pytest
+
+from repro.core.bank_queue import BankAccessQueue
+from repro.core.delay_line import CircularDelayBuffer
+from repro.core.delay_storage import DelayStorageBuffer
+from repro.core.exceptions import CapacityError, UnknownRequestError
+from repro.core.request import Operation
+from repro.core.write_buffer import WriteBuffer
+
+
+class TestDelayStorageBuffer:
+    def make(self, rows=4, counter_bits=4):
+        return DelayStorageBuffer(rows=rows, counter_bits=counter_bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayStorageBuffer(rows=0, counter_bits=4)
+        with pytest.raises(ValueError):
+            DelayStorageBuffer(rows=4, counter_bits=0)
+
+    def test_allocate_uses_first_zero_circuit(self):
+        dsb = self.make()
+        assert dsb.allocate(100) == 0
+        assert dsb.allocate(200) == 1
+        # Free row 0 and it becomes the first-zero pick again.
+        dsb.fill(0, "d", ready_at_mem=0)
+        dsb.consume(0, mem_now=10)
+        assert dsb.allocate(300) == 0
+
+    def test_allocate_full_returns_none(self):
+        dsb = self.make(rows=2)
+        dsb.allocate(1)
+        dsb.allocate(2)
+        assert dsb.is_full
+        assert dsb.allocate(3) is None
+
+    def test_double_allocate_same_address_rejected(self):
+        dsb = self.make()
+        dsb.allocate(7)
+        with pytest.raises(CapacityError):
+            dsb.allocate(7)
+
+    def test_cam_lookup(self):
+        dsb = self.make()
+        row = dsb.allocate(0xAB)
+        assert dsb.lookup(0xAB) == row
+        assert dsb.lookup(0xCD) is None
+
+    def test_reference_counting_frees_on_last_consume(self):
+        dsb = self.make()
+        row = dsb.allocate(5)
+        dsb.add_reference(row)
+        dsb.add_reference(row)          # 3 outstanding replies
+        dsb.fill(row, "data", ready_at_mem=0)
+        for _ in range(2):
+            dsb.consume(row, mem_now=1)
+            assert dsb.lookup(5) == row  # still live
+        dsb.consume(row, mem_now=1)
+        assert dsb.lookup(5) is None     # freed
+        assert dsb.rows_used == 0
+
+    def test_counter_saturation(self):
+        dsb = self.make(counter_bits=2)  # max count 3
+        row = dsb.allocate(9)
+        dsb.add_reference(row)
+        dsb.add_reference(row)
+        assert not dsb.can_reference(row)
+        with pytest.raises(CapacityError):
+            dsb.add_reference(row)
+
+    def test_invalidate_address_keeps_row_serving(self):
+        dsb = self.make()
+        row = dsb.allocate(42)
+        dsb.fill(row, "old", ready_at_mem=0)
+        assert dsb.invalidate_address(42) == row
+        assert dsb.lookup(42) is None           # no longer CAM-visible
+        result = dsb.consume(row, mem_now=5)    # but still replays
+        assert result.data == "old"
+        assert dsb.rows_used == 0               # and then frees
+
+    def test_invalidate_miss_returns_none(self):
+        assert self.make().invalidate_address(123) is None
+
+    def test_invalidated_row_frees_without_cam_entry(self):
+        """Freeing an invalidated row must not disturb a newer row's CAM entry."""
+        dsb = self.make()
+        old_row = dsb.allocate(42)
+        dsb.invalidate_address(42)
+        new_row = dsb.allocate(42)              # fresh row, same address
+        dsb.fill(old_row, "old", ready_at_mem=0)
+        dsb.consume(old_row, mem_now=1)         # frees the *old* row
+        assert dsb.lookup(42) == new_row        # new row untouched
+
+    def test_data_readiness_threshold(self):
+        dsb = self.make()
+        row = dsb.allocate(1)
+        dsb.fill(row, "x", ready_at_mem=100)
+        assert not dsb.rows[row].data_ready(99)
+        assert dsb.rows[row].data_ready(100)
+
+    def test_consume_before_ready_flags_not_ready(self):
+        dsb = self.make()
+        row = dsb.allocate(1)
+        dsb.add_reference(row)
+        dsb.fill(row, "x", ready_at_mem=50)
+        assert dsb.consume(row, mem_now=10).ready is False
+        assert dsb.consume(row, mem_now=60).ready is True
+
+    def test_operations_on_free_rows_rejected(self):
+        dsb = self.make()
+        with pytest.raises(UnknownRequestError):
+            dsb.add_reference(0)
+        with pytest.raises(UnknownRequestError):
+            dsb.fill(0, "x", 0)
+        with pytest.raises(UnknownRequestError):
+            dsb.consume(0, 0)
+        with pytest.raises(UnknownRequestError):
+            dsb.address_of(0)
+
+    def test_high_water_tracks_max_usage(self):
+        dsb = self.make(rows=3)
+        dsb.allocate(1)
+        dsb.allocate(2)
+        dsb.fill(0, "d", 0)
+        dsb.consume(0, 1)
+        assert dsb.high_water == 2
+
+
+class TestBankAccessQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankAccessQueue(depth=0)
+
+    def test_fifo_order_mixed(self):
+        q = BankAccessQueue(depth=4)
+        q.push_read(3)
+        q.push_write()
+        q.push_read(1)
+        assert q.pop() == (Operation.READ, 3)
+        assert q.pop() == (Operation.WRITE, None)
+        assert q.pop() == (Operation.READ, 1)
+
+    def test_capacity_enforced(self):
+        q = BankAccessQueue(depth=2)
+        q.push_read(0)
+        q.push_write()
+        assert q.is_full
+        with pytest.raises(CapacityError):
+            q.push_read(1)
+
+    def test_peek_does_not_remove(self):
+        q = BankAccessQueue(depth=2)
+        q.push_read(7)
+        assert q.peek() == q.peek()
+        assert len(q) == 1
+
+    def test_empty_pop_and_peek_raise(self):
+        q = BankAccessQueue(depth=2)
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek()
+
+    def test_high_water(self):
+        q = BankAccessQueue(depth=4)
+        q.push_read(0)
+        q.push_read(1)
+        q.pop()
+        q.push_read(2)
+        assert q.high_water == 2
+
+
+class TestWriteBuffer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(depth=0)
+
+    def test_fifo_round_trip(self):
+        wb = WriteBuffer(depth=3)
+        wb.push(1, "a")
+        wb.push(2, "b")
+        assert wb.pop() == (1, "a")
+        assert wb.pop() == (2, "b")
+
+    def test_capacity(self):
+        wb = WriteBuffer(depth=1)
+        wb.push(1, "a")
+        with pytest.raises(CapacityError):
+            wb.push(2, "b")
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            WriteBuffer(depth=1).pop()
+
+
+class TestCircularDelayBuffer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircularDelayBuffer(delay=0)
+
+    def test_payload_emerges_after_exactly_d_advances(self):
+        ring = CircularDelayBuffer(delay=5)
+        assert ring.advance("first") is None
+        for _ in range(4):
+            assert ring.advance() is None
+        assert ring.advance("sixth") == "first"
+
+    def test_empty_cycles_stay_empty(self):
+        ring = CircularDelayBuffer(delay=3)
+        assert all(ring.advance() is None for _ in range(10))
+
+    def test_every_cycle_payloads_stream_back(self):
+        ring = CircularDelayBuffer(delay=2)
+        outputs = [ring.advance(i) for i in range(10)]
+        assert outputs == [None, None, 0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_pending_counts_valid_slots(self):
+        ring = CircularDelayBuffer(delay=4)
+        ring.advance("a")
+        ring.advance()
+        ring.advance("b")
+        assert ring.pending() == 2
+
+    def test_slot_reuse_invalidates(self):
+        ring = CircularDelayBuffer(delay=1)
+        ring.advance("x")
+        assert ring.advance() == "x"
+        assert ring.advance() is None  # slot was invalidated, not re-delivered
+
+    def test_counters(self):
+        ring = CircularDelayBuffer(delay=2)
+        ring.advance("a")
+        ring.advance()
+        assert ring.writes == 1
+        assert ring.invalidations == 1

@@ -1,0 +1,82 @@
+"""Tests for the single-bank timing and storage model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.bank import BankBusyError, DRAMBank
+
+
+class TestBankTiming:
+    def test_fresh_bank_is_free(self):
+        bank = DRAMBank(index=0, access_cycles=20)
+        assert not bank.is_busy(0)
+        assert bank.busy_until == 0
+
+    def test_rejects_bad_access_cycles(self):
+        with pytest.raises(ValueError):
+            DRAMBank(index=0, access_cycles=0)
+
+    def test_read_occupies_bank_for_l_cycles(self):
+        bank = DRAMBank(index=0, access_cycles=20)
+        access = bank.issue_read(5, now=100)
+        assert access.ready_at == 120
+        assert bank.is_busy(100)
+        assert bank.is_busy(119)
+        assert not bank.is_busy(120)
+
+    def test_issue_while_busy_raises(self):
+        bank = DRAMBank(index=0, access_cycles=10)
+        bank.issue_read(1, now=0)
+        with pytest.raises(BankBusyError):
+            bank.issue_read(2, now=5)
+        with pytest.raises(BankBusyError):
+            bank.issue_write(3, "x", now=9)
+
+    def test_back_to_back_at_exact_boundary_allowed(self):
+        bank = DRAMBank(index=0, access_cycles=10)
+        bank.issue_read(1, now=0)
+        access = bank.issue_read(2, now=10)
+        assert access.ready_at == 20
+
+    def test_write_then_read_round_trip(self):
+        bank = DRAMBank(index=3, access_cycles=4)
+        bank.issue_write(42, b"payload", now=0)
+        access = bank.issue_read(42, now=4)
+        assert access.data == b"payload"
+
+    def test_unwritten_line_reads_none(self):
+        bank = DRAMBank(index=0, access_cycles=4)
+        assert bank.issue_read(7, now=0).data is None
+
+    def test_overwrite_returns_latest(self):
+        bank = DRAMBank(index=0, access_cycles=2)
+        bank.issue_write(1, "old", now=0)
+        bank.issue_write(1, "new", now=2)
+        assert bank.issue_read(1, now=4).data == "new"
+
+    def test_counters_and_occupancy(self):
+        bank = DRAMBank(index=0, access_cycles=1)
+        bank.issue_write(1, "a", now=0)
+        bank.issue_write(2, "b", now=1)
+        bank.issue_read(1, now=2)
+        assert bank.reads_issued == 1
+        assert bank.writes_issued == 2
+        assert bank.occupancy() == 2
+
+    def test_peek_has_no_timing_effect(self):
+        bank = DRAMBank(index=0, access_cycles=10)
+        bank.issue_write(9, "v", now=0)
+        assert bank.peek(9) == "v"
+        assert bank.busy_until == 10  # unchanged by peek
+        assert bank.peek(1000) is None
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=30, unique=True))
+    @settings(max_examples=25)
+    def test_serialized_accesses_never_conflict(self, gaps):
+        """Accesses spaced >= L apart always succeed."""
+        bank = DRAMBank(index=0, access_cycles=7)
+        now = 0
+        for gap in gaps:
+            bank.issue_read(gap, now=now)
+            now += 7 + gap % 3

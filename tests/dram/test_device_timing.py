@@ -1,0 +1,103 @@
+"""Tests for DRAM timing presets and the shared-bus device model."""
+
+import pytest
+
+from repro.dram.bank import BankBusyError
+from repro.dram.device import BusConflictError, DRAMDevice
+from repro.dram.timing import (
+    DDR266,
+    PC133_SDRAM,
+    RDRAM_RIMM_512,
+    RDRAM_SINGLE_DEVICE,
+    DRAMTiming,
+)
+
+
+class TestTimingPresets:
+    def test_paper_cited_parameters(self):
+        # Section 3.1: one RDRAM device has 32 banks; a RIMM has 16x32=512.
+        assert RDRAM_SINGLE_DEVICE.banks == 32
+        assert RDRAM_RIMM_512.banks == 512
+        # Section 3.1: "we select the value of L=20".
+        assert RDRAM_SINGLE_DEVICE.access_cycles == 20
+        assert RDRAM_RIMM_512.access_cycles == 20
+        # Measured efficiencies the paper quotes for SDRAM parts.
+        assert PC133_SDRAM.reported_efficiency == 0.60
+        assert DDR266.reported_efficiency == 0.37
+
+    def test_cycle_and_access_ns(self):
+        assert RDRAM_SINGLE_DEVICE.cycle_ns == pytest.approx(2.5)
+        assert RDRAM_SINGLE_DEVICE.access_ns == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMTiming("bad", banks=0, access_cycles=1, clock_mhz=100)
+        with pytest.raises(ValueError):
+            DRAMTiming("bad", banks=1, access_cycles=0, clock_mhz=100)
+        with pytest.raises(ValueError):
+            DRAMTiming("bad", banks=1, access_cycles=1, clock_mhz=0)
+        with pytest.raises(ValueError):
+            DRAMTiming("bad", banks=1, access_cycles=1, clock_mhz=1,
+                       reported_efficiency=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PC133_SDRAM.banks = 8
+
+
+class TestDRAMDevice:
+    def make_device(self, banks=4, cycles=5, mhz=100.0):
+        return DRAMDevice(DRAMTiming("test", banks, cycles, mhz))
+
+    def test_bank_count_matches_timing(self):
+        assert len(self.make_device(banks=8).banks) == 8
+
+    def test_interleaved_reads_different_banks(self):
+        device = self.make_device(banks=4, cycles=5)
+        r0 = device.read(bank=0, line=1, now=0)
+        r1 = device.read(bank=1, line=1, now=1)
+        r2 = device.read(bank=2, line=1, now=2)
+        assert (r0.ready_at, r1.ready_at, r2.ready_at) == (5, 6, 7)
+
+    def test_same_cycle_issue_is_bus_conflict(self):
+        device = self.make_device()
+        device.read(bank=0, line=1, now=5)
+        with pytest.raises(BusConflictError):
+            device.read(bank=1, line=1, now=5)
+
+    def test_time_running_backwards_rejected(self):
+        device = self.make_device()
+        device.read(bank=0, line=1, now=5)
+        with pytest.raises(BusConflictError):
+            device.read(bank=1, line=1, now=3)
+
+    def test_bank_conflict_propagates(self):
+        device = self.make_device(banks=2, cycles=10)
+        device.read(bank=0, line=1, now=0)
+        with pytest.raises(BankBusyError):
+            device.read(bank=0, line=2, now=4)
+
+    def test_write_read_round_trip_across_banks(self):
+        device = self.make_device(banks=2, cycles=3)
+        device.write(bank=1, line=77, data="hello", now=0)
+        assert device.read(bank=1, line=77, now=3).data == "hello"
+
+    def test_bank_free_at(self):
+        device = self.make_device(banks=2, cycles=6)
+        device.read(bank=0, line=0, now=10)
+        assert device.bank_free_at(0) == 16
+        assert device.bank_free_at(1) == 0
+
+    def test_total_accesses(self):
+        device = self.make_device(banks=2, cycles=1)
+        device.read(bank=0, line=0, now=0)
+        device.write(bank=1, line=0, data=0, now=1)
+        assert device.total_accesses() == 2
+
+    def test_peak_bandwidth(self):
+        # 400 MHz, 64-byte transfers: 400e6 * 64 * 8 / 1e9 = 204.8 gbps
+        device = DRAMDevice(RDRAM_SINGLE_DEVICE)
+        assert device.peak_bandwidth_gbps(64) == pytest.approx(204.8)
+
+    def test_repr_mentions_geometry(self):
+        assert "banks" in repr(self.make_device())

@@ -1,0 +1,152 @@
+"""Tests for bit counting and the calibrated hardware model."""
+
+import pytest
+
+from repro.core import VPNMConfig, paper_config
+from repro.hardware.bits import controller_bits, total_controller_bytes
+from repro.hardware.calibration import (
+    AREA_ANCHORS,
+    ENERGY_ANCHORS,
+    calibration_report,
+    fit_area_model,
+    fit_energy_model,
+)
+from repro.hardware.model import HardwareModel
+
+
+class TestControllerBits:
+    def test_structure_split_sums_to_total(self):
+        bits = controller_bits(VPNMConfig(hash_latency=0))
+        assert bits.total_bits == bits.cam_bits + bits.sram_bits
+        assert (bits.delay_storage_bits + bits.bank_queue_bits
+                + bits.write_buffer_bits + bits.circular_buffer_bits
+                ) == bits.total_bits
+
+    def test_hand_computed_small_config(self):
+        # K=4 rows, Q=2, L=4 -> D=8, A=16, C auto->4 bits (D=8), W=8 bytes
+        cfg = VPNMConfig(banks=4, bank_latency=4, queue_depth=2,
+                         delay_rows=4, hash_latency=0, address_bits=16,
+                         data_bytes=8)
+        bits = controller_bits(cfg)
+        assert bits.cam_bits == 4 * 16
+        # delay storage SRAM: 4 * (1 valid + 4 counter + 64 data)
+        assert cfg.counter_bits == 4
+        row_id = cfg.row_id_bits  # log2(4) = 2
+        assert row_id == 2
+        assert bits.bank_queue_bits == 2 * (1 + row_id)
+        assert bits.write_buffer_bits == 1 * (16 + 64)
+        assert bits.circular_buffer_bits == 8 * (1 + row_id)
+
+    def test_bits_grow_with_every_parameter(self):
+        base = controller_bits(VPNMConfig(hash_latency=0))
+        assert controller_bits(
+            VPNMConfig(delay_rows=64, hash_latency=0)).total_bits > base.total_bits
+        assert controller_bits(
+            VPNMConfig(queue_depth=16, hash_latency=0)).total_bits > base.total_bits
+        assert controller_bits(
+            VPNMConfig(data_bytes=128, hash_latency=0)).total_bits > base.total_bits
+
+    def test_total_controller_bytes_scales_with_banks(self):
+        small = total_controller_bytes(VPNMConfig(banks=16, hash_latency=0))
+        large = total_controller_bytes(VPNMConfig(banks=32, hash_latency=0))
+        assert large == pytest.approx(small * 2)
+
+
+class TestCalibration:
+    def test_area_fit_hits_all_anchors_within_5_percent(self):
+        fit = fit_area_model()
+        from repro.hardware.calibration import _anchor_bits
+        for queue_depth, delay_rows, expected in AREA_ANCHORS:
+            predicted = fit.area_mm2(_anchor_bits(queue_depth, delay_rows))
+            assert predicted == pytest.approx(expected, rel=0.05)
+
+    def test_energy_fit_hits_all_anchors_within_2_percent(self):
+        fit = fit_energy_model()
+        from repro.hardware.calibration import _anchor_bits
+        for queue_depth, delay_rows, expected in ENERGY_ANCHORS:
+            predicted = fit.energy_nj(_anchor_bits(queue_depth, delay_rows))
+            assert predicted == pytest.approx(expected, rel=0.02)
+
+    def test_area_superlinearity(self):
+        """Cacti-style: area grows faster than storage (decoders, wires)."""
+        fit = fit_area_model()
+        assert 1.0 < fit.gamma < 2.0
+
+    def test_report_renders(self):
+        report = "\n".join(calibration_report())
+        assert "Area fit" in report and "Energy fit" in report
+        assert "%" in report
+
+
+class TestHardwareModel:
+    def test_reference_controller_area(self):
+        """Section 5.3.1: L=20, K=24, Q=12 controller ~ 0.15 mm2."""
+        model = HardwareModel()
+        cfg = VPNMConfig(banks=32, bank_latency=20, queue_depth=12,
+                         delay_rows=24, hash_latency=0)
+        assert model.controller_area_mm2(cfg) == pytest.approx(0.15, rel=0.05)
+
+    def test_table2_totals(self):
+        """Paper Table 2 R=1.3 areas: 13.6 / 19.4 / 34.1 / 53.2 mm2."""
+        model = HardwareModel()
+        expected = [13.6, 19.4, 34.1, 53.2]
+        for point, value in zip(range(4), expected):
+            cfg = paper_config(point, hash_latency=0)
+            assert model.total_area_mm2(cfg) == pytest.approx(value, rel=0.06)
+
+    def test_table2_energy(self):
+        """Paper Table 2 R=1.3 energies: 11.09 / 13.26 / 17.05 / 21.51 nJ."""
+        model = HardwareModel()
+        expected = [11.09, 13.26, 17.05, 21.51]
+        for point, value in zip(range(4), expected):
+            cfg = paper_config(point, hash_latency=0)
+            assert model.energy_per_access_nj(cfg) == pytest.approx(
+                value, rel=0.03
+            )
+
+    def test_tech_scaling(self):
+        cfg = VPNMConfig(hash_latency=0)
+        at_130nm = HardwareModel(0.13).total_area_mm2(cfg)
+        at_65nm = HardwareModel(0.065).total_area_mm2(cfg)
+        assert at_65nm == pytest.approx(at_130nm / 4)
+        e_130 = HardwareModel(0.13).energy_per_access_nj(cfg)
+        e_65 = HardwareModel(0.065).energy_per_access_nj(cfg)
+        assert e_65 == pytest.approx(e_130 / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareModel(0)
+
+    def test_estimate_consistency(self):
+        model = HardwareModel()
+        cfg = VPNMConfig(hash_latency=0)
+        estimate = model.estimate(cfg)
+        assert estimate.total_area_mm2 == pytest.approx(
+            estimate.controller_area_mm2 * cfg.banks
+        )
+        assert estimate.sram_kilobytes > 0
+
+    def test_energy_of_run_scales_with_bank_accesses(self):
+        from repro.core import VPNMController, read_request
+        model = HardwareModel()
+        cfg = VPNMConfig(hash_latency=0)
+        ctrl = VPNMController(cfg, seed=1)
+        for address in range(50):
+            ctrl.step(read_request(address))
+        ctrl.drain()
+        energy = model.energy_of_run_uj(cfg, ctrl.stats)
+        expected = model.energy_per_access_nj(cfg) * 50 / 1000.0
+        assert energy == pytest.approx(expected)
+
+    def test_merged_reads_cost_no_access_energy(self):
+        from repro.core import VPNMController, read_request
+        model = HardwareModel()
+        cfg = VPNMConfig(hash_latency=0)
+        ctrl = VPNMController(cfg, seed=1)
+        for _ in range(50):
+            ctrl.step(read_request(0xAB))  # all merge into one access
+        ctrl.drain()
+        energy = model.energy_of_run_uj(cfg, ctrl.stats)
+        assert energy == pytest.approx(
+            model.energy_per_access_nj(cfg) / 1000.0
+        )

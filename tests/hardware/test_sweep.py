@@ -1,0 +1,118 @@
+"""Tests for the design-space sweep (Figure 7 / Table 2 machinery)."""
+
+import math
+
+import pytest
+
+from repro.hardware.sweep import (
+    design_sweep,
+    pareto_by_ratio,
+    price_configuration,
+    table2_points,
+)
+from repro.core import VPNMConfig
+
+
+class TestPriceConfiguration:
+    def test_point_carries_everything(self):
+        point = price_configuration(VPNMConfig(hash_latency=0))
+        assert point.banks == 32
+        assert point.area_mm2 > 0
+        assert point.mts_cycles > 0
+        assert point.energy_nj > 0
+        assert point.sram_kilobytes > 0
+
+    def test_as_pareto(self):
+        point = price_configuration(VPNMConfig(hash_latency=0))
+        pareto = point.as_pareto()
+        assert pareto.area_mm2 == point.area_mm2
+        assert pareto.config is point
+
+
+class TestDesignSweep:
+    def sweep(self):
+        return design_sweep(
+            ratios=(1.0, 1.3),
+            banks_options=(16, 32),
+            queue_options=(4, 8, 16),
+            row_factors=(1.0, 2.0),
+        )
+
+    def test_cardinality(self):
+        points = self.sweep()
+        assert len(points) == 2 * 2 * 3 * 2
+
+    def test_area_monotone_in_rows_at_fixed_rest(self):
+        points = self.sweep()
+        by_key = {}
+        for p in points:
+            by_key[(p.bus_scaling, p.banks, p.queue_depth, p.delay_rows)] = p
+        small = by_key[(1.3, 32, 8, 8)]
+        large = by_key[(1.3, 32, 8, 16)]
+        assert large.area_mm2 > small.area_mm2
+        assert large.mts_cycles >= small.mts_cycles
+
+    def test_pareto_by_ratio_partitions(self):
+        frontiers = pareto_by_ratio(self.sweep())
+        assert set(frontiers) == {1.0, 1.3}
+        for ratio, frontier in frontiers.items():
+            areas = [p.area_mm2 for p in frontier]
+            assert areas == sorted(areas)
+            mts = [p.mts_cycles for p in frontier]
+            assert mts == sorted(mts)  # frontier: more area, more MTS
+
+    def test_higher_ratio_dominates_at_scale(self):
+        """Figure 7's message: more bus headroom buys better MTS for
+        similar area, visible at the larger design points."""
+        points = design_sweep(
+            ratios=(1.0, 1.5),
+            banks_options=(32,),
+            queue_options=(16, 24),
+            row_factors=(2.0,),
+        )
+        by_ratio = {}
+        for p in points:
+            by_ratio.setdefault(p.bus_scaling, []).append(p)
+        best_low = max(p.mts_cycles for p in by_ratio[1.0])
+        best_high = max(p.mts_cycles for p in by_ratio[1.5])
+        assert best_high > best_low
+
+
+class TestTable2:
+    def test_ladder_shape(self):
+        points = table2_points()
+        assert len(points) == 8  # 4 design points x 2 ratios
+        r13 = [p for p in points if p.bus_scaling == 1.3]
+        assert [p.queue_depth for p in r13] == [24, 32, 48, 64]
+        assert [p.delay_rows for p in r13] == [48, 64, 96, 128]
+
+    def test_area_and_energy_match_paper(self):
+        r13 = [p for p in table2_points() if p.bus_scaling == 1.3]
+        for point, (area, energy) in zip(
+            r13, [(13.6, 11.09), (19.4, 13.26), (34.1, 17.05), (53.2, 21.51)]
+        ):
+            assert point.area_mm2 == pytest.approx(area, rel=0.06)
+            assert point.energy_nj == pytest.approx(energy, rel=0.03)
+
+    def test_mts_within_one_decade_of_paper(self):
+        """Conservative-D evaluation lands within 10x of each Table 2
+        MTS (the paper's exact D convention is unstated; see DESIGN.md)."""
+        r13 = [p for p in table2_points() if p.bus_scaling == 1.3]
+        for point, expected in zip(r13, [5.12e5, 2.34e7, 4.57e10, 6.50e13]):
+            ratio = point.mts_cycles / expected
+            assert 0.05 < ratio < 20, (point, expected)
+
+    def test_mts_ladder_monotone(self):
+        r13 = [p for p in table2_points() if p.bus_scaling == 1.3]
+        values = [p.mts_cycles for p in r13]
+        assert values == sorted(values)
+
+    def test_scaled_mode_separates_ratios(self):
+        """In scaled-D mode, R=1.4 beats R=1.3 at the small design point
+        (the paper's Table 2 ordering)."""
+        points = table2_points(delay_mode="scaled")
+        r13 = next(p for p in points
+                   if p.bus_scaling == 1.3 and p.queue_depth == 24)
+        r14 = next(p for p in points
+                   if p.bus_scaling == 1.4 and p.queue_depth == 24)
+        assert r14.mts_cycles > r13.mts_cycles

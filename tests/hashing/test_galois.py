@@ -1,0 +1,246 @@
+"""Unit and property tests for GF(2^n) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.galois import (
+    IRREDUCIBLE_POLYNOMIALS,
+    GF2Polynomial,
+    GaloisField,
+    GaloisLFSR,
+    carryless_multiply,
+    polynomial_degree,
+    polynomial_mod,
+)
+
+
+class TestPolynomialPrimitives:
+    def test_degree_of_zero(self):
+        assert polynomial_degree(0) == -1
+
+    def test_degree_of_constants_and_powers(self):
+        assert polynomial_degree(1) == 0
+        assert polynomial_degree(2) == 1
+        assert polynomial_degree(1 << 32) == 32
+
+    def test_carryless_multiply_by_zero_and_one(self):
+        assert carryless_multiply(0b1011, 0) == 0
+        assert carryless_multiply(0, 0b1011) == 0
+        assert carryless_multiply(0b1011, 1) == 0b1011
+
+    def test_carryless_multiply_known_value(self):
+        # (x+1)(x+1) = x^2 + 1 over GF(2) (cross terms cancel)
+        assert carryless_multiply(0b11, 0b11) == 0b101
+        # (x^2+x+1)(x+1) = x^3 + 1
+        assert carryless_multiply(0b111, 0b11) == 0b1001
+
+    def test_carryless_multiply_rejects_negative(self):
+        with pytest.raises(ValueError):
+            carryless_multiply(-1, 2)
+
+    def test_polynomial_mod_examples(self):
+        # x^4 mod (x^4 + x + 1) = x + 1
+        assert polynomial_mod(1 << 4, IRREDUCIBLE_POLYNOMIALS[4]) == 0b11
+        assert polynomial_mod(0b101, 0b1000) == 0b101  # already reduced
+
+    def test_polynomial_mod_rejects_zero_modulus(self):
+        with pytest.raises(ValueError):
+            polynomial_mod(5, 0)
+
+    @given(st.integers(0, 2**20), st.integers(0, 2**20))
+    def test_multiplication_commutes(self, a, b):
+        assert carryless_multiply(a, b) == carryless_multiply(b, a)
+
+    @given(st.integers(0, 2**16), st.integers(0, 2**16), st.integers(0, 2**16))
+    def test_multiplication_distributes_over_xor(self, a, b, c):
+        assert carryless_multiply(a, b ^ c) == (
+            carryless_multiply(a, b) ^ carryless_multiply(a, c)
+        )
+
+    @given(st.integers(1, 2**16), st.integers(1, 2**16))
+    def test_degree_of_product_adds(self, a, b):
+        assert polynomial_degree(carryless_multiply(a, b)) == (
+            polynomial_degree(a) + polynomial_degree(b)
+        )
+
+
+class TestGF2PolynomialWrapper:
+    def test_addition_is_xor(self):
+        assert (GF2Polynomial(0b101) + GF2Polynomial(0b011)).bits == 0b110
+
+    def test_subtraction_equals_addition(self):
+        a, b = GF2Polynomial(0b1101), GF2Polynomial(0b0110)
+        assert (a - b) == (a + b)
+
+    def test_str_rendering(self):
+        assert str(GF2Polynomial(0)) == "0"
+        assert str(GF2Polynomial(1)) == "1"
+        assert str(GF2Polynomial(0b110)) == "x^2 + x"
+        assert str(GF2Polynomial(0b10011)) == "x^4 + x + 1"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GF2Polynomial(-3)
+
+    @given(st.integers(0, 2**12), st.integers(0, 2**12), st.integers(0, 2**12))
+    def test_ring_associativity(self, a, b, c):
+        pa, pb, pc = GF2Polynomial(a), GF2Polynomial(b), GF2Polynomial(c)
+        assert ((pa * pb) * pc) == (pa * (pb * pc))
+
+
+class TestGaloisField:
+    def test_requires_known_or_explicit_modulus(self):
+        with pytest.raises(ValueError):
+            GaloisField(5)
+        field = GaloisField(5, modulus=0b100101)  # x^5 + x^2 + 1
+        assert field.order == 32
+
+    def test_rejects_wrong_degree_modulus(self):
+        with pytest.raises(ValueError):
+            GaloisField(8, modulus=0b1011)
+
+    def test_rejects_nonpositive_exponent(self):
+        with pytest.raises(ValueError):
+            GaloisField(0)
+
+    def test_elements_out_of_range_rejected(self):
+        field = GaloisField(4)
+        with pytest.raises(ValueError):
+            field.multiply(16, 1)
+        with pytest.raises(ValueError):
+            field.add(-1, 0)
+
+    def test_gf16_multiplication_table_spot_checks(self):
+        # GF(2^4) with x^4+x+1: x * x^3 = x^4 = x + 1 = 0b0011
+        field = GaloisField(4)
+        assert field.multiply(0b0010, 0b1000) == 0b0011
+        # x^3+1 times x = x^4 + x = (x+1) + x = 1
+        assert field.multiply(0b1001, 0b0010) == 0b0001
+
+    def test_aes_field_known_product(self):
+        # {53} * {CA} = {01} in the AES field — the classic inverse pair.
+        field = GaloisField(8)
+        assert field.multiply(0x53, 0xCA) == 0x01
+        assert field.inverse(0x53) == 0xCA
+
+    def test_zero_has_no_inverse(self):
+        field = GaloisField(8)
+        with pytest.raises(ZeroDivisionError):
+            field.inverse(0)
+
+    def test_all_inverses_in_gf16(self):
+        field = GaloisField(4)
+        for a in range(1, 16):
+            assert field.multiply(a, field.inverse(a)) == 1
+
+    def test_all_inverses_in_gf256(self):
+        field = GaloisField(8)
+        for a in range(1, 256):
+            assert field.multiply(a, field.inverse(a)) == 1
+
+    def test_multiplicative_group_order_gf16(self):
+        # x is a generator of GF(2^4)* under x^4+x+1 (order 15).
+        field = GaloisField(4)
+        assert field.power(2, 15) == 1
+        seen = {field.power(2, k) for k in range(15)}
+        assert len(seen) == 15
+
+    def test_power_negative_exponent(self):
+        field = GaloisField(8)
+        a = 0x57
+        assert field.multiply(field.power(a, -1), a) == 1
+        assert field.power(a, -2) == field.inverse(field.multiply(a, a))
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_gf2_32_multiplication_commutes(self, a, b):
+        field = GaloisField(32)
+        assert field.multiply(a, b) == field.multiply(b, a)
+
+    @given(st.integers(1, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_gf2_32_inverse_round_trip(self, a):
+        field = GaloisField(32)
+        assert field.multiply(a, field.inverse(a)) == 1
+
+    @given(
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=50)
+    def test_gf2_16_distributivity(self, a, b, c):
+        field = GaloisField(16)
+        left = field.multiply(a, field.add(b, c))
+        right = field.add(field.multiply(a, b), field.multiply(a, c))
+        assert left == right
+
+
+class TestIrreduciblePolynomialTable:
+    """The built-in moduli must actually be irreducible — a reducible
+    modulus silently breaks inversion (and thus Carter-Wegman
+    bijectivity and rekey migration)."""
+
+    @pytest.mark.parametrize("n", sorted(IRREDUCIBLE_POLYNOMIALS))
+    def test_degree_matches_key(self, n):
+        assert polynomial_degree(IRREDUCIBLE_POLYNOMIALS[n]) == n
+
+    @pytest.mark.parametrize("n", sorted(IRREDUCIBLE_POLYNOMIALS))
+    def test_irreducible_via_ben_or(self, n):
+        """Ben-Or test: p irreducible over GF(2) iff gcd(p, x^(2^d) - x)
+        is trivial for all d <= n/2.  Compute x^(2^d) mod p by repeated
+        squaring in the quotient ring."""
+        modulus = IRREDUCIBLE_POLYNOMIALS[n]
+
+        def gf2_gcd(a, b):
+            while b:
+                if polynomial_degree(a) < polynomial_degree(b):
+                    a, b = b, a
+                    continue
+                shift = polynomial_degree(a) - polynomial_degree(b)
+                a ^= b << shift
+            return a
+
+        power = 2  # x
+        for _ in range(n // 2):
+            power = polynomial_mod(carryless_multiply(power, power),
+                                   modulus)
+            # gcd(modulus, x^(2^d) + x) must be 1
+            assert gf2_gcd(modulus, power ^ 2) == 1, n
+
+    @pytest.mark.parametrize("n", sorted(IRREDUCIBLE_POLYNOMIALS))
+    def test_random_elements_invert(self, n):
+        field = GaloisField(n)
+        rng = __import__("random").Random(n)
+        for _ in range(10):
+            a = rng.randrange(1, min(field.order, 1 << 62))
+            assert field.multiply(a, field.inverse(a)) == 1
+
+
+class TestGaloisLFSR:
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(8, seed=0)
+
+    def test_full_period_gf16(self):
+        lfsr = GaloisLFSR(4, seed=1)
+        states = lfsr.sequence(15)
+        assert states[-1] == 1          # returns to the seed after 2^4-1 steps
+        assert len(set(states)) == 15   # visits every nonzero element once
+
+    def test_never_reaches_zero(self):
+        lfsr = GaloisLFSR(8, seed=0x1D)
+        assert 0 not in lfsr.sequence(255)
+
+    def test_step_is_multiplication_by_x(self):
+        field = GaloisField(8)
+        lfsr = GaloisLFSR(8, seed=0x35)
+        assert lfsr.step() == field.multiply(0x35, 2)
+
+    def test_iterator_protocol(self):
+        lfsr = GaloisLFSR(4, seed=3)
+        it = iter(lfsr)
+        first = next(it)
+        second = next(it)
+        assert first != second

@@ -1,0 +1,112 @@
+"""Tests for the address → (bank, line) mapper."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.mapping import AddressMapper, BankMapping
+
+
+class TestAddressMapperConstruction:
+    def test_rejects_non_power_of_two_banks(self):
+        for banks in [0, 3, 6, 33]:
+            with pytest.raises(ValueError):
+                AddressMapper(banks=banks)
+
+    def test_rejects_more_bank_bits_than_address_bits(self):
+        with pytest.raises(ValueError):
+            AddressMapper(address_bits=4, banks=32)
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            AddressMapper(scheme="md5")
+
+    def test_single_bank_always_bank_zero(self):
+        mapper = AddressMapper(address_bits=16, banks=1, seed=3)
+        assert all(mapper.bank_of(a) == 0 for a in range(0, 2**16, 997))
+
+
+class TestMappingProperties:
+    def test_bank_in_range(self):
+        mapper = AddressMapper(address_bits=32, banks=32, seed=1)
+        rng = random.Random(0)
+        for _ in range(500):
+            m = mapper.map(rng.getrandbits(32))
+            assert 0 <= m.bank < 32
+
+    def test_mapping_is_injective(self):
+        """Distinct addresses must land on distinct (bank, line) pairs."""
+        mapper = AddressMapper(address_bits=16, banks=8, seed=2)
+        seen = set()
+        for address in range(2**16):
+            m = mapper.map(address)
+            pair = (m.bank, m.line)
+            assert pair not in seen
+            seen.add(pair)
+
+    def test_deterministic_per_seed(self):
+        a = AddressMapper(address_bits=32, banks=32, seed=11)
+        b = AddressMapper(address_bits=32, banks=32, seed=11)
+        assert all(a.map(x) == b.map(x) for x in range(1000))
+
+    def test_rekey_changes_mapping(self):
+        mapper = AddressMapper(address_bits=32, banks=32, seed=1)
+        before = [mapper.bank_of(x) for x in range(512)]
+        mapper.rekey(2)
+        assert [mapper.bank_of(x) for x in range(512)] != before
+
+    def test_rekey_without_seed_still_randomizes(self):
+        mapper = AddressMapper(address_bits=32, banks=32, seed=1)
+        before = [mapper.bank_of(x) for x in range(512)]
+        mapper.rekey()
+        # Overwhelmingly likely to differ; equality would mean rekey is broken.
+        assert [mapper.bank_of(x) for x in range(512)] != before
+
+    def test_out_of_range_address_rejected(self):
+        mapper = AddressMapper(address_bits=16, banks=4, seed=0)
+        with pytest.raises(ValueError):
+            mapper.map(1 << 16)
+        with pytest.raises(ValueError):
+            mapper.map(-1)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_bank_of_matches_map(self, address):
+        mapper = AddressMapper(address_bits=32, banks=32, seed=5)
+        assert mapper.bank_of(address) == mapper.map(address).bank
+
+    def test_low_bits_scheme_is_the_strawman(self):
+        mapper = AddressMapper(address_bits=32, banks=32, scheme="low-bits")
+        assert mapper.bank_of(0b1100001) == 1
+        # stride == banks pins everything on one bank
+        assert {mapper.bank_of(i * 32) for i in range(64)} == {0}
+
+    def test_carter_wegman_breaks_stride_pinning(self):
+        mapper = AddressMapper(address_bits=32, banks=32, seed=9)
+        banks = {mapper.bank_of(i * 32) for i in range(256)}
+        assert len(banks) >= 24
+
+    def test_uniformity_chi_square(self):
+        mapper = AddressMapper(address_bits=32, banks=16, seed=17)
+        rng = random.Random(3)
+        counts = [0] * 16
+        n = 16_000
+        for _ in range(n):
+            counts[mapper.bank_of(rng.getrandbits(32))] += 1
+        expected = n / 16
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        # 15 dof, 99.9th percentile ~ 37.7
+        assert chi2 < 37.7
+
+
+class TestBankMapping:
+    def test_value_semantics(self):
+        assert BankMapping(1, 2) == BankMapping(1, 2)
+        assert BankMapping(1, 2) != BankMapping(2, 1)
+
+    def test_frozen(self):
+        m = BankMapping(0, 0)
+        with pytest.raises(AttributeError):
+            m.bank = 3

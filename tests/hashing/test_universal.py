@@ -1,0 +1,177 @@
+"""Tests for the universal hash families (H3, Carter-Wegman, low-bits)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.universal import (
+    CarterWegmanHash,
+    H3Hash,
+    LowBitsHash,
+    empirical_collision_rate,
+)
+
+
+class TestH3Hash:
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            H3Hash(0, 5)
+        with pytest.raises(ValueError):
+            H3Hash(8, 0)
+
+    def test_deterministic_given_seed(self):
+        h1 = H3Hash(32, 5, seed=7)
+        h2 = H3Hash(32, 5, seed=7)
+        assert [h1(x) for x in range(100)] == [h2(x) for x in range(100)]
+
+    def test_different_seeds_differ(self):
+        h1 = H3Hash(32, 8, seed=1)
+        h2 = H3Hash(32, 8, seed=2)
+        assert any(h1(x) != h2(x) for x in range(64))
+
+    def test_zero_maps_to_zero(self):
+        # H3 is linear: h(0) is always the empty XOR.
+        assert H3Hash(32, 5, seed=3)(0) == 0
+
+    def test_linearity_over_xor(self):
+        h = H3Hash(16, 6, seed=11)
+        for a, b in [(0x1234, 0x00FF), (1, 2), (0xFFFF, 0xAAAA)]:
+            assert h(a ^ b) == h(a) ^ h(b)
+
+    def test_output_within_range(self):
+        h = H3Hash(20, 3, seed=5)
+        assert all(0 <= h(x) < 8 for x in range(1000))
+
+    def test_rejects_out_of_range_input(self):
+        h = H3Hash(8, 4, seed=0)
+        with pytest.raises(ValueError):
+            h(256)
+        with pytest.raises(ValueError):
+            h(-1)
+
+    def test_rekey_changes_function(self):
+        h = H3Hash(32, 8, seed=1)
+        before = [h(x) for x in range(256)]
+        h.rekey(99)
+        after = [h(x) for x in range(256)]
+        assert before != after
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_linearity_property(self, a, b):
+        h = H3Hash(32, 5, seed=42)
+        assert h(a ^ b) == h(a) ^ h(b)
+
+    def test_near_uniform_bank_distribution(self):
+        """Random addresses should spread across the 32 output banks."""
+        h = H3Hash(32, 5, seed=13)
+        rng = random.Random(0)
+        counts = [0] * 32
+        n = 32_000
+        for _ in range(n):
+            counts[h(rng.getrandbits(32))] += 1
+        expected = n / 32
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        # 31 degrees of freedom; 99.9th percentile ~ 61.1
+        assert chi2 < 61.1
+
+
+class TestCarterWegmanHash:
+    def test_rejects_output_wider_than_input(self):
+        with pytest.raises(ValueError):
+            CarterWegmanHash(8, 9)
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            CarterWegmanHash(0, 0)
+
+    def test_permute_is_bijection_small_field(self):
+        h = CarterWegmanHash(8, 4, seed=3)
+        images = {h.permute(x) for x in range(256)}
+        assert len(images) == 256
+
+    def test_unpermute_inverts_permute(self):
+        h = CarterWegmanHash(16, 8, seed=5)
+        for x in [0, 1, 0xBEEF, 0xFFFF, 1234]:
+            assert h.unpermute(h.permute(x)) == x
+
+    def test_deterministic_given_seed(self):
+        h1 = CarterWegmanHash(32, 5, seed=21)
+        h2 = CarterWegmanHash(32, 5, seed=21)
+        assert [h1(x) for x in range(64)] == [h2(x) for x in range(64)]
+
+    def test_a_is_never_zero_across_many_seeds(self):
+        for seed in range(200):
+            assert CarterWegmanHash(8, 4, seed=seed).a != 0
+
+    def test_output_within_range(self):
+        h = CarterWegmanHash(32, 6, seed=8)
+        assert all(0 <= h(x) < 64 for x in range(500))
+
+    def test_rekey_changes_key(self):
+        h = CarterWegmanHash(32, 5, seed=1)
+        old = (h.a, h.b)
+        h.rekey(2)
+        assert (h.a, h.b) != old
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_permutation_round_trip_property(self, x):
+        h = CarterWegmanHash(32, 5, seed=77)
+        assert h.unpermute(h.permute(x)) == x
+
+    def test_strides_spread_across_banks(self):
+        """The paper's motivation: *any* stride should hit all banks evenly.
+
+        Strided access with stride = bank count is the classic worst case
+        for low-bit mapping; Carter-Wegman must not degenerate on it.
+        """
+        h = CarterWegmanHash(32, 5, seed=4)
+        for stride in [32, 64, 1024, 4096]:
+            seen = {h(i * stride) for i in range(256)}
+            assert len(seen) >= 24, f"stride {stride} collapsed to {len(seen)} banks"
+
+
+class TestLowBitsHash:
+    def test_identity_on_low_bits(self):
+        h = LowBitsHash(32, 5)
+        assert h(0b101011) == 0b01011
+
+    def test_stride_collapse(self):
+        """Demonstrates the vulnerability the universal hash removes."""
+        h = LowBitsHash(32, 5)
+        assert {h(i * 32) for i in range(100)} == {0}
+
+    def test_rekey_is_noop(self):
+        h = LowBitsHash(32, 5)
+        before = [h(x) for x in range(64)]
+        h.rekey(123)
+        assert [h(x) for x in range(64)] == before
+
+
+class TestCollisionRate:
+    def test_degenerate_inputs(self):
+        h = H3Hash(32, 5, seed=0)
+        assert empirical_collision_rate(h, []) == 0.0
+        assert empirical_collision_rate(h, [7]) == 0.0
+        assert empirical_collision_rate(h, [7, 7, 7]) == 0.0  # dedupes
+
+    def test_universal_families_near_ideal(self):
+        rng = random.Random(1)
+        values = [rng.getrandbits(32) for _ in range(2000)]
+        ideal = 1 / 32
+        for hash_cls in (H3Hash, CarterWegmanHash):
+            rate = empirical_collision_rate(hash_cls(32, 5, seed=9), values)
+            assert math.isclose(rate, ideal, rel_tol=0.1), (hash_cls, rate)
+
+    def test_constant_hash_collides_always(self):
+        class Constant:
+            input_bits, output_bits = 32, 5
+
+            def __call__(self, v):
+                return 0
+
+        assert empirical_collision_rate(Constant(), list(range(100))) == 1.0

@@ -1,0 +1,118 @@
+"""Cross-validation: the fast stall simulator against the full controller.
+
+The fast simulator must reproduce the controller's stall behaviour
+*exactly* (same counts, same cycles) when both see the same sequence of
+bank assignments.  We arrange that by feeding the full controller
+addresses pre-selected to land on a recorded random bank sequence.
+"""
+
+import random
+
+import pytest
+
+from repro.core import VPNMConfig, VPNMController, read_request
+from repro.sim.fastsim import FastStallSimulator
+
+
+def matched_run(config_params, cycles, seed):
+    """Run controller and fastsim on an identical bank sequence."""
+    config = VPNMConfig(address_bits=24, hash_latency=0,
+                        stall_policy="drop", **config_params)
+
+    # Record the bank sequence the fast sim will use.
+    rng = random.Random(seed)
+    bank_sequence = [rng.randrange(config.banks) for _ in range(cycles)]
+
+    fast = FastStallSimulator(config, bank_source=iter(bank_sequence).__next__)
+    fast_result = fast.run(cycles)
+
+    # Drive the full controller with distinct addresses on the same banks.
+    ctrl = VPNMController(config, seed=seed)
+    pools = {b: [] for b in range(config.banks)}
+    address = 0
+    limit = 1 << 24
+    cursor = {b: 0 for b in range(config.banks)}
+
+    def next_address(bank):
+        while cursor[bank] >= len(pools[bank]):
+            nonlocal address
+            if address >= limit:
+                raise RuntimeError("address space exhausted")
+            pools[ctrl.mapper.bank_of(address)].append(address)
+            address += 1
+        value = pools[bank][cursor[bank]]
+        cursor[bank] += 1
+        return value
+
+    stall_cycles = []
+    for cycle, bank in enumerate(bank_sequence):
+        result = ctrl.step(read_request(next_address(bank)))
+        if not result.accepted:
+            stall_cycles.append(cycle)
+
+    return fast_result, ctrl, stall_cycles
+
+
+@pytest.mark.parametrize("params,seed", [
+    (dict(banks=2, bank_latency=3, queue_depth=2, delay_rows=4), 1),
+    (dict(banks=4, bank_latency=4, queue_depth=2, delay_rows=4), 2),
+    (dict(banks=4, bank_latency=6, queue_depth=3, delay_rows=6,
+          bus_scaling=1.3), 3),
+    (dict(banks=8, bank_latency=5, queue_depth=2, delay_rows=8,
+          bus_scaling=1.5), 4),
+    (dict(banks=4, bank_latency=4, queue_depth=2, delay_rows=4,
+          skip_idle_slots=False), 5),
+])
+def test_fastsim_matches_controller_exactly(params, seed):
+    cycles = 4000
+    fast_result, ctrl, ctrl_stall_cycles = matched_run(params, cycles, seed)
+    assert fast_result.stalls == ctrl.stats.stalls
+    assert fast_result.stall_cycles == ctrl_stall_cycles
+    assert fast_result.accepted == ctrl.stats.reads_accepted
+    # Reason split must agree too.
+    assert fast_result.delay_storage_stalls == ctrl.stats.stall_reasons.get(
+        "delay_storage", 0
+    )
+    assert fast_result.bank_queue_stalls == ctrl.stats.stall_reasons.get(
+        "bank_queue", 0
+    )
+
+
+class TestFastSimBasics:
+    def test_no_stalls_with_roomy_config(self):
+        config = VPNMConfig(banks=32, queue_depth=8, delay_rows=32,
+                            hash_latency=0)
+        result = FastStallSimulator(config, seed=0).run(50_000)
+        assert result.stalls == 0
+        assert result.accepted == 50_000
+        assert result.empirical_mts is None
+
+    def test_stall_probability_and_mts(self):
+        config = VPNMConfig(banks=2, bank_latency=8, queue_depth=1,
+                            delay_rows=2, hash_latency=0)
+        result = FastStallSimulator(config, seed=1).run(20_000)
+        assert result.stalls > 0
+        assert result.stall_probability == pytest.approx(
+            result.stalls / 20_000
+        )
+        assert result.empirical_mts == pytest.approx(
+            20_000 / result.stalls
+        )
+
+    def test_idle_probability_lowers_pressure(self):
+        config = VPNMConfig(banks=2, bank_latency=8, queue_depth=1,
+                            delay_rows=2, hash_latency=0)
+        busy = FastStallSimulator(config, seed=2).run(20_000)
+        idle = FastStallSimulator(config, seed=2).run(
+            20_000, idle_probability=0.5
+        )
+        assert idle.stalls < busy.stalls
+
+    def test_runs_are_resumable(self):
+        config = VPNMConfig(banks=2, bank_latency=8, queue_depth=1,
+                            delay_rows=2, hash_latency=0)
+        sim = FastStallSimulator(config, seed=3)
+        first = sim.run(5_000)
+        second = sim.run(5_000)
+        combined = FastStallSimulator(config, seed=3).run(10_000)
+        assert first.stalls + second.stalls == combined.stalls

@@ -1,0 +1,84 @@
+"""Tests for the workload runner."""
+
+import pytest
+
+from repro.core import VPNMConfig, VPNMController, read_request
+from repro.sim.runner import measure_stall_rate, run_workload
+from repro.workloads.generators import burst_traffic, uniform_reads
+
+
+def small_controller(**overrides):
+    params = dict(banks=4, bank_latency=4, queue_depth=4, delay_rows=8,
+                  address_bits=16, hash_latency=0)
+    params.update(overrides)
+    return VPNMController(VPNMConfig(**params), seed=0)
+
+
+class TestRunWorkload:
+    def test_all_requests_replied(self):
+        ctrl = small_controller()
+        result = run_workload(ctrl, uniform_reads(address_bits=16, count=100))
+        assert result.offered == 100
+        assert result.accepted == 100
+        assert len(result.replies) == 100
+
+    def test_idle_cycles_pass_through(self):
+        ctrl = small_controller()
+        result = run_workload(ctrl, burst_traffic(burst_length=2,
+                                                  gap_length=3, count=20,
+                                                  address_bits=16))
+        assert result.offered == 8  # 4 bursts of 2 in 20 slots
+        assert len(result.replies) == 8
+
+    def test_retry_policy_eventually_accepts(self):
+        """With the stall policy, rejected requests retry until accepted,
+        so nothing is lost — the stream just slips."""
+        ctrl = small_controller(banks=1, queue_depth=1, delay_rows=2)
+        result = run_workload(ctrl, uniform_reads(address_bits=16, count=30))
+        assert result.accepted == 30
+        assert result.retries > 0
+        assert len(result.replies) == 30
+
+    def test_drop_policy_loses_requests(self):
+        ctrl = small_controller(banks=1, queue_depth=1, delay_rows=2,
+                                stall_policy="drop")
+        result = run_workload(ctrl, uniform_reads(address_bits=16, count=30))
+        assert result.dropped > 0
+        assert result.accepted + result.dropped == 30
+        assert len(result.replies) == result.accepted
+
+    def test_max_cycles_truncates(self):
+        ctrl = small_controller()
+        result = run_workload(ctrl, uniform_reads(address_bits=16),
+                              max_cycles=50, drain=False)
+        assert ctrl.now == 50
+        assert result.offered <= 51
+
+    def test_acceptance_rate(self):
+        ctrl = small_controller()
+        result = run_workload(ctrl, uniform_reads(address_bits=16, count=10))
+        assert result.acceptance_rate == 1.0
+
+
+class TestMeasureStallRate:
+    def test_no_stalls_on_friendly_traffic(self):
+        # Paper-sized config: 32 banks absorb full-rate uniform traffic.
+        ctrl = VPNMController(VPNMConfig(), seed=0)
+        measurement = measure_stall_rate(
+            ctrl, uniform_reads(address_bits=32), cycles=2000
+        )
+        assert measurement.stalls == 0
+        assert measurement.empirical_mts is None
+        assert "no stalls" in str(measurement)
+
+    def test_stalls_on_hostile_config(self):
+        ctrl = small_controller(banks=1, queue_depth=1, delay_rows=1,
+                                stall_policy="drop")
+        measurement = measure_stall_rate(
+            ctrl, uniform_reads(address_bits=16), cycles=2000
+        )
+        assert measurement.stalls > 0
+        assert measurement.first_stall_cycle is not None
+        assert measurement.empirical_mts == pytest.approx(
+            measurement.cycles / measurement.stalls
+        )

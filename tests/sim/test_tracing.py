@@ -1,0 +1,98 @@
+"""Tests for request tracing and the Figure-1-style Gantt rendering."""
+
+from repro.core import VPNMConfig, VPNMController, read_request
+from repro.sim.tracing import render_gantt, trace_requests
+
+
+def figure1_controller():
+    """The paper's Figure 1 setup: one bank, L=15, D=30 (Q=2)."""
+    return VPNMController(
+        VPNMConfig(banks=1, bank_latency=15, queue_depth=2, delay_rows=4,
+                   bus_scaling=1.0, hash_latency=0, address_bits=16,
+                   stall_policy="drop"),
+        seed=0,
+    )
+
+
+class TestTraceRequests:
+    def test_single_request_timeline(self):
+        ctrl = figure1_controller()
+        timelines = trace_requests(ctrl, [read_request(0xA, tag="A")])
+        (t,) = timelines
+        assert t.accepted_at == 0
+        assert t.completed_at == 30
+        assert t.pipeline_latency == 30
+        assert t.issue_slot is not None
+        assert t.ready_slot == t.issue_slot + 15
+
+    def test_typical_operating_mode(self):
+        """Figure 1 left: A then B on the same bank; both normalized."""
+        ctrl = figure1_controller()
+        items = [read_request(0xA, tag="A"), read_request(0xB, tag="B")]
+        timelines = trace_requests(ctrl, items)
+        a, b = timelines
+        assert a.pipeline_latency == b.pipeline_latency == 30
+        # B's bank access starts only after A's finishes.
+        assert b.issue_slot >= a.ready_slot
+
+    def test_short_cut_redundant_access(self):
+        """Figure 1 middle: repeated A needs no second bank access."""
+        ctrl = figure1_controller()
+        items = [read_request(0xA, tag="A1"), read_request(0xB, tag="B"),
+                 read_request(0xA, tag="A2"), read_request(0xA, tag="A3")]
+        timelines = trace_requests(ctrl, items)
+        merged = [t for t in timelines if t.merged]
+        assert [t.tag for t in merged] == ["A2", "A3"]
+        assert all(t.pipeline_latency == 30 for t in timelines)
+        assert all(t.issue_slot is None for t in merged)
+
+    def test_bank_overload_stall(self):
+        """Figure 1 right: requests A-E swamp a Q=2 bank; someone stalls."""
+        ctrl = figure1_controller()
+        items = [read_request(addr, tag=chr(ord("A") + i))
+                 for i, addr in enumerate([0xA, 0xB, 0xC, 0xD, 0xE])]
+        timelines = trace_requests(ctrl, items)
+        stalled = [t for t in timelines if t.stalled]
+        completed = [t for t in timelines if t.completed_at is not None]
+        assert stalled, "overload must stall at least one request"
+        assert all(t.pipeline_latency == 30 for t in completed)
+
+    def test_idle_cycles_allowed(self):
+        ctrl = figure1_controller()
+        timelines = trace_requests(
+            ctrl, [read_request(0xA, tag="A"), None, None,
+                   read_request(0xB, tag="B")]
+        )
+        assert len(timelines) == 2
+        assert timelines[1].accepted_at == 3
+
+    def test_device_restored_after_trace(self):
+        ctrl = figure1_controller()
+        original = ctrl.device
+        trace_requests(ctrl, [read_request(0xA)])
+        assert ctrl.device is original
+        assert ctrl.bus.device is original
+
+
+class TestRenderGantt:
+    def test_render_shows_pipeline_and_access(self):
+        ctrl = figure1_controller()
+        timelines = trace_requests(
+            ctrl, [read_request(0xA, tag="A"), read_request(0xB, tag="B")]
+        )
+        art = render_gantt(timelines)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert "#" in lines[0] and "." in lines[0]
+
+    def test_render_marks_stalls(self):
+        ctrl = figure1_controller()
+        items = [read_request(addr) for addr in [0xA, 0xB, 0xC, 0xD, 0xE]]
+        art = render_gantt(trace_requests(ctrl, items))
+        assert "stalled" in art
+
+    def test_render_marks_merges(self):
+        ctrl = figure1_controller()
+        items = [read_request(0xA, tag="A1"), read_request(0xA, tag="A2")]
+        art = render_gantt(trace_requests(ctrl, items))
+        assert "(merged)" in art

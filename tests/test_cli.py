@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_uniform_run(self, capsys):
+        code = main(["simulate", "--cycles", "500", "--banks", "32"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reads accepted:    500" in out
+        assert "stalls:            0" in out
+
+    def test_stride_attack_is_absorbed(self, capsys):
+        code = main(["simulate", "--workload", "stride", "--stride", "32",
+                     "--cycles", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stalls:            0" in out
+
+    def test_zipf_workload(self, capsys):
+        code = main(["simulate", "--workload", "zipf", "--cycles", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "merged" in out
+
+    def test_small_config_shows_stalls(self, capsys):
+        code = main(["simulate", "--banks", "2", "--bank-latency", "8",
+                     "--queue-depth", "1", "--delay-rows", "2",
+                     "--cycles", "2000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "empirical MTS" in out
+
+    def test_bad_config_is_reported(self, capsys):
+        code = main(["simulate", "--banks", "3"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "configuration error" in err
+
+
+class TestAnalyze:
+    def test_default_point(self, capsys):
+        code = main(["analyze"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delay-storage MTS" in out
+        assert "combined system MTS" in out
+        assert "960" not in out.splitlines()[0]
+
+    def test_paper_q48_point_delay(self, capsys):
+        code = main(["analyze", "--queue-depth", "48", "--delay-rows", "96"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "960 ns" in out
+
+    def test_clock_option(self, capsys):
+        main(["analyze", "--clock", "500"])
+        out = capsys.readouterr().out
+        assert "at 500 MHz" in out
+
+
+class TestValidate:
+    def test_observable_stall_config(self, capsys):
+        code = main(["validate", "--banks", "8", "--bank-latency", "10",
+                     "--queue-depth", "2", "--delay-rows", "4096",
+                     "--cycles", "200000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "empirical MTS" in out
+        assert "ratio (sim/analysis)" in out
+
+    def test_quiet_config_reports_no_stalls(self, capsys):
+        code = main(["validate", "--cycles", "20000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "analytical MTS" in out
+
+
+class TestSweepAndTables:
+    def test_sweep_with_budget(self, capsys):
+        code = main(["sweep", "--ratios", "1.0", "1.3", "--budget", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "R = 1.0" in out and "R = 1.3" in out
+        assert "best under 20 mm2" in out
+
+    def test_table2(self, capsys):
+        code = main(["table2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("32") >= 8  # B=32 on every ladder row
+
+    def test_table3(self, capsys):
+        code = main(["table3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CFDS" in out and "VPNM" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

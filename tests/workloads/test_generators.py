@@ -1,0 +1,119 @@
+"""Tests for the well-behaved traffic generators."""
+
+import itertools
+
+import pytest
+
+from repro.core.request import Operation
+from repro.workloads.generators import (
+    burst_traffic,
+    mixed_read_write,
+    stride_reads,
+    uniform_reads,
+    zipf_reads,
+)
+
+
+class TestUniformReads:
+    def test_count_bounds_output(self):
+        assert len(list(uniform_reads(count=10))) == 10
+
+    def test_deterministic_per_seed(self):
+        a = [r.address for r in uniform_reads(count=50, seed=3)]
+        b = [r.address for r in uniform_reads(count=50, seed=3)]
+        assert a == b
+        c = [r.address for r in uniform_reads(count=50, seed=4)]
+        assert a != c
+
+    def test_respects_address_bits(self):
+        assert all(r.address < 2**12
+                   for r in uniform_reads(address_bits=12, count=200))
+
+    def test_all_reads(self):
+        assert all(r.operation is Operation.READ
+                   for r in uniform_reads(count=20))
+
+    def test_infinite_without_count(self):
+        gen = uniform_reads(seed=1)
+        assert len(list(itertools.islice(gen, 1000))) == 1000
+
+
+class TestStrideReads:
+    def test_arithmetic_progression(self):
+        addresses = [r.address for r in stride_reads(stride=32, count=5)]
+        assert addresses == [0, 32, 64, 96, 128]
+
+    def test_start_offset(self):
+        addresses = [r.address for r in stride_reads(stride=8, start=100,
+                                                     count=3)]
+        assert addresses == [100, 108, 116]
+
+    def test_wraps_at_address_space(self):
+        addresses = [r.address for r in
+                     stride_reads(stride=3, start=6, address_bits=3, count=3)]
+        assert addresses == [6, 1, 4]
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            list(stride_reads(stride=0, count=1))
+
+
+class TestZipfReads:
+    def test_skew_concentrates_on_few_addresses(self):
+        requests = list(zipf_reads(universe=100, exponent=1.5, count=2000,
+                                   seed=0))
+        counts = {}
+        for r in requests:
+            counts[r.address] = counts.get(r.address, 0) + 1
+        top = max(counts.values())
+        assert top > 2000 / 100 * 5  # far above uniform share
+
+    def test_universe_bounds_distinct_addresses(self):
+        requests = list(zipf_reads(universe=10, count=500, seed=1))
+        assert len({r.address for r in requests}) <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(zipf_reads(universe=0, count=1))
+        with pytest.raises(ValueError):
+            list(zipf_reads(exponent=0, count=1))
+
+
+class TestMixedReadWrite:
+    def test_fraction_respected_roughly(self):
+        requests = list(mixed_read_write(read_fraction=0.5, count=2000,
+                                         seed=2))
+        reads = sum(1 for r in requests if r.operation is Operation.READ)
+        assert 850 < reads < 1150
+
+    def test_extremes(self):
+        assert all(r.operation is Operation.READ
+                   for r in mixed_read_write(read_fraction=1.0, count=50))
+        assert all(r.operation is Operation.WRITE
+                   for r in mixed_read_write(read_fraction=0.0, count=50))
+
+    def test_writes_carry_data(self):
+        writes = [r for r in mixed_read_write(read_fraction=0.0, count=10)]
+        assert all(r.data is not None for r in writes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(mixed_read_write(read_fraction=1.5, count=1))
+
+
+class TestBurstTraffic:
+    def test_burst_gap_structure(self):
+        items = list(burst_traffic(burst_length=3, gap_length=2, count=10))
+        pattern = [item is not None for item in items]
+        assert pattern == [True, True, True, False, False,
+                           True, True, True, False, False]
+
+    def test_no_gaps(self):
+        items = list(burst_traffic(burst_length=4, gap_length=0, count=8))
+        assert all(item is not None for item in items)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(burst_traffic(burst_length=0, count=1))
+        with pytest.raises(ValueError):
+            list(burst_traffic(gap_length=-1, count=1))

@@ -1,0 +1,131 @@
+"""Tests for synthetic packet and TCP segment traces."""
+
+import pytest
+
+from repro.workloads.packets import (
+    Packet,
+    SyntheticFlow,
+    TCPSegment,
+    packet_trace,
+    tcp_segment_stream,
+)
+
+
+class TestPacket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet(flow=0, size=0, serial=0)
+        with pytest.raises(ValueError):
+            Packet(flow=-1, size=64, serial=0)
+
+
+class TestPacketTrace:
+    def test_count_and_serials(self):
+        packets = list(packet_trace(count=100, seed=0))
+        assert len(packets) == 100
+        assert [p.serial for p in packets] == list(range(100))
+
+    def test_sizes_from_the_mix(self):
+        packets = list(packet_trace(count=500, seed=1))
+        assert {p.size for p in packets} <= {40, 576, 1500}
+
+    def test_flows_in_range(self):
+        packets = list(packet_trace(count=200, flows=8, seed=2))
+        assert all(0 <= p.flow < 8 for p in packets)
+
+    def test_zipf_flows_skewed(self):
+        packets = list(packet_trace(count=4000, flows=32, seed=3))
+        counts = [0] * 32
+        for p in packets:
+            counts[p.flow] += 1
+        assert counts[0] > counts[-1] * 3
+
+    def test_uniform_flows_option(self):
+        packets = list(packet_trace(count=4000, flows=4, seed=4,
+                                    zipf_flows=False))
+        counts = [0] * 4
+        for p in packets:
+            counts[p.flow] += 1
+        assert max(counts) < min(counts) * 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(packet_trace(count=-1))
+        with pytest.raises(ValueError):
+            list(packet_trace(count=1, flows=0))
+        with pytest.raises(ValueError):
+            list(packet_trace(count=1, sizes=[(64, 0.0)]))
+
+    def test_deterministic(self):
+        a = [(p.flow, p.size) for p in packet_trace(count=50, seed=9)]
+        b = [(p.flow, p.size) for p in packet_trace(count=50, seed=9)]
+        assert a == b
+
+
+class TestSyntheticFlow:
+    def test_segments_cover_stream_exactly(self):
+        flow = SyntheticFlow(connection=1, data=b"x" * 1000, mss=300)
+        segments = flow.segments()
+        assert [s.sequence for s in segments] == [0, 300, 600, 900]
+        assert sum(len(s.payload) for s in segments) == 1000
+        assert segments[-1].fin and not segments[0].fin
+
+    def test_segment_end_property(self):
+        seg = TCPSegment(connection=0, sequence=100, payload=b"abcd")
+        assert seg.end == 104
+
+    def test_empty_stream_still_closes(self):
+        segments = SyntheticFlow(connection=2, data=b"").segments()
+        assert len(segments) == 1
+        assert segments[0].fin and segments[0].payload == b""
+
+    def test_bad_mss(self):
+        with pytest.raises(ValueError):
+            SyntheticFlow(connection=0, data=b"abc", mss=0).segments()
+
+
+class TestTCPSegmentStream:
+    def make_flows(self, n=3, size=900, mss=100):
+        return [SyntheticFlow(connection=i,
+                              data=bytes([i]) * size, mss=mss)
+                for i in range(n)]
+
+    def test_all_segments_present(self):
+        flows = self.make_flows()
+        stream = tcp_segment_stream(flows, seed=0)
+        assert len(stream) == sum(len(f.segments()) for f in flows)
+
+    def test_reordering_is_bounded(self):
+        flows = self.make_flows(n=1, size=5000, mss=100)
+        stream = tcp_segment_stream(flows, reorder_window=4, seed=1)
+        in_order = sorted(range(len(stream)),
+                          key=lambda i: stream[i].sequence)
+        displacement = max(abs(pos - i) for pos, i in enumerate(in_order))
+        assert displacement <= 8  # window + interleave jitter
+
+    def test_zero_window_keeps_order_per_flow(self):
+        flows = self.make_flows(n=2)
+        stream = tcp_segment_stream(flows, reorder_window=0, seed=2)
+        for conn in (0, 1):
+            seqs = [s.sequence for s in stream if s.connection == conn]
+            assert seqs == sorted(seqs)
+
+    def test_adversarial_marker_displaces_carrier_segments(self):
+        data = b"A" * 450 + b"EVIL" + b"B" * 446
+        flows = [SyntheticFlow(connection=0, data=data, mss=100)]
+        stream = tcp_segment_stream(flows, seed=3,
+                                    adversarial_marker=b"EVIL")
+        carrier_positions = [i for i, s in enumerate(stream)
+                             if b"EVIL" in s.payload]
+        assert carrier_positions, "marker segment must exist"
+        assert min(carrier_positions) >= len(stream) - len(carrier_positions)
+
+    def test_byte_streams_reconstructible(self):
+        """Whatever the reordering, sorting by sequence restores the data."""
+        flows = self.make_flows(n=2, size=777, mss=64)
+        stream = tcp_segment_stream(flows, reorder_window=16, seed=4)
+        for flow in flows:
+            segments = sorted((s for s in stream
+                               if s.connection == flow.connection),
+                              key=lambda s: s.sequence)
+            assert b"".join(s.payload for s in segments) == flow.data

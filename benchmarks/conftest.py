@@ -1,0 +1,28 @@
+"""Benchmark-suite options.
+
+``--fast`` enables the batch-engine cross-checks: empirical MTS points
+for the Figure 4/6 curves and a batch variant of the sim-vs-math
+validation, all driven by
+:class:`~repro.sim.batchsim.BatchStallSimulator`.  They are opt-in
+because the curve regeneration itself is pure math and needs no
+simulation — the batch runs are the *empirical* layer on top.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fast",
+        action="store_true",
+        default=False,
+        help="run the vectorized batch-engine empirical cross-checks",
+    )
+
+
+@pytest.fixture
+def fast_mode(request):
+    """Skip unless the suite was invoked with ``--fast``."""
+    if not request.config.getoption("--fast"):
+        pytest.skip("batch-engine empirical cross-check: enable with --fast")
+    return True

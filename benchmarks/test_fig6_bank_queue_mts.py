@@ -64,3 +64,67 @@ def test_fig6_bank_queue_mts(benchmark):
         assert capped == sorted(capped)
 
     report("fig6_bank_queue_mts", render(table))
+
+
+def test_fig6_empirical_batch(fast_mode, benchmark):
+    """Empirical MTS points on the Figure 6 axis from the batch engine.
+
+    Simulated bank-queue MTS at configurations scaled down until queue
+    overflows are observable, against the Section 5.2 Markov chain
+    (system scope).  Bank latencies are chosen with L <= B so the
+    strict bus's dedicated-slot cadence matches the chain's service
+    assumption.  Asserts the factor-4 band the work-conserving
+    validation uses, MTS growth from Q=2 to Q=3, and that every stall
+    is attributed to the bank queues, never the delay-storage buffer.
+    """
+    from repro.analysis.markov import bank_queue_mts as chain_mts
+    from repro.core import VPNMConfig
+    from repro.sim.batchsim import BatchStallSimulator
+
+    seeds = list(range(1, 9))
+    cycles = 250_000
+    configs = [
+        dict(banks=8, bank_latency=8, queue_depth=2, bus_scaling=1.0),
+        dict(banks=8, bank_latency=8, queue_depth=2, bus_scaling=1.3),
+        dict(banks=8, bank_latency=8, queue_depth=3, bus_scaling=1.3),
+        dict(banks=16, bank_latency=14, queue_depth=3, bus_scaling=1.3),
+    ]
+
+    def run_points():
+        points = []
+        for params in configs:
+            config = VPNMConfig(hash_latency=0, delay_rows=4096,
+                                skip_idle_slots=False, **params)
+            result = BatchStallSimulator(config, seeds).run(cycles)
+            predicted = chain_mts(
+                params["banks"], params["bank_latency"],
+                params["queue_depth"], params["bus_scaling"],
+                kind="mean", scope="system")
+            points.append((params, result, predicted))
+        return points
+
+    points = benchmark.pedantic(run_points, rounds=1, iterations=1)
+
+    lines = [f"empirical bank-queue MTS   ({len(seeds)} lanes x "
+             f"{cycles} cycles, strict bus)",
+             f"{'config':<28} {'bq stalls':>10} {'sim MTS':>10} "
+             f"{'predicted':>10} {'ratio':>6}"]
+    by_config = {}
+    for params, result, predicted in points:
+        bq = int(result.bank_queue_stalls.sum())
+        ds = int(result.delay_storage_stalls.sum())
+        assert bq > 30, (params, "too few stalls to validate")
+        assert ds == 0, (params, ds)  # stall attribution: pure bank-queue
+        mts = result.empirical_mts
+        ratio = mts / predicted
+        label = " ".join(
+            f"{k}={v}" for k, v in zip("BLQR", params.values()))
+        by_config[tuple(params.values())] = mts
+        lines.append(f"{label:<28} {bq:>10} {mts:>10.1f} "
+                     f"{predicted:>10.1f} {ratio:>6.2f}")
+        assert 0.25 < ratio < 4.0, (params, mts, predicted)
+
+    # Shape: a deeper queue survives longer (Q=2 -> Q=3 at B=8, R=1.3).
+    assert by_config[(8, 8, 3, 1.3)] > by_config[(8, 8, 2, 1.3)]
+
+    report("fig6_empirical_batch", "\n".join(lines))

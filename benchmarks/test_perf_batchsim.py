@@ -1,0 +1,97 @@
+"""Batch-engine throughput: vectorized lanes vs the scalar simulator.
+
+The batch engine's reason to exist is aggregate cycles/second: one
+numpy-vectorized pass over eight lanes must beat eight sequential
+:class:`FastStallSimulator` runs by an order of magnitude.  This test
+measures both engines on the paper's Figure 4 headline configuration
+(B=64, L=20, Q=8, K=32, R=1.3, strict bus) and asserts the >= 10x
+aggregate speedup; a B=32 row is reported alongside for scale context
+(fewer banks means fewer independent (lane, bank) event streams for
+the vector units, so the speedup there is smaller — reported, not
+asserted at 10x).
+
+Timing is best-of-5 wall clock: this box shows large run-to-run
+variance (external interference can slow identical runs 2-3x), and
+the minimum is the standard estimator for "how fast can this code go"
+under interference.
+"""
+
+import time
+
+from repro.core import VPNMConfig
+from repro.sim.batchsim import BatchStallSimulator
+from repro.sim.fastsim import FastStallSimulator
+
+from _report import report
+
+CYCLES = 2_000_000
+LANES = 8
+ROUNDS = 5
+
+
+def _config(banks):
+    return VPNMConfig(banks=banks, bank_latency=20, queue_depth=8,
+                      delay_rows=32, bus_scaling=1.3, hash_latency=0,
+                      skip_idle_slots=False)
+
+
+def _best_of(rounds, fn):
+    best = None
+    value = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, value
+
+
+def _measure(banks):
+    config = _config(banks)
+    seeds = list(range(1, LANES + 1))
+
+    scalar_time, scalar_result = _best_of(
+        ROUNDS, lambda: FastStallSimulator(config, seed=1).run(CYCLES))
+    batch_time, batch_result = _best_of(
+        ROUNDS, lambda: BatchStallSimulator(config, seeds).run(CYCLES))
+
+    scalar_rate = CYCLES / scalar_time
+    batch_rate = CYCLES * LANES / batch_time
+    return {
+        "banks": banks,
+        "scalar_time": scalar_time,
+        "scalar_rate": scalar_rate,
+        "batch_time": batch_time,
+        "batch_rate": batch_rate,
+        "speedup": batch_rate / scalar_rate,
+        "scalar_stalls": scalar_result.stalls,
+        "batch_stalls": int(batch_result.stalls.sum()),
+    }
+
+
+def test_perf_batchsim(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_measure(64), _measure(32)], rounds=1, iterations=1)
+
+    lines = [f"batch vs scalar stall-engine throughput "
+             f"(L=20, Q=8, K=32, R=1.3, strict bus; "
+             f"{LANES} lanes x {CYCLES} cycles, best of {ROUNDS})",
+             f"{'banks':>5} {'scalar cyc/s':>13} {'batch lane-cyc/s':>17} "
+             f"{'speedup':>8}"]
+    for row in rows:
+        lines.append(f"{row['banks']:>5} {row['scalar_rate']:>13.3e} "
+                     f"{row['batch_rate']:>17.3e} "
+                     f"{row['speedup']:>7.1f}x")
+        # Both engines must actually be simulating something.
+        assert row["scalar_stalls"] > 0
+        assert row["batch_stalls"] > 0
+
+    by_banks = {row["banks"]: row for row in rows}
+    # Acceptance: >= 10x aggregate throughput on the 8-lane B=64 run.
+    assert by_banks[64]["speedup"] >= 10.0, by_banks[64]
+    # B=32 has half the event streams to vectorize over; hold a floor
+    # well below the headline so the row stays a report, not a flake.
+    assert by_banks[32]["speedup"] >= 3.0, by_banks[32]
+
+    report("batchsim_throughput", "\n".join(lines))

@@ -91,3 +91,81 @@ def test_validation_sim_vs_math(benchmark):
             assert result.bank_queue_stalls == 0
 
     report("validation_sim_vs_math", "\n".join(lines))
+
+
+def test_validation_batch_vs_math(fast_mode, benchmark):
+    """Batch-engine variant of the sim-vs-math validation.
+
+    Same idea as above, run through :class:`BatchRunner` instead of a
+    single :class:`FastStallSimulator` seed: each configuration
+    simulates 8 independent lanes under the strict bus, aggregates
+    stall counts, and reports the Wilson interval on the stall
+    probability.  Configurations are chosen for the strict engine —
+    bank-queue points use L <= B (so the dedicated-slot cadence
+    matches the Markov chain's service assumption) and the
+    delay-storage point uses a K large enough to sit in the
+    rare-stall regime where the Section 5.1 closed form applies.
+    """
+    from repro.sim.batchrunner import BatchRunner
+
+    cycles = 250_000
+    lanes = 8
+
+    def run_all_batch():
+        rows = []
+        for params in [
+            dict(banks=8, bank_latency=8, queue_depth=2, bus_scaling=1.0),
+            dict(banks=16, bank_latency=14, queue_depth=3, bus_scaling=1.3),
+        ]:
+            config = VPNMConfig(hash_latency=0, delay_rows=4096,
+                                skip_idle_slots=False, **params)
+            runner = BatchRunner(config, lanes=lanes, seed=29,
+                                 shard_lanes=4)
+            rep = runner.run(cycles)
+            predicted = bank_queue_mts(
+                params["banks"], params["bank_latency"],
+                params["queue_depth"], params["bus_scaling"],
+                kind="mean", scope="system")
+            rows.append(("bank-queue", params, rep, predicted))
+
+        ds_params = dict(banks=8, bank_latency=2, queue_depth=16,
+                         delay_rows=20)
+        config = VPNMConfig(hash_latency=0, bus_scaling=1.3,
+                            skip_idle_slots=False, **ds_params)
+        rep = BatchRunner(config, lanes=lanes, seed=31,
+                          shard_lanes=4).run(cycles)
+        predicted = delay_buffer_mts(
+            config.delay_rows, config.normalized_delay, config.banks,
+            tail="exact")
+        rows.append(("delay-storage", ds_params, rep, predicted))
+        return rows
+
+    rows = benchmark.pedantic(run_all_batch, rounds=1, iterations=1)
+
+    lines = [f"batch validation, strict bus "
+             f"({lanes} lanes x {cycles} cycles per config)",
+             f"{'mechanism':<14} {'config':<40} {'sim MTS':>10} "
+             f"{'95% interval':>22} {'predicted':>10} {'ratio':>6}"]
+    short = {"banks": "B", "bank_latency": "L", "queue_depth": "Q",
+             "bus_scaling": "R", "delay_rows": "K"}
+    for mechanism, params, rep, predicted in rows:
+        assert rep.total_stalls > 30, (params, "too few stalls")
+        mts = rep.empirical_mts
+        ival = rep.mts_interval
+        ratio = mts / predicted
+        label = " ".join(f"{short[k]}={v}" for k, v in params.items())
+        lines.append(
+            f"{mechanism:<14} {label:<40} {mts:>10.1f} "
+            f"[{ival.low:>9.1f},{ival.high:>9.1f}] "
+            f"{predicted:>10.1f} {ratio:>6.2f}")
+        assert 0.25 < ratio < 4.0, (params, mts, predicted)
+        # The interval must bracket its own point estimate and, with
+        # 2M observed cycles, be tight relative to the factor-4 band.
+        assert ival.low < mts < ival.high
+        assert ival.high / ival.low < 2.0, (params, ival)
+        if mechanism == "bank-queue":
+            assert int(rep.delay_storage_stalls.sum()) == 0
+        else:
+            assert int(rep.bank_queue_stalls.sum()) == 0
+
+    report("validation_batch_vs_math", "\n".join(lines))

@@ -10,8 +10,16 @@
   mechanisms, plus cycle/time conversions.
 - :mod:`~repro.analysis.pareto` — Pareto-frontier utilities for the
   Section 5.3 design sweep.
+- :mod:`~repro.analysis.confidence` — binomial (Wilson) error bars for
+  simulated stall counts, used by the batch MTS campaigns.
 """
 
+from repro.analysis.confidence import (
+    BinomialInterval,
+    mts_interval,
+    stall_probability_interval,
+    wilson_interval,
+)
 from repro.analysis.birthday import (
     collision_probability,
     expected_accesses_to_first_collision,
@@ -37,6 +45,7 @@ from repro.analysis.pareto import ParetoPoint, pareto_frontier
 
 __all__ = [
     "BankQueueChain",
+    "BinomialInterval",
     "ParetoPoint",
     "bank_queue_mts",
     "build_transition_matrix",
@@ -46,9 +55,12 @@ __all__ = [
     "no_collision_probability",
     "delay_buffer_mts",
     "log10_delay_buffer_mts",
+    "mts_interval",
     "mts_seconds",
     "mts_to_human",
     "pareto_frontier",
+    "stall_probability_interval",
     "stall_window_probability",
     "system_mts",
+    "wilson_interval",
 ]

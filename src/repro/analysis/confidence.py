@@ -1,0 +1,124 @@
+"""Binomial confidence intervals for measured stall statistics.
+
+A simulated MTS estimate is ``cycles / stalls`` where ``stalls`` is a
+binomial count over ``cycles`` trials (each interface cycle either
+stalls or not; the trials are not literally independent, but the
+correlation time of the stall process is a few ``D`` cycles — tiny
+against multi-million-cycle runs, so the binomial interval is the
+honest first-order error bar).
+
+The Wilson score interval is used instead of the naive Wald interval:
+it behaves correctly in exactly the regime MTS validation lives in —
+very small ``p`` with a modest number of observed events — where Wald
+collapses to a zero-width or negative interval.  No scipy needed; the
+normal quantile is a table lookup for the conventional levels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "BinomialInterval",
+    "mts_interval",
+    "stall_probability_interval",
+    "wilson_interval",
+]
+
+#: Two-sided normal quantiles for the conventional confidence levels.
+_Z_TABLE = {
+    0.80: 1.2815515655446004,
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.98: 2.3263478740408408,
+    0.99: 2.5758293035489004,
+}
+
+
+def _z_value(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    z = _Z_TABLE.get(round(confidence, 2))
+    if z is not None:
+        return z
+    # Acklam-style rational approximation of the normal quantile for
+    # non-tabulated levels; |error| < 1.2e-4 over the useful range,
+    # far below the statistical noise the interval expresses.
+    p = 1.0 - (1.0 - confidence) / 2.0
+    t = math.sqrt(-2.0 * math.log(1.0 - p))
+    return t - ((0.010328 * t + 0.802853) * t + 2.515517) / (
+        ((0.001308 * t + 0.189269) * t + 1.432788) * t + 1.0
+    )
+
+
+@dataclass(frozen=True)
+class BinomialInterval:
+    """A point estimate with a two-sided confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> BinomialInterval:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    z = _z_value(confidence)
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2.0 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)
+    )
+    # The exact Wilson bounds at the extremes are 0 and 1; floating-point
+    # residue in centre -/+ half must not leak a spurious epsilon (the
+    # MTS inversion would turn a 1e-20 lower bound into a bogus finite
+    # upper bound instead of infinity).
+    low = 0.0 if successes == 0 else max(0.0, centre - half)
+    high = 1.0 if successes == trials else min(1.0, centre + half)
+    return BinomialInterval(
+        estimate=p,
+        low=low,
+        high=high,
+        confidence=confidence,
+    )
+
+
+def stall_probability_interval(stalls: int, cycles: int,
+                               confidence: float = 0.95) -> BinomialInterval:
+    """Confidence interval for the per-cycle stall probability."""
+    return wilson_interval(stalls, cycles, confidence)
+
+
+def mts_interval(stalls: int, cycles: int,
+                 confidence: float = 0.95
+                 ) -> Tuple[Optional[float], BinomialInterval]:
+    """Mean-time-to-stall estimate with its confidence interval.
+
+    Returns ``(mts, interval)`` where ``interval`` bounds MTS by
+    inverting the stall-probability interval (MTS = 1/p, monotone, so
+    the bounds map through directly).  ``mts`` is ``None`` when no
+    stalls were observed; the interval's ``high`` is ``inf`` then —
+    the data only supports a lower bound.
+    """
+    prob = stall_probability_interval(stalls, cycles, confidence)
+    mts = cycles / stalls if stalls else None
+    low = 1.0 / prob.high if prob.high > 0 else math.inf
+    high = 1.0 / prob.low if prob.low > 0 else math.inf
+    return mts, BinomialInterval(
+        estimate=mts if mts is not None else math.inf,
+        low=low,
+        high=high,
+        confidence=confidence,
+    )

@@ -4,6 +4,7 @@ Commands
 --------
 simulate   drive a workload through the cycle-level controller
 analyze    Section 5 MTS analysis for one configuration
+mts        batch MTS campaign (vectorized lanes, shards, error bars)
 validate   fast simulation vs analytical MTS cross-check
 sweep      design-space sweep with Pareto frontier (Figure 7 style)
 table2     the paper's Table 2 design ladder, from our models
@@ -179,6 +180,61 @@ def _command_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_mts(args: argparse.Namespace) -> int:
+    """Batch MTS campaign: many seeds, sharded, with error bars."""
+    from repro.sim.batchrunner import BatchRunner
+
+    config = VPNMConfig(**{
+        **_config_kwargs(_config_from(args)),
+        "skip_idle_slots": args.engine == "work-conserving",
+    })
+    runner = BatchRunner(
+        config,
+        lanes=args.lanes,
+        seed=args.seed,
+        shard_lanes=args.shard_lanes,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        confidence=args.confidence,
+    )
+    report = runner.run(args.cycles, idle_probability=args.idle)
+    print(f"config: B={config.banks} L={config.bank_latency} "
+          f"Q={config.queue_depth} K={config.delay_rows} "
+          f"R={config.bus_scaling} "
+          f"{'strict' if not config.skip_idle_slots else 'work-conserving'}"
+          f" arbitration")
+    print(report.summary())
+    print(f"  accepted: {int(report.accepted.sum())}  "
+          f"delay-storage stalls: {int(report.delay_storage_stalls.sum())}  "
+          f"bank-queue stalls: {int(report.bank_queue_stalls.sum())}")
+    per_lane = report.stalls
+    print(f"  per-lane stalls: min {int(per_lane.min())} / "
+          f"median {float(_median(per_lane)):.0f} / "
+          f"max {int(per_lane.max())}")
+    return 0
+
+
+def _median(values) -> float:
+    ordered = sorted(int(v) for v in values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _config_kwargs(config: VPNMConfig) -> dict:
+    return {
+        "banks": config.banks,
+        "bank_latency": config.bank_latency,
+        "queue_depth": config.queue_depth,
+        "delay_rows": config.delay_rows,
+        "bus_scaling": config.bus_scaling,
+        "hash_latency": config.hash_latency,
+        "delay_mode": config.delay_mode,
+        "stall_policy": config.stall_policy,
+    }
+
+
 def _command_table2(args: argparse.Namespace) -> int:
     from repro.hardware.sweep import table2_points
 
@@ -224,6 +280,34 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--clock", type=float, default=1000.0,
                          help="interface clock in MHz (default 1000)")
     analyze.set_defaults(handler=_command_analyze)
+
+    mts = commands.add_parser(
+        "mts",
+        help="batch MTS campaign: many seeds as vectorized lanes, "
+             "sharded across workers, binomial error bars",
+    )
+    _add_config_arguments(mts)
+    mts.add_argument("--cycles", type=int, default=1_000_000,
+                     help="interface cycles per lane (default 1e6)")
+    mts.add_argument("--lanes", type=int, default=8,
+                     help="number of independent seeds (default 8)")
+    mts.add_argument("--seed", type=int, default=0,
+                     help="root seed; per-lane seeds derive from it")
+    mts.add_argument("--shard-lanes", type=int, default=8,
+                     help="lanes per shard/checkpoint (default 8)")
+    mts.add_argument("--workers", type=int, default=1,
+                     help="worker processes; 1 = inline (default)")
+    mts.add_argument("--checkpoint-dir", default=None,
+                     help="directory for shard checkpoints (resume on rerun)")
+    mts.add_argument("--idle", type=float, default=0.0,
+                     help="per-cycle idle probability (default 0: full load)")
+    mts.add_argument("--confidence", type=float, default=0.95,
+                     help="confidence level for the error bars")
+    mts.add_argument("--engine", choices=["strict", "work-conserving"],
+                     default="strict",
+                     help="arbitration mode: strict round robin uses the "
+                          "event-driven vectorized path (default)")
+    mts.set_defaults(handler=_command_mts)
 
     validate = commands.add_parser(
         "validate", help="fast simulation vs analytical MTS cross-check")

@@ -6,8 +6,18 @@
   capture per-request timelines and draw Figure-1-style charts.
 - :class:`~repro.sim.fastsim.FastStallSimulator` reproduces the stall
   dynamics alone, for multi-million-cycle MTS validation runs.
+- :class:`~repro.sim.batchsim.BatchStallSimulator` vectorizes those
+  dynamics across many seeds at once;
+  :class:`~repro.sim.batchrunner.BatchRunner` shards campaigns over
+  processes with checkpoint/resume and binomial error bars.
 """
 
+from repro.sim.batchrunner import BatchReport, BatchRunner, lane_seeds
+from repro.sim.batchsim import (
+    BatchRunResult,
+    BatchStallSimulator,
+    matched_bank_sequences,
+)
 from repro.sim.fastsim import FastRunResult, FastStallSimulator
 from repro.sim.runner import (
     RunResult,
@@ -18,8 +28,14 @@ from repro.sim.runner import (
 from repro.sim.tracing import RequestTimeline, render_gantt, trace_requests
 
 __all__ = [
+    "BatchReport",
+    "BatchRunResult",
+    "BatchRunner",
+    "BatchStallSimulator",
     "FastRunResult",
     "FastStallSimulator",
+    "lane_seeds",
+    "matched_bank_sequences",
     "RequestTimeline",
     "RunResult",
     "StallMeasurement",

@@ -1,0 +1,268 @@
+"""Sharded batch MTS runs: multiprocessing, checkpoints, error bars.
+
+:class:`~repro.sim.batchsim.BatchStallSimulator` makes one batch of
+lanes fast; this module makes *long campaigns* practical.  A run of
+``lanes`` seeds is split into shards of ``shard_lanes`` lanes each;
+shards execute in parallel ``multiprocessing`` workers (inline when
+``workers <= 1``), each shard's finished statistics are checkpointed
+to disk as JSON, and an interrupted campaign resumes by skipping every
+shard whose checkpoint matches the run's fingerprint.
+
+Determinism contract: lane ``i`` of a run is simulated with seed
+``seeds[i]``, and a lane's results are a pure function of ``(config,
+seed, cycles, idle_probability)`` — so the aggregate is independent of
+shard size, worker count, execution order, and whether any shards were
+restored from checkpoints.  When ``seeds`` is not given explicitly,
+per-lane seeds derive from ``numpy.random.SeedSequence(seed,
+spawn_key=(lane,))`` — collision-resistant and stable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.confidence import (
+    BinomialInterval,
+    mts_interval,
+    stall_probability_interval,
+)
+from repro.core.config import VPNMConfig
+from repro.core.exceptions import ConfigurationError
+from repro.sim.batchsim import BatchStallSimulator
+
+__all__ = ["BatchReport", "BatchRunner", "lane_seeds"]
+
+
+def lane_seeds(root_seed: int, lanes: int) -> List[int]:
+    """Deterministic, collision-resistant per-lane seeds from one root."""
+    return [
+        int(np.random.SeedSequence(root_seed, spawn_key=(lane,))
+            .generate_state(1)[0])
+        for lane in range(lanes)
+    ]
+
+
+@dataclass
+class BatchReport:
+    """Aggregated statistics of a sharded batch campaign."""
+
+    cycles: int                      # per lane
+    seeds: List[int]
+    accepted: np.ndarray             # per lane
+    delay_storage_stalls: np.ndarray
+    bank_queue_stalls: np.ndarray
+    confidence: float = 0.95
+
+    @property
+    def lanes(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def stalls(self) -> np.ndarray:
+        return self.delay_storage_stalls + self.bank_queue_stalls
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles * self.lanes
+
+    @property
+    def total_stalls(self) -> int:
+        return int(self.stalls.sum())
+
+    @property
+    def stall_probability(self) -> BinomialInterval:
+        """Per-cycle stall probability with its binomial interval."""
+        return stall_probability_interval(
+            self.total_stalls, self.total_cycles, self.confidence)
+
+    @property
+    def empirical_mts(self) -> Optional[float]:
+        return (self.total_cycles / self.total_stalls
+                if self.total_stalls else None)
+
+    @property
+    def mts_interval(self) -> BinomialInterval:
+        """Confidence interval on the empirical MTS."""
+        return mts_interval(self.total_stalls, self.total_cycles,
+                            self.confidence)[1]
+
+    def summary(self) -> str:
+        prob = self.stall_probability
+        mts = self.empirical_mts
+        ival = self.mts_interval
+        mts_txt = (f"{mts:.1f} cycles [{ival.low:.1f}, {ival.high:.1f}]"
+                   if mts is not None
+                   else f">= {ival.low:.1f} cycles (no stalls observed)")
+        return (
+            f"{self.lanes} lanes x {self.cycles} cycles: "
+            f"{self.total_stalls} stalls, "
+            f"p_stall = {prob.estimate:.3e} "
+            f"[{prob.low:.3e}, {prob.high:.3e}] "
+            f"({int(self.confidence * 100)}% Wilson), "
+            f"MTS = {mts_txt}"
+        )
+
+
+def _config_fingerprint(config: VPNMConfig, cycles: int,
+                        idle_probability: float) -> str:
+    """Stable identity of a run; checkpoint mismatch means stale data."""
+    fields = {k: getattr(config, k) for k in sorted(vars(config))}
+    return json.dumps({"config": fields, "cycles": cycles,
+                       "idle_probability": idle_probability},
+                      sort_keys=True, default=str)
+
+
+def _run_shard(args):
+    """Worker entry point (top level, so it pickles)."""
+    config, shard_seeds, cycles, idle_probability, stall_limit = args
+    result = BatchStallSimulator(
+        config, shard_seeds, stall_cycle_limit=stall_limit
+    ).run(cycles, idle_probability=idle_probability)
+    return {
+        "seeds": list(shard_seeds),
+        "accepted": result.accepted.tolist(),
+        "delay_storage_stalls": result.delay_storage_stalls.tolist(),
+        "bank_queue_stalls": result.bank_queue_stalls.tolist(),
+    }
+
+
+class BatchRunner:
+    """Shard a batch MTS campaign over processes, with checkpoints."""
+
+    def __init__(self, config: VPNMConfig,
+                 seeds: Optional[Sequence[int]] = None,
+                 lanes: Optional[int] = None,
+                 seed: int = 0,
+                 shard_lanes: int = 8,
+                 workers: int = 1,
+                 checkpoint_dir: Optional[str] = None,
+                 stall_cycle_limit: int = 0,
+                 confidence: float = 0.95):
+        if seeds is None:
+            if lanes is None:
+                raise ConfigurationError("need either seeds or lanes")
+            seeds = lane_seeds(seed, lanes)
+        elif lanes is not None and len(seeds) != lanes:
+            raise ConfigurationError(
+                f"len(seeds)={len(seeds)} contradicts lanes={lanes}")
+        if not len(seeds):
+            raise ConfigurationError("need at least one lane")
+        if shard_lanes < 1:
+            raise ConfigurationError("shard_lanes must be >= 1")
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.config = config
+        self.seeds = [int(s) for s in seeds]
+        self.shard_lanes = shard_lanes
+        self.workers = workers
+        self.checkpoint_dir = checkpoint_dir
+        #: Stall-cycle recording is off by default for campaigns — only
+        #: the counts matter for MTS, and shards serialize to JSON.
+        self.stall_cycle_limit = stall_cycle_limit
+        self.confidence = confidence
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _checkpoint_path(self, shard_index: int) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir,
+                            f"shard_{shard_index:05d}.json")
+
+    def _load_checkpoint(self, shard_index: int, fingerprint: str,
+                         shard_seeds: List[int]) -> Optional[dict]:
+        path = self._checkpoint_path(shard_index)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            return None
+        data = payload.get("result", {})
+        if data.get("seeds") != shard_seeds:
+            return None
+        return data
+
+    def _store_checkpoint(self, shard_index: int, fingerprint: str,
+                          data: dict) -> None:
+        path = self._checkpoint_path(shard_index)
+        if path is None:
+            return
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        payload = {"fingerprint": fingerprint, "result": data}
+        # Atomic publish: a crash mid-write must not leave a truncated
+        # checkpoint that a resume would then trip over.
+        fd, tmp = tempfile.mkstemp(dir=self.checkpoint_dir,
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- execution --------------------------------------------------------
+
+    def _shards(self) -> List[List[int]]:
+        return [self.seeds[i:i + self.shard_lanes]
+                for i in range(0, len(self.seeds), self.shard_lanes)]
+
+    def run(self, cycles: int, idle_probability: float = 0.0) -> BatchReport:
+        """Run every shard (resuming from checkpoints) and aggregate."""
+        fingerprint = _config_fingerprint(self.config, cycles,
+                                          idle_probability)
+        shards = self._shards()
+        results: List[Optional[dict]] = [None] * len(shards)
+        pending = []
+        for i, shard_seeds in enumerate(shards):
+            restored = self._load_checkpoint(i, fingerprint, shard_seeds)
+            if restored is not None:
+                results[i] = restored
+            else:
+                pending.append(i)
+
+        if pending:
+            jobs = [(self.config, shards[i], cycles, idle_probability,
+                     self.stall_cycle_limit) for i in pending]
+            if self.workers <= 1 or len(pending) == 1:
+                fresh = [_run_shard(job) for job in jobs]
+            else:
+                # Worker processes import, not fork-inherit, the sim
+                # state; "spawn" keeps behaviour identical across
+                # platforms and under pytest.
+                import multiprocessing
+
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(min(self.workers, len(pending))) as pool:
+                    fresh = pool.map(_run_shard, jobs)
+            for i, data in zip(pending, fresh):
+                self._store_checkpoint(i, fingerprint, data)
+                results[i] = data
+
+        accepted = np.concatenate(
+            [np.asarray(r["accepted"], dtype=np.int64) for r in results])
+        ds = np.concatenate(
+            [np.asarray(r["delay_storage_stalls"], dtype=np.int64)
+             for r in results])
+        bq = np.concatenate(
+            [np.asarray(r["bank_queue_stalls"], dtype=np.int64)
+             for r in results])
+        return BatchReport(
+            cycles=cycles,
+            seeds=list(self.seeds),
+            accepted=accepted,
+            delay_storage_stalls=ds,
+            bank_queue_stalls=bq,
+            confidence=self.confidence,
+        )

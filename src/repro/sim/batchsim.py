@@ -1,0 +1,643 @@
+"""Vectorized batch stall-dynamics engine: many seeds as array lanes.
+
+:class:`~repro.sim.fastsim.FastStallSimulator` walks one scalar Python
+iteration per interface cycle, which makes every MTS data point
+(Figures 4-6, Table 2) a multi-minute affair.  This module simulates
+the *same occupancy dynamics* — same acceptance rules, same clock-domain
+bookkeeping, validated cycle for cycle in
+``tests/sim/test_batchsim_differential.py`` — for **many independent
+seeds simultaneously**, holding every per-lane counter (bank backlogs,
+delay-storage occupancy, the R-ratio slot accounting) as integer
+ndarrays.
+
+Two execution strategies, chosen by ``config.skip_idle_slots``:
+
+* **Strict round robin** (``skip_idle_slots=False``) — the flagship
+  path.  Under strict arbitration memory-bus slot ``m`` belongs to bank
+  ``m mod B``, so the banks never contend and the whole simulation
+  decomposes into ``lanes x B`` independent single-bank processes.  The
+  engine exploits this: it groups the arrival stream by (lane, bank)
+  pair and walks *arrival events* instead of cycles, draining each
+  bank's access queue between events in closed form (while a bank is
+  backlogged, strict round robin grants it exactly one access every
+  ``B * ceil(L / B)`` memory slots).  Delay-storage occupancy at an
+  arrival is a sliding-window count of that bank's own accepts in the
+  last ``D`` cycles, tracked with a ring of each pair's last ``K``
+  accept times (the window holds ``K`` accepts exactly when the K-th
+  most recent accept is within ``D`` cycles).  Event lists are padded
+  to a common length with far-future sentinels so every numpy step is
+  full-width — one step processes one event from every pair at once,
+  all state in step-major contiguous buffers, so the Python
+  interpreter runs ``O(cycles / B)`` iterations instead of
+  ``O(cycles)`` — a >10x aggregate speedup over the scalar simulator
+  (see ``benchmarks/test_perf_batchsim.py``).
+
+* **Work-conserving round robin** (``skip_idle_slots=True``, the
+  controller default) — banks share the bus through a ready deque, so
+  the per-bank decomposition does not hold.  The engine steps cycle by
+  cycle with every lane vectorized, emulating each lane's ready deque
+  exactly (array-backed circular buffers with a masked grant scan).
+  This path wins once lanes are plentiful (the design-sweep regime);
+  at small lane counts prefer the scalar simulator or strict mode.
+
+Determinism contract: a lane's results are a pure function of
+``(config, lane seed, cycles, idle_probability)``.  Lane streams are
+generated per-lane from independent ``numpy`` PCG64 generators, so the
+same seed produces the same stall sequence no matter which other lanes
+share the batch or how a :class:`~repro.sim.batchrunner.BatchRunner`
+shards the run.  For exact matched-seed comparison against
+``FastStallSimulator`` (whose default source is ``random.Random``),
+generate sequences with :func:`matched_bank_sequences` and pass them
+via ``bank_sequences``.
+
+Scope mirrors ``fastsim``: read-only traffic with distinct addresses
+(the paper's Section 5.1 reduction — "we can treat the bank assignments
+as a random sequence of integers").  Merging and writes need the full
+:class:`~repro.core.VPNMController`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import VPNMConfig
+from repro.core.exceptions import ConfigurationError
+from repro.sim.fastsim import STALL_CYCLE_LIMIT, FastRunResult
+
+
+@dataclass
+class BatchRunResult:
+    """Per-lane stall statistics from one batch run.
+
+    Array fields are indexed by lane.  ``stall_cycles[lane]`` is a
+    sorted int64 array of the lane's first ``stall_cycle_limit`` stall
+    cycles (matching the scalar simulator's recording cap).
+    """
+
+    cycles: int
+    lanes: int
+    accepted: np.ndarray
+    delay_storage_stalls: np.ndarray
+    bank_queue_stalls: np.ndarray
+    stall_cycles: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def stalls(self) -> np.ndarray:
+        """Per-lane total stalls."""
+        return self.delay_storage_stalls + self.bank_queue_stalls
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles * self.lanes
+
+    @property
+    def total_stalls(self) -> int:
+        return int(self.stalls.sum())
+
+    @property
+    def stall_probability(self) -> float:
+        """Aggregate per-cycle stall probability across all lanes."""
+        return self.total_stalls / self.total_cycles if self.total_cycles \
+            else 0.0
+
+    @property
+    def empirical_mts(self) -> Optional[float]:
+        """Aggregate mean cycles between stalls, None if stall-free."""
+        total = self.total_stalls
+        return self.total_cycles / total if total else None
+
+    def lane_result(self, lane: int) -> FastRunResult:
+        """The lane's statistics as a scalar-simulator result object."""
+        return FastRunResult(
+            cycles=self.cycles,
+            accepted=int(self.accepted[lane]),
+            stalls=int(self.stalls[lane]),
+            delay_storage_stalls=int(self.delay_storage_stalls[lane]),
+            bank_queue_stalls=int(self.bank_queue_stalls[lane]),
+            stall_cycles=[int(c) for c in self.stall_cycles[lane]],
+        )
+
+
+def matched_bank_sequences(
+    config: VPNMConfig,
+    seeds: Sequence[int],
+    cycles: int,
+    idle_probability: float = 0.0,
+) -> np.ndarray:
+    """Bank sequences identical to ``FastStallSimulator``'s defaults.
+
+    Replays the exact ``random.Random(seed)`` draw order of the scalar
+    simulator (an idle coin flip, when enabled, precedes each bank
+    draw), so ``BatchStallSimulator.run(..., bank_sequences=...)`` on
+    the output reproduces ``FastStallSimulator(config, seed).run(...)``
+    stall for stall.  Idle cycles are encoded as -1.
+    """
+    out = np.empty((len(seeds), cycles), dtype=np.int32)
+    for lane, seed in enumerate(seeds):
+        rng = random.Random(seed)
+        row = out[lane]
+        for cycle in range(cycles):
+            if idle_probability and rng.random() < idle_probability:
+                row[cycle] = -1
+            else:
+                row[cycle] = rng.randrange(config.banks)
+    return out
+
+
+class BatchStallSimulator:
+    """Occupancy-only VPNM stall dynamics, one array lane per seed."""
+
+    def __init__(self, config: VPNMConfig, seeds: Sequence[int],
+                 stall_cycle_limit: int = STALL_CYCLE_LIMIT):
+        if not len(seeds):
+            raise ConfigurationError("need at least one lane seed")
+        self.config = config
+        self.seeds = [int(s) for s in seeds]
+        self.lanes = len(self.seeds)
+        self.stall_cycle_limit = stall_cycle_limit
+        ratio = Fraction(config.bus_scaling).limit_denominator(1_000)
+        self._num, self._den = ratio.numerator, ratio.denominator
+
+    # -- lane stream generation ------------------------------------------
+
+    def _generate_sequences(self, cycles: int,
+                            idle_probability: float) -> np.ndarray:
+        """Per-lane uniform bank draws (-1 = idle), PCG64 per lane."""
+        out = np.empty((self.lanes, cycles), dtype=np.int32)
+        for lane, seed in enumerate(self.seeds):
+            rng = np.random.Generator(np.random.PCG64(seed))
+            row = rng.integers(0, self.config.banks, size=cycles,
+                               dtype=np.int32)
+            if idle_probability:
+                row[rng.random(cycles) < idle_probability] = -1
+            out[lane] = row
+        return out
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, cycles: int, idle_probability: float = 0.0,
+            bank_sequences: Optional[np.ndarray] = None) -> BatchRunResult:
+        """Simulate ``cycles`` interface cycles on every lane.
+
+        ``bank_sequences`` — optional ``(lanes, cycles)`` int array of
+        bank choices (-1 for an idle cycle) overriding the internal
+        per-lane generators; used by the differential tests to feed the
+        scalar simulator's exact stream.
+        """
+        if bank_sequences is None:
+            seq = self._generate_sequences(cycles, idle_probability)
+        else:
+            seq = np.asarray(bank_sequences, dtype=np.int32)
+            if seq.shape != (self.lanes, cycles):
+                raise ConfigurationError(
+                    f"bank_sequences shape {seq.shape} != "
+                    f"{(self.lanes, cycles)}"
+                )
+            if seq.max(initial=-1) >= self.config.banks:
+                raise ConfigurationError("bank id out of range")
+        if self.config.skip_idle_slots:
+            return self._run_work_conserving(seq, cycles)
+        return self._run_strict(seq, cycles)
+
+    # -- strict round robin: event-driven, time-vectorized ----------------
+
+    def _run_strict(self, seq: np.ndarray, cycles: int) -> BatchRunResult:
+        """Per-(lane, bank) event walk; exact under strict arbitration.
+
+        Definitions:
+
+        * slots of interface cycle ``t`` are ``[target(t-1), target(t))``
+          with ``target(t) = (t+1) * num // den`` — the same rational
+          clock-domain bookkeeping as the scalar engines;
+        * while backlogged, bank ``b`` issues on the arithmetic
+          progression of its dedicated slots with period
+          ``P = B * ceil(L / B)``;
+        * delay-storage rows held by bank ``b`` at the decision of cycle
+          ``t`` equal its accepts in ``[t - D, t - 1]`` (a row frees
+          D cycles after its accept, *after* that cycle's decision).
+
+        Every pair's event list is padded to a common length with
+        sentinel arrivals far in the future (spaced more than ``D``
+        apart, so their delay-storage window is empty; they are
+        force-accepted and the phantom accepts are subtracted at the
+        end).  That keeps every numpy step full-width — no masks, no
+        slicing — and all loop state lives in preallocated step-major
+        buffers (event times transposed so each step reads contiguous
+        rows; delay-storage occupancy as a cache-resident ring of the
+        last ``K`` accept times per pair), so one step is ~30 ufunc
+        dispatches on small contiguous arrays regardless of
+        configuration.
+        """
+        config = self.config
+        lanes, banks = self.lanes, config.banks
+        num, den = self._num, self._den
+        latency = config.bank_latency
+        period = banks * -(-latency // banks)  # B * ceil(L / B)
+        delay = config.normalized_delay
+        queue_limit = config.queue_depth
+        row_limit = config.delay_rows
+
+        # Group arrivals by (lane, bank): sorting the combined key
+        # ``bank * cycles + t`` yields, per lane, event times ordered by
+        # bank then time (radix sort of one integer array — cheaper than
+        # a stable argsort).  Idle cycles (-1) become negative keys,
+        # sort first, and are dropped.
+        key_dt = np.int32 if banks * cycles < 2**31 else np.int64
+        counts = np.empty((lanes, banks), dtype=np.int64)
+        grouped: List[np.ndarray] = []
+        for lane in range(lanes):
+            combined = (seq[lane].astype(key_dt) * cycles
+                        + np.arange(cycles, dtype=key_dt))
+            combined.sort()
+            valid = combined[np.searchsorted(combined, 0):]
+            counts[lane] = np.bincount(valid // cycles, minlength=banks)
+            grouped.append(valid % cycles)
+
+        pair_ids = np.flatnonzero(counts.ravel() > 0)  # lane-major order
+        cnts = counts.ravel()[pair_ids]
+        width = pair_ids.size
+        if width == 0:
+            empty = np.zeros(lanes, dtype=np.int64)
+            return BatchRunResult(
+                cycles=cycles, lanes=lanes, accepted=empty,
+                delay_storage_stalls=empty.copy(),
+                bank_queue_stalls=empty.copy(),
+                stall_cycles=[np.empty(0, dtype=np.int64)
+                              for _ in range(lanes)],
+            )
+        stride = int(cnts.max())
+        min_cnt = int(cnts.min())
+        lane_of = pair_ids // banks
+
+        # Sentinel times: beyond the horizon, mutually > D apart.
+        sentinel = (np.arange(stride + 1, dtype=np.int64) * (delay + 1)
+                    + cycles + 1)
+        # One dtype everywhere: mixed-dtype ufuncs fall off numpy's fast
+        # inner loops and roughly double the per-dispatch cost.
+        span = (int(sentinel[-1]) + delay + 2) * num \
+            + period + latency + banks
+        dt = np.int32 if span < 2**31 else np.int64
+
+        # Event times, step-major: row ``index`` holds every pair's
+        # ``index``-th arrival, so each loop step touches one contiguous
+        # 4*width-byte row instead of gathering width elements that are
+        # ``stride`` apart (at realistic sizes the strided gather costs
+        # one cache miss per pair per access).  Built pair-major (cheap
+        # contiguous fills) and transposed once.  One extra row so the
+        # final step's drain limit reads a sentinel.
+        times = np.empty((width, stride), dtype=dt)
+        times[...] = sentinel[:stride]
+        slot_index = 0
+        for lane in range(lanes):
+            g = grouped[lane]
+            start = 0
+            for count in counts[lane][counts[lane] > 0]:
+                count = int(count)
+                times[slot_index, :count] = g[start:start + count]
+                start += count
+                slot_index += 1
+        times_t = np.empty((stride + 1, width), dtype=dt)
+        times_t[:stride] = times.T
+        times_t[stride] = sentinel[stride]
+        del times
+
+        # Slot targets of every event, precomputed in one vectorized
+        # pass: step ``index``'s first slot (sb) is ``slots_t[index]``
+        # and its drain limit is ``slots_t[index + 1]`` — the loop then
+        # reads row views instead of dispatching a multiply (and a
+        # floor-divide) per step.  ``lims_t`` carries the drain limit
+        # pre-shifted by ``period - 1`` so the per-step ceil-division
+        # is one subtract and one shift.
+        slots_t = np.multiply(times_t, num)
+        if den != 1:
+            np.floor_divide(slots_t, den, out=slots_t)
+        lims_t = slots_t + (period - 1)
+
+        # Delay-storage occupancy is a sliding-window count over D
+        # cycles, so it can never reach K when K > D (or K > the
+        # longest event list).  It is also bounded by queue dynamics:
+        # accepts in any window are at most Q plus the grants inside
+        # it (each accept needs queue headroom, and headroom only
+        # returns via grants), and a bank's grants sit at least
+        # ``period`` slots apart — so a window of D cycles (at most
+        # (D + 2) * num / den slots) holds at most
+        # Q + (D + 2) * num / (den * period) + 1 accepts.  When K
+        # exceeds that, skip the occupancy machinery entirely — this
+        # covers the queue-bound regime including large-K
+        # configurations like the paper's headline design points.
+        window_accept_bound_exceeded = (
+            (row_limit - queue_limit - 2) * period * den
+            >= (delay + 2) * num)
+        ds_possible = (row_limit <= delay and row_limit <= stride
+                       and not window_accept_bound_exceeded)
+
+        # Per-pair state and preallocated step buffers (all dtype dt).
+        queue = np.zeros(width, dtype=dt)
+        free_at = np.zeros(width, dtype=dt)
+        next_slot = np.zeros(width, dtype=dt)
+        bank_arr = (pair_ids % banks).astype(dt)
+
+        # Realignment targets align(sb) = sb + ((bank - sb) mod B) and
+        # the busy thresholds, one vectorized pass each instead of
+        # three-to-four dispatches per step.
+        aligned_t = np.subtract(bank_arr, slots_t)
+        if banks & (banks - 1) == 0:
+            np.bitwise_and(aligned_t, banks - 1, out=aligned_t)
+        else:
+            np.remainder(aligned_t, banks, out=aligned_t)
+        np.add(aligned_t, slots_t, out=aligned_t)
+
+        g_buf = np.empty(width, dtype=dt)
+        srv = np.empty(width, dtype=dt)
+        t0 = np.empty(width, dtype=dt)
+        t4 = np.empty(width, dtype=dt)
+        t5 = np.empty(width, dtype=dt)
+        qb = np.empty(width, dtype=dt)
+        busy = np.empty(width, dtype=bool)
+        okq = np.empty(width, dtype=bool)
+        okr = np.empty(width, dtype=bool)
+        acc_buf = np.empty(width, dtype=bool)
+        sent_buf = np.empty(width, dtype=bool)
+        nv = np.empty(width, dtype=bool)
+        rv = np.empty(width, dtype=bool)
+        did = np.empty(width, dtype=bool)
+        # Stall and delay-storage records, deferred: step ``index``
+        # writes ``~acc`` (and the delay-storage verdict) into row
+        # ``index`` — a contiguous view, one dispatch, no per-step
+        # counter updates — and the per-pair totals fall out of column
+        # sums at the end.
+        stalled = np.empty((stride, width), dtype=bool)
+
+        if ds_possible:
+            # Ring of each pair's last K accept times (cache-resident:
+            # K*width elements).  The delay-storage check "accepts in
+            # [t-D, t-1] >= K" is exactly "the K-th most recent accept
+            # happened at or after t-D" — the slot the next accept will
+            # overwrite.  No per-event history arrays needed.
+            ring = np.full(row_limit * width, -(delay + 2), dtype=dt)
+            ring_size = row_limit * width
+            pow2_ring = ring_size & (ring_size - 1) == 0
+            ptr = np.arange(width, dtype=np.intp)
+            ptr_adv = np.empty(width, dtype=np.intp)
+            old_t = np.empty(width, dtype=dt)
+            ds_mat = np.empty((stride, width), dtype=bool)
+            # The stall threshold ``t - D``, precomputed like the slot
+            # targets above.
+            tlow_t = times_t - delay
+
+        pow2_period = period & (period - 1) == 0
+        period_shift = period.bit_length() - 1
+
+        for index in range(stride):
+            tail = index >= min_cnt
+            # Acceptance decision, exactly fastsim's ordering of checks.
+            if ds_possible:
+                ds = ds_mat[index]
+                ring.take(ptr, out=old_t)
+                np.greater_equal(old_t, tlow_t[index], out=ds)
+                if tail:
+                    # Sentinels never delay-storage stall (their window
+                    # is empty by construction), but the ring may still
+                    # hold recent real accepts — mask them out.
+                    np.greater(cnts, index, out=rv)
+                    np.logical_and(ds, rv, out=ds)
+                np.logical_not(ds, out=okr)
+            np.greater(free_at, slots_t[index], out=busy)
+            np.add(queue, busy, out=qb)
+            np.less(qb, queue_limit, out=okq)
+            if ds_possible:
+                np.logical_and(okq, okr, out=acc_buf)
+                acc = acc_buf
+            else:
+                acc = okq
+            if tail:
+                # Sentinel events are accepted by fiat: leftover bank
+                # busy time can cross the horizon and would otherwise
+                # read as a phantom bank-queue stall.  (The forced
+                # accepts are the phantoms subtracted at the end.)
+                np.less_equal(cnts, index, out=nv)
+                np.logical_or(acc, nv, out=sent_buf)
+                acc = sent_buf
+            np.logical_not(acc, out=stalled[index])
+            if ds_possible:
+                # Accepts enter the ring where the oldest tracked
+                # accept just left; rejected pairs rewrite the old
+                # value (a no-op) and keep their pointer.
+                np.copyto(old_t, times_t[index], where=acc)
+                ring[ptr] = old_t
+                np.add(ptr, width, out=ptr_adv)
+                if pow2_ring:
+                    np.bitwise_and(ptr_adv, ring_size - 1, out=ptr_adv)
+                else:
+                    np.remainder(ptr_adv, ring_size, out=ptr_adv)
+                np.copyto(ptr, ptr_adv, where=acc)
+
+            # Keep the next grant opportunity current: an accept into an
+            # empty queue starts a fresh busy period at the earliest
+            # dedicated slot >= max(bank free, this cycle's first slot).
+            # That reduces to ``max(next_slot, align(sb))`` applied to
+            # *every* pair, no accept/empty-queue masks: a backlogged
+            # pair always has aligned next_slot >= sb (its last drain
+            # was limit-bound), and after a full drain next_slot already
+            # equals the aligned-up bank-free slot, so the unconditional
+            # maximum is a no-op exactly where the old value must win.
+            np.maximum(next_slot, aligned_t[index], out=next_slot)
+            np.add(queue, acc, out=queue)
+
+            # Drain the queue up to just before the pair's next arrival:
+            # grants = max(0, ceil((limit - next_slot) / period)), with
+            # the ceil shift baked into ``lims_t``; the final step reads
+            # the extra sentinel row, a drain past every real event.
+            np.subtract(lims_t[index + 1], next_slot, out=g_buf)
+            if pow2_period:
+                np.right_shift(g_buf, period_shift, out=g_buf)
+            else:
+                np.floor_divide(g_buf, period, out=g_buf)
+            np.maximum(g_buf, 0, out=g_buf)
+            np.minimum(g_buf, queue, out=srv)
+            np.subtract(queue, srv, out=queue)
+            np.multiply(srv, period, out=t0)
+            np.add(next_slot, t0, out=t4)
+            np.greater(srv, 0, out=did)
+            np.add(t4, latency - period, out=t5)
+            np.copyto(free_at, t5, where=did)
+            next_slot, t4 = t4, next_slot
+
+        # Per-pair totals from column sums of the deferred records; the
+        # forced sentinel accepts cancel out of ``cnts - stalls``.
+        stall_totals = stalled.sum(axis=0, dtype=np.int64)
+        if ds_possible:
+            ds_count = ds_mat.sum(axis=0, dtype=np.int64)
+        else:
+            ds_count = np.zeros(width, dtype=np.int64)
+        real_accepts = cnts - stall_totals
+        bq_count = stall_totals - ds_count
+        accepted_by_lane = np.bincount(lane_of, weights=real_accepts,
+                                       minlength=lanes).astype(np.int64)
+        ds_by_lane = np.bincount(lane_of, weights=ds_count,
+                                 minlength=lanes).astype(np.int64)
+        bq_by_lane = np.bincount(lane_of, weights=bq_count,
+                                 minlength=lanes).astype(np.int64)
+
+        # Decode the deferred stall matrix: ``stalled`` and ``times_t``
+        # share the step-major layout, so a flat hit index addresses the
+        # stalling event's time directly; its column is the pair slot.
+        hits = np.flatnonzero(stalled.ravel())
+        stall_cycles = self._collect_stall_cycles(
+            [times_t.ravel()[hits].astype(np.int64)],
+            [lane_of[hits % width]],
+        )
+        return BatchRunResult(
+            cycles=cycles,
+            lanes=lanes,
+            accepted=accepted_by_lane,
+            delay_storage_stalls=ds_by_lane,
+            bank_queue_stalls=bq_by_lane,
+            stall_cycles=stall_cycles,
+        )
+
+    # -- work-conserving round robin: per-cycle, lane-vectorized ----------
+
+    def _run_work_conserving(self, seq: np.ndarray,
+                             cycles: int) -> BatchRunResult:
+        """Cycle-stepped lanes with exact per-lane ready-deque emulation."""
+        config = self.config
+        lanes, banks = self.lanes, config.banks
+        num, den = self._num, self._den
+        latency = config.bank_latency
+        delay = config.normalized_delay
+        queue_limit = config.queue_depth
+        row_limit = config.delay_rows
+
+        queue = np.zeros((lanes, banks), dtype=np.int64)
+        rows = np.zeros((lanes, banks), dtype=np.int64)
+        free_at = np.zeros((lanes, banks), dtype=np.int64)
+        # Ready deque per lane: circular buffer of bank ids.  Each bank
+        # appears at most once (the enqueued flag), so capacity B.
+        ring = np.zeros((lanes, banks), dtype=np.int64)
+        head = np.zeros(lanes, dtype=np.int64)
+        size = np.zeros(lanes, dtype=np.int64)
+        enqueued = np.zeros((lanes, banks), dtype=bool)
+        release = np.full((lanes, delay), -1, dtype=np.int64)
+
+        ds_count = np.zeros(lanes, dtype=np.int64)
+        bq_count = np.zeros(lanes, dtype=np.int64)
+        accept_count = np.zeros(lanes, dtype=np.int64)
+        stall_time_chunks: List[np.ndarray] = []
+        stall_lane_chunks: List[np.ndarray] = []
+        all_lanes = np.arange(lanes)
+        slots_consumed = 0
+
+        def append_tail(lane_idx: np.ndarray, bank_idx: np.ndarray) -> None:
+            ring[lane_idx, (head[lane_idx] + size[lane_idx]) % banks] = \
+                bank_idx
+            size[lane_idx] += 1
+
+        for now in range(cycles):
+            ring_slot = now % delay
+            freed = release[:, ring_slot].copy()
+            release[:, ring_slot] = -1
+
+            # Arrival (idle lanes sit out this phase).
+            bank = seq[:, now]
+            arriving = np.flatnonzero(bank >= 0)
+            if arriving.size:
+                abank = bank[arriving].astype(np.int64)
+                busy = (free_at[arriving, abank] > slots_consumed)
+                ds_stall = rows[arriving, abank] >= row_limit
+                bq_stall = ~ds_stall & (
+                    queue[arriving, abank] + busy >= queue_limit)
+                accepted = ~ds_stall & ~bq_stall
+
+                ds_count[arriving] += ds_stall
+                bq_count[arriving] += bq_stall
+                accept_count[arriving] += accepted
+                stalled = ds_stall | bq_stall
+                if stalled.any():
+                    lanes_stalled = arriving[stalled]
+                    stall_time_chunks.append(
+                        np.full(lanes_stalled.size, now, dtype=np.int64))
+                    stall_lane_chunks.append(lanes_stalled)
+
+                acc_lane = arriving[accepted]
+                acc_bank = abank[accepted]
+                rows[acc_lane, acc_bank] += 1
+                queue[acc_lane, acc_bank] += 1
+                release[acc_lane, ring_slot] = acc_bank
+                fresh = ~enqueued[acc_lane, acc_bank]
+                if fresh.any():
+                    enqueued[acc_lane[fresh], acc_bank[fresh]] = True
+                    append_tail(acc_lane[fresh], acc_bank[fresh])
+
+            # Reply delivered after acceptance: apply the row release.
+            freed_lanes = np.flatnonzero(freed >= 0)
+            if freed_lanes.size:
+                rows[freed_lanes, freed[freed_lanes]] -= 1
+
+            # Memory-bus slots of this interface cycle (same count on
+            # every lane — the R ratio is config-wide).
+            target = (now + 1) * num // den
+            for slot in range(slots_consumed, target):
+                budget = size.copy()
+                granted = np.zeros(lanes, dtype=bool)
+                while True:
+                    scanning = np.flatnonzero(~granted & (budget > 0))
+                    if not scanning.size:
+                        break
+                    budget[scanning] -= 1
+                    top = ring[scanning, head[scanning]]
+                    head[scanning] = (head[scanning] + 1) % banks
+                    size[scanning] -= 1
+                    has_work = queue[scanning, top] > 0
+                    drained = scanning[~has_work]
+                    enqueued[drained, top[~has_work]] = False
+                    cand = scanning[has_work]
+                    cbank = top[has_work]
+                    issue = free_at[cand, cbank] <= slot
+                    go_lane, go_bank = cand[issue], cbank[issue]
+                    queue[go_lane, go_bank] -= 1
+                    free_at[go_lane, go_bank] = slot + latency
+                    granted[go_lane] = True
+                    more = queue[go_lane, go_bank] > 0
+                    if more.any():
+                        append_tail(go_lane[more], go_bank[more])
+                    done = ~more
+                    enqueued[go_lane[done], go_bank[done]] = False
+                    wait = ~issue
+                    if wait.any():
+                        append_tail(cand[wait], cbank[wait])
+            slots_consumed = target
+
+        _ = all_lanes  # lanes axis is implicit in the scatter updates
+        stall_cycles = self._collect_stall_cycles(stall_time_chunks,
+                                                  stall_lane_chunks)
+        return BatchRunResult(
+            cycles=cycles,
+            lanes=lanes,
+            accepted=accept_count,
+            delay_storage_stalls=ds_count,
+            bank_queue_stalls=bq_count,
+            stall_cycles=stall_cycles,
+        )
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _collect_stall_cycles(
+        self, time_chunks: List[np.ndarray], lane_chunks: List[np.ndarray],
+    ) -> List[np.ndarray]:
+        """Sorted per-lane stall cycle arrays, capped like fastsim."""
+        limit = self.stall_cycle_limit
+        if not time_chunks or limit <= 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(self.lanes)]
+        all_times = np.concatenate(time_chunks)
+        all_lanes = np.concatenate(lane_chunks)
+        out = []
+        for lane in range(self.lanes):
+            mine = np.sort(all_times[all_lanes == lane])
+            out.append(mine[:limit])
+        return out

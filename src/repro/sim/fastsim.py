@@ -29,6 +29,12 @@ from typing import Callable, List, Optional
 
 from repro.core.config import VPNMConfig
 
+#: Default cap on recorded stall cycles per run.  Long stall-heavy runs
+#: (an adversarial bench at full load can stall every few cycles) would
+#: otherwise grow ``FastRunResult.stall_cycles`` without bound; counts
+#: are always exact — only the recorded *cycle numbers* are truncated.
+STALL_CYCLE_LIMIT = 10_000
+
 
 @dataclass
 class FastRunResult:
@@ -58,8 +64,20 @@ class FastStallSimulator:
     """Occupancy-only simulation of the VPNM stall dynamics."""
 
     def __init__(self, config: VPNMConfig, seed: int = 0,
-                 bank_source: Optional[Callable[[], int]] = None):
+                 bank_source: Optional[Callable[[], int]] = None,
+                 stall_cycle_limit: int = STALL_CYCLE_LIMIT,
+                 stall_cycle_stride: int = 1):
+        if stall_cycle_limit < 0:
+            raise ValueError("stall_cycle_limit must be >= 0")
+        if stall_cycle_stride < 1:
+            raise ValueError("stall_cycle_stride must be >= 1")
         self.config = config
+        #: At most this many stall cycles are recorded per run (0
+        #: disables recording entirely); stall *counts* stay exact.
+        self.stall_cycle_limit = stall_cycle_limit
+        #: Opt-in subsampling: record every Nth stall, so a bounded
+        #: record still spans the whole horizon of a long run.
+        self.stall_cycle_stride = stall_cycle_stride
         self._rng = random.Random(seed)
         #: Callable returning the bank of the next request; defaults to
         #: uniform (the universal-hash reduction).  Adversarial benches
@@ -106,6 +124,9 @@ class FastStallSimulator:
         ds_stalls = 0
         bq_stalls = 0
         stall_cycles: List[int] = []
+        stall_limit = self.stall_cycle_limit
+        stall_stride = self.stall_cycle_stride
+        stall_seen = 0
         histogram: Optional[dict] = {} if track_backlog else None
 
         for offset in range(cycles):
@@ -129,12 +150,16 @@ class FastStallSimulator:
                     else 0
                 if rows[bank] >= row_limit:
                     ds_stalls += 1
-                    if len(stall_cycles) < 10_000:
+                    if len(stall_cycles) < stall_limit \
+                            and stall_seen % stall_stride == 0:
                         stall_cycles.append(now)
+                    stall_seen += 1
                 elif queue[bank] + busy_slot >= queue_limit:
                     bq_stalls += 1
-                    if len(stall_cycles) < 10_000:
+                    if len(stall_cycles) < stall_limit \
+                            and stall_seen % stall_stride == 0:
                         stall_cycles.append(now)
+                    stall_seen += 1
                 else:
                     accepted += 1
                     rows[bank] += 1

@@ -1,0 +1,86 @@
+"""Unit tests for the Wilson binomial intervals behind batch error bars."""
+
+import math
+
+import pytest
+
+from repro.analysis.confidence import (
+    BinomialInterval,
+    mts_interval,
+    stall_probability_interval,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_brackets_the_point_estimate(self):
+        ival = wilson_interval(40, 1000)
+        assert ival.estimate == pytest.approx(0.04)
+        assert 0.0 < ival.low < 0.04 < ival.high < 1.0
+
+    def test_zero_successes_keeps_positive_upper_bound(self):
+        """The rare-stall regime: no events observed is still information."""
+        ival = wilson_interval(0, 10_000)
+        assert ival.estimate == 0.0
+        assert ival.low == 0.0
+        assert 1e-6 < ival.high < 1e-3
+
+    def test_all_successes(self):
+        ival = wilson_interval(100, 100)
+        assert ival.estimate == 1.0
+        assert ival.high == 1.0
+        assert ival.low < 1.0
+
+    def test_narrows_with_more_trials(self):
+        wide = wilson_interval(4, 100)
+        narrow = wilson_interval(400, 10_000)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_widens_with_confidence(self):
+        ninety = wilson_interval(40, 1000, confidence=0.90)
+        ninety_nine = wilson_interval(40, 1000, confidence=0.99)
+        assert ninety_nine.low < ninety.low
+        assert ninety_nine.high > ninety.high
+
+    def test_non_tabulated_confidence_level(self):
+        """Levels outside the z-table go through the rational approx."""
+        tabulated = wilson_interval(40, 1000, confidence=0.95)
+        nearby = wilson_interval(40, 1000, confidence=0.951)
+        assert nearby.low == pytest.approx(tabulated.low, rel=1e-2)
+        assert nearby.high == pytest.approx(tabulated.high, rel=1e-2)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.0)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=0.0)
+
+    def test_contains(self):
+        ival = BinomialInterval(estimate=0.5, low=0.4, high=0.6,
+                                confidence=0.95)
+        assert 0.4 in ival and 0.5 in ival and 0.6 in ival
+        assert 0.39 not in ival and 0.61 not in ival
+
+
+class TestMtsInterval:
+    def test_inverts_the_probability_interval(self):
+        """MTS = 1/p is monotone, so the bounds map straight through."""
+        stalls, cycles = 50, 1_000_000
+        prob = stall_probability_interval(stalls, cycles)
+        mts, ival = mts_interval(stalls, cycles)
+        assert mts == pytest.approx(cycles / stalls)
+        assert ival.low == pytest.approx(1.0 / prob.high)
+        assert ival.high == pytest.approx(1.0 / prob.low)
+        assert ival.low < mts < ival.high
+
+    def test_zero_stalls_is_a_lower_bound(self):
+        mts, ival = mts_interval(0, 1_000_000)
+        assert mts is None
+        assert ival.high == math.inf
+        assert ival.low > 0.0  # the data still lower-bounds MTS

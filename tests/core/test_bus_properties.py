@@ -1,0 +1,165 @@
+"""Hypothesis properties of the bus arbiter's fairness guarantees.
+
+The Section 5.2 analysis assumes a backlogged bank drains one access
+per ``L`` memory cycles — which is only true if arbitration never
+starves a ready bank.  These properties pin that down against random
+arrival patterns:
+
+* **work-conserving**: a bank that stays ready is granted within
+  ``B`` grant slots — between two consecutive grants to the same
+  continuously-ready bank, at most ``B - 1`` other grants occur;
+* **strict**: slot ``m`` is only ever granted to bank ``m mod B``,
+  and the owner's slot never idles while the owner has work.
+
+The scheduler is duck-typed over its bank controllers and DRAM device,
+so the properties drive it with minimal fakes: a bank is a work
+counter, the device is always available (DRAM timing interactions are
+covered by the controller-level tests; fairness is an arbiter-only
+property).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bus import BusScheduler
+from repro.core.config import VPNMConfig
+
+
+class FakeBank:
+    """A bank controller reduced to a pending-work counter."""
+
+    def __init__(self, index, log):
+        self.index = index
+        self.pending = 0
+        self.log = log
+
+    def has_work(self):
+        return self.pending > 0
+
+    def issue_next(self, device, slot):
+        assert self.pending > 0, "granted a bank with no work"
+        self.pending -= 1
+        self.log.append((slot, self.index))
+
+
+class FakeDevice:
+    """DRAM whose banks are always free: isolates arbiter behaviour."""
+
+    def bank_available(self, bank_index, slot):
+        return True
+
+
+def make_bus(banks, ratio, skip_idle):
+    config = VPNMConfig(banks=banks, bank_latency=4, queue_depth=4,
+                        delay_rows=8, bus_scaling=ratio, hash_latency=0,
+                        skip_idle_slots=skip_idle, address_bits=16)
+    log = []
+    controllers = [FakeBank(i, log) for i in range(banks)]
+    return BusScheduler(config, FakeDevice(), controllers), controllers, log
+
+
+def arrival_pattern(max_banks):
+    """Per-cycle lists of bank indices receiving one command each."""
+    return st.lists(
+        st.lists(st.integers(0, max_banks - 1), max_size=6),
+        min_size=1, max_size=80,
+    )
+
+
+@given(
+    banks=st.sampled_from([2, 4, 8]),
+    ratio=st.sampled_from([1.0, 1.3, 1.5]),
+    arrivals=arrival_pattern(8),
+)
+@settings(max_examples=60, deadline=None)
+def test_work_conserving_never_starves_a_ready_bank(banks, ratio, arrivals):
+    bus, controllers, log = make_bus(banks, ratio, skip_idle=True)
+
+    # grants_waited[i] counts grants given to other banks while bank i
+    # was ready; fairness says it never reaches B.
+    grants_waited = [0] * banks
+
+    for cycle, cycle_arrivals in enumerate(arrivals):
+        for bank in cycle_arrivals:
+            if bank < banks:
+                controllers[bank].pending += 1
+                bus.notify_work(bank)
+        before = len(log)
+        bus.run_cycle(cycle)
+        for slot, granted in log[before:]:
+            for i, controller in enumerate(controllers):
+                if i == granted:
+                    grants_waited[i] = 0
+                elif controller.has_work():
+                    grants_waited[i] += 1
+                    assert grants_waited[i] < banks, (
+                        f"bank {i} starved for {grants_waited[i]} grants"
+                    )
+
+    # Conservation: every grant consumed exactly one queued command.
+    queued = sum(len([b for b in cyc if b < banks]) for cyc in arrivals)
+    left = sum(c.pending for c in controllers)
+    assert len(log) == queued - left
+    assert bus.slots_used == len(log)
+    assert bus.slots_used + bus.slots_idled == bus.slots_consumed
+
+
+@given(
+    banks=st.sampled_from([2, 4, 8]),
+    ratio=st.sampled_from([1.0, 1.3]),
+    arrivals=arrival_pattern(8),
+)
+@settings(max_examples=60, deadline=None)
+def test_strict_grants_only_the_slot_owner(banks, ratio, arrivals):
+    bus, controllers, log = make_bus(banks, ratio, skip_idle=False)
+
+    for cycle, cycle_arrivals in enumerate(arrivals):
+        for bank in cycle_arrivals:
+            if bank < banks:
+                controllers[bank].pending += 1
+                bus.notify_work(bank)
+        slot_before = bus.slots_consumed
+        before = len(log)
+        bus.run_cycle(cycle)
+        granted_slots = {slot for slot, _ in log[before:]}
+        for slot, granted in log[before:]:
+            # Ownership: strict round robin never crosses lanes.
+            assert granted == slot % banks
+        # Work conservation: arrivals all land before the cycle runs and
+        # only grants drain work, so a slot can idle only if its owner
+        # was already empty — in which case the owner is still empty at
+        # the end of the cycle.
+        for slot in range(slot_before, bus.slots_consumed):
+            if slot not in granted_slots:
+                assert not controllers[slot % banks].has_work(), (
+                    f"slot {slot} idled while bank {slot % banks} "
+                    "had issueable work"
+                )
+
+    # A granted bank always had work at grant time (asserted in the
+    # fake); totals reconcile.
+    assert bus.slots_used == len(log)
+    assert bus.slots_used + bus.slots_idled == bus.slots_consumed
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_strict_owner_with_work_is_always_granted(data):
+    """Single-bank focus: the owner's slot is used iff work is pending."""
+    banks = data.draw(st.sampled_from([2, 4]))
+    bus, controllers, log = make_bus(banks, 1.0, skip_idle=False)
+    target = data.draw(st.integers(0, banks - 1))
+    cycles = data.draw(st.integers(8, 40))
+
+    # Give the target bank a deep backlog and nobody else anything.
+    controllers[target].pending = cycles
+    bus.notify_work(target)
+    for cycle in range(cycles):
+        bus.run_cycle(cycle)
+
+    # At R=1.0 one slot elapses per cycle; the target owns every B-th
+    # slot and, backlogged throughout, must be granted on each of them.
+    expected = len([s for s in range(cycles) if s % banks == target])
+    assert len(log) == expected
+    assert all(granted == target for _, granted in log)
+    assert all(slot % banks == target for slot, _ in log)

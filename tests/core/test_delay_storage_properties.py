@@ -1,0 +1,138 @@
+"""Hypothesis property: delay-storage refcount conservation.
+
+The merging queue's correctness hinges on one conservation law — every
+reply promised to a requester is backed by exactly one reference, so at
+all times::
+
+    sum(row.counter for live rows) == references_issued - replies_consumed
+
+and a row recycles exactly when its counter hits zero with no bank
+access pending.  The stateful machine in
+``test_delay_storage_stateful.py`` fuzzes API legality; this property
+drives random *interleavings of merge and release* through a small
+interpreter and checks the global ledger after every step, which is
+what guards against double-free and leaked-row bugs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delay_storage import DelayStorageBuffer
+
+ROWS = 4
+COUNTER_BITS = 2  # max 3 references: saturation is easy to reach
+
+# An op is (kind, key): key selects an address for alloc/merge and a
+# victim position for fill/consume.
+OPS = st.lists(
+    st.tuples(st.sampled_from(["alloc", "merge", "fill", "consume"]),
+              st.integers(0, 7)),
+    min_size=1, max_size=120,
+)
+
+
+@given(ops=OPS)
+@settings(max_examples=120, deadline=None)
+def test_refcount_conservation_under_interleaved_merge_release(ops):
+    buffer = DelayStorageBuffer(rows=ROWS, counter_bits=COUNTER_BITS)
+
+    issued = 0     # references handed out (alloc grants 1, merge adds 1)
+    consumed = 0   # replies delivered
+    live = {}      # row_id -> pending flag (shadow of access_pending)
+    clock = 0
+
+    for kind, key in ops:
+        clock += 1
+        if kind == "alloc":
+            address = key
+            if buffer.lookup(address) is not None:
+                continue  # CAM hit: the API requires merging instead
+            row_id = buffer.allocate(address)
+            if row_id is not None:
+                assert row_id not in live, "allocated a live row"
+                live[row_id] = True
+                issued += 1
+        elif kind == "merge":
+            address = key
+            row_id = buffer.lookup(address)
+            if row_id is not None and buffer.can_reference(row_id):
+                buffer.add_reference(row_id)
+                issued += 1
+        elif kind == "fill":
+            pending = sorted(r for r, p in live.items() if p)
+            if not pending:
+                continue
+            row_id = pending[key % len(pending)]
+            counter_before = buffer.rows[row_id].counter
+            buffer.fill(row_id, data=("d", clock), ready_at_mem=clock)
+            if counter_before == 0:
+                del live[row_id]  # last reply already out: row recycles
+            else:
+                live[row_id] = False
+        else:  # consume
+            referenced = sorted(
+                r for r in live if buffer.rows[r].counter > 0)
+            if not referenced:
+                continue
+            row_id = referenced[key % len(referenced)]
+            counter_before = buffer.rows[row_id].counter
+            buffer.consume(row_id, mem_now=clock)
+            consumed += 1
+            if counter_before == 1 and not live[row_id]:
+                del live[row_id]  # last reference, access done: free
+
+        # -- the ledger, checked after every single step ----------------
+        total_refs = sum(buffer.rows[r].counter for r in live)
+        assert total_refs == issued - consumed, (
+            f"conservation broken after {kind}: {total_refs} refs held, "
+            f"{issued} issued - {consumed} consumed"
+        )
+        # Row lifecycle: live set and free list partition the buffer.
+        assert buffer.rows_used == len(live)
+        for row_id, pending in live.items():
+            row = buffer.rows[row_id]
+            assert row.in_use
+            assert row.access_pending == pending
+        for row_id in range(ROWS):
+            if row_id not in live:
+                row = buffer.rows[row_id]
+                assert not row.in_use
+                assert row.counter == 0
+                assert row.address is None
+        # The CAM only points at live, address-valid rows.
+        for address, row_id in buffer._cam.items():
+            assert row_id in live
+            assert buffer.rows[row_id].address == address
+            assert buffer.rows[row_id].address_valid
+
+    # Drain everything: consume every remaining reference, fill every
+    # pending access; the buffer must come back empty.
+    for row_id in sorted(live):
+        row = buffer.rows[row_id]
+        while row.counter > 0:
+            buffer.consume(row_id, mem_now=clock)
+            consumed += 1
+        if row.access_pending:
+            buffer.fill(row_id, data="drain", ready_at_mem=clock)
+    assert buffer.rows_used == 0
+    assert issued == consumed
+    assert sorted(buffer._free_heap) == list(range(ROWS))
+
+
+@given(merges=st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_saturating_counter_refuses_extra_references(merges):
+    """A C-bit counter admits 2^C - 1 requesters; the rest must retry."""
+    buffer = DelayStorageBuffer(rows=2, counter_bits=2)
+    row_id = buffer.allocate(0xAB)
+    granted = 1
+    for _ in range(merges):
+        if buffer.can_reference(row_id):
+            buffer.add_reference(row_id)
+            granted += 1
+    assert granted == min(1 + merges, buffer.max_count)
+    # Releasing one reference reopens exactly one merge slot.
+    if granted == buffer.max_count:
+        buffer.fill(row_id, data="x", ready_at_mem=0)
+        buffer.consume(row_id, mem_now=0)
+        assert buffer.can_reference(row_id)

@@ -1,0 +1,234 @@
+"""Unit tests for the batch engine and the sharded batch runner.
+
+Exactness against the scalar simulator lives in
+``test_batchsim_differential.py``; this file covers everything else:
+the determinism contract (lane results as a pure function of
+``(config, seed, cycles, idle)``), input validation, result-object
+arithmetic, and the :class:`BatchRunner` guarantees — shard-size and
+worker-count invariance, checkpoint resume without recompute, and the
+confidence intervals it reports.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import VPNMConfig
+from repro.core.exceptions import ConfigurationError
+from repro.sim.batchrunner import BatchRunner, lane_seeds
+from repro.sim.batchsim import BatchRunResult, BatchStallSimulator
+
+# Tight enough to stall within a few thousand cycles, one config per
+# engine strategy.
+STRICT = VPNMConfig(banks=4, bank_latency=9, queue_depth=2, delay_rows=3,
+                    bus_scaling=1.3, hash_latency=0, skip_idle_slots=False)
+WORKC = VPNMConfig(banks=4, bank_latency=9, queue_depth=2, delay_rows=3,
+                   bus_scaling=1.3, hash_latency=0, skip_idle_slots=True)
+CYCLES = 4000
+
+
+def _as_tuple(result):
+    return (
+        result.accepted.tolist(),
+        result.delay_storage_stalls.tolist(),
+        result.bank_queue_stalls.tolist(),
+        [cycles.tolist() for cycles in result.stall_cycles],
+    )
+
+
+@pytest.mark.parametrize("config", [STRICT, WORKC],
+                         ids=["strict", "work-conserving"])
+class TestDeterminism:
+    def test_same_seeds_same_results(self, config):
+        first = BatchStallSimulator(config, [3, 4, 5]).run(CYCLES)
+        second = BatchStallSimulator(config, [3, 4, 5]).run(CYCLES)
+        assert _as_tuple(first) == _as_tuple(second)
+        assert first.total_stalls > 0  # the config actually stalls
+
+    def test_lane_independent_of_batch_composition(self, config):
+        """A lane's results don't depend on which lanes ride along."""
+        alone = BatchStallSimulator(config, [7]).run(CYCLES)
+        grouped = BatchStallSimulator(config, [5, 7, 9]).run(CYCLES)
+        assert int(grouped.accepted[1]) == int(alone.accepted[0])
+        assert (int(grouped.delay_storage_stalls[1])
+                == int(alone.delay_storage_stalls[0]))
+        assert (int(grouped.bank_queue_stalls[1])
+                == int(alone.bank_queue_stalls[0]))
+        assert (grouped.stall_cycles[1].tolist()
+                == alone.stall_cycles[0].tolist())
+
+    def test_idle_probability_changes_stream(self, config):
+        busy = BatchStallSimulator(config, [3]).run(CYCLES)
+        idle = BatchStallSimulator(config, [3]).run(CYCLES,
+                                                   idle_probability=0.5)
+        assert int(idle.accepted[0]) < int(busy.accepted[0])
+
+
+class TestValidation:
+    def test_rejects_empty_seed_list(self):
+        with pytest.raises(ConfigurationError):
+            BatchStallSimulator(STRICT, [])
+
+    def test_rejects_wrong_sequence_shape(self):
+        sim = BatchStallSimulator(STRICT, [1, 2])
+        with pytest.raises(ConfigurationError):
+            sim.run(100, bank_sequences=np.zeros((3, 100), dtype=np.int32))
+
+    def test_rejects_out_of_range_bank(self):
+        sim = BatchStallSimulator(STRICT, [1])
+        seq = np.zeros((1, 100), dtype=np.int32)
+        seq[0, 50] = STRICT.banks  # one past the last bank
+        with pytest.raises(ConfigurationError):
+            sim.run(100, bank_sequences=seq)
+
+
+class TestBatchRunResult:
+    def test_aggregates(self):
+        result = BatchRunResult(
+            cycles=1000, lanes=2,
+            accepted=np.array([900, 950]),
+            delay_storage_stalls=np.array([60, 10]),
+            bank_queue_stalls=np.array([40, 40]),
+            stall_cycles=[np.array([1, 2]), np.array([3])],
+        )
+        assert result.stalls.tolist() == [100, 50]
+        assert result.total_cycles == 2000
+        assert result.total_stalls == 150
+        assert result.stall_probability == pytest.approx(0.075)
+        assert result.empirical_mts == pytest.approx(2000 / 150)
+
+    def test_lane_result_round_trip(self):
+        batch = BatchStallSimulator(STRICT, [3, 4]).run(CYCLES)
+        lane = batch.lane_result(1)
+        assert lane.cycles == CYCLES
+        assert lane.accepted == int(batch.accepted[1])
+        assert lane.stalls == int(batch.stalls[1])
+        assert lane.stall_cycles == batch.stall_cycles[1].tolist()
+
+    def test_stall_free_run_reports_none_mts(self):
+        roomy = VPNMConfig(banks=8, bank_latency=2, queue_depth=16,
+                           delay_rows=64, bus_scaling=1.3, hash_latency=0,
+                           skip_idle_slots=False)
+        result = BatchStallSimulator(roomy, [1]).run(2000)
+        assert result.total_stalls == 0
+        assert result.empirical_mts is None
+        assert result.stall_probability == 0.0
+
+
+class TestLaneSeeds:
+    def test_stable_and_distinct(self):
+        seeds = lane_seeds(12345, 16)
+        assert seeds == lane_seeds(12345, 16)
+        assert len(set(seeds)) == 16
+        assert seeds[:8] == lane_seeds(12345, 8)  # prefix-stable
+
+    def test_root_seed_matters(self):
+        assert lane_seeds(1, 4) != lane_seeds(2, 4)
+
+
+class TestBatchRunner:
+    def test_requires_seeds_or_lanes(self):
+        with pytest.raises(ConfigurationError):
+            BatchRunner(STRICT)
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ConfigurationError):
+            BatchRunner(STRICT, lanes=0)
+        with pytest.raises(ConfigurationError):
+            BatchRunner(STRICT, seeds=[])
+
+    def test_rejects_contradictory_lanes(self):
+        with pytest.raises(ConfigurationError):
+            BatchRunner(STRICT, seeds=[1, 2, 3], lanes=4)
+
+    def test_rejects_bad_shard_and_worker_counts(self):
+        with pytest.raises(ConfigurationError):
+            BatchRunner(STRICT, lanes=4, shard_lanes=0)
+        with pytest.raises(ConfigurationError):
+            BatchRunner(STRICT, lanes=4, workers=0)
+
+    def test_shard_size_invariance(self):
+        """Aggregate statistics don't depend on how lanes are sharded."""
+        seeds = lane_seeds(7, 6)
+        reports = [
+            BatchRunner(STRICT, seeds=seeds, shard_lanes=n).run(CYCLES)
+            for n in (1, 2, 6)
+        ]
+        reference = reports[0]
+        assert reference.total_stalls > 0
+        for report in reports[1:]:
+            assert report.accepted.tolist() == reference.accepted.tolist()
+            assert (report.delay_storage_stalls.tolist()
+                    == reference.delay_storage_stalls.tolist())
+            assert (report.bank_queue_stalls.tolist()
+                    == reference.bank_queue_stalls.tolist())
+
+    def test_checkpoint_resume_skips_finished_shards(self, tmp_path,
+                                                     monkeypatch):
+        """A resumed campaign must not recompute checkpointed shards."""
+        runner = BatchRunner(STRICT, lanes=4, seed=3, shard_lanes=2,
+                             checkpoint_dir=str(tmp_path))
+        first = runner.run(CYCLES)
+        checkpoints = sorted(os.listdir(tmp_path))
+        assert checkpoints == ["shard_00000.json", "shard_00001.json"]
+
+        # Poison the simulation: if resume touches it, the test fails.
+        def boom(args):
+            raise AssertionError("shard was recomputed on resume")
+
+        monkeypatch.setattr("repro.sim.batchrunner._run_shard", boom)
+        resumed = BatchRunner(STRICT, lanes=4, seed=3, shard_lanes=2,
+                              checkpoint_dir=str(tmp_path)).run(CYCLES)
+        assert resumed.accepted.tolist() == first.accepted.tolist()
+        assert resumed.total_stalls == first.total_stalls
+
+    def test_stale_checkpoints_are_recomputed(self, tmp_path):
+        """A checkpoint from different run parameters must be ignored."""
+        BatchRunner(STRICT, lanes=2, seed=3, shard_lanes=2,
+                    checkpoint_dir=str(tmp_path)).run(CYCLES)
+        # Same seeds, different cycle count -> different fingerprint.
+        fresh = BatchRunner(STRICT, lanes=2, seed=3, shard_lanes=2,
+                            checkpoint_dir=str(tmp_path)).run(CYCLES // 2)
+        direct = BatchRunner(STRICT, lanes=2, seed=3,
+                             shard_lanes=2).run(CYCLES // 2)
+        assert fresh.accepted.tolist() == direct.accepted.tolist()
+        assert fresh.total_stalls == direct.total_stalls
+
+    def test_corrupt_checkpoint_is_recomputed(self, tmp_path):
+        runner = BatchRunner(STRICT, lanes=2, seed=3, shard_lanes=2,
+                             checkpoint_dir=str(tmp_path))
+        reference = runner.run(CYCLES)
+        path = tmp_path / "shard_00000.json"
+        path.write_text("{ truncated")
+        recovered = BatchRunner(STRICT, lanes=2, seed=3, shard_lanes=2,
+                                checkpoint_dir=str(tmp_path)).run(CYCLES)
+        assert recovered.accepted.tolist() == reference.accepted.tolist()
+        # And the checkpoint was rewritten intact.
+        json.loads(path.read_text())
+
+    def test_multiprocess_matches_inline(self):
+        """Worker processes produce the same aggregate as inline runs."""
+        seeds = lane_seeds(11, 4)
+        inline = BatchRunner(STRICT, seeds=seeds, shard_lanes=2,
+                             workers=1).run(CYCLES)
+        pooled = BatchRunner(STRICT, seeds=seeds, shard_lanes=2,
+                             workers=2).run(CYCLES)
+        assert pooled.accepted.tolist() == inline.accepted.tolist()
+        assert (pooled.delay_storage_stalls.tolist()
+                == inline.delay_storage_stalls.tolist())
+        assert (pooled.bank_queue_stalls.tolist()
+                == inline.bank_queue_stalls.tolist())
+
+    def test_report_intervals(self):
+        report = BatchRunner(STRICT, lanes=4, seed=5,
+                             shard_lanes=4).run(CYCLES)
+        assert report.total_stalls > 0
+        prob = report.stall_probability
+        assert prob.low <= prob.estimate <= prob.high
+        ival = report.mts_interval
+        assert ival.low < report.empirical_mts < ival.high
+        assert report.empirical_mts in ival
+        summary = report.summary()
+        assert "stalls" in summary and "MTS" in summary

@@ -1,0 +1,89 @@
+"""Regression tests for the bounded stall-cycle record.
+
+``FastRunResult.stall_cycles`` once grew one entry per stall: an
+adversarial full-load run stalling every few cycles would accumulate
+hundreds of millions of ints over a long campaign.  The fix bounds the
+record (``stall_cycle_limit``, default 10k) with optional subsampling
+(``stall_cycle_stride``) — while keeping the stall *counts* exact.
+These tests pin every piece of that contract.
+"""
+
+import pytest
+
+from repro.core import VPNMConfig
+from repro.sim.fastsim import STALL_CYCLE_LIMIT, FastStallSimulator
+
+# One bank, shallow queue: stalls on most cycles, so a short run
+# produces far more stalls than a small record limit.
+HOSTILE = VPNMConfig(banks=1, bank_latency=8, queue_depth=1, delay_rows=2,
+                     bus_scaling=1.0, hash_latency=0)
+CYCLES = 5000
+
+
+def test_default_limit_is_bounded():
+    # ~7/8 of cycles stall on this config; 15k cycles overflow the
+    # default 10k record cap.
+    result = FastStallSimulator(HOSTILE, seed=1).run(3 * CYCLES)
+    assert result.stalls > STALL_CYCLE_LIMIT
+    assert len(result.stall_cycles) == STALL_CYCLE_LIMIT
+
+
+def test_record_cap_honoured_and_counts_stay_exact():
+    unlimited = FastStallSimulator(
+        HOSTILE, seed=1, stall_cycle_limit=10**9).run(CYCLES)
+    capped = FastStallSimulator(
+        HOSTILE, seed=1, stall_cycle_limit=100).run(CYCLES)
+
+    assert len(unlimited.stall_cycles) == unlimited.stalls > 100
+    assert len(capped.stall_cycles) == 100
+    # The cap records a prefix, not an arbitrary subset.
+    assert capped.stall_cycles == unlimited.stall_cycles[:100]
+    # Counts are untouched by the recording cap.
+    assert capped.stalls == unlimited.stalls
+    assert capped.accepted == unlimited.accepted
+    assert capped.delay_storage_stalls == unlimited.delay_storage_stalls
+    assert capped.bank_queue_stalls == unlimited.bank_queue_stalls
+
+
+def test_zero_limit_disables_recording():
+    result = FastStallSimulator(
+        HOSTILE, seed=1, stall_cycle_limit=0).run(CYCLES)
+    assert result.stall_cycles == []
+    assert result.stalls > 0
+    assert result.empirical_mts is not None
+
+
+def test_stride_subsamples_across_the_horizon():
+    """Every Nth stall is recorded, so a bounded record spans the run."""
+    unlimited = FastStallSimulator(
+        HOSTILE, seed=1, stall_cycle_limit=10**9).run(CYCLES)
+    strided = FastStallSimulator(
+        HOSTILE, seed=1, stall_cycle_limit=10**9,
+        stall_cycle_stride=7).run(CYCLES)
+
+    assert strided.stalls == unlimited.stalls
+    assert strided.stall_cycles == unlimited.stall_cycles[::7]
+    # With a limit too, the record covers stride * limit stalls' worth
+    # of horizon instead of just the first `limit` stalls.
+    both = FastStallSimulator(
+        HOSTILE, seed=1, stall_cycle_limit=50,
+        stall_cycle_stride=7).run(CYCLES)
+    assert both.stall_cycles == unlimited.stall_cycles[::7][:50]
+    assert both.stall_cycles[-1] > unlimited.stall_cycles[49]
+
+
+def test_stride_one_is_the_identity():
+    default = FastStallSimulator(HOSTILE, seed=3).run(1000)
+    explicit = FastStallSimulator(
+        HOSTILE, seed=3, stall_cycle_stride=1).run(1000)
+    assert default.stall_cycles == explicit.stall_cycles
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(stall_cycle_limit=-1),
+    dict(stall_cycle_stride=0),
+    dict(stall_cycle_stride=-3),
+])
+def test_invalid_record_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FastStallSimulator(HOSTILE, seed=0, **kwargs)

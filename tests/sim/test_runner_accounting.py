@@ -1,0 +1,120 @@
+"""Regression tests for the runner's stall-accounting ledger.
+
+Every offered request must be accounted for exactly once per policy:
+
+* ``drop``   — ``offered == accepted + dropped`` and ``retries == 0``;
+  the controller's own stall counter equals the drop count (one stall
+  recorded per abandoned request, never more).
+* ``stall``  — nothing is ever lost (``dropped == 0``, every offered
+  request is eventually accepted) and the controller's stall counter
+  equals the runner's retry counter: a request rejected N times shows
+  up as N stalls and N retries, *not* N+1 of either and not 1 of
+  either — the double-count / under-count regressions this file pins.
+
+Configs are deliberately hostile (one bank, shallow queue, tiny delay
+storage) so both stall mechanisms actually fire within a short run.
+"""
+
+import pytest
+
+from repro.core import VPNMConfig, VPNMController
+from repro.sim.runner import run_workload
+from repro.workloads.generators import uniform_reads
+
+ADDRESS_BITS = 16
+
+# (params, label): both stall reasons represented.
+HOSTILE = [
+    (dict(banks=2, bank_latency=8, queue_depth=1, delay_rows=64),
+     "bank-queue-bound"),
+    (dict(banks=2, bank_latency=2, queue_depth=8, delay_rows=2),
+     "delay-storage-bound"),
+    (dict(banks=1, bank_latency=8, queue_depth=1, delay_rows=2),
+     "both-mechanisms"),
+]
+
+
+def make_controller(stall_policy, params):
+    config = VPNMConfig(address_bits=ADDRESS_BITS, hash_latency=0,
+                        stall_policy=stall_policy, **params)
+    return VPNMController(config, seed=0)
+
+
+@pytest.mark.parametrize("params,label", HOSTILE,
+                         ids=[label for _, label in HOSTILE])
+class TestDropPolicyLedger:
+    def test_offered_splits_into_accepted_plus_dropped(self, params, label):
+        ctrl = make_controller("drop", params)
+        result = run_workload(
+            ctrl, uniform_reads(address_bits=ADDRESS_BITS, count=200))
+        assert result.dropped > 0, (label, "config not hostile enough")
+        assert result.offered == 200
+        assert result.accepted + result.dropped == result.offered
+        assert result.retries == 0  # drop never re-offers
+
+    def test_controller_stalls_equal_drops(self, params, label):
+        """One stall per abandoned request — no double counting."""
+        ctrl = make_controller("drop", params)
+        result = run_workload(
+            ctrl, uniform_reads(address_bits=ADDRESS_BITS, count=200))
+        assert result.stats.stalls == result.dropped
+        assert result.stats.dropped_requests == result.dropped
+        assert sum(result.stats.stall_reasons.values()) == result.dropped
+
+    def test_replies_match_accepts(self, params, label):
+        """A dropped read must not produce a reply, an accepted one must."""
+        ctrl = make_controller("drop", params)
+        result = run_workload(
+            ctrl, uniform_reads(address_bits=ADDRESS_BITS, count=200))
+        assert len(result.replies) == result.accepted
+        assert result.stats.reads_accepted == result.accepted
+
+
+@pytest.mark.parametrize("params,label", HOSTILE,
+                         ids=[label for _, label in HOSTILE])
+class TestStallPolicyLedger:
+    def test_nothing_is_lost(self, params, label):
+        ctrl = make_controller("stall", params)
+        result = run_workload(
+            ctrl, uniform_reads(address_bits=ADDRESS_BITS, count=200))
+        assert result.retries > 0, (label, "config not hostile enough")
+        assert result.dropped == 0
+        assert result.accepted == result.offered == 200
+        assert len(result.replies) == 200
+
+    def test_controller_stalls_equal_retries(self, params, label):
+        """A request rejected N times is N stalls and N retries.
+
+        The retry loop re-offers the same request object each cycle, so
+        an off-by-one here (counting the eventual acceptance as a stall,
+        or the first rejection as two) would break the equality.
+        """
+        ctrl = make_controller("stall", params)
+        result = run_workload(
+            ctrl, uniform_reads(address_bits=ADDRESS_BITS, count=200))
+        assert result.stats.stalls == result.retries
+        assert sum(result.stats.stall_reasons.values()) == result.retries
+
+    def test_stall_cycles_are_rejection_cycles(self, params, label):
+        """Recorded stall cycles are strictly increasing rejected cycles."""
+        ctrl = make_controller("stall", params)
+        result = run_workload(
+            ctrl, uniform_reads(address_bits=ADDRESS_BITS, count=200))
+        cycles = result.stats.stall_cycles
+        assert len(cycles) == result.retries
+        assert all(a < b for a, b in zip(cycles, cycles[1:]))
+
+
+def test_policies_agree_on_offered_work():
+    """Both policies see the same stream; only the split differs."""
+    params = HOSTILE[2][0]
+    drop = run_workload(
+        make_controller("drop", params),
+        uniform_reads(address_bits=ADDRESS_BITS, count=150))
+    stall = run_workload(
+        make_controller("stall", params),
+        uniform_reads(address_bits=ADDRESS_BITS, count=150))
+    assert drop.offered == stall.offered == 150
+    # Ledger closes on both sides.
+    assert drop.accepted + drop.dropped == 150
+    assert stall.accepted == 150

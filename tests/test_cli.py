@@ -102,3 +102,35 @@ class TestSweepAndTables:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMts:
+    HOSTILE = ["--banks", "4", "--bank-latency", "9", "--queue-depth", "2",
+               "--delay-rows", "3", "--ratio", "1.3"]
+
+    def test_batch_campaign_reports_error_bars(self, capsys):
+        code = main(["mts", *self.HOSTILE, "--cycles", "4000",
+                     "--lanes", "4", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strict arbitration" in out
+        assert "Wilson" in out
+        assert "per-lane stalls" in out
+
+    def test_work_conserving_engine(self, capsys):
+        code = main(["mts", *self.HOSTILE, "--engine", "work-conserving",
+                     "--cycles", "3000", "--lanes", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "work-conserving arbitration" in out
+
+    def test_checkpoints_land_in_directory(self, capsys, tmp_path):
+        argv = ["mts", *self.HOSTILE, "--cycles", "2000", "--lanes", "4",
+                "--shard-lanes", "2", "--checkpoint-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        import os
+        assert len(os.listdir(tmp_path)) == 2
+        # Rerun resumes from the checkpoints and reports identically.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first

@@ -74,61 +74,85 @@ def test_fig4_delay_buffer_mts(benchmark):
     report("fig4_delay_buffer_mts", render(table))
 
 
-def test_fig4_empirical_batch(fast_mode, benchmark):
-    """Empirical MTS points on the Figure 4 axis from the batch engine.
+def test_fig4_empirical_batch(fast_mode, benchmark, tmp_path):
+    """Empirical MTS points on the Figure 4 axis, via the orchestrator.
 
     The curve test above is pure math; this run drops simulated points
-    onto the same axis: MTS vs K at a configuration scaled down until
-    delay-storage stalls are observable within 2M lane-cycles.  The
-    Section 5.1 closed form is a rare-stall bound, so the quantitative
-    band is only asserted at the largest K (where stalls are rare and
-    windows barely overlap); for smaller K we assert the shape — MTS
-    strictly increasing in K — and that every stall is attributed to
-    the delay-storage buffer, never the bank queues.
+    onto the same axis: a 4-value K grid at a configuration scaled down
+    until delay-storage stalls are observable, driven end to end
+    through :class:`~repro.sim.campaign.SweepCampaign` — including an
+    interrupt/resume proof (a campaign stopped after two cells and
+    resumed must aggregate bit-identically to an uninterrupted one) —
+    and overlaid on the Section 5.1 closed form with Wilson error bars.
+    The closed form is a rare-stall bound, so the quantitative band is
+    only asserted at the largest K; for smaller K we assert the shape —
+    MTS strictly increasing in K — and that every stall is attributed
+    to the delay-storage buffer, never the bank queues.
     """
-    from repro.core import VPNMConfig
-    from repro.sim.batchsim import BatchStallSimulator
+    from repro.analysis.overlay import (
+        overlay_point,
+        render_overlay_chart,
+        render_overlay_table,
+    )
+    from repro.sim.campaign import SweepCampaign, fig4_grid
 
-    seeds = list(range(1, 9))
     cycles = 250_000
-    k_values = [16, 18, 20]
+    lanes = 8
+    k_values = [14, 16, 18, 20]
+    cells = fig4_grid(k_values, banks=8, bank_latency=2, queue_depth=16,
+                      bus_scaling=1.3, cycles=cycles, lanes=lanes)
 
-    def run_points():
-        points = []
-        for rows in k_values:
-            config = VPNMConfig(banks=8, bank_latency=2, queue_depth=16,
-                                delay_rows=rows, bus_scaling=1.3,
-                                hash_latency=0, skip_idle_slots=False)
-            result = BatchStallSimulator(config, seeds).run(cycles)
-            predicted = delay_buffer_mts(
-                rows, config.normalized_delay, config.banks, tail="exact")
-            points.append((rows, config.normalized_delay, result, predicted))
-        return points
+    def run_campaign():
+        # Interrupted run: two cells, then a fresh orchestrator resumes
+        # the remainder from the manifest + shard checkpoints.
+        interrupted = SweepCampaign(str(tmp_path / "resumed"), cells,
+                                    seed=4, shard_lanes=4)
+        first = interrupted.run(max_cells=2)
+        assert len(first) == 2
+        resumed = SweepCampaign(str(tmp_path / "resumed"), cells, seed=4)
+        resumed.run()
+        return resumed.reports()
 
-    points = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    reports = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
 
-    lines = ["empirical MTS vs K   (B=8, L=2, Q=16, R=1.3; "
-             f"{len(seeds)} lanes x {cycles} cycles, strict bus)",
-             f"{'K':>3} {'D':>4} {'ds stalls':>10} {'sim MTS':>10} "
-             f"{'predicted':>10} {'ratio':>6}"]
+    # Interrupt/resume proof: identical to an uninterrupted campaign.
+    uninterrupted = SweepCampaign(str(tmp_path / "straight"), cells,
+                                  seed=4, shard_lanes=4)
+    uninterrupted.run()
+    for cell_id, straight in uninterrupted.reports().items():
+        assert reports[cell_id].accepted.tolist() \
+            == straight.accepted.tolist()
+        assert reports[cell_id].stalls.tolist() \
+            == straight.stalls.tolist()
+
+    points = []
     mts_values = []
-    for rows, delay, result, predicted in points:
+    for (rows, (cell_id, result)) in zip(k_values, reports.items()):
+        config = cells[k_values.index(rows)].config()
         ds = int(result.delay_storage_stalls.sum())
         bq = int(result.bank_queue_stalls.sum())
         assert ds > 30, (rows, "too few stalls to validate")
         assert bq == 0, (rows, bq)  # stall attribution: pure delay-storage
-        mts = result.empirical_mts
-        mts_values.append(mts)
-        lines.append(f"{rows:>3} {delay:>4} {ds:>10} {mts:>10.1f} "
-                     f"{predicted:>10.1f} {mts / predicted:>6.2f}")
+        mts_values.append(result.empirical_mts)
+        predicted = delay_buffer_mts(
+            rows, config.normalized_delay, config.banks, tail="exact")
+        points.append(overlay_point(rows, result.total_stalls,
+                                    result.total_cycles, predicted))
 
-    # Shape: MTS rises with K (each extra row absorbs another burst).
+    # Shape: MTS rises with K (each extra row absorbs another burst),
+    # and every Wilson bar brackets its own point estimate.
     assert all(b > a for a, b in zip(mts_values, mts_values[1:]))
+    for point in points:
+        assert point.interval.low < point.empirical_mts \
+            < point.interval.high
 
     # Quantitative: at the largest K the run is in the rare-stall
     # regime where the closed form applies, within a factor of 4.
-    rows, _, result, predicted = points[-1]
-    assert 0.25 < result.empirical_mts / predicted < 4.0, (
-        rows, result.empirical_mts, predicted)
+    assert 0.25 < points[-1].ratio < 4.0, points[-1]
 
-    report("fig4_empirical_batch", "\n".join(lines))
+    table = render_overlay_table(
+        points, x_label="K",
+        title=f"empirical MTS vs K   (B=8, L=2, Q=16, R=1.3; {lanes} "
+              f"lanes x {cycles} cycles, strict bus, SweepCampaign)")
+    chart = render_overlay_chart(points, x_label="K")
+    report("fig4_empirical_batch", table + "\n\n" + chart)

@@ -66,65 +66,66 @@ def test_fig6_bank_queue_mts(benchmark):
     report("fig6_bank_queue_mts", render(table))
 
 
-def test_fig6_empirical_batch(fast_mode, benchmark):
-    """Empirical MTS points on the Figure 6 axis from the batch engine.
+def test_fig6_empirical_batch(fast_mode, benchmark, tmp_path):
+    """Empirical MTS points on the Figure 6 axis, via the orchestrator.
 
-    Simulated bank-queue MTS at configurations scaled down until queue
-    overflows are observable, against the Section 5.2 Markov chain
-    (system scope).  Bank latencies are chosen with L <= B so the
-    strict bus's dedicated-slot cadence matches the chain's service
-    assumption.  Asserts the factor-4 band the work-conserving
-    validation uses, MTS growth from Q=2 to Q=3, and that every stall
-    is attributed to the bank queues, never the delay-storage buffer.
+    A Q-axis grid at B=8, L=8, R=1.3 — scaled down until queue
+    overflows are observable — driven through
+    :class:`~repro.sim.campaign.SweepCampaign` and overlaid on the
+    Section 5.2 Markov chain (system scope) with Wilson error bars.
+    Bank latency satisfies L <= B so the strict bus's dedicated-slot
+    cadence matches the chain's service assumption.  Asserts the
+    factor-4 band the work-conserving validation uses, MTS growth with
+    Q, and that every stall is attributed to the bank queues, never
+    the delay-storage buffer.
     """
     from repro.analysis.markov import bank_queue_mts as chain_mts
-    from repro.core import VPNMConfig
-    from repro.sim.batchsim import BatchStallSimulator
+    from repro.analysis.overlay import (
+        overlay_point,
+        render_overlay_chart,
+        render_overlay_table,
+    )
+    from repro.sim.campaign import SweepCampaign, fig6_grid
 
-    seeds = list(range(1, 9))
     cycles = 250_000
-    configs = [
-        dict(banks=8, bank_latency=8, queue_depth=2, bus_scaling=1.0),
-        dict(banks=8, bank_latency=8, queue_depth=2, bus_scaling=1.3),
-        dict(banks=8, bank_latency=8, queue_depth=3, bus_scaling=1.3),
-        dict(banks=16, bank_latency=14, queue_depth=3, bus_scaling=1.3),
-    ]
+    lanes = 8
+    q_values = [1, 2, 3]
+    cells = fig6_grid(q_values, banks=8, bank_latency=8,
+                      delay_rows=4096, bus_scaling=1.3,
+                      cycles=cycles, lanes=lanes)
 
-    def run_points():
-        points = []
-        for params in configs:
-            config = VPNMConfig(hash_latency=0, delay_rows=4096,
-                                skip_idle_slots=False, **params)
-            result = BatchStallSimulator(config, seeds).run(cycles)
-            predicted = chain_mts(
-                params["banks"], params["bank_latency"],
-                params["queue_depth"], params["bus_scaling"],
-                kind="mean", scope="system")
-            points.append((params, result, predicted))
-        return points
+    def run_campaign():
+        campaign = SweepCampaign(str(tmp_path / "fig6"), cells,
+                                 seed=6, shard_lanes=4)
+        campaign.run()
+        return campaign.reports()
 
-    points = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    reports = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
 
-    lines = [f"empirical bank-queue MTS   ({len(seeds)} lanes x "
-             f"{cycles} cycles, strict bus)",
-             f"{'config':<28} {'bq stalls':>10} {'sim MTS':>10} "
-             f"{'predicted':>10} {'ratio':>6}"]
-    by_config = {}
-    for params, result, predicted in points:
+    points = []
+    mts_values = []
+    for queue_depth, result in zip(q_values, reports.values()):
         bq = int(result.bank_queue_stalls.sum())
         ds = int(result.delay_storage_stalls.sum())
-        assert bq > 30, (params, "too few stalls to validate")
-        assert ds == 0, (params, ds)  # stall attribution: pure bank-queue
-        mts = result.empirical_mts
-        ratio = mts / predicted
-        label = " ".join(
-            f"{k}={v}" for k, v in zip("BLQR", params.values()))
-        by_config[tuple(params.values())] = mts
-        lines.append(f"{label:<28} {bq:>10} {mts:>10.1f} "
-                     f"{predicted:>10.1f} {ratio:>6.2f}")
-        assert 0.25 < ratio < 4.0, (params, mts, predicted)
+        assert bq > 30, (queue_depth, "too few stalls to validate")
+        assert ds == 0, (queue_depth, ds)  # attribution: pure bank-queue
+        predicted = chain_mts(8, 8, queue_depth, 1.3,
+                              kind="mean", scope="system")
+        point = overlay_point(queue_depth, result.total_stalls,
+                              result.total_cycles, predicted)
+        points.append(point)
+        mts_values.append(result.empirical_mts)
+        assert 0.25 < point.ratio < 4.0, (queue_depth, point)
+        assert point.interval.low < result.empirical_mts \
+            < point.interval.high
 
-    # Shape: a deeper queue survives longer (Q=2 -> Q=3 at B=8, R=1.3).
-    assert by_config[(8, 8, 3, 1.3)] > by_config[(8, 8, 2, 1.3)]
+    # Shape: a deeper queue survives longer.
+    assert all(b > a for a, b in zip(mts_values, mts_values[1:]))
 
-    report("fig6_empirical_batch", "\n".join(lines))
+    table = render_overlay_table(
+        points, x_label="Q",
+        title=f"empirical bank-queue MTS vs Q   (B=8, L=8, R=1.3; "
+              f"{lanes} lanes x {cycles} cycles, strict bus, "
+              "SweepCampaign)")
+    chart = render_overlay_chart(points, x_label="Q")
+    report("fig6_empirical_batch", table + "\n\n" + chart)

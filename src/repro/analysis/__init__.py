@@ -12,6 +12,9 @@
   Section 5.3 design sweep.
 - :mod:`~repro.analysis.confidence` — binomial (Wilson) error bars for
   simulated stall counts, used by the batch MTS campaigns.
+- :mod:`~repro.analysis.overlay` — empirical campaign points (with
+  Wilson error bars) placed on the analytical Figure 4/6 curves, plus
+  the predicted-vs-simulated comparison table.
 """
 
 from repro.analysis.confidence import (
@@ -41,16 +44,25 @@ from repro.analysis.markov import (
     bank_queue_mts,
     build_transition_matrix,
 )
+from repro.analysis.overlay import (
+    OverlayPoint,
+    coverage_summary,
+    overlay_point,
+    render_overlay_chart,
+    render_overlay_table,
+)
 from repro.analysis.pareto import ParetoPoint, pareto_frontier
 
 __all__ = [
     "BankQueueChain",
     "BinomialInterval",
+    "OverlayPoint",
     "ParetoPoint",
     "bank_queue_mts",
     "build_transition_matrix",
     "collision_probability",
     "combined_mts",
+    "coverage_summary",
     "expected_accesses_to_first_collision",
     "no_collision_probability",
     "delay_buffer_mts",
@@ -58,7 +70,10 @@ __all__ = [
     "mts_interval",
     "mts_seconds",
     "mts_to_human",
+    "overlay_point",
     "pareto_frontier",
+    "render_overlay_chart",
+    "render_overlay_table",
     "stall_probability_interval",
     "stall_window_probability",
     "system_mts",

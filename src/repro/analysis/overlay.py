@@ -1,0 +1,179 @@
+"""Empirical points on the analytical Figure 4/6 curves.
+
+The analytical layer draws the curves (Section 5's closed form and
+Markov chain); the batch campaigns produce stall *counts*.  This module
+joins them: each campaign cell becomes an :class:`OverlayPoint` — the
+empirical MTS with its Wilson interval placed at the cell's x-axis
+position next to the model's prediction — and the set of points renders
+as the predicted-vs-simulated comparison table (ratio and CI coverage
+per point) plus a log10-axis strip chart of the error bars.
+
+Zero-stall cells are first-class: the Wilson interval's lower bound is
+then the only information the data carries ("MTS >= low"), the point
+has no ratio, and CI coverage degenerates to "is the prediction above
+the lower bound".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.confidence import BinomialInterval, mts_interval
+
+__all__ = [
+    "OverlayPoint",
+    "coverage_summary",
+    "overlay_point",
+    "render_overlay_chart",
+    "render_overlay_table",
+]
+
+
+@dataclass(frozen=True)
+class OverlayPoint:
+    """One empirical measurement placed on an analytical curve."""
+
+    x: float                      # position on the figure's x axis
+    total_stalls: int
+    total_cycles: int
+    interval: BinomialInterval    # Wilson interval on the MTS
+    predicted_mts: Optional[float] = None
+
+    @property
+    def empirical_mts(self) -> Optional[float]:
+        return (self.total_cycles / self.total_stalls
+                if self.total_stalls else None)
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Simulated over predicted MTS; None when either is missing."""
+        mts = self.empirical_mts
+        if mts is None or not self.predicted_mts:
+            return None
+        if self.predicted_mts == math.inf:
+            return None
+        return mts / self.predicted_mts
+
+    @property
+    def ci_covers(self) -> Optional[bool]:
+        """Does the interval contain the prediction?
+
+        For a zero-stall point the interval is one-sided (``high`` is
+        inf), so this degenerates to ``predicted >= low`` — exactly the
+        claim the data supports.  ``None`` when there is no prediction.
+        """
+        if self.predicted_mts is None:
+            return None
+        return self.predicted_mts in self.interval
+
+
+def overlay_point(x: float, stalls: int, cycles: int,
+                  predicted_mts: Optional[float] = None,
+                  confidence: float = 0.95) -> OverlayPoint:
+    """Build an :class:`OverlayPoint` from raw campaign counts."""
+    _, interval = mts_interval(stalls, cycles, confidence)
+    return OverlayPoint(
+        x=x,
+        total_stalls=int(stalls),
+        total_cycles=int(cycles),
+        interval=interval,
+        predicted_mts=predicted_mts,
+    )
+
+
+def coverage_summary(points: List[OverlayPoint]) -> Tuple[int, int]:
+    """``(covered, comparable)``: CI-coverage count over points with a
+    prediction."""
+    comparable = [p for p in points if p.ci_covers is not None]
+    return sum(p.ci_covers for p in comparable), len(comparable)
+
+
+def _fmt_mts(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == math.inf:
+        return ">1e15"
+    return f"{value:.4g}"
+
+
+def render_overlay_table(points: List[OverlayPoint],
+                         x_label: str = "x",
+                         title: Optional[str] = None) -> str:
+    """The predicted-vs-simulated comparison table."""
+    confidence = points[0].interval.confidence if points else 0.95
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{x_label:>6} {'stalls':>9} {'cycles':>12} {'sim MTS':>10} "
+        f"{int(confidence * 100):>3}% Wilson interval "
+        f"{'predicted':>10} {'ratio':>6} {'covers':>6}")
+    for p in points:
+        ival = p.interval
+        low = _fmt_mts(ival.low)
+        high = "inf" if ival.high == math.inf else _fmt_mts(ival.high)
+        covers = "-" if p.ci_covers is None else ("yes" if p.ci_covers
+                                                  else "NO")
+        ratio = f"{p.ratio:.2f}" if p.ratio is not None else "-"
+        lines.append(
+            f"{p.x:>6g} {p.total_stalls:>9} {p.total_cycles:>12} "
+            f"{_fmt_mts(p.empirical_mts):>10} "
+            f"[{low:>10}, {high:>10}] "
+            f"{_fmt_mts(p.predicted_mts):>10} {ratio:>6} {covers:>6}")
+    covered, comparable = coverage_summary(points)
+    if comparable:
+        lines.append(f"CI coverage: {covered}/{comparable} predictions "
+                     f"inside their {int(confidence * 100)}% interval")
+    return "\n".join(lines)
+
+
+def render_overlay_chart(points: List[OverlayPoint],
+                         x_label: str = "x",
+                         width: int = 56) -> str:
+    """ASCII strip chart: Wilson bars and predictions on a log10 axis.
+
+    Each row spans the point's ``[low, high]`` interval with ``=``,
+    marks the empirical estimate with ``*`` and the analytical
+    prediction with ``|`` (``+`` when they land on the same column).
+    One-sided (zero-stall) intervals draw an arrow to the right edge.
+    """
+    finite: List[float] = []
+    for p in points:
+        for value in (p.interval.low, p.interval.high,
+                      p.empirical_mts, p.predicted_mts):
+            if value and value != math.inf:
+                finite.append(math.log10(value))
+    if not finite:
+        return "(no finite MTS values to chart)"
+    lo, hi = min(finite), max(finite)
+    if hi - lo < 1e-9:
+        lo, hi = lo - 0.5, hi + 0.5
+
+    def column(value: Optional[float]) -> Optional[int]:
+        if not value:
+            return None
+        if value == math.inf:
+            return width - 1
+        pos = (math.log10(value) - lo) / (hi - lo)
+        return max(0, min(width - 1, round(pos * (width - 1))))
+
+    lines = [f"log10(MTS) from {lo:.2f} to {hi:.2f}"
+             f"  ('='=Wilson bar, '*'=simulated, '|'=predicted)"]
+    for p in points:
+        row = [" "] * width
+        c_low, c_high = column(p.interval.low), column(p.interval.high)
+        if c_low is not None and c_high is not None:
+            for c in range(c_low, c_high + 1):
+                row[c] = "="
+        c_mts = column(p.empirical_mts)
+        if c_mts is not None:
+            row[c_mts] = "*"
+        c_pred = column(p.predicted_mts)
+        if c_pred is not None:
+            row[c_pred] = "+" if row[c_pred] == "*" else "|"
+        if p.interval.high == math.inf and c_low is not None:
+            row[width - 1] = ">"  # bar extends beyond the chart
+        lines.append(f"{x_label}={p.x:<8g} {''.join(row)}")
+    return "\n".join(lines)

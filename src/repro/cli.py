@@ -5,6 +5,8 @@ Commands
 simulate   drive a workload through the cycle-level controller
 analyze    Section 5 MTS analysis for one configuration
 mts        batch MTS campaign (vectorized lanes, shards, error bars)
+campaign   checkpointed sweep campaign over a (K | Q | load) grid,
+           with resume, status, and predicted-vs-simulated report
 validate   fast simulation vs analytical MTS cross-check
 sweep      design-space sweep with Pareto frontier (Figure 7 style)
 table2     the paper's Table 2 design ladder, from our models
@@ -14,6 +16,9 @@ Examples::
 
     python -m repro simulate --workload stride --stride 32 --cycles 2000
     python -m repro analyze --banks 32 --queue-depth 48 --delay-rows 96
+    python -m repro campaign run --dir /tmp/fig4 --axis fig4 \
+        --values 14 16 18 20 --banks 8 --bank-latency 2 --queue-depth 16
+    python -m repro campaign report --dir /tmp/fig4
     python -m repro sweep --budget 35
     python -m repro table3
 """
@@ -21,7 +26,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import math
+import os
 import sys
 from typing import List, Optional
 
@@ -214,6 +221,134 @@ def _command_mts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_cells(args: argparse.Namespace):
+    """Build the grid for ``campaign run`` from the chosen axis.
+
+    Without ``--values`` returns ``None``: the run attaches to the
+    directory's manifest and resumes whatever grid it recorded.
+    """
+    from repro.sim.campaign import fig4_grid, fig6_grid, load_grid
+
+    if not args.values:
+        if args.loads:
+            raise ConfigurationError("--loads needs --values")
+        return None
+    if args.axis == "fig4":
+        return fig4_grid([int(v) for v in args.values],
+                         banks=args.banks, queue_depth=args.queue_depth,
+                         bank_latency=args.bank_latency,
+                         bus_scaling=args.ratio, cycles=args.cycles,
+                         lanes=args.lanes, loads=args.loads)
+    if args.axis == "fig6":
+        return fig6_grid([int(v) for v in args.values],
+                         banks=args.banks, bank_latency=args.bank_latency,
+                         delay_rows=args.delay_rows,
+                         bus_scaling=args.ratio, cycles=args.cycles,
+                         lanes=args.lanes, loads=args.loads)
+    if args.loads:
+        raise ConfigurationError(
+            "--loads only combines with the fig4/fig6 axes; for "
+            "axis=load the values are the loads")
+    return load_grid([float(v) for v in args.values],
+                     banks=args.banks, bank_latency=args.bank_latency,
+                     queue_depth=args.queue_depth,
+                     delay_rows=args.delay_rows, bus_scaling=args.ratio,
+                     cycles=args.cycles, lanes=args.lanes)
+
+
+def _campaign_overlay(campaign) -> list:
+    """Overlay points (with predictions) from the campaign manifest."""
+    from repro.analysis.overlay import overlay_point
+
+    axis = campaign.axis
+    status = campaign.status()
+    specs = campaign.cell_specs()
+    points = []
+    for cell in status["cells"]:
+        if cell["result"] is None:
+            continue
+        spec = specs[cell["cell_id"]]
+        config = spec.config()
+        if axis == "fig4":
+            x = spec.delay_rows
+            predicted = delay_buffer_mts(
+                spec.delay_rows, config.normalized_delay, spec.banks,
+                tail="exact")
+        elif axis == "fig6":
+            x = spec.queue_depth
+            predicted = bank_queue_mts(
+                spec.banks, spec.bank_latency, spec.queue_depth,
+                spec.bus_scaling, kind="mean", scope="system")
+        else:
+            # Load sweeps have no per-load closed form; the analytical
+            # numbers are full-rate worst cases, so points stand alone.
+            x = spec.load
+            predicted = None
+        points.append(overlay_point(
+            x, cell["result"]["total_stalls"],
+            cell["result"]["total_cycles"], predicted,
+            confidence=status["confidence"]))
+    return points
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    """Checkpointed sweep campaign: run / status / report."""
+    from repro.analysis.overlay import (
+        render_overlay_chart,
+        render_overlay_table,
+    )
+    from repro.sim.campaign import SweepCampaign
+
+    if args.action == "run":
+        cells = _campaign_cells(args)
+        if cells is None and not os.path.exists(
+                os.path.join(args.dir, "manifest.json")):
+            raise ConfigurationError(
+                f"no campaign manifest in {args.dir}; a first run "
+                "needs --values to define the grid")
+        campaign = SweepCampaign(
+            args.dir, cells, seed=args.seed,
+            shard_lanes=args.shard_lanes, workers=args.workers,
+            confidence=args.confidence,
+            # A resume keeps the manifest's axis; --axis only labels a
+            # freshly defined grid.
+            axis=args.axis if cells is not None else None)
+
+        def progress(cell_id, shard, total, restored, elapsed):
+            verb = "restored" if restored else "computed"
+            print(f"  {cell_id}: shard {shard + 1}/{total} {verb} "
+                  f"({elapsed:.1f}s)")
+
+        campaign.run(progress=progress, max_cells=args.max_cells)
+        print(campaign.render_status())
+        return 0
+
+    campaign = SweepCampaign(args.dir)
+    if args.action == "status":
+        if args.json:
+            print(json.dumps(campaign.status(), indent=1, sort_keys=True))
+        else:
+            print(campaign.render_status())
+        return 0
+
+    # report
+    points = _campaign_overlay(campaign)
+    if not points:
+        print("no finished cells yet; run the campaign first")
+        return 1
+    axis = campaign.axis or "x"
+    x_label = {"fig4": "K", "fig6": "Q", "load": "load"}.get(axis, "x")
+    title = {"fig4": "empirical vs analytical MTS on the Figure 4 axis "
+                     "(delay-storage rows K)",
+             "fig6": "empirical vs analytical MTS on the Figure 6 axis "
+                     "(bank-queue depth Q)",
+             "load": "empirical MTS vs offered load (EXT5)"}.get(axis)
+    print(render_overlay_table(points, x_label=x_label, title=title))
+    print()
+    print(render_overlay_chart(points, x_label=x_label))
+    return 0
+
+
 def _median(values) -> float:
     ordered = sorted(int(v) for v in values)
     mid = len(ordered) // 2
@@ -308,6 +443,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="arbitration mode: strict round robin uses the "
                           "event-driven vectorized path (default)")
     mts.set_defaults(handler=_command_mts)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="checkpointed sweep campaign over a (K | Q | load) grid "
+             "with resume, status, and a predicted-vs-simulated report",
+    )
+    campaign.add_argument("action", choices=["run", "status", "report"])
+    campaign.add_argument("--dir", required=True,
+                          help="campaign directory (manifest + "
+                               "per-cell shard checkpoints)")
+    _add_config_arguments(campaign)
+    campaign.add_argument("--axis", choices=["fig4", "fig6", "load"],
+                          default="fig4",
+                          help="swept parameter: fig4 = delay rows K, "
+                               "fig6 = queue depth Q, load = offered "
+                               "load (run only)")
+    campaign.add_argument("--values", type=float, nargs="+", default=None,
+                          help="axis values (K / Q ints, or loads)")
+    campaign.add_argument("--loads", type=float, nargs="+", default=None,
+                          help="optional load cross product for the "
+                               "fig4/fig6 axes")
+    campaign.add_argument("--cycles", type=int, default=1_000_000,
+                          help="interface cycles per lane (default 1e6)")
+    campaign.add_argument("--lanes", type=int, default=8,
+                          help="independent seeds per cell (default 8)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="campaign root seed (default 0)")
+    campaign.add_argument("--shard-lanes", type=int, default=None,
+                          help="lanes per shard checkpoint (default 8, "
+                               "or the manifest's value on resume)")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="worker processes per cell (default 1)")
+    campaign.add_argument("--confidence", type=float, default=None,
+                          help="confidence level for error bars "
+                               "(default 0.95)")
+    campaign.add_argument("--max-cells", type=int, default=None,
+                          help="stop after this many pending cells "
+                               "(interrupt/resume testing)")
+    campaign.add_argument("--json", action="store_true",
+                          help="status action: machine-readable output")
+    campaign.set_defaults(handler=_command_campaign)
 
     validate = commands.add_parser(
         "validate", help="fast simulation vs analytical MTS cross-check")

@@ -10,9 +10,24 @@
   dynamics across many seeds at once;
   :class:`~repro.sim.batchrunner.BatchRunner` shards campaigns over
   processes with checkpoint/resume and binomial error bars.
+- :class:`~repro.sim.campaign.SweepCampaign` orchestrates grids of
+  checkpointed batch campaigns behind a resumable manifest — the
+  empirical Figure 4/6 sweeps.
 """
 
-from repro.sim.batchrunner import BatchReport, BatchRunner, lane_seeds
+from repro.sim.batchrunner import (
+    BatchReport,
+    BatchRunner,
+    lane_seeds,
+    lane_seeds_legacy,
+)
+from repro.sim.campaign import (
+    CellSpec,
+    SweepCampaign,
+    fig4_grid,
+    fig6_grid,
+    load_grid,
+)
 from repro.sim.batchsim import (
     BatchRunResult,
     BatchStallSimulator,
@@ -32,9 +47,15 @@ __all__ = [
     "BatchRunResult",
     "BatchRunner",
     "BatchStallSimulator",
+    "CellSpec",
     "FastRunResult",
     "FastStallSimulator",
+    "SweepCampaign",
+    "fig4_grid",
+    "fig6_grid",
     "lane_seeds",
+    "lane_seeds_legacy",
+    "load_grid",
     "matched_bank_sequences",
     "RequestTimeline",
     "RunResult",

@@ -22,8 +22,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,11 +38,35 @@ from repro.core.config import VPNMConfig
 from repro.core.exceptions import ConfigurationError
 from repro.sim.batchsim import BatchStallSimulator
 
-__all__ = ["BatchReport", "BatchRunner", "lane_seeds"]
+__all__ = ["BatchReport", "BatchRunner", "ShardProgress", "lane_seeds",
+           "lane_seeds_legacy"]
+
+#: Per-shard progress callback: called once per shard as it completes
+#: (or is restored from a checkpoint), in completion order.
+ShardProgress = Callable[[int, int, bool, float], None]
 
 
 def lane_seeds(root_seed: int, lanes: int) -> List[int]:
-    """Deterministic, collision-resistant per-lane seeds from one root."""
+    """Deterministic, collision-resistant per-lane seeds from one root.
+
+    64-bit entropy per lane, drawn in one vectorized
+    ``SeedSequence.generate_state`` call — O(1) Python work regardless
+    of lane count, and prefix-stable: ``lane_seeds(s, n)`` is a prefix
+    of ``lane_seeds(s, m)`` for ``n <= m``.
+    """
+    state = np.random.SeedSequence(root_seed).generate_state(
+        lanes, dtype=np.uint64)
+    return [int(word) for word in state]
+
+
+def lane_seeds_legacy(root_seed: int, lanes: int) -> List[int]:
+    """The pre-campaign seed derivation (32-bit, one spawn per lane).
+
+    Kept verbatim so checkpoints written by earlier versions can still
+    be resumed: pass ``seeds=lane_seeds_legacy(root, lanes)`` to
+    :class:`BatchRunner` and the stored shard seeds match again.  New
+    campaigns should use :func:`lane_seeds` (64-bit, vectorized).
+    """
     return [
         int(np.random.SeedSequence(root_seed, spawn_key=(lane,))
             .generate_state(1)[0])
@@ -58,6 +84,10 @@ class BatchReport:
     delay_storage_stalls: np.ndarray
     bank_queue_stalls: np.ndarray
     confidence: float = 0.95
+    #: Per-lane sorted stall-cycle arrays, recorded only when the
+    #: campaign ran with ``stall_cycle_limit > 0``; ``None`` otherwise.
+    stall_cycles: Optional[List[np.ndarray]] = field(default=None,
+                                                     repr=False)
 
     @property
     def lanes(self) -> int:
@@ -109,12 +139,30 @@ class BatchReport:
         )
 
 
+def _canonical_field(value):
+    """JSON-stable representation of one config field.
+
+    Numerically equal values must fingerprint identically no matter how
+    the caller spelled them — ``Fraction(13, 10)`` and ``1.3`` describe
+    the same run, but ``str`` renders them ``13/10`` and ``1.3``.
+    """
+    if isinstance(value, bool) or value is None \
+            or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, Fraction):
+        return float(value)
+    if isinstance(value, float):
+        return value
+    return str(value)
+
+
 def _config_fingerprint(config: VPNMConfig, cycles: int,
                         idle_probability: float) -> str:
     """Stable identity of a run; checkpoint mismatch means stale data."""
-    fields = {k: getattr(config, k) for k in sorted(vars(config))}
+    fields = {k: _canonical_field(getattr(config, k))
+              for k in sorted(vars(config))}
     return json.dumps({"config": fields, "cycles": cycles,
-                       "idle_probability": idle_probability},
+                       "idle_probability": float(idle_probability)},
                       sort_keys=True, default=str)
 
 
@@ -124,12 +172,16 @@ def _run_shard(args):
     result = BatchStallSimulator(
         config, shard_seeds, stall_cycle_limit=stall_limit
     ).run(cycles, idle_probability=idle_probability)
-    return {
+    data = {
         "seeds": list(shard_seeds),
         "accepted": result.accepted.tolist(),
         "delay_storage_stalls": result.delay_storage_stalls.tolist(),
         "bank_queue_stalls": result.bank_queue_stalls.tolist(),
     }
+    if stall_limit > 0:
+        data["stall_cycles"] = [lane.tolist()
+                                for lane in result.stall_cycles]
+    return data
 
 
 class BatchRunner:
@@ -163,7 +215,13 @@ class BatchRunner:
         self.workers = workers
         self.checkpoint_dir = checkpoint_dir
         #: Stall-cycle recording is off by default for campaigns — only
-        #: the counts matter for MTS, and shards serialize to JSON.
+        #: the counts matter for MTS, and recorded cycles inflate the
+        #: JSON checkpoints.  A nonzero limit is honored end to end:
+        #: shards serialize their (capped) per-lane stall cycles into
+        #: the checkpoint and the aggregate surfaces them on
+        #: :attr:`BatchReport.stall_cycles`.
+        if stall_cycle_limit < 0:
+            raise ConfigurationError("stall_cycle_limit must be >= 0")
         self.stall_cycle_limit = stall_cycle_limit
         self.confidence = confidence
 
@@ -174,6 +232,13 @@ class BatchRunner:
             return None
         return os.path.join(self.checkpoint_dir,
                             f"shard_{shard_index:05d}.json")
+
+    @staticmethod
+    def _valid_counts(values, lanes: int) -> bool:
+        """A per-lane count list: right length, all non-negative ints."""
+        return (isinstance(values, list) and len(values) == lanes
+                and all(isinstance(v, int) and not isinstance(v, bool)
+                        and v >= 0 for v in values))
 
     def _load_checkpoint(self, shard_index: int, fingerprint: str,
                          shard_seeds: List[int]) -> Optional[dict]:
@@ -190,6 +255,25 @@ class BatchRunner:
         data = payload.get("result", {})
         if data.get("seeds") != shard_seeds:
             return None
+        # Shape validation: a hand-edited or version-skewed payload with
+        # short (or non-integer) per-lane arrays would otherwise
+        # aggregate silently into wrong lane counts downstream.
+        lanes = len(shard_seeds)
+        for key in ("accepted", "delay_storage_stalls",
+                    "bank_queue_stalls"):
+            if not self._valid_counts(data.get(key), lanes):
+                return None
+        if self.stall_cycle_limit > 0:
+            records = data.get("stall_cycles")
+            if not (isinstance(records, list) and len(records) == lanes
+                    and all(isinstance(lane, list) and
+                            all(isinstance(c, int)
+                                and not isinstance(c, bool)
+                                for c in lane)
+                            for lane in records)):
+                # Checkpoints written without stall recording (or with a
+                # mangled record) cannot serve a recording run.
+                return None
         return data
 
     def _store_checkpoint(self, shard_index: int, fingerprint: str,
@@ -218,17 +302,33 @@ class BatchRunner:
         return [self.seeds[i:i + self.shard_lanes]
                 for i in range(0, len(self.seeds), self.shard_lanes)]
 
-    def run(self, cycles: int, idle_probability: float = 0.0) -> BatchReport:
-        """Run every shard (resuming from checkpoints) and aggregate."""
+    def run(self, cycles: int, idle_probability: float = 0.0,
+            progress: Optional[ShardProgress] = None) -> BatchReport:
+        """Run every shard (resuming from checkpoints) and aggregate.
+
+        ``progress``, when given, is called as ``progress(shard_index,
+        total_shards, restored, elapsed_seconds)`` once per shard in
+        completion order — restored checkpoints first (``restored=True``,
+        elapsed ~0), then freshly computed shards as they finish, each
+        stamped with the wall-clock seconds since ``run()`` started.
+        Each fresh shard's checkpoint is stored *before* its progress
+        call, so a campaign interrupted from inside the callback loses
+        no finished work.
+        """
+        start = time.perf_counter()
         fingerprint = _config_fingerprint(self.config, cycles,
                                           idle_probability)
         shards = self._shards()
-        results: List[Optional[dict]] = [None] * len(shards)
+        total = len(shards)
+        results: List[Optional[dict]] = [None] * total
         pending = []
         for i, shard_seeds in enumerate(shards):
             restored = self._load_checkpoint(i, fingerprint, shard_seeds)
             if restored is not None:
                 results[i] = restored
+                if progress is not None:
+                    progress(i, total, True,
+                             time.perf_counter() - start)
             else:
                 pending.append(i)
 
@@ -236,7 +336,13 @@ class BatchRunner:
             jobs = [(self.config, shards[i], cycles, idle_probability,
                      self.stall_cycle_limit) for i in pending]
             if self.workers <= 1 or len(pending) == 1:
-                fresh = [_run_shard(job) for job in jobs]
+                for i, job in zip(pending, jobs):
+                    data = _run_shard(job)
+                    self._store_checkpoint(i, fingerprint, data)
+                    results[i] = data
+                    if progress is not None:
+                        progress(i, total, False,
+                                 time.perf_counter() - start)
             else:
                 # Worker processes import, not fork-inherit, the sim
                 # state; "spawn" keeps behaviour identical across
@@ -245,10 +351,17 @@ class BatchRunner:
 
                 ctx = multiprocessing.get_context("spawn")
                 with ctx.Pool(min(self.workers, len(pending))) as pool:
-                    fresh = pool.map(_run_shard, jobs)
-            for i, data in zip(pending, fresh):
-                self._store_checkpoint(i, fingerprint, data)
-                results[i] = data
+                    # imap (ordered) yields each shard as soon as it and
+                    # all its predecessors finish, so checkpoints land
+                    # and progress fires incrementally instead of at one
+                    # end-of-pool barrier.
+                    for i, data in zip(pending,
+                                       pool.imap(_run_shard, jobs)):
+                        self._store_checkpoint(i, fingerprint, data)
+                        results[i] = data
+                        if progress is not None:
+                            progress(i, total, False,
+                                     time.perf_counter() - start)
 
         accepted = np.concatenate(
             [np.asarray(r["accepted"], dtype=np.int64) for r in results])
@@ -258,6 +371,12 @@ class BatchRunner:
         bq = np.concatenate(
             [np.asarray(r["bank_queue_stalls"], dtype=np.int64)
              for r in results])
+        stall_cycles: Optional[List[np.ndarray]] = None
+        if self.stall_cycle_limit > 0:
+            stall_cycles = [
+                np.asarray(lane, dtype=np.int64)
+                for r in results for lane in r["stall_cycles"]
+            ]
         return BatchReport(
             cycles=cycles,
             seeds=list(self.seeds),
@@ -265,4 +384,5 @@ class BatchRunner:
             delay_storage_stalls=ds,
             bank_queue_stalls=bq,
             confidence=self.confidence,
+            stall_cycles=stall_cycles,
         )

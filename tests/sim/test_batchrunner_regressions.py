@@ -1,0 +1,174 @@
+"""Regression tests for three BatchRunner bugs, plus summary/fingerprint.
+
+Each bug test is written to fail on the pre-fix code:
+
+1. ``stall_cycle_limit`` was accepted but silently dropped — shards
+   never recorded stall cycles and ``BatchReport`` had nowhere to put
+   them.
+2. ``_load_checkpoint`` trusted checkpoint array shapes — a truncated
+   ``accepted`` list aggregated silently into wrong lane counts.
+3. ``lane_seeds`` derived 32-bit seeds one lane at a time in a Python
+   loop — now a single vectorized 64-bit ``generate_state`` call, with
+   the old derivation kept as ``lane_seeds_legacy`` for existing
+   checkpoints.
+"""
+
+import json
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import VPNMConfig
+from repro.core.exceptions import ConfigurationError
+from repro.sim.batchrunner import (
+    BatchReport,
+    BatchRunner,
+    _config_fingerprint,
+    lane_seeds,
+    lane_seeds_legacy,
+)
+from repro.sim.batchsim import BatchStallSimulator
+
+CONFIG = VPNMConfig(banks=4, bank_latency=9, queue_depth=2, delay_rows=3,
+                    bus_scaling=1.3, hash_latency=0, skip_idle_slots=False)
+CYCLES = 4000
+
+
+class TestStallCycleLimitPlumbing:
+    def test_limit_reaches_the_shards(self, tmp_path):
+        runner = BatchRunner(CONFIG, lanes=4, seed=7, shard_lanes=2,
+                             checkpoint_dir=str(tmp_path),
+                             stall_cycle_limit=5)
+        report = runner.run(CYCLES)
+        assert report.stall_cycles is not None
+        assert len(report.stall_cycles) == 4
+        direct = BatchStallSimulator(CONFIG, runner.seeds,
+                                     stall_cycle_limit=5).run(CYCLES)
+        for got, want in zip(report.stall_cycles, direct.stall_cycles):
+            np.testing.assert_array_equal(got, want)
+        assert any(len(lane) for lane in report.stall_cycles)
+
+    def test_limit_survives_checkpoint_resume(self, tmp_path):
+        kwargs = dict(lanes=4, seed=7, shard_lanes=2,
+                      checkpoint_dir=str(tmp_path), stall_cycle_limit=5)
+        first = BatchRunner(CONFIG, **kwargs).run(CYCLES)
+        resumed = BatchRunner(CONFIG, **kwargs).run(CYCLES)
+        for got, want in zip(resumed.stall_cycles, first.stall_cycles):
+            np.testing.assert_array_equal(got, want)
+
+    def test_recording_run_rejects_countonly_checkpoint(self, tmp_path):
+        """A checkpoint written without stall cycles cannot serve one."""
+        base = dict(lanes=2, seed=7, shard_lanes=2,
+                    checkpoint_dir=str(tmp_path))
+        BatchRunner(CONFIG, **base).run(CYCLES)
+        report = BatchRunner(CONFIG, stall_cycle_limit=5,
+                             **base).run(CYCLES)
+        assert report.stall_cycles is not None
+
+    def test_zero_limit_reports_none(self):
+        report = BatchRunner(CONFIG, lanes=2, seed=7).run(CYCLES)
+        assert report.stall_cycles is None
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchRunner(CONFIG, lanes=2, stall_cycle_limit=-1)
+
+
+class TestCheckpointShapeValidation:
+    def _mangle(self, tmp_path, mutate):
+        kwargs = dict(lanes=2, seed=7, shard_lanes=2,
+                      checkpoint_dir=str(tmp_path))
+        baseline = BatchRunner(CONFIG, **kwargs).run(CYCLES)
+        path = tmp_path / "shard_00000.json"
+        payload = json.loads(path.read_text())
+        mutate(payload["result"])
+        path.write_text(json.dumps(payload))
+        resumed = BatchRunner(CONFIG, **kwargs).run(CYCLES)
+        np.testing.assert_array_equal(resumed.accepted, baseline.accepted)
+        np.testing.assert_array_equal(resumed.stalls, baseline.stalls)
+
+    def test_short_accepted_list_is_recomputed(self, tmp_path):
+        self._mangle(tmp_path, lambda r: r["accepted"].pop())
+
+    def test_non_integer_counts_are_recomputed(self, tmp_path):
+        def mutate(result):
+            result["bank_queue_stalls"][0] = "12"
+        self._mangle(tmp_path, mutate)
+
+    def test_negative_counts_are_recomputed(self, tmp_path):
+        def mutate(result):
+            result["delay_storage_stalls"][0] = -1
+        self._mangle(tmp_path, mutate)
+
+
+class TestLaneSeeds:
+    def test_seeds_are_64_bit(self):
+        seeds = lane_seeds(12345, 4096)
+        assert max(seeds) > 2 ** 32  # pre-fix seeds were uint32 words
+        assert all(0 <= s < 2 ** 64 for s in seeds)
+        assert len(set(seeds)) == len(seeds)
+
+    def test_prefix_stable(self):
+        assert lane_seeds(12345, 16)[:8] == lane_seeds(12345, 8)
+
+    def test_legacy_derivation_is_pinned(self):
+        # Old checkpoints were written against these exact values; the
+        # legacy path must keep reproducing them byte for byte.
+        assert lane_seeds_legacy(12345, 4) == [
+            959183449, 1457248422, 642571064, 3609844797]
+
+    def test_runner_accepts_legacy_seeds(self, tmp_path):
+        seeds = lane_seeds_legacy(12345, 4)
+        kwargs = dict(seeds=seeds, shard_lanes=2,
+                      checkpoint_dir=str(tmp_path))
+        first = BatchRunner(CONFIG, **kwargs).run(CYCLES)
+        resumed = BatchRunner(CONFIG, **kwargs).run(CYCLES)
+        np.testing.assert_array_equal(first.accepted, resumed.accepted)
+
+
+class TestSummaryBranches:
+    def _report(self, ds):
+        return BatchReport(
+            cycles=1000, seeds=[1, 2],
+            accepted=np.array([900, 900]),
+            delay_storage_stalls=np.array(ds),
+            bank_queue_stalls=np.array([0, 0]))
+
+    def test_zero_stall_summary_is_a_lower_bound(self):
+        report = self._report([0, 0])
+        text = report.summary()
+        assert report.empirical_mts is None
+        assert "no stalls observed" in text
+        assert f">= {report.mts_interval.low:.1f}" in text
+
+    def test_one_stall_summary_is_two_sided(self):
+        report = self._report([1, 0])
+        text = report.summary()
+        assert "no stalls observed" not in text
+        assert "MTS = 2000.0 cycles [" in text
+        assert "1 stalls" in text
+
+
+class TestFingerprintStability:
+    def test_fraction_and_float_fingerprint_identically(self):
+        exact = VPNMConfig(banks=4, bank_latency=9, queue_depth=2,
+                           delay_rows=3, bus_scaling=Fraction(13, 10))
+        approx = VPNMConfig(banks=4, bank_latency=9, queue_depth=2,
+                            delay_rows=3, bus_scaling=1.3)
+        assert _config_fingerprint(exact, 1000, 0.25) \
+            == _config_fingerprint(approx, 1000, 0.25)
+
+    def test_distinct_configs_fingerprint_differently(self):
+        a = VPNMConfig(banks=4, bank_latency=9, queue_depth=2,
+                       delay_rows=3, bus_scaling=1.3)
+        b = VPNMConfig(banks=4, bank_latency=9, queue_depth=3,
+                       delay_rows=3, bus_scaling=1.3)
+        assert _config_fingerprint(a, 1000, 0.0) \
+            != _config_fingerprint(b, 1000, 0.0)
+
+    def test_idle_probability_fraction_canonicalized(self):
+        config = VPNMConfig(banks=4, bank_latency=9, queue_depth=2,
+                            delay_rows=3, bus_scaling=1.3)
+        assert _config_fingerprint(config, 1000, Fraction(1, 4)) \
+            == _config_fingerprint(config, 1000, 0.25)

@@ -1,0 +1,243 @@
+"""Tests for the sweep-campaign orchestrator (sim/campaign).
+
+The contract under test: a grid of cells behind one manifest, where an
+interrupted campaign — whether stopped between cells (``max_cells``) or
+killed mid-cell (an exception out of the progress callback) — resumes
+exactly where it stopped and aggregates bit-identically to an
+uninterrupted run; the manifest records per-cell status, seeds,
+fingerprints, and wall-clock/throughput observability data; and
+fingerprint skew demotes a cell back to pending.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.sim.campaign import (
+    MANIFEST_NAME,
+    CellSpec,
+    SweepCampaign,
+    fig4_grid,
+    fig6_grid,
+    load_grid,
+)
+
+# Small, stall-heavy grid: two Q values on a tight configuration.
+CELLS = fig6_grid([1, 2], banks=4, bank_latency=4, delay_rows=64,
+                  cycles=4_000, lanes=4)
+
+
+def _aggregates(campaign):
+    return {
+        cell_id: (report.accepted.tolist(), report.stalls.tolist())
+        for cell_id, report in campaign.reports().items()
+    }
+
+
+class TestGridBuilders:
+    def test_fig4_grid_sweeps_delay_rows(self):
+        cells = fig4_grid([8, 16], banks=4, cycles=1000, lanes=2)
+        assert [c.delay_rows for c in cells] == [8, 16]
+        assert len({c.cell_id for c in cells}) == 2
+        # Strict engine, no hash stage: stalls attributable per mechanism.
+        assert all(not c.config().skip_idle_slots for c in cells)
+        assert all(c.config().hash_latency == 0 for c in cells)
+
+    def test_fig6_grid_sweeps_queue_depth(self):
+        cells = fig6_grid([2, 4], banks=8, cycles=1000)
+        assert [c.queue_depth for c in cells] == [2, 4]
+        assert all(c.delay_rows == 4096 for c in cells)
+
+    def test_load_grid_sweeps_load(self):
+        cells = load_grid([0.5, 1.0], cycles=1000)
+        assert [c.load for c in cells] == [0.5, 1.0]
+        assert cells[0].idle_probability == pytest.approx(0.5)
+
+    def test_loads_cross_product(self):
+        cells = fig6_grid([1, 2], loads=[0.5, 1.0], cycles=1000)
+        assert len(cells) == 4
+        assert len({c.cell_id for c in cells}) == 4
+
+    def test_cell_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            CellSpec(banks=4, queue_depth=2, delay_rows=8, load=0.0)
+        with pytest.raises(ConfigurationError):
+            CellSpec(banks=4, queue_depth=2, delay_rows=8, load=1.5)
+        with pytest.raises(ConfigurationError):
+            CellSpec(banks=4, queue_depth=2, delay_rows=8, cycles=0)
+        with pytest.raises(ConfigurationError):
+            CellSpec(banks=4, queue_depth=2, delay_rows=8, lanes=0)
+
+
+class TestManifest:
+    def test_run_records_status_and_throughput(self, tmp_path):
+        campaign = SweepCampaign(str(tmp_path), CELLS, seed=3,
+                                 shard_lanes=2)
+        campaign.run()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["version"] == 1
+        assert len(manifest["order"]) == len(CELLS)
+        for cell_id in manifest["order"]:
+            entry = manifest["cells"][cell_id]
+            assert entry["status"] == "done"
+            assert entry["elapsed_s"] >= 0
+            assert entry["lane_cycles_per_s"] > 0
+            assert entry["shards"] == {"total": 2, "restored": 0,
+                                       "computed": 2}
+            result = entry["result"]
+            assert result["total_cycles"] == 4 * 4_000
+            assert result["total_stalls"] == (
+                result["delay_storage_stalls"]
+                + result["bank_queue_stalls"])
+
+    def test_requires_cells_or_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepCampaign(str(tmp_path / "nowhere"))
+
+    def test_rejects_empty_grid(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepCampaign(str(tmp_path), [])
+
+    def test_reattach_without_cells(self, tmp_path):
+        SweepCampaign(str(tmp_path), CELLS, seed=3, shard_lanes=2).run()
+        attached = SweepCampaign(str(tmp_path))
+        status = attached.status()
+        assert status["cells_done"] == len(CELLS)
+        assert status["shard_lanes"] == 2  # execution knobs remembered
+        assert attached.cell_specs() == {
+            c.cell_id: c for c in CELLS}
+
+    def test_corrupt_manifest_is_an_error(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{ nope")
+        with pytest.raises(ConfigurationError):
+            SweepCampaign(str(tmp_path), CELLS)
+
+    def test_fingerprint_skew_demotes_cell(self, tmp_path):
+        campaign = SweepCampaign(str(tmp_path), CELLS, seed=3,
+                                 shard_lanes=2)
+        campaign.run()
+        path = tmp_path / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        first = manifest["order"][0]
+        manifest["cells"][first]["fingerprint"] = "stale-version"
+        path.write_text(json.dumps(manifest))
+        reopened = SweepCampaign(str(tmp_path))
+        entry = reopened.status()["cells"]
+        assert entry[0]["status"] == "pending"
+        assert entry[1]["status"] == "done"
+
+
+class TestInterruptResume:
+    def test_max_cells_interrupt_then_resume(self, tmp_path):
+        interrupted = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3,
+                                    shard_lanes=2)
+        first = interrupted.run(max_cells=1)
+        assert len(first) == 1
+        assert interrupted.status()["cells_done"] == 1
+
+        resumed = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3)
+        second = resumed.run()
+        assert len(second) == 1  # only the pending cell ran
+
+        straight = SweepCampaign(str(tmp_path / "b"), CELLS, seed=3,
+                                 shard_lanes=2)
+        straight.run()
+        assert _aggregates(resumed) == _aggregates(straight)
+
+    def test_mid_cell_kill_resumes_from_shard_checkpoints(self, tmp_path):
+        """A crash inside a cell loses no finished shard."""
+        class Kill(Exception):
+            pass
+
+        def bomb(cell_id, shard, total, restored, elapsed):
+            if shard == 0 and not restored:
+                raise Kill
+
+        campaign = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3,
+                                 shard_lanes=2)
+        with pytest.raises(Kill):
+            campaign.run(progress=bomb)
+        # The manifest never saw the cell finish...
+        assert campaign.status()["cells_done"] == 0
+        # ...but shard 0's checkpoint landed before the callback fired.
+        first_cell = campaign.order[0]
+        shard_files = os.listdir(tmp_path / "a" / "cells" / first_cell)
+        assert "shard_00000.json" in shard_files
+
+        events = []
+        resumed = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3)
+        resumed.run(progress=lambda *args: events.append(args))
+        restored = [e for e in events if e[3]]
+        assert len(restored) == 1  # the surviving shard, not recomputed
+
+        straight = SweepCampaign(str(tmp_path / "b"), CELLS, seed=3,
+                                 shard_lanes=2)
+        straight.run()
+        assert _aggregates(resumed) == _aggregates(straight)
+
+    def test_done_cells_restore_without_compute(self, tmp_path,
+                                                monkeypatch):
+        campaign = SweepCampaign(str(tmp_path), CELLS, seed=3,
+                                 shard_lanes=2)
+        campaign.run()
+
+        def boom(args):
+            raise AssertionError("shard recomputed on a done campaign")
+
+        monkeypatch.setattr("repro.sim.batchrunner._run_shard", boom)
+        reopened = SweepCampaign(str(tmp_path))
+        assert reopened.run() == {}  # nothing pending
+        reports = reopened.reports()  # restored purely from checkpoints
+        assert all(r.total_stalls > 0 for r in reports.values())
+
+
+class TestDeterminism:
+    def test_seeds_stable_across_sessions(self, tmp_path):
+        a = SweepCampaign(str(tmp_path / "a"), CELLS, seed=9)
+        b = SweepCampaign(str(tmp_path / "b"), CELLS, seed=9)
+        assert [a.status()["cells"][i]["seed"] for i in range(len(CELLS))] \
+            == [b.status()["cells"][i]["seed"] for i in range(len(CELLS))]
+
+    def test_campaign_seed_matters(self, tmp_path):
+        a = SweepCampaign(str(tmp_path / "a"), CELLS, seed=1)
+        b = SweepCampaign(str(tmp_path / "b"), CELLS, seed=2)
+        assert a.status()["cells"][0]["seed"] \
+            != b.status()["cells"][0]["seed"]
+
+    def test_worker_count_invariance(self, tmp_path):
+        inline = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3,
+                               shard_lanes=2, workers=1)
+        inline.run()
+        pooled = SweepCampaign(str(tmp_path / "b"), CELLS, seed=3,
+                               shard_lanes=2, workers=2)
+        pooled.run()
+        assert _aggregates(inline) == _aggregates(pooled)
+
+
+class TestObservability:
+    def test_progress_reports_every_shard(self, tmp_path):
+        events = []
+        campaign = SweepCampaign(str(tmp_path), CELLS, seed=3,
+                                 shard_lanes=2)
+        campaign.run(progress=lambda *args: events.append(args))
+        # 2 cells x 2 shards, all computed, elapsed monotone per cell.
+        assert len(events) == 4
+        assert all(not restored for (_, _, _, restored, _) in events)
+        by_cell = {}
+        for cell_id, shard, total, _, elapsed in events:
+            assert total == 2
+            by_cell.setdefault(cell_id, []).append((shard, elapsed))
+        for pairs in by_cell.values():
+            assert [shard for shard, _ in pairs] == [0, 1]
+            assert pairs[0][1] <= pairs[1][1]
+
+    def test_render_status_lists_cells(self, tmp_path):
+        campaign = SweepCampaign(str(tmp_path), CELLS, seed=3)
+        campaign.run(max_cells=1)
+        text = campaign.render_status()
+        assert "1/2 cells done" in text
+        assert "pending" in text and "done" in text
+        for cell in CELLS:
+            assert cell.cell_id in text

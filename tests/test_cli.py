@@ -134,3 +134,66 @@ class TestMts:
         # Rerun resumes from the checkpoints and reports identically.
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestCampaign:
+    # Small, stall-heavy fig6 grid so every cell observes stalls fast.
+    RUN = ["campaign", "run", "--axis", "fig6", "--values", "1", "2",
+           "--banks", "4", "--bank-latency", "4", "--delay-rows", "64",
+           "--cycles", "4000", "--lanes", "4", "--shard-lanes", "2",
+           "--seed", "3"]
+
+    def test_run_status_report_cycle(self, capsys, tmp_path):
+        d = ["--dir", str(tmp_path / "c")]
+        assert main(self.RUN + d) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells done" in out
+        assert out.count("computed") == 4  # 2 cells x 2 shards
+
+        assert main(["campaign", "status", *d]) == 0
+        assert "2/2 cells done" in capsys.readouterr().out
+
+        assert main(["campaign", "report", *d]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6 axis" in out
+        assert "Wilson" in out and "CI coverage:" in out
+        assert "log10(MTS)" in out
+
+    def test_interrupted_run_resumes(self, capsys, tmp_path):
+        d = ["--dir", str(tmp_path / "c")]
+        assert main(self.RUN + d + ["--max-cells", "1"]) == 0
+        assert "1/2 cells done" in capsys.readouterr().out
+        # Resume without re-stating the grid: manifest remembers it.
+        assert main(["campaign", "run", *d]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells done" in out
+        assert out.count("computed") == 2  # only the pending cell ran
+
+    def test_status_json_is_machine_readable(self, capsys, tmp_path):
+        import json as jsonlib
+        d = ["--dir", str(tmp_path / "c")]
+        assert main(self.RUN + d) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--json", *d]) == 0
+        status = jsonlib.loads(capsys.readouterr().out)
+        assert status["cells_done"] == 2
+        assert all(c["status"] == "done" for c in status["cells"])
+
+    def test_report_before_any_cell_is_an_error(self, capsys, tmp_path):
+        d = ["--dir", str(tmp_path / "c")]
+        assert main(self.RUN + d + ["--max-cells", "0"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", *d]) == 1
+        assert "no finished cells" in capsys.readouterr().out
+
+    def test_run_without_values_is_reported(self, capsys, tmp_path):
+        code = main(["campaign", "run", "--dir", str(tmp_path / "c")])
+        assert code == 2
+        assert "--values" in capsys.readouterr().err
+
+    def test_loads_reject_load_axis(self, capsys, tmp_path):
+        code = main(["campaign", "run", "--dir", str(tmp_path / "c"),
+                     "--axis", "load", "--values", "0.5",
+                     "--loads", "0.5"])
+        assert code == 2
+        assert "fig4/fig6" in capsys.readouterr().err

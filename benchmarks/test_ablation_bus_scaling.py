@@ -7,6 +7,11 @@ that idle slots in the schedule do not accumulate slowly over time."
 Measured: empirical stall rate of a deliberately small configuration
 under full-rate uniform traffic as R sweeps 1.0 → 1.5; and the effect
 of the work-conserving arbiter (skip_idle_slots) at fixed R.
+
+``--fast`` adds the batch-engine variant of the same sweep with
+occupancy telemetry enabled: multi-lane stall counts per R plus the
+per-R pressure digest (peak bank-queue occupancy and the stall-reason
+mix), cross-checked against the counters.
 """
 
 from repro.core import VPNMConfig
@@ -60,3 +65,53 @@ def test_ablation_bus_scaling(benchmark):
     lines.append(f"arbitration at R=1.3: work-conserving {arbiter[True]}, "
                  f"strict round robin {arbiter[False]}")
     report("ablation_bus_scaling", "\n".join(lines))
+
+
+BATCH_CYCLES = 200_000
+BATCH_LANES = 4
+TELEMETRY_STRIDE = 500
+
+
+def test_ablation_bus_scaling_batch(benchmark, fast_mode):
+    """Batch-engine R sweep with telemetry: counts + pressure digest."""
+    from repro.sim.batchsim import BatchStallSimulator
+
+    def run_sweep():
+        out = {}
+        for ratio in RATIOS:
+            config = VPNMConfig(bus_scaling=ratio, **BASE)
+            out[ratio] = BatchStallSimulator(
+                config, seeds=range(BATCH_LANES)
+            ).run(BATCH_CYCLES, telemetry_stride=TELEMETRY_STRIDE)
+        return out
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    stalls = {r: int(results[r].delay_storage_stalls.sum()
+                     + results[r].bank_queue_stalls.sum())
+              for r in RATIOS}
+
+    # Same shape as the scalar sweep: sharp, monotone-to-noise decline.
+    counts = [stalls[r] for r in RATIOS]
+    assert counts[0] > 0
+    assert counts[-1] < counts[0] / 5
+    for earlier, later in zip(counts, counts[2:]):
+        assert later <= earlier
+
+    lines = [f"batch engine, {BATCH_LANES} lanes x {BATCH_CYCLES} cycles, "
+             f"telemetry stride {TELEMETRY_STRIDE} "
+             f"(B={BASE['banks']}, L={BASE['bank_latency']}, "
+             f"Q={BASE['queue_depth']})"]
+    for ratio in RATIOS:
+        telemetry = results[ratio].telemetry
+        assert telemetry is not None
+        # The telemetry's stall breakdown must agree with the counters.
+        assert sum(telemetry.stall_reasons.values()) == stalls[ratio]
+        assert telemetry.bank_queue_peak <= BASE["queue_depth"]
+        if int(results[ratio].bank_queue_stalls.sum()):
+            # A bank-queue stall means some queue was observed full.
+            assert telemetry.bank_queue_peak == BASE["queue_depth"]
+        mix = ", ".join(f"{k}={v}" for k, v in
+                        sorted(telemetry.stall_reasons.items()))
+        lines.append(f"  R={ratio:<4} stalls {stalls[ratio]:>8}  "
+                     f"peakQ {telemetry.bank_queue_peak}  [{mix or 'none'}]")
+    report("ablation_bus_scaling_batch", "\n".join(lines))

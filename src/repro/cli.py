@@ -7,6 +7,8 @@ analyze    Section 5 MTS analysis for one configuration
 mts        batch MTS campaign (vectorized lanes, shards, error bars)
 campaign   checkpointed sweep campaign over a (K | Q | load) grid,
            with resume, status, and predicted-vs-simulated report
+obs        inspect a JSONL telemetry event log: summary, tail, or
+           ASCII occupancy charts and per-bank pressure heatmap
 validate   fast simulation vs analytical MTS cross-check
 sweep      design-space sweep with Pareto frontier (Figure 7 style)
 table2     the paper's Table 2 design ladder, from our models
@@ -203,6 +205,7 @@ def _command_mts(args: argparse.Namespace) -> int:
         workers=args.workers,
         checkpoint_dir=args.checkpoint_dir,
         confidence=args.confidence,
+        telemetry_stride=args.telemetry_stride,
     )
     report = runner.run(args.cycles, idle_probability=args.idle)
     print(f"config: B={config.banks} L={config.bank_latency} "
@@ -218,6 +221,11 @@ def _command_mts(args: argparse.Namespace) -> int:
     print(f"  per-lane stalls: min {int(per_lane.min())} / "
           f"median {float(_median(per_lane)):.0f} / "
           f"max {int(per_lane.max())}")
+    if report.telemetry is not None:
+        from repro.obs.render import render_telemetry
+
+        print()
+        print(render_telemetry(report.telemetry, title="telemetry"))
     return 0
 
 
@@ -312,7 +320,8 @@ def _command_campaign(args: argparse.Namespace) -> int:
             confidence=args.confidence,
             # A resume keeps the manifest's axis; --axis only labels a
             # freshly defined grid.
-            axis=args.axis if cells is not None else None)
+            axis=args.axis if cells is not None else None,
+            telemetry_stride=args.telemetry_stride)
 
         def progress(cell_id, shard, total, restored, elapsed):
             verb = "restored" if restored else "computed"
@@ -346,6 +355,43 @@ def _command_campaign(args: argparse.Namespace) -> int:
     print(render_overlay_table(points, x_label=x_label, title=title))
     print()
     print(render_overlay_chart(points, x_label=x_label))
+    return 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    """Inspect a telemetry event log: summary / tail / chart."""
+    from repro.obs.events import read_events
+    from repro.obs.render import (
+        cell_telemetry,
+        render_telemetry,
+        summarize_events,
+    )
+
+    path = args.events
+    if path is None:
+        if args.dir is None:
+            raise ConfigurationError("need --events or --dir")
+        path = os.path.join(args.dir, "events.jsonl")
+    if not os.path.exists(path):
+        raise ConfigurationError(f"no event log at {path}")
+    events = read_events(path)
+
+    if args.action == "tail":
+        for event in events[-args.last:]:
+            print(json.dumps(event, sort_keys=True, separators=(",", ":")))
+        return 0
+    if args.action == "summary":
+        print(f"event log: {path}")
+        print(summarize_events(events))
+        return 0
+    # chart
+    try:
+        summary = cell_telemetry(events, cell_id=args.cell)
+    except ValueError as error:
+        raise ConfigurationError(str(error))
+    title = (f"cell {args.cell}" if args.cell
+             else "last finished cell with telemetry")
+    print(render_telemetry(summary, title=title, width=args.width))
     return 0
 
 
@@ -442,6 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
                      default="strict",
                      help="arbitration mode: strict round robin uses the "
                           "event-driven vectorized path (default)")
+    mts.add_argument("--telemetry-stride", type=int, default=None,
+                     help="sample occupancy telemetry every N interface "
+                          "cycles (default: telemetry off)")
     mts.set_defaults(handler=_command_mts)
 
     campaign = commands.add_parser(
@@ -483,7 +532,31 @@ def build_parser() -> argparse.ArgumentParser:
                                "(interrupt/resume testing)")
     campaign.add_argument("--json", action="store_true",
                           help="status action: machine-readable output")
+    campaign.add_argument("--telemetry-stride", type=int, default=None,
+                          help="sample occupancy telemetry every N "
+                               "interface cycles; the per-cell pressure "
+                               "digest lands in the manifest and the "
+                               "full series in events.jsonl")
     campaign.set_defaults(handler=_command_campaign)
+
+    obs = commands.add_parser(
+        "obs",
+        help="inspect a telemetry event log: summary, tail, or ASCII "
+             "occupancy charts with a per-bank pressure heatmap",
+    )
+    obs.add_argument("action", choices=["summary", "tail", "chart"])
+    obs.add_argument("--dir", default=None,
+                     help="campaign directory (reads its events.jsonl)")
+    obs.add_argument("--events", default=None,
+                     help="explicit event-log path (overrides --dir)")
+    obs.add_argument("--cell", default=None,
+                     help="chart action: cell id to chart (default: the "
+                          "last finished cell carrying telemetry)")
+    obs.add_argument("--last", type=int, default=10,
+                     help="tail action: events to show (default 10)")
+    obs.add_argument("--width", type=int, default=64,
+                     help="chart action: chart width in columns")
+    obs.set_defaults(handler=_command_obs)
 
     validate = commands.add_parser(
         "validate", help="fast simulation vs analytical MTS cross-check")

@@ -62,6 +62,28 @@ class BankController:
         self.access_queue = BankAccessQueue(depth=config.queue_depth)
         self.write_buffer = WriteBuffer(depth=config.write_buffer_depth)
         self.accesses_issued = 0
+        # Telemetry hooks; attach_metrics binds them to a registry.
+        self._m_queue = None
+        self._m_merged = None
+
+    def attach_metrics(self, registry, banks: int) -> None:
+        """Bind this bank's slice of the per-bank telemetry vectors.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry`; all banks
+        of one controller share the vectors (``bank.queue_depth``,
+        ``bank.delay_rows``, ``bank.write_buffer``, ``bank.merged``)
+        indexed by bank id.  Without attachment every hook stays None
+        and costs one predictable branch.
+        """
+        from repro.obs.metrics import BoundGauge
+
+        self._m_queue = BoundGauge(
+            registry.gauge_vector("bank.queue_depth", banks), self.index)
+        self.delay_storage.gauge = BoundGauge(
+            registry.gauge_vector("bank.delay_rows", banks), self.index)
+        self.write_buffer.gauge = BoundGauge(
+            registry.gauge_vector("bank.write_buffer", banks), self.index)
+        self._m_merged = registry.counter_vector("bank.merged", banks)
 
     # -- interface side --------------------------------------------------
 
@@ -92,6 +114,8 @@ class BankController:
                 if not self.delay_storage.can_reference(row_id):
                     return AcceptResult.stall("delay_storage")
                 self.delay_storage.add_reference(row_id)
+                if self._m_merged is not None:
+                    self._m_merged.inc(self.index)
                 return AcceptResult(accepted=True, merged=True,
                                     row_id=row_id)
         if self.delay_storage.is_full:
@@ -100,6 +124,8 @@ class BankController:
             return AcceptResult.stall("bank_queue")
         row_id = self.delay_storage.allocate(line, cam_visible=merging)
         self.access_queue.push_read(row_id)
+        if self._m_queue is not None:
+            self._m_queue.set(len(self.access_queue))
         return AcceptResult(accepted=True, merged=False, row_id=row_id)
 
     def try_accept_write(self, line: int, data: Any,
@@ -111,6 +137,8 @@ class BankController:
             return AcceptResult.stall("bank_queue")
         self.write_buffer.push(line, data)
         self.access_queue.push_write()
+        if self._m_queue is not None:
+            self._m_queue.set(len(self.access_queue))
         # A valid row for this address must stop matching new reads: they
         # are ordered after this write and must see the new data.
         self.delay_storage.invalidate_address(line)
@@ -137,6 +165,8 @@ class BankController:
             write = self.write_buffer.pop()
             device.write(self.index, write.line, write.data, mem_now)
         self.accesses_issued += 1
+        if self._m_queue is not None:
+            self._m_queue.set(len(self.access_queue))
 
     def deliver(self, row_id: int, mem_now: int) -> ConsumeResult:
         """Hand one due reply to the interface (state: waiting→completed)."""

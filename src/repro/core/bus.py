@@ -54,6 +54,16 @@ class BusScheduler:
         self._enqueued = [False] * len(banks)
         self.slots_idled = 0
         self.slots_used = 0
+        # Telemetry hooks; attach_metrics binds them to a registry.
+        self._m_used = None
+        self._m_idled = None
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror slot accounting into ``bus.slots_used``/``bus.slots_idled``
+        counters of a :class:`repro.obs.MetricsRegistry` (so registry
+        snapshots carry bus utilization alongside the bank vectors)."""
+        self._m_used = registry.counter("bus.slots_used")
+        self._m_idled = registry.counter("bus.slots_idled")
 
     # -- clock domain -----------------------------------------------------
 
@@ -96,8 +106,12 @@ class BusScheduler:
             if self._grant(slot):
                 issued += 1
                 self.slots_used += 1
+                if self._m_used is not None:
+                    self._m_used.inc()
             else:
                 self.slots_idled += 1
+                if self._m_idled is not None:
+                    self._m_idled.inc()
         return issued
 
     def _grant(self, slot: int) -> bool:

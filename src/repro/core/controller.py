@@ -94,6 +94,7 @@ class VPNMController:
         seed: Optional[int] = 0,
         interface_clock_mhz: float = 1000.0,
         refresh: Optional[tuple] = None,
+        metrics=None,
     ):
         """``refresh=(interval, cycles)`` enables the DRAM refresh model
         (extension — the paper ignores refresh): every ``interval``
@@ -101,7 +102,13 @@ class VPNMController:
         cycles, staggered across banks.  Refresh steals bank time the
         D = L*Q sizing does not account for, so it can produce late
         replies under load; the ablation bench quantifies the required
-        padding."""
+        padding.
+
+        ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`;
+        when given, the controller, bus and every bank controller emit
+        counters/gauges into it (DESIGN.md §9 lists the names).  When
+        None, telemetry is fully off: no instrument exists and every
+        hook is a single predictable branch."""
         self.config = config or VPNMConfig()
         self.interface_clock_mhz = interface_clock_mhz
         self.mapper = AddressMapper(
@@ -127,6 +134,19 @@ class VPNMController:
         self._ring = CircularDelayBuffer(self.config.normalized_delay)
         self.now = 0
         self.stats = ControllerStats()
+        self.metrics = metrics
+        self._m_accepted = None
+        self._m_stalls = None
+        self._m_queue_hist = None
+        if metrics is not None and metrics.enabled:
+            for bank in self.banks:
+                bank.attach_metrics(metrics, self.config.banks)
+            self.bus.attach_metrics(metrics)
+            self._m_accepted = metrics.counter("ctrl.requests_accepted")
+            self._m_stalls = metrics.counter("ctrl.stalls")
+            self._m_queue_hist = metrics.histogram(
+                "ctrl.queue_at_accept",
+                list(range(self.config.queue_depth)))
 
     # -- main loop ---------------------------------------------------------
 
@@ -208,6 +228,10 @@ class VPNMController:
                 request_id=request.request_id,
             )
             self.stats.record_stall(cycle, result.stall_reason)
+            if self._m_stalls is not None:
+                self._m_stalls.inc()
+                self.metrics.counter(
+                    "ctrl.stalls." + result.stall_reason).inc()
             if self.config.stall_policy == "drop":
                 self.stats.dropped_requests += 1
             return False, stall, None
@@ -238,6 +262,9 @@ class VPNMController:
         self.stats.max_write_buffer_used = max(
             self.stats.max_write_buffer_used, occupancy["write_buffer"]
         )
+        if self._m_accepted is not None:
+            self._m_accepted.inc()
+            self._m_queue_hist.observe(occupancy["queue"])
         return True, None, ring_payload
 
     # -- delivery path -----------------------------------------------------

@@ -76,6 +76,10 @@ class DelayStorageBuffer:
         self._cam: Dict[int, int] = {}
         self._free_heap: List[int] = list(range(rows))  # already sorted
         self.high_water = 0
+        #: Optional occupancy gauge (telemetry hook): anything with a
+        #: ``set(value)`` method, e.g. a ``repro.obs`` bound gauge.  Set
+        #: by the owning bank controller; None means telemetry off.
+        self.gauge = None
 
     # -- CAM side -----------------------------------------------------
 
@@ -138,6 +142,8 @@ class DelayStorageBuffer:
         if cam_visible:
             self._cam[address] = row_id
         self.high_water = max(self.high_water, self.rows_used)
+        if self.gauge is not None:
+            self.gauge.set(self.rows_used)
         return row_id
 
     def invalidate_address(self, address: int) -> Optional[int]:
@@ -206,6 +212,8 @@ class DelayStorageBuffer:
         row.data_ready_at = None
         row.access_pending = False
         heapq.heappush(self._free_heap, row_id)
+        if self.gauge is not None:
+            self.gauge.set(self.rows_used)
 
 
 class ConsumeResult:

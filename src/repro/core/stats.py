@@ -25,6 +25,10 @@ class ControllerStats:
     stalls: int = 0
     stall_reasons: Dict[str, int] = field(default_factory=dict)
     stall_cycles: List[int] = field(default_factory=list)
+    #: Retention cap for ``stall_cycles``; cycles past the cap still
+    #: count in ``stalls`` but only bump ``stall_cycles_dropped``.
+    stall_cycles_cap: int = 10_000
+    stall_cycles_dropped: int = 0
     dropped_requests: int = 0
     late_replies: int = 0            # replies whose data was not ready (bug)
     max_queue_occupancy: int = 0
@@ -34,10 +38,13 @@ class ControllerStats:
     def record_stall(self, cycle: int, reason: str) -> None:
         self.stalls += 1
         self.stall_reasons[reason] = self.stall_reasons.get(reason, 0) + 1
-        # Keep at most the first 10k stall cycles; enough for MTS
-        # estimation without unbounded growth on pathological runs.
-        if len(self.stall_cycles) < 10_000:
+        # Keep at most the first ``stall_cycles_cap`` stall cycles;
+        # enough for MTS estimation without unbounded growth on
+        # pathological runs.  Overflow is counted, not silently lost.
+        if len(self.stall_cycles) < self.stall_cycles_cap:
             self.stall_cycles.append(cycle)
+        else:
+            self.stall_cycles_dropped += 1
 
     @property
     def requests_accepted(self) -> int:
@@ -83,6 +90,9 @@ class ControllerStats:
             f"bank accesses:     {self.bank_accesses}",
             f"stalls:            {self.stalls} "
             f"({dict(self.stall_reasons) if self.stall_reasons else 'none'})",
+            f"stall cycles kept: {len(self.stall_cycles)} "
+            f"({self.stall_cycles_dropped} dropped past cap "
+            f"{self.stall_cycles_cap})",
             f"empirical MTS:     {'n/a (no stalls)' if mts is None else f'{mts:.1f} cycles'}",
             f"late replies:      {self.late_replies}",
         ]

@@ -33,6 +33,10 @@ class WriteBuffer:
         self.depth = depth
         self._entries: Deque[WriteEntry] = deque()
         self.high_water = 0
+        #: Optional occupancy gauge (telemetry hook): anything with a
+        #: ``set(value)`` method.  Bound by the bank controller when the
+        #: owning controller runs with a metrics registry; None = off.
+        self.gauge = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -53,6 +57,8 @@ class WriteBuffer:
             )
         self._entries.append(WriteEntry(line, data))
         self.high_water = max(self.high_water, len(self._entries))
+        if self.gauge is not None:
+            self.gauge.set(len(self._entries))
 
     def pop(self) -> WriteEntry:
         """Dequeue the oldest write for issue to the bank.
@@ -62,4 +68,7 @@ class WriteBuffer:
         """
         if not self._entries:
             raise IndexError("write buffer is empty")
-        return self._entries.popleft()
+        entry = self._entries.popleft()
+        if self.gauge is not None:
+            self.gauge.set(len(self._entries))
+        return entry

@@ -1,0 +1,75 @@
+"""Unified telemetry layer: metrics, structured events, occupancy series.
+
+The paper's argument rests on *internal* dynamics — bank-queue
+occupancy, delay-storage row pressure and write-buffer depth are exactly
+the three stall conditions of Section 5 — yet end-of-run counters say
+nothing about *when* the pressure built.  This package provides the
+three observability primitives every layer of the repo shares:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms, with a zero-overhead null
+  implementation (:data:`NULL_REGISTRY`) used when telemetry is off;
+* :mod:`repro.obs.events` — a versioned, structured JSONL event stream
+  (:class:`JsonlEventSink`) that batch runners and sweep campaigns
+  write through, with schema validation and adapters that keep the old
+  bare progress callbacks working;
+* :mod:`repro.obs.sampler` / :mod:`repro.obs.summary` — periodic
+  occupancy snapshots (configurable stride) turned into time series,
+  and the mergeable per-run :class:`TelemetrySummary` that campaign
+  manifests carry;
+* :mod:`repro.obs.render` — ASCII time-series and per-bank pressure
+  heatmap rendering for the ``repro obs`` CLI.
+
+See DESIGN.md §9 for the event schema, the metrics naming convention
+and the sampling-stride semantics.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventSink,
+    JsonlEventSink,
+    NullEventSink,
+    ShardProgressAdapter,
+    TeeEventSink,
+    read_events,
+    validate_event,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.render import (
+    render_heatmap,
+    render_series,
+    render_telemetry,
+    summarize_events,
+)
+from repro.obs.sampler import OccupancySampler
+from repro.obs.summary import TelemetrySummary
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventSink",
+    "JsonlEventSink",
+    "NullEventSink",
+    "ShardProgressAdapter",
+    "TeeEventSink",
+    "read_events",
+    "validate_event",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "OccupancySampler",
+    "TelemetrySummary",
+    "render_heatmap",
+    "render_series",
+    "render_telemetry",
+    "summarize_events",
+]

@@ -1,0 +1,233 @@
+"""Structured JSONL event stream for runs, shards and campaigns.
+
+One event per line, each a JSON object with a fixed envelope::
+
+    {"v": 1, "seq": 7, "type": "shard_finished", ...payload...,
+     "timing": {"elapsed_s": 1.93, "lane_cycles_per_s": 1.1e7}}
+
+Schema contract (DESIGN.md §9):
+
+* ``v`` — schema version (:data:`EVENT_SCHEMA_VERSION`); consumers
+  reject lines whose version they do not know.
+* ``seq`` — per-sink monotonically increasing sequence number,
+  starting at 0.
+* ``type`` — one of :data:`EVENT_TYPES`; each type's required payload
+  fields are listed there and enforced by :func:`validate_event`.
+* ``timing`` — the **only** envelope member allowed to carry
+  wall-clock-dependent values.  Everything outside ``timing`` is a pure
+  function of (config, seeds, interruption points), which is what makes
+  the determinism test possible: two runs of the same campaign cell
+  produce byte-identical JSONL once ``timing`` is dropped.
+
+Events are serialized with ``sort_keys=True`` and compact separators,
+so equal payloads are equal bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+EVENT_SCHEMA_VERSION = 1
+
+#: type -> required payload fields (name -> type check).  ``timing`` is
+#: always optional; extra payload fields are allowed (forward compat).
+EVENT_TYPES: Dict[str, Dict[str, type]] = {
+    # Campaign lifecycle.
+    "campaign_started": {"cells_total": int, "cells_done": int},
+    "cell_started": {"cell": str, "lanes": int, "cycles": int},
+    "cell_resumed": {"cell": str, "lanes": int, "cycles": int},
+    "cell_finished": {"cell": str, "result": dict},
+    # Batch-runner progress.
+    "shard_finished": {"shard": int, "shards": int, "restored": bool,
+                       "lanes": int},
+    "stalls_observed": {"shard": int, "delay_storage": int,
+                        "bank_queue": int},
+}
+
+
+def validate_event(event: object) -> dict:
+    """Check one decoded event against the schema; returns it.
+
+    Raises ``ValueError`` with a specific message on any violation —
+    the CI telemetry smoke step validates every emitted line through
+    this function.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be an object, got {type(event).__name__}")
+    version = event.get("v")
+    if version != EVENT_SCHEMA_VERSION:
+        raise ValueError(f"unknown event schema version {version!r}")
+    seq = event.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ValueError(f"seq must be a non-negative int, got {seq!r}")
+    event_type = event.get("type")
+    if event_type not in EVENT_TYPES:
+        raise ValueError(f"unknown event type {event_type!r}")
+    for name, kind in EVENT_TYPES[event_type].items():
+        value = event.get(name)
+        if name not in event:
+            raise ValueError(f"{event_type} event missing field {name!r}")
+        if kind is int and isinstance(value, bool):
+            raise ValueError(f"{event_type}.{name} must be int, got bool")
+        if not isinstance(value, kind):
+            raise ValueError(
+                f"{event_type}.{name} must be {kind.__name__}, "
+                f"got {type(value).__name__}")
+    timing = event.get("timing")
+    if timing is not None:
+        if not isinstance(timing, dict):
+            raise ValueError("timing must be an object")
+        for key, value in timing.items():
+            if value is not None and not isinstance(value, numbers.Real):
+                raise ValueError(
+                    f"timing.{key} must be numeric or null, "
+                    f"got {type(value).__name__}")
+    return event
+
+
+class EventSink:
+    """Interface: receives typed events; subclasses decide what to do."""
+
+    def emit(self, event_type: str, payload: Optional[dict] = None,
+             timing: Optional[dict] = None) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullEventSink(EventSink):
+    """Telemetry-off sink: drops everything."""
+
+    def emit(self, event_type: str, payload: Optional[dict] = None,
+             timing: Optional[dict] = None) -> None:
+        pass
+
+
+NULL_EVENTS = NullEventSink()
+
+
+class JsonlEventSink(EventSink):
+    """Appends one validated, canonically-serialized JSON object per event.
+
+    ``path`` is opened in append mode so interrupted campaigns keep one
+    continuous log across resumes; ``seq`` restarts at 0 per sink (per
+    process attachment), so consumers order by file position, not seq.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "a")
+        self._seq = 0
+
+    def emit(self, event_type: str, payload: Optional[dict] = None,
+             timing: Optional[dict] = None) -> None:
+        event = {"v": EVENT_SCHEMA_VERSION, "seq": self._seq,
+                 "type": event_type}
+        if payload:
+            for key in payload:
+                if key in ("v", "seq", "type", "timing"):
+                    raise ValueError(
+                        f"payload field {key!r} collides with the envelope")
+            event.update(payload)
+        if timing is not None:
+            event["timing"] = timing
+        validate_event(event)
+        self._fh.write(json.dumps(event, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+        self._seq += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class TeeEventSink(EventSink):
+    """Fans one event out to several sinks (e.g. JSONL + callback adapter)."""
+
+    def __init__(self, sinks: Sequence[EventSink]):
+        self.sinks = [s for s in sinks if s is not None]
+
+    def emit(self, event_type: str, payload: Optional[dict] = None,
+             timing: Optional[dict] = None) -> None:
+        for sink in self.sinks:
+            sink.emit(event_type, payload, timing)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class ShardProgressAdapter(EventSink):
+    """Replays ``shard_finished`` events into the legacy per-shard callback.
+
+    The pre-telemetry :data:`~repro.sim.batchrunner.ShardProgress`
+    signature was ``(shard_index, total_shards, restored,
+    elapsed_seconds)``; runners now speak events, and this adapter keeps
+    every existing caller working unchanged.
+    """
+
+    def __init__(self, callback: Callable[[int, int, bool, float], None]):
+        self.callback = callback
+
+    def emit(self, event_type: str, payload: Optional[dict] = None,
+             timing: Optional[dict] = None) -> None:
+        if event_type != "shard_finished":
+            return
+        elapsed = (timing or {}).get("elapsed_s", 0.0)
+        self.callback(payload["shard"], payload["shards"],
+                      payload["restored"], elapsed)
+
+
+class CampaignProgressAdapter(EventSink):
+    """Replays shard events into the legacy campaign progress callback.
+
+    Signature: ``(cell_id, shard_index, total_shards, restored,
+    elapsed_seconds)`` — the shard events a campaign forwards carry the
+    owning cell id in their payload.
+    """
+
+    def __init__(self,
+                 callback: Callable[[str, int, int, bool, float], None]):
+        self.callback = callback
+
+    def emit(self, event_type: str, payload: Optional[dict] = None,
+             timing: Optional[dict] = None) -> None:
+        if event_type != "shard_finished" or "cell" not in (payload or {}):
+            return
+        elapsed = (timing or {}).get("elapsed_s", 0.0)
+        self.callback(payload["cell"], payload["shard"], payload["shards"],
+                      payload["restored"], elapsed)
+
+
+def iter_events(path: str, validate: bool = True) -> Iterator[dict]:
+    """Yield decoded events from a JSONL log, optionally validating each."""
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as error:
+                raise ValueError(f"{path}:{lineno}: bad JSON: {error}")
+            if validate:
+                try:
+                    validate_event(event)
+                except ValueError as error:
+                    raise ValueError(f"{path}:{lineno}: {error}")
+            yield event
+
+
+def read_events(path: str, validate: bool = True) -> List[dict]:
+    """All events of a JSONL log as a list."""
+    return list(iter_events(path, validate=validate))

@@ -1,0 +1,307 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Naming convention (DESIGN.md §9): dotted ``subsystem.metric`` paths —
+``ctrl.reads_accepted``, ``bus.slots_used``, ``bank.queue_depth``.
+Per-bank instruments are *vectors* indexed by bank id rather than one
+name per bank, so a 64-bank controller costs one instrument, not 64
+dict entries, and a heatmap reads the whole vector at once.
+
+Two implementations share the interface:
+
+* :class:`MetricsRegistry` — the recording one.  Instruments are
+  created idempotently (same name → same object) and the whole registry
+  serializes with :meth:`MetricsRegistry.snapshot`.
+* :class:`NullMetricsRegistry` (singleton :data:`NULL_REGISTRY`) — the
+  telemetry-off fast path.  Every instrument it hands out is a shared
+  do-nothing singleton, so an instrumented hot loop pays one attribute
+  call per event and allocates nothing.  Code that cannot afford even
+  that holds ``None`` instead and guards the call site (the batch
+  engines gate all telemetry behind one branch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down; tracks its own peak."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+
+class GaugeVector:
+    """One gauge per integer index (e.g. per bank), with per-index peaks."""
+
+    __slots__ = ("name", "values", "peaks")
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.values: List[int] = [0] * size
+        self.peaks: List[int] = [0] * size
+
+    def set(self, index: int, value) -> None:
+        self.values[index] = value
+        if value > self.peaks[index]:
+            self.peaks[index] = value
+
+    @property
+    def peak(self):
+        return max(self.peaks) if self.peaks else 0
+
+
+class BoundGauge:
+    """One :class:`GaugeVector` slot with the scalar :class:`Gauge` API.
+
+    Structures that know their occupancy but not their bank id (delay
+    storage, write buffer) hold one of these, bound by the bank
+    controller, so every bank still writes into a single vector.
+    """
+
+    __slots__ = ("vector", "index")
+
+    def __init__(self, vector: GaugeVector, index: int):
+        self.vector = vector
+        self.index = index
+
+    def set(self, value) -> None:
+        self.vector.set(self.index, value)
+
+    @property
+    def value(self):
+        return self.vector.values[self.index]
+
+    @property
+    def peak(self):
+        return self.vector.peaks[self.index]
+
+
+class CounterVector:
+    """One counter per integer index (e.g. per bank)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.values: List[int] = [0] * size
+
+    def inc(self, index: int, amount: int = 1) -> None:
+        self.values[index] += amount
+
+    @property
+    def total(self) -> int:
+        return sum(self.values)
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``buckets`` are the inclusive upper bounds of each bin, strictly
+    increasing; observations above the last bound land in the overflow
+    bin, so ``counts`` has ``len(buckets) + 1`` entries and the total
+    observation count is always ``sum(counts)``.
+    """
+
+    __slots__ = ("name", "buckets", "counts")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = list(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(later <= earlier
+               for later, earlier in zip(bounds[1:], bounds)):
+            raise ValueError("histogram buckets must strictly increase")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+
+    def observe(self, value) -> None:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+class MetricsRegistry:
+    """Creates and owns instruments; same name always returns the same one."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _get(self, name: str, factory, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), Gauge)
+
+    def gauge_vector(self, name: str, size: int) -> GaugeVector:
+        return self._get(name, lambda: GaugeVector(name, size), GaugeVector)
+
+    def counter_vector(self, name: str, size: int) -> CounterVector:
+        return self._get(name, lambda: CounterVector(name, size),
+                         CounterVector)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float]) -> Histogram:
+        return self._get(name, lambda: Histogram(name, buckets), Histogram)
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every instrument's current state."""
+        out: Dict[str, dict] = {}
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value,
+                             "peak": instrument.peak}
+            elif isinstance(instrument, GaugeVector):
+                out[name] = {"type": "gauge_vector",
+                             "values": list(instrument.values),
+                             "peaks": list(instrument.peaks)}
+            elif isinstance(instrument, CounterVector):
+                out[name] = {"type": "counter_vector",
+                             "values": list(instrument.values)}
+            elif isinstance(instrument, Histogram):
+                out[name] = {"type": "histogram",
+                             "buckets": list(instrument.buckets),
+                             "counts": list(instrument.counts)}
+        return out
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0
+    peak = 0
+
+    def set(self, value) -> None:
+        pass
+
+
+class _NullGaugeVector:
+    __slots__ = ()
+    name = "null"
+    values: List[int] = []
+    peaks: List[int] = []
+    peak = 0
+
+    def set(self, index: int, value) -> None:
+        pass
+
+
+class _NullCounterVector:
+    __slots__ = ()
+    name = "null"
+    values: List[int] = []
+    total = 0
+
+    def inc(self, index: int, amount: int = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    buckets: List[float] = []
+    counts: List[int] = []
+    total = 0
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_GAUGE_VECTOR = _NullGaugeVector()
+_NULL_COUNTER_VECTOR = _NullCounterVector()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """Telemetry-off registry: every instrument is a shared no-op."""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def gauge_vector(self, name: str, size: int) -> _NullGaugeVector:
+        return _NULL_GAUGE_VECTOR
+
+    def counter_vector(self, name: str, size: int) -> _NullCounterVector:
+        return _NULL_COUNTER_VECTOR
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float]) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+#: Shared telemetry-off registry.  ``registry or NULL_REGISTRY`` is the
+#: canonical way to default an optional ``metrics`` parameter.
+NULL_REGISTRY = NullMetricsRegistry()
+
+
+def registry_or_null(
+        registry: Optional[MetricsRegistry]) -> "MetricsRegistry":
+    """Normalize an optional registry argument to a usable one."""
+    return registry if registry is not None else NULL_REGISTRY

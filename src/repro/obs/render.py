@@ -1,0 +1,198 @@
+"""ASCII rendering of occupancy time series and bank-pressure heatmaps.
+
+Everything here consumes the JSON-able telemetry structures (a
+:class:`~repro.obs.summary.TelemetrySummary` or a decoded event list),
+so the ``repro obs`` CLI can render any finished run straight from its
+event log without touching a simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.obs.summary import TelemetrySummary
+
+#: Intensity ramp for the heatmap, low to high.
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def _downsample_max(values: Sequence[int], width: int) -> List[int]:
+    """Group-wise maximum so ``values`` fits ``width`` columns.
+
+    -1 means "no sample" and loses to any real value.
+    """
+    n = len(values)
+    if n <= width:
+        return list(values)
+    out = []
+    for col in range(width):
+        lo = col * n // width
+        hi = max(lo + 1, (col + 1) * n // width)
+        out.append(max(values[lo:hi]))
+    return out
+
+
+def render_series(bucket_cycles: Sequence[int], values: Sequence[int],
+                  label: str = "", width: int = 64,
+                  height: int = 8) -> str:
+    """One occupancy series as a bar chart, one column per time bucket.
+
+    Rows run from the series maximum down to zero; ``-1`` buckets (no
+    sample landed there) render as blank columns.
+    """
+    if not values:
+        return f"{label}: no samples"
+    cols = _downsample_max(values, width)
+    peak = max(cols)
+    if peak < 0:
+        return f"{label}: no samples"
+    top = max(peak, 1)
+    lines = [f"{label}  (peak {peak}, {len(values)} buckets)"]
+    for row in range(height, 0, -1):
+        threshold = top * row / height
+        cells = []
+        for value in cols:
+            if value < 0:
+                cells.append(" ")
+            elif value >= threshold:
+                cells.append("#")
+            else:
+                cells.append(" ")
+        lines.append(f"{top * row // height:>6} |{''.join(cells)}")
+    axis = "-" * len(cols)
+    lines.append(f"{'':>6} +{axis}")
+    first = bucket_cycles[0] if bucket_cycles else 0
+    last = bucket_cycles[-1] if bucket_cycles else 0
+    lines.append(f"{'':>7}cycle {first} .. {last}")
+    return "\n".join(lines)
+
+
+def render_heatmap(bank_pressure: Sequence[Sequence[int]],
+                   bucket_cycles: Sequence[int],
+                   label: str = "per-bank queue pressure",
+                   width: int = 64) -> str:
+    """Bank x time heatmap of sampled queue depth.
+
+    One row per bank, one column per (downsampled) time bucket; the
+    ramp ``' .:-=+*#%@'`` is normalized to the matrix maximum.  Buckets
+    without samples render as blanks.
+    """
+    if not bank_pressure:
+        return f"{label}: no samples"
+    banks = len(bank_pressure[0])
+    # Transpose to bank-major rows, downsampling time to ``width``.
+    rows: List[List[int]] = []
+    for bank in range(banks):
+        series = [bucket[bank] for bucket in bank_pressure]
+        rows.append(_downsample_max(series, width))
+    peak = max(max(row) for row in rows)
+    if peak < 0:
+        return f"{label}: no samples"
+    scale = max(peak, 1)
+    lines = [f"{label}  (peak {peak})"]
+    for bank, row in enumerate(rows):
+        cells = []
+        for value in row:
+            if value < 0:
+                cells.append(" ")
+            else:
+                index = min(len(HEAT_RAMP) - 1,
+                            (value * (len(HEAT_RAMP) - 1) + scale - 1)
+                            // scale)
+                cells.append(HEAT_RAMP[index])
+        lines.append(f"bank {bank:>3} |{''.join(cells)}|")
+    first = bucket_cycles[0] if bucket_cycles else 0
+    last = bucket_cycles[-1] if bucket_cycles else 0
+    lines.append(f"{'':>9}cycle {first} .. {last}   "
+                 f"ramp '{HEAT_RAMP}' 0..{peak}")
+    return "\n".join(lines)
+
+
+def render_telemetry(summary: TelemetrySummary, title: str = "",
+                     width: int = 64) -> str:
+    """Full telemetry digest: peaks, stall breakdown, series, heatmap."""
+    reasons = summary.stall_reasons or {}
+    total_stalls = sum(reasons.values())
+    header = [
+        title or "telemetry",
+        f"  lanes {summary.lanes} x {summary.cycles} cycles, "
+        f"sampling stride {summary.stride}",
+        f"  peak bank-queue occupancy: {summary.bank_queue_peak}",
+        f"  delay-row high-water mark: {summary.delay_rows_peak}",
+        f"  stalls: {total_stalls}"
+        + (f" ({', '.join(f'{k}={v}' for k, v in sorted(reasons.items()))})"
+           if reasons else ""),
+    ]
+    parts = ["\n".join(header)]
+    parts.append(render_series(summary.bucket_cycles, summary.queue_series,
+                               label="bank-queue occupancy (sampled max)",
+                               width=width))
+    parts.append(render_series(summary.bucket_cycles, summary.rows_series,
+                               label="delay-row occupancy (sampled max)",
+                               width=width))
+    parts.append(render_heatmap(summary.bank_pressure,
+                                summary.bucket_cycles, width=width))
+    return "\n\n".join(parts)
+
+
+def summarize_events(events: List[dict]) -> str:
+    """Digest of an event log: counts by type and a per-cell table."""
+    if not events:
+        return "empty event log"
+    counts: dict = {}
+    for event in events:
+        counts[event["type"]] = counts.get(event["type"], 0) + 1
+    lines = [f"{len(events)} events "
+             f"({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})"]
+    cells = _cells_in(events)
+    if cells:
+        lines.append(f"{'cell':<44} {'status':>9} {'stalls':>8} "
+                     f"{'peakQ':>6} {'peakK':>6}")
+        for cell_id, info in cells.items():
+            lines.append(
+                f"{cell_id:<44} {info['status']:>9} "
+                f"{info.get('stalls', '-'):>8} "
+                f"{info.get('peak_queue', '-'):>6} "
+                f"{info.get('peak_rows', '-'):>6}")
+    return "\n".join(lines)
+
+
+def _cells_in(events: List[dict]) -> dict:
+    cells: dict = {}
+    for event in events:
+        cell_id = event.get("cell")
+        if cell_id is None:
+            continue
+        info = cells.setdefault(cell_id, {"status": "running"})
+        if event["type"] == "cell_resumed":
+            info["status"] = "resumed"
+        elif event["type"] == "cell_finished":
+            info["status"] = "finished"
+            result = event.get("result", {})
+            info["stalls"] = result.get("total_stalls", "-")
+            telemetry = event.get("telemetry")
+            if telemetry:
+                info["peak_queue"] = telemetry.get("bank_queue_peak", "-")
+                info["peak_rows"] = telemetry.get("delay_rows_peak", "-")
+    return cells
+
+
+def cell_telemetry(events: List[dict],
+                   cell_id: Optional[str] = None) -> TelemetrySummary:
+    """The full telemetry summary of a finished cell from its event log.
+
+    With ``cell_id=None`` the last finished cell carrying telemetry is
+    used.  Raises ``ValueError`` when no matching telemetry exists.
+    """
+    chosen = None
+    for event in events:
+        if event["type"] != "cell_finished":
+            continue
+        if cell_id is not None and event.get("cell") != cell_id:
+            continue
+        if event.get("telemetry_full"):
+            chosen = event
+    if chosen is None:
+        target = f"cell {cell_id!r}" if cell_id else "any finished cell"
+        raise ValueError(f"no telemetry found for {target} in the event log")
+    return TelemetrySummary.from_dict(chosen["telemetry_full"])

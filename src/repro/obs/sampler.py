@@ -1,0 +1,118 @@
+"""Periodic occupancy snapshots for the scalar controller.
+
+:class:`OccupancySampler` wraps a :class:`~repro.core.controller.
+VPNMController` and, every ``stride`` interface cycles, records the
+three structure occupancies the paper's stall analysis is built on —
+per-bank access-queue depth, delay-storage rows in use, write-buffer
+depth — plus bus-slot utilization over the sampling window.  The
+samples become the same :class:`~repro.obs.summary.TelemetrySummary`
+the vectorized batch engine produces, so one renderer serves both
+paths.
+
+Driving pattern::
+
+    sampler = OccupancySampler(controller, stride=100)
+    for request in workload:
+        controller.step(request)
+        sampler.tick()
+    summary = sampler.summary()
+
+or pass the sampler to :func:`repro.sim.runner.run_workload` which
+ticks it once per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.summary import TelemetrySummary
+
+
+class OccupancySampler:
+    """Stride-sampled occupancy time series for one controller run."""
+
+    def __init__(self, controller, stride: int = 1000):
+        if stride < 1:
+            raise ValueError("sampling stride must be >= 1")
+        self.controller = controller
+        self.stride = stride
+        self.sample_cycles: List[int] = []
+        #: Per-sample per-bank arrays (lists of lists, bank-indexed).
+        self.queue_depth: List[List[int]] = []
+        self.delay_rows: List[List[int]] = []
+        self.write_buffer: List[List[int]] = []
+        #: Per-sample bus utilization over the window since the last
+        #: sample (slots used / slots elapsed; None for an idle window).
+        self.bus_utilization: List[Optional[float]] = []
+        self._last_used = controller.bus.slots_used
+        self._last_idled = controller.bus.slots_idled
+        self._next_sample = controller.now
+
+    def tick(self) -> bool:
+        """Call once per interface cycle; samples when the stride elapses."""
+        if self.controller.now < self._next_sample:
+            return False
+        self.sample()
+        return True
+
+    def sample(self) -> None:
+        """Record one snapshot now, regardless of stride position."""
+        controller = self.controller
+        self.sample_cycles.append(controller.now)
+        queues, rows, writes = [], [], []
+        for bank in controller.banks:
+            occupancy = bank.occupancy()
+            queues.append(occupancy["queue"])
+            rows.append(occupancy["delay_rows"])
+            writes.append(occupancy["write_buffer"])
+        self.queue_depth.append(queues)
+        self.delay_rows.append(rows)
+        self.write_buffer.append(writes)
+        used = controller.bus.slots_used
+        idled = controller.bus.slots_idled
+        window = (used - self._last_used) + (idled - self._last_idled)
+        self.bus_utilization.append(
+            (used - self._last_used) / window if window else None)
+        self._last_used, self._last_idled = used, idled
+        self._next_sample = controller.now + self.stride
+
+    @property
+    def samples(self) -> int:
+        return len(self.sample_cycles)
+
+    def summary(self) -> TelemetrySummary:
+        """Fold the samples (plus the controller's exact peak counters
+        and stall breakdown) into a mergeable telemetry summary."""
+        controller = self.controller
+        stats = controller.stats
+        banks = len(controller.banks)
+        cycles = controller.now
+        buckets = cycles // self.stride + 1
+        out = TelemetrySummary(stride=self.stride, cycles=cycles, lanes=1)
+        # Peaks come from the controller's exact high-water counters,
+        # not the samples — sampling can only miss a peak, never see a
+        # higher one.
+        out.bank_queue_peak = stats.max_queue_occupancy
+        out.delay_rows_peak = stats.max_delay_rows_used
+        out.per_lane_queue_peak = [stats.max_queue_occupancy]
+        out.per_lane_rows_peak = [stats.max_delay_rows_used]
+        out.stall_reasons = dict(stats.stall_reasons)
+        out.bucket_cycles = [b * self.stride for b in range(buckets)]
+        out.queue_series = [-1] * buckets
+        out.rows_series = [-1] * buckets
+        out.bank_pressure = [[-1] * banks for _ in range(buckets)]
+        for i, cycle in enumerate(self.sample_cycles):
+            bucket = cycle // self.stride
+            if bucket >= buckets:
+                continue
+            queue_max = max(self.queue_depth[i])
+            rows_max = max(self.delay_rows[i])
+            if queue_max > out.queue_series[bucket]:
+                out.queue_series[bucket] = queue_max
+            if rows_max > out.rows_series[bucket]:
+                out.rows_series[bucket] = rows_max
+            pressure = out.bank_pressure[bucket]
+            for bank, depth in enumerate(self.queue_depth[i]):
+                if depth > pressure[bank]:
+                    pressure[bank] = depth
+        return out

@@ -1,0 +1,147 @@
+"""Per-run telemetry summaries: mergeable, JSON-able, manifest-ready.
+
+A :class:`TelemetrySummary` is what survives a run: occupancy peaks,
+the stall-reason breakdown, and the stride-sampled occupancy time
+series (per-lane maxima plus the per-bank pressure matrix the heatmap
+renders).  Shards produce one each; :meth:`TelemetrySummary.merge`
+folds them into the campaign-cell summary the manifest stores.
+
+Sampling-stride semantics (DESIGN.md §9): series values are occupancy
+*samples* taken every ~``stride`` interface cycles, bucketed by
+``cycle // stride``.  Bank-queue peaks are exact (tracked at every
+accept); the delay-row high-water mark is the maximum over sampled
+occupancies — exact whenever ``stride <= banks`` on the strict engine
+(every accept sampled), a lower bound otherwise.  Buckets no sample
+landed in hold -1 ("no data"), which merge treats as neutral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class TelemetrySummary:
+    """Everything a finished run's telemetry boils down to."""
+
+    stride: int
+    cycles: int
+    lanes: int
+    bank_queue_peak: int = 0
+    delay_rows_peak: int = 0
+    per_lane_queue_peak: List[int] = field(default_factory=list)
+    per_lane_rows_peak: List[int] = field(default_factory=list)
+    stall_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Bucket start cycles (``bucket * stride``), shared by every series.
+    bucket_cycles: List[int] = field(default_factory=list)
+    #: Max bank-queue occupancy sampled in each bucket (-1 = no sample).
+    queue_series: List[int] = field(default_factory=list)
+    #: Max delay-row occupancy sampled in each bucket (-1 = no sample).
+    rows_series: List[int] = field(default_factory=list)
+    #: ``[bucket][bank]`` max sampled queue depth (-1 = no sample).
+    bank_pressure: List[List[int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "stride": self.stride,
+            "cycles": self.cycles,
+            "lanes": self.lanes,
+            "bank_queue_peak": self.bank_queue_peak,
+            "delay_rows_peak": self.delay_rows_peak,
+            "per_lane_queue_peak": list(self.per_lane_queue_peak),
+            "per_lane_rows_peak": list(self.per_lane_rows_peak),
+            "stall_reasons": dict(self.stall_reasons),
+            "bucket_cycles": list(self.bucket_cycles),
+            "queue_series": list(self.queue_series),
+            "rows_series": list(self.rows_series),
+            "bank_pressure": [list(row) for row in self.bank_pressure],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetrySummary":
+        return cls(
+            stride=int(data["stride"]),
+            cycles=int(data["cycles"]),
+            lanes=int(data["lanes"]),
+            bank_queue_peak=int(data.get("bank_queue_peak", 0)),
+            delay_rows_peak=int(data.get("delay_rows_peak", 0)),
+            per_lane_queue_peak=[int(v) for v in
+                                 data.get("per_lane_queue_peak", [])],
+            per_lane_rows_peak=[int(v) for v in
+                                data.get("per_lane_rows_peak", [])],
+            stall_reasons={str(k): int(v) for k, v in
+                           data.get("stall_reasons", {}).items()},
+            bucket_cycles=[int(v) for v in data.get("bucket_cycles", [])],
+            queue_series=[int(v) for v in data.get("queue_series", [])],
+            rows_series=[int(v) for v in data.get("rows_series", [])],
+            bank_pressure=[[int(v) for v in row]
+                           for row in data.get("bank_pressure", [])],
+        )
+
+    def manifest_digest(self) -> dict:
+        """The compact form campaign manifests carry per cell."""
+        return {
+            "stride": self.stride,
+            "bank_queue_peak": self.bank_queue_peak,
+            "delay_rows_peak": self.delay_rows_peak,
+            "stall_reasons": dict(self.stall_reasons),
+        }
+
+    @classmethod
+    def merge(cls, parts: Sequence["TelemetrySummary"]) -> "TelemetrySummary":
+        """Fold shard summaries into one run summary.
+
+        Lanes concatenate, peaks take the maximum, stall reasons add,
+        and series take the bucket-wise maximum (-1 buckets are
+        neutral).  All parts must share stride and per-lane cycles.
+        """
+        if not parts:
+            raise ValueError("nothing to merge")
+        first = parts[0]
+        for part in parts[1:]:
+            if part.stride != first.stride or part.cycles != first.cycles:
+                raise ValueError(
+                    "cannot merge telemetry with mismatched stride/cycles")
+        merged = cls(stride=first.stride, cycles=first.cycles,
+                     lanes=sum(p.lanes for p in parts))
+        merged.bank_queue_peak = max(p.bank_queue_peak for p in parts)
+        merged.delay_rows_peak = max(p.delay_rows_peak for p in parts)
+        for part in parts:
+            merged.per_lane_queue_peak.extend(part.per_lane_queue_peak)
+            merged.per_lane_rows_peak.extend(part.per_lane_rows_peak)
+            for reason, count in part.stall_reasons.items():
+                merged.stall_reasons[reason] = (
+                    merged.stall_reasons.get(reason, 0) + count)
+        buckets = max(len(p.bucket_cycles) for p in parts)
+        merged.bucket_cycles = [b * first.stride for b in range(buckets)]
+        merged.queue_series = _series_max(
+            [p.queue_series for p in parts], buckets)
+        merged.rows_series = _series_max(
+            [p.rows_series for p in parts], buckets)
+        banks = max((len(p.bank_pressure[0]) if p.bank_pressure else 0)
+                    for p in parts)
+        merged.bank_pressure = _matrix_max(
+            [p.bank_pressure for p in parts], buckets, banks)
+        return merged
+
+
+def _series_max(series_list: List[List[int]], buckets: int) -> List[int]:
+    out = [-1] * buckets
+    for series in series_list:
+        for i, value in enumerate(series):
+            if value > out[i]:
+                out[i] = value
+    return out
+
+
+def _matrix_max(matrices: List[List[List[int]]], buckets: int,
+                banks: int) -> List[List[int]]:
+    out = [[-1] * banks for _ in range(buckets)]
+    for matrix in matrices:
+        for i, row in enumerate(matrix):
+            target = out[i]
+            for j, value in enumerate(row):
+                if value > target[j]:
+                    target[j] = value
+    return out

@@ -36,6 +36,13 @@ from repro.analysis.confidence import (
 )
 from repro.core.config import VPNMConfig
 from repro.core.exceptions import ConfigurationError
+from repro.obs.events import (
+    EventSink,
+    NULL_EVENTS,
+    ShardProgressAdapter,
+    TeeEventSink,
+)
+from repro.obs.summary import TelemetrySummary
 from repro.sim.batchsim import BatchStallSimulator
 
 __all__ = ["BatchReport", "BatchRunner", "ShardProgress", "lane_seeds",
@@ -88,6 +95,8 @@ class BatchReport:
     #: campaign ran with ``stall_cycle_limit > 0``; ``None`` otherwise.
     stall_cycles: Optional[List[np.ndarray]] = field(default=None,
                                                      repr=False)
+    #: Merged occupancy telemetry (``telemetry_stride`` runs only).
+    telemetry: Optional[TelemetrySummary] = field(default=None, repr=False)
 
     @property
     def lanes(self) -> int:
@@ -168,10 +177,12 @@ def _config_fingerprint(config: VPNMConfig, cycles: int,
 
 def _run_shard(args):
     """Worker entry point (top level, so it pickles)."""
-    config, shard_seeds, cycles, idle_probability, stall_limit = args
+    (config, shard_seeds, cycles, idle_probability, stall_limit,
+     telemetry_stride) = args
     result = BatchStallSimulator(
         config, shard_seeds, stall_cycle_limit=stall_limit
-    ).run(cycles, idle_probability=idle_probability)
+    ).run(cycles, idle_probability=idle_probability,
+          telemetry_stride=telemetry_stride)
     data = {
         "seeds": list(shard_seeds),
         "accepted": result.accepted.tolist(),
@@ -181,6 +192,8 @@ def _run_shard(args):
     if stall_limit > 0:
         data["stall_cycles"] = [lane.tolist()
                                 for lane in result.stall_cycles]
+    if telemetry_stride is not None:
+        data["telemetry"] = result.telemetry.to_dict()
     return data
 
 
@@ -195,7 +208,8 @@ class BatchRunner:
                  workers: int = 1,
                  checkpoint_dir: Optional[str] = None,
                  stall_cycle_limit: int = 0,
-                 confidence: float = 0.95):
+                 confidence: float = 0.95,
+                 telemetry_stride: Optional[int] = None):
         if seeds is None:
             if lanes is None:
                 raise ConfigurationError("need either seeds or lanes")
@@ -224,6 +238,13 @@ class BatchRunner:
             raise ConfigurationError("stall_cycle_limit must be >= 0")
         self.stall_cycle_limit = stall_cycle_limit
         self.confidence = confidence
+        #: Occupancy-telemetry sampling stride (interface cycles); shard
+        #: summaries ride the checkpoints and merge into
+        #: :attr:`BatchReport.telemetry`.  ``None`` keeps the engines on
+        #: their telemetry-off fast path.
+        if telemetry_stride is not None and telemetry_stride < 1:
+            raise ConfigurationError("telemetry_stride must be >= 1")
+        self.telemetry_stride = telemetry_stride
 
     # -- checkpointing ----------------------------------------------------
 
@@ -274,6 +295,18 @@ class BatchRunner:
                 # Checkpoints written without stall recording (or with a
                 # mangled record) cannot serve a recording run.
                 return None
+        if self.telemetry_stride is not None:
+            # Same rule for telemetry: the stride is not part of the
+            # fingerprint, so a checkpoint only serves a telemetry run
+            # if it recorded a summary at exactly this stride.
+            telemetry = data.get("telemetry")
+            if not isinstance(telemetry, dict) \
+                    or telemetry.get("stride") != self.telemetry_stride:
+                return None
+            try:
+                TelemetrySummary.from_dict(telemetry)
+            except (KeyError, TypeError, ValueError):
+                return None
         return data
 
     def _store_checkpoint(self, shard_index: int, fingerprint: str,
@@ -302,8 +335,27 @@ class BatchRunner:
         return [self.seeds[i:i + self.shard_lanes]
                 for i in range(0, len(self.seeds), self.shard_lanes)]
 
+    @staticmethod
+    def _emit_shard(sink: EventSink, data: dict, shard: int, total: int,
+                    restored: bool, elapsed: float) -> None:
+        """One finished shard → ``shard_finished`` + ``stalls_observed``.
+
+        Only ``timing`` carries wall-clock values; everything else is a
+        pure function of the run, which keeps the event stream
+        deterministic (DESIGN.md §9).
+        """
+        sink.emit("shard_finished",
+                  {"shard": shard, "shards": total, "restored": restored,
+                   "lanes": len(data["seeds"])},
+                  {"elapsed_s": elapsed})
+        sink.emit("stalls_observed",
+                  {"shard": shard,
+                   "delay_storage": sum(data["delay_storage_stalls"]),
+                   "bank_queue": sum(data["bank_queue_stalls"])})
+
     def run(self, cycles: int, idle_probability: float = 0.0,
-            progress: Optional[ShardProgress] = None) -> BatchReport:
+            progress: Optional[ShardProgress] = None,
+            events: Optional[EventSink] = None) -> BatchReport:
         """Run every shard (resuming from checkpoints) and aggregate.
 
         ``progress``, when given, is called as ``progress(shard_index,
@@ -314,7 +366,16 @@ class BatchRunner:
         Each fresh shard's checkpoint is stored *before* its progress
         call, so a campaign interrupted from inside the callback loses
         no finished work.
+
+        ``events``, when given, receives the same milestones as typed
+        events (``shard_finished`` plus a ``stalls_observed`` per
+        shard); ``progress`` is internally bridged through
+        :class:`~repro.obs.events.ShardProgressAdapter`, so both
+        interfaces see identical sequencing.
         """
+        sink: EventSink = events if events is not None else NULL_EVENTS
+        if progress is not None:
+            sink = TeeEventSink([sink, ShardProgressAdapter(progress)])
         start = time.perf_counter()
         fingerprint = _config_fingerprint(self.config, cycles,
                                           idle_probability)
@@ -326,23 +387,22 @@ class BatchRunner:
             restored = self._load_checkpoint(i, fingerprint, shard_seeds)
             if restored is not None:
                 results[i] = restored
-                if progress is not None:
-                    progress(i, total, True,
-                             time.perf_counter() - start)
+                self._emit_shard(sink, restored, i, total, True,
+                                 time.perf_counter() - start)
             else:
                 pending.append(i)
 
         if pending:
             jobs = [(self.config, shards[i], cycles, idle_probability,
-                     self.stall_cycle_limit) for i in pending]
+                     self.stall_cycle_limit, self.telemetry_stride)
+                    for i in pending]
             if self.workers <= 1 or len(pending) == 1:
                 for i, job in zip(pending, jobs):
                     data = _run_shard(job)
                     self._store_checkpoint(i, fingerprint, data)
                     results[i] = data
-                    if progress is not None:
-                        progress(i, total, False,
-                                 time.perf_counter() - start)
+                    self._emit_shard(sink, data, i, total, False,
+                                     time.perf_counter() - start)
             else:
                 # Worker processes import, not fork-inherit, the sim
                 # state; "spawn" keeps behaviour identical across
@@ -359,9 +419,8 @@ class BatchRunner:
                                        pool.imap(_run_shard, jobs)):
                         self._store_checkpoint(i, fingerprint, data)
                         results[i] = data
-                        if progress is not None:
-                            progress(i, total, False,
-                                     time.perf_counter() - start)
+                        self._emit_shard(sink, data, i, total, False,
+                                         time.perf_counter() - start)
 
         accepted = np.concatenate(
             [np.asarray(r["accepted"], dtype=np.int64) for r in results])
@@ -377,6 +436,13 @@ class BatchRunner:
                 np.asarray(lane, dtype=np.int64)
                 for r in results for lane in r["stall_cycles"]
             ]
+        telemetry: Optional[TelemetrySummary] = None
+        if self.telemetry_stride is not None:
+            # Shard order is seed order, so merged per-lane peaks line
+            # up with ``seeds`` exactly like the count arrays do.
+            telemetry = TelemetrySummary.merge(
+                [TelemetrySummary.from_dict(r["telemetry"])
+                 for r in results])
         return BatchReport(
             cycles=cycles,
             seeds=list(self.seeds),
@@ -385,4 +451,5 @@ class BatchRunner:
             bank_queue_stalls=bq,
             confidence=self.confidence,
             stall_cycles=stall_cycles,
+            telemetry=telemetry,
         )

@@ -85,6 +85,9 @@ class BatchRunResult:
     delay_storage_stalls: np.ndarray
     bank_queue_stalls: np.ndarray
     stall_cycles: List[np.ndarray] = field(default_factory=list)
+    #: Occupancy telemetry (a :class:`repro.obs.TelemetrySummary`) when
+    #: the run was given a ``telemetry_stride``; None otherwise.
+    telemetry: Optional[object] = None
 
     @property
     def stalls(self) -> np.ndarray:
@@ -181,14 +184,25 @@ class BatchStallSimulator:
     # -- public API -------------------------------------------------------
 
     def run(self, cycles: int, idle_probability: float = 0.0,
-            bank_sequences: Optional[np.ndarray] = None) -> BatchRunResult:
+            bank_sequences: Optional[np.ndarray] = None,
+            telemetry_stride: Optional[int] = None) -> BatchRunResult:
         """Simulate ``cycles`` interface cycles on every lane.
 
         ``bank_sequences`` — optional ``(lanes, cycles)`` int array of
         bank choices (-1 for an idle cycle) overriding the internal
         per-lane generators; used by the differential tests to feed the
         scalar simulator's exact stream.
+
+        ``telemetry_stride`` — when set, the run also produces a
+        :class:`repro.obs.TelemetrySummary` (``result.telemetry``):
+        exact bank-queue occupancy peaks, a sampled delay-row high-water
+        mark, stall-reason totals and occupancy time series bucketed
+        every ``telemetry_stride`` interface cycles (DESIGN.md §9 for
+        the exact-vs-sampled semantics).  None (the default) keeps the
+        hot loops telemetry-free.
         """
+        if telemetry_stride is not None and telemetry_stride < 1:
+            raise ConfigurationError("telemetry_stride must be >= 1")
         if bank_sequences is None:
             seq = self._generate_sequences(cycles, idle_probability)
         else:
@@ -201,12 +215,14 @@ class BatchStallSimulator:
             if seq.max(initial=-1) >= self.config.banks:
                 raise ConfigurationError("bank id out of range")
         if self.config.skip_idle_slots:
-            return self._run_work_conserving(seq, cycles)
-        return self._run_strict(seq, cycles)
+            return self._run_work_conserving(seq, cycles, telemetry_stride)
+        return self._run_strict(seq, cycles, telemetry_stride)
 
     # -- strict round robin: event-driven, time-vectorized ----------------
 
-    def _run_strict(self, seq: np.ndarray, cycles: int) -> BatchRunResult:
+    def _run_strict(self, seq: np.ndarray, cycles: int,
+                    telemetry_stride: Optional[int] = None
+                    ) -> BatchRunResult:
         """Per-(lane, bank) event walk; exact under strict arbitration.
 
         Definitions:
@@ -269,6 +285,8 @@ class BatchStallSimulator:
                 bank_queue_stalls=empty.copy(),
                 stall_cycles=[np.empty(0, dtype=np.int64)
                               for _ in range(lanes)],
+                telemetry=(self._empty_telemetry(telemetry_stride, cycles)
+                           if telemetry_stride is not None else None),
             )
         stride = int(cnts.max())
         min_cnt = int(cnts.min())
@@ -393,6 +411,34 @@ class BatchStallSimulator:
         pow2_period = period & (period - 1) == 0
         period_shift = period.bit_length() - 1
 
+        # Telemetry state: exact post-accept queue peaks (one masked
+        # maximum per step) plus periodic (time, queue) snapshots —
+        # one per pair roughly every ``telemetry_stride`` cycles, since
+        # a pair receives ~1/B of its lane's arrivals.  Delay-row
+        # occupancy is sampled at (a throttled subset of) the snapshot
+        # steps: a pair's accepts within its last ``D`` cycles all sit
+        # in the last ``D + 1`` event rows (arrival times per pair are
+        # strictly increasing), and those rows are step-major contiguous
+        # — so one block compare + sum yields every pair's occupancy at
+        # once, no per-pair pass and no post-hoc matrix transpose.
+        telemetry = telemetry_stride is not None
+        if telemetry:
+            peak_q = np.zeros(width, dtype=dt)
+            live = np.empty(width, dtype=bool)
+            snap_every = max(1, telemetry_stride // banks)
+            snap_ts: List[np.ndarray] = []
+            snap_qs: List[np.ndarray] = []
+            snap_rs: List[np.ndarray] = []
+            # Throttle the O((D+1) * width) block scans so total row-
+            # sampling work stays bounded no matter the configuration;
+            # rows_every == 1 (every snapshot scanned) whenever the run
+            # is small enough, which covers the exactness guarantee for
+            # ``telemetry_stride <= banks`` test configurations.
+            block_rows = min(delay, stride) + 1
+            est_scans = stride // snap_every + 1
+            rows_every = max(1, (est_scans * block_rows * width)
+                             // 8_000_000)
+
         for index in range(stride):
             tail = index >= min_cnt
             # Acceptance decision, exactly fastsim's ordering of checks.
@@ -448,6 +494,30 @@ class BatchStallSimulator:
             # maximum is a no-op exactly where the old value must win.
             np.maximum(next_slot, aligned_t[index], out=next_slot)
             np.add(queue, acc, out=queue)
+            if telemetry:
+                if tail:
+                    # Forced sentinel accepts bump ``queue`` on finished
+                    # pairs; keep them out of the peaks.
+                    np.greater(cnts, index, out=live)
+                    np.maximum(peak_q, queue, out=peak_q, where=live)
+                else:
+                    np.maximum(peak_q, queue, out=peak_q)
+                if index % snap_every == 0:
+                    snap_ts.append(times_t[index].copy())
+                    snap_qs.append(queue.copy())
+                    if (index // snap_every) % rows_every == 0:
+                        # Occupancy = accepts in [t - D, t] per pair:
+                        # in-window events of the block minus the
+                        # stalled ones (``a & ~b`` is ``a > b`` on
+                        # bools — one ufunc, no invert temp).  Sentinel
+                        # instants are filtered out post-hoc by time.
+                        lo = max(0, index - delay)
+                        in_window = times_t[lo:index + 1] \
+                            >= times_t[index] - delay
+                        np.greater(in_window, stalled[lo:index + 1],
+                                   out=in_window)
+                        snap_rs.append(in_window.sum(axis=0,
+                                                     dtype=np.int64))
 
             # Drain the queue up to just before the pair's next arrival:
             # grants = max(0, ceil((limit - next_slot) / period)), with
@@ -492,6 +562,12 @@ class BatchStallSimulator:
             [times_t.ravel()[hits].astype(np.int64)],
             [lane_of[hits % width]],
         )
+        summary = None
+        if telemetry:
+            summary = self._strict_telemetry(
+                telemetry_stride, cycles, lane_of, bank_arr, peak_q,
+                snap_ts, snap_qs, snap_rs, rows_every,
+                ds_by_lane, bq_by_lane)
         return BatchRunResult(
             cycles=cycles,
             lanes=lanes,
@@ -499,13 +575,107 @@ class BatchStallSimulator:
             delay_storage_stalls=ds_by_lane,
             bank_queue_stalls=bq_by_lane,
             stall_cycles=stall_cycles,
+            telemetry=summary,
         )
+
+    def _empty_telemetry(self, stride: int, cycles: int):
+        """Telemetry of a run with no arrivals (all lanes idle)."""
+        from repro.obs.summary import TelemetrySummary
+
+        buckets = cycles // stride + 1
+        out = TelemetrySummary(stride=stride, cycles=cycles,
+                               lanes=self.lanes)
+        out.per_lane_queue_peak = [0] * self.lanes
+        out.per_lane_rows_peak = [0] * self.lanes
+        out.bucket_cycles = [b * stride for b in range(buckets)]
+        out.queue_series = [-1] * buckets
+        out.rows_series = [-1] * buckets
+        out.bank_pressure = [[-1] * self.config.banks
+                             for _ in range(buckets)]
+        return out
+
+    def _strict_telemetry(self, stride: int, cycles: int,
+                          lane_of: np.ndarray, bank_arr: np.ndarray,
+                          peak_q: np.ndarray,
+                          snap_ts: List[np.ndarray],
+                          snap_qs: List[np.ndarray],
+                          snap_rs: List[np.ndarray],
+                          rows_every: int,
+                          ds_by_lane: np.ndarray,
+                          bq_by_lane: np.ndarray):
+        """Fold the strict engine's telemetry state into a summary.
+
+        Queue peaks are exact (tracked at every step); delay-row values
+        are the in-loop block samples — a high-water mark over sampled
+        instants, exact when every event was sampled (small runs with
+        ``telemetry_stride <= banks``).  Sentinel instants carry times
+        past the horizon and are dropped here by the time filter.
+        """
+        from repro.obs.summary import TelemetrySummary
+
+        lanes, banks = self.lanes, self.config.banks
+        buckets = cycles // stride + 1
+        out = TelemetrySummary(stride=stride, cycles=cycles, lanes=lanes)
+
+        per_lane_q = np.zeros(lanes, dtype=np.int64)
+        np.maximum.at(per_lane_q, lane_of, peak_q.astype(np.int64))
+        out.bank_queue_peak = int(per_lane_q.max(initial=0))
+        out.per_lane_queue_peak = [int(v) for v in per_lane_q]
+
+        reasons = {}
+        ds_total, bq_total = int(ds_by_lane.sum()), int(bq_by_lane.sum())
+        if ds_total:
+            reasons["delay_storage"] = ds_total
+        if bq_total:
+            reasons["bank_queue"] = bq_total
+        out.stall_reasons = reasons
+        out.bucket_cycles = [b * stride for b in range(buckets)]
+
+        queue_series = np.full(buckets, -1, dtype=np.int64)
+        pressure = np.full((buckets, banks), -1, dtype=np.int64)
+        if snap_ts:
+            t_arr = np.concatenate(snap_ts).astype(np.int64)
+            q_arr = np.concatenate(snap_qs).astype(np.int64)
+            b_rep = np.tile(bank_arr.astype(np.int64), len(snap_ts))
+            valid = (t_arr >= 0) & (t_arr < cycles)
+            t_bucket = t_arr[valid] // stride
+            q_valid = q_arr[valid]
+            np.maximum.at(queue_series, t_bucket, q_valid)
+            np.maximum.at(pressure, (t_bucket, b_rep[valid]), q_valid)
+
+        rows_series = np.full(buckets, -1, dtype=np.int64)
+        per_lane_r = np.zeros(lanes, dtype=np.int64)
+        if snap_rs:
+            # Row samples were taken at every ``rows_every``-th snapshot,
+            # so their instants are that subset of the snapshot times.
+            rt_arr = np.concatenate(
+                snap_ts[::rows_every][:len(snap_rs)]).astype(np.int64)
+            rv_arr = np.concatenate(snap_rs)
+            lane_rep = np.tile(lane_of, len(snap_rs))
+            valid = (rt_arr >= 0) & (rt_arr < cycles)
+            np.maximum.at(rows_series, rt_arr[valid] // stride,
+                          rv_arr[valid])
+            np.maximum.at(per_lane_r, lane_rep[valid], rv_arr[valid])
+        out.delay_rows_peak = int(per_lane_r.max(initial=0))
+        out.per_lane_rows_peak = [int(v) for v in per_lane_r]
+
+        out.queue_series = [int(v) for v in queue_series]
+        out.rows_series = [int(v) for v in rows_series]
+        out.bank_pressure = [[int(v) for v in row] for row in pressure]
+        return out
 
     # -- work-conserving round robin: per-cycle, lane-vectorized ----------
 
-    def _run_work_conserving(self, seq: np.ndarray,
-                             cycles: int) -> BatchRunResult:
-        """Cycle-stepped lanes with exact per-lane ready-deque emulation."""
+    def _run_work_conserving(self, seq: np.ndarray, cycles: int,
+                             telemetry_stride: Optional[int] = None
+                             ) -> BatchRunResult:
+        """Cycle-stepped lanes with exact per-lane ready-deque emulation.
+
+        Telemetry here is the easy case: occupancy lives in dense
+        ``(lanes, banks)`` arrays, so peaks are one ``np.maximum`` per
+        cycle (exact, queue *and* rows) and series samples are plain
+        reductions every ``telemetry_stride`` cycles.
+        """
         config = self.config
         lanes, banks = self.lanes, config.banks
         num, den = self._num, self._den
@@ -532,6 +702,15 @@ class BatchStallSimulator:
         stall_lane_chunks: List[np.ndarray] = []
         all_lanes = np.arange(lanes)
         slots_consumed = 0
+
+        telemetry = telemetry_stride is not None
+        if telemetry:
+            peak_q = np.zeros((lanes, banks), dtype=np.int64)
+            peak_r = np.zeros((lanes, banks), dtype=np.int64)
+            buckets = cycles // telemetry_stride + 1
+            queue_series = np.full(buckets, -1, dtype=np.int64)
+            rows_series = np.full(buckets, -1, dtype=np.int64)
+            pressure = np.full((buckets, banks), -1, dtype=np.int64)
 
         def append_tail(lane_idx: np.ndarray, bank_idx: np.ndarray) -> None:
             ring[lane_idx, (head[lane_idx] + size[lane_idx]) % banks] = \
@@ -573,6 +752,19 @@ class BatchStallSimulator:
                 if fresh.any():
                     enqueued[acc_lane[fresh], acc_bank[fresh]] = True
                     append_tail(acc_lane[fresh], acc_bank[fresh])
+
+            if telemetry:
+                # Occupancies only grow during the arrival phase, so a
+                # per-cycle maximum here (post-accept, pre-release —
+                # matching the scalar engines' measurement point) sees
+                # every peak.
+                np.maximum(peak_q, queue, out=peak_q)
+                np.maximum(peak_r, rows, out=peak_r)
+                if now % telemetry_stride == 0:
+                    bucket = now // telemetry_stride
+                    queue_series[bucket] = queue.max()
+                    rows_series[bucket] = rows.max()
+                    pressure[bucket] = queue.max(axis=0)
 
             # Reply delivered after acceptance: apply the row release.
             freed_lanes = np.flatnonzero(freed >= 0)
@@ -616,6 +808,31 @@ class BatchStallSimulator:
         _ = all_lanes  # lanes axis is implicit in the scatter updates
         stall_cycles = self._collect_stall_cycles(stall_time_chunks,
                                                   stall_lane_chunks)
+        summary = None
+        if telemetry:
+            from repro.obs.summary import TelemetrySummary
+
+            summary = TelemetrySummary(stride=telemetry_stride,
+                                       cycles=cycles, lanes=lanes)
+            summary.bank_queue_peak = int(peak_q.max(initial=0))
+            summary.delay_rows_peak = int(peak_r.max(initial=0))
+            summary.per_lane_queue_peak = [int(v)
+                                           for v in peak_q.max(axis=1)]
+            summary.per_lane_rows_peak = [int(v)
+                                          for v in peak_r.max(axis=1)]
+            reasons = {}
+            ds_total, bq_total = int(ds_count.sum()), int(bq_count.sum())
+            if ds_total:
+                reasons["delay_storage"] = ds_total
+            if bq_total:
+                reasons["bank_queue"] = bq_total
+            summary.stall_reasons = reasons
+            summary.bucket_cycles = [b * telemetry_stride
+                                     for b in range(buckets)]
+            summary.queue_series = [int(v) for v in queue_series]
+            summary.rows_series = [int(v) for v in rows_series]
+            summary.bank_pressure = [[int(v) for v in row]
+                                     for row in pressure]
         return BatchRunResult(
             cycles=cycles,
             lanes=lanes,
@@ -623,6 +840,7 @@ class BatchStallSimulator:
             delay_storage_stalls=ds_count,
             bank_queue_stalls=bq_count,
             stall_cycles=stall_cycles,
+            telemetry=summary,
         )
 
     # -- shared helpers ----------------------------------------------------

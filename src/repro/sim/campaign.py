@@ -46,6 +46,13 @@ import numpy as np
 
 from repro.core.config import VPNMConfig
 from repro.core.exceptions import ConfigurationError
+from repro.obs.events import (
+    CampaignProgressAdapter,
+    EventSink,
+    JsonlEventSink,
+    NULL_EVENTS,
+    TeeEventSink,
+)
 from repro.sim.batchrunner import (
     BatchReport,
     BatchRunner,
@@ -64,11 +71,43 @@ __all__ = [
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
+EVENT_LOG_NAME = "events.jsonl"
 
 #: Campaign progress callback: ``(cell_id, shard_index, total_shards,
 #: restored, elapsed_seconds)`` — one call per shard, forwarded from
 #: the cell's :class:`BatchRunner`.
 CampaignProgress = Callable[[str, int, int, bool, float], None]
+
+
+class _CellTagSink(EventSink):
+    """Stamps the owning cell id onto every event a cell's runner emits.
+
+    The runner speaks bare shard events; the campaign-level consumers
+    (the JSONL log, :class:`~repro.obs.events.CampaignProgressAdapter`)
+    need to know which cell they belong to.
+    """
+
+    def __init__(self, cell_id: str, inner: EventSink):
+        self.cell_id = cell_id
+        self.inner = inner
+
+    def emit(self, event_type, payload=None, timing=None):
+        tagged = dict(payload or {})
+        tagged["cell"] = self.cell_id
+        self.inner.emit(event_type, tagged, timing)
+
+
+class _ShardCountSink(EventSink):
+    """Folds ``shard_finished`` events into the manifest shard counters."""
+
+    def __init__(self, counts: dict):
+        self.counts = counts
+
+    def emit(self, event_type, payload=None, timing=None):
+        if event_type != "shard_finished":
+            return
+        self.counts["total"] = payload["shards"]
+        self.counts["restored" if payload["restored"] else "computed"] += 1
 
 
 @dataclass(frozen=True)
@@ -183,6 +222,20 @@ def load_grid(loads: Sequence[float], *,
     return [replace(base, load=float(load)) for load in loads]
 
 
+#: Stall-reason abbreviations for the status table's "stall mix" column.
+_REASON_ABBREV = {"delay_storage": "ds", "bank_queue": "bq",
+                  "write_buffer": "wb"}
+
+
+def _reason_mix(reasons: Optional[dict]) -> str:
+    """Compact stall-reason breakdown, e.g. ``ds:674 bq:7752``."""
+    if not reasons:
+        return "-"
+    return " ".join(
+        f"{_REASON_ABBREV.get(name, name)}:{count}"
+        for name, count in sorted(reasons.items()))
+
+
 def _cell_seed(campaign_seed: int, index: int) -> int:
     """Per-cell root seed: 64 bits, independent across cell indices."""
     return int(np.random.SeedSequence(campaign_seed, spawn_key=(index,))
@@ -207,7 +260,8 @@ class SweepCampaign:
                  shard_lanes: Optional[int] = None,
                  workers: Optional[int] = None,
                  confidence: Optional[float] = None,
-                 axis: Optional[str] = None):
+                 axis: Optional[str] = None,
+                 telemetry_stride: Optional[int] = None):
         self.root_dir = root_dir
         self.manifest_path = os.path.join(root_dir, MANIFEST_NAME)
         manifest = self._load_manifest()
@@ -234,6 +288,14 @@ class SweepCampaign:
         manifest["confidence"] = float(
             confidence if confidence is not None
             else manifest.get("confidence") or 0.95)
+        # Telemetry stride is remembered like the other knobs so a
+        # resumed campaign keeps reusing its telemetry-bearing shard
+        # checkpoints (a stride change invalidates them runner-side).
+        if telemetry_stride is not None and telemetry_stride < 1:
+            raise ConfigurationError("telemetry_stride must be >= 1")
+        manifest["telemetry_stride"] = (
+            int(telemetry_stride) if telemetry_stride is not None
+            else manifest.get("telemetry_stride"))
         self._manifest = manifest
         if cells is not None:
             self._register(cells)
@@ -293,6 +355,7 @@ class SweepCampaign:
                 "lane_cycles_per_s": None,
                 "shards": None,
                 "result": None,
+                "telemetry": None,
             }
             order.append(cell_id)
 
@@ -306,6 +369,7 @@ class SweepCampaign:
                 entry["fingerprint"] = spec.fingerprint()
                 entry["status"] = "pending"
                 entry["result"] = None
+                entry["telemetry"] = None
                 changed = True
         return changed
 
@@ -344,12 +408,18 @@ class SweepCampaign:
             workers=self._manifest["workers"],
             checkpoint_dir=self._cell_dir(cell_id),
             confidence=self._manifest["confidence"],
+            telemetry_stride=self._manifest.get("telemetry_stride"),
         )
 
     # -- execution --------------------------------------------------------
 
+    def event_log_path(self) -> str:
+        """The campaign's JSONL event log (``<root>/events.jsonl``)."""
+        return os.path.join(self.root_dir, EVENT_LOG_NAME)
+
     def run(self, progress: Optional[CampaignProgress] = None,
-            max_cells: Optional[int] = None) -> Dict[str, BatchReport]:
+            max_cells: Optional[int] = None,
+            events: Optional[EventSink] = None) -> Dict[str, BatchReport]:
         """Run every pending cell in grid order; return the fresh reports.
 
         The manifest is rewritten (atomically) after each finished cell,
@@ -358,33 +428,64 @@ class SweepCampaign:
         its shard checkpoints.  ``max_cells`` bounds how many pending
         cells this call executes — the hook the interrupt/resume smoke
         tests use to stop a campaign at a deterministic point.
+
+        Every run appends its lifecycle to the campaign event log
+        (``events.jsonl`` under the root, one continuous stream across
+        resumes); ``events`` tees an extra sink in, and ``progress`` is
+        bridged through :class:`~repro.obs.events.
+        CampaignProgressAdapter` so legacy callbacks keep firing.
         """
+        os.makedirs(self.root_dir, exist_ok=True)
+        log = JsonlEventSink(self.event_log_path())
+        parts = [log]
+        if events is not None:
+            parts.append(events)
+        if progress is not None:
+            parts.append(CampaignProgressAdapter(progress))
+        sink = TeeEventSink(parts)
         fresh: Dict[str, BatchReport] = {}
-        for cell_id in self._manifest["order"]:
-            entry = self._entry(cell_id)
-            if entry["status"] == "done":
-                continue
-            if max_cells is not None and len(fresh) >= max_cells:
-                break
-            fresh[cell_id] = self._run_cell(cell_id, entry, progress)
+        try:
+            done = sum(self._entry(c)["status"] == "done"
+                       for c in self._manifest["order"])
+            sink.emit("campaign_started",
+                      {"cells_total": len(self._manifest["order"]),
+                       "cells_done": done})
+            for cell_id in self._manifest["order"]:
+                entry = self._entry(cell_id)
+                if entry["status"] == "done":
+                    continue
+                if max_cells is not None and len(fresh) >= max_cells:
+                    break
+                fresh[cell_id] = self._run_cell(cell_id, entry, sink)
+        finally:
+            # Close only the log we opened; a caller-owned sink may
+            # outlive this run.
+            log.close()
         return fresh
 
-    def _run_cell(self, cell_id: str, entry: dict,
-                  progress: Optional[CampaignProgress]) -> BatchReport:
-        spec = self._spec(cell_id)
-        shards = {"total": 0, "restored": 0, "computed": 0}
+    def _has_shard_checkpoints(self, cell_id: str) -> bool:
+        cell_dir = self._cell_dir(cell_id)
+        if not os.path.isdir(cell_dir):
+            return False
+        return any(name.startswith("shard_") and name.endswith(".json")
+                   for name in os.listdir(cell_dir))
 
-        def on_shard(index: int, total: int, restored: bool,
-                     elapsed: float) -> None:
-            shards["total"] = total
-            shards["restored" if restored else "computed"] += 1
-            if progress is not None:
-                progress(cell_id, index, total, restored, elapsed)
+    def _run_cell(self, cell_id: str, entry: dict,
+                  sink: Optional[EventSink]) -> BatchReport:
+        spec = self._spec(cell_id)
+        if sink is None:
+            sink = NULL_EVENTS
+        shards = {"total": 0, "restored": 0, "computed": 0}
+        resumed = self._has_shard_checkpoints(cell_id)
+        sink.emit("cell_resumed" if resumed else "cell_started",
+                  {"cell": cell_id, "lanes": spec.lanes,
+                   "cycles": spec.cycles})
 
         start = time.perf_counter()
         report = self._runner(cell_id).run(
             spec.cycles, idle_probability=spec.idle_probability,
-            progress=on_shard)
+            events=TeeEventSink([_ShardCountSink(shards),
+                                 _CellTagSink(cell_id, sink)]))
         elapsed = time.perf_counter() - start
 
         entry["status"] = "done"
@@ -401,7 +502,17 @@ class SweepCampaign:
             "total_stalls": report.total_stalls,
             "total_cycles": report.total_cycles,
         }
+        entry["telemetry"] = (report.telemetry.manifest_digest()
+                              if report.telemetry is not None else None)
         self._save_manifest()
+        payload = {"cell": cell_id, "result": dict(entry["result"])}
+        if report.telemetry is not None:
+            # Digest for at-a-glance consumers; the full summary (series
+            # and pressure matrix) rides only the event stream, keeping
+            # the manifest compact.
+            payload["telemetry"] = report.telemetry.manifest_digest()
+            payload["telemetry_full"] = report.telemetry.to_dict()
+        sink.emit("cell_finished", payload, {"elapsed_s": elapsed})
         return report
 
     def reports(self) -> Dict[str, BatchReport]:
@@ -440,6 +551,7 @@ class SweepCampaign:
                 "lane_cycles_per_s": entry["lane_cycles_per_s"],
                 "shards": entry["shards"],
                 "result": entry["result"],
+                "telemetry": entry.get("telemetry"),
             })
         return {
             "root_dir": self.root_dir,
@@ -448,23 +560,32 @@ class SweepCampaign:
             "shard_lanes": self._manifest["shard_lanes"],
             "workers": self._manifest["workers"],
             "confidence": self._manifest["confidence"],
+            "telemetry_stride": self._manifest.get("telemetry_stride"),
             "cells_total": len(cells),
             "cells_done": done,
             "cells": cells,
         }
 
     def render_status(self) -> str:
-        """Human-readable status table."""
+        """Human-readable status table.
+
+        With telemetry enabled the table carries the per-cell pressure
+        digest: exact peak bank-queue occupancy (``pkQ``), the sampled
+        delay-row high-water mark (``pkK``) and the stall-reason mix.
+        """
         status = self.status()
+        stride = status.get("telemetry_stride")
         lines = [
             f"campaign {self.root_dir}"
             + (f"  axis={status['axis']}" if status["axis"] else ""),
             f"{status['cells_done']}/{status['cells_total']} cells done, "
             f"shard_lanes={status['shard_lanes']} "
             f"workers={status['workers']} "
-            f"confidence={status['confidence']:g}",
+            f"confidence={status['confidence']:g}"
+            + (f" telemetry_stride={stride}" if stride else ""),
             f"{'cell':<44} {'status':>8} {'stalls':>9} "
-            f"{'wall s':>8} {'lane-cyc/s':>11}",
+            f"{'wall s':>8} {'lane-cyc/s':>11} {'pkQ':>4} {'pkK':>5} "
+            f"stall mix",
         ]
         for cell in status["cells"]:
             result = cell["result"]
@@ -474,6 +595,13 @@ class SweepCampaign:
                     if cell["elapsed_s"] is not None else "-")
             rate = (f"{cell['lane_cycles_per_s']:.2e}"
                     if cell["lane_cycles_per_s"] else "-")
-            lines.append(f"{cell['cell_id']:<44} {cell['status']:>8} "
-                         f"{stalls:>9} {wall:>8} {rate:>11}")
+            telemetry = cell.get("telemetry") or {}
+            peak_q = telemetry.get("bank_queue_peak")
+            peak_k = telemetry.get("delay_rows_peak")
+            mix = _reason_mix(telemetry.get("stall_reasons"))
+            lines.append(
+                f"{cell['cell_id']:<44} {cell['status']:>8} "
+                f"{stalls:>9} {wall:>8} {rate:>11} "
+                f"{peak_q if peak_q is not None else '-':>4} "
+                f"{peak_k if peak_k is not None else '-':>5} {mix}")
         return "\n".join(lines)

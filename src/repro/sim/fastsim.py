@@ -50,6 +50,10 @@ class FastRunResult:
     #: busy time), sampled once per cycle when tracking is enabled —
     #: comparable to the Markov chain's quasi-stationary distribution.
     backlog_histogram: Optional[dict] = None
+    #: Exact post-accept occupancy high-water marks (``track_occupancy``):
+    #: ``{"queue", "delay_rows", "queue_per_bank", "rows_per_bank"}``.
+    #: The differential oracle for the batch engine's telemetry peaks.
+    occupancy_peaks: Optional[dict] = None
 
     @property
     def empirical_mts(self) -> Optional[float]:
@@ -100,12 +104,18 @@ class FastStallSimulator:
         self._now = 0
 
     def run(self, cycles: int, idle_probability: float = 0.0,
-            track_backlog: bool = False) -> FastRunResult:
+            track_backlog: bool = False,
+            track_occupancy: bool = False) -> FastRunResult:
         """Simulate ``cycles`` interface cycles of (near-)full-rate reads.
 
         ``track_backlog=True`` samples bank 0's work-unit backlog
         (queued requests x L plus the in-service access's remaining
         cycles) once per cycle into ``backlog_histogram``.
+
+        ``track_occupancy=True`` records exact per-bank post-accept
+        occupancy peaks (bank queue depth and delay rows in use) into
+        ``occupancy_peaks`` — the reference the batch engine's sampled
+        telemetry is validated against.
         """
         config = self.config
         queue, rows = self._queue, self._rows
@@ -128,6 +138,9 @@ class FastStallSimulator:
         stall_stride = self.stall_cycle_stride
         stall_seen = 0
         histogram: Optional[dict] = {} if track_backlog else None
+        banks = config.banks
+        occ_queue = [0] * banks if track_occupancy else None
+        occ_rows = [0] * banks if track_occupancy else None
 
         for offset in range(cycles):
             now = self._now + offset
@@ -164,6 +177,11 @@ class FastStallSimulator:
                     accepted += 1
                     rows[bank] += 1
                     queue[bank] += 1
+                    if occ_queue is not None:
+                        if queue[bank] > occ_queue[bank]:
+                            occ_queue[bank] = queue[bank]
+                        if rows[bank] > occ_rows[bank]:
+                            occ_rows[bank] = rows[bank]
                     release[ring_slot] = bank
                     if not enqueued[bank]:
                         enqueued[bank] = True
@@ -207,6 +225,14 @@ class FastStallSimulator:
                 histogram[backlog] = histogram.get(backlog, 0) + 1
 
         self._now += cycles
+        occupancy: Optional[dict] = None
+        if track_occupancy:
+            occupancy = {
+                "queue": max(occ_queue),
+                "delay_rows": max(occ_rows),
+                "queue_per_bank": list(occ_queue),
+                "rows_per_bank": list(occ_rows),
+            }
         return FastRunResult(
             cycles=cycles,
             accepted=accepted,
@@ -215,4 +241,5 @@ class FastStallSimulator:
             bank_queue_stalls=bq_stalls,
             stall_cycles=stall_cycles,
             backlog_histogram=histogram,
+            occupancy_peaks=occupancy,
         )

@@ -47,6 +47,7 @@ def run_workload(
     workload: Iterable[Optional[MemoryRequest]],
     max_cycles: Optional[int] = None,
     drain: bool = True,
+    sampler=None,
 ) -> RunResult:
     """Drive ``workload`` through ``controller``, one item per cycle.
 
@@ -56,6 +57,10 @@ def run_workload(
     required per offer cycle because acceptance stamps timing onto it —
     we re-offer the same object, which the controller only mutates on
     acceptance); with ``"drop"`` it is abandoned.
+
+    ``sampler`` is an optional :class:`repro.obs.OccupancySampler`
+    (anything with a ``tick()``); it is ticked once per interface cycle
+    of the main loop, so its stride is measured in interface cycles.
     """
     result = RunResult(controller=controller, replies=[])
     retry_policy = controller.config.stall_policy == "stall"
@@ -92,6 +97,8 @@ def run_workload(
                 result.dropped += 1
                 pending = None
         result.replies.extend(step.replies)
+        if sampler is not None:
+            sampler.tick()
 
     if exhausted and pending is not None and retry_policy:
         # Finish retrying the in-flight request before draining.

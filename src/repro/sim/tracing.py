@@ -27,6 +27,7 @@ class RequestTimeline:
     tag: Any
     address: int
     bank: int
+    line: Optional[int] = None          # bank-local line the hash chose
     accepted_at: Optional[int] = None   # interface cycle
     stalled: bool = False
     merged: bool = False
@@ -82,7 +83,8 @@ def trace_requests(
                 continue
             mapping = controller.mapper.map(item.address)
             timeline = RequestTimeline(
-                tag=item.tag, address=item.address, bank=mapping.bank
+                tag=item.tag, address=item.address, bank=mapping.bank,
+                line=mapping.line,
             )
             if step.accepted:
                 timeline.accepted_at = step.cycle
@@ -105,13 +107,21 @@ def trace_requests(
 
 
 def _attach_bank_accesses(timelines: List[RequestTimeline], log) -> None:
-    """Match logged DRAM commands to the (non-merged) requests they served."""
+    """Match logged DRAM commands to the (non-merged) requests they served.
+
+    Commands are matched on ``(bank, line)``, FIFO within that pair —
+    a bank serves its queue in order, but two outstanding requests to
+    *different lines* of the same bank must not swap access windows
+    (matching on bank alone used to hand the first command to whichever
+    same-bank request appeared first in the trace).
+    """
     for slot, bank, line, kind, ready in log:
         if kind != "read":
             continue
         for timeline in timelines:
             if (timeline.issue_slot is None and not timeline.merged
-                    and not timeline.stalled and timeline.bank == bank):
+                    and not timeline.stalled and timeline.bank == bank
+                    and timeline.line == line):
                 timeline.issue_slot = slot
                 timeline.ready_slot = ready
                 break

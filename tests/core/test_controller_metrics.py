@@ -1,0 +1,85 @@
+"""Integration tests: controller instrumentation into a MetricsRegistry.
+
+The registry's counters must mirror the controller's own statistics
+exactly — same accept/stall counts, same exact occupancy peaks — so
+telemetry is a second read path, never a second source of truth.
+"""
+
+from repro.core import VPNMConfig, VPNMController
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.sim.runner import run_workload
+from repro.workloads.generators import uniform_reads
+
+
+def run_instrumented(registry, count=300, **overrides):
+    params = dict(banks=4, bank_latency=4, queue_depth=4, delay_rows=8,
+                  address_bits=16, hash_latency=0)
+    params.update(overrides)
+    ctrl = VPNMController(VPNMConfig(**params), seed=0, metrics=registry)
+    run_workload(ctrl, uniform_reads(address_bits=16, count=count),
+                 drain=False)
+    return ctrl
+
+
+class TestControllerMetrics:
+    def test_counters_mirror_stats(self):
+        registry = MetricsRegistry()
+        ctrl = run_instrumented(registry, banks=1, queue_depth=2,
+                                delay_rows=4, stall_policy="drop")
+        stats = ctrl.stats
+        assert stats.stalls > 0
+        snap = registry.snapshot()
+        assert snap["ctrl.requests_accepted"]["value"] == \
+            stats.requests_accepted
+        assert snap["ctrl.stalls"]["value"] == stats.stalls
+        for reason, count in stats.stall_reasons.items():
+            assert snap["ctrl.stalls." + reason]["value"] == count
+
+    def test_bank_gauges_track_exact_peaks(self):
+        registry = MetricsRegistry()
+        ctrl = run_instrumented(registry, banks=2, queue_depth=4,
+                                delay_rows=8, stall_policy="drop")
+        stats = ctrl.stats
+        queue = registry.gauge_vector("bank.queue_depth",
+                                      len(ctrl.banks))
+        rows = registry.gauge_vector("bank.delay_rows", len(ctrl.banks))
+        assert queue.peak == stats.max_queue_occupancy
+        assert rows.peak == stats.max_delay_rows_used
+        assert queue.peak > 0
+
+    def test_bus_counters_mirror_bus(self):
+        registry = MetricsRegistry()
+        ctrl = run_instrumented(registry)
+        snap = registry.snapshot()
+        assert snap["bus.slots_used"]["value"] == ctrl.bus.slots_used
+        assert snap["bus.slots_idled"]["value"] == ctrl.bus.slots_idled
+        assert ctrl.bus.slots_used > 0
+
+    def test_queue_histogram_counts_accepts(self):
+        registry = MetricsRegistry()
+        ctrl = run_instrumented(registry)
+        hist = registry.histogram("ctrl.queue_at_accept",
+                                  list(range(ctrl.config.queue_depth)))
+        assert hist.total == ctrl.stats.requests_accepted
+
+    def test_merged_reads_counted_per_bank(self):
+        registry = MetricsRegistry()
+        # A tiny address space hammers few lines: merges are guaranteed.
+        params = dict(banks=1, bank_latency=8, queue_depth=8,
+                      delay_rows=16, address_bits=16, hash_latency=0)
+        ctrl = VPNMController(VPNMConfig(**params), seed=0,
+                              metrics=registry)
+        run_workload(ctrl, uniform_reads(address_bits=4, count=200),
+                     drain=False)
+        merged = registry.counter_vector("bank.merged", 1)
+        assert merged.total == ctrl.stats.reads_merged
+
+    def test_null_registry_leaves_no_trace(self):
+        ctrl = run_instrumented(NULL_REGISTRY)
+        assert ctrl.stats.requests_accepted > 0
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_no_registry_is_the_default(self):
+        ctrl = run_instrumented(None)
+        assert ctrl.metrics is None
+        assert ctrl.stats.requests_accepted > 0

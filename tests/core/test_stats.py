@@ -29,6 +29,23 @@ class TestCounters:
             stats.record_stall(cycle, "bank_queue")
         assert len(stats.stall_cycles) == 10_000
         assert stats.stalls == 12_000
+        assert stats.stall_cycles_dropped == 2_000
+
+    def test_stall_cycle_cap_is_configurable(self):
+        stats = ControllerStats(stall_cycles_cap=5)
+        for cycle in range(8):
+            stats.record_stall(cycle, "bank_queue")
+        assert stats.stall_cycles == [0, 1, 2, 3, 4]
+        assert stats.stall_cycles_dropped == 3
+        assert stats.stalls == 8  # counts stay exact past the cap
+
+    def test_dropped_stall_cycles_surface_in_summary(self):
+        stats = ControllerStats(stall_cycles_cap=2)
+        for cycle in range(5):
+            stats.record_stall(cycle, "delay_storage")
+        text = stats.summary()
+        assert "stall cycles kept: 2" in text
+        assert "3 dropped past cap 2" in text
 
     def test_derived_rates(self):
         stats = ControllerStats(cycles=1000, reads_accepted=600,

@@ -1,0 +1,143 @@
+"""Tests for the structured JSONL event stream and its adapters."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    CampaignProgressAdapter,
+    JsonlEventSink,
+    NullEventSink,
+    ShardProgressAdapter,
+    TeeEventSink,
+    iter_events,
+    read_events,
+    validate_event,
+)
+
+
+def shard_payload(**overrides):
+    payload = {"shard": 0, "shards": 2, "restored": False, "lanes": 4}
+    payload.update(overrides)
+    return payload
+
+
+class TestValidateEvent:
+    def event(self, **overrides):
+        event = {"v": EVENT_SCHEMA_VERSION, "seq": 0,
+                 "type": "shard_finished", **shard_payload()}
+        event.update(overrides)
+        return event
+
+    def test_valid_event_passes(self):
+        event = self.event()
+        assert validate_event(event) is event
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="schema version"):
+            validate_event(self.event(v=99))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            validate_event(self.event(type="mystery"))
+
+    def test_missing_required_field(self):
+        event = self.event()
+        del event["lanes"]
+        with pytest.raises(ValueError, match="missing field 'lanes'"):
+            validate_event(event)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(ValueError, match="must be int, got bool"):
+            validate_event(self.event(shard=True))
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError, match="seq"):
+            validate_event(self.event(seq=-1))
+
+    def test_non_numeric_timing_rejected(self):
+        with pytest.raises(ValueError, match="timing.elapsed_s"):
+            validate_event(self.event(timing={"elapsed_s": "fast"}))
+
+    def test_extra_payload_fields_allowed(self):
+        validate_event(self.event(cell="B4_Q2", note="forward-compat"))
+
+
+class TestJsonlEventSink:
+    def test_writes_canonical_validated_lines(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with JsonlEventSink(path) as sink:
+            sink.emit("shard_finished", shard_payload(),
+                      {"elapsed_s": 1.5})
+            sink.emit("stalls_observed",
+                      {"shard": 0, "delay_storage": 3, "bank_queue": 1})
+        lines = open(path).read().splitlines()
+        assert len(lines) == 2
+        # Canonical form: sorted keys, compact separators.
+        for line in lines:
+            assert line == json.dumps(json.loads(line), sort_keys=True,
+                                      separators=(",", ":"))
+        events = read_events(path)
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[0]["timing"]["elapsed_s"] == 1.5
+
+    def test_append_mode_continues_the_stream(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with JsonlEventSink(path) as sink:
+            sink.emit("shard_finished", shard_payload())
+        with JsonlEventSink(path) as sink:
+            sink.emit("shard_finished", shard_payload(shard=1))
+        events = read_events(path)
+        assert [e["shard"] for e in events] == [0, 1]
+
+    def test_envelope_collision_rejected(self, tmp_path):
+        with JsonlEventSink(str(tmp_path / "e.jsonl")) as sink:
+            with pytest.raises(ValueError, match="collides"):
+                sink.emit("shard_finished", shard_payload(seq=7))
+
+    def test_invalid_event_never_hits_disk(self, tmp_path):
+        path = str(tmp_path / "e.jsonl")
+        with JsonlEventSink(path) as sink:
+            with pytest.raises(ValueError):
+                sink.emit("shard_finished", {"shard": 0})  # missing fields
+        assert open(path).read() == ""
+
+    def test_iter_events_reports_bad_json_with_line_number(self, tmp_path):
+        path = str(tmp_path / "e.jsonl")
+        with open(path, "w") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ValueError, match=":1: bad JSON"):
+            list(iter_events(path))
+
+
+class TestAdapters:
+    def test_shard_progress_adapter(self):
+        calls = []
+        adapter = ShardProgressAdapter(
+            lambda *args: calls.append(args))
+        adapter.emit("shard_finished", shard_payload(restored=True),
+                     {"elapsed_s": 2.0})
+        adapter.emit("stalls_observed",
+                     {"shard": 0, "delay_storage": 1, "bank_queue": 0})
+        assert calls == [(0, 2, True, 2.0)]
+
+    def test_campaign_adapter_needs_cell_tag(self):
+        calls = []
+        adapter = CampaignProgressAdapter(
+            lambda *args: calls.append(args))
+        adapter.emit("shard_finished", shard_payload())  # untagged: dropped
+        adapter.emit("shard_finished", shard_payload(cell="K4"),
+                     {"elapsed_s": 0.5})
+        assert calls == [("K4", 0, 2, False, 0.5)]
+
+    def test_tee_fans_out_and_skips_none(self):
+        seen = []
+
+        class Probe(NullEventSink):
+            def emit(self, event_type, payload=None, timing=None):
+                seen.append(event_type)
+
+        tee = TeeEventSink([Probe(), None, Probe()])
+        tee.emit("shard_finished", shard_payload())
+        assert seen == ["shard_finished", "shard_finished"]

@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    BoundGauge,
+    Counter,
+    CounterVector,
+    Gauge,
+    GaugeVector,
+    Histogram,
+    MetricsRegistry,
+    registry_or_null,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_gauge_tracks_peak(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+        assert gauge.peak == 3
+
+    def test_gauge_vector_per_index_peaks(self):
+        vector = GaugeVector("v", 3)
+        vector.set(0, 5)
+        vector.set(0, 2)
+        vector.set(2, 7)
+        assert vector.values == [2, 0, 7]
+        assert vector.peaks == [5, 0, 7]
+        assert vector.peak == 7
+
+    def test_bound_gauge_writes_through(self):
+        vector = GaugeVector("v", 4)
+        bound = BoundGauge(vector, 2)
+        bound.set(9)
+        bound.set(4)
+        assert vector.values[2] == 4
+        assert vector.peaks[2] == 9
+        assert bound.value == 4
+        assert bound.peak == 9
+
+    def test_counter_vector(self):
+        vector = CounterVector("v", 2)
+        vector.inc(0)
+        vector.inc(1, 10)
+        assert vector.values == [1, 10]
+        assert vector.total == 11
+
+    def test_histogram_buckets(self):
+        hist = Histogram("h", [1, 2, 4])
+        for value in [0, 1, 2, 3, 5, 100]:
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1, 2]  # last bin is overflow
+        assert hist.total == 6
+
+    def test_histogram_rejects_non_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [1, 1, 2])
+        with pytest.raises(ValueError):
+            Histogram("h", [3, 2])
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+    def test_histogram_accepts_increasing_bounds(self):
+        # Regression: an inverted comparison used to reject every
+        # strictly increasing bound list.
+        assert Histogram("h", list(range(8))).buckets == list(range(8))
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge_vector("v", 4) is registry.gauge_vector("v", 4)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_covers_every_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(2)
+        registry.gauge_vector("gv", 2).set(1, 5)
+        registry.counter_vector("cv", 2).inc(0, 7)
+        registry.histogram("h", [1, 2]).observe(2)
+        snap = registry.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 3}
+        assert snap["g"] == {"type": "gauge", "value": 2, "peak": 2}
+        assert snap["gv"]["peaks"] == [0, 5]
+        assert snap["cv"]["values"] == [7, 0]
+        assert snap["h"]["counts"] == [0, 1, 0]
+        assert registry.enabled
+
+
+class TestNullRegistry:
+    def test_instruments_are_shared_noops(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        NULL_REGISTRY.counter("a").inc()
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.gauge_vector("v", 9).set(3, 5)
+        NULL_REGISTRY.histogram("h", [1]).observe(2)
+        assert NULL_REGISTRY.counter("a").value == 0
+        assert NULL_REGISTRY.gauge("g").peak == 0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert not NULL_REGISTRY.enabled
+
+    def test_registry_or_null(self):
+        registry = MetricsRegistry()
+        assert registry_or_null(registry) is registry
+        assert registry_or_null(None) is NULL_REGISTRY

@@ -1,0 +1,158 @@
+"""Tests for the ASCII telemetry renderers."""
+
+import pytest
+
+from repro.obs.render import (
+    cell_telemetry,
+    render_heatmap,
+    render_series,
+    render_telemetry,
+    summarize_events,
+)
+from repro.obs.summary import TelemetrySummary
+
+
+def make_summary():
+    return TelemetrySummary(
+        stride=100, cycles=300, lanes=2,
+        bank_queue_peak=4, delay_rows_peak=6,
+        per_lane_queue_peak=[4, 3], per_lane_rows_peak=[6, 5],
+        stall_reasons={"bank_queue": 9, "delay_storage": 2},
+        bucket_cycles=[0, 100, 200, 300],
+        queue_series=[1, 4, -1, 2],
+        rows_series=[2, 6, -1, 3],
+        bank_pressure=[[1, 0], [4, 2], [-1, -1], [2, 1]],
+    )
+
+
+class TestRenderSeries:
+    def test_chart_shape_and_peak(self):
+        text = render_series([0, 100, 200, 300], [1, 4, -1, 2],
+                             label="queue", width=16, height=4)
+        lines = text.splitlines()
+        assert "peak 4" in lines[0]
+        assert lines[-1].strip() == "cycle 0 .. 300"
+        # height bar rows + header + axis + cycle footer
+        assert len(lines) == 4 + 3
+
+    def test_no_sample_buckets_render_blank(self):
+        text = render_series([0, 100, 200], [3, -1, 3],
+                             label="q", width=8, height=2)
+        bar_rows = [line for line in text.splitlines() if "|" in line]
+        for row in bar_rows:
+            body = row.split("|", 1)[1]
+            assert body[1] == " "  # the -1 column stays empty
+
+    def test_all_empty_series(self):
+        assert render_series([0, 100], [-1, -1], label="q") == "q: no samples"
+        assert render_series([], [], label="q") == "q: no samples"
+
+    def test_downsamples_to_width(self):
+        values = list(range(200))
+        text = render_series(list(range(0, 2000, 10)), values,
+                             label="q", width=20, height=3)
+        bar_rows = [line for line in text.splitlines() if "|" in line]
+        for row in bar_rows:
+            assert len(row.split("|", 1)[1]) == 20
+        assert "peak 199" in text  # group-max keeps the true maximum
+
+
+class TestRenderHeatmap:
+    def test_one_row_per_bank(self):
+        text = render_heatmap([[1, 0], [4, 2], [-1, -1], [2, 1]],
+                              [0, 100, 200, 300], width=8)
+        lines = text.splitlines()
+        assert "peak 4" in lines[0]
+        assert lines[1].startswith("bank   0 |")
+        assert lines[2].startswith("bank   1 |")
+        # No-sample buckets stay blank; the peak cell uses the hottest
+        # ramp character.
+        assert lines[1][len("bank   0 |") + 2] == " "
+        assert "@" in lines[1]
+
+    def test_empty_matrix(self):
+        assert "no samples" in render_heatmap([], [])
+        assert "no samples" in render_heatmap([[-1], [-1]], [0, 100])
+
+
+class TestRenderTelemetry:
+    def test_full_digest(self):
+        text = render_telemetry(make_summary(), title="cell B4_Q2")
+        assert "cell B4_Q2" in text
+        assert "lanes 2 x 300 cycles, sampling stride 100" in text
+        assert "peak bank-queue occupancy: 4" in text
+        assert "delay-row high-water mark: 6" in text
+        assert "stalls: 11 (bank_queue=9, delay_storage=2)" in text
+        assert "bank-queue occupancy (sampled max)" in text
+        assert "delay-row occupancy (sampled max)" in text
+        assert "per-bank queue pressure" in text
+
+    def test_default_title_and_no_stalls(self):
+        summary = make_summary()
+        summary.stall_reasons = {}
+        text = render_telemetry(summary)
+        assert text.startswith("telemetry")
+        assert "stalls: 0" in text
+        assert "(" not in text.splitlines()[4]
+
+
+class TestSummarizeEvents:
+    def finished(self, cell, stalls, peak_q, peak_k):
+        return {"v": 1, "seq": 0, "type": "cell_finished", "cell": cell,
+                "result": {"total_stalls": stalls},
+                "telemetry": {"stride": 100, "bank_queue_peak": peak_q,
+                              "delay_rows_peak": peak_k,
+                              "stall_reasons": {}}}
+
+    def test_counts_and_cell_table(self):
+        events = [
+            {"v": 1, "seq": 0, "type": "campaign_started",
+             "cells_total": 2, "cells_done": 0},
+            {"v": 1, "seq": 1, "type": "cell_started", "cell": "a",
+             "lanes": 4, "cycles": 100},
+            self.finished("a", 7, 3, 5),
+            {"v": 1, "seq": 3, "type": "cell_resumed", "cell": "b",
+             "lanes": 4, "cycles": 100},
+        ]
+        text = summarize_events(events)
+        assert "4 events" in text
+        assert "campaign_started=1" in text
+        assert "cell_finished=1" in text
+        lines = text.splitlines()
+        row_a = next(line for line in lines if line.startswith("a "))
+        assert "finished" in row_a
+        assert " 7" in row_a and " 3" in row_a and " 5" in row_a
+        row_b = next(line for line in lines if line.startswith("b "))
+        assert "resumed" in row_b
+
+    def test_empty_log(self):
+        assert summarize_events([]) == "empty event log"
+
+
+class TestCellTelemetry:
+    def finished(self, cell, with_full=True):
+        event = {"v": 1, "seq": 0, "type": "cell_finished", "cell": cell,
+                 "result": {}}
+        if with_full:
+            event["telemetry_full"] = TelemetrySummary(
+                stride=50, cycles=100, lanes=1).to_dict()
+            event["telemetry_full"]["bank_queue_peak"] = (
+                3 if cell == "late" else 1)
+        return event
+
+    def test_picks_named_cell(self):
+        events = [self.finished("early"), self.finished("late")]
+        summary = cell_telemetry(events, cell_id="early")
+        assert summary.bank_queue_peak == 1
+
+    def test_defaults_to_last_finished_with_telemetry(self):
+        events = [self.finished("early"), self.finished("late"),
+                  self.finished("bare", with_full=False)]
+        summary = cell_telemetry(events)
+        assert summary.bank_queue_peak == 3
+
+    def test_raises_when_absent(self):
+        with pytest.raises(ValueError, match="any finished cell"):
+            cell_telemetry([self.finished("a", with_full=False)])
+        with pytest.raises(ValueError, match="cell 'zz'"):
+            cell_telemetry([self.finished("a")], cell_id="zz")

@@ -1,0 +1,112 @@
+"""Tests for TelemetrySummary round-trip, merge, and manifest digest."""
+
+import pytest
+
+from repro.obs.summary import TelemetrySummary
+
+
+def make_summary(**overrides):
+    base = dict(
+        stride=100,
+        cycles=400,
+        lanes=1,
+        bank_queue_peak=3,
+        delay_rows_peak=7,
+        per_lane_queue_peak=[3],
+        per_lane_rows_peak=[7],
+        stall_reasons={"bank_queue": 5},
+        bucket_cycles=[0, 100, 200, 300, 400],
+        queue_series=[0, 2, 3, -1, 1],
+        rows_series=[1, 4, 7, -1, 2],
+        bank_pressure=[[0, 0], [2, 1], [3, 0], [-1, -1], [1, 1]],
+    )
+    base.update(overrides)
+    return TelemetrySummary(**base)
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_round_trips(self):
+        summary = make_summary()
+        data = summary.to_dict()
+        restored = TelemetrySummary.from_dict(data)
+        assert restored == summary
+        # to_dict copies, so mutating the dict can't corrupt the summary.
+        data["stall_reasons"]["bank_queue"] = 999
+        data["queue_series"][0] = 999
+        assert summary.stall_reasons["bank_queue"] == 5
+        assert summary.queue_series[0] == 0
+
+    def test_from_dict_defaults_optional_fields(self):
+        restored = TelemetrySummary.from_dict(
+            {"stride": 10, "cycles": 50, "lanes": 2})
+        assert restored.bank_queue_peak == 0
+        assert restored.stall_reasons == {}
+        assert restored.bank_pressure == []
+
+    def test_manifest_digest_is_compact(self):
+        digest = make_summary().manifest_digest()
+        assert digest == {
+            "stride": 100,
+            "bank_queue_peak": 3,
+            "delay_rows_peak": 7,
+            "stall_reasons": {"bank_queue": 5},
+        }
+        # No series in the manifest — those live in the event log.
+        assert "queue_series" not in digest
+
+
+class TestMerge:
+    def test_merge_requires_parts(self):
+        with pytest.raises(ValueError, match="nothing to merge"):
+            TelemetrySummary.merge([])
+
+    def test_merge_rejects_mismatched_stride(self):
+        with pytest.raises(ValueError, match="mismatched stride"):
+            TelemetrySummary.merge(
+                [make_summary(), make_summary(stride=50)])
+
+    def test_merge_rejects_mismatched_cycles(self):
+        with pytest.raises(ValueError, match="mismatched stride/cycles"):
+            TelemetrySummary.merge(
+                [make_summary(), make_summary(cycles=800)])
+
+    def test_merge_folds_shards(self):
+        a = make_summary()
+        b = make_summary(
+            bank_queue_peak=2,
+            delay_rows_peak=9,
+            per_lane_queue_peak=[2],
+            per_lane_rows_peak=[9],
+            stall_reasons={"bank_queue": 1, "delay_storage": 4},
+            queue_series=[1, 1, -1, 2, 0],
+            rows_series=[0, 5, -1, 3, 0],
+            bank_pressure=[[1, 0], [1, 1], [-1, -1], [2, 2], [0, 0]],
+        )
+        merged = TelemetrySummary.merge([a, b])
+        assert merged.lanes == 2
+        assert merged.bank_queue_peak == 3  # peaks take the max
+        assert merged.delay_rows_peak == 9
+        assert merged.per_lane_queue_peak == [3, 2]  # lanes concatenate
+        assert merged.per_lane_rows_peak == [7, 9]
+        assert merged.stall_reasons == {"bank_queue": 6, "delay_storage": 4}
+        # Series are bucket-wise maxima; -1 ("no sample") is neutral.
+        assert merged.queue_series == [1, 2, 3, 2, 1]
+        assert merged.rows_series == [1, 5, 7, 3, 2]
+        assert merged.bank_pressure[3] == [2, 2]
+        assert merged.bucket_cycles == [0, 100, 200, 300, 400]
+
+    def test_merge_pads_shorter_series(self):
+        short = make_summary(
+            bucket_cycles=[0, 100],
+            queue_series=[4, 4],
+            rows_series=[1, 1],
+            bank_pressure=[[4, 4], [4, 4]],
+        )
+        merged = TelemetrySummary.merge([make_summary(), short])
+        assert len(merged.queue_series) == 5
+        assert merged.queue_series == [4, 4, 3, -1, 1]
+        assert merged.bank_pressure[4] == [1, 1]
+
+    def test_merge_single_part_is_identityish(self):
+        merged = TelemetrySummary.merge([make_summary()])
+        assert merged.to_dict() == make_summary().to_dict()

@@ -1,0 +1,120 @@
+"""Differential validation of the batch engine's sampled telemetry.
+
+The oracle is :class:`FastStallSimulator` with ``track_occupancy=True``,
+which records *exact* post-accept occupancy high-water marks per bank.
+On a matched bank sequence the batch engine's telemetry peaks must
+agree: bank-queue peaks are tracked exactly in both engines, and the
+delay-row mark is exact on the strict engine whenever the sampling
+stride is <= the bank count (every accept gets sampled — DESIGN.md §9).
+"""
+
+import pytest
+
+from repro.core import VPNMConfig
+from repro.core.exceptions import ConfigurationError
+from repro.sim.batchsim import BatchStallSimulator, matched_bank_sequences
+from repro.sim.fastsim import FastStallSimulator
+
+GRID = [
+    dict(banks=1, bank_latency=7, queue_depth=1, delay_rows=2,
+         bus_scaling=1.0),
+    dict(banks=4, bank_latency=7, queue_depth=2, delay_rows=4,
+         bus_scaling=1.3),
+    dict(banks=8, bank_latency=9, queue_depth=4, delay_rows=8,
+         bus_scaling=1.3),
+]
+CYCLES = 3000
+SEEDS = [21, 22]
+
+
+def run_pair(params, strict, stride, idle=0.0):
+    """Batch run with telemetry plus the per-lane fastsim oracles."""
+    config = VPNMConfig(hash_latency=0, skip_idle_slots=not strict,
+                        **params)
+    sequences = matched_bank_sequences(config, SEEDS, CYCLES, idle)
+    batch = BatchStallSimulator(
+        config, SEEDS, stall_cycle_limit=10**9
+    ).run(CYCLES, idle_probability=idle, bank_sequences=sequences,
+          telemetry_stride=stride)
+    oracles = [FastStallSimulator(config, seed=seed).run(
+                   CYCLES, idle_probability=idle, track_occupancy=True)
+               for seed in SEEDS]
+    return batch, oracles
+
+
+@pytest.mark.parametrize("params", GRID)
+@pytest.mark.parametrize("strict", [True, False],
+                         ids=["strict", "work-conserving"])
+def test_queue_peaks_match_oracle_exactly(params, strict):
+    # stride=1 <= banks everywhere in GRID, so even the sampled
+    # delay-row mark is exact on the strict engine.
+    batch, oracles = run_pair(params, strict, stride=1)
+    telemetry = batch.telemetry
+    assert telemetry is not None
+    expected_queue = [o.occupancy_peaks["queue"] for o in oracles]
+    expected_rows = [o.occupancy_peaks["delay_rows"] for o in oracles]
+    assert telemetry.per_lane_queue_peak == expected_queue
+    assert telemetry.bank_queue_peak == max(expected_queue)
+    assert telemetry.per_lane_rows_peak == expected_rows
+    assert telemetry.delay_rows_peak == max(expected_rows)
+
+
+@pytest.mark.parametrize("params", GRID)
+def test_sparse_stride_queue_peaks_still_exact(params):
+    """Queue peaks are tracked at every accept, not sampled — a sparse
+    stride must not change them.  Sampled delay-row marks may only
+    undershoot the oracle."""
+    batch, oracles = run_pair(params, strict=True, stride=500)
+    telemetry = batch.telemetry
+    expected_queue = [o.occupancy_peaks["queue"] for o in oracles]
+    assert telemetry.per_lane_queue_peak == expected_queue
+    for lane, oracle in enumerate(oracles):
+        assert (telemetry.per_lane_rows_peak[lane]
+                <= oracle.occupancy_peaks["delay_rows"])
+
+
+@pytest.mark.parametrize("strict", [True, False],
+                         ids=["strict", "work-conserving"])
+def test_stall_reasons_match_counters(strict):
+    params = GRID[1]
+    batch, _ = run_pair(params, strict, stride=64, idle=0.2)
+    reasons = batch.telemetry.stall_reasons
+    assert reasons.get("delay_storage", 0) == int(
+        batch.delay_storage_stalls.sum())
+    assert reasons.get("bank_queue", 0) == int(
+        batch.bank_queue_stalls.sum())
+    assert sum(reasons.values()) == int(batch.stalls.sum())
+
+
+def test_series_shape_and_bounds():
+    params = GRID[2]
+    stride = 250
+    batch, _ = run_pair(params, strict=True, stride=stride)
+    telemetry = batch.telemetry
+    buckets = CYCLES // stride + 1
+    assert telemetry.stride == stride
+    assert telemetry.cycles == CYCLES
+    assert telemetry.lanes == len(SEEDS)
+    assert len(telemetry.queue_series) == buckets
+    assert len(telemetry.rows_series) == buckets
+    assert len(telemetry.bank_pressure) == buckets
+    assert all(len(row) == params["banks"]
+               for row in telemetry.bank_pressure)
+    # Samples never exceed the exact peaks or the structure limits.
+    assert max(telemetry.queue_series) <= telemetry.bank_queue_peak
+    assert telemetry.bank_queue_peak <= params["queue_depth"]
+    assert max(telemetry.rows_series) <= telemetry.delay_rows_peak
+    assert telemetry.delay_rows_peak <= params["delay_rows"]
+
+
+def test_telemetry_off_by_default():
+    config = VPNMConfig(hash_latency=0, **GRID[0])
+    result = BatchStallSimulator(config, SEEDS).run(500)
+    assert result.telemetry is None
+
+
+def test_stride_must_be_positive():
+    config = VPNMConfig(hash_latency=0, **GRID[0])
+    sim = BatchStallSimulator(config, SEEDS)
+    with pytest.raises(ConfigurationError, match="telemetry_stride"):
+        sim.run(500, telemetry_stride=0)

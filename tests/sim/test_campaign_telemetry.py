@@ -1,0 +1,99 @@
+"""Campaign-level telemetry: event log, manifest digests, status render."""
+
+import json
+import os
+
+from repro.obs.events import read_events
+from repro.sim.campaign import SweepCampaign, fig6_grid
+
+
+def stall_grid():
+    # Small, stall-heavy fig6 grid so every cell observes stalls fast.
+    return fig6_grid([1, 2], banks=4, bank_latency=4, delay_rows=64,
+                     cycles=4000, lanes=4)
+
+
+def make_campaign(root, **overrides):
+    params = dict(cells=stall_grid(), seed=3, shard_lanes=2,
+                  telemetry_stride=100)
+    params.update(overrides)
+    return SweepCampaign(str(root), **params)
+
+
+class TestEventLog:
+    def test_run_writes_a_valid_lifecycle_stream(self, tmp_path):
+        campaign = make_campaign(tmp_path / "c")
+        campaign.run()
+        events = read_events(campaign.event_log_path())  # validates
+        types = [e["type"] for e in events]
+        assert types[0] == "campaign_started"
+        assert types.count("cell_started") == 2
+        assert types.count("cell_finished") == 2
+        assert types.count("shard_finished") == 4
+        # Shard events carry their owning cell's id.
+        cell_ids = {c["cell_id"] for c in campaign.status()["cells"]}
+        for event in events:
+            if event["type"] == "shard_finished":
+                assert event["cell"] in cell_ids
+        # Finished cells carry both the digest and the full summary.
+        finished = [e for e in events if e["type"] == "cell_finished"]
+        for event in finished:
+            assert event["telemetry"]["stall_reasons"]
+            assert event["telemetry_full"]["queue_series"]
+
+    def test_resume_appends_to_the_same_stream(self, tmp_path):
+        root = tmp_path / "c"
+        make_campaign(root).run(max_cells=1)
+        make_campaign(root).run()
+        events = read_events(os.path.join(str(root), "events.jsonl"))
+        types = [e["type"] for e in events]
+        assert types.count("campaign_started") == 2
+        assert types.count("cell_finished") == 2
+
+
+class TestManifestTelemetry:
+    def test_status_carries_per_cell_digest(self, tmp_path):
+        campaign = make_campaign(tmp_path / "c")
+        campaign.run()
+        status = campaign.status()
+        assert status["telemetry_stride"] == 100
+        for cell in status["cells"]:
+            digest = cell["telemetry"]
+            assert digest["stride"] == 100
+            assert digest["bank_queue_peak"] >= 1
+            assert digest["delay_rows_peak"] >= 1
+            assert sum(digest["stall_reasons"].values()) == \
+                cell["result"]["total_stalls"]
+
+    def test_stride_remembered_on_reattach(self, tmp_path):
+        root = tmp_path / "c"
+        make_campaign(root).run(max_cells=1)
+        # Reattach without re-stating the stride: manifest remembers.
+        resumed = SweepCampaign(str(root))
+        assert resumed.status()["telemetry_stride"] == 100
+        resumed.run()
+        assert all(c["telemetry"] for c in resumed.status()["cells"])
+
+    def test_no_stride_means_no_telemetry(self, tmp_path):
+        campaign = make_campaign(tmp_path / "c", telemetry_stride=None)
+        campaign.run()
+        status = campaign.status()
+        assert status["telemetry_stride"] is None
+        assert all(c["telemetry"] is None for c in status["cells"])
+
+    def test_render_status_shows_pressure_columns(self, tmp_path):
+        campaign = make_campaign(tmp_path / "c")
+        campaign.run()
+        text = campaign.render_status()
+        assert "telemetry_stride=100" in text
+        assert "pkQ" in text and "pkK" in text
+        assert "bq:" in text  # queue-bound grid stalls on bank queues
+
+    def test_digest_survives_manifest_round_trip(self, tmp_path):
+        campaign = make_campaign(tmp_path / "c")
+        campaign.run()
+        manifest = json.load(open(campaign.manifest_path))
+        reloaded = SweepCampaign(str(tmp_path / "c"))
+        assert reloaded.status()["cells"] == campaign.status()["cells"]
+        for entry in manifest["cells"].values():
+            assert entry["telemetry"]["bank_queue_peak"] >= 1

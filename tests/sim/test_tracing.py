@@ -1,6 +1,7 @@
 """Tests for request tracing and the Figure-1-style Gantt rendering."""
 
 from repro.core import VPNMConfig, VPNMController, read_request
+from repro.core.controller import write_request
 from repro.sim.tracing import render_gantt, trace_requests
 
 
@@ -73,6 +74,29 @@ class TestTraceRequests:
         assert ctrl.device is original
         assert ctrl.bus.device is original
 
+    def test_access_matches_line_not_just_bank(self):
+        """Regression: a same-bank write must not steal a read's access.
+
+        Bank-only matching handed the first logged read command to the
+        first unmatched same-bank timeline — here a *write* to a
+        different line that merely appeared earlier in the trace.
+        """
+        ctrl = figure1_controller()
+        items = [write_request(0xB, data=42, tag="W"),
+                 read_request(0xA, tag="A")]
+        timelines = trace_requests(ctrl, items)
+        w, a = timelines
+        assert w.line != a.line, "test needs distinct lines"
+        assert w.issue_slot is None, \
+            "write timeline must not own a read command"
+        assert a.issue_slot is not None
+        assert a.ready_slot == a.issue_slot + 15
+
+    def test_timelines_record_hashed_line(self):
+        ctrl = figure1_controller()
+        (t,) = trace_requests(ctrl, [read_request(0xA, tag="A")])
+        assert t.line is not None and t.line >= 0
+
 
 class TestRenderGantt:
     def test_render_shows_pipeline_and_access(self):
@@ -96,3 +120,25 @@ class TestRenderGantt:
         items = [read_request(0xA, tag="A1"), read_request(0xA, tag="A2")]
         art = render_gantt(trace_requests(ctrl, items))
         assert "(merged)" in art
+
+    def test_render_clamps_to_width(self):
+        """A width shorter than the timelines must truncate, not crash."""
+        ctrl = figure1_controller()
+        timelines = trace_requests(
+            ctrl, [read_request(0xA, tag="A"), read_request(0xB, tag="B")]
+        )
+        narrow = render_gantt(timelines, width=10)
+        for line in narrow.splitlines():
+            # 8-char label + space + at most ``width`` chart columns.
+            assert len(line) <= 8 + 1 + 10
+
+    def test_render_width_one_with_late_access(self):
+        """Access windows entirely beyond the clamp render as empty rows."""
+        ctrl = figure1_controller()
+        items = [read_request(0xA, tag="A"), read_request(0xB, tag="B")]
+        timelines = trace_requests(ctrl, items)
+        assert timelines[1].issue_slot >= 1
+        art = render_gantt(timelines, width=1)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert "#" not in lines[1]

@@ -197,3 +197,69 @@ class TestCampaign:
                      "--loads", "0.5"])
         assert code == 2
         assert "fig4/fig6" in capsys.readouterr().err
+
+
+class TestObs:
+    RUN = ["campaign", "run", "--axis", "fig6", "--values", "1", "2",
+           "--banks", "4", "--bank-latency", "4", "--delay-rows", "64",
+           "--cycles", "4000", "--lanes", "4", "--shard-lanes", "2",
+           "--seed", "3", "--telemetry-stride", "100"]
+
+    def campaign_dir(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        assert main(self.RUN + ["--dir", d]) == 0
+        capsys.readouterr()
+        return d
+
+    def test_summary(self, capsys, tmp_path):
+        d = self.campaign_dir(tmp_path, capsys)
+        assert main(["obs", "summary", "--dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "cell_finished=2" in out
+        assert "finished" in out
+
+    def test_tail_prints_compact_json(self, capsys, tmp_path):
+        import json as jsonlib
+        d = self.campaign_dir(tmp_path, capsys)
+        assert main(["obs", "tail", "--dir", d, "--last", "3"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            event = jsonlib.loads(line)
+            assert "type" in event and "seq" in event
+
+    def test_chart_renders_last_cell(self, capsys, tmp_path):
+        d = self.campaign_dir(tmp_path, capsys)
+        assert main(["obs", "chart", "--dir", d, "--width", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "last finished cell with telemetry" in out
+        assert "bank-queue occupancy (sampled max)" in out
+        assert "per-bank queue pressure" in out
+
+    def test_chart_for_named_cell(self, capsys, tmp_path):
+        import json as jsonlib
+        d = self.campaign_dir(tmp_path, capsys)
+        assert main(["campaign", "status", "--json", "--dir", d]) == 0
+        status = jsonlib.loads(capsys.readouterr().out)
+        cell = status["cells"][0]["cell_id"]
+        assert main(["obs", "chart", "--dir", d, "--cell", cell]) == 0
+        assert f"cell {cell}" in capsys.readouterr().out
+
+    def test_missing_log_is_a_configuration_error(self, capsys, tmp_path):
+        assert main(["obs", "summary", "--dir", str(tmp_path)]) == 2
+        assert "no event log" in capsys.readouterr().err
+
+    def test_needs_dir_or_events(self, capsys):
+        assert main(["obs", "summary"]) == 2
+        assert "--events or --dir" in capsys.readouterr().err
+
+    def test_mts_telemetry_chart(self, capsys):
+        code = main(["mts", "--banks", "4", "--bank-latency", "9",
+                     "--queue-depth", "2", "--delay-rows", "3",
+                     "--ratio", "1.3", "--cycles", "3000", "--lanes", "2",
+                     "--telemetry-stride", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry" in out
+        assert "peak bank-queue occupancy" in out

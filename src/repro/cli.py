@@ -523,7 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="lanes per shard checkpoint (default 8, "
                                "or the manifest's value on resume)")
     campaign.add_argument("--workers", type=int, default=None,
-                          help="worker processes per cell (default 1)")
+                          help="size of the campaign-wide worker pool; "
+                               "all pending cells' shards interleave "
+                               "through it (default 1 = serial, "
+                               "identical results either way)")
     campaign.add_argument("--confidence", type=float, default=None,
                           help="confidence level for error bars "
                                "(default 0.95)")

@@ -15,6 +15,17 @@ shard size, worker count, execution order, and whether any shards were
 restored from checkpoints.  When ``seeds`` is not given explicitly,
 per-lane seeds derive from ``numpy.random.SeedSequence(seed,
 spawn_key=(lane,))`` — collision-resistant and stable across runs.
+
+Execution is split into plan and aggregate halves so shards from
+*different* runs can share one worker pool: :meth:`BatchRunner.plan`
+restores checkpoints and returns a :class:`ShardPlan` of the pending
+work, any scheduler executes the plan's pickled jobs wherever it
+likes (``plan.complete`` checkpoints each result the moment it
+lands), and :meth:`ShardPlan.aggregate` folds the full result set
+into a :class:`BatchReport`.  :meth:`BatchRunner.run` is the
+single-run scheduler on top of those halves;
+:class:`~repro.sim.campaign.SweepCampaign` drives many plans through
+one shared cross-cell pool (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -45,8 +56,8 @@ from repro.obs.events import (
 from repro.obs.summary import TelemetrySummary
 from repro.sim.batchsim import BatchStallSimulator
 
-__all__ = ["BatchReport", "BatchRunner", "ShardProgress", "lane_seeds",
-           "lane_seeds_legacy"]
+__all__ = ["BatchReport", "BatchRunner", "ShardPlan", "ShardProgress",
+           "lane_seeds", "lane_seeds_legacy"]
 
 #: Per-shard progress callback: called once per shard as it completes
 #: (or is restored from a checkpoint), in completion order.
@@ -195,6 +206,79 @@ def _run_shard(args):
     if telemetry_stride is not None:
         data["telemetry"] = result.telemetry.to_dict()
     return data
+
+
+def _run_tagged_shard(tagged):
+    """Worker entry point for shared cross-run pools.
+
+    ``tagged`` is ``(key, job)`` where ``job`` is a :func:`_run_shard`
+    argument tuple and ``key`` is opaque scheduler context (e.g. a
+    ``(cell_id, shard_index)`` pair).  Echoing the key back lets a pool
+    running shards from many plans route each result — an unordered
+    ``imap`` loses submission order, so the result must carry its own
+    identity.
+    """
+    key, job = tagged
+    return key, _run_shard(job)
+
+
+@dataclass
+class ShardPlan:
+    """The executable remainder of one sharded run.
+
+    Produced by :meth:`BatchRunner.plan` after checkpoint restore:
+    ``results`` holds restored shard payloads (``None`` where work
+    remains) and ``pending`` lists the shard indices still to compute.
+    A scheduler executes :meth:`job` tuples with
+    :func:`_run_shard` (in-process or in any worker pool), hands each
+    payload to :meth:`complete` — which checkpoints it immediately, so
+    an interrupt after that point loses nothing — and calls
+    :meth:`aggregate` once :attr:`done`.
+    """
+
+    runner: "BatchRunner"
+    cycles: int
+    idle_probability: float
+    fingerprint: str
+    shards: List[List[int]]
+    results: List[Optional[dict]]
+    pending: List[int]
+
+    @property
+    def total(self) -> int:
+        return len(self.shards)
+
+    @property
+    def restored(self) -> List[int]:
+        """Shard indices satisfied from checkpoints, in index order."""
+        outstanding = set(self.pending)
+        return [i for i in range(self.total) if i not in outstanding]
+
+    @property
+    def done(self) -> bool:
+        return all(r is not None for r in self.results)
+
+    def job(self, shard_index: int) -> tuple:
+        """Pickle-ready :func:`_run_shard` arguments for one shard."""
+        runner = self.runner
+        return (runner.config, self.shards[shard_index], self.cycles,
+                self.idle_probability, runner.stall_cycle_limit,
+                runner.telemetry_stride)
+
+    def jobs(self) -> List[tuple]:
+        return [self.job(i) for i in self.pending]
+
+    def complete(self, shard_index: int, data: dict) -> None:
+        """Record one computed shard payload and checkpoint it now."""
+        self.runner._store_checkpoint(shard_index, self.fingerprint, data)
+        self.results[shard_index] = data
+
+    def aggregate(self) -> BatchReport:
+        if not self.done:
+            missing = [i for i, r in enumerate(self.results) if r is None]
+            raise RuntimeError(
+                f"cannot aggregate: shards {missing} not completed")
+        return self.runner.aggregate(self.results, self.cycles)
 
 
 class BatchRunner:
@@ -353,75 +437,34 @@ class BatchRunner:
                    "delay_storage": sum(data["delay_storage_stalls"]),
                    "bank_queue": sum(data["bank_queue_stalls"])})
 
-    def run(self, cycles: int, idle_probability: float = 0.0,
-            progress: Optional[ShardProgress] = None,
-            events: Optional[EventSink] = None) -> BatchReport:
-        """Run every shard (resuming from checkpoints) and aggregate.
+    def plan(self, cycles: int,
+             idle_probability: float = 0.0) -> ShardPlan:
+        """Restore checkpoints and return the remaining work as a plan.
 
-        ``progress``, when given, is called as ``progress(shard_index,
-        total_shards, restored, elapsed_seconds)`` once per shard in
-        completion order — restored checkpoints first (``restored=True``,
-        elapsed ~0), then freshly computed shards as they finish, each
-        stamped with the wall-clock seconds since ``run()`` started.
-        Each fresh shard's checkpoint is stored *before* its progress
-        call, so a campaign interrupted from inside the callback loses
-        no finished work.
-
-        ``events``, when given, receives the same milestones as typed
-        events (``shard_finished`` plus a ``stalls_observed`` per
-        shard); ``progress`` is internally bridged through
-        :class:`~repro.obs.events.ShardProgressAdapter`, so both
-        interfaces see identical sequencing.
+        Side-effect free beyond reading checkpoints: no events are
+        emitted and nothing is written, so a scheduler may plan many
+        runs up front (capturing each run's resumed/pending split)
+        before executing any of them.
         """
-        sink: EventSink = events if events is not None else NULL_EVENTS
-        if progress is not None:
-            sink = TeeEventSink([sink, ShardProgressAdapter(progress)])
-        start = time.perf_counter()
         fingerprint = _config_fingerprint(self.config, cycles,
                                           idle_probability)
         shards = self._shards()
-        total = len(shards)
-        results: List[Optional[dict]] = [None] * total
+        results: List[Optional[dict]] = [None] * len(shards)
         pending = []
         for i, shard_seeds in enumerate(shards):
             restored = self._load_checkpoint(i, fingerprint, shard_seeds)
             if restored is not None:
                 results[i] = restored
-                self._emit_shard(sink, restored, i, total, True,
-                                 time.perf_counter() - start)
             else:
                 pending.append(i)
+        return ShardPlan(runner=self, cycles=cycles,
+                         idle_probability=float(idle_probability),
+                         fingerprint=fingerprint, shards=shards,
+                         results=results, pending=pending)
 
-        if pending:
-            jobs = [(self.config, shards[i], cycles, idle_probability,
-                     self.stall_cycle_limit, self.telemetry_stride)
-                    for i in pending]
-            if self.workers <= 1 or len(pending) == 1:
-                for i, job in zip(pending, jobs):
-                    data = _run_shard(job)
-                    self._store_checkpoint(i, fingerprint, data)
-                    results[i] = data
-                    self._emit_shard(sink, data, i, total, False,
-                                     time.perf_counter() - start)
-            else:
-                # Worker processes import, not fork-inherit, the sim
-                # state; "spawn" keeps behaviour identical across
-                # platforms and under pytest.
-                import multiprocessing
-
-                ctx = multiprocessing.get_context("spawn")
-                with ctx.Pool(min(self.workers, len(pending))) as pool:
-                    # imap (ordered) yields each shard as soon as it and
-                    # all its predecessors finish, so checkpoints land
-                    # and progress fires incrementally instead of at one
-                    # end-of-pool barrier.
-                    for i, data in zip(pending,
-                                       pool.imap(_run_shard, jobs)):
-                        self._store_checkpoint(i, fingerprint, data)
-                        results[i] = data
-                        self._emit_shard(sink, data, i, total, False,
-                                         time.perf_counter() - start)
-
+    def aggregate(self, results: Sequence[dict],
+                  cycles: int) -> BatchReport:
+        """Fold a complete, index-ordered shard result list into a report."""
         accepted = np.concatenate(
             [np.asarray(r["accepted"], dtype=np.int64) for r in results])
         ds = np.concatenate(
@@ -453,3 +496,61 @@ class BatchRunner:
             stall_cycles=stall_cycles,
             telemetry=telemetry,
         )
+
+    def run(self, cycles: int, idle_probability: float = 0.0,
+            progress: Optional[ShardProgress] = None,
+            events: Optional[EventSink] = None) -> BatchReport:
+        """Run every shard (resuming from checkpoints) and aggregate.
+
+        ``progress``, when given, is called as ``progress(shard_index,
+        total_shards, restored, elapsed_seconds)`` once per shard in
+        completion order — restored checkpoints first (``restored=True``,
+        elapsed ~0), then freshly computed shards as they finish, each
+        stamped with the wall-clock seconds since ``run()`` started.
+        Each fresh shard's checkpoint is stored *before* its progress
+        call, so a campaign interrupted from inside the callback loses
+        no finished work.
+
+        ``events``, when given, receives the same milestones as typed
+        events (``shard_finished`` plus a ``stalls_observed`` per
+        shard); ``progress`` is internally bridged through
+        :class:`~repro.obs.events.ShardProgressAdapter`, so both
+        interfaces see identical sequencing.
+        """
+        sink: EventSink = events if events is not None else NULL_EVENTS
+        if progress is not None:
+            sink = TeeEventSink([sink, ShardProgressAdapter(progress)])
+        start = time.perf_counter()
+        plan = self.plan(cycles, idle_probability)
+        total = plan.total
+        for i in plan.restored:
+            self._emit_shard(sink, plan.results[i], i, total, True,
+                             time.perf_counter() - start)
+
+        if plan.pending:
+            if self.workers <= 1 or len(plan.pending) == 1:
+                for i in plan.pending:
+                    plan.complete(i, _run_shard(plan.job(i)))
+                    self._emit_shard(sink, plan.results[i], i, total,
+                                     False, time.perf_counter() - start)
+            else:
+                # Worker processes import, not fork-inherit, the sim
+                # state; "spawn" keeps behaviour identical across
+                # platforms and under pytest.
+                import multiprocessing
+
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(min(self.workers,
+                                  len(plan.pending))) as pool:
+                    # imap (ordered) yields each shard as soon as it and
+                    # all its predecessors finish, so checkpoints land
+                    # and progress fires incrementally instead of at one
+                    # end-of-pool barrier.
+                    for i, data in zip(plan.pending,
+                                       pool.imap(_run_shard,
+                                                 plan.jobs())):
+                        plan.complete(i, data)
+                        self._emit_shard(sink, data, i, total, False,
+                                         time.perf_counter() - start)
+
+        return plan.aggregate()

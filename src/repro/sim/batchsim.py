@@ -34,11 +34,22 @@ Two execution strategies, chosen by ``config.skip_idle_slots``:
 
 * **Work-conserving round robin** (``skip_idle_slots=True``, the
   controller default) — banks share the bus through a ready deque, so
-  the per-bank decomposition does not hold.  The engine steps cycle by
-  cycle with every lane vectorized, emulating each lane's ready deque
-  exactly (array-backed circular buffers with a masked grant scan).
-  This path wins once lanes are plentiful (the design-sweep regime);
-  at small lane counts prefer the scalar simulator or strict mode.
+  the per-bank decomposition does not hold.  The engine steps the
+  interface clock in **epoch chunks**: arrival/idle masks, flat gather
+  indices, slot targets and release-ring columns are precomputed for a
+  whole chunk of cycles in a handful of vectorized passes, the
+  per-slot grant is one data-independent vectorized ready-deque scan
+  over all lanes simultaneously (normalized array-backed deques, first
+  free bank by ``argmax``, busy prefix rotated to the tail with one
+  scatter), and regions where every lane's ready deque is empty and no
+  lane has an arrival fast-forward in closed form (pending delay-row
+  releases are flushed in bulk, mirroring the strict path's event-walk
+  trick).  Occupancy telemetry peaks (bank queue *and* delay rows) are
+  maintained exactly inside the kernel at accept sites.  The previous
+  cycle-stepped kernel survives as ``wc_kernel="reference"`` — the
+  differential tests pin the two bit-identical, and
+  ``benchmarks/results/wc_kernel_scaling.txt`` records the lane-count
+  crossover against the scalar simulator.
 
 Determinism contract: a lane's results are a pure function of
 ``(config, lane seed, cycles, idle_probability)``.  Lane streams are
@@ -156,13 +167,19 @@ class BatchStallSimulator:
     """Occupancy-only VPNM stall dynamics, one array lane per seed."""
 
     def __init__(self, config: VPNMConfig, seeds: Sequence[int],
-                 stall_cycle_limit: int = STALL_CYCLE_LIMIT):
+                 stall_cycle_limit: int = STALL_CYCLE_LIMIT,
+                 wc_kernel: str = "chunked"):
         if not len(seeds):
             raise ConfigurationError("need at least one lane seed")
+        if wc_kernel not in ("chunked", "reference"):
+            raise ConfigurationError(
+                f"wc_kernel must be 'chunked' or 'reference', "
+                f"got {wc_kernel!r}")
         self.config = config
         self.seeds = [int(s) for s in seeds]
         self.lanes = len(self.seeds)
         self.stall_cycle_limit = stall_cycle_limit
+        self.wc_kernel = wc_kernel
         ratio = Fraction(config.bus_scaling).limit_denominator(1_000)
         self._num, self._den = ratio.numerator, ratio.denominator
 
@@ -195,11 +212,12 @@ class BatchStallSimulator:
 
         ``telemetry_stride`` — when set, the run also produces a
         :class:`repro.obs.TelemetrySummary` (``result.telemetry``):
-        exact bank-queue occupancy peaks, a sampled delay-row high-water
-        mark, stall-reason totals and occupancy time series bucketed
-        every ``telemetry_stride`` interface cycles (DESIGN.md §9 for
-        the exact-vs-sampled semantics).  None (the default) keeps the
-        hot loops telemetry-free.
+        exact bank-queue occupancy peaks (both engines), exact
+        delay-row high-water marks on the work-conserving path (sampled
+        on the strict path), stall-reason totals and occupancy time
+        series bucketed every ``telemetry_stride`` interface cycles
+        (DESIGN.md §9 and §10 for the exact-vs-sampled semantics).
+        None (the default) keeps the hot loops telemetry-free.
         """
         if telemetry_stride is not None and telemetry_stride < 1:
             raise ConfigurationError("telemetry_stride must be >= 1")
@@ -215,6 +233,9 @@ class BatchStallSimulator:
             if seq.max(initial=-1) >= self.config.banks:
                 raise ConfigurationError("bank id out of range")
         if self.config.skip_idle_slots:
+            if self.wc_kernel == "reference":
+                return self._run_work_conserving_reference(
+                    seq, cycles, telemetry_stride)
             return self._run_work_conserving(seq, cycles, telemetry_stride)
         return self._run_strict(seq, cycles, telemetry_stride)
 
@@ -664,12 +685,19 @@ class BatchStallSimulator:
         out.bank_pressure = [[int(v) for v in row] for row in pressure]
         return out
 
-    # -- work-conserving round robin: per-cycle, lane-vectorized ----------
+    # -- work-conserving round robin: reference cycle-stepper -------------
 
-    def _run_work_conserving(self, seq: np.ndarray, cycles: int,
-                             telemetry_stride: Optional[int] = None
-                             ) -> BatchRunResult:
+    def _run_work_conserving_reference(self, seq: np.ndarray, cycles: int,
+                                       telemetry_stride: Optional[int] = None
+                                       ) -> BatchRunResult:
         """Cycle-stepped lanes with exact per-lane ready-deque emulation.
+
+        The original work-conserving kernel: one Python iteration per
+        interface cycle with an inner per-slot masked grant scan whose
+        depth follows the deepest lane's deque.  Kept as the executable
+        specification the chunked kernel is differentially pinned
+        against (``wc_kernel="reference"``); the chunked kernel below is
+        the default.
 
         Telemetry here is the easy case: occupancy lives in dense
         ``(lanes, banks)`` arrays, so peaks are one ``np.maximum`` per
@@ -810,29 +838,370 @@ class BatchStallSimulator:
                                                   stall_lane_chunks)
         summary = None
         if telemetry:
-            from repro.obs.summary import TelemetrySummary
+            summary = self._wc_telemetry(
+                telemetry_stride, cycles, peak_q, peak_r,
+                ds_count, bq_count, queue_series, rows_series, pressure)
+        return BatchRunResult(
+            cycles=cycles,
+            lanes=lanes,
+            accepted=accept_count,
+            delay_storage_stalls=ds_count,
+            bank_queue_stalls=bq_count,
+            stall_cycles=stall_cycles,
+            telemetry=summary,
+        )
 
-            summary = TelemetrySummary(stride=telemetry_stride,
-                                       cycles=cycles, lanes=lanes)
-            summary.bank_queue_peak = int(peak_q.max(initial=0))
-            summary.delay_rows_peak = int(peak_r.max(initial=0))
-            summary.per_lane_queue_peak = [int(v)
-                                           for v in peak_q.max(axis=1)]
-            summary.per_lane_rows_peak = [int(v)
-                                          for v in peak_r.max(axis=1)]
-            reasons = {}
-            ds_total, bq_total = int(ds_count.sum()), int(bq_count.sum())
-            if ds_total:
-                reasons["delay_storage"] = ds_total
-            if bq_total:
-                reasons["bank_queue"] = bq_total
-            summary.stall_reasons = reasons
-            summary.bucket_cycles = [b * telemetry_stride
-                                     for b in range(buckets)]
-            summary.queue_series = [int(v) for v in queue_series]
-            summary.rows_series = [int(v) for v in rows_series]
-            summary.bank_pressure = [[int(v) for v in row]
-                                     for row in pressure]
+    def _wc_telemetry(self, stride: int, cycles: int,
+                      peak_q: np.ndarray, peak_r: np.ndarray,
+                      ds_count: np.ndarray, bq_count: np.ndarray,
+                      queue_series: np.ndarray, rows_series: np.ndarray,
+                      pressure: np.ndarray):
+        """Fold work-conserving telemetry state into a summary.
+
+        Both work-conserving kernels produce the same dense state —
+        ``(lanes, banks)`` peak matrices (exact queue *and* row
+        high-water marks) and bucketed series arrays — so they share
+        this finalization verbatim, keeping the summaries structurally
+        identical for the differential tests.
+        """
+        from repro.obs.summary import TelemetrySummary
+
+        buckets = cycles // stride + 1
+        summary = TelemetrySummary(stride=stride, cycles=cycles,
+                                   lanes=self.lanes)
+        summary.bank_queue_peak = int(peak_q.max(initial=0))
+        summary.delay_rows_peak = int(peak_r.max(initial=0))
+        summary.per_lane_queue_peak = [int(v) for v in peak_q.max(axis=1)]
+        summary.per_lane_rows_peak = [int(v) for v in peak_r.max(axis=1)]
+        reasons = {}
+        ds_total, bq_total = int(ds_count.sum()), int(bq_count.sum())
+        if ds_total:
+            reasons["delay_storage"] = ds_total
+        if bq_total:
+            reasons["bank_queue"] = bq_total
+        summary.stall_reasons = reasons
+        summary.bucket_cycles = [b * stride for b in range(buckets)]
+        summary.queue_series = [int(v) for v in queue_series]
+        summary.rows_series = [int(v) for v in rows_series]
+        summary.bank_pressure = [[int(v) for v in row] for row in pressure]
+        return summary
+
+    # -- work-conserving round robin: epoch-chunked kernel ----------------
+
+    def _run_work_conserving(self, seq: np.ndarray, cycles: int,
+                             telemetry_stride: Optional[int] = None
+                             ) -> BatchRunResult:
+        """Epoch-chunked work-conserving kernel (DESIGN.md §10).
+
+        Bit-identical to :meth:`_run_work_conserving_reference` by
+        construction, on three provable properties of that kernel:
+
+        * **Deque invariant** — a bank is in its lane's ready deque iff
+          its queue is non-empty (entries enter at an accept into an
+          empty backlog and leave only when a grant empties it), so the
+          reference scan's "drained entry" branch never fires and a
+          full no-grant scan is a complete rotation, i.e. the identity
+          on deque *content*.  Deques here are therefore *normalized*
+          (head pinned at column 0) and a slot grant becomes one
+          data-independent pass over all lanes: gather ``free_at`` for
+          every deque column at once, first free entry per lane by
+          ``argmax``, then one scatter rebuild that moves the busy
+          prefix behind the survivors and re-appends the granted bank
+          iff it is still backlogged.
+        * **Fast-forward condition** — when every deque is empty
+          (``total_ready == 0``, equivalently every queue is empty) and
+          a span of cycles carries no arrival, the only state changes
+          in the span are delay-row releases; those are flushed in bulk
+          per ring column and the slot cursor jumps in closed form.
+        * **Peaks at accepts** — occupancies only grow at accepts and
+          the reference measures post-accept pre-release, so every
+          per-cycle maximum is attained immediately after an accept
+          increment; scatter-maxing just the accepted (lane, bank)
+          pairs reproduces the reference's full-matrix per-cycle
+          maxima exactly (delay-row marks included — the telemetry
+          item ROADMAP asked for).
+
+        Per chunk of cycles, arrival masks, flat gather indices, slot
+        targets and release-ring columns are precomputed in a few
+        vectorized passes; the remaining per-cycle work is a fixed,
+        data-independent dispatch count, so throughput scales with
+        lanes instead of with the deepest lane's scan depth.
+        """
+        config = self.config
+        lanes, banks = self.lanes, config.banks
+        num, den = self._num, self._den
+        latency = config.bank_latency
+        delay = config.normalized_delay
+        queue_limit = config.queue_depth
+        row_limit = config.delay_rows
+
+        # Flat (lane-major) occupancy state: one gather/scatter index
+        # space for every per-(lane, bank) quantity.  Everything that
+        # names a bank — deque entries, release-ring entries, arrival
+        # gathers — carries the *flat* index ``lane * banks + bank``,
+        # so the hot paths never pay a per-dispatch index add.
+        queue_f = np.zeros(lanes * banks, dtype=np.int64)
+        rows_f = np.zeros(lanes * banks, dtype=np.int64)
+        free_at_f = np.zeros(lanes * banks, dtype=np.int64)
+        enq_f = np.zeros(lanes * banks, dtype=bool)
+        queue2d = queue_f.reshape(lanes, banks)
+        lane_off = (np.arange(lanes) * banks).astype(np.intp)
+
+        # Normalized ready deques: row ``lane`` holds its backlogged
+        # banks (as flat indices) head-first in columns
+        # [0, size[lane]); column ``banks`` is a write-only dummy slot
+        # the rebuild scatter routes garbage and non-requeued grants
+        # into.
+        dq = np.zeros((lanes, banks + 1), dtype=np.intp)
+        size = np.zeros(lanes, dtype=np.int64)
+        total_ready = 0
+        cols_b = np.arange(banks, dtype=np.intp)
+        lane_ar = np.arange(lanes)
+
+        # Release ring, one compact entry array per column: column
+        # ``c`` holds the flat indices of rows freeing at the next
+        # cycle ≡ c (mod delay); None-columns cost nothing to capture
+        # or flush.
+        rel_cols: List[Optional[np.ndarray]] = [None] * delay
+        pend_total = 0
+
+        ds_count = np.zeros(lanes, dtype=np.int64)
+        bq_count = np.zeros(lanes, dtype=np.int64)
+        accept_count = np.zeros(lanes, dtype=np.int64)
+        stall_time_chunks: List[np.ndarray] = []
+        stall_lane_chunks: List[np.ndarray] = []
+        slots_consumed = 0
+
+        # Scratch buffers for the arrival phase (reused every cycle).
+        busy_buf = np.empty(lanes, dtype=bool)
+        acc_buf = np.empty(lanes, dtype=bool)
+        qadd = np.empty(lanes, dtype=np.int64)
+
+        telemetry = telemetry_stride is not None
+        if telemetry:
+            stride = telemetry_stride
+            peak_qf = np.zeros(lanes * banks, dtype=np.int64)
+            peak_rf = np.zeros(lanes * banks, dtype=np.int64)
+            buckets = cycles // stride + 1
+            queue_series = np.full(buckets, -1, dtype=np.int64)
+            rows_series = np.full(buckets, -1, dtype=np.int64)
+            pressure = np.full((buckets, banks), -1, dtype=np.int64)
+
+        def flush_releases(a: int, b: int) -> None:
+            """Apply every delay-row release firing in cycles [a, b).
+
+            Only reachable with all queues empty, so pending entries
+            all fire within ``delay`` cycles of ``a``; an entry in ring
+            column ``c`` fires in the span iff ``c`` is one of the
+            span's visited columns.
+            """
+            nonlocal pend_total
+            if pend_total == 0 or b <= a:
+                return
+            span = b - a
+            if span >= delay:
+                cols_iter = range(delay)
+            else:
+                start = a % delay
+                cols_iter = ((start + off) % delay for off in range(span))
+            for c in cols_iter:
+                ent = rel_cols[c]
+                if ent is not None:
+                    rows_f[ent] -= 1
+                    pend_total -= ent.size
+                    rel_cols[c] = None
+
+        # Chunk sizing: bounded precompute footprint (~a few MB of
+        # transposed arrival state) regardless of lane count.
+        chunk = max(256, min(cycles, (1 << 20) // max(1, lanes)))
+
+        c0 = 0
+        while c0 < cycles:
+            c1 = min(cycles, c0 + chunk)
+            nc = c1 - c0
+            # Chunk precompute: cycle-major arrival state so each cycle
+            # reads one contiguous row, plus per-cycle scalars as plain
+            # Python lists (cheaper than ndarray item extraction).
+            bt = np.ascontiguousarray(seq[:, c0:c1].T)
+            valid_t = bt >= 0
+            any_arr = valid_t.any(axis=1)
+            all_list = valid_t.all(axis=1).tolist()
+            arr_idx = np.flatnonzero(any_arr)
+            arr_flat = np.maximum(bt, 0).astype(np.intp)
+            arr_flat += lane_off[None, :]
+            base = np.arange(c0, c1, dtype=np.int64)
+            tgt_list = ((base + 1) * num // den).tolist()
+            cols_list = (base % delay).tolist()
+            any_list = any_arr.tolist()
+            if telemetry:
+                samp_list = (base % stride == 0).tolist()
+            # Stall verdicts land in per-chunk cycle-major matrices;
+            # the per-lane counter sums and the (cycle, lane) stall
+            # records are decoded in one pass at chunk end instead of
+            # three counter adds per cycle.
+            ds_buf = np.zeros((nc, lanes), dtype=bool)
+            bq_buf = np.zeros((nc, lanes), dtype=bool)
+
+            i = 0
+            while i < nc:
+                if total_ready == 0 and not any_list[i]:
+                    # Fast-forward to the next arrival (or chunk end):
+                    # no deque work, no accepts, no stalls — just bulk
+                    # release flushes and, in telemetry mode, exact
+                    # series samples at the stride instants.
+                    k = int(np.searchsorted(arr_idx, i))
+                    j = int(arr_idx[k]) if k < arr_idx.size else nc
+                    a, b = c0 + i, c0 + j
+                    if telemetry:
+                        s = -(-a // stride) * stride
+                        cur = a
+                        while s < b:
+                            flush_releases(cur, s)
+                            bucket = s // stride
+                            queue_series[bucket] = 0
+                            rows_series[bucket] = int(rows_f.max())
+                            pressure[bucket] = 0
+                            cur = s
+                            s += stride
+                        flush_releases(cur, b)
+                    else:
+                        flush_releases(a, b)
+                    slots_consumed = tgt_list[j - 1]
+                    i = j
+                    continue
+
+                now = c0 + i
+                col = cols_list[i]
+                fired = rel_cols[col]
+                if fired is not None:
+                    rel_cols[col] = None
+                    pend_total -= fired.size
+
+                if any_list[i]:
+                    # Acceptance verdicts, exactly the reference's
+                    # check order (delay-storage before bank-queue,
+                    # busy folded into the queue threshold); verdict
+                    # rows are written straight into the chunk
+                    # matrices via ``out=``.
+                    f = arr_flat[i]
+                    row_ds = ds_buf[i]
+                    row_bq = bq_buf[i]
+                    rv = rows_f.take(f)
+                    qv = queue_f.take(f)
+                    np.greater(free_at_f.take(f), slots_consumed,
+                               out=busy_buf)
+                    np.greater_equal(rv, row_limit, out=row_ds)
+                    np.add(qv, busy_buf, out=qadd)
+                    np.greater_equal(qadd, queue_limit, out=row_bq)
+                    if not all_list[i]:
+                        v = valid_t[i]
+                        row_ds &= v
+                        row_bq &= v
+                    # bq &= ~ds and acc = valid & ~(ds | bq), via the
+                    # boolean identities a & ~b == a > b.
+                    np.greater(row_bq, row_ds, out=row_bq)
+                    np.logical_or(row_ds, row_bq, out=acc_buf)
+                    if all_list[i]:
+                        np.logical_not(acc_buf, out=acc_buf)
+                    else:
+                        np.greater(v, acc_buf, out=acc_buf)
+                    aidx = np.flatnonzero(acc_buf)
+                    if aidx.size:
+                        fa_ = f[aidx]
+                        qnew = qv[aidx]
+                        qnew += 1
+                        queue_f[fa_] = qnew
+                        rnew = rv[aidx]
+                        rnew += 1
+                        rows_f[fa_] = rnew
+                        rel_cols[col] = fa_
+                        pend_total += aidx.size
+                        if telemetry:
+                            peak_qf[fa_] = np.maximum(peak_qf[fa_], qnew)
+                            peak_rf[fa_] = np.maximum(peak_rf[fa_], rnew)
+                        fresh = ~enq_f[fa_]
+                        if fresh.any():
+                            fi = aidx[fresh]
+                            enq_f[fa_[fresh]] = True
+                            dq[fi, size[fi]] = fa_[fresh]
+                            size[fi] += 1
+                            total_ready += fi.size
+
+                if telemetry and samp_list[i]:
+                    bucket = now // stride
+                    queue_series[bucket] = int(queue_f.max())
+                    rows_series[bucket] = int(rows_f.max())
+                    pressure[bucket] = queue2d.max(axis=0)
+
+                if fired is not None:
+                    rows_f[fired] -= 1
+
+                t_next = tgt_list[i]
+                if total_ready and t_next > slots_consumed:
+                    for s_ in range(slots_consumed, t_next):
+                        if not total_ready:
+                            break
+                        # One data-independent grant pass over every
+                        # lane's normalized deque: first valid free
+                        # entry by argmax, then a scatter rebuild that
+                        # rotates the busy prefix behind the survivors.
+                        m = int(size.max())
+                        cols_m = cols_b[:m]
+                        fa = free_at_f.take(dq[:, :m])
+                        ok = (fa <= s_) & (cols_m < size[:, None])
+                        j = ok.argmax(axis=1)
+                        found = ok[lane_ar, j]
+                        fidx = np.flatnonzero(found)
+                        if not fidx.size:
+                            continue
+                        jf = j[fidx]
+                        gf = dq[fidx, jf]
+                        qg = queue_f[gf]
+                        qg -= 1
+                        queue_f[gf] = qg
+                        free_at_f[gf] = s_ + latency
+                        req = qg > 0
+                        sf = size[fidx]
+                        old = dq[fidx, :m]
+                        rel = cols_m - (jf + 1)[:, None]
+                        np.add(rel, sf[:, None], out=rel, where=rel < 0)
+                        rel[cols_m >= sf[:, None]] = banks
+                        if not req.all():
+                            nr = np.flatnonzero(~req)
+                            rel[nr, jf[nr]] = banks
+                            enq_f[gf[nr]] = False
+                            total_ready -= nr.size
+                        dq[fidx[:, None], rel] = old
+                        sf += req
+                        sf -= 1
+                        size[fidx] = sf
+                slots_consumed = t_next
+                i += 1
+
+            # Chunk-end accounting: per-lane stall/accept sums and the
+            # decoded (cycle, lane) stall records, one pass each.
+            ds_chunk = ds_buf.sum(axis=0, dtype=np.int64)
+            bq_chunk = bq_buf.sum(axis=0, dtype=np.int64)
+            ds_count += ds_chunk
+            bq_count += bq_chunk
+            accept_count += valid_t.sum(axis=0, dtype=np.int64)
+            accept_count -= ds_chunk
+            accept_count -= bq_chunk
+            hits = np.flatnonzero((ds_buf | bq_buf).ravel())
+            if hits.size:
+                stall_time_chunks.append(
+                    (c0 + hits // lanes).astype(np.int64))
+                stall_lane_chunks.append((hits % lanes).astype(np.int64))
+            c0 = c1
+
+        stall_cycles = self._collect_stall_cycles(stall_time_chunks,
+                                                  stall_lane_chunks)
+        summary = None
+        if telemetry:
+            summary = self._wc_telemetry(
+                stride, cycles, peak_qf.reshape(lanes, banks),
+                peak_rf.reshape(lanes, banks), ds_count, bq_count,
+                queue_series, rows_series, pressure)
         return BatchRunResult(
             cycles=cycles,
             lanes=lanes,
@@ -848,14 +1217,26 @@ class BatchStallSimulator:
     def _collect_stall_cycles(
         self, time_chunks: List[np.ndarray], lane_chunks: List[np.ndarray],
     ) -> List[np.ndarray]:
-        """Sorted per-lane stall cycle arrays, capped like fastsim."""
+        """Sorted per-lane stall cycle arrays, capped like fastsim.
+
+        One radix-style sort of the combined key ``lane * span + time``
+        groups the records by lane and time-orders them within each
+        lane simultaneously — O(N log N) total instead of a masked
+        O(lanes * N) pass per lane.
+        """
         limit = self.stall_cycle_limit
         if not time_chunks or limit <= 0:
             return [np.empty(0, dtype=np.int64) for _ in range(self.lanes)]
         all_times = np.concatenate(time_chunks)
         all_lanes = np.concatenate(lane_chunks)
+        span = int(all_times.max(initial=0)) + 1
+        combined = all_lanes * span + all_times
+        combined.sort()
+        starts = np.searchsorted(combined,
+                                 np.arange(self.lanes + 1) * span)
         out = []
         for lane in range(self.lanes):
-            mine = np.sort(all_times[all_lanes == lane])
-            out.append(mine[:limit])
+            lo, hi = int(starts[lane]), int(starts[lane + 1])
+            hi = min(hi, lo + limit)
+            out.append(combined[lo:hi] - lane * span)
         return out

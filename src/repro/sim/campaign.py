@@ -19,7 +19,12 @@ module turns a grid of :class:`CellSpec` cells into exactly that:
   cells are skipped via the manifest, and a cell interrupted mid-flight
   resumes from its shard checkpoints (the
   :class:`~repro.sim.batchrunner.BatchRunner` determinism contract
-  makes the resumed aggregate bit-identical to an uninterrupted run).
+  makes the resumed aggregate bit-identical to an uninterrupted run);
+* with ``workers > 1`` all pending cells' shards interleave through
+  **one shared spawn-context pool** — workers stay busy across cell
+  boundaries, shards checkpoint the instant they finish, and a
+  grid-order publication cursor keeps the manifest and event stream
+  deterministic (identical to serial modulo ``timing``; DESIGN.md §10).
 
 Resume-safety contract: a manifest entry is trusted only while its
 stored fingerprint still equals the fingerprint recomputed from its
@@ -56,7 +61,9 @@ from repro.obs.events import (
 from repro.sim.batchrunner import (
     BatchReport,
     BatchRunner,
+    ShardPlan,
     _config_fingerprint,
+    _run_tagged_shard,
     lane_seeds,
 )
 
@@ -422,6 +429,18 @@ class SweepCampaign:
             events: Optional[EventSink] = None) -> Dict[str, BatchReport]:
         """Run every pending cell in grid order; return the fresh reports.
 
+        With ``workers <= 1`` cells execute serially, each shard inline.
+        With ``workers > 1`` every pending cell's pending shards are
+        dispatched together into **one shared spawn-context pool**, so
+        the campaign keeps all workers busy across cell boundaries
+        instead of draining a per-cell pool between cells.  Either way
+        the outcome is identical: shard results are a pure function of
+        ``(config, seed, cycles, idle_probability)``, each shard is
+        checkpointed the moment it completes, cells finalize (manifest
+        entry + events) in grid order, and the event stream is
+        deterministic modulo ``timing`` regardless of worker count
+        (DESIGN.md §10).
+
         The manifest is rewritten (atomically) after each finished cell,
         so a campaign killed between cells resumes with those cells
         skipped, and one killed *inside* a cell resumes that cell from
@@ -450,18 +469,107 @@ class SweepCampaign:
             sink.emit("campaign_started",
                       {"cells_total": len(self._manifest["order"]),
                        "cells_done": done})
-            for cell_id in self._manifest["order"]:
-                entry = self._entry(cell_id)
-                if entry["status"] == "done":
-                    continue
-                if max_cells is not None and len(fresh) >= max_cells:
-                    break
-                fresh[cell_id] = self._run_cell(cell_id, entry, sink)
+            pending_cells = [c for c in self._manifest["order"]
+                             if self._entry(c)["status"] != "done"]
+            if max_cells is not None:
+                pending_cells = pending_cells[:max_cells]
+            workers = self._manifest["workers"]
+            if workers <= 1:
+                for cell_id in pending_cells:
+                    fresh[cell_id] = self._run_cell(
+                        cell_id, self._entry(cell_id), sink)
+            else:
+                fresh = self._run_cells_pooled(pending_cells, sink,
+                                               workers)
         finally:
             # Close only the log we opened; a caller-owned sink may
             # outlive this run.
             log.close()
         return fresh
+
+    def _run_cells_pooled(self, cell_ids: List[str], sink: EventSink,
+                          workers: int) -> Dict[str, BatchReport]:
+        """Run many cells' shards through one shared spawn pool.
+
+        Planning happens up front (capturing each cell's resumed state
+        before the pool writes any new checkpoints); every pending
+        ``(cell, shard)`` job then feeds one ``imap_unordered`` so a
+        finished shard checkpoints immediately no matter which cell it
+        belongs to — an interrupt never loses completed work.  A
+        grid-order cursor buffers out-of-order completions: a cell's
+        events and manifest entry are published only once the cell is
+        complete *and* every earlier cell has been published, which
+        makes the observable stream identical to a serial run.
+        """
+        import multiprocessing
+
+        start = time.perf_counter()
+        plans: Dict[str, ShardPlan] = {}
+        resumed: Dict[str, bool] = {}
+        for cell_id in cell_ids:
+            spec = self._spec(cell_id)
+            resumed[cell_id] = self._has_shard_checkpoints(cell_id)
+            plans[cell_id] = self._runner(cell_id).plan(
+                spec.cycles, idle_probability=spec.idle_probability)
+
+        jobs = [((cell_id, i), plans[cell_id].job(i))
+                for cell_id in cell_ids
+                for i in plans[cell_id].pending]
+
+        fresh: Dict[str, BatchReport] = {}
+        cursor = 0
+
+        def publish_ready():
+            nonlocal cursor
+            while (cursor < len(cell_ids)
+                   and plans[cell_ids[cursor]].done):
+                cell_id = cell_ids[cursor]
+                fresh[cell_id] = self._publish_planned_cell(
+                    cell_id, plans[cell_id], resumed[cell_id], sink,
+                    time.perf_counter() - start)
+                cursor += 1
+
+        publish_ready()  # cells already whole from checkpoints
+        if jobs:
+            ctx = multiprocessing.get_context("spawn")
+            with ctx.Pool(min(workers, len(jobs))) as pool:
+                for key, data in pool.imap_unordered(_run_tagged_shard,
+                                                     jobs):
+                    cell_id, shard_index = key
+                    plans[cell_id].complete(shard_index, data)
+                    publish_ready()
+        publish_ready()
+        return fresh
+
+    def _publish_planned_cell(self, cell_id: str, plan: ShardPlan,
+                              resumed: bool, sink: EventSink,
+                              elapsed: float) -> BatchReport:
+        """Emit one completed plan's cell block and record its manifest.
+
+        Event order matches a serial ``_run_cell`` exactly: lifecycle
+        start, restored shards in index order, computed shards in index
+        order, then ``cell_finished`` — only the ``timing`` channel
+        (here: seconds since the pooled run started, shared by the
+        cell's shard events) differs between worker counts.
+        """
+        spec = self._spec(cell_id)
+        sink.emit("cell_resumed" if resumed else "cell_started",
+                  {"cell": cell_id, "lanes": spec.lanes,
+                   "cycles": spec.cycles})
+        cell_sink = _CellTagSink(cell_id, sink)
+        total = plan.total
+        for i in plan.restored:
+            BatchRunner._emit_shard(cell_sink, plan.results[i], i, total,
+                                    True, elapsed)
+        for i in plan.pending:
+            BatchRunner._emit_shard(cell_sink, plan.results[i], i, total,
+                                    False, elapsed)
+        report = plan.aggregate()
+        shards = {"total": total, "restored": len(plan.restored),
+                  "computed": len(plan.pending)}
+        self._finish_cell(cell_id, self._entry(cell_id), report, shards,
+                          elapsed, sink)
+        return report
 
     def _has_shard_checkpoints(self, cell_id: str) -> bool:
         cell_dir = self._cell_dir(cell_id)
@@ -487,7 +595,19 @@ class SweepCampaign:
             events=TeeEventSink([_ShardCountSink(shards),
                                  _CellTagSink(cell_id, sink)]))
         elapsed = time.perf_counter() - start
+        self._finish_cell(cell_id, entry, report, shards, elapsed, sink)
+        return report
 
+    def _finish_cell(self, cell_id: str, entry: dict, report: BatchReport,
+                     shards: dict, elapsed: float,
+                     sink: EventSink) -> None:
+        """Record a finished cell in the manifest and emit its close.
+
+        ``elapsed`` feeds only the manifest's wall-clock fields and the
+        ``timing`` event channel; under the shared pool it measures
+        dispatch-to-publication (cells overlap), under serial execution
+        the cell's own wall time.
+        """
         entry["status"] = "done"
         entry["elapsed_s"] = elapsed
         entry["lane_cycles_per_s"] = (
@@ -513,7 +633,6 @@ class SweepCampaign:
             payload["telemetry"] = report.telemetry.manifest_digest()
             payload["telemetry_full"] = report.telemetry.to_dict()
         sink.emit("cell_finished", payload, {"elapsed_s": elapsed})
-        return report
 
     def reports(self) -> Dict[str, BatchReport]:
         """Full per-lane reports for every cell, in grid order.

@@ -18,6 +18,7 @@ import random
 import pytest
 
 from repro.core import VPNMConfig, VPNMController, read_request
+from repro.core.exceptions import ConfigurationError
 from repro.sim.batchsim import BatchStallSimulator, matched_bank_sequences
 from repro.sim.fastsim import FastStallSimulator
 
@@ -121,6 +122,53 @@ def test_batch_matches_controller_exactly(params, seed):
     assert (int(batch.bank_queue_stalls[0])
             == ctrl.stats.stall_reasons.get("bank_queue", 0))
     assert batch.stall_cycles[0].tolist() == ctrl_stall_cycles
+
+
+@pytest.mark.parametrize("params", GRID)
+@pytest.mark.parametrize("idle", [0.0, 0.35])
+def test_chunked_wc_kernel_matches_reference_and_fastsim(params, idle):
+    """Chunked kernel == reference cycle-stepper == scalar engine.
+
+    The epoch-chunked work-conserving kernel must be bit-identical to
+    the per-cycle reference it replaced — stall counts, exact stall
+    cycles, and the full telemetry summary (the reference maintains
+    exact per-cycle peaks, so equality here proves the chunked peaks
+    exact too) — and both must match ``FastStallSimulator`` with
+    ``track_occupancy`` as the independent oracle.
+    """
+    config = VPNMConfig(hash_latency=0, skip_idle_slots=True, **params)
+    sequences = matched_bank_sequences(config, SEEDS, CYCLES, idle)
+    runs = {}
+    for kernel in ("chunked", "reference"):
+        runs[kernel] = BatchStallSimulator(
+            config, SEEDS, stall_cycle_limit=10**9, wc_kernel=kernel,
+        ).run(CYCLES, idle_probability=idle, bank_sequences=sequences,
+              telemetry_stride=100)
+    chunked, reference = runs["chunked"], runs["reference"]
+    assert chunked.accepted.tolist() == reference.accepted.tolist()
+    assert (chunked.delay_storage_stalls.tolist()
+            == reference.delay_storage_stalls.tolist())
+    assert (chunked.bank_queue_stalls.tolist()
+            == reference.bank_queue_stalls.tolist())
+    for lane in range(len(SEEDS)):
+        assert (chunked.stall_cycles[lane].tolist()
+                == reference.stall_cycles[lane].tolist()), (params, lane)
+    assert chunked.telemetry.to_dict() == reference.telemetry.to_dict()
+
+    for lane, seed in enumerate(SEEDS):
+        scalar = FastStallSimulator(config, seed=seed).run(
+            CYCLES, idle_probability=idle, track_occupancy=True)
+        assert chunked.stall_cycles[lane].tolist() == scalar.stall_cycles
+        assert (chunked.telemetry.per_lane_queue_peak[lane]
+                == scalar.occupancy_peaks["queue"])
+        assert (chunked.telemetry.per_lane_rows_peak[lane]
+                == scalar.occupancy_peaks["delay_rows"])
+
+
+def test_unknown_wc_kernel_rejected():
+    config = VPNMConfig(hash_latency=0, skip_idle_slots=True, **GRID[0])
+    with pytest.raises(ConfigurationError, match="wc_kernel"):
+        BatchStallSimulator(config, SEEDS, wc_kernel="bogus")
 
 
 def test_matched_sequences_mark_idle_cycles():

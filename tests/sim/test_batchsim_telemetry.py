@@ -3,9 +3,11 @@
 The oracle is :class:`FastStallSimulator` with ``track_occupancy=True``,
 which records *exact* post-accept occupancy high-water marks per bank.
 On a matched bank sequence the batch engine's telemetry peaks must
-agree: bank-queue peaks are tracked exactly in both engines, and the
-delay-row mark is exact on the strict engine whenever the sampling
-stride is <= the bank count (every accept gets sampled — DESIGN.md §9).
+agree: bank-queue peaks are tracked exactly in both engines, the
+work-conserving engine maintains exact delay-row marks inside its
+chunked kernel at *any* stride (DESIGN.md §10), and the strict engine's
+delay-row mark is exact whenever the sampling stride is <= the bank
+count (every accept gets sampled — DESIGN.md §9).
 """
 
 import pytest
@@ -71,6 +73,20 @@ def test_sparse_stride_queue_peaks_still_exact(params):
     for lane, oracle in enumerate(oracles):
         assert (telemetry.per_lane_rows_peak[lane]
                 <= oracle.occupancy_peaks["delay_rows"])
+
+
+@pytest.mark.parametrize("params", GRID)
+@pytest.mark.parametrize("stride", [97, 500])
+def test_wc_delay_row_marks_exact_at_any_stride(params, stride):
+    """The work-conserving engine's delay-row peaks are maintained at
+    every accept inside the chunked kernel, not sampled — sparse
+    strides must still reproduce the oracle marks exactly."""
+    batch, oracles = run_pair(params, strict=False, stride=stride)
+    telemetry = batch.telemetry
+    assert telemetry.per_lane_rows_peak == [
+        o.occupancy_peaks["delay_rows"] for o in oracles]
+    assert telemetry.per_lane_queue_peak == [
+        o.occupancy_peaks["queue"] for o in oracles]
 
 
 @pytest.mark.parametrize("strict", [True, False],

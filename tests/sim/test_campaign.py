@@ -15,7 +15,9 @@ import os
 import pytest
 
 from repro.core.exceptions import ConfigurationError
+from repro.obs.events import read_events
 from repro.sim.campaign import (
+    EVENT_LOG_NAME,
     MANIFEST_NAME,
     CellSpec,
     SweepCampaign,
@@ -34,6 +36,34 @@ def _aggregates(campaign):
         cell_id: (report.accepted.tolist(), report.stalls.tolist())
         for cell_id, report in campaign.reports().items()
     }
+
+
+def _manifest_stats(root):
+    """Everything deterministic in a manifest (wall-clock fields out)."""
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    return {
+        cell_id: tuple(manifest["cells"][cell_id][k]
+                       for k in ("status", "seed", "fingerprint",
+                                 "shards", "result", "telemetry"))
+        for cell_id in manifest["order"]
+    }
+
+
+_ENVELOPE_KEYS = ("v", "seq", "type", "timing")
+
+
+def _event_skeleton(root):
+    """The deterministic channel of the event log: types + payloads.
+
+    Payload fields are spread into the envelope; strip the envelope
+    bookkeeping and the wall-clock ``timing`` member before comparing.
+    """
+    return [
+        (ev["type"], json.dumps(
+            {k: v for k, v in ev.items() if k not in _ENVELOPE_KEYS},
+            sort_keys=True))
+        for ev in read_events(str(root / EVENT_LOG_NAME))
+    ]
 
 
 class TestGridBuilders:
@@ -214,6 +244,81 @@ class TestDeterminism:
                                shard_lanes=2, workers=2)
         pooled.run()
         assert _aggregates(inline) == _aggregates(pooled)
+
+
+class TestSharedPool:
+    """The cross-cell shared worker pool (``workers > 1``).
+
+    All pending cells' shards interleave through one spawn pool; the
+    grid-order publication cursor must keep everything observable —
+    manifest statistics and the event stream's deterministic channel —
+    identical to a serial run, and shard checkpoints must land eagerly
+    enough that interrupts lose no completed work.
+    """
+
+    def test_manifest_and_event_stream_worker_invariant(self, tmp_path):
+        serial = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3,
+                               shard_lanes=2, workers=1)
+        serial.run()
+        pooled = SweepCampaign(str(tmp_path / "b"), CELLS, seed=3,
+                               shard_lanes=2, workers=2)
+        pooled.run()
+        assert _manifest_stats(tmp_path / "a") \
+            == _manifest_stats(tmp_path / "b")
+        assert _event_skeleton(tmp_path / "a") \
+            == _event_skeleton(tmp_path / "b")
+
+    def test_mid_campaign_resume_under_shared_pool(self, tmp_path):
+        pooled = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3,
+                               shard_lanes=2, workers=2)
+        assert len(pooled.run(max_cells=1)) == 1
+        resumed = SweepCampaign(str(tmp_path / "a"), workers=2)
+        assert len(resumed.run()) == 1  # only the pending cell ran
+
+        serial = SweepCampaign(str(tmp_path / "b"), CELLS, seed=3,
+                               shard_lanes=2, workers=1)
+        serial.run()
+        assert _manifest_stats(tmp_path / "a") \
+            == _manifest_stats(tmp_path / "b")
+
+    def test_pool_checkpoints_shards_before_publication(self, tmp_path):
+        """A crash at first publication still finds cell 0 checkpointed."""
+        class Kill(Exception):
+            pass
+
+        def bomb(cell_id, shard, total, restored, elapsed):
+            raise Kill
+
+        pooled = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3,
+                               shard_lanes=2, workers=2)
+        with pytest.raises(Kill):
+            pooled.run(progress=bomb)
+        assert pooled.status()["cells_done"] == 0
+        # Publication only happens once a cell's plan is whole, so both
+        # of cell 0's shards hit disk before the callback could fire.
+        first_cell = pooled.order[0]
+        shard_files = os.listdir(tmp_path / "a" / "cells" / first_cell)
+        assert {"shard_00000.json", "shard_00001.json"} <= set(shard_files)
+
+        events = []
+        resumed = SweepCampaign(str(tmp_path / "a"), CELLS, seed=3,
+                                workers=2)
+        resumed.run(progress=lambda *args: events.append(args))
+        restored = [e for e in events if e[3]]
+        assert len(restored) >= 2  # cell 0 restored, never recomputed
+
+        serial = SweepCampaign(str(tmp_path / "b"), CELLS, seed=3,
+                               shard_lanes=2, workers=1)
+        serial.run()
+        # The restored/computed shard split legitimately differs after a
+        # resume; everything the cells *measured* must not.
+        assert _aggregates(resumed) == _aggregates(serial)
+        drop_shards = {
+            cell: stats[:3] + stats[4:]
+            for cell, stats in _manifest_stats(tmp_path / "a").items()}
+        assert drop_shards == {
+            cell: stats[:3] + stats[4:]
+            for cell, stats in _manifest_stats(tmp_path / "b").items()}
 
 
 class TestObservability:

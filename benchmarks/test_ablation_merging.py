@@ -6,15 +6,29 @@ design) and disabled (every redundant read pays its own delay-storage
 row and bank access).  Without merging, a two-address flood saturates
 two banks and the delay storage; with it, the flood costs two bank
 accesses per reply generation and nothing stalls.
+
+The ``--fast`` variant reruns the contrast through the redundancy-aware
+lane model (:class:`~repro.sim.mergesim.MergingLaneSimulator`) across
+several seed-varied hash mappings — same accounting (pinned by
+``tests/sim/test_mergesim_differential.py``), an order of magnitude
+faster, so it can afford a longer flood and multiple lanes.
 """
 
+import time
+
 from repro.core import VPNMConfig, VPNMController
+from repro.core.controller import read_request
+from repro.sim.mergesim import MergingLaneSimulator
 from repro.sim.runner import run_workload
 from repro.workloads.adversarial import RedundancyFloodAdversary
 
 from _report import report
 
 REQUESTS = 2000
+
+# --fast variant: longer flood, several independent hash mappings.
+FAST_REQUESTS = 20_000
+FAST_LANES = 4
 
 
 def run_one(merge_reads: bool):
@@ -61,3 +75,75 @@ def test_ablation_merging(benchmark):
                      f"{row['stalls']:>7} {row['accesses']:>9} "
                      f"{row['merged']:>7} {row['replies']:>8}")
     report("ablation_merging", "\n".join(lines))
+
+
+def _fast_config(merge_reads: bool) -> VPNMConfig:
+    return VPNMConfig(banks=32, queue_depth=8, delay_rows=32,
+                      hash_latency=0, stall_policy="drop",
+                      merge_reads=merge_reads)
+
+
+def run_fast_lane(merge_reads: bool, seed: int, addresses):
+    sim = MergingLaneSimulator(_fast_config(merge_reads), seed=seed)
+    sim.run(addresses)
+    result = sim.drain()
+    return {
+        "acceptance": result.reads_accepted / len(addresses),
+        "stalls": result.stalls,
+        "accesses": result.accesses_issued,
+        "merged": result.reads_merged,
+    }
+
+
+def run_fast_all(addresses):
+    out = {}
+    for merge in (True, False):
+        lanes = [run_fast_lane(merge, seed, addresses)
+                 for seed in range(FAST_LANES)]
+        out[merge] = {
+            key: sum(lane[key] for lane in lanes) / len(lanes)
+            for key in lanes[0]
+        }
+    return out
+
+
+def test_ablation_merging_fast(benchmark, fast_mode):
+    """Lane-model rerun of the merging contrast, plus a speedup check."""
+    addresses = [r.address for r in RedundancyFloodAdversary(
+        hot_addresses=[0xA, 0xB]).requests(FAST_REQUESTS)]
+
+    rows = benchmark.pedantic(run_fast_all, args=(addresses,),
+                              rounds=1, iterations=1)
+    with_merge, without = rows[True], rows[False]
+
+    # Same qualitative contrast as the scalar bench, lane-averaged.
+    assert with_merge["acceptance"] == 1.0
+    assert with_merge["stalls"] == 0
+    assert with_merge["accesses"] <= FAST_REQUESTS / 20
+    assert with_merge["merged"] >= FAST_REQUESTS - 10
+    assert without["acceptance"] < 0.5
+    assert without["stalls"] > FAST_REQUESTS / 4
+
+    # The point of the lane model: it must be much faster than the
+    # object-per-request controller on the same stream.
+    start = time.perf_counter()
+    MergingLaneSimulator(_fast_config(True), seed=0).run(addresses)
+    lane_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    run_workload(VPNMController(_fast_config(True), seed=0),
+                 (read_request(a) for a in addresses), drain=False)
+    scalar_elapsed = time.perf_counter() - start
+    speedup = scalar_elapsed / lane_elapsed
+    assert speedup >= 3.0, (
+        f"lane model only {speedup:.1f}x faster than the controller")
+
+    lines = [f"{FAST_LANES} lanes x {FAST_REQUESTS} flood requests "
+             f"(lane model {speedup:.1f}x faster than the controller)",
+             f"{'':<14} {'accept':>8} {'stalls':>9} {'DRAM ops':>9} "
+             f"{'merged':>9}"]
+    for label, row in [("merging ON", with_merge),
+                       ("merging OFF", without)]:
+        lines.append(f"{label:<14} {row['acceptance']:>8.1%} "
+                     f"{row['stalls']:>9.0f} {row['accesses']:>9.0f} "
+                     f"{row['merged']:>9.0f}")
+    report("ablation_merging_batch", "\n".join(lines))

@@ -7,8 +7,12 @@ analyze    Section 5 MTS analysis for one configuration
 mts        batch MTS campaign (vectorized lanes, shards, error bars)
 campaign   checkpointed sweep campaign over a (K | Q | load) grid,
            with resume, status, and predicted-vs-simulated report
-obs        inspect a JSONL telemetry event log: summary, tail, or
-           ASCII occupancy charts and per-bank pressure heatmap
+obs        inspect a JSONL telemetry event log: summary, tail (with a
+           live --follow mode for service runs), or ASCII occupancy
+           charts and per-bank pressure heatmap
+serve      multi-tenant memory service: drive a synthetic tenant fleet
+           (adversaries + benign tenants) through shared controllers
+           with admission control, printing per-tenant p99 latency
 validate   fast simulation vs analytical MTS cross-check
 sweep      design-space sweep with Pareto frontier (Figure 7 style)
 table2     the paper's Table 2 design ladder, from our models
@@ -372,13 +376,19 @@ def _command_obs(args: argparse.Namespace) -> int:
         if args.dir is None:
             raise ConfigurationError("need --events or --dir")
         path = os.path.join(args.dir, "events.jsonl")
+    if args.action == "tail" and args.follow:
+        return _follow_events(path, poll=args.poll,
+                              max_seconds=args.max_seconds)
     if not os.path.exists(path):
         raise ConfigurationError(f"no event log at {path}")
     events = read_events(path)
 
     if args.action == "tail":
         for event in events[-args.last:]:
-            print(json.dumps(event, sort_keys=True, separators=(",", ":")))
+            line = render_tenant_line(event) if args.pretty else None
+            print(line if line is not None
+                  else json.dumps(event, sort_keys=True,
+                                  separators=(",", ":")))
         return 0
     if args.action == "summary":
         print(f"event log: {path}")
@@ -392,6 +402,111 @@ def _command_obs(args: argparse.Namespace) -> int:
     title = (f"cell {args.cell}" if args.cell
              else "last finished cell with telemetry")
     print(render_telemetry(summary, title=title, width=args.width))
+    return 0
+
+
+def render_tenant_line(event: dict) -> Optional[str]:
+    from repro.obs.render import render_tenant_event
+
+    return render_tenant_event(event)
+
+
+def _follow_events(path: str, poll: float = 0.2,
+                   max_seconds: Optional[float] = None) -> int:
+    """Live-tail an event log, pretty-printing service/tenant events.
+
+    Exits cleanly when a ``service.stopped`` event arrives or after
+    ``max_seconds`` (None = follow forever, ctrl-C to stop).
+    """
+    import time
+
+    from repro.obs.render import render_tenant_event
+
+    deadline = (None if max_seconds is None
+                else time.monotonic() + max_seconds)
+    fh = None
+    try:
+        # The log may not exist yet (service still starting up).
+        while fh is None:
+            if os.path.exists(path):
+                fh = open(path)
+            elif deadline is not None and time.monotonic() >= deadline:
+                print(f"no event log appeared at {path}", file=sys.stderr)
+                return 1
+            else:
+                time.sleep(poll)
+        while True:
+            line = fh.readline()
+            if not line:
+                if deadline is not None and time.monotonic() >= deadline:
+                    return 0
+                time.sleep(poll)
+                continue
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                print(line, flush=True)
+                continue
+            rendered = render_tenant_event(event)
+            print(rendered if rendered is not None else line, flush=True)
+            if event.get("type") == "service.stopped":
+                return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    finally:
+        if fh is not None:
+            fh.close()
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant service over a synthetic fleet, inline."""
+    from repro.obs.events import NULL_EVENTS, JsonlEventSink
+    from repro.service import ServiceCore, run_synthetic, synthetic_fleet
+
+    config = VPNMConfig(
+        banks=args.banks,
+        bank_latency=args.bank_latency,
+        queue_depth=args.queue_depth,
+        delay_rows=args.delay_rows,
+        bus_scaling=args.ratio,
+        hash_latency=0,
+        delay_mode=args.delay_mode,
+        stall_policy=args.stall_policy,
+        address_bits=args.address_bits,
+    )
+    specs, profiles = synthetic_fleet(
+        tenants=args.tenants,
+        adversaries=args.adversaries,
+        benign_rate=args.benign_rate,
+        adversary_rate=args.adversary_rate,
+    )
+    sink = JsonlEventSink(args.events) if args.events else NULL_EVENTS
+    try:
+        core = ServiceCore(
+            specs,
+            config=config,
+            controllers=args.controllers,
+            seed=args.seed,
+            events=sink,
+            window=args.window,
+            admission=not args.no_admission,
+        )
+        report = run_synthetic(core, profiles, args.cycles, seed=args.seed)
+    finally:
+        sink.close()
+    print(f"config: B={config.banks} L={config.bank_latency} "
+          f"Q={config.queue_depth} K={config.delay_rows} "
+          f"R={config.bus_scaling} D={config.normalized_delay} "
+          f"policy={config.stall_policy} "
+          f"admission={'off' if args.no_admission else 'on'}")
+    print(f"fleet: {args.tenants} tenants ({args.adversaries} adversarial) "
+          f"x {args.cycles} cycles on {args.controllers} controller(s)")
+    print(report.table())
+    if args.events:
+        print(f"events: {args.events}")
     return 0
 
 
@@ -559,7 +674,60 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tail action: events to show (default 10)")
     obs.add_argument("--width", type=int, default=64,
                      help="chart action: chart width in columns")
+    obs.add_argument("--follow", "-f", action="store_true",
+                     help="tail action: live-follow the log, pretty-"
+                          "printing tenant.* events (per-window latency "
+                          "percentiles); exits on service.stopped")
+    obs.add_argument("--pretty", action="store_true",
+                     help="tail action: pretty-print tenant.* events "
+                          "instead of raw JSON")
+    obs.add_argument("--poll", type=float, default=0.2,
+                     help="follow mode: poll interval in seconds")
+    obs.add_argument("--max-seconds", type=float, default=None,
+                     help="follow mode: stop after this many seconds "
+                          "(default: follow until service.stopped)")
     obs.set_defaults(handler=_command_obs)
+
+    serve = commands.add_parser(
+        "serve",
+        help="multi-tenant memory service: synthetic tenant fleet over "
+             "shared controllers with admission control and per-tenant "
+             "latency percentiles",
+    )
+    _add_config_arguments(serve)
+    serve.add_argument("--tenants", type=int, default=8,
+                       help="fleet size (default 8)")
+    serve.add_argument("--adversaries", type=int, default=1,
+                       help="tenants hammering one bank via an oracle "
+                            "pool (default 1)")
+    serve.add_argument("--cycles", type=int, default=20_000,
+                       help="interface cycles to drive (default 20000)")
+    serve.add_argument("--controllers", type=int, default=1,
+                       help="shared controllers; tenants are assigned "
+                            "round-robin (default 1)")
+    serve.add_argument("--window", type=int, default=2048,
+                       help="tenant.window event period in cycles "
+                            "(0 disables; default 2048)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--events", default=None,
+                       help="write the JSONL event stream here "
+                            "(tail it live with: repro obs tail --follow)")
+    serve.add_argument("--no-admission", action="store_true",
+                       help="disable token buckets and shedding (the "
+                            "isolation experiment's control arm)")
+    serve.add_argument("--benign-rate", type=float, default=0.15,
+                       help="admitted-requests/cycle contract for benign "
+                            "tenants (default 0.15)")
+    serve.add_argument("--adversary-rate", type=float, default=0.05,
+                       help="contract for adversarial tenants "
+                            "(default 0.05)")
+    serve.add_argument("--stall-policy", choices=["stall", "drop"],
+                       default="stall",
+                       help="controller policy for rejected offers "
+                            "(default stall: retry next rotation)")
+    serve.add_argument("--address-bits", type=int, default=20,
+                       help="interface address width (default 20)")
+    serve.set_defaults(handler=_command_serve)
 
     validate = commands.add_parser(
         "validate", help="fast simulation vs analytical MTS cross-check")

@@ -293,6 +293,23 @@ class VPNMController:
             completed_at=cycle,
         )
 
+    # -- occupancy hooks -----------------------------------------------------
+
+    def pressure(self) -> dict:
+        """Current occupancy fractions of the shared structures.
+
+        The service layer's degradation policy keys off these (shed
+        low-priority tenants when ``delay_rows`` nears 1.0); each value
+        is the worst (fullest) structure of its kind, in [0, 1].
+        """
+        rows = max(b.delay_storage.rows_used for b in self.banks)
+        queue = max(len(b.access_queue) for b in self.banks)
+        return {
+            "delay_rows": rows / self.config.delay_rows,
+            "bank_queue": queue / self.config.queue_depth,
+            "ring": self._ring.pending() / self.config.normalized_delay,
+        }
+
     # -- conveniences -------------------------------------------------------
 
     def read(self, address: int, tag: Any = None) -> StepResult:

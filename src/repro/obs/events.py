@@ -44,6 +44,32 @@ EVENT_TYPES: Dict[str, Dict[str, type]] = {
                        "lanes": int},
     "stalls_observed": {"shard": int, "delay_storage": int,
                         "bank_queue": int},
+    # Multi-tenant memory service (DESIGN.md §11).  Everything is a
+    # pure function of (config, seeds, submission schedule): two
+    # identical service runs emit byte-identical streams modulo
+    # ``timing``.
+    "service.started": {"tenants": int, "controllers": int, "window": int},
+    "service.stopped": {"cycles": int, "completed": int},
+    # ``rate`` is the admitted-requests-per-cycle contract; -1.0 means
+    # unlimited (admission control off for the tenant).
+    "tenant.registered": {"tenant": str, "priority": int, "rate": float,
+                          "queue_limit": int},
+    # Per-window accounting; ``latency`` holds the window's completion
+    # percentiles (p50/p95/p99/max) and is empty when nothing completed.
+    "tenant.window": {"tenant": str, "window": int, "start": int,
+                      "admitted": int, "completed": int, "rejected": int,
+                      "dropped": int, "latency": dict},
+    # Backpressure edge: the tenant's bounded queue filled (engaged) or
+    # drained back below its high-water mark (released).
+    "tenant.backpressure": {"tenant": str, "cycle": int, "engaged": bool,
+                            "depth": int},
+    # Graceful degradation: tenant shed (lowest priority first) while
+    # the delay storage nears capacity, and restored when it recovers.
+    "tenant.shed": {"tenant": str, "cycle": int, "pressure": float},
+    "tenant.restored": {"tenant": str, "cycle": int},
+    # End-of-run ledger: counts must satisfy request conservation
+    # (admitted == completed + dropped once the service has quiesced).
+    "tenant.summary": {"tenant": str, "counts": dict, "latency": dict},
 }
 
 

@@ -135,6 +135,59 @@ def render_telemetry(summary: TelemetrySummary, title: str = "",
     return "\n\n".join(parts)
 
 
+def render_tenant_event(event: dict) -> Optional[str]:
+    """One-line rendering of a service/tenant event, or None for others.
+
+    This is the ``repro obs tail --follow`` live view: windows show the
+    per-window latency percentiles, admission edges (backpressure,
+    shed/restore) show up as flagged lines.
+    """
+    event_type = event.get("type", "")
+    if event_type == "tenant.window":
+        latency = event["latency"]
+        if latency:
+            tail = (f"p50={latency['p50']:.0f} p95={latency['p95']:.0f} "
+                    f"p99={latency['p99']:.0f} max={latency['max']:.0f}")
+        else:
+            tail = "no completions"
+        return (f"[w{event['window']:>4} @{event['start']:>8}] "
+                f"{event['tenant']:<12} adm={event['admitted']:<6} "
+                f"done={event['completed']:<6} rej={event['rejected']:<6} "
+                f"drop={event['dropped']:<5} {tail}")
+    if event_type == "tenant.backpressure":
+        edge = "ENGAGED" if event["engaged"] else "released"
+        return (f"[bp @{event['cycle']:>8}] {event['tenant']:<12} "
+                f"backpressure {edge} (depth {event['depth']})")
+    if event_type == "tenant.shed":
+        return (f"[shed @{event['cycle']:>8}] {event['tenant']:<12} "
+                f"SHED at delay-row pressure {event['pressure']:.2f}")
+    if event_type == "tenant.restored":
+        return (f"[shed @{event['cycle']:>8}] {event['tenant']:<12} "
+                f"restored")
+    if event_type == "tenant.registered":
+        rate = ("unlimited" if event["rate"] < 0
+                else f"{event['rate']:.3f}/cy")
+        return (f"[reg] {event['tenant']:<12} priority {event['priority']} "
+                f"rate {rate} queue<={event['queue_limit']}")
+    if event_type == "tenant.summary":
+        counts = event["counts"]
+        latency = event["latency"]
+        p99 = f"{latency['p99']:.0f}" if latency else "-"
+        return (f"[sum] {event['tenant']:<12} "
+                f"submitted={counts['submitted']} "
+                f"admitted={counts['admitted']} "
+                f"completed={counts['completed']} "
+                f"dropped={counts['dropped']} p99={p99}")
+    if event_type == "service.started":
+        return (f"[service] started: {event['tenants']} tenants, "
+                f"{event['controllers']} controller(s), "
+                f"window {event['window']}")
+    if event_type == "service.stopped":
+        return (f"[service] stopped after {event['cycles']} cycles, "
+                f"{event['completed']} completed")
+    return None
+
+
 def summarize_events(events: List[dict]) -> str:
     """Digest of an event log: counts by type and a per-cell table."""
     if not events:

@@ -1,0 +1,57 @@
+"""Multi-tenant memory service over simulated VPNM controllers.
+
+DESIGN.md §11: admission control (token buckets) → bounded per-tenant
+queues (backpressure) → round-robin multiplexer → shared
+:class:`~repro.core.VPNMController` instances, with graceful
+degradation and per-tenant telemetry on the ``repro.obs`` stack.
+"""
+
+from repro.service.core import (
+    ADMITTED,
+    BACKPRESSURE,
+    SHED,
+    THROTTLED,
+    ServiceCore,
+    ServiceReport,
+    SubmitResult,
+    TenantReport,
+)
+from repro.service.frontend import (
+    AsyncMemoryService,
+    Completion,
+    ServiceRejected,
+)
+from repro.service.synthetic import (
+    SyntheticProfile,
+    run_synthetic,
+    synthetic_fleet,
+)
+from repro.service.tenants import (
+    TenantCounts,
+    TenantSpec,
+    TenantState,
+    TokenBucket,
+    percentiles,
+)
+
+__all__ = [
+    "ADMITTED",
+    "BACKPRESSURE",
+    "SHED",
+    "THROTTLED",
+    "AsyncMemoryService",
+    "Completion",
+    "ServiceCore",
+    "ServiceRejected",
+    "ServiceReport",
+    "SubmitResult",
+    "SyntheticProfile",
+    "TenantCounts",
+    "TenantReport",
+    "TenantSpec",
+    "TenantState",
+    "TokenBucket",
+    "percentiles",
+    "run_synthetic",
+    "synthetic_fleet",
+]

@@ -1,0 +1,479 @@
+"""The multi-tenant VPNM memory service core (DESIGN.md §11).
+
+Many independent client streams share one or more simulated
+:class:`~repro.core.VPNMController` instances through a deterministic
+pipeline::
+
+    submit() ── admission ──> per-tenant bounded queue
+                  (shed?          │ (backpressure when full)
+                   token bucket)  ▼
+                            round-robin multiplexer ──> controller.step()
+                                                            │ t + D
+                            reply routing <─────────────────┘
+
+Everything is cycle-driven and wall-clock free: admission decisions,
+arbitration, shedding and telemetry are pure functions of (config,
+seeds, submission schedule), so two identical runs produce identical
+per-tenant ledgers and byte-identical event streams modulo ``timing``.
+The asyncio front-end (:mod:`repro.service.frontend`) wraps this core;
+it never reorders what the core sees within a cycle.
+
+Stall semantics follow the controller's ``stall_policy``:
+
+* ``stall`` — a rejected offer stays at the head of its tenant's queue
+  and is retried when the arbiter next reaches that tenant; the burned
+  interface cycle is the paper's pipeline-slip cost, which is exactly
+  how an adversarial tenant damages its neighbours.
+* ``drop`` — a rejected offer is abandoned and counted against the
+  submitting tenant (``counts.dropped``).
+
+Graceful degradation: when any controller's delay storage nears
+capacity (occupancy fraction >= ``shed_high``), the service sheds the
+lowest-priority tenants — their submissions are rejected with status
+``"shed"`` until pressure falls back below ``shed_low``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+from repro.core.config import VPNMConfig
+from repro.core.controller import VPNMController
+from repro.core.exceptions import ConfigurationError, VPNMError
+from repro.core.request import MemoryRequest, Operation
+from repro.obs.events import NULL_EVENTS
+from repro.service.tenants import (
+    TenantSpec,
+    TenantState,
+    percentiles,
+)
+
+#: Submission verdicts returned by :meth:`ServiceCore.submit`.
+ADMITTED = "admitted"
+THROTTLED = "throttled"      # token bucket empty (over contracted rate)
+BACKPRESSURE = "backpressure"  # bounded tenant queue full
+SHED = "shed"                # degraded mode rejected a low-priority tenant
+
+
+class SubmitResult(NamedTuple):
+    status: str
+    service_id: Optional[int]    # set only when admitted
+
+
+class ServiceCore:
+    """Deterministic multi-tenant multiplexer over shared controllers."""
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        config: Optional[VPNMConfig] = None,
+        controllers: int = 1,
+        seed: int = 0,
+        metrics=None,
+        events=None,
+        window: int = 0,
+        admission: bool = True,
+        shed_high: float = 0.85,
+        shed_low: float = 0.5,
+        shed_cooldown: Optional[int] = None,
+        record_interleave: bool = False,
+        completion_hook: Optional[Callable] = None,
+        backpressure_hook: Optional[Callable] = None,
+    ):
+        """``window`` > 0 emits one ``tenant.window`` event per tenant per
+        ``window`` cycles (with that window's latency percentiles);
+        ``admission=False`` disables both the token buckets and the
+        degradation policy — the isolation experiments' control arm.
+        """
+        if not tenants:
+            raise ConfigurationError("service needs at least one tenant")
+        names = [spec.name for spec in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate tenant names in {names}")
+        if controllers < 1:
+            raise ConfigurationError("need at least one controller")
+        if window < 0:
+            raise ConfigurationError("window must be >= 0")
+        if not 0.0 < shed_low <= shed_high <= 1.0:
+            if admission:
+                raise ConfigurationError(
+                    "need 0 < shed_low <= shed_high <= 1")
+        self.config = config or VPNMConfig()
+        self.controllers = [
+            VPNMController(self.config, seed=seed + 1000 * i)
+            for i in range(controllers)
+        ]
+        self.tenants: List[TenantState] = [
+            TenantState(spec, index, index % controllers)
+            for index, spec in enumerate(tenants)
+        ]
+        self._by_name: Dict[str, TenantState] = {
+            t.spec.name: t for t in self.tenants
+        }
+        self._per_controller: List[List[TenantState]] = [
+            [t for t in self.tenants if t.controller_index == ci]
+            for ci in range(controllers)
+        ]
+        self._arb_pointer = [0] * controllers
+        self.window = window
+        self.admission = admission
+        self.shed_high = shed_high
+        self.shed_low = shed_low
+        self.shed_cooldown = (self.config.normalized_delay
+                              if shed_cooldown is None else shed_cooldown)
+        self._shed_level = 0
+        self._last_shed_change = -(10 ** 9)
+        #: Ascending priority classes; level k sheds the k lowest, and
+        #: the highest class is never shed.
+        self._priority_classes = sorted(
+            {t.spec.priority for t in self.tenants})
+        self.events = events if events is not None else NULL_EVENTS
+        self.completion_hook = completion_hook
+        self.backpressure_hook = backpressure_hook
+        self._retry = self.config.stall_policy == "stall"
+        self._cycle = 0
+        self._next_service_id = 0
+        self._finished = False
+        #: Per-controller offered-per-cycle log (``record_interleave``):
+        #: one entry per tick, ``None`` for an idle cycle or
+        #: ``(op, address)`` for the offer — the serial-replay script of
+        #: the differential test.
+        self.interleave: Optional[List[List]] = (
+            [[] for _ in range(controllers)] if record_interleave else None
+        )
+
+        self.metrics = metrics
+        self._m = {}
+        if metrics is not None and metrics.enabled:
+            size = len(self.tenants)
+            for name in ("submitted", "admitted", "throttled",
+                         "backpressured", "shed", "completed", "dropped"):
+                self._m[name] = metrics.counter_vector(f"tenant.{name}", size)
+            self._m["queue"] = metrics.gauge_vector("tenant.queue_depth",
+                                                    size)
+            delay = self.config.normalized_delay
+            self._m["latency"] = metrics.histogram(
+                "tenant.latency",
+                [delay, delay * 2, delay * 4, delay * 8, delay * 16,
+                 delay * 32])
+
+        self.events.emit("service.started", {
+            "tenants": len(self.tenants),
+            "controllers": controllers,
+            "window": window,
+        })
+        for t in self.tenants:
+            self.events.emit("tenant.registered", {
+                "tenant": t.spec.name,
+                "priority": t.spec.priority,
+                "rate": t.spec.rate_or_sentinel,
+                "queue_limit": t.spec.queue_limit,
+            })
+
+    # -- submission (admission control) ---------------------------------
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def tenant(self, name: str) -> TenantState:
+        return self._by_name[name]
+
+    def submit(self, tenant_name: str, address: int, op: str = "read",
+               data=None, tag=None) -> SubmitResult:
+        """Offer one request on a tenant's stream; admission runs here."""
+        t = self._by_name[tenant_name]
+        t.counts.submitted += 1
+        if self._m:
+            self._m["submitted"].inc(t.index)
+        if t.shed_active:
+            t.counts.shed += 1
+            t.window_rejected += 1
+            if self._m:
+                self._m["shed"].inc(t.index)
+            return SubmitResult(SHED, None)
+        if self.admission and not t.bucket.try_grant(self._cycle):
+            t.counts.throttled += 1
+            t.window_rejected += 1
+            if self._m:
+                self._m["throttled"].inc(t.index)
+            return SubmitResult(THROTTLED, None)
+        if len(t.queue) >= t.spec.queue_limit:
+            t.counts.backpressured += 1
+            t.window_rejected += 1
+            if self._m:
+                self._m["backpressured"].inc(t.index)
+            if not t.backpressure_engaged:
+                t.backpressure_engaged = True
+                self._emit_backpressure(t, engaged=True)
+            return SubmitResult(BACKPRESSURE, None)
+        service_id = self._next_service_id
+        self._next_service_id += 1
+        if op == "read":
+            request = MemoryRequest(operation=Operation.READ,
+                                    address=address,
+                                    tag=(t.index, self._cycle, service_id,
+                                         tag))
+        elif op == "write":
+            request = MemoryRequest(operation=Operation.WRITE,
+                                    address=address, data=data,
+                                    tag=(t.index, self._cycle, service_id,
+                                         tag))
+        else:
+            raise ConfigurationError(f"unknown op {op!r}")
+        t.queue.append(request)
+        t.counts.admitted += 1
+        t.window_admitted += 1
+        if self._m:
+            self._m["admitted"].inc(t.index)
+            self._m["queue"].set(t.index, len(t.queue))
+        return SubmitResult(ADMITTED, service_id)
+
+    # -- the clock -------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one interface cycle on every shared controller."""
+        cycle = self._cycle
+        if self.window and cycle and cycle % self.window == 0:
+            self._flush_window(cycle // self.window - 1)
+
+        for ci, controller in enumerate(self.controllers):
+            tenant = self._pick(ci)
+            if tenant is None:
+                if self.interleave is not None:
+                    self.interleave[ci].append(None)
+                step = controller.step()
+            else:
+                request = tenant.queue[0]
+                if self.interleave is not None:
+                    self.interleave[ci].append(
+                        (request.operation.value, request.address))
+                step = controller.step(request)
+                if step.accepted:
+                    tenant.queue.popleft()
+                    if self._m:
+                        self._m["queue"].set(tenant.index, len(tenant.queue))
+                    if request.is_read:
+                        tenant.in_flight += 1
+                    else:
+                        # Writes are posted: complete at acceptance.
+                        self._complete(tenant, request, cycle)
+                    self._maybe_release_backpressure(tenant)
+                elif self._retry:
+                    tenant.counts.controller_stalls += 1
+                else:
+                    tenant.queue.popleft()
+                    tenant.counts.dropped += 1
+                    tenant.window_dropped += 1
+                    if self._m:
+                        self._m["dropped"].inc(tenant.index)
+                        self._m["queue"].set(tenant.index, len(tenant.queue))
+                    self._maybe_release_backpressure(tenant)
+            for reply in step.replies:
+                owner = self.tenants[reply.tag[0]]
+                owner.in_flight -= 1
+                self._complete(owner, reply, cycle)
+
+        if self.admission:
+            self._update_degradation(cycle)
+        self._cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.tick()
+
+    def quiesce(self) -> None:
+        """Tick without new submissions until every request resolved.
+
+        The bound is generous by construction (every queued request is
+        offered at least once per tenant rotation and drains within
+        ``(Q+1) * max(L, B)`` cycles once accepted); exceeding it means
+        a genuine livelock bug.
+        """
+        pending = sum(len(t.queue) for t in self.tenants)
+        in_flight = sum(t.in_flight for t in self.tenants)
+        grant = max(self.config.bank_latency, self.config.banks,
+                    len(self.tenants))
+        limit = (self.config.normalized_delay + 1
+                 + (pending + in_flight + 2)
+                 * (self.config.queue_depth + 1) * grant)
+        for _ in range(limit):
+            if not any(t.queue or t.in_flight for t in self.tenants) \
+                    and all(c._ring.pending() == 0
+                            and not any(b.has_work() for b in c.banks)
+                            for c in self.controllers):
+                return
+            self.tick()
+        raise VPNMError("service failed to quiesce (livelock?)")
+
+    def finish(self) -> "ServiceReport":
+        """Quiesce, emit the final window + per-tenant summaries, report."""
+        self.quiesce()
+        if not self._finished:
+            self._finished = True
+            if self.window:
+                self._flush_window(self._cycle // self.window)
+            for t in self.tenants:
+                self.events.emit("tenant.summary", {
+                    "tenant": t.spec.name,
+                    "counts": t.counts.to_dict(),
+                    "latency": percentiles(t.latencies),
+                })
+            self.events.emit("service.stopped", {
+                "cycles": self._cycle,
+                "completed": sum(t.counts.completed for t in self.tenants),
+            })
+        return self.report()
+
+    def report(self) -> "ServiceReport":
+        return ServiceReport(
+            cycles=self._cycle,
+            tenants={t.spec.name: TenantReport(
+                name=t.spec.name,
+                priority=t.spec.priority,
+                counts=t.counts.to_dict(),
+                latency=percentiles(t.latencies),
+            ) for t in self.tenants},
+            controller_stats=[c.stats for c in self.controllers],
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _pick(self, ci: int) -> Optional[TenantState]:
+        """Round-robin over this controller's tenants with pending work."""
+        tenants = self._per_controller[ci]
+        if not tenants:
+            return None
+        start = self._arb_pointer[ci]
+        for offset in range(len(tenants)):
+            position = (start + offset) % len(tenants)
+            tenant = tenants[position]
+            if tenant.queue:
+                self._arb_pointer[ci] = (position + 1) % len(tenants)
+                return tenant
+        return None
+
+    def _complete(self, tenant: TenantState, request_or_reply,
+                  cycle: int) -> None:
+        submit_cycle = request_or_reply.tag[1]
+        latency = cycle - submit_cycle
+        tenant.record_latency(latency)
+        if self._m:
+            self._m["completed"].inc(tenant.index)
+            self._m["latency"].observe(latency)
+        if self.completion_hook is not None:
+            self.completion_hook(tenant, request_or_reply.tag[2], latency,
+                                 request_or_reply)
+
+    def _maybe_release_backpressure(self, tenant: TenantState) -> None:
+        if tenant.backpressure_engaged \
+                and len(tenant.queue) <= tenant.spec.queue_limit // 2:
+            tenant.backpressure_engaged = False
+            self._emit_backpressure(tenant, engaged=False)
+
+    def _emit_backpressure(self, tenant: TenantState, engaged: bool) -> None:
+        self.events.emit("tenant.backpressure", {
+            "tenant": tenant.spec.name,
+            "cycle": self._cycle,
+            "engaged": engaged,
+            "depth": len(tenant.queue),
+        })
+        if self.backpressure_hook is not None:
+            self.backpressure_hook(tenant, engaged)
+
+    def _update_degradation(self, cycle: int) -> None:
+        if len(self._priority_classes) < 2:
+            return
+        if cycle - self._last_shed_change < self.shed_cooldown:
+            return
+        pressure = max(c.pressure()["delay_rows"] for c in self.controllers)
+        if pressure >= self.shed_high \
+                and self._shed_level < len(self._priority_classes) - 1:
+            self._shed_level += 1
+            self._last_shed_change = cycle
+            self._apply_shed_level(pressure)
+        elif pressure <= self.shed_low and self._shed_level > 0:
+            self._shed_level -= 1
+            self._last_shed_change = cycle
+            self._apply_shed_level(pressure)
+
+    def _apply_shed_level(self, pressure: float) -> None:
+        shed_classes = set(self._priority_classes[:self._shed_level])
+        for t in self.tenants:
+            should_shed = t.spec.priority in shed_classes
+            if should_shed and not t.shed_active:
+                t.shed_active = True
+                self.events.emit("tenant.shed", {
+                    "tenant": t.spec.name,
+                    "cycle": self._cycle,
+                    "pressure": round(float(pressure), 6),
+                })
+            elif not should_shed and t.shed_active:
+                t.shed_active = False
+                self.events.emit("tenant.restored", {
+                    "tenant": t.spec.name,
+                    "cycle": self._cycle,
+                })
+
+    def _flush_window(self, index: int) -> None:
+        start = index * self.window
+        for t in self.tenants:
+            if not (t.window_admitted or t.window_completed
+                    or t.window_rejected or t.window_dropped):
+                continue
+            self.events.emit("tenant.window", {
+                "tenant": t.spec.name,
+                "window": index,
+                "start": start,
+                "admitted": t.window_admitted,
+                "completed": t.window_completed,
+                "rejected": t.window_rejected,
+                "dropped": t.window_dropped,
+                "latency": percentiles(t.window_latencies),
+            })
+            t.reset_window()
+
+
+class TenantReport(NamedTuple):
+    name: str
+    priority: int
+    counts: dict
+    latency: dict
+
+
+class ServiceReport(NamedTuple):
+    """End-of-run digest: the per-tenant ledger plus controller stats."""
+
+    cycles: int
+    tenants: Dict[str, TenantReport]
+    controller_stats: list
+
+    def table(self) -> str:
+        """Human-readable per-tenant summary (the ``repro serve`` output)."""
+        lines = [f"{'tenant':<12} {'prio':>4} {'submitted':>9} "
+                 f"{'admitted':>8} {'rejected':>8} {'completed':>9} "
+                 f"{'dropped':>7} {'p50':>6} {'p95':>6} {'p99':>6} "
+                 f"{'max':>6}"]
+        for name in self.tenants:
+            tenant = self.tenants[name]
+            counts = tenant.counts
+            rejected = (counts["throttled"] + counts["backpressured"]
+                        + counts["shed"])
+            latency = tenant.latency
+
+            def cell(key):
+                return f"{latency[key]:.0f}" if key in latency else "-"
+
+            lines.append(
+                f"{tenant.name:<12} {tenant.priority:>4} "
+                f"{counts['submitted']:>9} {counts['admitted']:>8} "
+                f"{rejected:>8} {counts['completed']:>9} "
+                f"{counts['dropped']:>7} {cell('p50'):>6} {cell('p95'):>6} "
+                f"{cell('p99'):>6} {cell('max'):>6}")
+        stalls = sum(s.stalls for s in self.controller_stats)
+        lines.append(f"cycles: {self.cycles}   controller stalls: {stalls}")
+        return "\n".join(lines)
+
+    def p99(self, name: str) -> Optional[float]:
+        latency = self.tenants[name].latency
+        return latency.get("p99")

@@ -1,0 +1,244 @@
+"""Asyncio front-end for the multi-tenant memory service.
+
+:class:`AsyncMemoryService` wraps a :class:`~repro.service.core.ServiceCore`
+so many concurrent client coroutines can share the simulated
+controllers: ``await service.request(...)`` resolves when the read's
+reply arrives (exactly D simulated cycles after acceptance).  A single
+driver task owns the clock — it ticks the core in slices and yields to
+the event loop between slices, so client coroutines interleave their
+submissions while the simulation advances.  Within a cycle the core's
+round-robin multiplexer still decides who reaches the controller;
+the event loop never reorders accepted work.
+
+Backpressure is cooperative: when a tenant's bounded queue fills,
+``request()`` *waits* (instead of failing) until the core signals the
+queue has drained below its low-water mark, then resubmits — the
+slow-down a real client library would apply.  Throttled and shed
+submissions raise :class:`ServiceRejected` immediately: those are
+contract violations the client must handle.
+
+The optional socket transport speaks newline-delimited JSON::
+
+    -> {"id": 1, "tenant": "alice", "op": "read", "address": 4096}
+    <- {"id": 1, "status": "ok", "address": 4096, "latency": 96}
+
+Rejected requests come back with ``status`` set to the admission
+verdict (``"throttled"`` / ``"shed"``).  The transport exists for
+driving the service from outside the process (demos, load generators);
+the in-process API is the fast path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, NamedTuple, Optional
+
+from repro.service.core import (
+    ADMITTED,
+    BACKPRESSURE,
+    ServiceCore,
+    ServiceReport,
+)
+
+
+class ServiceRejected(Exception):
+    """Admission control refused the submission (throttled or shed)."""
+
+    def __init__(self, tenant: str, status: str):
+        super().__init__(f"tenant {tenant!r} rejected: {status}")
+        self.tenant = tenant
+        self.status = status
+
+
+class Completion(NamedTuple):
+    """What a resolved ``request()`` returns."""
+
+    tenant: str
+    address: int
+    latency: int          # service latency in interface cycles
+    data: Any             # read payload (None for writes)
+
+
+class AsyncMemoryService:
+    """Concurrent client streams multiplexed onto shared controllers.
+
+    Use as an async context manager::
+
+        core = ServiceCore([TenantSpec("alice"), TenantSpec("bob")])
+        async with AsyncMemoryService(core) as service:
+            done = await service.request("alice", address=0x1234)
+
+    ``cycles_per_slice`` bounds how many interface cycles the driver
+    advances before yielding to the event loop: smaller values
+    interleave client submissions more finely, larger values simulate
+    faster.
+    """
+
+    def __init__(self, core: ServiceCore, cycles_per_slice: int = 64):
+        if cycles_per_slice < 1:
+            raise ValueError("cycles_per_slice must be >= 1")
+        self.core = core
+        self.cycles_per_slice = cycles_per_slice
+        core.completion_hook = self._on_complete
+        core.backpressure_hook = self._on_backpressure
+        self._futures: Dict[int, asyncio.Future] = {}
+        self._bp_released: Dict[str, asyncio.Event] = {}
+        for t in core.tenants:
+            event = asyncio.Event()
+            event.set()
+            self._bp_released[t.spec.name] = event
+        self._work = asyncio.Event()
+        self._running = False
+        self._driver: Optional[asyncio.Task] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.report: Optional[ServiceReport] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def __aenter__(self) -> "AsyncMemoryService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._driver = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> ServiceReport:
+        """Stop the clock, quiesce the core and return the final report."""
+        self._running = False
+        self._work.set()
+        if self._driver is not None:
+            await self._driver
+            self._driver = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.report = self.core.finish()
+        return self.report
+
+    async def _run(self) -> None:
+        while self._running:
+            if not self._pending():
+                self._work.clear()
+                # Nothing queued or in flight: park until a submission.
+                await self._work.wait()
+                continue
+            for _ in range(self.cycles_per_slice):
+                if not self._pending():
+                    break
+                self.core.tick()
+            # Yield so clients can run (submit, consume completions).
+            await asyncio.sleep(0)
+
+    def _pending(self) -> bool:
+        return any(t.queue or t.in_flight for t in self.core.tenants)
+
+    # -- client API ------------------------------------------------------
+
+    async def request(self, tenant: str, address: int, op: str = "read",
+                      data: Any = None) -> Completion:
+        """Submit one request and wait for its completion.
+
+        Blocks (cooperatively) while the tenant is backpressured;
+        raises :class:`ServiceRejected` when throttled or shed.
+        """
+        while True:
+            status, service_id = self.core.submit(tenant, address, op, data)
+            if status == ADMITTED:
+                break
+            if status == BACKPRESSURE:
+                await self._bp_released[tenant].wait()
+                continue
+            raise ServiceRejected(tenant, status)
+        future = asyncio.get_running_loop().create_future()
+        self._futures[service_id] = future
+        self._work.set()
+        latency, payload = await future
+        return Completion(tenant=tenant, address=address, latency=latency,
+                          data=payload)
+
+    # -- core hooks (called synchronously from tick()) -------------------
+
+    def _on_complete(self, tenant_state, service_id, latency,
+                     request_or_reply) -> None:
+        future = self._futures.pop(service_id, None)
+        if future is not None and not future.cancelled():
+            future.set_result((latency,
+                               getattr(request_or_reply, "data", None)))
+
+    def _on_backpressure(self, tenant_state, engaged: bool) -> None:
+        event = self._bp_released[tenant_state.spec.name]
+        if engaged:
+            event.clear()
+        else:
+            event.set()
+
+    # -- socket transport ------------------------------------------------
+
+    async def serve_socket(self, host: str = "127.0.0.1",
+                           port: int = 0) -> tuple:
+        """Start the newline-JSON transport; returns ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (what the tests use).
+        """
+        self._server = await asyncio.start_server(self._handle_client,
+                                                  host, port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        inflight = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock) -> None:
+        try:
+            message = json.loads(line)
+            request_id = message.get("id")
+            completion = await self.request(
+                message["tenant"],
+                int(message["address"]),
+                message.get("op", "read"),
+                message.get("data"),
+            )
+            data = completion.data
+            if not isinstance(data, (str, int, float, bool, type(None))):
+                data = repr(data)
+            response = {"id": request_id, "status": "ok",
+                        "address": completion.address,
+                        "latency": completion.latency, "data": data}
+        except ServiceRejected as rejection:
+            response = {"id": message.get("id"),
+                        "status": rejection.status}
+        except Exception as error:  # malformed line: report, keep serving
+            response = {"id": None, "status": "error",
+                        "detail": str(error)}
+        async with write_lock:
+            writer.write((json.dumps(response, sort_keys=True)
+                          + "\n").encode())
+            await writer.drain()

@@ -1,0 +1,146 @@
+"""Deterministic synthetic tenant fleets for the memory service.
+
+The service smoke tests, the ``repro serve`` CLI and the isolation
+benchmark all drive the same loop: a fleet of seeded Bernoulli arrival
+processes (one per tenant), each drawing addresses from either a
+uniform stream or a single-bank oracle pool (the paper's worst-case
+attacker, :class:`~repro.workloads.adversarial.SingleBankAdversary`).
+Everything is seeded and cycle-driven, so a (fleet, seed, cycles)
+triple fully determines the run — including every admission decision
+and every emitted event.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigurationError
+from repro.service.core import ServiceCore, ServiceReport
+from repro.service.tenants import TenantSpec
+from repro.workloads.adversarial import SingleBankAdversary
+
+
+@dataclass(frozen=True)
+class SyntheticProfile:
+    """How one tenant behaves: arrival intensity and address source.
+
+    ``offered`` is the per-cycle submission probability (1.0 = a request
+    every cycle — a hammering client); ``source`` is ``"uniform"`` or
+    ``"single-bank"`` (oracle pool aimed at ``target_bank``, pool larger
+    than D so the merging queue cannot defuse it).
+    """
+
+    name: str
+    offered: float
+    source: str = "uniform"
+    target_bank: int = 0
+    pool_size: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.offered <= 1.0:
+            raise ConfigurationError("offered must be in [0, 1]")
+        if self.source not in ("uniform", "single-bank"):
+            raise ConfigurationError(f"unknown source {self.source!r}")
+
+
+def synthetic_fleet(
+    tenants: int = 8,
+    adversaries: int = 1,
+    benign_rate: Optional[float] = 0.15,
+    benign_offered: float = 0.10,
+    benign_burst: int = 16,
+    adversary_rate: Optional[float] = 0.05,
+    adversary_offered: float = 1.0,
+    adversary_burst: int = 8,
+    queue_limit: int = 64,
+    target_bank: int = 0,
+    pool_size: int = 256,
+) -> Tuple[List[TenantSpec], List[SyntheticProfile]]:
+    """The standard experiment fleet: adversaries + benign tenants.
+
+    Adversaries come first, at priority 0 (shed first), hammering
+    ``target_bank`` at ``adversary_offered``; the remaining tenants are
+    benign uniform traffic at priority 1.  Rates are the *contracts*
+    admission control enforces; ``None`` disables a tenant's bucket.
+    """
+    if not 0 <= adversaries <= tenants:
+        raise ConfigurationError("need 0 <= adversaries <= tenants")
+    specs: List[TenantSpec] = []
+    profiles: List[SyntheticProfile] = []
+    for i in range(adversaries):
+        name = f"attacker{i}"
+        specs.append(TenantSpec(name=name, priority=0, rate=adversary_rate,
+                                burst=adversary_burst,
+                                queue_limit=queue_limit))
+        profiles.append(SyntheticProfile(name=name,
+                                         offered=adversary_offered,
+                                         source="single-bank",
+                                         target_bank=target_bank,
+                                         pool_size=pool_size))
+    for i in range(adversaries, tenants):
+        name = f"tenant{i}"
+        specs.append(TenantSpec(name=name, priority=1, rate=benign_rate,
+                                burst=benign_burst,
+                                queue_limit=queue_limit))
+        profiles.append(SyntheticProfile(name=name, offered=benign_offered))
+    return specs, profiles
+
+
+def _address_source(core: ServiceCore, profile: SyntheticProfile,
+                    seed: int) -> Callable[[], int]:
+    tenant = core.tenant(profile.name)
+    if profile.source == "single-bank":
+        controller = core.controllers[tenant.controller_index]
+        pool = SingleBankAdversary(
+            controller.mapper,
+            target_bank=profile.target_bank,
+            pool_size=profile.pool_size,
+        ).pool
+        counter = [0]
+
+        def next_address() -> int:
+            address = pool[counter[0] % len(pool)]
+            counter[0] += 1
+            return address
+
+        return next_address
+    rng = random.Random(seed)
+    bits = core.config.address_bits
+
+    def next_uniform() -> int:
+        return rng.getrandbits(bits)
+
+    return next_uniform
+
+
+def run_synthetic(
+    core: ServiceCore,
+    profiles: Sequence[SyntheticProfile],
+    cycles: int,
+    seed: int = 0,
+    finish: bool = True,
+) -> ServiceReport:
+    """Drive a synthetic fleet for ``cycles`` interface cycles.
+
+    Per cycle, each profiled tenant flips its seeded coin and submits
+    one read when it comes up heads; then the service ticks once.  With
+    ``finish`` the service quiesces afterwards (all admitted requests
+    resolve), so the returned report's ledgers are conservation-closed.
+    """
+    # Tenants submit in registration order within a cycle — part of the
+    # deterministic interleave contract.
+    ordered = sorted(profiles, key=lambda p: core.tenant(p.name).index)
+    arrivals = [
+        (p, random.Random(100003 * seed + 7919 * core.tenant(p.name).index),
+         _address_source(core, p, 200003 * seed
+                         + 104729 * core.tenant(p.name).index))
+        for p in ordered
+    ]
+    for _ in range(cycles):
+        for profile, rng, next_address in arrivals:
+            if rng.random() < profile.offered:
+                core.submit(profile.name, next_address())
+        core.tick()
+    return core.finish() if finish else core.report()

@@ -1,0 +1,203 @@
+"""Per-tenant admission state: contracts, token buckets, queues.
+
+A :class:`TenantSpec` is the tenant's *contract* with the service —
+its admitted-request rate, burst allowance, queue bound and shedding
+priority.  :class:`TokenBucket` enforces the rate deterministically in
+interface cycles (no wall clock anywhere, so two identical runs make
+identical admission decisions), and :class:`TenantState` is the live
+ledger the service keeps per tenant.
+
+Rate semantics (per-bank bandwidth regulation, Sullivan et al.): over
+any window of ``W`` cycles a tenant is admitted at most
+``burst + ceil(rate * W)`` requests — the classic token-bucket bound,
+pinned by a Hypothesis property in ``tests/service``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Deque, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's service contract.
+
+    ``rate`` is admitted requests per interface cycle (``None`` =
+    unlimited, admission control off for this tenant); ``burst`` is the
+    token-bucket depth; ``queue_limit`` bounds the tenant's pending
+    queue (a full queue rejects with backpressure); ``priority`` orders
+    graceful degradation — *lower* priorities are shed first.
+    """
+
+    name: str
+    priority: int = 0
+    rate: Optional[float] = None
+    burst: int = 8
+    queue_limit: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive (or None for unlimited)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+
+    @property
+    def rate_or_sentinel(self) -> float:
+        """The rate as a float, -1.0 meaning unlimited (event payloads)."""
+        return -1.0 if self.rate is None else float(self.rate)
+
+
+class TokenBucket:
+    """Cycle-driven token bucket with exact (Fraction) accounting.
+
+    Refill is lazy — tokens accrue ``rate`` per elapsed cycle at grant
+    time — so an idle tenant costs nothing per tick.  Exact rational
+    arithmetic keeps two runs (and two platforms) bit-identical, which
+    the event-determinism test relies on.
+    """
+
+    __slots__ = ("rate", "capacity", "_tokens", "_last_cycle")
+
+    def __init__(self, rate: Optional[float], burst: int):
+        self.rate = (None if rate is None
+                     else Fraction(rate).limit_denominator(1_000_000))
+        self.capacity = Fraction(burst)
+        self._tokens = self.capacity
+        self._last_cycle = 0
+
+    def try_grant(self, cycle: int) -> bool:
+        """Spend one token at ``cycle``; False means over-rate (throttle)."""
+        if self.rate is None:
+            return True
+        if cycle > self._last_cycle:
+            self._tokens = min(
+                self.capacity,
+                self._tokens + self.rate * (cycle - self._last_cycle),
+            )
+            self._last_cycle = cycle
+        if self._tokens >= 1:
+            self._tokens -= 1
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (diagnostic only)."""
+        return float(self._tokens)
+
+
+@dataclass
+class TenantCounts:
+    """The per-tenant request ledger.
+
+    Conservation invariants (asserted by the property tests):
+
+    * ``submitted == admitted + throttled + backpressured + shed``
+    * ``admitted == completed + dropped + in_flight + queued``
+      (``in_flight`` and ``queued`` are zero once the service quiesces).
+    """
+
+    submitted: int = 0
+    admitted: int = 0
+    throttled: int = 0        # token bucket empty (over contracted rate)
+    backpressured: int = 0    # bounded tenant queue full
+    shed: int = 0             # rejected while degraded (low priority)
+    completed: int = 0
+    dropped: int = 0          # controller rejected under the drop policy
+    controller_stalls: int = 0  # rejected offers retried (stall policy)
+
+    @property
+    def rejected(self) -> int:
+        return self.throttled + self.backpressured + self.shed
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "throttled": self.throttled,
+            "backpressured": self.backpressured,
+            "shed": self.shed,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "controller_stalls": self.controller_stalls,
+        }
+
+
+class TenantState:
+    """Live state the service keeps for one registered tenant."""
+
+    __slots__ = ("spec", "index", "controller_index", "bucket", "queue",
+                 "counts", "in_flight", "latencies", "latency_cap",
+                 "latencies_dropped", "backpressure_engaged", "shed_active",
+                 "window_admitted", "window_completed", "window_rejected",
+                 "window_dropped", "window_latencies")
+
+    def __init__(self, spec: TenantSpec, index: int, controller_index: int,
+                 latency_cap: int = 1_000_000):
+        self.spec = spec
+        self.index = index
+        self.controller_index = controller_index
+        self.bucket = TokenBucket(spec.rate, spec.burst)
+        #: Pending (admitted, not yet controller-accepted) requests.
+        self.queue: Deque = deque()
+        self.counts = TenantCounts()
+        self.in_flight = 0
+        #: Completed-request service latencies (submit -> reply cycles).
+        self.latencies: List[int] = []
+        self.latency_cap = latency_cap
+        self.latencies_dropped = 0
+        self.backpressure_engaged = False
+        self.shed_active = False
+        # Current-window accumulators (reset at each window boundary).
+        self.window_admitted = 0
+        self.window_completed = 0
+        self.window_rejected = 0
+        self.window_dropped = 0
+        self.window_latencies: List[int] = []
+
+    def record_latency(self, latency: int) -> None:
+        self.counts.completed += 1
+        self.window_completed += 1
+        self.window_latencies.append(latency)
+        if len(self.latencies) < self.latency_cap:
+            self.latencies.append(latency)
+        else:
+            self.latencies_dropped += 1
+
+    def reset_window(self) -> None:
+        self.window_admitted = 0
+        self.window_completed = 0
+        self.window_rejected = 0
+        self.window_dropped = 0
+        self.window_latencies = []
+
+
+def percentiles(values: List[int]) -> Dict[str, float]:
+    """p50/p95/p99/max of a latency sample (nearest-rank, deterministic).
+
+    Empty input returns an empty dict — event payloads carry that as
+    "nothing completed this window".
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def rank(q: float) -> float:
+        index = max(0, min(n - 1, int(q * n + 0.5) - 1))
+        return float(ordered[index])
+
+    return {
+        "p50": rank(0.50),
+        "p95": rank(0.95),
+        "p99": rank(0.99),
+        "max": float(ordered[-1]),
+        "count": float(n),
+    }

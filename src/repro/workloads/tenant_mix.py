@@ -1,0 +1,81 @@
+"""Deterministic weighted mixing of per-tenant request traces.
+
+The service multiplexes live tenant queues; this module is the offline
+counterpart — it folds several per-tenant traces into one interleaved
+stream whose long-run proportions match the tenants' weights, using
+smooth weighted round-robin (the nginx algorithm).  Being completely
+deterministic, the same traces + weights always produce the same
+interleave, which makes mixed-tenant workloads replayable through
+``sim/runner.py`` for differential checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.request import MemoryRequest
+
+
+class TenantTrace:
+    """One tenant's request stream with a mixing weight."""
+
+    def __init__(self, name: str, requests: Iterable[MemoryRequest],
+                 weight: int = 1):
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        self.name = name
+        self.requests = iter(requests)
+        self.weight = weight
+
+
+def mix_traces(
+    traces: List[TenantTrace],
+    count: Optional[int] = None,
+    tag_owner: bool = True,
+) -> Iterator[MemoryRequest]:
+    """Interleave traces by smooth weighted round-robin.
+
+    Each pick goes to the trace with the highest accumulated credit
+    (credit grows by ``weight`` per round, shrinks by the weight total
+    when picked), which spreads a 3:1 weighting as A A B A rather than
+    A A A B.  Exhausted traces drop out and their share redistributes.
+    With ``tag_owner`` each yielded request's ``tag`` is replaced by
+    ``(tenant_name, original_tag)`` so replies remain attributable.
+    """
+    if not traces:
+        return
+    names = [t.name for t in traces]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate trace names in {names}")
+    live = list(traces)
+    credits = {t.name: 0 for t in live}
+    emitted = 0
+    while live and (count is None or emitted < count):
+        total = sum(t.weight for t in live)
+        for trace in live:
+            credits[trace.name] += trace.weight
+        # Max credit, first-registered wins ties: fully deterministic.
+        chosen = max(live, key=lambda t: (credits[t.name],
+                                          -traces.index(t)))
+        try:
+            request = next(chosen.requests)
+        except StopIteration:
+            live.remove(chosen)
+            del credits[chosen.name]
+            continue
+        credits[chosen.name] -= total
+        if tag_owner:
+            request.tag = (chosen.name, request.tag)
+        emitted += 1
+        yield request
+
+
+def mix_proportions(requests: Iterable[MemoryRequest]) -> dict:
+    """Observed per-tenant counts of a ``tag_owner``-tagged mixed stream."""
+    counts: dict = {}
+    for request in requests:
+        tag = request.tag
+        if not isinstance(tag, tuple) or not tag:
+            raise ValueError("request is not owner-tagged")
+        counts[tag[0]] = counts.get(tag[0], 0) + 1
+    return counts

@@ -1,0 +1,198 @@
+"""Tests for the asyncio front-end (in-process API + socket transport).
+
+Plain pytest + ``asyncio.run`` — no pytest-asyncio dependency.  Each
+test builds a small core, drives concurrent client coroutines through
+:class:`AsyncMemoryService`, and checks the completions against the
+core's own ledger.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import VPNMConfig
+from repro.service import (
+    AsyncMemoryService,
+    ServiceCore,
+    ServiceRejected,
+    TenantSpec,
+)
+
+SMALL = dict(banks=4, bank_latency=4, queue_depth=3, delay_rows=6,
+             hash_latency=0, stall_policy="stall", address_bits=16)
+
+
+def make_core(tenants, **kwargs):
+    return ServiceCore(tenants, config=VPNMConfig(**SMALL), **kwargs)
+
+
+class TestInProcess:
+    def test_single_read_round_trip(self):
+        async def main():
+            core = make_core([TenantSpec("alice")])
+            async with AsyncMemoryService(core) as service:
+                done = await service.request("alice", 0x1234)
+            return done, service.report
+
+        done, report = asyncio.run(main())
+        assert done.tenant == "alice"
+        assert done.address == 0x1234
+        assert done.latency >= VPNMConfig(**SMALL).normalized_delay
+        assert report.tenants["alice"].counts["completed"] == 1
+
+    def test_many_concurrent_clients_all_complete(self):
+        async def main():
+            core = make_core([TenantSpec("alice", queue_limit=64),
+                              TenantSpec("bob", queue_limit=64)])
+            async with AsyncMemoryService(core, cycles_per_slice=16) as svc:
+                tasks = [svc.request("alice", 0x100 + i) for i in range(25)]
+                tasks += [svc.request("bob", 0x8000 + i) for i in range(25)]
+                completions = await asyncio.gather(*tasks)
+            return completions, svc.report
+
+        completions, report = asyncio.run(main())
+        assert len(completions) == 50
+        for name in ("alice", "bob"):
+            counts = report.tenants[name].counts
+            assert counts["completed"] == 25
+            assert counts["dropped"] == 0
+
+    def test_backpressure_waits_instead_of_failing(self):
+        """More concurrent requests than the queue holds: every one
+        still completes because request() waits out the backpressure."""
+        async def main():
+            core = make_core([TenantSpec("alice", queue_limit=4)])
+            async with AsyncMemoryService(core, cycles_per_slice=8) as svc:
+                completions = await asyncio.gather(
+                    *[svc.request("alice", i) for i in range(20)])
+            return completions, svc.report
+
+        completions, report = asyncio.run(main())
+        assert len(completions) == 20
+        counts = report.tenants["alice"].counts
+        assert counts["completed"] == 20
+        # The tiny queue really did push back at least once.
+        assert counts["backpressured"] > 0
+
+    def test_throttled_raises_service_rejected(self):
+        async def main():
+            core = make_core([TenantSpec("alice", rate=0.001, burst=1)])
+            async with AsyncMemoryService(core) as svc:
+                first = await svc.request("alice", 1)
+                try:
+                    await svc.request("alice", 2)
+                except ServiceRejected as rejection:
+                    return first, rejection
+                return first, None
+
+        first, rejection = asyncio.run(main())
+        assert first.latency > 0
+        assert rejection is not None
+        assert rejection.tenant == "alice"
+        assert rejection.status == "throttled"
+
+    def test_write_then_read_returns_payload(self):
+        async def main():
+            core = make_core([TenantSpec("alice")])
+            async with AsyncMemoryService(core) as svc:
+                await svc.request("alice", 0x42, op="write", data="hello")
+                done = await svc.request("alice", 0x42)
+            return done
+
+        done = asyncio.run(main())
+        assert done.data == "hello"
+
+    def test_report_available_after_stop(self):
+        async def main():
+            core = make_core([TenantSpec("alice")])
+            service = AsyncMemoryService(core)
+            service.start()
+            await service.request("alice", 7)
+            report = await service.stop()
+            return service, report
+
+        service, report = asyncio.run(main())
+        assert service.report is report
+        assert "alice" in report.table()
+
+
+class TestSocketTransport:
+    def test_json_round_trip(self):
+        async def main():
+            core = make_core([TenantSpec("alice")])
+            async with AsyncMemoryService(core) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write((json.dumps(
+                    {"id": 1, "tenant": "alice", "address": 4096})
+                    + "\n").encode())
+                await writer.drain()
+                line = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+            return json.loads(line)
+
+        response = asyncio.run(main())
+        assert response["id"] == 1
+        assert response["status"] == "ok"
+        assert response["address"] == 4096
+        assert response["latency"] > 0
+
+    def test_pipelined_requests_one_connection(self):
+        async def main():
+            core = make_core([TenantSpec("alice", queue_limit=64)])
+            async with AsyncMemoryService(core, cycles_per_slice=16) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                for i in range(10):
+                    writer.write((json.dumps(
+                        {"id": i, "tenant": "alice", "address": 0x100 + i})
+                        + "\n").encode())
+                await writer.drain()
+                responses = [json.loads(await reader.readline())
+                             for _ in range(10)]
+                writer.close()
+                await writer.wait_closed()
+            return responses
+
+        responses = asyncio.run(main())
+        assert {r["id"] for r in responses} == set(range(10))
+        assert all(r["status"] == "ok" for r in responses)
+
+    def test_rejection_and_malformed_line(self):
+        async def main():
+            core = make_core([TenantSpec("alice", rate=0.001, burst=1)])
+            async with AsyncMemoryService(core) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                # Burn the single token, then get throttled.
+                writer.write((json.dumps(
+                    {"id": 1, "tenant": "alice", "address": 1})
+                    + "\n").encode())
+                await writer.drain()
+                ok = json.loads(await reader.readline())
+                writer.write((json.dumps(
+                    {"id": 2, "tenant": "alice", "address": 2})
+                    + "\n").encode())
+                await writer.drain()
+                throttled = json.loads(await reader.readline())
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                error = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+            return ok, throttled, error
+
+        ok, throttled, error = asyncio.run(main())
+        assert ok["status"] == "ok"
+        assert throttled == {"id": 2, "status": "throttled"}
+        assert error["status"] == "error"
+        assert error["id"] is None
+
+
+class TestConstruction:
+    def test_rejects_bad_slice(self):
+        core = make_core([TenantSpec("alice")])
+        with pytest.raises(ValueError):
+            AsyncMemoryService(core, cycles_per_slice=0)

@@ -1,0 +1,257 @@
+"""Unit tests for the service core: admission, multiplexing, degradation.
+
+The differential and property suites pin the cross-layer contracts;
+this file pins each mechanism in isolation on small hostile configs.
+"""
+
+import pytest
+
+from repro.core import VPNMConfig
+from repro.core.exceptions import ConfigurationError
+from repro.service import (
+    ADMITTED,
+    BACKPRESSURE,
+    SHED,
+    THROTTLED,
+    ServiceCore,
+    TenantSpec,
+    TokenBucket,
+    percentiles,
+)
+
+SMALL = dict(banks=4, bank_latency=4, queue_depth=3, delay_rows=6,
+             bus_scaling=1.3, hash_latency=0, address_bits=16)
+
+
+def make_core(tenants, stall_policy="stall", **kwargs):
+    config = VPNMConfig(stall_policy=stall_policy, **SMALL)
+    return ServiceCore(tenants, config=config, **kwargs)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=0.5, burst=2)
+        assert bucket.try_grant(0)
+        assert bucket.try_grant(0)
+        assert not bucket.try_grant(0)      # burst exhausted
+        assert bucket.try_grant(2)          # 2 cycles x 0.5 = 1 token
+        assert not bucket.try_grant(2)
+
+    def test_unlimited(self):
+        bucket = TokenBucket(rate=None, burst=1)
+        assert all(bucket.try_grant(0) for _ in range(100))
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        for _ in range(3):
+            assert bucket.try_grant(0)
+        # A long idle gap refills to burst, not beyond.
+        for _ in range(3):
+            assert bucket.try_grant(1000)
+        assert not bucket.try_grant(1000)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="")
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", rate=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", burst=0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", queue_limit=0)
+
+    def test_rejects_duplicate_tenants(self):
+        with pytest.raises(ConfigurationError):
+            make_core([TenantSpec("a"), TenantSpec("a")])
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ConfigurationError):
+            make_core([])
+
+
+class TestAdmission:
+    def test_throttle_over_contracted_rate(self):
+        core = make_core([TenantSpec("a", rate=0.5, burst=1)])
+        assert core.submit("a", 1).status == ADMITTED
+        assert core.submit("a", 2).status == THROTTLED
+        counts = core.tenant("a").counts
+        assert counts.submitted == 2
+        assert counts.admitted == 1
+        assert counts.throttled == 1
+
+    def test_admission_off_ignores_buckets(self):
+        core = make_core([TenantSpec("a", rate=0.001, burst=1)],
+                         admission=False)
+        for address in range(10):
+            assert core.submit("a", address).status == ADMITTED
+
+    def test_backpressure_on_full_queue(self):
+        core = make_core([TenantSpec("a", queue_limit=2)])
+        assert core.submit("a", 1).status == ADMITTED
+        assert core.submit("a", 2).status == ADMITTED
+        assert core.submit("a", 3).status == BACKPRESSURE
+        assert core.tenant("a").backpressure_engaged
+        # Draining below the low-water mark releases the signal.
+        core.quiesce()
+        assert not core.tenant("a").backpressure_engaged
+
+    def test_unknown_op_rejected(self):
+        core = make_core([TenantSpec("a")])
+        with pytest.raises(ConfigurationError):
+            core.submit("a", 1, op="prefetch")
+
+
+class TestCompletion:
+    def test_uncontended_read_latency_is_exactly_d(self):
+        core = make_core([TenantSpec("a")])
+        core.submit("a", 0x10)
+        core.finish()
+        tenant = core.tenant("a")
+        assert tenant.counts.completed == 1
+        # Submitted before the same cycle's tick, accepted immediately:
+        # service latency equals the virtual-pipeline delay D.
+        assert tenant.latencies == [core.config.normalized_delay]
+
+    def test_write_completes_at_acceptance(self):
+        core = make_core([TenantSpec("a")])
+        core.submit("a", 0x10, op="write", data="payload")
+        core.tick()
+        tenant = core.tenant("a")
+        assert tenant.counts.completed == 1
+        assert tenant.in_flight == 0
+        core.finish()
+
+    def test_drop_policy_counts_rejections_per_tenant(self):
+        # One bank, shallow everything: a saturating tenant must drop.
+        config = VPNMConfig(banks=1, bank_latency=8, queue_depth=1,
+                            delay_rows=2, hash_latency=0,
+                            stall_policy="drop", address_bits=16)
+        core = ServiceCore([TenantSpec("a")], config=config)
+        for address in range(50):
+            core.submit("a", address)
+            core.tick()
+        report = core.finish()
+        counts = report.tenants["a"].counts
+        assert counts["dropped"] > 0
+        assert counts["admitted"] == counts["completed"] + counts["dropped"]
+
+    def test_stall_policy_loses_nothing(self):
+        config = VPNMConfig(banks=1, bank_latency=8, queue_depth=1,
+                            delay_rows=2, hash_latency=0,
+                            stall_policy="stall", address_bits=16)
+        core = ServiceCore([TenantSpec("a", queue_limit=128)], config=config)
+        admitted = 0
+        for address in range(50):
+            if core.submit("a", address).status == ADMITTED:
+                admitted += 1
+            core.tick()
+        report = core.finish()
+        counts = report.tenants["a"].counts
+        assert counts["controller_stalls"] > 0
+        assert counts["dropped"] == 0
+        assert counts["completed"] == admitted
+
+
+class TestMultiplexing:
+    def test_round_robin_is_fair_between_saturating_tenants(self):
+        core = make_core([TenantSpec("a"), TenantSpec("b")])
+        for address in range(40):
+            core.submit("a", address)
+            core.submit("b", 0x4000 + address)
+            core.tick()
+        report = core.finish()
+        done_a = report.tenants["a"].counts["completed"]
+        done_b = report.tenants["b"].counts["completed"]
+        assert done_a == 40 and done_b == 40
+        # Interleaved service: neither tenant finished far ahead.
+        assert abs(done_a - done_b) <= 1
+
+    def test_multiple_controllers_partition_tenants(self):
+        core = make_core([TenantSpec("a"), TenantSpec("b"),
+                          TenantSpec("c")], controllers=2)
+        assert core.tenant("a").controller_index == 0
+        assert core.tenant("b").controller_index == 1
+        assert core.tenant("c").controller_index == 0
+        for address in range(30):
+            for name in ("a", "b", "c"):
+                core.submit(name, address)
+            core.tick()
+        report = core.finish()
+        for name in ("a", "b", "c"):
+            counts = report.tenants[name].counts
+            assert counts["completed"] == counts["admitted"] == 30
+        # Both controllers actually served work.
+        assert all(s.reads_accepted > 0 for s in report.controller_stats)
+
+
+class TestDegradation:
+    def make_pressured_core(self, **kwargs):
+        # Tiny delay storage so a flood fills it quickly: D=8, K=4.
+        config = VPNMConfig(banks=2, bank_latency=4, queue_depth=2,
+                            delay_rows=4, hash_latency=0,
+                            stall_policy="stall", address_bits=16)
+        return ServiceCore(
+            [TenantSpec("low", priority=0, queue_limit=256),
+             TenantSpec("high", priority=1, queue_limit=256)],
+            config=config, shed_high=0.75, shed_low=0.25,
+            shed_cooldown=1, **kwargs)
+
+    def test_low_priority_is_shed_under_pressure_then_restored(self):
+        core = self.make_pressured_core()
+        shed_seen = False
+        for address in range(200):
+            result = core.submit("low", address)
+            if result.status == SHED:
+                shed_seen = True
+                break
+            core.submit("high", 0x8000 + address)
+            core.tick()
+        assert shed_seen, "delay-storage pressure never triggered shedding"
+        assert core.tenant("low").shed_active
+        assert not core.tenant("high").shed_active
+        counts = core.tenant("low").counts
+        assert counts.shed >= 1
+        # Quiescing empties the delay storage; the tenant is restored.
+        core.finish()
+        assert not core.tenant("low").shed_active
+
+    def test_admission_off_never_sheds(self):
+        core = self.make_pressured_core(admission=False)
+        for address in range(200):
+            assert core.submit("low", address).status != SHED
+            core.tick()
+        core.finish()
+
+
+class TestPercentiles:
+    def test_empty_is_empty(self):
+        assert percentiles([]) == {}
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        result = percentiles(values)
+        assert result["p50"] == 50.0
+        assert result["p95"] == 95.0
+        assert result["p99"] == 99.0
+        assert result["max"] == 100.0
+        assert result["count"] == 100.0
+
+    def test_single_sample(self):
+        result = percentiles([7])
+        assert result["p50"] == result["p99"] == result["max"] == 7.0
+
+
+class TestReport:
+    def test_table_mentions_every_tenant_and_p99(self):
+        core = make_core([TenantSpec("alpha"), TenantSpec("beta")])
+        for address in range(20):
+            core.submit("alpha", address)
+            core.tick()
+        report = core.finish()
+        table = report.table()
+        assert "alpha" in table and "beta" in table
+        assert "p99" in table
+        assert report.p99("alpha") is not None
+        assert report.p99("beta") is None  # no completions, no percentile

@@ -1,0 +1,138 @@
+"""Schema and determinism tests for the ``tenant.*`` event stream.
+
+Mirrors ``tests/obs/test_event_determinism.py`` for the service layer:
+every emitted line must validate against :data:`repro.obs.EVENT_TYPES`,
+and two identical service runs must produce byte-identical event logs
+once the ``timing`` envelope member is stripped (the service emits no
+timing at all, so here the streams are byte-identical, period).
+"""
+
+import json
+
+from repro.core import VPNMConfig
+from repro.obs.events import JsonlEventSink, read_events, validate_event
+from repro.service import ServiceCore, TenantSpec, run_synthetic
+from repro.service.synthetic import SyntheticProfile
+
+
+def run_service(path, cycles=1500):
+    """A small run that exercises every tenant.* event kind."""
+    config = VPNMConfig(banks=2, bank_latency=4, queue_depth=2,
+                        delay_rows=4, hash_latency=0,
+                        stall_policy="stall", address_bits=16)
+    specs = [
+        # Tiny queue + saturating arrivals: backpressure edges fire.
+        TenantSpec("low", priority=0, rate=None, queue_limit=2),
+        TenantSpec("high", priority=1, rate=0.2, burst=4, queue_limit=16),
+    ]
+    profiles = [
+        SyntheticProfile(name="low", offered=1.0),
+        SyntheticProfile(name="high", offered=0.3),
+    ]
+    sink = JsonlEventSink(str(path))
+    try:
+        core = ServiceCore(specs, config=config, seed=7, events=sink,
+                           window=256, shed_high=0.75, shed_low=0.25,
+                           shed_cooldown=1)
+        run_synthetic(core, profiles, cycles, seed=2)
+    finally:
+        sink.close()
+    return path
+
+
+class TestTenantEventSchema:
+    def test_every_line_validates(self, tmp_path):
+        log = run_service(tmp_path / "events.jsonl")
+        events = read_events(str(log))  # validates each line
+        for event in events:
+            validate_event(event)
+        assert len(events) > 10
+
+    def test_lifecycle_kinds_present(self, tmp_path):
+        log = run_service(tmp_path / "events.jsonl")
+        types = [event["type"] for event in read_events(str(log))]
+        assert types[0] == "service.started"
+        assert types[-1] == "service.stopped"
+        assert types.count("tenant.registered") == 2
+        assert "tenant.window" in types
+        assert "tenant.summary" in types
+        # The hostile config actually exercised the edge events.
+        assert "tenant.backpressure" in types
+        assert "tenant.shed" in types
+        assert "tenant.restored" in types
+
+    def test_summary_counts_conserve(self, tmp_path):
+        log = run_service(tmp_path / "events.jsonl")
+        summaries = [event for event in read_events(str(log))
+                     if event["type"] == "tenant.summary"]
+        assert len(summaries) == 2
+        for event in summaries:
+            counts = event["counts"]
+            assert counts["submitted"] == (
+                counts["admitted"] + counts["throttled"]
+                + counts["backpressured"] + counts["shed"])
+            assert counts["admitted"] == (
+                counts["completed"] + counts["dropped"])
+
+    def test_windows_partition_the_run(self, tmp_path):
+        """Per-window admitted/completed counts sum to the summary."""
+        log = run_service(tmp_path / "events.jsonl")
+        events = read_events(str(log))
+        for tenant in ("low", "high"):
+            windows = [e for e in events if e["type"] == "tenant.window"
+                       and e["tenant"] == tenant]
+            summary = next(e for e in events
+                           if e["type"] == "tenant.summary"
+                           and e["tenant"] == tenant)
+            assert sum(w["admitted"] for w in windows) == \
+                summary["counts"]["admitted"]
+            assert sum(w["completed"] for w in windows) == \
+                summary["counts"]["completed"]
+            starts = [w["start"] for w in windows]
+            assert starts == sorted(starts)
+
+
+class TestServiceEventDeterminism:
+    def test_two_identical_runs_are_byte_identical(self, tmp_path):
+        log_a = run_service(tmp_path / "a.jsonl")
+        log_b = run_service(tmp_path / "b.jsonl")
+        lines_a = open(log_a).read().splitlines()
+        lines_b = open(log_b).read().splitlines()
+        assert lines_a == lines_b
+
+    def test_stripped_of_timing_still_identical(self, tmp_path):
+        """The §9 contract form: equality modulo the timing envelope."""
+        log_a = run_service(tmp_path / "a.jsonl")
+        log_b = run_service(tmp_path / "b.jsonl")
+
+        def stripped(path):
+            out = []
+            for line in open(path):
+                event = json.loads(line)
+                event.pop("timing", None)
+                out.append(json.dumps(event, sort_keys=True,
+                                      separators=(",", ":")))
+            return out
+
+        assert stripped(log_a) == stripped(log_b)
+
+    def test_different_seed_differs(self, tmp_path):
+        """Sanity: the determinism test can actually fail."""
+        log_a = run_service(tmp_path / "a.jsonl")
+        config = VPNMConfig(banks=2, bank_latency=4, queue_depth=2,
+                            delay_rows=4, hash_latency=0,
+                            stall_policy="stall", address_bits=16)
+        sink = JsonlEventSink(str(tmp_path / "c.jsonl"))
+        try:
+            core = ServiceCore(
+                [TenantSpec("low", priority=0, rate=None, queue_limit=2),
+                 TenantSpec("high", priority=1, rate=0.2, burst=4,
+                            queue_limit=16)],
+                config=config, seed=8, events=sink, window=256,
+                shed_high=0.75, shed_low=0.25, shed_cooldown=1)
+            run_synthetic(core, [SyntheticProfile(name="low", offered=1.0),
+                                 SyntheticProfile(name="high", offered=0.3)],
+                          1500, seed=2)
+        finally:
+            sink.close()
+        assert open(log_a).read() != open(tmp_path / "c.jsonl").read()

@@ -1,0 +1,42 @@
+"""Tier-1 miniature of the service isolation benchmark.
+
+Same fleet shape as ``benchmarks/test_service_isolation.py`` (one
+single-bank adversary, seven under-rate benign tenants, one shared
+controller) at a quarter of the cycle count, so every tier-1 run
+re-checks the acceptance property: admission control keeps the benign
+tail latency measurably below the unprotected run.
+"""
+
+from repro.core import VPNMConfig
+from repro.service import ServiceCore, run_synthetic, synthetic_fleet
+
+CYCLES = 10_000
+SEED = 11
+
+
+def run_fleet(admission):
+    config = VPNMConfig(banks=8, bank_latency=8, queue_depth=4,
+                        delay_rows=16, bus_scaling=1.3, hash_latency=0,
+                        stall_policy="stall", address_bits=16)
+    specs, profiles = synthetic_fleet(tenants=8, adversaries=1)
+    core = ServiceCore(specs, config=config, seed=SEED,
+                       admission=admission)
+    return run_synthetic(core, profiles, CYCLES, seed=SEED)
+
+
+def test_admission_control_protects_benign_tail_latency():
+    enabled = run_fleet(True)
+    disabled = run_fleet(False)
+
+    def worst_benign_p99(report):
+        return max(report.p99(name) for name in report.tenants
+                   if name.startswith("tenant"))
+
+    worst_on = worst_benign_p99(enabled)
+    worst_off = worst_benign_p99(disabled)
+    assert worst_on * 2 <= worst_off, (worst_on, worst_off)
+
+    # The protection comes from clipping the adversary, not starving it.
+    attacker = enabled.tenants["attacker0"].counts
+    assert attacker["throttled"] > 0
+    assert attacker["completed"] > 0

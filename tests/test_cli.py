@@ -263,3 +263,74 @@ class TestObs:
         assert code == 0
         assert "telemetry" in out
         assert "peak bank-queue occupancy" in out
+
+
+class TestServe:
+    ARGS = ["serve", "--banks", "8", "--bank-latency", "8",
+            "--queue-depth", "4", "--delay-rows", "16",
+            "--address-bits", "16", "--tenants", "4", "--adversaries", "1",
+            "--cycles", "2000", "--window", "512", "--seed", "3"]
+
+    def test_synthetic_fleet_run(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "admission=on" in out
+        assert "fleet: 4 tenants (1 adversarial)" in out
+        assert "attacker0" in out and "tenant1" in out
+        assert "p99" in out
+
+    def test_no_admission_flag(self, capsys):
+        assert main(self.ARGS + ["--no-admission"]) == 0
+        assert "admission=off" in capsys.readouterr().out
+
+    def test_events_log_validates(self, capsys, tmp_path):
+        from repro.obs.events import read_events
+
+        log = str(tmp_path / "service.jsonl")
+        assert main(self.ARGS + ["--events", log]) == 0
+        capsys.readouterr()
+        types = [e["type"] for e in read_events(log)]  # schema-validated
+        assert types[0] == "service.started"
+        assert types[-1] == "service.stopped"
+        assert "tenant.window" in types
+
+    def test_drop_policy_reports_drops_column(self, capsys):
+        assert main(self.ARGS + ["--stall-policy", "drop"]) == 0
+        assert "drop" in capsys.readouterr().out
+
+
+class TestObsTailService:
+    def serve_log(self, tmp_path, capsys):
+        log = str(tmp_path / "service.jsonl")
+        assert main(TestServe.ARGS + ["--events", log]) == 0
+        capsys.readouterr()
+        return log
+
+    def test_tail_pretty_renders_tenant_lines(self, capsys, tmp_path):
+        log = self.serve_log(tmp_path, capsys)
+        assert main(["obs", "tail", "--events", log, "--pretty",
+                     "--last", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "[sum]" in out
+        assert "[service] stopped" in out
+
+    def test_tail_without_pretty_is_json(self, capsys, tmp_path):
+        import json as jsonlib
+
+        log = self.serve_log(tmp_path, capsys)
+        assert main(["obs", "tail", "--events", log, "--last", "5"]) == 0
+        for line in capsys.readouterr().out.splitlines():
+            assert "type" in jsonlib.loads(line)
+
+    def test_follow_exits_on_service_stopped(self, capsys, tmp_path):
+        log = self.serve_log(tmp_path, capsys)
+        assert main(["obs", "tail", "--events", log, "--follow",
+                     "--max-seconds", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "[service] stopped" in out
+
+    def test_follow_missing_log_times_out(self, capsys, tmp_path):
+        missing = str(tmp_path / "never.jsonl")
+        assert main(["obs", "tail", "--events", missing, "--follow",
+                     "--max-seconds", "0.2"]) == 1
+        assert "no event log appeared" in capsys.readouterr().err

@@ -1,0 +1,93 @@
+"""Tests for deterministic weighted trace mixing (tenant_mix)."""
+
+import pytest
+
+from repro.core.controller import read_request
+from repro.workloads.tenant_mix import (
+    TenantTrace,
+    mix_proportions,
+    mix_traces,
+)
+
+
+def trace(name, n, weight=1, base=0):
+    return TenantTrace(name, (read_request(base + i) for i in range(n)),
+                       weight=weight)
+
+
+class TestMixing:
+    def test_proportions_match_weights(self):
+        mixed = list(mix_traces([trace("a", 300, weight=3),
+                                 trace("b", 300, weight=1)], count=200))
+        counts = mix_proportions(mixed)
+        assert counts == {"a": 150, "b": 50}
+
+    def test_smooth_interleave_not_bursts(self):
+        """3:1 comes out A A B A, not A A A B: every window of 4 picks
+        contains exactly one b."""
+        mixed = list(mix_traces([trace("a", 100, weight=3),
+                                 trace("b", 100, weight=1)], count=40))
+        owners = [r.tag[0] for r in mixed]
+        for start in range(0, 40, 4):
+            assert owners[start:start + 4].count("b") == 1
+
+    def test_deterministic(self):
+        def build():
+            return [trace("a", 50, weight=2), trace("b", 50, weight=3),
+                    trace("c", 50, weight=1, base=0x100)]
+        first = [(r.tag, r.address) for r in mix_traces(build())]
+        second = [(r.tag, r.address) for r in mix_traces(build())]
+        assert first == second
+        assert len(first) == 150
+
+    def test_exhausted_trace_redistributes(self):
+        """When the short trace runs dry the survivors split its share."""
+        mixed = list(mix_traces([trace("short", 5, weight=5),
+                                 trace("long", 100, weight=1)]))
+        counts = mix_proportions(mixed)
+        assert counts == {"short": 5, "long": 100}
+        # After the short trace is gone, everything is long's.
+        tail = [r.tag[0] for r in mixed[-50:]]
+        assert set(tail) == {"long"}
+
+    def test_count_limits_output(self):
+        mixed = list(mix_traces([trace("a", 100), trace("b", 100)],
+                                count=30))
+        assert len(mixed) == 30
+
+    def test_preserves_request_order_within_tenant(self):
+        mixed = list(mix_traces([trace("a", 20), trace("b", 20,
+                                                       base=0x100)]))
+        addresses_a = [r.address for r in mixed if r.tag[0] == "a"]
+        assert addresses_a == list(range(20))
+
+    def test_owner_tagging_wraps_original_tag(self):
+        requests = [read_request(1)]
+        requests[0].tag = "ticket-7"
+        mixed = list(mix_traces([TenantTrace("a", requests)]))
+        assert mixed[0].tag == ("a", "ticket-7")
+
+    def test_tagging_can_be_disabled(self):
+        requests = [read_request(1)]
+        requests[0].tag = "ticket-7"
+        mixed = list(mix_traces([TenantTrace("a", requests)],
+                                tag_owner=False))
+        assert mixed[0].tag == "ticket-7"
+
+    def test_empty_inputs(self):
+        assert list(mix_traces([])) == []
+        assert list(mix_traces([trace("a", 0)])) == []
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            list(mix_traces([trace("a", 1), trace("a", 1)]))
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TenantTrace("a", [], weight=0)
+
+    def test_proportions_requires_owner_tags(self):
+        with pytest.raises(ValueError):
+            mix_proportions([read_request(1)])

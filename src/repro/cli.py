@@ -47,6 +47,7 @@ from repro.analysis.markov import bank_queue_mts
 from repro.core.config import VPNMConfig
 from repro.core.controller import VPNMController
 from repro.core.exceptions import ConfigurationError
+from repro.service.arbiter import ARBITER_KINDS
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -461,6 +462,18 @@ def _follow_events(path: str, poll: float = 0.2,
             fh.close()
 
 
+def _rate_argument(value: str):
+    """Argparse type for token-bucket rates: exact '1/10', floats, 'none'."""
+    if value.strip().lower() in ("none", "unlimited", "off"):
+        return None
+    from repro.service.tenants import parse_rate
+
+    try:
+        return parse_rate(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant service over a synthetic fleet, inline."""
     from repro.obs.events import NULL_EVENTS, JsonlEventSink
@@ -481,7 +494,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         tenants=args.tenants,
         adversaries=args.adversaries,
         benign_rate=args.benign_rate,
+        benign_weight=args.benign_weight,
+        benign_slo_p99=args.benign_slo,
         adversary_rate=args.adversary_rate,
+        adversary_weight=args.adversary_weight,
     )
     sink = JsonlEventSink(args.events) if args.events else NULL_EVENTS
     try:
@@ -493,6 +509,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             events=sink,
             window=args.window,
             admission=not args.no_admission,
+            arbiter=args.arbiter,
+            quantum=args.quantum,
+            slo_interval=args.slo_interval,
         )
         report = run_synthetic(core, profiles, args.cycles, seed=args.seed)
     finally:
@@ -501,7 +520,8 @@ def _command_serve(args: argparse.Namespace) -> int:
           f"Q={config.queue_depth} K={config.delay_rows} "
           f"R={config.bus_scaling} D={config.normalized_delay} "
           f"policy={config.stall_policy} "
-          f"admission={'off' if args.no_admission else 'on'}")
+          f"admission={'off' if args.no_admission else 'on'} "
+          f"arbiter={args.arbiter}")
     print(f"fleet: {args.tenants} tenants ({args.adversaries} adversarial) "
           f"x {args.cycles} cycles on {args.controllers} controller(s)")
     print(report.table())
@@ -715,12 +735,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-admission", action="store_true",
                        help="disable token buckets and shedding (the "
                             "isolation experiment's control arm)")
-    serve.add_argument("--benign-rate", type=float, default=0.15,
+    serve.add_argument("--benign-rate", type=_rate_argument, default="3/20",
                        help="admitted-requests/cycle contract for benign "
-                            "tenants (default 0.15)")
-    serve.add_argument("--adversary-rate", type=float, default=0.05,
+                            "tenants; exact rationals like 1/10 accepted "
+                            "(default 3/20; 'none' disables the bucket)")
+    serve.add_argument("--adversary-rate", type=_rate_argument,
+                       default="1/20",
                        help="contract for adversarial tenants "
-                            "(default 0.05)")
+                            "(default 1/20)")
+    serve.add_argument("--arbiter", choices=list(ARBITER_KINDS),
+                       default="round-robin",
+                       help="per-controller arbitration policy "
+                            "(default round-robin)")
+    serve.add_argument("--quantum", type=int, default=1,
+                       help="WDRR credits granted per weight unit each "
+                            "rotation (default 1)")
+    serve.add_argument("--benign-weight", type=int, default=1,
+                       help="WDRR weight for benign tenants (default 1)")
+    serve.add_argument("--adversary-weight", type=int, default=1,
+                       help="WDRR weight for adversarial tenants "
+                            "(default 1)")
+    serve.add_argument("--benign-slo", type=int, default=None,
+                       metavar="P99_CYCLES",
+                       help="p99 latency SLO target for benign tenants; "
+                            "enables the adaptive rate controller "
+                            "(default: no SLO)")
+    serve.add_argument("--slo-interval", type=int, default=None,
+                       help="cycles between SLO evaluations "
+                            "(default: window, else 4*D)")
     serve.add_argument("--stall-policy", choices=["stall", "drop"],
                        default="stall",
                        help="controller policy for rejected offers "

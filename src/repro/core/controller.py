@@ -192,13 +192,23 @@ class VPNMController:
         )
         for _ in range(limit):
             replies.extend(self.step().replies)
-            if self._ring.pending() == 0 and not any(
-                b.has_work() for b in self.banks
-            ):
+            if self.idle():
                 break
         else:
             raise VPNMError("controller failed to drain (livelock?)")
         return replies
+
+    def idle(self) -> bool:
+        """True when nothing is in flight anywhere in the controller.
+
+        No reply pending in the delay ring and no bank holding queued
+        or in-service work — the public form of the drain/quiesce
+        termination test (the service layer and tests used to reach
+        into ``_ring`` for this).
+        """
+        return self._ring.pending() == 0 and not any(
+            b.has_work() for b in self.banks
+        )
 
     # -- acceptance path -----------------------------------------------------
 
@@ -327,7 +337,7 @@ class VPNMController:
         is *not* relocated, so callers model the reorganization cost —
         or use :meth:`rekey_with_migration`, which does.
         """
-        if self._ring.pending() or any(b.has_work() for b in self.banks):
+        if not self.idle():
             raise VPNMError("drain the controller before rekeying")
         self.mapper.rekey(seed)
 
@@ -346,7 +356,7 @@ class VPNMController:
         and return that cycle count.  In-flight work must be drained
         first.
         """
-        if self._ring.pending() or any(b.has_work() for b in self.banks):
+        if not self.idle():
             raise VPNMError("drain the controller before rekeying")
         # Collect every (address -> data) pair under the old mapping.
         # The mapper's permutation is invertible, so physical (bank,

@@ -67,6 +67,17 @@ EVENT_TYPES: Dict[str, Dict[str, type]] = {
     # the delay storage nears capacity, and restored when it recovers.
     "tenant.shed": {"tenant": str, "cycle": int, "pressure": float},
     "tenant.restored": {"tenant": str, "cycle": int},
+    # SLO contracts (DESIGN.md §12).  Breach/recovery are edges of the
+    # rolling-window p99 crossing the tenant's `slo_p99` target;
+    # slo_rate records every admitted-rate move the adaptive controller
+    # (direction "down"/"up") or an operator (`set-rate`, direction
+    # "set") makes.  `rate` is the new rate as a float, -1.0 meaning
+    # unlimited; the exact rational lives in the service `info` op.
+    "tenant.slo_breach": {"tenant": str, "cycle": int, "p99": float,
+                          "target": int},
+    "tenant.slo_recovered": {"tenant": str, "cycle": int, "p99": float},
+    "tenant.slo_rate": {"tenant": str, "cycle": int, "rate": float,
+                        "direction": str},
     # End-of-run ledger: counts must satisfy request conservation
     # (admitted == completed + dropped once the service has quiesced).
     "tenant.summary": {"tenant": str, "counts": dict, "latency": dict},

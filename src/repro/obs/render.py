@@ -164,6 +164,17 @@ def render_tenant_event(event: dict) -> Optional[str]:
     if event_type == "tenant.restored":
         return (f"[shed @{event['cycle']:>8}] {event['tenant']:<12} "
                 f"restored")
+    if event_type == "tenant.slo_breach":
+        return (f"[slo @{event['cycle']:>8}] {event['tenant']:<12} "
+                f"BREACH p99 {event['p99']:.0f} > target {event['target']}")
+    if event_type == "tenant.slo_recovered":
+        return (f"[slo @{event['cycle']:>8}] {event['tenant']:<12} "
+                f"recovered (p99 {event['p99']:.0f})")
+    if event_type == "tenant.slo_rate":
+        rate = ("unlimited" if event["rate"] < 0
+                else f"{event['rate']:.4f}/cy")
+        return (f"[slo @{event['cycle']:>8}] {event['tenant']:<12} "
+                f"rate {event['direction']} -> {rate}")
     if event_type == "tenant.registered":
         rate = ("unlimited" if event["rate"] < 0
                 else f"{event['rate']:.3f}/cy")

@@ -1,11 +1,22 @@
 """Multi-tenant memory service over simulated VPNM controllers.
 
-DESIGN.md §11: admission control (token buckets) → bounded per-tenant
-queues (backpressure) → round-robin multiplexer → shared
+DESIGN.md §11/§12: admission control (token buckets, optional SLO
+contracts with adaptive rates) → bounded per-tenant queues
+(backpressure) → pluggable arbiter (round-robin, weighted deficit
+round robin, strict-priority hybrid) → shared
 :class:`~repro.core.VPNMController` instances, with graceful
 degradation and per-tenant telemetry on the ``repro.obs`` stack.
 """
 
+from repro.service.arbiter import (
+    ARBITER_KINDS,
+    Arbiter,
+    PriorityArbiter,
+    RoundRobinArbiter,
+    WeightedDeficitArbiter,
+    jain_index,
+    make_arbiter,
+)
 from repro.service.core import (
     ADMITTED,
     BACKPRESSURE,
@@ -23,24 +34,33 @@ from repro.service.frontend import (
 )
 from repro.service.synthetic import (
     SyntheticProfile,
+    replay_mix,
     run_synthetic,
     synthetic_fleet,
+    uniform_trace,
 )
 from repro.service.tenants import (
+    SLOTracker,
     TenantCounts,
     TenantSpec,
     TenantState,
     TokenBucket,
+    parse_rate,
     percentiles,
 )
 
 __all__ = [
     "ADMITTED",
+    "ARBITER_KINDS",
     "BACKPRESSURE",
     "SHED",
     "THROTTLED",
+    "Arbiter",
     "AsyncMemoryService",
     "Completion",
+    "PriorityArbiter",
+    "RoundRobinArbiter",
+    "SLOTracker",
     "ServiceCore",
     "ServiceRejected",
     "ServiceReport",
@@ -51,7 +71,13 @@ __all__ = [
     "TenantSpec",
     "TenantState",
     "TokenBucket",
+    "WeightedDeficitArbiter",
+    "jain_index",
+    "make_arbiter",
+    "parse_rate",
     "percentiles",
+    "replay_mix",
     "run_synthetic",
     "synthetic_fleet",
+    "uniform_trace",
 ]

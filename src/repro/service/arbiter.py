@@ -1,0 +1,221 @@
+"""Pluggable service-order arbitration for the multi-tenant multiplexer.
+
+`ServiceCore` offers at most one queued request per controller per
+interface cycle; an :class:`Arbiter` decides *whose*.  Three policies
+(DESIGN.md §12):
+
+* ``round-robin`` — the PR 6 order, bit-identical to the original
+  ``ServiceCore._pick`` (the differential suite pins this): a single
+  pointer that advances past the chosen tenant at pick time, so a
+  tenant whose offer the controller rejects *yields* its turn and is
+  retried one full rotation later.
+* ``wdrr`` — weighted deficit round robin (Shreedhar & Varghese, via
+  Sullivan et al.'s per-bank bandwidth regulation): each tenant carries
+  a deficit counter topped up by ``weight * quantum`` credits whenever
+  the rotation enters it, and is served while credit remains.  A
+  backlogged tenant therefore receives service proportional to its
+  weight instead of one slot per rotation, which is what keeps a
+  heavy-but-compliant tenant from starving behind many light ones.
+  A rejected offer burns the cycle but no credit, so a stalled tenant
+  *keeps* its turn and retries — pinned by the arbitration-under-stall
+  tests.
+* ``priority`` — strict priority across ``TenantSpec.priority``
+  classes (higher class always first), WDRR within each class.  Lower
+  classes can starve under sustained high-class load by design; pair
+  it with token-bucket contracts on the upper classes.
+
+Deficit-counter invariants (asserted in ``tests/service/test_arbiter.py``):
+
+* ``0 <= deficit[i]`` always; ``deficit[i] < 1 + weight_i * quantum``
+  whenever tenant *i* is not the in-service tenant (credit is granted
+  once per rotation entry and consumed to exhaustion before the
+  rotation moves on).
+* A tenant with an empty queue holds zero deficit (idle credit does
+  not accumulate — the classic DRR anti-burst rule).
+* Over any span in which a set of tenants stays backlogged, tenant
+  *i*'s share of consumed slots is within one quantum of
+  ``weight_i / sum(weights)`` — the fairness bound the Jain-index
+  bench (`benchmarks/test_service_fairness.py`) measures end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+#: Registry of arbiter kinds (the ``repro serve --arbiter`` choices).
+ARBITER_KINDS = ("round-robin", "wdrr", "priority")
+
+
+class Arbiter:
+    """Interface: choose which tenant's queue head to offer this cycle.
+
+    ``pick()`` returns a tenant with a non-empty queue (or None for an
+    idle cycle); ``feedback(tenant, consumed)`` reports what the
+    controller did with the offer — ``consumed=True`` means the queue
+    head left the tenant's queue (accepted, or dropped under the drop
+    policy), ``False`` means the offer stalled and stays queued.
+    """
+
+    name = "base"
+
+    def __init__(self, tenants: Sequence):
+        self.tenants = list(tenants)
+
+    def pick(self):
+        raise NotImplementedError
+
+    def feedback(self, tenant, consumed: bool) -> None:
+        pass
+
+
+class RoundRobinArbiter(Arbiter):
+    """PR 6's strict round robin, bit-identical to ``ServiceCore._pick``.
+
+    The pointer advances past the chosen tenant *at pick time*, so a
+    stalled offer costs the tenant its turn (it is retried next
+    rotation).  ``feedback`` is deliberately a no-op.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, tenants: Sequence):
+        super().__init__(tenants)
+        self._pointer = 0
+
+    def pick(self):
+        tenants = self.tenants
+        if not tenants:
+            return None
+        start = self._pointer
+        for offset in range(len(tenants)):
+            position = (start + offset) % len(tenants)
+            tenant = tenants[position]
+            if tenant.queue:
+                self._pointer = (position + 1) % len(tenants)
+                return tenant
+        return None
+
+
+class WeightedDeficitArbiter(Arbiter):
+    """Weighted deficit round robin with unit-cost requests.
+
+    Entering a backlogged tenant grants it ``weight * quantum`` credits;
+    it is then served one request per cycle while credits remain (and
+    keeps its turn across controller stalls — nothing was served, so no
+    credit is spent).  An emptied queue forfeits leftover credit.
+    """
+
+    name = "wdrr"
+
+    def __init__(self, tenants: Sequence, quantum: int = 1):
+        super().__init__(tenants)
+        if quantum < 1:
+            raise ConfigurationError("quantum must be >= 1")
+        self.quantum = quantum
+        self._deficit: List[int] = [0] * len(self.tenants)
+        # Start just *before* the first tenant so the first rotation
+        # entry grants tenant 0 its quantum.
+        self._pos = max(0, len(self.tenants) - 1)
+
+    def _grant(self, position: int) -> int:
+        return self.tenants[position].spec.weight * self.quantum
+
+    def pick(self):
+        tenants = self.tenants
+        n = len(tenants)
+        if n == 0:
+            return None
+        for _ in range(n + 1):
+            current = tenants[self._pos]
+            if current.queue and self._deficit[self._pos] >= 1:
+                return current
+            if not current.queue:
+                # Idle tenants forfeit leftover credit (anti-burst).
+                self._deficit[self._pos] = 0
+            self._pos = (self._pos + 1) % n
+            entered = tenants[self._pos]
+            if entered.queue:
+                self._deficit[self._pos] += self._grant(self._pos)
+        return None
+
+    def feedback(self, tenant, consumed: bool) -> None:
+        if not consumed:
+            return  # stalled offer: tenant keeps turn and credit
+        position = self._pos
+        if self.tenants[position] is not tenant:  # pragma: no cover
+            raise ConfigurationError("feedback for a tenant not in service")
+        self._deficit[position] -= 1
+        if not tenant.queue:
+            self._deficit[position] = 0
+
+    def deficits(self) -> Dict[str, int]:
+        """Current per-tenant deficit counters (tests + ``info`` op)."""
+        return {t.spec.name: d for t, d in zip(self.tenants, self._deficit)}
+
+
+class PriorityArbiter(Arbiter):
+    """Strict priority across classes, WDRR within each class.
+
+    The highest :attr:`TenantSpec.priority` class with any pending work
+    is always served first; within a class, weighted deficit round
+    robin (each class keeps its own rotation and deficit state, so a
+    class resuming after a starved spell continues where it left off).
+    """
+
+    name = "priority"
+
+    def __init__(self, tenants: Sequence, quantum: int = 1):
+        super().__init__(tenants)
+        classes = sorted({t.spec.priority for t in self.tenants},
+                         reverse=True)
+        self._classes = [
+            WeightedDeficitArbiter(
+                [t for t in self.tenants if t.spec.priority == cls],
+                quantum=quantum)
+            for cls in classes
+        ]
+        self._owner = {t.spec.name: sub
+                       for sub in self._classes for t in sub.tenants}
+        self._in_service: Optional[WeightedDeficitArbiter] = None
+
+    def pick(self):
+        for sub in self._classes:  # highest class first
+            if any(t.queue for t in sub.tenants):
+                self._in_service = sub
+                return sub.pick()
+        self._in_service = None
+        return None
+
+    def feedback(self, tenant, consumed: bool) -> None:
+        self._owner[tenant.spec.name].feedback(tenant, consumed)
+
+
+def make_arbiter(kind: str, tenants: Sequence, quantum: int = 1) -> Arbiter:
+    """Build one controller's arbiter; ``kind`` from :data:`ARBITER_KINDS`."""
+    if kind == "round-robin":
+        return RoundRobinArbiter(tenants)
+    if kind == "wdrr":
+        return WeightedDeficitArbiter(tenants, quantum=quantum)
+    if kind == "priority":
+        return PriorityArbiter(tenants, quantum=quantum)
+    raise ConfigurationError(
+        f"unknown arbiter {kind!r} (choose from {ARBITER_KINDS})")
+
+
+def jain_index(shares: Sequence[float]) -> float:
+    """Jain's fairness index of normalized shares: ``(Σx)² / (n·Σx²)``.
+
+    1.0 is perfectly fair (all normalized shares equal); ``1/n`` is a
+    single tenant taking everything.  Callers normalize throughput by
+    entitlement (``completed_i / weight_i``) before calling.
+    """
+    values = [float(s) for s in shares]
+    if not values:
+        raise ValueError("jain_index needs at least one share")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0  # everyone equally got nothing
+    return (total * total) / (len(values) * squares)

@@ -7,9 +7,10 @@ pipeline::
     submit() ── admission ──> per-tenant bounded queue
                   (shed?          │ (backpressure when full)
                    token bucket)  ▼
-                            round-robin multiplexer ──> controller.step()
-                                                            │ t + D
-                            reply routing <─────────────────┘
+                            pluggable arbiter ─────> controller.step()
+                            (round-robin | wdrr          │ t + D
+                             | priority+wdrr)            │
+                            reply routing <──────────────┘
 
 Everything is cycle-driven and wall-clock free: admission decisions,
 arbitration, shedding and telemetry are pure functions of (config,
@@ -35,6 +36,7 @@ lowest-priority tenants — their submissions are rejected with status
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 
 from repro.core.config import VPNMConfig
@@ -42,7 +44,9 @@ from repro.core.controller import VPNMController
 from repro.core.exceptions import ConfigurationError, VPNMError
 from repro.core.request import MemoryRequest, Operation
 from repro.obs.events import NULL_EVENTS
+from repro.service.arbiter import make_arbiter
 from repro.service.tenants import (
+    RateLike,
     TenantSpec,
     TenantState,
     percentiles,
@@ -79,11 +83,22 @@ class ServiceCore:
         record_interleave: bool = False,
         completion_hook: Optional[Callable] = None,
         backpressure_hook: Optional[Callable] = None,
+        arbiter: str = "round-robin",
+        quantum: int = 1,
+        slo_interval: Optional[int] = None,
     ):
         """``window`` > 0 emits one ``tenant.window`` event per tenant per
         ``window`` cycles (with that window's latency percentiles);
         ``admission=False`` disables both the token buckets and the
         degradation policy — the isolation experiments' control arm.
+
+        ``arbiter`` picks the service order (``"round-robin"``,
+        ``"wdrr"``, ``"priority"`` — see :mod:`repro.service.arbiter`);
+        ``quantum`` scales WDRR credits (a tenant gets
+        ``weight * quantum`` slots per rotation).  ``slo_interval`` is
+        how often (in cycles) the SLO controller re-evaluates rolling
+        p99s against ``TenantSpec.slo_p99`` contracts; default is the
+        window size, or 4·D without windows.
         """
         if not tenants:
             raise ConfigurationError("service needs at least one tenant")
@@ -114,8 +129,14 @@ class ServiceCore:
             [t for t in self.tenants if t.controller_index == ci]
             for ci in range(controllers)
         ]
-        self._arb_pointer = [0] * controllers
+        self.arbiter_kind = arbiter
+        self.quantum = quantum
+        self._arbiters = [
+            make_arbiter(arbiter, self._per_controller[ci], quantum=quantum)
+            for ci in range(controllers)
+        ]
         self.window = window
+        self._windows_flushed = 0
         self.admission = admission
         self.shed_high = shed_high
         self.shed_low = shed_low
@@ -134,6 +155,12 @@ class ServiceCore:
         self._cycle = 0
         self._next_service_id = 0
         self._finished = False
+        if slo_interval is not None and slo_interval < 1:
+            raise ConfigurationError("slo_interval must be >= 1")
+        self.slo_interval = (
+            slo_interval if slo_interval is not None
+            else (window or 4 * self.config.normalized_delay))
+        self._slo_tenants = [t for t in self.tenants if t.slo is not None]
         #: Per-controller offered-per-cycle log (``record_interleave``):
         #: one entry per tick, ``None`` for an idle cycle or
         #: ``(op, address)`` for the offer — the serial-replay script of
@@ -156,19 +183,38 @@ class ServiceCore:
                 "tenant.latency",
                 [delay, delay * 2, delay * 4, delay * 8, delay * 16,
                  delay * 32])
+            if self._slo_tenants:
+                self._m["slo_p99"] = metrics.gauge_vector("tenant.slo_p99",
+                                                          size)
+                self._m["slo_rate"] = metrics.gauge_vector("tenant.slo_rate",
+                                                           size)
+                self._m["slo_breaches"] = metrics.counter_vector(
+                    "tenant.slo_breaches", size)
 
-        self.events.emit("service.started", {
+        # Non-default arbitration/contract fields are emitted only when
+        # engaged, so a plain round-robin fleet's stream stays
+        # byte-identical to the PR 6 format.
+        started = {
             "tenants": len(self.tenants),
             "controllers": controllers,
             "window": window,
-        })
+        }
+        if arbiter != "round-robin":
+            started["arbiter"] = arbiter
+            started["quantum"] = quantum
+        self.events.emit("service.started", started)
         for t in self.tenants:
-            self.events.emit("tenant.registered", {
+            registered = {
                 "tenant": t.spec.name,
                 "priority": t.spec.priority,
                 "rate": t.spec.rate_or_sentinel,
                 "queue_limit": t.spec.queue_limit,
-            })
+            }
+            if t.spec.weight != 1:
+                registered["weight"] = t.spec.weight
+            if t.spec.slo_p99 is not None:
+                registered["slo_p99"] = t.spec.slo_p99
+            self.events.emit("tenant.registered", registered)
 
     # -- submission (admission control) ---------------------------------
 
@@ -182,6 +228,11 @@ class ServiceCore:
     def submit(self, tenant_name: str, address: int, op: str = "read",
                data=None, tag=None) -> SubmitResult:
         """Offer one request on a tenant's stream; admission runs here."""
+        # Validate before any admission side effect: a malformed op must
+        # not debit the token bucket or land in any ledger bucket
+        # (PR 7 bugfix — it used to leak a token and a `submitted`).
+        if op not in ("read", "write"):
+            raise ConfigurationError(f"unknown op {op!r}")
         t = self._by_name[tenant_name]
         t.counts.submitted += 1
         if self._m:
@@ -214,13 +265,11 @@ class ServiceCore:
                                     address=address,
                                     tag=(t.index, self._cycle, service_id,
                                          tag))
-        elif op == "write":
+        else:
             request = MemoryRequest(operation=Operation.WRITE,
                                     address=address, data=data,
                                     tag=(t.index, self._cycle, service_id,
                                          tag))
-        else:
-            raise ConfigurationError(f"unknown op {op!r}")
         t.queue.append(request)
         t.counts.admitted += 1
         t.window_admitted += 1
@@ -235,10 +284,13 @@ class ServiceCore:
         """Advance one interface cycle on every shared controller."""
         cycle = self._cycle
         if self.window and cycle and cycle % self.window == 0:
-            self._flush_window(cycle // self.window - 1)
+            index = cycle // self.window - 1
+            if index >= self._windows_flushed:
+                self._flush_window(index)
 
         for ci, controller in enumerate(self.controllers):
-            tenant = self._pick(ci)
+            arbiter = self._arbiters[ci]
+            tenant = arbiter.pick()
             if tenant is None:
                 if self.interleave is not None:
                     self.interleave[ci].append(None)
@@ -251,6 +303,7 @@ class ServiceCore:
                 step = controller.step(request)
                 if step.accepted:
                     tenant.queue.popleft()
+                    arbiter.feedback(tenant, consumed=True)
                     if self._m:
                         self._m["queue"].set(tenant.index, len(tenant.queue))
                     if request.is_read:
@@ -260,9 +313,14 @@ class ServiceCore:
                         self._complete(tenant, request, cycle)
                     self._maybe_release_backpressure(tenant)
                 elif self._retry:
+                    # Rejected offer stays queued; whether the tenant
+                    # keeps its turn is the arbiter's call (WDRR keeps,
+                    # round robin already rotated past at pick time).
+                    arbiter.feedback(tenant, consumed=False)
                     tenant.counts.controller_stalls += 1
                 else:
                     tenant.queue.popleft()
+                    arbiter.feedback(tenant, consumed=True)
                     tenant.counts.dropped += 1
                     tenant.window_dropped += 1
                     if self._m:
@@ -276,6 +334,8 @@ class ServiceCore:
 
         if self.admission:
             self._update_degradation(cycle)
+        if self._slo_tenants and cycle and cycle % self.slo_interval == 0:
+            self._check_slo(cycle)
         self._cycle += 1
 
     def run(self, cycles: int) -> None:
@@ -299,9 +359,7 @@ class ServiceCore:
                  * (self.config.queue_depth + 1) * grant)
         for _ in range(limit):
             if not any(t.queue or t.in_flight for t in self.tenants) \
-                    and all(c._ring.pending() == 0
-                            and not any(b.has_work() for b in c.banks)
-                            for c in self.controllers):
+                    and all(c.idle() for c in self.controllers):
                 return
             self.tick()
         raise VPNMError("service failed to quiesce (livelock?)")
@@ -311,8 +369,15 @@ class ServiceCore:
         self.quiesce()
         if not self._finished:
             self._finished = True
-            if self.window:
-                self._flush_window(self._cycle // self.window)
+            if self.window and self._cycle:
+                # The window holding the last processed cycle; when the
+                # run ends exactly on a boundary the tick-side flush
+                # already covered it, and flushing `_cycle // window`
+                # would emit a spurious zero-length window (PR 7
+                # bugfix) — the dedupe counter keeps this exact.
+                index = (self._cycle - 1) // self.window
+                if index >= self._windows_flushed:
+                    self._flush_window(index)
             for t in self.tenants:
                 self.events.emit("tenant.summary", {
                     "tenant": t.spec.name,
@@ -337,21 +402,126 @@ class ServiceCore:
             controller_stats=[c.stats for c in self.controllers],
         )
 
+    # -- admin / introspection -------------------------------------------
+
+    def set_rate(self, tenant_name: str, rate: RateLike):
+        """Change a tenant's admitted rate at the current cycle.
+
+        Accepts everything :func:`repro.service.tenants.parse_rate`
+        does — exact ``"1/10"`` strings included — and is what the
+        socket transport's ``set-rate`` control op calls.  Returns the
+        new exact rate (a ``Fraction``, or None for unlimited).
+        """
+        t = self._by_name[tenant_name]
+        t.bucket.set_rate(rate, self._cycle)
+        self.events.emit("tenant.slo_rate", {
+            "tenant": t.spec.name,
+            "cycle": self._cycle,
+            "rate": -1.0 if t.bucket.rate is None else float(t.bucket.rate),
+            "direction": "set",
+        })
+        if "slo_rate" in self._m and t.bucket.rate is not None:
+            self._m["slo_rate"].set(t.index, float(t.bucket.rate))
+        return t.bucket.rate
+
+    def describe(self) -> dict:
+        """Config + live SLO state digest (the socket ``info`` op)."""
+        tenants = {}
+        for t in self.tenants:
+            entry = {
+                "priority": t.spec.priority,
+                "weight": t.spec.weight,
+                "rate": None if t.bucket.rate is None else str(t.bucket.rate),
+                "contract_rate": (None if t.spec.rate is None
+                                  else str(t.spec.rate)),
+                "queue_limit": t.spec.queue_limit,
+                "queue_depth": len(t.queue),
+                "in_flight": t.in_flight,
+                "shed": t.shed_active,
+                "backpressured": t.backpressure_engaged,
+            }
+            if t.slo is not None:
+                floor, ceiling = t.spec.slo_rate_bounds
+                entry["slo"] = {
+                    "p99_target": t.spec.slo_p99,
+                    "p99_rolling": t.slo.p99(),
+                    "breached": t.slo.breached,
+                    "breaches": t.slo.breaches,
+                    "rate_floor": None if floor is None else str(floor),
+                    "rate_ceiling": (None if ceiling is None
+                                     else str(ceiling)),
+                }
+            tenants[t.spec.name] = entry
+        return {
+            "arbiter": self.arbiter_kind,
+            "quantum": self.quantum,
+            "controllers": len(self.controllers),
+            "cycle": self._cycle,
+            "window": self.window,
+            "slo_interval": self.slo_interval,
+            "admission": self.admission,
+            "tenants": tenants,
+        }
+
     # -- internals -------------------------------------------------------
 
-    def _pick(self, ci: int) -> Optional[TenantState]:
-        """Round-robin over this controller's tenants with pending work."""
-        tenants = self._per_controller[ci]
-        if not tenants:
-            return None
-        start = self._arb_pointer[ci]
-        for offset in range(len(tenants)):
-            position = (start + offset) % len(tenants)
-            tenant = tenants[position]
-            if tenant.queue:
-                self._arb_pointer[ci] = (position + 1) % len(tenants)
-                return tenant
-        return None
+    def _check_slo(self, cycle: int) -> None:
+        """Compare rolling p99s to contracts; nudge adaptive rates.
+
+        Breach/recovery are edge events; every rate move lands as a
+        ``tenant.slo_rate`` event.  Pure Fraction arithmetic on the
+        (config, seeds, schedule) inputs, so runs stay byte-identical.
+        """
+        for t in self._slo_tenants:
+            p99 = t.slo.p99()
+            if p99 is None:
+                continue  # nothing completed yet
+            target = t.spec.slo_p99
+            if "slo_p99" in self._m:
+                self._m["slo_p99"].set(t.index, p99)
+            if p99 > target:
+                if not t.slo.breached:
+                    t.slo.breached = True
+                    t.slo.breaches += 1
+                    if "slo_breaches" in self._m:
+                        self._m["slo_breaches"].inc(t.index)
+                    self.events.emit("tenant.slo_breach", {
+                        "tenant": t.spec.name,
+                        "cycle": cycle,
+                        "p99": float(p99),
+                        "target": target,
+                    })
+                self._nudge_rate(t, cycle, down=True)
+            else:
+                if t.slo.breached:
+                    t.slo.breached = False
+                    self.events.emit("tenant.slo_recovered", {
+                        "tenant": t.spec.name,
+                        "cycle": cycle,
+                        "p99": float(p99),
+                    })
+                self._nudge_rate(t, cycle, down=False)
+
+    def _nudge_rate(self, t: TenantState, cycle: int, down: bool) -> None:
+        if not t.spec.adaptive:
+            return
+        floor, ceiling = t.spec.slo_rate_bounds
+        current = t.bucket.rate
+        step = current * (Fraction(3, 4) if down else Fraction(9, 8))
+        # Snap before clamping so the bounds themselves stay exact.
+        step = step.limit_denominator(1_000_000)
+        new = min(max(step, floor), ceiling)
+        if new == current:
+            return
+        t.bucket.set_rate(new, cycle)
+        self.events.emit("tenant.slo_rate", {
+            "tenant": t.spec.name,
+            "cycle": cycle,
+            "rate": float(new),
+            "direction": "down" if down else "up",
+        })
+        if "slo_rate" in self._m:
+            self._m["slo_rate"].set(t.index, float(new))
 
     def _complete(self, tenant: TenantState, request_or_reply,
                   cycle: int) -> None:
@@ -416,6 +586,7 @@ class ServiceCore:
                 })
 
     def _flush_window(self, index: int) -> None:
+        self._windows_flushed = index + 1
         start = index * self.window
         for t in self.tenants:
             if not (t.window_admitted or t.window_completed

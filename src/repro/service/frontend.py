@@ -23,7 +23,18 @@ The optional socket transport speaks newline-delimited JSON::
     <- {"id": 1, "status": "ok", "address": 4096, "latency": 96}
 
 Rejected requests come back with ``status`` set to the admission
-verdict (``"throttled"`` / ``"shed"``).  The transport exists for
+verdict (``"throttled"`` / ``"shed"``).  Two control ops expose the
+arbitration/SLO layer (DESIGN.md §12) without a memory access::
+
+    -> {"id": 2, "op": "info"}
+    <- {"id": 2, "status": "ok", "info": {"arbiter": "wdrr", ...}}
+    -> {"id": 3, "op": "set-rate", "tenant": "alice", "rate": "1/10"}
+    <- {"id": 3, "status": "ok", "tenant": "alice", "rate": "1/10"}
+
+``info`` carries exact rational rates as ``"p/q"`` strings plus each
+tenant's rolling SLO state; ``set-rate`` accepts the same exact
+strings (or floats, or null for unlimited) and moves the tenant's
+token-bucket rate at the current cycle.  The transport exists for
 driving the service from outside the process (demos, load generators);
 the in-process API is the fast path.
 """
@@ -220,10 +231,18 @@ class AsyncMemoryService:
         try:
             message = json.loads(line)
             request_id = message.get("id")
+            op = message.get("op", "read")
+            if op in ("info", "set-rate"):
+                response = self._handle_control(message, request_id, op)
+                async with write_lock:
+                    writer.write((json.dumps(response, sort_keys=True)
+                                  + "\n").encode())
+                    await writer.drain()
+                return
             completion = await self.request(
                 message["tenant"],
                 int(message["address"]),
-                message.get("op", "read"),
+                op,
                 message.get("data"),
             )
             data = completion.data
@@ -242,3 +261,18 @@ class AsyncMemoryService:
             writer.write((json.dumps(response, sort_keys=True)
                           + "\n").encode())
             await writer.drain()
+
+    def _handle_control(self, message: dict, request_id,
+                        op: str) -> dict:
+        """``info`` / ``set-rate`` control ops (no memory access)."""
+        try:
+            if op == "info":
+                return {"id": request_id, "status": "ok",
+                        "info": self.core.describe()}
+            tenant = message["tenant"]
+            new_rate = self.core.set_rate(tenant, message.get("rate"))
+            return {"id": request_id, "status": "ok", "tenant": tenant,
+                    "rate": None if new_rate is None else str(new_rate)}
+        except (KeyError, ValueError) as error:
+            return {"id": request_id, "status": "error",
+                    "detail": str(error)}

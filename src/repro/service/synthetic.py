@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from fractions import Fraction
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ConfigurationError
 from repro.service.core import ServiceCore, ServiceReport
-from repro.service.tenants import TenantSpec
+from repro.service.tenants import RateLike, TenantSpec
 from repro.workloads.adversarial import SingleBankAdversary
+from repro.workloads.tenant_mix import TenantTrace, mix_traces
 
 
 @dataclass(frozen=True)
@@ -48,12 +50,15 @@ class SyntheticProfile:
 def synthetic_fleet(
     tenants: int = 8,
     adversaries: int = 1,
-    benign_rate: Optional[float] = 0.15,
+    benign_rate: RateLike = 0.15,
     benign_offered: float = 0.10,
     benign_burst: int = 16,
-    adversary_rate: Optional[float] = 0.05,
+    benign_weight: int = 1,
+    benign_slo_p99: Optional[int] = None,
+    adversary_rate: RateLike = 0.05,
     adversary_offered: float = 1.0,
     adversary_burst: int = 8,
+    adversary_weight: int = 1,
     queue_limit: int = 64,
     target_bank: int = 0,
     pool_size: int = 256,
@@ -63,7 +68,11 @@ def synthetic_fleet(
     Adversaries come first, at priority 0 (shed first), hammering
     ``target_bank`` at ``adversary_offered``; the remaining tenants are
     benign uniform traffic at priority 1.  Rates are the *contracts*
-    admission control enforces; ``None`` disables a tenant's bucket.
+    admission control enforces (exact rationals like ``"1/10"`` are
+    accepted); ``None`` disables a tenant's bucket.  Weights only
+    matter under the WDRR/priority arbiters; ``benign_slo_p99`` puts an
+    SLO contract (and the adaptive rate controller, when a rate is
+    set) on every benign tenant.
     """
     if not 0 <= adversaries <= tenants:
         raise ConfigurationError("need 0 <= adversaries <= tenants")
@@ -73,6 +82,7 @@ def synthetic_fleet(
         name = f"attacker{i}"
         specs.append(TenantSpec(name=name, priority=0, rate=adversary_rate,
                                 burst=adversary_burst,
+                                weight=adversary_weight,
                                 queue_limit=queue_limit))
         profiles.append(SyntheticProfile(name=name,
                                          offered=adversary_offered,
@@ -82,7 +92,8 @@ def synthetic_fleet(
     for i in range(adversaries, tenants):
         name = f"tenant{i}"
         specs.append(TenantSpec(name=name, priority=1, rate=benign_rate,
-                                burst=benign_burst,
+                                burst=benign_burst, weight=benign_weight,
+                                slo_p99=benign_slo_p99,
                                 queue_limit=queue_limit))
         profiles.append(SyntheticProfile(name=name, offered=benign_offered))
     return specs, profiles
@@ -142,5 +153,55 @@ def run_synthetic(
         for profile, rng, next_address in arrivals:
             if rng.random() < profile.offered:
                 core.submit(profile.name, next_address())
+        core.tick()
+    return core.finish() if finish else core.report()
+
+
+def uniform_trace(name: str, count: int, seed: int, address_bits: int,
+                  weight: int = 1) -> TenantTrace:
+    """A seeded uniform read trace for one tenant (fairness sweeps)."""
+    from repro.core.controller import read_request
+
+    rng = random.Random(seed)
+    requests = [read_request(rng.getrandbits(address_bits))
+                for _ in range(count)]
+    return TenantTrace(name, requests, weight=weight)
+
+
+def replay_mix(
+    core: ServiceCore,
+    traces: Iterable[TenantTrace],
+    cycles: int,
+    offered: float = 1.0,
+    finish: bool = True,
+) -> ServiceReport:
+    """Replay a weighted tenant mix through the service.
+
+    The per-tenant traces fold into one deterministic arrival stream by
+    smooth weighted round robin (:func:`repro.workloads.tenant_mix.mix_traces`),
+    which is then offered to the service at ``offered`` submissions per
+    cycle with Fraction-exact pacing: each mixed request is submitted
+    on its owner tenant's stream, and the service ticks once per cycle.
+    Trace weights shape the *arrival* mix; what each tenant actually
+    gets is the arbiter's call — exactly the gap the fairness sweep
+    measures.
+    """
+    stream = mix_traces(list(traces), tag_owner=True)
+    pace = Fraction(offered).limit_denominator(1_000_000)
+    credit = Fraction(0)
+    exhausted = False
+    for _ in range(cycles):
+        if not exhausted:
+            credit += pace
+            while credit >= 1:
+                request = next(stream, None)
+                if request is None:
+                    exhausted = True
+                    credit = Fraction(0)
+                    break
+                owner = request.tag[0]
+                op = "read" if request.is_read else "write"
+                core.submit(owner, request.address, op=op, data=request.data)
+                credit -= 1
         core.tick()
     return core.finish() if finish else core.report()

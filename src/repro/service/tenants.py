@@ -18,7 +18,45 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Union
+
+#: What contract fields accept as a rate: exact rationals (``Fraction``
+#: or strings like ``"1/10"``), floats (snapped to the nearest rational
+#: with denominator <= 1e6 — the documented PR 6 behaviour), or None.
+RateLike = Union[None, float, int, str, Fraction]
+
+
+def parse_rate(value: RateLike) -> Optional[Fraction]:
+    """Coerce a contract rate to the exact :class:`Fraction` it means.
+
+    Strings parse exactly (``"1/10"`` and ``"0.1"`` are both exactly
+    one tenth); ``Fraction``/``int`` pass through exactly.  Floats are
+    binary approximations by construction, so they snap to the nearest
+    rational with denominator <= 1e6 (``Fraction(0.1)`` is *not* 1/10;
+    the snap recovers it).  This is the single entry point for rates —
+    specs, the CLI and the socket transport all come through here.
+    """
+    if value is None:
+        return None
+    if isinstance(value, Fraction):
+        rate = value
+    elif isinstance(value, bool):
+        raise ValueError(f"rate must be a number, got {value!r}")
+    elif isinstance(value, int):
+        rate = Fraction(value)
+    elif isinstance(value, float):
+        rate = Fraction(value).limit_denominator(1_000_000)
+    elif isinstance(value, str):
+        try:
+            rate = Fraction(value.strip())
+        except (ValueError, ZeroDivisionError) as error:
+            raise ValueError(f"bad rate {value!r}: {error}")
+    else:
+        raise ValueError(f"rate must be None, a number, a Fraction or "
+                         f"a 'p/q' string, got {type(value).__name__}")
+    if rate <= 0:
+        raise ValueError("rate must be positive (or None for unlimited)")
+    return rate
 
 
 @dataclass(frozen=True)
@@ -26,32 +64,89 @@ class TenantSpec:
     """One tenant's service contract.
 
     ``rate`` is admitted requests per interface cycle (``None`` =
-    unlimited, admission control off for this tenant); ``burst`` is the
-    token-bucket depth; ``queue_limit`` bounds the tenant's pending
-    queue (a full queue rejects with backpressure); ``priority`` orders
-    graceful degradation — *lower* priorities are shed first.
+    unlimited, admission control off for this tenant) and accepts
+    exact rationals — ``Fraction(1, 10)`` or ``"1/10"`` — as well as
+    floats (see :func:`parse_rate`); ``burst`` is the token-bucket
+    depth; ``queue_limit`` bounds the tenant's pending queue (a full
+    queue rejects with backpressure); ``priority`` orders graceful
+    degradation — *lower* priorities are shed first — and, under the
+    ``priority`` arbiter, strict service order; ``weight`` is the
+    tenant's WDRR service share (credits per rotation are
+    ``weight * quantum``).
+
+    ``slo_p99`` is an optional latency objective in interface cycles:
+    the service tracks a rolling p99 and, when ``rate`` is set, nudges
+    the admitted rate between ``slo_rate_floor`` and
+    ``slo_rate_ceiling`` (defaults: rate/4 and rate) to chase it —
+    DReAM-style pressure-adaptive contracts.
     """
 
     name: str
     priority: int = 0
-    rate: Optional[float] = None
+    rate: RateLike = None
     burst: int = 8
     queue_limit: int = 64
+    weight: int = 1
+    slo_p99: Optional[int] = None
+    slo_rate_floor: RateLike = None
+    slo_rate_ceiling: RateLike = None
+    slo_window: int = 256
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("tenant needs a name")
-        if self.rate is not None and self.rate <= 0:
-            raise ValueError("rate must be positive (or None for unlimited)")
+        # Normalize every rate-like field to its exact Fraction once.
+        object.__setattr__(self, "rate", parse_rate(self.rate))
+        object.__setattr__(self, "slo_rate_floor",
+                           parse_rate(self.slo_rate_floor))
+        object.__setattr__(self, "slo_rate_ceiling",
+                           parse_rate(self.slo_rate_ceiling))
         if self.burst < 1:
             raise ValueError("burst must be >= 1")
         if self.queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if self.weight < 1:
+            raise ValueError("weight must be >= 1")
+        if self.slo_p99 is not None and self.slo_p99 < 1:
+            raise ValueError("slo_p99 must be >= 1 cycle")
+        if self.slo_window < 1:
+            raise ValueError("slo_window must be >= 1")
+        if (self.slo_rate_floor is not None
+                or self.slo_rate_ceiling is not None):
+            if self.slo_p99 is None:
+                raise ValueError("slo rate bounds need slo_p99 set")
+            if self.rate is None:
+                raise ValueError("slo rate bounds need a contracted rate")
+        floor, ceiling = self.slo_rate_bounds
+        if floor is not None and ceiling is not None and floor > ceiling:
+            raise ValueError("slo_rate_floor must be <= slo_rate_ceiling")
 
     @property
     def rate_or_sentinel(self) -> float:
         """The rate as a float, -1.0 meaning unlimited (event payloads)."""
         return -1.0 if self.rate is None else float(self.rate)
+
+    @property
+    def adaptive(self) -> bool:
+        """True when the SLO controller may move this tenant's rate."""
+        return self.slo_p99 is not None and self.rate is not None
+
+    @property
+    def slo_rate_bounds(self) -> tuple:
+        """Resolved (floor, ceiling) Fractions for the rate controller.
+
+        Defaults: floor = rate/4, ceiling = the contracted rate itself
+        (the SLO controller gives latency back by admitting *less*;
+        raise the ceiling explicitly to let a compliant tenant borrow
+        headroom above its contract).
+        """
+        if not self.adaptive:
+            return (None, None)
+        floor = (self.rate / 4 if self.slo_rate_floor is None
+                 else self.slo_rate_floor)
+        ceiling = (self.rate if self.slo_rate_ceiling is None
+                   else self.slo_rate_ceiling)
+        return (floor, ceiling)
 
 
 class TokenBucket:
@@ -65,32 +160,85 @@ class TokenBucket:
 
     __slots__ = ("rate", "capacity", "_tokens", "_last_cycle")
 
-    def __init__(self, rate: Optional[float], burst: int):
-        self.rate = (None if rate is None
-                     else Fraction(rate).limit_denominator(1_000_000))
+    def __init__(self, rate: RateLike, burst: int):
+        self.rate = parse_rate(rate)
         self.capacity = Fraction(burst)
         self._tokens = self.capacity
         self._last_cycle = 0
+
+    def _refill(self, cycle: int) -> None:
+        if self.rate is not None and cycle > self._last_cycle:
+            self._tokens = min(
+                self.capacity,
+                self._tokens + self.rate * (cycle - self._last_cycle),
+            )
+        self._last_cycle = max(self._last_cycle, cycle)
 
     def try_grant(self, cycle: int) -> bool:
         """Spend one token at ``cycle``; False means over-rate (throttle)."""
         if self.rate is None:
             return True
-        if cycle > self._last_cycle:
-            self._tokens = min(
-                self.capacity,
-                self._tokens + self.rate * (cycle - self._last_cycle),
-            )
-            self._last_cycle = cycle
+        self._refill(cycle)
         if self._tokens >= 1:
             self._tokens -= 1
             return True
         return False
 
+    def set_rate(self, rate: RateLike, cycle: int) -> None:
+        """Change the refill rate at ``cycle`` (the SLO controller's knob).
+
+        Tokens accrued under the old rate are credited first, so the
+        change is exact from ``cycle`` onward and never retroactive.
+        """
+        self._refill(cycle)
+        self.rate = parse_rate(rate)
+
     @property
     def tokens(self) -> float:
         """Current token level (diagnostic only)."""
         return float(self._tokens)
+
+    @property
+    def tokens_exact(self) -> Fraction:
+        """Current token level as the exact Fraction (tests)."""
+        return self._tokens
+
+
+class SLOTracker:
+    """Rolling-window latency tracker behind a tenant's SLO contract.
+
+    Keeps the last ``window`` completion latencies in a ring and
+    answers the rolling p99 the adaptive rate controller compares
+    against ``TenantSpec.slo_p99``.  Pure integers and a fixed-size
+    deque: deterministic, O(1) per completion, O(n log n) only at the
+    (stride-gated) check points.
+    """
+
+    __slots__ = ("window", "_ring", "breached", "observed", "breaches")
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("slo window must be >= 1")
+        self.window = window
+        self._ring: Deque[int] = deque(maxlen=window)
+        #: Current breach state (edge-signalled by the service).
+        self.breached = False
+        self.observed = 0
+        self.breaches = 0
+
+    def observe(self, latency: int) -> None:
+        self._ring.append(latency)
+        self.observed += 1
+
+    def p99(self) -> Optional[float]:
+        """Rolling-window p99, or None before any completion."""
+        if not self._ring:
+            return None
+        return percentiles(list(self._ring))["p99"]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Full rolling percentiles (the socket ``info`` op payload)."""
+        return percentiles(list(self._ring))
 
 
 @dataclass
@@ -137,7 +285,7 @@ class TenantState:
                  "counts", "in_flight", "latencies", "latency_cap",
                  "latencies_dropped", "backpressure_engaged", "shed_active",
                  "window_admitted", "window_completed", "window_rejected",
-                 "window_dropped", "window_latencies")
+                 "window_dropped", "window_latencies", "slo")
 
     def __init__(self, spec: TenantSpec, index: int, controller_index: int,
                  latency_cap: int = 1_000_000):
@@ -145,6 +293,9 @@ class TenantState:
         self.index = index
         self.controller_index = controller_index
         self.bucket = TokenBucket(spec.rate, spec.burst)
+        #: Rolling SLO latency tracker (None without an slo_p99 contract).
+        self.slo: Optional[SLOTracker] = (
+            SLOTracker(spec.slo_window) if spec.slo_p99 is not None else None)
         #: Pending (admitted, not yet controller-accepted) requests.
         self.queue: Deque = deque()
         self.counts = TenantCounts()
@@ -166,6 +317,8 @@ class TenantState:
         self.counts.completed += 1
         self.window_completed += 1
         self.window_latencies.append(latency)
+        if self.slo is not None:
+            self.slo.observe(latency)
         if len(self.latencies) < self.latency_cap:
             self.latencies.append(latency)
         else:

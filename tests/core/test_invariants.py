@@ -101,7 +101,7 @@ def test_virtual_pipeline_contract(params, steps, seed):
         q.request_id for q in accepted_reads
     }
     assert all(b.delay_storage.rows_used == 0 for b in ctrl.banks)
-    assert all(not b.has_work() for b in ctrl.banks)
+    assert ctrl.idle()
 
 
 @given(steps=workload_steps, seed=st.integers(0, 2**16))

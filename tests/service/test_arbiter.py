@@ -1,0 +1,193 @@
+"""Unit tests for the arbitration layer (DESIGN.md §12).
+
+The arbiters are exercised against stub tenants with scripted queues —
+no controller in the loop — so the deficit-counter invariants and turn
+semantics are pinned in isolation.  The differential and fairness
+suites then pin the same semantics end to end through ``ServiceCore``.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.service import (
+    ARBITER_KINDS,
+    PriorityArbiter,
+    RoundRobinArbiter,
+    TenantSpec,
+    WeightedDeficitArbiter,
+    jain_index,
+    make_arbiter,
+)
+
+
+class StubTenant:
+    """Just enough surface for an arbiter: a queue and a spec."""
+
+    def __init__(self, name, weight=1, priority=0, backlog=0):
+        self.spec = TenantSpec(name, weight=weight, priority=priority)
+        self.queue = deque(range(backlog))
+
+
+def serve(arbiter, cycles, stall=None):
+    """Drive an arbiter like tick() does, with an always-accepting
+    controller (except for tenants named in ``stall``, whose offers
+    are rejected every time).  Returns served counts by tenant name."""
+    stall = stall or set()
+    served = {t.spec.name: 0 for t in arbiter.tenants}
+    for _ in range(cycles):
+        tenant = arbiter.pick()
+        if tenant is None:
+            continue
+        assert tenant.queue, "arbiter picked a tenant with no work"
+        if tenant.spec.name in stall:
+            arbiter.feedback(tenant, consumed=False)
+        else:
+            tenant.queue.popleft()
+            arbiter.feedback(tenant, consumed=True)
+            served[tenant.spec.name] += 1
+    return served
+
+
+class TestRoundRobin:
+    def test_rotates_one_slot_per_tenant(self):
+        tenants = [StubTenant(n, backlog=100) for n in ("a", "b", "c")]
+        served = serve(RoundRobinArbiter(tenants), 99)
+        assert served == {"a": 33, "b": 33, "c": 33}
+
+    def test_skips_idle_tenants(self):
+        tenants = [StubTenant("a", backlog=5), StubTenant("b"),
+                   StubTenant("c", backlog=5)]
+        served = serve(RoundRobinArbiter(tenants), 10)
+        assert served == {"a": 5, "b": 0, "c": 5}
+
+    def test_stalled_tenant_yields_its_turn(self):
+        """The pointer moved past the pick already, so a rejected offer
+        costs the tenant its slot — the next pick is its neighbour."""
+        tenants = [StubTenant("a", backlog=5), StubTenant("b", backlog=5)]
+        arbiter = RoundRobinArbiter(tenants)
+        first = arbiter.pick()
+        assert first.spec.name == "a"
+        arbiter.feedback(first, consumed=False)  # controller rejected
+        assert arbiter.pick().spec.name == "b"
+
+    def test_empty_fleet_is_idle(self):
+        assert RoundRobinArbiter([]).pick() is None
+        assert serve(RoundRobinArbiter([StubTenant("a")]), 3) == {"a": 0}
+
+
+class TestWeightedDeficit:
+    def test_equal_weights_match_round_robin_shares(self):
+        tenants = [StubTenant(n, backlog=100) for n in ("a", "b", "c")]
+        served = serve(WeightedDeficitArbiter(tenants), 99)
+        assert served == {"a": 33, "b": 33, "c": 33}
+
+    def test_shares_proportional_to_weights(self):
+        tenants = [StubTenant("heavy", weight=3, backlog=400),
+                   StubTenant("light", weight=1, backlog=400)]
+        served = serve(WeightedDeficitArbiter(tenants), 400)
+        assert served["heavy"] == 300
+        assert served["light"] == 100
+
+    def test_quantum_scales_burst_not_share(self):
+        """A larger quantum serves longer runs per rotation but the
+        long-run share is still weight-proportional."""
+        tenants = [StubTenant("a", weight=2, backlog=300),
+                   StubTenant("b", weight=1, backlog=300)]
+        served = serve(WeightedDeficitArbiter(tenants, quantum=8), 300)
+        assert abs(served["a"] - 200) <= 16  # within one quantum*weight
+        assert served["a"] + served["b"] == 300
+
+    def test_stalled_tenant_keeps_turn_and_credit(self):
+        tenants = [StubTenant("a", backlog=5), StubTenant("b", backlog=5)]
+        arbiter = WeightedDeficitArbiter(tenants, quantum=2)
+        first = arbiter.pick()
+        assert first.spec.name == "a"
+        before = arbiter.deficits()["a"]
+        arbiter.feedback(first, consumed=False)  # rejected offer
+        assert arbiter.pick().spec.name == "a"   # retries, keeps turn
+        assert arbiter.deficits()["a"] == before  # no credit spent
+
+    def test_deficit_invariants_hold_throughout(self):
+        """0 <= deficit; deficit bounded by one grant above consumption;
+        idle tenants hold zero credit."""
+        tenants = [StubTenant("a", weight=2, backlog=37),
+                   StubTenant("b", weight=1, backlog=11),
+                   StubTenant("c", weight=4, backlog=0)]
+        arbiter = WeightedDeficitArbiter(tenants, quantum=3)
+        for _ in range(120):
+            tenant = arbiter.pick()
+            if tenant is not None:
+                tenant.queue.popleft()
+                arbiter.feedback(tenant, consumed=True)
+            for stub, deficit in zip(tenants, arbiter.deficits().values()):
+                assert deficit >= 0
+                assert deficit <= stub.spec.weight * arbiter.quantum
+                if not stub.queue:
+                    assert deficit == 0
+
+    def test_emptied_queue_forfeits_leftover_credit(self):
+        tenants = [StubTenant("a", weight=4, backlog=1),
+                   StubTenant("b", weight=1, backlog=10)]
+        arbiter = WeightedDeficitArbiter(tenants, quantum=2)
+        tenant = arbiter.pick()
+        assert tenant.spec.name == "a"
+        tenant.queue.popleft()
+        arbiter.feedback(tenant, consumed=True)
+        # 8 credits granted, 1 consumed, queue empty: the rest is gone.
+        assert arbiter.deficits()["a"] == 0
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ConfigurationError):
+            WeightedDeficitArbiter([StubTenant("a")], quantum=0)
+
+
+class TestPriority:
+    def test_higher_class_always_first(self):
+        tenants = [StubTenant("low", priority=0, backlog=50),
+                   StubTenant("high", priority=1, backlog=10)]
+        arbiter = PriorityArbiter(tenants)
+        served = serve(arbiter, 10)
+        assert served == {"high": 10, "low": 0}
+        # High drained: low now gets every slot.
+        assert serve(arbiter, 5)["low"] == 5
+
+    def test_wdrr_within_a_class(self):
+        tenants = [StubTenant("a", priority=1, weight=3, backlog=200),
+                   StubTenant("b", priority=1, weight=1, backlog=200),
+                   StubTenant("z", priority=0, backlog=200)]
+        served = serve(PriorityArbiter(tenants), 200)
+        assert served["z"] == 0              # starved by design
+        assert served["a"] == 150
+        assert served["b"] == 50
+
+    def test_feedback_routes_to_owning_class(self):
+        tenants = [StubTenant("low", priority=0, backlog=5),
+                   StubTenant("high", priority=1, backlog=5)]
+        arbiter = PriorityArbiter(tenants)
+        tenant = arbiter.pick()
+        assert tenant.spec.name == "high"
+        arbiter.feedback(tenant, consumed=False)
+        assert arbiter.pick().spec.name == "high"  # WDRR keeps the turn
+
+
+class TestFactoryAndJain:
+    def test_registry_covers_every_kind(self):
+        tenants = [StubTenant("a")]
+        for kind in ARBITER_KINDS:
+            assert make_arbiter(kind, tenants).pick() is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_arbiter("lottery", [StubTenant("a")])
+
+    def test_jain_bounds(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_index([0, 0]) == 1.0  # equally nothing
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    def test_jain_orders_skew(self):
+        assert jain_index([3, 1, 1, 1]) > jain_index([6, 1, 1, 1])

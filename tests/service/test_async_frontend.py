@@ -191,6 +191,82 @@ class TestSocketTransport:
         assert error["id"] is None
 
 
+class TestControlOps:
+    @staticmethod
+    async def ask(reader, writer, message):
+        writer.write((json.dumps(message) + "\n").encode())
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    def test_info_reports_arbiter_and_exact_rates(self):
+        async def main():
+            core = make_core(
+                [TenantSpec("alice", rate="1/10", weight=3, slo_p99=64)],
+                arbiter="wdrr", quantum=2)
+            async with AsyncMemoryService(core) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                info = await self.ask(reader, writer, {"id": 5, "op": "info"})
+                writer.close()
+                await writer.wait_closed()
+            return info
+
+        info = asyncio.run(main())
+        assert info["id"] == 5 and info["status"] == "ok"
+        assert info["info"]["arbiter"] == "wdrr"
+        assert info["info"]["quantum"] == 2
+        alice = info["info"]["tenants"]["alice"]
+        assert alice["rate"] == "1/10"      # exact rational, not a float
+        assert alice["weight"] == 3
+        assert alice["slo"]["p99_target"] == 64
+
+    def test_set_rate_takes_exact_strings_and_bites(self):
+        async def main():
+            core = make_core([TenantSpec("alice", rate="1/2", burst=1)])
+            async with AsyncMemoryService(core) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                moved = await self.ask(reader, writer, {
+                    "id": 1, "op": "set-rate", "tenant": "alice",
+                    "rate": "1/1000"})
+                first = await self.ask(reader, writer, {
+                    "id": 2, "tenant": "alice", "address": 1})
+                throttled = await self.ask(reader, writer, {
+                    "id": 3, "tenant": "alice", "address": 2})
+                writer.close()
+                await writer.wait_closed()
+            return moved, first, throttled
+
+        moved, first, throttled = asyncio.run(main())
+        assert moved == {"id": 1, "status": "ok", "tenant": "alice",
+                         "rate": "1/1000"}
+        assert first["status"] == "ok"      # the burst token
+        assert throttled["status"] == "throttled"
+
+    def test_control_errors_keep_the_connection_alive(self):
+        async def main():
+            core = make_core([TenantSpec("alice")])
+            async with AsyncMemoryService(core) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                unknown = await self.ask(reader, writer, {
+                    "id": 1, "op": "set-rate", "tenant": "nobody",
+                    "rate": "1/4"})
+                bad_rate = await self.ask(reader, writer, {
+                    "id": 2, "op": "set-rate", "tenant": "alice",
+                    "rate": "fast"})
+                still_ok = await self.ask(reader, writer, {
+                    "id": 3, "tenant": "alice", "address": 9})
+                writer.close()
+                await writer.wait_closed()
+            return unknown, bad_rate, still_ok
+
+        unknown, bad_rate, still_ok = asyncio.run(main())
+        assert unknown["status"] == "error" and unknown["id"] == 1
+        assert bad_rate["status"] == "error" and "fast" in bad_rate["detail"]
+        assert still_ok["status"] == "ok"
+
+
 class TestConstruction:
     def test_rejects_bad_slice(self):
         core = make_core([TenantSpec("alice")])

@@ -102,6 +102,25 @@ class TestAdmission:
         with pytest.raises(ConfigurationError):
             core.submit("a", 1, op="prefetch")
 
+    def test_unknown_op_has_no_admission_side_effects(self):
+        """Regression: a malformed op used to debit the token bucket and
+        bump `submitted` before raising, leaking a token and breaking
+        the conservation ledger."""
+        core = make_core([TenantSpec("a", rate=0.5, burst=2)])
+        tenant = core.tenant("a")
+        level_before = tenant.bucket.tokens_exact
+        with pytest.raises(ConfigurationError):
+            core.submit("a", 1, op="prefetch")
+        counts = tenant.counts
+        assert counts.submitted == 0
+        assert counts.admitted == counts.throttled == 0
+        assert counts.backpressured == counts.shed == 0
+        assert tenant.bucket.tokens_exact == level_before
+        # The ledger still closes: the bucket's full burst remains.
+        assert core.submit("a", 1).status == ADMITTED
+        assert core.submit("a", 2).status == ADMITTED
+        assert core.submit("a", 3).status == THROTTLED
+
 
 class TestCompletion:
     def test_uncontended_read_latency_is_exactly_d(self):
@@ -223,6 +242,66 @@ class TestDegradation:
             assert core.submit("low", address).status != SHED
             core.tick()
         core.finish()
+
+
+class TestWindowBoundary:
+    """Regression: a run ending exactly on a window boundary used to
+    flush the same accumulators twice — once from tick() (labelled
+    window m-1) and once from finish() (labelled m, a spurious
+    zero-length window)."""
+
+    class Capture:
+        def __init__(self):
+            self.events = []
+
+        def emit(self, event_type, payload=None, timing=None):
+            self.events.append({"type": event_type, **(payload or {})})
+
+        def close(self):
+            pass
+
+    def run_for(self, cycles, window=16):
+        sink = self.Capture()
+        core = make_core([TenantSpec("a")], window=window, events=sink)
+        for cycle in range(cycles):
+            core.submit("a", cycle)
+            core.tick()
+        core.finish()
+        return [e for e in sink.events if e["type"] == "tenant.window"]
+
+    @pytest.mark.parametrize("cycles", [16, 32, 48])
+    def test_run_ending_on_boundary_emits_no_spurious_window(self, cycles):
+        windows = self.run_for(cycles, window=16)
+        indices = [w["window"] for w in windows]
+        assert indices == sorted(set(indices)), "window emitted twice"
+        # Every emitted window starts strictly inside the driven span
+        # (quiesce may add trailing windows for in-flight completions).
+        for w in windows:
+            assert w["start"] == w["window"] * 16
+
+    def test_boundary_and_offset_runs_conserve_admissions(self):
+        for cycles in (15, 16, 17):
+            windows = self.run_for(cycles, window=16)
+            assert sum(w["admitted"] for w in windows) == cycles
+            starts = [w["start"] for w in windows]
+            assert starts == sorted(set(starts))
+
+    def test_windowless_service_never_emits_windows(self):
+        assert self.run_for(40, window=0) == []
+
+
+class TestControllerIdle:
+    def test_idle_tracks_pending_and_bank_work(self):
+        """The public idle() probe quiesce() relies on (it replaced
+        reaching into _ring/banks privates)."""
+        core = make_core([TenantSpec("a")])
+        controller = core.controllers[0]
+        assert controller.idle()
+        core.submit("a", 0x20)
+        core.tick()
+        assert not controller.idle()     # reply pending in the delay ring
+        core.quiesce()
+        assert controller.idle()
 
 
 class TestPercentiles:

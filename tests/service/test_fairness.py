@@ -1,0 +1,104 @@
+"""Quarter-scale fairness sweep (tier-1 twin of the fairness bench).
+
+Same fleet, config and assertions as
+``benchmarks/test_service_fairness.py`` at a quarter of the cycles, so
+the WDRR-beats-round-robin acceptance gate runs on every test pass
+(and in the CI fairness smoke job), not just when the benchmarks do.
+One heavy weight-6 tenant plus five weight-1 lights oversubscribe a
+shared controller 2x via a ``workloads/tenant_mix`` interleave; the
+arbiter alone decides who completes.
+"""
+
+import pytest
+
+from repro.core import VPNMConfig
+from repro.service import (
+    ServiceCore,
+    TenantSpec,
+    jain_index,
+    replay_mix,
+    uniform_trace,
+)
+
+CYCLES = 7_500      # quarter of the benchmark's 30k
+SEED = 23
+OFFERED = 2.0
+ARBITERS = ("round-robin", "wdrr", "priority")
+FLEET = [("heavy", 6, 0)] + [(f"light{i}", 1, 1) for i in range(5)]
+
+
+def make_config():
+    return VPNMConfig(banks=8, bank_latency=8, queue_depth=4,
+                      delay_rows=16, bus_scaling=1.3, hash_latency=0,
+                      stall_policy="stall", address_bits=16)
+
+
+def run_arbiter(kind):
+    specs = [TenantSpec(name, weight=weight, priority=priority,
+                        queue_limit=64)
+             for name, weight, priority in FLEET]
+    core = ServiceCore(specs, config=make_config(), seed=SEED,
+                       admission=False, arbiter=kind)
+    total_weight = sum(weight for _, weight, _ in FLEET)
+    traces = [
+        uniform_trace(name, seed=SEED + 13 * i, address_bits=16,
+                      weight=weight,
+                      count=int(CYCLES * OFFERED * weight / total_weight)
+                      + 1_000)
+        for i, (name, weight, _) in enumerate(FLEET)
+    ]
+    return replay_mix(core, traces, CYCLES, offered=OFFERED)
+
+
+def normalized_shares(fleet_report):
+    return [fleet_report.tenants[name].counts["completed"] / weight
+            for name, weight, _ in FLEET]
+
+
+def completed_total(fleet_report):
+    return sum(t.counts["completed"] for t in fleet_report.tenants.values())
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One deterministic run per arbiter, shared by every assertion."""
+    return {kind: run_arbiter(kind) for kind in ARBITERS}
+
+
+@pytest.fixture(autouse=True)
+def _bind_sweep(request, sweep):
+    request.instance.results = sweep
+
+
+class TestFairnessSweep:
+
+    def test_wdrr_beats_round_robin_at_small_throughput_cost(self):
+        jain = {kind: jain_index(normalized_shares(self.results[kind]))
+                for kind in ARBITERS}
+        totals = {kind: completed_total(self.results[kind])
+                  for kind in ARBITERS}
+        assert jain["wdrr"] > jain["round-robin"] + 0.03, jain
+        assert totals["wdrr"] >= 0.95 * totals["round-robin"], totals
+
+    def test_heavy_tenant_moves_toward_its_entitlement(self):
+        heavy_rr = \
+            self.results["round-robin"].tenants["heavy"].counts["completed"]
+        heavy_wdrr = \
+            self.results["wdrr"].tenants["heavy"].counts["completed"]
+        assert heavy_wdrr > 2 * heavy_rr, (heavy_rr, heavy_wdrr)
+
+    def test_mix_oversubscribes_every_tenant(self):
+        """The precondition that makes the sweep meaningful: everyone
+        was backlogged (lost submissions to backpressure) under RR."""
+        for name, _, _ in FLEET:
+            counts = self.results["round-robin"].tenants[name].counts
+            assert counts["backpressured"] > 0, name
+
+    def test_priority_serves_high_class_arrivals_first(self):
+        """The cautionary row: the lights' class takes (nearly) all it
+        asks for and the heavy low class lives on scraps."""
+        rpt = self.results["priority"]
+        heavy = rpt.tenants["heavy"].counts["completed"]
+        light_min = min(rpt.tenants[f"light{i}"].counts["completed"]
+                        for i in range(5))
+        assert heavy < light_min / 2

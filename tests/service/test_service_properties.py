@@ -82,20 +82,34 @@ class TestRequestConservation:
                        for t in report.tenants.values())
 
 
+#: Exact rational rates in (0, 1], as Fractions and "p/q" strings — the
+#: two lossless spellings parse_rate accepts.  Drawing the Fraction
+#: directly (instead of a float that gets re-snapped) makes the window
+#: bound below *exact*: no limit_denominator round trip anywhere.
+exact_rates = st.builds(
+    Fraction,
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=1, max_value=60),
+).filter(lambda r: r <= 1).flatmap(
+    lambda r: st.sampled_from([r, f"{r.numerator}/{r.denominator}"]))
+
+
 class TestTokenBucketWindowBound:
-    @given(rate=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    @given(rate=exact_rates,
            burst=st.integers(min_value=1, max_value=8),
            attempts=st.lists(st.booleans(), min_size=20, max_size=200),
            window=st.integers(min_value=1, max_value=50))
     @settings(**COMMON)
-    def test_grants_in_any_window_bounded_by_contract(
+    def test_grants_in_any_window_bounded_by_exact_contract(
             self, rate, burst, attempts, window):
+        """The classic bound, with zero float slack: the drawn rate IS
+        the bucket's rate (strings parse exactly), so the bound
+        ``burst + ceil(rate * W)`` is exact rational arithmetic."""
         bucket = TokenBucket(rate=rate, burst=burst)
+        assert bucket.rate == Fraction(str(rate).strip())
         grant_cycles = [cycle for cycle, attempt in enumerate(attempts)
                         if attempt and bucket.try_grant(cycle)]
-        # The bucket's exact rate is the Fraction the contract rounds to.
-        exact_rate = Fraction(rate).limit_denominator(1_000_000)
-        bound = burst + math.ceil(exact_rate * window)
+        bound = burst + math.ceil(bucket.rate * window)
         for start in range(len(attempts) - window + 1):
             in_window = sum(1 for cycle in grant_cycles
                             if start <= cycle < start + window)

@@ -1,0 +1,256 @@
+"""SLO contracts and the adaptive rate controller (DESIGN.md §12).
+
+Covers the pieces in isolation (parse_rate exactness, the rolling
+tracker, TokenBucket.set_rate) and the closed loop through
+``ServiceCore``: breach/recovery edge events, multiplicative rate moves
+clamped to [floor, ceiling], and the ``info`` / ``set-rate`` admin
+surface the socket transport exposes.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import VPNMConfig
+from repro.obs.events import validate_event
+from repro.service import (
+    ServiceCore,
+    SLOTracker,
+    TenantSpec,
+    TokenBucket,
+    parse_rate,
+)
+
+SMALL = dict(banks=4, bank_latency=4, queue_depth=3, delay_rows=6,
+             bus_scaling=1.3, hash_latency=0, address_bits=16)
+
+
+def make_core(tenants, **kwargs):
+    return ServiceCore(tenants, config=VPNMConfig(stall_policy="stall",
+                                                  **SMALL), **kwargs)
+
+
+class CaptureSink:
+    """Event sink that keeps (schema-validated) events in a list."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event_type, payload=None, timing=None):
+        from repro.obs.events import EVENT_SCHEMA_VERSION
+
+        event = {"v": EVENT_SCHEMA_VERSION, "seq": len(self.events),
+                 "type": event_type, **(payload or {})}
+        validate_event(event)
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+class TestParseRate:
+    def test_strings_are_exact(self):
+        assert parse_rate("1/10") == Fraction(1, 10)
+        assert parse_rate("0.1") == Fraction(1, 10)
+        assert parse_rate(" 3/20 ") == Fraction(3, 20)
+
+    def test_floats_snap_to_nearest_small_rational(self):
+        # Fraction(0.1) is the ugly binary approximation; the snap
+        # recovers the rational the user meant.
+        assert parse_rate(0.1) == Fraction(1, 10)
+        assert parse_rate(0.15) == Fraction(3, 20)
+
+    def test_exact_types_pass_through(self):
+        assert parse_rate(Fraction(7, 13)) == Fraction(7, 13)
+        assert parse_rate(2) == Fraction(2)
+        assert parse_rate(None) is None
+
+    def test_rejects_garbage(self):
+        for bad in ("fast", "1/0", 0, -0.5, "0", True, [1]):
+            with pytest.raises(ValueError):
+                parse_rate(bad)
+
+    def test_spec_rates_normalize_to_fractions(self):
+        spec = TenantSpec("a", rate="1/10")
+        assert spec.rate == Fraction(1, 10)
+        assert isinstance(spec.rate, Fraction)
+
+
+class TestSetRate:
+    def test_change_is_not_retroactive(self):
+        """Tokens accrued under the old rate are credited before the
+        switch; the new rate applies only from the change cycle on."""
+        bucket = TokenBucket(rate="1/2", burst=4)
+        for _ in range(4):
+            assert bucket.try_grant(0)       # drain the burst
+        bucket.set_rate("1/4", cycle=10)     # 10 cycles at 1/2 = 5, cap 4
+        assert bucket.tokens_exact == 4
+        bucket.set_rate("1/8", cycle=14)     # 4 more at 1/4 = +1, cap 4
+        assert bucket.tokens_exact == 4
+
+    def test_exact_accrual_after_switch(self):
+        bucket = TokenBucket(rate="1/3", burst=2)
+        assert bucket.try_grant(0) and bucket.try_grant(0)
+        bucket.set_rate("1/7", cycle=3)      # +1 accrued under 1/3
+        assert bucket.tokens_exact == 1
+        bucket.try_grant(3)
+        assert bucket.tokens_exact == 0
+        bucket.try_grant(10)                 # 7 cycles at 1/7 = exactly 1
+        assert bucket.tokens_exact == 0      # spent on the grant
+        assert bucket.try_grant(17)
+
+
+class TestSLOTracker:
+    def test_rolling_window_evicts_old_samples(self):
+        tracker = SLOTracker(window=4)
+        for latency in (100, 100, 100, 100):
+            tracker.observe(latency)
+        assert tracker.p99() == 100.0
+        for latency in (10, 10, 10, 10):     # push the spikes out
+            tracker.observe(latency)
+        assert tracker.p99() == 10.0
+        assert tracker.observed == 8
+
+    def test_empty_tracker_has_no_p99(self):
+        assert SLOTracker(window=8).p99() is None
+        with pytest.raises(ValueError):
+            SLOTracker(window=0)
+
+
+class TestSpecValidation:
+    def test_bounds_need_slo_and_rate(self):
+        with pytest.raises(ValueError):
+            TenantSpec("a", slo_rate_floor="1/20")          # no slo_p99
+        with pytest.raises(ValueError):
+            TenantSpec("a", slo_p99=64, slo_rate_floor="1/20")  # no rate
+        with pytest.raises(ValueError):
+            TenantSpec("a", rate="1/4", slo_p99=64,
+                       slo_rate_floor="1/2", slo_rate_ceiling="1/4")
+
+    def test_default_bounds_are_quarter_to_contract(self):
+        spec = TenantSpec("a", rate="1/5", slo_p99=64)
+        assert spec.slo_rate_bounds == (Fraction(1, 20), Fraction(1, 5))
+        assert spec.adaptive
+
+    def test_without_rate_slo_is_observe_only(self):
+        spec = TenantSpec("a", slo_p99=64)
+        assert not spec.adaptive
+        assert spec.slo_rate_bounds == (None, None)
+
+
+class TestAdaptiveController:
+    def overloaded_core(self, sink, slo_p99=10):
+        """One-bank hostile config: latencies blow far past any SLO."""
+        config = VPNMConfig(banks=1, bank_latency=8, queue_depth=1,
+                            delay_rows=2, hash_latency=0,
+                            stall_policy="stall", address_bits=16)
+        spec = TenantSpec("a", rate="1/2", burst=4, queue_limit=256,
+                          slo_p99=slo_p99, slo_window=32)
+        return ServiceCore([spec], config=config, events=sink,
+                           slo_interval=16)
+
+    def test_breach_emits_edge_event_and_lowers_rate(self):
+        sink = CaptureSink()
+        core = self.overloaded_core(sink)
+        for address in range(300):
+            core.submit("a", address)
+            core.tick()
+        breaches = [e for e in sink.events
+                    if e["type"] == "tenant.slo_breach"]
+        moves = [e for e in sink.events if e["type"] == "tenant.slo_rate"]
+        assert len(breaches) == 1            # edge, not level: one event
+        assert breaches[0]["target"] == 10
+        assert moves and all(m["direction"] == "down" for m in moves)
+        # Multiplicative decrease, clamped at the floor (rate/4).
+        rates = [Fraction(m["rate"]).limit_denominator(1_000_000)
+                 for m in moves]
+        assert all(b < a for a, b in zip(rates, rates[1:]))
+        assert core.tenant("a").bucket.rate >= Fraction(1, 8)
+
+    def test_rate_never_leaves_the_bounds(self):
+        sink = CaptureSink()
+        core = self.overloaded_core(sink)
+        floor, ceiling = core.tenant("a").spec.slo_rate_bounds
+        for address in range(600):
+            core.submit("a", address)
+            core.tick()
+            assert floor <= core.tenant("a").bucket.rate <= ceiling
+        core.finish()
+
+    def test_recovery_emits_edge_and_raises_rate_back(self):
+        # Generous target: breached only while the overload queue is
+        # deep, satisfied by the uncontended latency (~D).
+        sink = CaptureSink()
+        core = self.overloaded_core(sink, slo_p99=100)
+        for address in range(400):           # breach phase
+            core.submit("a", address)
+            core.tick()
+        assert core.tenant("a").slo.breached
+        lowered = core.tenant("a").bucket.rate
+        assert lowered < Fraction(1, 2)      # the controller backed off
+        core.quiesce()
+        # Trickle uncontended requests until the rolling window holds
+        # only ~D latencies and a check point observes the recovery.
+        for attempt in range(200):
+            if not core.tenant("a").slo.breached:
+                break
+            core.submit("a", attempt % 7)
+            core.quiesce()
+        assert not core.tenant("a").slo.breached
+        recoveries = [e for e in sink.events
+                      if e["type"] == "tenant.slo_recovered"]
+        breaches = [e for e in sink.events
+                    if e["type"] == "tenant.slo_breach"]
+        assert len(recoveries) == len(breaches) == 1
+        assert core.tenant("a").bucket.rate > lowered  # nudged back up
+
+    def test_observe_only_slo_never_moves_the_rate(self):
+        sink = CaptureSink()
+        config = VPNMConfig(banks=1, bank_latency=8, queue_depth=1,
+                            delay_rows=2, hash_latency=0,
+                            stall_policy="stall", address_bits=16)
+        core = ServiceCore(
+            [TenantSpec("a", queue_limit=256, slo_p99=5, slo_window=16)],
+            config=config, events=sink, slo_interval=8)
+        for address in range(200):
+            core.submit("a", address)
+            core.tick()
+        assert any(e["type"] == "tenant.slo_breach" for e in sink.events)
+        assert not any(e["type"] == "tenant.slo_rate" for e in sink.events)
+        assert core.tenant("a").bucket.rate is None
+
+
+class TestAdminSurface:
+    def test_set_rate_accepts_exact_strings(self):
+        sink = CaptureSink()
+        core = make_core([TenantSpec("a", rate="1/10")], events=sink)
+        new = core.set_rate("a", "1/7")
+        assert new == Fraction(1, 7)
+        assert core.tenant("a").bucket.rate == Fraction(1, 7)
+        move = [e for e in sink.events if e["type"] == "tenant.slo_rate"][-1]
+        assert move["direction"] == "set"
+
+    def test_set_rate_to_unlimited(self):
+        core = make_core([TenantSpec("a", rate="1/10")])
+        assert core.set_rate("a", None) is None
+        assert core.submit("a", 1).status == "admitted"
+
+    def test_describe_carries_exact_rates_and_slo_state(self):
+        core = make_core([TenantSpec("a", rate="1/10", slo_p99=64)])
+        info = core.describe()
+        assert info["arbiter"] == "round-robin"
+        entry = info["tenants"]["a"]
+        assert entry["rate"] == "1/10"
+        assert entry["contract_rate"] == "1/10"
+        slo = entry["slo"]
+        assert slo["p99_target"] == 64
+        assert slo["rate_floor"] == "1/40"
+        assert slo["rate_ceiling"] == "1/10"
+        assert slo["p99_rolling"] is None    # nothing completed yet
+
+    def test_describe_reports_configured_arbiter(self):
+        core = make_core([TenantSpec("a", weight=3)], arbiter="wdrr",
+                         quantum=4)
+        info = core.describe()
+        assert info["arbiter"] == "wdrr" and info["quantum"] == 4
+        assert info["tenants"]["a"]["weight"] == 3

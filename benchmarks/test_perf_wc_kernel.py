@@ -7,8 +7,10 @@ three implementations of the same arbiter:
 * the scalar :class:`FastStallSimulator` (its aggregate lane-cycles/s
   is lane-count independent: N lanes cost N sequential runs),
 * the reference per-cycle batch kernel (``wc_kernel="reference"``, the
-  executable specification the chunked kernel is diffed against), and
-* the epoch-chunked kernel (``wc_kernel="chunked"``, the default).
+  executable specification the chunked kernel is diffed against),
+* the epoch-chunked kernel (``wc_kernel="chunked"``, the default), and
+* the compiled kernel (``wc_kernel="jit"``; numba or the cc backend)
+  when a compiled backend exists — its column is ``-`` otherwise.
 
 Two configurations bracket the regime: a shallow one (B=8) where the
 reference kernel's per-slot grant scan is cheap, and the paper-scale
@@ -29,10 +31,16 @@ import time
 import numpy as np
 
 from repro.core import VPNMConfig
+from repro.sim import kernels as kernels_pkg
 from repro.sim.batchsim import BatchStallSimulator
 from repro.sim.fastsim import FastStallSimulator
 
 from _report import report
+
+HAVE_JIT = kernels_pkg.compiled_kernels()[0] is not None
+# Timing tolerance for "a faster kernel is never slower": absorbs
+# run-to-run interference without letting a real regression through.
+TOLERANCE = 0.9
 
 CYCLES = 6_000
 LANES_SWEEP = [8, 16, 32, 64, 128, 256, 512]
@@ -85,10 +93,23 @@ def _sweep(params):
         assert np.array_equal(new.delay_storage_stalls,
                               ref.delay_storage_stalls)
         assert np.array_equal(new.bank_queue_stalls, ref.bank_queue_stalls)
+        jit_rate = None
+        if HAVE_JIT:
+            jit_time, jit = _best_of(
+                rounds,
+                lambda: BatchStallSimulator(
+                    config, seeds, wc_kernel="jit").run(CYCLES))
+            assert np.array_equal(jit.accepted, ref.accepted)
+            assert np.array_equal(jit.delay_storage_stalls,
+                                  ref.delay_storage_stalls)
+            assert np.array_equal(jit.bank_queue_stalls,
+                                  ref.bank_queue_stalls)
+            jit_rate = CYCLES * lanes / jit_time
         rows.append({
             "lanes": lanes,
             "ref_rate": CYCLES * lanes / ref_time,
             "new_rate": CYCLES * lanes / new_time,
+            "jit_rate": jit_rate,
             "speedup": ref_time / new_time,
             "stalls": int(new.stalls.sum()),
         })
@@ -104,9 +125,12 @@ def test_perf_wc_kernel_scaling(benchmark):
                  for name, params in CONFIGS.items()},
         rounds=1, iterations=1)
 
+    backend = (kernels_pkg.resolve_kernel("jit").backend
+               if HAVE_JIT else "unavailable")
     lines = [f"work-conserving kernel scaling, {CYCLES} cycles/lane, "
              f"best of {ROUNDS} (chunked = epoch-chunked kernel, "
-             "reference = per-cycle stepper, scalar = FastStallSimulator)"]
+             "reference = per-cycle stepper, scalar = FastStallSimulator, "
+             f"jit = compiled backend [{backend}])"]
     for name, params in CONFIGS.items():
         sweep = results[name]
         lines.append("")
@@ -116,10 +140,13 @@ def test_perf_wc_kernel_scaling(benchmark):
             f"R={params['bus_scaling']}  "
             f"scalar {sweep['scalar_rate']:.3e} cyc/s")
         lines.append(f"{'lanes':>6} {'reference lane-cyc/s':>21} "
-                     f"{'chunked lane-cyc/s':>19} {'speedup':>8}")
+                     f"{'chunked lane-cyc/s':>19} "
+                     f"{'jit lane-cyc/s':>15} {'speedup':>8}")
         for row in sweep["rows"]:
+            jit_cell = (f"{row['jit_rate']:>15.3e}"
+                        if row["jit_rate"] is not None else f"{'-':>15}")
             lines.append(f"{row['lanes']:>6} {row['ref_rate']:>21.3e} "
-                         f"{row['new_rate']:>19.3e} "
+                         f"{row['new_rate']:>19.3e} {jit_cell} "
                          f"{row['speedup']:>7.2f}x")
             assert row["stalls"] > 0  # actually simulating something
         cross = sweep["crossover"]
@@ -134,6 +161,18 @@ def test_perf_wc_kernel_scaling(benchmark):
     for row in results["deep"]["rows"]:
         if row["lanes"] >= 64:
             assert row["speedup"] >= 3.0, row
+    # Kernel ordering (with a timing tolerance): chunked never loses to
+    # the reference, and the compiled kernel never loses to chunked on
+    # the paper-scale configuration it exists to accelerate.
+    for name in CONFIGS:
+        for row in results[name]["rows"]:
+            if row["lanes"] >= 64:
+                assert row["new_rate"] >= TOLERANCE * row["ref_rate"], \
+                    (name, row)
+    if HAVE_JIT:
+        for row in results["deep"]["rows"]:
+            if row["lanes"] >= 64:
+                assert row["jit_rate"] >= TOLERANCE * row["new_rate"], row
     # And the ROADMAP answer: the vectorized path wins well before 64
     # lanes on the deep config.
     assert results["deep"]["crossover"] is not None

@@ -211,13 +211,20 @@ def _command_mts(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         confidence=args.confidence,
         telemetry_stride=args.telemetry_stride,
+        wc_kernel=args.kernel,
     )
+    resolution = runner.kernel_resolution
+    if resolution.fallback_reason:
+        print(f"kernel: {resolution.requested} unavailable "
+              f"({resolution.fallback_reason}); using "
+              f"{resolution.effective}", file=sys.stderr)
     report = runner.run(args.cycles, idle_probability=args.idle)
     print(f"config: B={config.banks} L={config.bank_latency} "
           f"Q={config.queue_depth} K={config.delay_rows} "
           f"R={config.bus_scaling} "
           f"{'strict' if not config.skip_idle_slots else 'work-conserving'}"
-          f" arbitration")
+          f" arbitration kernel={resolution.effective}"
+          f"[{resolution.backend}]")
     print(report.summary())
     print(f"  accepted: {int(report.accepted.sum())}  "
           f"delay-storage stalls: {int(report.delay_storage_stalls.sum())}  "
@@ -326,7 +333,8 @@ def _command_campaign(args: argparse.Namespace) -> int:
             # A resume keeps the manifest's axis; --axis only labels a
             # freshly defined grid.
             axis=args.axis if cells is not None else None,
-            telemetry_stride=args.telemetry_stride)
+            telemetry_stride=args.telemetry_stride,
+            wc_kernel=args.kernel)
 
         def progress(cell_id, shard, total, restored, elapsed):
             verb = "restored" if restored else "computed"
@@ -360,6 +368,36 @@ def _command_campaign(args: argparse.Namespace) -> int:
     print(render_overlay_table(points, x_label=x_label, title=title))
     print()
     print(render_overlay_chart(points, x_label=x_label))
+    return 0
+
+
+def _command_kernels(args: argparse.Namespace) -> int:
+    """Report available batch kernels and what ``jit`` resolves to."""
+    from repro.sim import kernels as kernels_pkg
+
+    report = kernels_pkg.kernel_report()
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+        return 0
+    print("kernels: reference, chunked (NumPy, always available)")
+    print("compiled backends for --kernel jit:")
+    for name in ("numba", "cc"):
+        entry = report["backends"][name]
+        if entry["available"]:
+            line = (f"  {name}: available ({entry['detail']})  "
+                    f"warm-up {entry['warmup_s']:.3f}s  "
+                    f"smoke {entry['smoke']}")
+        else:
+            line = f"  {name}: {entry['detail']}"
+        print(line)
+    if report["disabled"]:
+        print(f"disabled via REPRO_KERNEL_DISABLE: "
+              f"{', '.join(report['disabled'])}")
+    jit = report["jit"]
+    line = f"--kernel jit resolves to: {jit['effective']}[{jit['backend']}]"
+    if jit["fallback_reason"]:
+        line += f" ({jit['fallback_reason']})"
+    print(line)
     return 0
 
 
@@ -626,6 +664,13 @@ def build_parser() -> argparse.ArgumentParser:
     mts.add_argument("--telemetry-stride", type=int, default=None,
                      help="sample occupancy telemetry every N interface "
                           "cycles (default: telemetry off)")
+    mts.add_argument("--kernel",
+                     choices=["reference", "chunked", "jit", "auto"],
+                     default="chunked",
+                     help="work-conserving inner-loop kernel; jit uses a "
+                          "compiled backend (numba or a cached cc build) "
+                          "and falls back to chunked with a warning "
+                          "(default chunked)")
     mts.set_defaults(handler=_command_mts)
 
     campaign = commands.add_parser(
@@ -675,6 +720,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "interface cycles; the per-cell pressure "
                                "digest lands in the manifest and the "
                                "full series in events.jsonl")
+    campaign.add_argument("--kernel",
+                          choices=["reference", "chunked", "jit", "auto"],
+                          default=None,
+                          help="work-conserving inner-loop kernel (run "
+                               "only); recorded in the manifest, and a "
+                               "resume refuses a different kernel or "
+                               "compiled backend (default: the "
+                               "manifest's kernel, else chunked)")
     campaign.set_defaults(handler=_command_campaign)
 
     obs = commands.add_parser(
@@ -770,6 +823,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--address-bits", type=int, default=20,
                        help="interface address width (default 20)")
     serve.set_defaults(handler=_command_serve)
+
+    kernels = commands.add_parser(
+        "kernels",
+        help="report available batch kernels: compiled backends (numba, "
+             "cc), warm-up time, bit-identity smoke result, and what "
+             "--kernel jit would resolve to",
+    )
+    kernels.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    kernels.set_defaults(handler=_command_kernels)
 
     validate = commands.add_parser(
         "validate", help="fast simulation vs analytical MTS cross-check")

@@ -44,6 +44,11 @@ EVENT_TYPES: Dict[str, Dict[str, type]] = {
                        "lanes": int},
     "stalls_observed": {"shard": int, "delay_storage": int,
                         "bank_queue": int},
+    # Kernel resolution (DESIGN.md §13): emitted exactly once per
+    # resolution site when a requested compiled kernel ("jit") has to
+    # degrade — ``effective`` is what actually runs ("chunked") and
+    # ``reason`` the human-readable probe failure chain.
+    "kernel.fallback": {"requested": str, "effective": str, "reason": str},
     # Multi-tenant memory service (DESIGN.md §11).  Everything is a
     # pure function of (config, seeds, submission schedule): two
     # identical service runs emit byte-identical streams modulo

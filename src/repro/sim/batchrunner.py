@@ -54,6 +54,7 @@ from repro.obs.events import (
     TeeEventSink,
 )
 from repro.obs.summary import TelemetrySummary
+from repro.sim import kernels as kernels_pkg
 from repro.sim.batchsim import BatchStallSimulator
 
 __all__ = ["BatchReport", "BatchRunner", "ShardPlan", "ShardProgress",
@@ -177,21 +178,33 @@ def _canonical_field(value):
 
 
 def _config_fingerprint(config: VPNMConfig, cycles: int,
-                        idle_probability: float) -> str:
-    """Stable identity of a run; checkpoint mismatch means stale data."""
+                        idle_probability: float,
+                        kernel: Optional[dict] = None) -> str:
+    """Stable identity of a run; checkpoint mismatch means stale data.
+
+    ``kernel`` — the execution-backend descriptor
+    (``{"name": ..., "backend": ...}``, with the numba version baked
+    into the backend string) recorded so a resume under a different
+    kernel or compiled backend is detected instead of silently mixing
+    checkpoints across implementations.  ``None`` omits the key (the
+    pure config identity, used by config-equality tests).
+    """
     fields = {k: _canonical_field(getattr(config, k))
               for k in sorted(vars(config))}
-    return json.dumps({"config": fields, "cycles": cycles,
-                       "idle_probability": float(idle_probability)},
-                      sort_keys=True, default=str)
+    payload = {"config": fields, "cycles": cycles,
+               "idle_probability": float(idle_probability)}
+    if kernel is not None:
+        payload["kernel"] = kernel
+    return json.dumps(payload, sort_keys=True, default=str)
 
 
 def _run_shard(args):
     """Worker entry point (top level, so it pickles)."""
     (config, shard_seeds, cycles, idle_probability, stall_limit,
-     telemetry_stride) = args
+     telemetry_stride, wc_kernel) = args
     result = BatchStallSimulator(
-        config, shard_seeds, stall_cycle_limit=stall_limit
+        config, shard_seeds, stall_cycle_limit=stall_limit,
+        wc_kernel=wc_kernel,
     ).run(cycles, idle_probability=idle_probability,
           telemetry_stride=telemetry_stride)
     data = {
@@ -263,7 +276,7 @@ class ShardPlan:
         runner = self.runner
         return (runner.config, self.shards[shard_index], self.cycles,
                 self.idle_probability, runner.stall_cycle_limit,
-                runner.telemetry_stride)
+                runner.telemetry_stride, runner.effective_kernel)
 
     def jobs(self) -> List[tuple]:
         return [self.job(i) for i in self.pending]
@@ -293,7 +306,8 @@ class BatchRunner:
                  checkpoint_dir: Optional[str] = None,
                  stall_cycle_limit: int = 0,
                  confidence: float = 0.95,
-                 telemetry_stride: Optional[int] = None):
+                 telemetry_stride: Optional[int] = None,
+                 wc_kernel: str = "chunked"):
         if seeds is None:
             if lanes is None:
                 raise ConfigurationError("need either seeds or lanes")
@@ -329,6 +343,17 @@ class BatchRunner:
         if telemetry_stride is not None and telemetry_stride < 1:
             raise ConfigurationError("telemetry_stride must be >= 1")
         self.telemetry_stride = telemetry_stride
+        #: Batch kernel selection (DESIGN.md §13).  Resolved once here:
+        #: shards receive the *effective* kernel name, so a "jit"
+        #: request that falls back runs "chunked" in every worker (and
+        #: the fallback is reported exactly once, from :meth:`run`).
+        if wc_kernel not in kernels_pkg.KERNEL_NAMES:
+            raise ConfigurationError(
+                f"wc_kernel must be one of {kernels_pkg.KERNEL_NAMES}, "
+                f"got {wc_kernel!r}")
+        self.wc_kernel = wc_kernel
+        self.kernel_resolution = kernels_pkg.resolve_kernel(wc_kernel)
+        self.effective_kernel = self.kernel_resolution.effective
 
     # -- checkpointing ----------------------------------------------------
 
@@ -437,6 +462,17 @@ class BatchRunner:
                    "delay_storage": sum(data["delay_storage_stalls"]),
                    "bank_queue": sum(data["bank_queue_stalls"])})
 
+    def kernel_descriptor(self) -> dict:
+        """The execution-backend identity recorded in fingerprints.
+
+        ``name`` is the *effective* kernel (so "jit" that fell back
+        fingerprints identically to an explicit "chunked" run — the
+        results are bit-identical by contract) and ``backend`` carries
+        the compiled-backend identity, numba version included.
+        """
+        return {"name": self.kernel_resolution.effective,
+                "backend": self.kernel_resolution.backend}
+
     def plan(self, cycles: int,
              idle_probability: float = 0.0) -> ShardPlan:
         """Restore checkpoints and return the remaining work as a plan.
@@ -447,7 +483,8 @@ class BatchRunner:
         before executing any of them.
         """
         fingerprint = _config_fingerprint(self.config, cycles,
-                                          idle_probability)
+                                          idle_probability,
+                                          kernel=self.kernel_descriptor())
         shards = self._shards()
         results: List[Optional[dict]] = [None] * len(shards)
         pending = []
@@ -520,6 +557,12 @@ class BatchRunner:
         sink: EventSink = events if events is not None else NULL_EVENTS
         if progress is not None:
             sink = TeeEventSink([sink, ShardProgressAdapter(progress)])
+        if self.kernel_resolution.fallback_reason:
+            sink.emit("kernel.fallback", {
+                "requested": self.kernel_resolution.requested,
+                "effective": self.kernel_resolution.effective,
+                "reason": self.kernel_resolution.fallback_reason,
+            })
         start = time.perf_counter()
         plan = self.plan(cycles, idle_probability)
         total = plan.total

@@ -78,6 +78,7 @@ import numpy as np
 
 from repro.core.config import VPNMConfig
 from repro.core.exceptions import ConfigurationError
+from repro.sim import kernels as kernels_pkg
 from repro.sim.fastsim import STALL_CYCLE_LIMIT, FastRunResult
 
 
@@ -168,18 +169,29 @@ class BatchStallSimulator:
 
     def __init__(self, config: VPNMConfig, seeds: Sequence[int],
                  stall_cycle_limit: int = STALL_CYCLE_LIMIT,
-                 wc_kernel: str = "chunked"):
+                 wc_kernel: str = "chunked", events=None):
         if not len(seeds):
             raise ConfigurationError("need at least one lane seed")
-        if wc_kernel not in ("chunked", "reference"):
+        if wc_kernel not in kernels_pkg.KERNEL_NAMES:
             raise ConfigurationError(
-                f"wc_kernel must be 'chunked' or 'reference', "
+                f"wc_kernel must be one of {kernels_pkg.KERNEL_NAMES}, "
                 f"got {wc_kernel!r}")
         self.config = config
         self.seeds = [int(s) for s in seeds]
         self.lanes = len(self.seeds)
         self.stall_cycle_limit = stall_cycle_limit
         self.wc_kernel = wc_kernel
+        # Resolve the kernel now (DESIGN.md §13): requesting "jit"
+        # without a compiled backend degrades to the chunked NumPy
+        # kernel and emits exactly one typed ``kernel.fallback`` event
+        # on the supplied obs sink.
+        self.kernel_resolution = kernels_pkg.resolve_kernel(wc_kernel)
+        if self.kernel_resolution.fallback_reason and events is not None:
+            events.emit("kernel.fallback", {
+                "requested": self.kernel_resolution.requested,
+                "effective": self.kernel_resolution.effective,
+                "reason": self.kernel_resolution.fallback_reason,
+            })
         ratio = Fraction(config.bus_scaling).limit_denominator(1_000)
         self._num, self._den = ratio.numerator, ratio.denominator
 
@@ -221,8 +233,13 @@ class BatchStallSimulator:
         """
         if telemetry_stride is not None and telemetry_stride < 1:
             raise ConfigurationError("telemetry_stride must be >= 1")
+        jit = self.kernel_resolution.effective == "jit"
         if bank_sequences is None:
-            seq = self._generate_sequences(cycles, idle_probability)
+            # The jit path streams lane sequences one at a time inside
+            # the kernel loop (same per-lane PCG64 draws, bounded
+            # memory at campaign-scale cycle counts).
+            seq = None if jit else \
+                self._generate_sequences(cycles, idle_probability)
         else:
             seq = np.asarray(bank_sequences, dtype=np.int32)
             if seq.shape != (self.lanes, cycles):
@@ -232,8 +249,11 @@ class BatchStallSimulator:
                 )
             if seq.max(initial=-1) >= self.config.banks:
                 raise ConfigurationError("bank id out of range")
+        if jit:
+            return self._run_jit(seq, cycles, idle_probability,
+                                 telemetry_stride)
         if self.config.skip_idle_slots:
-            if self.wc_kernel == "reference":
+            if self.kernel_resolution.effective == "reference":
                 return self._run_work_conserving_reference(
                     seq, cycles, telemetry_stride)
             return self._run_work_conserving(seq, cycles, telemetry_stride)
@@ -1201,6 +1221,116 @@ class BatchStallSimulator:
             summary = self._wc_telemetry(
                 stride, cycles, peak_qf.reshape(lanes, banks),
                 peak_rf.reshape(lanes, banks), ds_count, bq_count,
+                queue_series, rows_series, pressure)
+        return BatchRunResult(
+            cycles=cycles,
+            lanes=lanes,
+            accepted=accept_count,
+            delay_storage_stalls=ds_count,
+            bank_queue_stalls=bq_count,
+            stall_cycles=stall_cycles,
+            telemetry=summary,
+        )
+
+    # -- compiled per-lane kernel (numba or cc backend) --------------------
+
+    def _lane_sequence(self, seed: int, cycles: int,
+                       idle_probability: float) -> np.ndarray:
+        """One lane's bank stream, exactly `_generate_sequences`' draws.
+
+        Draw order (all integers, then the idle mask, from one PCG64)
+        matches the batch generator element for element, so jit runs
+        are bit-identical to the NumPy engines on internal streams too.
+        """
+        rng = np.random.Generator(np.random.PCG64(seed))
+        row = rng.integers(0, self.config.banks, size=cycles,
+                           dtype=np.int32)
+        if idle_probability:
+            row[rng.random(cycles) < idle_probability] = -1
+        return row
+
+    def _run_jit(self, seq: Optional[np.ndarray], cycles: int,
+                 idle_probability: float,
+                 telemetry_stride: Optional[int] = None) -> BatchRunResult:
+        """Compiled per-lane cycle-stepper (DESIGN.md §13).
+
+        Lanes are independent given their sequences, so the compiled
+        kernel (:mod:`repro.sim.kernels`) steps one lane at a time
+        through the exact scalar-simulator cycle loop — covering both
+        arbitration modes (``strict`` flag) with one code path.  Peaks
+        and series land in the same dense accumulators the NumPy
+        work-conserving kernels use (series arrays are max-merged
+        across lanes inside the kernel), so telemetry finalization is
+        shared via :meth:`_wc_telemetry`.  On strict configurations the
+        delay-row telemetry is *exact* here (the event-driven strict
+        engine samples it), which is a refinement, not a divergence:
+        queue peaks, series buckets and stall accounting still match.
+        """
+        config = self.config
+        lanes, banks = self.lanes, config.banks
+        kernels = self.kernel_resolution.kernels
+        strict = 0 if config.skip_idle_slots else 1
+        stride = int(telemetry_stride) if telemetry_stride else 0
+        delay = config.normalized_delay
+        cap = min(self.stall_cycle_limit, cycles) \
+            if self.stall_cycle_limit > 0 else 0
+
+        queue = np.zeros(banks, dtype=np.int64)
+        rows = np.zeros(banks, dtype=np.int64)
+        free_at = np.zeros(banks, dtype=np.int64)
+        enqueued = np.zeros(banks, dtype=np.int64)
+        ready = np.zeros(banks, dtype=np.int64)
+        release = np.empty(delay, dtype=np.int64)
+        stall_out = np.empty(max(cap, 1), dtype=np.int64)
+        counts = np.zeros(4, dtype=np.int64)
+
+        if stride:
+            buckets = cycles // stride + 1
+            peak_q = np.zeros((lanes, banks), dtype=np.int64)
+            peak_r = np.zeros((lanes, banks), dtype=np.int64)
+            queue_series = np.full(buckets, -1, dtype=np.int64)
+            rows_series = np.full(buckets, -1, dtype=np.int64)
+            pressure = np.full((buckets, banks), -1, dtype=np.int64)
+        else:
+            # Never touched at stride 0; valid pointers for the ABI.
+            peak_q = np.zeros((lanes, 1), dtype=np.int64)
+            peak_r = np.zeros((lanes, 1), dtype=np.int64)
+            queue_series = np.zeros(1, dtype=np.int64)
+            rows_series = np.zeros(1, dtype=np.int64)
+            pressure = np.zeros((1, 1), dtype=np.int64)
+
+        accept_count = np.zeros(lanes, dtype=np.int64)
+        ds_count = np.zeros(lanes, dtype=np.int64)
+        bq_count = np.zeros(lanes, dtype=np.int64)
+        stall_cycles: List[np.ndarray] = []
+
+        for lane in range(lanes):
+            lane_seq = self._lane_sequence(
+                self.seeds[lane], cycles, idle_probability) \
+                if seq is None else np.ascontiguousarray(seq[lane])
+            queue.fill(0)
+            rows.fill(0)
+            free_at.fill(0)
+            enqueued.fill(0)
+            release.fill(-1)
+            counts.fill(0)
+            kernels.run_stall_lane(
+                lane_seq, self._num, self._den, config.bank_latency,
+                delay, config.queue_depth, config.delay_rows,
+                strict, stride, cap,
+                queue, rows, free_at, enqueued, ready, release,
+                stall_out, peak_q[lane], peak_r[lane],
+                queue_series, rows_series, pressure, counts)
+            accept_count[lane] = counts[0]
+            ds_count[lane] = counts[1]
+            bq_count[lane] = counts[2]
+            recorded = min(int(counts[3]), cap)
+            stall_cycles.append(stall_out[:recorded].copy())
+
+        summary = None
+        if stride:
+            summary = self._wc_telemetry(
+                stride, cycles, peak_q, peak_r, ds_count, bq_count,
                 queue_series, rows_series, pressure)
         return BatchRunResult(
             cycles=cycles,

@@ -58,6 +58,7 @@ from repro.obs.events import (
     NULL_EVENTS,
     TeeEventSink,
 )
+from repro.sim import kernels as kernels_pkg
 from repro.sim.batchrunner import (
     BatchReport,
     BatchRunner,
@@ -170,9 +171,12 @@ class CellSpec:
             skip_idle_slots=self.skip_idle_slots,
         )
 
-    def fingerprint(self) -> str:
+    def fingerprint(self, kernel: Optional[dict] = None) -> str:
+        """Cell identity; ``kernel`` adds the execution-backend
+        descriptor (campaigns always pass it, so a resume under a
+        different kernel or backend is detected — DESIGN.md §13)."""
         return _config_fingerprint(self.config(), self.cycles,
-                                   self.idle_probability)
+                                   self.idle_probability, kernel=kernel)
 
 
 def _cross_loads(cells: List[CellSpec],
@@ -268,9 +272,15 @@ class SweepCampaign:
                  workers: Optional[int] = None,
                  confidence: Optional[float] = None,
                  axis: Optional[str] = None,
-                 telemetry_stride: Optional[int] = None):
+                 telemetry_stride: Optional[int] = None,
+                 wc_kernel: Optional[str] = None):
         self.root_dir = root_dir
         self.manifest_path = os.path.join(root_dir, MANIFEST_NAME)
+        if wc_kernel is not None \
+                and wc_kernel not in kernels_pkg.KERNEL_NAMES:
+            raise ConfigurationError(
+                f"wc_kernel must be one of {kernels_pkg.KERNEL_NAMES}, "
+                f"got {wc_kernel!r}")
         manifest = self._load_manifest()
         if manifest is None:
             if cells is None:
@@ -303,6 +313,34 @@ class SweepCampaign:
         manifest["telemetry_stride"] = (
             int(telemetry_stride) if telemetry_stride is not None
             else manifest.get("telemetry_stride"))
+        # Kernel selection (DESIGN.md §13): the kernel *name* follows
+        # the knob pattern (explicit > manifest > default), but the
+        # resolved backend is part of every cell fingerprint, and a
+        # reattach that would change either is refused outright —
+        # silently mixing checkpoints produced by different
+        # implementations is the one resume mistake a fingerprint
+        # demotion would paper over instead of surfacing.
+        recorded_kernel = manifest.get("kernel")
+        if wc_kernel is not None and recorded_kernel is not None \
+                and wc_kernel != recorded_kernel:
+            raise ConfigurationError(
+                f"campaign {root_dir} was run with kernel "
+                f"{recorded_kernel!r}; refusing to resume with "
+                f"{wc_kernel!r} — start a fresh campaign directory to "
+                f"switch kernels")
+        kernel_name = wc_kernel or recorded_kernel or "chunked"
+        self._kernel_resolution = kernels_pkg.resolve_kernel(kernel_name)
+        descriptor = {"name": self._kernel_resolution.effective,
+                      "backend": self._kernel_resolution.backend}
+        recorded_backend = manifest.get("kernel_backend")
+        if recorded_backend is not None and recorded_backend != descriptor:
+            raise ConfigurationError(
+                f"campaign {root_dir} was run on kernel backend "
+                f"{recorded_backend!r} but {kernel_name!r} now resolves "
+                f"to {descriptor!r}; refusing to resume across backends "
+                f"— start a fresh campaign directory")
+        manifest["kernel"] = kernel_name
+        manifest["kernel_backend"] = descriptor
         self._manifest = manifest
         if cells is not None:
             self._register(cells)
@@ -356,7 +394,8 @@ class SweepCampaign:
             entries[cell_id] = {
                 "spec": asdict(spec),
                 "seed": _cell_seed(self._manifest["seed"], len(order)),
-                "fingerprint": spec.fingerprint(),
+                "fingerprint": spec.fingerprint(
+                    self._manifest["kernel_backend"]),
                 "status": "pending",
                 "elapsed_s": None,
                 "lane_cycles_per_s": None,
@@ -369,11 +408,12 @@ class SweepCampaign:
     def _reconcile(self) -> bool:
         """Demote any cell whose stored fingerprint no longer matches."""
         changed = False
+        kernel = self._manifest["kernel_backend"]
         for cell_id in self._manifest["order"]:
             entry = self._manifest["cells"][cell_id]
             spec = self._spec(cell_id)
-            if entry["fingerprint"] != spec.fingerprint():
-                entry["fingerprint"] = spec.fingerprint()
+            if entry["fingerprint"] != spec.fingerprint(kernel):
+                entry["fingerprint"] = spec.fingerprint(kernel)
                 entry["status"] = "pending"
                 entry["result"] = None
                 entry["telemetry"] = None
@@ -416,6 +456,10 @@ class SweepCampaign:
             checkpoint_dir=self._cell_dir(cell_id),
             confidence=self._manifest["confidence"],
             telemetry_stride=self._manifest.get("telemetry_stride"),
+            # The *effective* kernel: a "jit" request that fell back
+            # runs (and fingerprints) as "chunked" everywhere, and the
+            # fallback is reported once, campaign-level, in run().
+            wc_kernel=self._kernel_resolution.effective,
         )
 
     # -- execution --------------------------------------------------------
@@ -469,6 +513,15 @@ class SweepCampaign:
             sink.emit("campaign_started",
                       {"cells_total": len(self._manifest["order"]),
                        "cells_done": done})
+            if self._kernel_resolution.fallback_reason:
+                # Once per campaign run, not once per cell: the cells'
+                # runners are handed the effective kernel and never
+                # re-fall-back themselves.
+                sink.emit("kernel.fallback", {
+                    "requested": self._kernel_resolution.requested,
+                    "effective": self._kernel_resolution.effective,
+                    "reason": self._kernel_resolution.fallback_reason,
+                })
             pending_cells = [c for c in self._manifest["order"]
                              if self._entry(c)["status"] != "done"]
             if max_cells is not None:
@@ -680,6 +733,8 @@ class SweepCampaign:
             "workers": self._manifest["workers"],
             "confidence": self._manifest["confidence"],
             "telemetry_stride": self._manifest.get("telemetry_stride"),
+            "kernel": self._manifest.get("kernel"),
+            "kernel_backend": self._manifest.get("kernel_backend"),
             "cells_total": len(cells),
             "cells_done": done,
             "cells": cells,
@@ -701,7 +756,10 @@ class SweepCampaign:
             f"shard_lanes={status['shard_lanes']} "
             f"workers={status['workers']} "
             f"confidence={status['confidence']:g}"
-            + (f" telemetry_stride={stride}" if stride else ""),
+            + (f" telemetry_stride={stride}" if stride else "")
+            + (f" kernel={status['kernel']}"
+               f"[{(status.get('kernel_backend') or {}).get('backend')}]"
+               if status.get("kernel") else ""),
             f"{'cell':<44} {'status':>8} {'stalls':>9} "
             f"{'wall s':>8} {'lane-cyc/s':>11} {'pkQ':>4} {'pkK':>5} "
             f"stall mix",

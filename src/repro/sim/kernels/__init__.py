@@ -1,0 +1,188 @@
+"""Compiled-kernel resolution for the batch engines (DESIGN.md §13).
+
+The batch simulators ask this package for a kernel by name; the answer
+is a :class:`KernelResolution` that records what was requested, what
+will actually run, and which execution backend provides it:
+
+* ``"reference"`` / ``"chunked"`` — the NumPy engines inside
+  ``sim/batchsim`` (backend ``"numpy"``).
+* ``"jit"`` — a compiled build of :mod:`~repro.sim.kernels.pyloops`,
+  resolved through a backend chain: **numba** (extras-only,
+  ``pip install repro[jit]``) first, then the **cc** backend (runtime
+  gcc/clang compile via ctypes, no extra Python deps).  When neither
+  is available the resolution *degrades to the chunked NumPy kernel*
+  and carries a ``fallback_reason`` so callers can emit exactly one
+  typed ``kernel.fallback`` event.
+* ``"auto"`` — ``"jit"`` when a compiled backend exists, otherwise
+  ``"chunked"`` silently (auto means "best available", so no warning).
+
+Backend probing is expensive (numba warm-up compiles; cc shells out to
+the compiler), so the probe result is cached per process;
+:func:`reset` clears it for tests.  ``REPRO_KERNEL_DISABLE`` (comma
+list of ``numba``/``cc``/``jit``) masks backends at probe time — CI's
+no-numba job and the fallback tests use it.
+
+The backend descriptor string (``numba-<version>``, ``cc``,
+``numpy``) is part of runner checkpoint and campaign cell
+fingerprints, so a resume under a different backend is detected.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from . import cbackend, numba_backend, pyloops
+
+__all__ = [
+    "KERNEL_NAMES", "KernelResolution", "resolve_kernel",
+    "compiled_kernels", "kernel_report", "reset",
+]
+
+#: every value ``wc_kernel`` accepts end-to-end.
+KERNEL_NAMES = ("reference", "chunked", "jit", "auto")
+
+_PROBED = False
+_COMPILED: Optional[object] = None
+_PROBE_REASON = "not probed"
+
+
+def _disabled() -> set:
+    raw = os.environ.get("REPRO_KERNEL_DISABLE", "")
+    return {token.strip() for token in raw.split(",") if token.strip()}
+
+
+def reset() -> None:
+    """Forget the cached backend probe (tests flip the env and re-probe)."""
+    global _PROBED, _COMPILED, _PROBE_REASON
+    _PROBED = False
+    _COMPILED = None
+    _PROBE_REASON = "not probed"
+
+
+def compiled_kernels():
+    """The compiled kernel object (numba or cc) or ``None``, cached.
+
+    The second return of the pair is the human-readable reason the
+    chain came up empty (used verbatim in ``kernel.fallback`` events).
+    """
+    global _PROBED, _COMPILED, _PROBE_REASON
+    if not _PROBED:
+        disabled = _disabled()
+        reasons = []
+        kernels = None
+        if "jit" in disabled:
+            reasons.append("jit disabled via REPRO_KERNEL_DISABLE")
+        else:
+            if "numba" in disabled:
+                reasons.append("numba disabled via REPRO_KERNEL_DISABLE")
+            else:
+                kernels = numba_backend.load()
+                if kernels is None:
+                    reasons.append("numba unavailable")
+            if kernels is None:
+                if "cc" in disabled:
+                    reasons.append("cc disabled via REPRO_KERNEL_DISABLE")
+                else:
+                    kernels = cbackend.load()
+                    if kernels is None:
+                        reasons.append("no working C compiler")
+        _COMPILED = kernels
+        _PROBE_REASON = "; ".join(reasons) if kernels is None else ""
+        _PROBED = True
+    return _COMPILED, _PROBE_REASON
+
+
+@dataclass(frozen=True)
+class KernelResolution:
+    """What the engine will actually run for a requested kernel name."""
+
+    requested: str
+    effective: str            # "reference" | "chunked" | "jit"
+    backend: str              # "numpy" | "cc" | "numba-<version>"
+    fallback_reason: Optional[str] = None   # set => emit kernel.fallback
+    kernels: Optional[object] = None        # compiled object when jit
+
+
+def resolve_kernel(name: str) -> KernelResolution:
+    """Map a requested kernel name to its runnable resolution."""
+    if name not in KERNEL_NAMES:
+        raise ValueError(
+            f"unknown wc_kernel {name!r}: expected one of {KERNEL_NAMES}")
+    if name in ("reference", "chunked"):
+        return KernelResolution(name, name, "numpy")
+    kernels, reason = compiled_kernels()
+    if kernels is not None:
+        return KernelResolution(name, "jit", kernels.backend, None, kernels)
+    if name == "auto":
+        return KernelResolution(name, "chunked", "numpy")
+    return KernelResolution(name, "chunked", "numpy",
+                            reason or "no compiled backend")
+
+
+def _smoke(kernels) -> str:
+    """One tiny lane through the compiled kernel vs the pure-Python loop."""
+    rng = np.random.default_rng(7)
+    cycles, banks = 256, 4
+    seq = rng.integers(0, banks, size=cycles).astype(np.int32)
+    seq[rng.random(cycles) < 0.2] = -1
+    outs = []
+    for impl in (kernels, pyloops):
+        counts = np.zeros(4, np.int64)
+        stall_out = np.zeros(cycles, np.int64)
+        impl.run_stall_lane(
+            seq, 13, 10, 6, 12, 3, 6, 0, 4, cycles,
+            np.zeros(banks, np.int64), np.zeros(banks, np.int64),
+            np.zeros(banks, np.int64), np.zeros(banks, np.int64),
+            np.zeros(banks, np.int64), np.full(12, -1, np.int64),
+            stall_out, np.zeros(banks, np.int64), np.zeros(banks, np.int64),
+            np.full(64, -1, np.int64), np.full(64, -1, np.int64),
+            np.full((64, banks), -1, np.int64), counts)
+        outs.append((counts.copy(), stall_out.copy()))
+    same = (np.array_equal(outs[0][0], outs[1][0])
+            and np.array_equal(outs[0][1], outs[1][1]))
+    return "ok" if same else "mismatch"
+
+
+def kernel_report() -> Dict[str, object]:
+    """Probe every backend for the ``repro kernels`` CLI.
+
+    Probes run fresh (ignoring the cache) so the report reflects the
+    current environment, and each carries its one-shot warm-up time —
+    for numba that is the njit compile, for cc the gcc build (near
+    zero when the .so cache is warm).
+    """
+    disabled = _disabled()
+    report: Dict[str, object] = {"backends": {}, "disabled": sorted(disabled)}
+    backends: Dict[str, Dict[str, object]] = report["backends"]
+
+    for label, loader, mask in (("numba", numba_backend.load, "numba"),
+                                ("cc", cbackend.load, "cc")):
+        entry: Dict[str, object] = {"available": False, "detail": "",
+                                    "warmup_s": None, "smoke": None}
+        if "jit" in disabled or mask in disabled:
+            entry["detail"] = "disabled via REPRO_KERNEL_DISABLE"
+        else:
+            start = time.perf_counter()
+            kernels = loader()
+            entry["warmup_s"] = time.perf_counter() - start
+            if kernels is None:
+                entry["detail"] = "unavailable"
+                entry["warmup_s"] = None
+            else:
+                entry["available"] = True
+                entry["detail"] = kernels.backend
+                entry["smoke"] = _smoke(kernels)
+        backends[label] = entry
+
+    resolution = resolve_kernel("jit")
+    report["jit"] = {
+        "effective": resolution.effective,
+        "backend": resolution.backend,
+        "fallback_reason": resolution.fallback_reason,
+    }
+    return report

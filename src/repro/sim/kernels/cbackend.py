@@ -1,0 +1,397 @@
+"""C fallback JIT backend: gcc-compiled shared library via ctypes.
+
+When numba is absent (it is an extras-only dependency) but a C
+compiler is on PATH, the "jit" kernel can still run compiled code: the
+loop kernels in :mod:`pyloops` are transcribed line-for-line into C
+below, built once per source-hash with ``cc -O2 -shared -fPIC`` into a
+cache directory, and bound through :mod:`ctypes`.  Because the ABI is
+flat int64/int32 arrays and scalars (DESIGN.md §13), the transcription
+is mechanical and the bit-identity contract carries over unchanged —
+the differential suite pins it against the NumPy engines either way.
+
+The backend is best-effort by design: any failure (no compiler,
+read-only cache, dlopen error) surfaces as ``None`` from
+:func:`load`, and the resolution layer in ``kernels/__init__`` falls
+back to the next backend.  Set ``REPRO_KERNEL_CACHE`` to relocate the
+build directory (CI uses a workspace path).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+int run_stall_lane(
+    const int32_t *seq, int64_t cycles, int64_t banks,
+    int64_t num, int64_t den, int64_t latency, int64_t delay,
+    int64_t queue_limit, int64_t row_limit,
+    int64_t strict, int64_t stride, int64_t stall_cap,
+    int64_t *queue, int64_t *rows, int64_t *free_at,
+    int64_t *enqueued, int64_t *ready, int64_t *release,
+    int64_t *stall_out, int64_t *peak_q, int64_t *peak_r,
+    int64_t *queue_series, int64_t *rows_series, int64_t *pressure,
+    int64_t *counts)
+{
+    int64_t head = 0, size = 0, slots_consumed = 0;
+    int64_t accepted = 0, ds_stalls = 0, bq_stalls = 0, nstalls = 0;
+
+    for (int64_t now = 0; now < cycles; now++) {
+        int64_t ring_slot = now % delay;
+        int64_t freed = release[ring_slot];
+        release[ring_slot] = -1;
+
+        int64_t bank = seq[now];
+        if (bank >= 0) {
+            if (rows[bank] >= row_limit) {
+                ds_stalls++;
+                if (nstalls < stall_cap) stall_out[nstalls] = now;
+                nstalls++;
+            } else {
+                int64_t busy = free_at[bank] > slots_consumed ? 1 : 0;
+                if (queue[bank] + busy >= queue_limit) {
+                    bq_stalls++;
+                    if (nstalls < stall_cap) stall_out[nstalls] = now;
+                    nstalls++;
+                } else {
+                    accepted++;
+                    rows[bank]++;
+                    queue[bank]++;
+                    if (stride > 0) {
+                        if (queue[bank] > peak_q[bank])
+                            peak_q[bank] = queue[bank];
+                        if (rows[bank] > peak_r[bank])
+                            peak_r[bank] = rows[bank];
+                    }
+                    release[ring_slot] = bank;
+                    if (strict == 0 && enqueued[bank] == 0) {
+                        enqueued[bank] = 1;
+                        ready[(head + size) % banks] = bank;
+                        size++;
+                    }
+                }
+            }
+        }
+
+        if (stride > 0 && now % stride == 0) {
+            int64_t bucket = now / stride;
+            int64_t qmax = 0, rmax = 0;
+            for (int64_t b = 0; b < banks; b++) {
+                if (queue[b] > qmax) qmax = queue[b];
+                if (rows[b] > rmax) rmax = rows[b];
+                if (queue[b] > pressure[bucket * banks + b])
+                    pressure[bucket * banks + b] = queue[b];
+            }
+            if (qmax > queue_series[bucket]) queue_series[bucket] = qmax;
+            if (rmax > rows_series[bucket]) rows_series[bucket] = rmax;
+        }
+
+        if (freed >= 0) rows[freed]--;
+
+        int64_t target = ((now + 1) * num) / den;
+        while (slots_consumed < target) {
+            int64_t slot = slots_consumed;
+            slots_consumed++;
+            if (strict == 1) {
+                int64_t b = slot % banks;
+                if (queue[b] > 0 && free_at[b] <= slot) {
+                    queue[b]--;
+                    free_at[b] = slot + latency;
+                }
+            } else {
+                int64_t scan = size;
+                for (int64_t k = 0; k < scan; k++) {
+                    int64_t b = ready[head];
+                    head = (head + 1) % banks;
+                    size--;
+                    if (queue[b] == 0) { enqueued[b] = 0; continue; }
+                    if (free_at[b] <= slot) {
+                        queue[b]--;
+                        free_at[b] = slot + latency;
+                        if (queue[b] > 0) {
+                            ready[(head + size) % banks] = b;
+                            size++;
+                        } else {
+                            enqueued[b] = 0;
+                        }
+                        break;
+                    }
+                    ready[(head + size) % banks] = b;
+                    size++;
+                }
+            }
+        }
+    }
+
+    counts[0] = accepted;
+    counts[1] = ds_stalls;
+    counts[2] = bq_stalls;
+    counts[3] = nstalls;
+    return 0;
+}
+
+int run_merge_events(
+    const int32_t *ev_bank, const int32_t *ev_key, int64_t n,
+    int64_t banks, int64_t queue_cap,
+    int64_t num, int64_t den, int64_t latency, int64_t delay,
+    int64_t queue_limit, int64_t row_limit, int64_t max_count,
+    int64_t merge_on, int64_t strict,
+    int64_t *cam_row, int64_t *rows_used,
+    int64_t *row_counter, int64_t *row_pending,
+    int64_t *row_bank, int64_t *row_key, int64_t *free_stack,
+    int64_t *queues, int64_t *q_head, int64_t *q_size,
+    int64_t *bank_free_at, int64_t *enqueued, int64_t *ready,
+    int64_t *release, int64_t *state, int64_t *counts)
+{
+    int64_t now = state[0];
+    int64_t slots_consumed = state[1];
+    int64_t ready_head = state[2];
+    int64_t ready_size = state[3];
+    int64_t free_top = state[4];
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t ring_slot = now % delay;
+        int64_t freed = release[ring_slot];
+        release[ring_slot] = -1;
+
+        int64_t bank = ev_bank[i];
+        if (bank >= 0) {
+            counts[0]++;
+            int64_t key = ev_key[i];
+            int64_t hit = merge_on == 1 ? cam_row[key] : -1;
+            if (hit >= 0) {
+                if (row_counter[hit] >= max_count) {
+                    counts[3]++;
+                } else {
+                    row_counter[hit]++;
+                    counts[1]++;
+                    counts[2]++;
+                    release[ring_slot] = hit;
+                }
+            } else if (rows_used[bank] >= row_limit) {
+                counts[3]++;
+            } else {
+                int64_t busy = bank_free_at[bank] > slots_consumed ? 1 : 0;
+                if (q_size[bank] + busy >= queue_limit) {
+                    counts[4]++;
+                } else {
+                    free_top--;
+                    int64_t row = free_stack[free_top];
+                    row_counter[row] = 1;
+                    row_pending[row] = 1;
+                    row_bank[row] = bank;
+                    row_key[row] = key;
+                    rows_used[bank]++;
+                    if (merge_on == 1) cam_row[key] = row;
+                    queues[bank * queue_cap
+                           + (q_head[bank] + q_size[bank]) % queue_cap] = row;
+                    q_size[bank]++;
+                    counts[1]++;
+                    release[ring_slot] = row;
+                    if (enqueued[bank] == 0) {
+                        enqueued[bank] = 1;
+                        ready[(ready_head + ready_size) % banks] = bank;
+                        ready_size++;
+                    }
+                }
+            }
+        }
+
+        if (freed >= 0) {
+            row_counter[freed]--;
+            if (row_counter[freed] == 0 && row_pending[freed] == 0) {
+                rows_used[row_bank[freed]]--;
+                if (merge_on == 1) cam_row[row_key[freed]] = -1;
+                free_stack[free_top] = freed;
+                free_top++;
+            }
+        }
+
+        int64_t target = ((now + 1) * num) / den;
+        while (slots_consumed < target) {
+            int64_t slot = slots_consumed;
+            slots_consumed++;
+            if (strict == 1) {
+                int64_t b = slot % banks;
+                if (q_size[b] > 0 && bank_free_at[b] <= slot) {
+                    int64_t row = queues[b * queue_cap + q_head[b]];
+                    q_head[b] = (q_head[b] + 1) % queue_cap;
+                    q_size[b]--;
+                    row_pending[row] = 0;
+                    bank_free_at[b] = slot + latency;
+                    counts[5]++;
+                    if (row_counter[row] == 0) {
+                        rows_used[b]--;
+                        if (merge_on == 1) cam_row[row_key[row]] = -1;
+                        free_stack[free_top] = row;
+                        free_top++;
+                    }
+                }
+            } else {
+                int64_t scan = ready_size;
+                for (int64_t k = 0; k < scan; k++) {
+                    int64_t b = ready[ready_head];
+                    ready_head = (ready_head + 1) % banks;
+                    ready_size--;
+                    if (q_size[b] == 0) { enqueued[b] = 0; continue; }
+                    if (bank_free_at[b] <= slot) {
+                        int64_t row = queues[b * queue_cap + q_head[b]];
+                        q_head[b] = (q_head[b] + 1) % queue_cap;
+                        q_size[b]--;
+                        row_pending[row] = 0;
+                        bank_free_at[b] = slot + latency;
+                        counts[5]++;
+                        if (row_counter[row] == 0) {
+                            rows_used[b]--;
+                            if (merge_on == 1) cam_row[row_key[row]] = -1;
+                            free_stack[free_top] = row;
+                            free_top++;
+                        }
+                        if (q_size[b] > 0) {
+                            ready[(ready_head + ready_size) % banks] = b;
+                            ready_size++;
+                        } else {
+                            enqueued[b] = 0;
+                        }
+                        break;
+                    }
+                    ready[(ready_head + ready_size) % banks] = b;
+                    ready_size++;
+                }
+            }
+        }
+
+        now++;
+    }
+
+    state[0] = now;
+    state[1] = slots_consumed;
+    state[2] = ready_head;
+    state[3] = ready_size;
+    state[4] = free_top;
+    return 0;
+}
+"""
+
+_I64 = ctypes.POINTER(ctypes.c_int64)
+_I32 = ctypes.POINTER(ctypes.c_int32)
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME",
+                          os.path.join(os.path.expanduser("~"), ".cache"))
+    return os.path.join(base, "repro-kernels")
+
+
+def _compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build() -> str:
+    """Compile (once per source hash) and return the .so path."""
+    cc = _compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"repro_kernels_{digest}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    os.makedirs(cache, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=cache) as tmp:
+        src = os.path.join(tmp, "kernels.c")
+        out = os.path.join(tmp, "kernels.so")
+        with open(src, "w") as fh:
+            fh.write(_C_SOURCE)
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", out, src],
+            capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            raise RuntimeError(f"kernel compile failed: {proc.stderr[-500:]}")
+        # Atomic within one filesystem: concurrent builders race benignly.
+        os.replace(out, lib_path)
+    return lib_path
+
+
+def _i64(array: np.ndarray):
+    return array.ctypes.data_as(_I64)
+
+
+def _i32(array: np.ndarray):
+    return array.ctypes.data_as(_I32)
+
+
+class _CKernels:
+    """ctypes bindings exposing the pyloops signatures exactly."""
+
+    backend = "cc"
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+        lib.run_stall_lane.restype = ctypes.c_int
+        lib.run_merge_events.restype = ctypes.c_int
+
+    def run_stall_lane(self, seq, num, den, latency, delay, queue_limit,
+                       row_limit, strict, stride, stall_cap,
+                       queue, rows, free_at, enqueued, ready, release,
+                       stall_out, peak_q, peak_r,
+                       queue_series, rows_series, pressure, counts):
+        return self._lib.run_stall_lane(
+            _i32(seq), ctypes.c_int64(seq.shape[0]),
+            ctypes.c_int64(queue.shape[0]),
+            ctypes.c_int64(num), ctypes.c_int64(den),
+            ctypes.c_int64(latency), ctypes.c_int64(delay),
+            ctypes.c_int64(queue_limit), ctypes.c_int64(row_limit),
+            ctypes.c_int64(strict), ctypes.c_int64(stride),
+            ctypes.c_int64(stall_cap),
+            _i64(queue), _i64(rows), _i64(free_at), _i64(enqueued),
+            _i64(ready), _i64(release), _i64(stall_out),
+            _i64(peak_q), _i64(peak_r),
+            _i64(queue_series), _i64(rows_series), _i64(pressure),
+            _i64(counts))
+
+    def run_merge_events(self, ev_bank, ev_key, num, den, latency, delay,
+                         queue_limit, row_limit, max_count, merge_on, strict,
+                         cam_row, rows_used, row_counter, row_pending,
+                         row_bank, row_key, free_stack,
+                         queues, q_head, q_size, bank_free_at,
+                         enqueued, ready, release, state, counts):
+        return self._lib.run_merge_events(
+            _i32(ev_bank), _i32(ev_key),
+            ctypes.c_int64(ev_bank.shape[0]),
+            ctypes.c_int64(rows_used.shape[0]),
+            ctypes.c_int64(queues.shape[1]),
+            ctypes.c_int64(num), ctypes.c_int64(den),
+            ctypes.c_int64(latency), ctypes.c_int64(delay),
+            ctypes.c_int64(queue_limit), ctypes.c_int64(row_limit),
+            ctypes.c_int64(max_count), ctypes.c_int64(merge_on),
+            ctypes.c_int64(strict),
+            _i64(cam_row), _i64(rows_used), _i64(row_counter),
+            _i64(row_pending), _i64(row_bank), _i64(row_key),
+            _i64(free_stack), _i64(queues), _i64(q_head), _i64(q_size),
+            _i64(bank_free_at), _i64(enqueued), _i64(ready),
+            _i64(release), _i64(state), _i64(counts))
+
+
+def load() -> Optional[_CKernels]:
+    """Build+bind the C kernels; ``None`` (never raises) when impossible."""
+    try:
+        return _CKernels(ctypes.CDLL(_build()))
+    except Exception:
+        return None

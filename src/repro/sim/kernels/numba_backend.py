@@ -1,0 +1,73 @@
+"""Numba JIT backend: ``@njit``-compiled :mod:`pyloops` functions.
+
+numba is an extras-only dependency (``pip install repro[jit]``); this
+module must import cleanly without it, so the compilation happens
+inside :func:`load` and any failure — missing package, unsupported
+numpy, LLVM error during the warm-up compile — returns ``None`` and
+lets the resolution layer fall through to the C backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import pyloops
+
+
+class _NumbaKernels:
+    backend_prefix = "numba"
+
+    def __init__(self, run_stall_lane, run_merge_events, version: str):
+        self.run_stall_lane = run_stall_lane
+        self.run_merge_events = run_merge_events
+        self.backend = f"numba-{version}"
+
+
+def _warm(kernels: _NumbaKernels) -> None:
+    """Force both compilations now (one-shot cost, measured by `repro
+    kernels`) with a minimal but dynamically live configuration."""
+    seq = np.array([0, 1, -1, 0], dtype=np.int32)
+    banks = 2
+    kernels.run_stall_lane(
+        seq, 1, 1, 2, 4, 2, 4, 0, 1, 4,
+        np.zeros(banks, np.int64), np.zeros(banks, np.int64),
+        np.zeros(banks, np.int64), np.zeros(banks, np.int64),
+        np.zeros(banks, np.int64), np.full(4, -1, np.int64),
+        np.zeros(4, np.int64), np.zeros(banks, np.int64),
+        np.zeros(banks, np.int64), np.full(4, -1, np.int64),
+        np.full(4, -1, np.int64), np.full((4, banks), -1, np.int64),
+        np.zeros(4, np.int64))
+    max_rows = 5
+    kernels.run_merge_events(
+        np.array([0, 0, -1, 1], dtype=np.int32),
+        np.array([0, 0, 0, 1], dtype=np.int32),
+        1, 1, 2, 4, 2, 2, 3, 1, 0,
+        np.full(2, -1, np.int64), np.zeros(banks, np.int64),
+        np.zeros(max_rows, np.int64), np.zeros(max_rows, np.int64),
+        np.zeros(max_rows, np.int64), np.zeros(max_rows, np.int64),
+        np.arange(max_rows - 1, -1, -1, dtype=np.int64),
+        np.zeros((banks, 3), np.int64), np.zeros(banks, np.int64),
+        np.zeros(banks, np.int64), np.zeros(banks, np.int64),
+        np.zeros(banks, np.int64), np.zeros(banks, np.int64),
+        np.full(4, -1, np.int64),
+        np.array([0, 0, 0, 0, max_rows], np.int64),
+        np.zeros(6, np.int64))
+
+
+def load() -> Optional[_NumbaKernels]:
+    """Compile the loop kernels with numba; ``None`` when unavailable."""
+    try:
+        import numba
+    except Exception:
+        return None
+    try:
+        njit = numba.njit(cache=True, nogil=True)
+        kernels = _NumbaKernels(njit(pyloops.run_stall_lane),
+                                njit(pyloops.run_merge_events),
+                                getattr(numba, "__version__", "unknown"))
+        _warm(kernels)
+        return kernels
+    except Exception:
+        return None

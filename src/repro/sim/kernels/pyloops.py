@@ -1,0 +1,312 @@
+"""Loop-form batch kernels: the single source the JIT backends compile.
+
+Every hot loop extracted from the vectorized engines lives here as a
+plain-Python function over **flat int64/float-free arrays** — the ABI
+both compiled backends share (DESIGN.md §13):
+
+* :func:`run_stall_lane` — one lane of the occupancy-only stall
+  dynamics (the inner loop of ``sim/batchsim``'s work-conserving
+  kernels, generalized to cover strict round robin as well).  It is a
+  faithful transcription of :class:`~repro.sim.fastsim.
+  FastStallSimulator`'s cycle loop: same acceptance order
+  (delay-storage before bank-queue, busy folded into the queue
+  threshold), same pop-then-apply release-ring discipline, same
+  rational clock-domain bookkeeping — which is what makes the compiled
+  kernels bit-identical to the NumPy engines by construction.
+* :func:`run_merge_events` — the merging-lane CAM loop of
+  ``sim/mergesim`` over pre-mapped ``(bank, key)`` event streams, with
+  the CAM lowered to a dense ``key -> row`` index array and rows to a
+  free-list-managed struct-of-arrays pool.
+
+The functions take *only* scalars and ndarrays (no objects, no dicts,
+no Python containers), so ``numba.njit`` compiles them unchanged and
+the C backend (``cbackend``) is a line-for-line transcription.  They
+also run as-is under the plain interpreter — slowly, but that is how
+the tests cover the algorithm without a compiler present.
+
+State-crossing contract: callers own every array; scratch arrays must
+arrive zeroed (release rings at -1), and telemetry accumulators carry
+across calls (series arrays are max-merged in place, so one shared
+buffer accumulates a whole batch of lanes).
+"""
+
+from __future__ import annotations
+
+__all__ = ["run_stall_lane", "run_merge_events"]
+
+
+def run_stall_lane(seq, num, den, latency, delay, queue_limit, row_limit,
+                   strict, stride, stall_cap,
+                   queue, rows, free_at, enqueued, ready, release,
+                   stall_out, peak_q, peak_r,
+                   queue_series, rows_series, pressure, counts):
+    """Simulate one lane's interface cycles; fastsim semantics exactly.
+
+    Parameters (all arrays int64 unless noted)
+    ------------------------------------------
+    seq : (cycles,) int32
+        Bank of each interface cycle's arrival, -1 for an idle cycle.
+    num, den, latency, delay, queue_limit, row_limit : int
+        The configuration scalars (R as the exact rational num/den).
+    strict : int
+        1 = strict round robin (slot ``m`` belongs to bank ``m mod B``),
+        0 = work-conserving ready-deque arbitration.
+    stride : int
+        Telemetry sampling stride in interface cycles; 0 = telemetry
+        off (the peak/series arrays are then never touched).
+    stall_cap : int
+        Max stall cycles recorded into ``stall_out`` (counts stay
+        exact beyond the cap, matching the scalar simulator).
+    queue, rows, free_at, enqueued, ready : (banks,) scratch, zeroed
+    release : (delay,) scratch, filled with -1
+    stall_out : (stall_cap,) output
+    peak_q, peak_r : (banks,) per-lane occupancy peaks (stride > 0)
+    queue_series, rows_series : (buckets,) shared max-accumulators,
+        initialized to -1 by the first caller
+    pressure : (buckets, banks) shared max-accumulator, initialized -1
+    counts : (4,) output: accepted, delay-storage stalls, bank-queue
+        stalls, total stalls recorded+unrecorded (len of the lane's
+        stall-cycle list before capping)
+    """
+    banks = queue.shape[0]
+    cycles = seq.shape[0]
+    head = 0
+    size = 0
+    slots_consumed = 0
+    accepted = 0
+    ds_stalls = 0
+    bq_stalls = 0
+    nstalls = 0
+
+    for now in range(cycles):
+        ring_slot = now % delay
+        freed = release[ring_slot]
+        release[ring_slot] = -1
+
+        bank = seq[now]
+        if bank >= 0:
+            if rows[bank] >= row_limit:
+                ds_stalls += 1
+                if nstalls < stall_cap:
+                    stall_out[nstalls] = now
+                nstalls += 1
+            else:
+                busy = 1 if free_at[bank] > slots_consumed else 0
+                if queue[bank] + busy >= queue_limit:
+                    bq_stalls += 1
+                    if nstalls < stall_cap:
+                        stall_out[nstalls] = now
+                    nstalls += 1
+                else:
+                    accepted += 1
+                    rows[bank] += 1
+                    queue[bank] += 1
+                    if stride > 0:
+                        if queue[bank] > peak_q[bank]:
+                            peak_q[bank] = queue[bank]
+                        if rows[bank] > peak_r[bank]:
+                            peak_r[bank] = rows[bank]
+                    release[ring_slot] = bank
+                    if strict == 0 and enqueued[bank] == 0:
+                        enqueued[bank] = 1
+                        ready[(head + size) % banks] = bank
+                        size += 1
+
+        if stride > 0 and now % stride == 0:
+            # Post-accept, pre-release: the measurement point every
+            # engine shares (DESIGN.md §9).
+            bucket = now // stride
+            qmax = 0
+            rmax = 0
+            for b in range(banks):
+                if queue[b] > qmax:
+                    qmax = queue[b]
+                if rows[b] > rmax:
+                    rmax = rows[b]
+                if queue[b] > pressure[bucket, b]:
+                    pressure[bucket, b] = queue[b]
+            if qmax > queue_series[bucket]:
+                queue_series[bucket] = qmax
+            if rmax > rows_series[bucket]:
+                rows_series[bucket] = rmax
+
+        if freed >= 0:
+            rows[freed] -= 1
+
+        target = ((now + 1) * num) // den
+        while slots_consumed < target:
+            slot = slots_consumed
+            slots_consumed += 1
+            if strict == 1:
+                b = slot % banks
+                if queue[b] > 0 and free_at[b] <= slot:
+                    queue[b] -= 1
+                    free_at[b] = slot + latency
+            else:
+                scan = size
+                for _ in range(scan):
+                    b = ready[head]
+                    head = (head + 1) % banks
+                    size -= 1
+                    if queue[b] == 0:
+                        enqueued[b] = 0
+                        continue
+                    if free_at[b] <= slot:
+                        queue[b] -= 1
+                        free_at[b] = slot + latency
+                        if queue[b] > 0:
+                            ready[(head + size) % banks] = b
+                            size += 1
+                        else:
+                            enqueued[b] = 0
+                        break
+                    ready[(head + size) % banks] = b
+                    size += 1
+
+    counts[0] = accepted
+    counts[1] = ds_stalls
+    counts[2] = bq_stalls
+    counts[3] = nstalls
+    return 0
+
+
+def run_merge_events(ev_bank, ev_key, num, den, latency, delay,
+                     queue_limit, row_limit, max_count, merge_on, strict,
+                     cam_row, rows_used, row_counter, row_pending,
+                     row_bank, row_key, free_stack,
+                     queues, q_head, q_size, bank_free_at,
+                     enqueued, ready, release, state, counts):
+    """Drive pre-mapped events through the merging-lane CAM dynamics.
+
+    A transcription of :meth:`~repro.sim.mergesim.MergingLaneSimulator.
+    _step` with the CAM as a dense ``key -> row id`` array (``cam_row``,
+    -1 = absent), rows as a struct-of-arrays pool recycled through
+    ``free_stack``, and the per-bank FIFOs as fixed-capacity rings.
+
+    ``ev_bank[i]`` is event ``i``'s bank (-1 = idle cycle) and
+    ``ev_key[i]`` its dense (bank, line) key id.  ``state`` persists
+    across calls: ``[now, slots_consumed, ready_head, ready_size,
+    free_top]`` — so a caller can stream events in segments and drain
+    with idle batches.  ``counts`` accumulates ``[offered, accepted,
+    merged, delay-storage stalls, bank-queue stalls, issued]``.
+    """
+    banks = rows_used.shape[0]
+    queue_cap = queues.shape[1]
+    n = ev_bank.shape[0]
+    now = state[0]
+    slots_consumed = state[1]
+    ready_head = state[2]
+    ready_size = state[3]
+    free_top = state[4]
+
+    for i in range(n):
+        ring_slot = now % delay
+        freed = release[ring_slot]
+        release[ring_slot] = -1
+
+        bank = ev_bank[i]
+        if bank >= 0:
+            counts[0] += 1
+            key = ev_key[i]
+            hit = cam_row[key] if merge_on == 1 else -1
+            if hit >= 0:
+                if row_counter[hit] >= max_count:
+                    counts[3] += 1
+                else:
+                    row_counter[hit] += 1
+                    counts[1] += 1
+                    counts[2] += 1
+                    release[ring_slot] = hit
+            elif rows_used[bank] >= row_limit:
+                counts[3] += 1
+            else:
+                busy = 1 if bank_free_at[bank] > slots_consumed else 0
+                if q_size[bank] + busy >= queue_limit:
+                    counts[4] += 1
+                else:
+                    free_top -= 1
+                    row = free_stack[free_top]
+                    row_counter[row] = 1
+                    row_pending[row] = 1
+                    row_bank[row] = bank
+                    row_key[row] = key
+                    rows_used[bank] += 1
+                    if merge_on == 1:
+                        cam_row[key] = row
+                    queues[bank, (q_head[bank] + q_size[bank])
+                           % queue_cap] = row
+                    q_size[bank] += 1
+                    counts[1] += 1
+                    release[ring_slot] = row
+                    if enqueued[bank] == 0:
+                        enqueued[bank] = 1
+                        ready[(ready_head + ready_size) % banks] = bank
+                        ready_size += 1
+
+        if freed >= 0:
+            row_counter[freed] -= 1
+            if row_counter[freed] == 0 and row_pending[freed] == 0:
+                rows_used[row_bank[freed]] -= 1
+                if merge_on == 1:
+                    cam_row[row_key[freed]] = -1
+                free_stack[free_top] = freed
+                free_top += 1
+
+        target = ((now + 1) * num) // den
+        while slots_consumed < target:
+            slot = slots_consumed
+            slots_consumed += 1
+            if strict == 1:
+                b = slot % banks
+                if q_size[b] > 0 and bank_free_at[b] <= slot:
+                    row = queues[b, q_head[b]]
+                    q_head[b] = (q_head[b] + 1) % queue_cap
+                    q_size[b] -= 1
+                    row_pending[row] = 0
+                    bank_free_at[b] = slot + latency
+                    counts[5] += 1
+                    if row_counter[row] == 0:
+                        rows_used[b] -= 1
+                        if merge_on == 1:
+                            cam_row[row_key[row]] = -1
+                        free_stack[free_top] = row
+                        free_top += 1
+            else:
+                scan = ready_size
+                for _ in range(scan):
+                    b = ready[ready_head]
+                    ready_head = (ready_head + 1) % banks
+                    ready_size -= 1
+                    if q_size[b] == 0:
+                        enqueued[b] = 0
+                        continue
+                    if bank_free_at[b] <= slot:
+                        row = queues[b, q_head[b]]
+                        q_head[b] = (q_head[b] + 1) % queue_cap
+                        q_size[b] -= 1
+                        row_pending[row] = 0
+                        bank_free_at[b] = slot + latency
+                        counts[5] += 1
+                        if row_counter[row] == 0:
+                            rows_used[b] -= 1
+                            if merge_on == 1:
+                                cam_row[row_key[row]] = -1
+                            free_stack[free_top] = row
+                            free_top += 1
+                        if q_size[b] > 0:
+                            ready[(ready_head + ready_size) % banks] = b
+                            ready_size += 1
+                        else:
+                            enqueued[b] = 0
+                        break
+                    ready[(ready_head + ready_size) % banks] = b
+                    ready_size += 1
+
+        now += 1
+
+    state[0] = now
+    state[1] = slots_consumed
+    state[2] = ready_head
+    state[3] = ready_size
+    state[4] = free_top
+    return 0

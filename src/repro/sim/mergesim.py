@@ -25,8 +25,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.config import VPNMConfig
 from repro.hashing.mapping import AddressMapper
+from repro.sim import kernels as kernels_pkg
 
 # Row cells (a plain list is measurably faster than attributes here).
 _COUNTER, _PENDING, _BANK, _LINE = range(4)
@@ -225,3 +228,173 @@ class MergingLaneSimulator:
         self._rows_used[row[_BANK]] -= 1
         if self.config.merge_reads:
             self._cam.pop((row[_BANK], row[_LINE]), None)
+
+
+class CompiledMergingLaneSimulator:
+    """Same dynamics as :class:`MergingLaneSimulator`, compiled kernel.
+
+    The CAM loop runs in :func:`repro.sim.kernels.pyloops.
+    run_merge_events` (via the numba or cc backend): the CAM is a dense
+    ``key id -> row id`` array, rows a free-list-managed
+    struct-of-arrays pool, and the per-bank FIFOs fixed-capacity
+    rings.  The only Python-level work per event is the memoized
+    address → (bank, dense key) pre-mapping — the universal hash is
+    pure and redundancy-heavy streams revisit the same addresses, so
+    the cache hit path is one dict probe.
+
+    Public API (``run``/``drain``/accounting accumulation) matches the
+    interpreter model exactly; ``tests/sim/test_kernels.py`` pins the
+    two bit-identical on flood, Zipf and uniform streams.  Construct
+    through :func:`make_merging_simulator` so callers degrade to the
+    interpreter model when no compiled backend exists.
+    """
+
+    def __init__(self, config: VPNMConfig, seed: Optional[int] = 0,
+                 kernels: Optional[object] = None):
+        if config.stall_policy != "drop":
+            raise ValueError(
+                "the merging lane model implements the drop policy only")
+        if kernels is None:
+            kernels, _ = kernels_pkg.compiled_kernels()
+        if kernels is None:
+            raise RuntimeError(
+                "no compiled kernel backend; use MergingLaneSimulator")
+        self.config = config
+        self._kernels = kernels
+        self.mapper = AddressMapper(
+            address_bits=config.address_bits,
+            banks=config.banks,
+            scheme=config.hash_scheme,
+            seed=seed,
+        )
+        #: address -> (bank, dense key id); key ids number the distinct
+        #: (bank, line) pairs in first-seen order.
+        self._map_cache: Dict[int, Tuple[int, int]] = {}
+        self._key_ids: Dict[Tuple[int, int], int] = {}
+        self._max_count = (1 << config.counter_bits) - 1
+        ratio = Fraction(config.bus_scaling).limit_denominator(1_000)
+        self._num, self._den = ratio.numerator, ratio.denominator
+
+        banks = config.banks
+        # Live rows are bounded by the per-bank admission check:
+        # rows_used[bank] < delay_rows at every accept.
+        max_rows = banks * config.delay_rows + 1
+        queue_cap = config.queue_depth + 1
+        self._cam_row = np.full(1, -1, dtype=np.int64)
+        self._rows_used = np.zeros(banks, dtype=np.int64)
+        self._row_counter = np.zeros(max_rows, dtype=np.int64)
+        self._row_pending = np.zeros(max_rows, dtype=np.int64)
+        self._row_bank = np.zeros(max_rows, dtype=np.int64)
+        self._row_key = np.zeros(max_rows, dtype=np.int64)
+        self._free_stack = np.arange(max_rows, dtype=np.int64)
+        self._queues = np.zeros((banks, queue_cap), dtype=np.int64)
+        self._q_head = np.zeros(banks, dtype=np.int64)
+        self._q_size = np.zeros(banks, dtype=np.int64)
+        self._bank_free_at = np.zeros(banks, dtype=np.int64)
+        self._enqueued = np.zeros(banks, dtype=np.int64)
+        self._ready = np.zeros(banks, dtype=np.int64)
+        self._release = np.full(config.normalized_delay, -1, dtype=np.int64)
+        # [now, slots_consumed, ready_head, ready_size, free_top]
+        self._state = np.array([0, 0, 0, 0, max_rows], dtype=np.int64)
+        self._counts = np.zeros(6, dtype=np.int64)
+
+    def _map_events(self, addresses) -> Tuple[np.ndarray, np.ndarray]:
+        ev_bank = np.empty(len(addresses), dtype=np.int32)
+        ev_key = np.empty(len(addresses), dtype=np.int32)
+        cache = self._map_cache
+        key_ids = self._key_ids
+        for i, address in enumerate(addresses):
+            if address is None:
+                ev_bank[i] = -1
+                ev_key[i] = 0
+                continue
+            mapping = cache.get(address)
+            if mapping is None:
+                mapped = self.mapper.map(address)
+                pair = (mapped.bank, mapped.line)
+                key = key_ids.get(pair)
+                if key is None:
+                    key = len(key_ids)
+                    key_ids[pair] = key
+                mapping = (mapped.bank, key)
+                cache[address] = mapping
+            ev_bank[i] = mapping[0]
+            ev_key[i] = mapping[1]
+        if len(key_ids) > self._cam_row.shape[0]:
+            grown = np.full(max(len(key_ids), 2 * self._cam_row.shape[0]),
+                            -1, dtype=np.int64)
+            grown[:self._cam_row.shape[0]] = self._cam_row
+            self._cam_row = grown
+        return ev_bank, ev_key
+
+    def _run_events(self, ev_bank: np.ndarray, ev_key: np.ndarray) -> None:
+        config = self.config
+        self._kernels.run_merge_events(
+            ev_bank, ev_key, self._num, self._den, config.bank_latency,
+            config.normalized_delay, config.queue_depth, config.delay_rows,
+            self._max_count, 1 if config.merge_reads else 0,
+            0 if config.skip_idle_slots else 1,
+            self._cam_row, self._rows_used, self._row_counter,
+            self._row_pending, self._row_bank, self._row_key,
+            self._free_stack, self._queues, self._q_head, self._q_size,
+            self._bank_free_at, self._enqueued, self._ready,
+            self._release, self._state, self._counts)
+
+    def _accounting(self) -> MergeRunResult:
+        counts = self._counts
+        return MergeRunResult(
+            cycles=int(self._state[0]),
+            offered=int(counts[0]),
+            reads_accepted=int(counts[1]),
+            reads_merged=int(counts[2]),
+            delay_storage_stalls=int(counts[3]),
+            bank_queue_stalls=int(counts[4]),
+            accesses_issued=int(counts[5]),
+        )
+
+    def run(self, addresses: Iterable[Optional[int]]) -> MergeRunResult:
+        """One interface cycle per item; ``None`` items are idle cycles."""
+        ev_bank, ev_key = self._map_events(list(addresses))
+        self._run_events(ev_bank, ev_key)
+        return self._accounting()
+
+    def drain(self) -> MergeRunResult:
+        """Idle-cycle until every row is released and every queue empty.
+
+        Steps one idle cycle per kernel call so the quiesce check (and
+        therefore the final cycle count) lands on exactly the same
+        cycle as the interpreter model's per-step loop.
+        """
+        queued = int(self._q_size.sum())
+        limit = (self.config.normalized_delay + 1
+                 + (queued + 1) * max(self.config.bank_latency,
+                                      self.config.banks))
+        idle_bank = np.full(1, -1, dtype=np.int32)
+        idle_key = np.zeros(1, dtype=np.int32)
+        for _ in range(limit):
+            if not self._rows_used.any() and not self._q_size.any():
+                break
+            self._run_events(idle_bank, idle_key)
+        return self._accounting()
+
+
+def make_merging_simulator(config: VPNMConfig, seed: Optional[int] = 0,
+                           kernel: str = "auto"):
+    """Merging-lane model factory with compiled-kernel selection.
+
+    ``kernel="auto"`` returns the compiled model when a backend
+    (numba or cc) is available and the interpreter model otherwise;
+    ``"jit"`` insists on a compiled backend (RuntimeError without
+    one); ``"python"`` always returns the interpreter model.
+    """
+    if kernel not in ("auto", "jit", "python"):
+        raise ValueError(f"unknown merge kernel {kernel!r}")
+    if kernel == "python":
+        return MergingLaneSimulator(config, seed=seed)
+    kernels, _ = kernels_pkg.compiled_kernels()
+    if kernels is not None:
+        return CompiledMergingLaneSimulator(config, seed=seed,
+                                            kernels=kernels)
+    if kernel == "jit":
+        raise RuntimeError("no compiled kernel backend available")
+    return MergingLaneSimulator(config, seed=seed)

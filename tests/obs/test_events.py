@@ -63,6 +63,15 @@ class TestValidateEvent:
     def test_extra_payload_fields_allowed(self):
         validate_event(self.event(cell="B4_Q2", note="forward-compat"))
 
+    def test_kernel_fallback_event(self):
+        event = {"v": EVENT_SCHEMA_VERSION, "seq": 0,
+                 "type": "kernel.fallback", "requested": "jit",
+                 "effective": "chunked", "reason": "numba unavailable"}
+        assert validate_event(event) is event
+        del event["reason"]
+        with pytest.raises(ValueError, match="missing field 'reason'"):
+            validate_event(event)
+
 
 class TestJsonlEventSink:
     def test_writes_canonical_validated_lines(self, tmp_path):

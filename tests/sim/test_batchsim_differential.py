@@ -19,8 +19,14 @@ import pytest
 
 from repro.core import VPNMConfig, VPNMController, read_request
 from repro.core.exceptions import ConfigurationError
+from repro.sim import kernels as kernels_pkg
 from repro.sim.batchsim import BatchStallSimulator, matched_bank_sequences
 from repro.sim.fastsim import FastStallSimulator
+
+_COMPILED, _NO_COMPILED_REASON = kernels_pkg.compiled_kernels()
+needs_compiled = pytest.mark.skipif(
+    _COMPILED is None,
+    reason=f"no compiled kernel backend ({_NO_COMPILED_REASON})")
 
 # A grid crossing both arbitration modes with the regimes that have
 # distinct code paths in the batch engine: Q=1 (no busy-fold margin),
@@ -163,6 +169,105 @@ def test_chunked_wc_kernel_matches_reference_and_fastsim(params, idle):
                 == scalar.occupancy_peaks["queue"])
         assert (chunked.telemetry.per_lane_rows_peak[lane]
                 == scalar.occupancy_peaks["delay_rows"])
+
+
+@needs_compiled
+@pytest.mark.parametrize("params", GRID)
+@pytest.mark.parametrize("stride", [1, 1000])
+@pytest.mark.parametrize("idle", [0.0, 0.35])
+def test_jit_wc_kernel_bit_identical(params, stride, idle):
+    """jit == chunked on internally generated work-conserving traffic.
+
+    This exercises the jit path's *streaming* per-lane sequence
+    generation (no ``bank_sequences`` override), so equality proves
+    both the kernel transcription and the PCG64 draw-order replication:
+    stall counts, exact stall cycles, and the full telemetry summary
+    (peaks, series, pressure) are bit-identical.
+    """
+    config = VPNMConfig(hash_latency=0, skip_idle_slots=True, **params)
+    runs = {}
+    for kernel in ("jit", "chunked"):
+        sim = BatchStallSimulator(config, SEEDS, stall_cycle_limit=10**9,
+                                  wc_kernel=kernel)
+        if kernel == "jit":
+            assert sim.kernel_resolution.effective == "jit"
+        runs[kernel] = sim.run(CYCLES, idle_probability=idle,
+                               telemetry_stride=stride)
+    jit, chunked = runs["jit"], runs["chunked"]
+    where = (params, stride, idle)
+    assert jit.accepted.tolist() == chunked.accepted.tolist(), where
+    assert (jit.delay_storage_stalls.tolist()
+            == chunked.delay_storage_stalls.tolist()), where
+    assert (jit.bank_queue_stalls.tolist()
+            == chunked.bank_queue_stalls.tolist()), where
+    for lane in range(len(SEEDS)):
+        assert (jit.stall_cycles[lane].tolist()
+                == chunked.stall_cycles[lane].tolist()), (where, lane)
+    assert jit.telemetry.to_dict() == chunked.telemetry.to_dict(), where
+
+
+@needs_compiled
+@pytest.mark.parametrize("params", GRID)
+@pytest.mark.parametrize("strict", [True, False],
+                         ids=["strict", "work-conserving"])
+@pytest.mark.parametrize("idle", [0.0, 0.35])
+def test_jit_matches_fastsim_exactly(params, strict, idle):
+    """jit lane vs the scalar oracle on a matched bank walk.
+
+    Both arbitration modes run through the same compiled per-lane
+    stepper (``strict`` flag); the scalar engine's exact occupancy
+    peaks pin the jit telemetry in both.
+    """
+    config = VPNMConfig(hash_latency=0, skip_idle_slots=not strict,
+                        **params)
+    sequences = matched_bank_sequences(config, SEEDS, CYCLES, idle)
+    batch = BatchStallSimulator(
+        config, SEEDS, stall_cycle_limit=10**9, wc_kernel="jit",
+    ).run(CYCLES, idle_probability=idle, bank_sequences=sequences,
+          telemetry_stride=1000)
+    for lane, seed in enumerate(SEEDS):
+        scalar = FastStallSimulator(config, seed=seed).run(
+            CYCLES, idle_probability=idle, track_occupancy=True)
+        where = (params, strict, idle, seed)
+        assert int(batch.accepted[lane]) == scalar.accepted, where
+        assert (int(batch.delay_storage_stalls[lane])
+                == scalar.delay_storage_stalls), where
+        assert (int(batch.bank_queue_stalls[lane])
+                == scalar.bank_queue_stalls), where
+        assert batch.stall_cycles[lane].tolist() == scalar.stall_cycles, \
+            where
+        assert (batch.telemetry.per_lane_queue_peak[lane]
+                == scalar.occupancy_peaks["queue"]), where
+        assert (batch.telemetry.per_lane_rows_peak[lane]
+                == scalar.occupancy_peaks["delay_rows"]), where
+
+
+@needs_compiled
+@pytest.mark.parametrize("params", [GRID[1], GRID[2], GRID[4]])
+@pytest.mark.parametrize("idle", [0.0, 0.35])
+def test_jit_strict_matches_event_engine_internal_traffic(params, idle):
+    """Strict-mode jit == the event-driven strict engine, streamed traffic.
+
+    Counts and exact stall cycles must agree on internally generated
+    sequences (telemetry is compared count-wise only: the jit path
+    keeps exact delay-row peaks where the strict engine samples them —
+    DESIGN.md §13).
+    """
+    config = VPNMConfig(hash_latency=0, skip_idle_slots=False, **params)
+    jit = BatchStallSimulator(
+        config, SEEDS, stall_cycle_limit=10**9, wc_kernel="jit",
+    ).run(CYCLES, idle_probability=idle)
+    strict = BatchStallSimulator(
+        config, SEEDS, stall_cycle_limit=10**9, wc_kernel="chunked",
+    ).run(CYCLES, idle_probability=idle)
+    assert jit.accepted.tolist() == strict.accepted.tolist()
+    assert (jit.delay_storage_stalls.tolist()
+            == strict.delay_storage_stalls.tolist())
+    assert (jit.bank_queue_stalls.tolist()
+            == strict.bank_queue_stalls.tolist())
+    for lane in range(len(SEEDS)):
+        assert (jit.stall_cycles[lane].tolist()
+                == strict.stall_cycles[lane].tolist()), (params, lane)
 
 
 def test_unknown_wc_kernel_rejected():

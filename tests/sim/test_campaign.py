@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.exceptions import ConfigurationError
 from repro.obs.events import read_events
+from repro.sim import kernels as kernels_pkg
 from repro.sim.campaign import (
     EVENT_LOG_NAME,
     MANIFEST_NAME,
@@ -25,6 +26,11 @@ from repro.sim.campaign import (
     fig6_grid,
     load_grid,
 )
+
+_COMPILED, _NO_COMPILED_REASON = kernels_pkg.compiled_kernels()
+needs_compiled = pytest.mark.skipif(
+    _COMPILED is None,
+    reason=f"no compiled kernel backend ({_NO_COMPILED_REASON})")
 
 # Small, stall-heavy grid: two Q values on a tight configuration.
 CELLS = fig6_grid([1, 2], banks=4, bank_latency=4, delay_rows=64,
@@ -157,6 +163,67 @@ class TestManifest:
         entry = reopened.status()["cells"]
         assert entry[0]["status"] == "pending"
         assert entry[1]["status"] == "done"
+
+
+class TestKernelRecording:
+    """The manifest pins the kernel name *and* its compiled backend
+    (DESIGN.md §13): resuming under a different kernel or backend is
+    refused instead of silently mixing engines in one campaign."""
+
+    def test_manifest_records_kernel_and_backend(self, tmp_path):
+        campaign = SweepCampaign(str(tmp_path), CELLS, seed=3,
+                                 shard_lanes=2, wc_kernel="chunked")
+        campaign.run()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["kernel"] == "chunked"
+        assert manifest["kernel_backend"] == {"name": "chunked",
+                                              "backend": "numpy"}
+        status = campaign.status()
+        assert status["kernel"] == "chunked"
+        assert "kernel=chunked[numpy]" in campaign.render_status()
+
+    def test_resume_with_different_kernel_refused(self, tmp_path):
+        SweepCampaign(str(tmp_path), CELLS, seed=3, shard_lanes=2,
+                      wc_kernel="chunked").run()
+        with pytest.raises(ConfigurationError,
+                           match="refusing to resume with 'reference'"):
+            SweepCampaign(str(tmp_path), wc_kernel="reference")
+
+    def test_resume_across_backends_refused(self, tmp_path):
+        SweepCampaign(str(tmp_path), CELLS, seed=3, shard_lanes=2,
+                      wc_kernel="chunked").run()
+        path = tmp_path / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        # Simulate the checkpoint having been produced by a different
+        # compiled backend (say numba on another machine).
+        manifest["kernel_backend"] = {"name": "jit",
+                                      "backend": "numba-0.57.0"}
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError, match="backend"):
+            SweepCampaign(str(tmp_path))
+
+    def test_kernelless_reattach_keeps_recorded_kernel(self, tmp_path):
+        SweepCampaign(str(tmp_path), CELLS, seed=3, shard_lanes=2,
+                      wc_kernel="chunked").run()
+        attached = SweepCampaign(str(tmp_path))
+        assert attached.status()["kernel"] == "chunked"
+
+    @needs_compiled
+    def test_jit_campaign_aggregates_match_chunked(self, tmp_path):
+        jit = SweepCampaign(str(tmp_path / "jit"), CELLS, seed=3,
+                            shard_lanes=2, wc_kernel="jit")
+        jit.run()
+        chunked = SweepCampaign(str(tmp_path / "chunked"), CELLS, seed=3,
+                                shard_lanes=2, wc_kernel="chunked")
+        chunked.run()
+        assert _aggregates(jit) == _aggregates(chunked)
+        manifest = json.loads(
+            (tmp_path / "jit" / MANIFEST_NAME).read_text())
+        assert manifest["kernel"] == "jit"
+        assert manifest["kernel_backend"]["name"] == "jit"
+        # Reattach under the same backend is fine.
+        assert SweepCampaign(
+            str(tmp_path / "jit")).status()["kernel"] == "jit"
 
 
 class TestInterruptResume:

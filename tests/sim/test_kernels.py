@@ -1,0 +1,244 @@
+"""Kernel resolution, fallback semantics, and the compiled merge model.
+
+The :mod:`repro.sim.kernels` package resolves ``wc_kernel`` names to
+runnable backends (DESIGN.md §13).  These tests pin the resolution
+table, the ``REPRO_KERNEL_DISABLE`` masking, the single-warning
+``kernel.fallback`` contract when ``jit`` degrades, and the compiled
+merging-lane model against the pure-Python interpreter.
+"""
+
+import random
+
+import pytest
+
+from repro.core import VPNMConfig
+from repro.core.exceptions import ConfigurationError
+from repro.obs.events import read_events, JsonlEventSink, validate_event
+from repro.sim import kernels as kernels_pkg
+from repro.sim.batchrunner import BatchRunner
+from repro.sim.batchsim import BatchStallSimulator
+from repro.sim.mergesim import (
+    CompiledMergingLaneSimulator,
+    MergingLaneSimulator,
+    make_merging_simulator,
+)
+
+_COMPILED, _NO_COMPILED_REASON = kernels_pkg.compiled_kernels()
+needs_compiled = pytest.mark.skipif(
+    _COMPILED is None,
+    reason=f"no compiled kernel backend ({_NO_COMPILED_REASON})")
+
+CONFIG = VPNMConfig(banks=4, bank_latency=6, queue_depth=2, delay_rows=4,
+                    bus_scaling=1.3, hash_latency=0, skip_idle_slots=True)
+
+
+@pytest.fixture
+def fresh_probe():
+    """Clear the cached backend probe around a test that perturbs it."""
+    kernels_pkg.reset()
+    yield
+    kernels_pkg.reset()
+
+
+@pytest.fixture
+def no_backends(fresh_probe, monkeypatch):
+    """Simulate an environment with neither numba nor a C compiler."""
+    monkeypatch.setattr(kernels_pkg.numba_backend, "load", lambda: None)
+    monkeypatch.setattr(kernels_pkg.cbackend, "load", lambda: None)
+    yield
+
+
+# -- resolution table -----------------------------------------------------
+
+def test_numpy_kernels_resolve_to_themselves():
+    for name in ("reference", "chunked"):
+        resolution = kernels_pkg.resolve_kernel(name)
+        assert resolution.effective == name
+        assert resolution.backend == "numpy"
+        assert resolution.fallback_reason is None
+
+
+def test_unknown_kernel_name_rejected():
+    with pytest.raises(ValueError, match="unknown wc_kernel"):
+        kernels_pkg.resolve_kernel("bogus")
+
+
+def test_jit_without_backends_degrades_with_reason(no_backends):
+    resolution = kernels_pkg.resolve_kernel("jit")
+    assert resolution.effective == "chunked"
+    assert resolution.backend == "numpy"
+    assert "numba unavailable" in resolution.fallback_reason
+    assert "no working C compiler" in resolution.fallback_reason
+
+
+def test_auto_without_backends_degrades_silently(no_backends):
+    resolution = kernels_pkg.resolve_kernel("auto")
+    assert resolution.effective == "chunked"
+    assert resolution.fallback_reason is None
+
+
+@needs_compiled
+def test_jit_with_backend_resolves_compiled():
+    resolution = kernels_pkg.resolve_kernel("jit")
+    assert resolution.effective == "jit"
+    assert resolution.backend in ("cc",) or \
+        resolution.backend.startswith("numba-")
+    assert resolution.kernels is not None
+    assert kernels_pkg.resolve_kernel("auto").effective == "jit"
+
+
+def test_disable_env_masks_everything(fresh_probe, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_DISABLE", "jit")
+    resolution = kernels_pkg.resolve_kernel("jit")
+    assert resolution.effective == "chunked"
+    assert "REPRO_KERNEL_DISABLE" in resolution.fallback_reason
+
+
+def test_disable_env_masks_individual_backends(fresh_probe, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_DISABLE", "numba,cc")
+    resolution = kernels_pkg.resolve_kernel("jit")
+    assert resolution.effective == "chunked"
+    assert "numba disabled" in resolution.fallback_reason
+    assert "cc disabled" in resolution.fallback_reason
+
+
+def test_reset_forgets_cached_probe(fresh_probe, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_DISABLE", "jit")
+    assert kernels_pkg.compiled_kernels()[0] is None
+    monkeypatch.delenv("REPRO_KERNEL_DISABLE")
+    # Probe is cached: still absent until reset.
+    assert kernels_pkg.compiled_kernels()[0] is None
+    kernels_pkg.reset()
+    compiled, reason = kernels_pkg.compiled_kernels()
+    if compiled is None:
+        assert "REPRO_KERNEL_DISABLE" not in reason
+
+
+def test_kernel_report_shape():
+    report = kernels_pkg.kernel_report()
+    assert set(report["backends"]) == {"numba", "cc"}
+    for entry in report["backends"].values():
+        assert set(entry) == {"available", "detail", "warmup_s", "smoke"}
+        if entry["available"]:
+            assert entry["smoke"] == "ok"
+    assert report["jit"]["effective"] in ("jit", "chunked")
+
+
+# -- the single kernel.fallback warning (satellite contract) --------------
+
+def test_simulator_fallback_emits_single_typed_event(no_backends, tmp_path):
+    """``wc_kernel="jit"`` with no backend: chunked + one warning event."""
+    path = str(tmp_path / "events.jsonl")
+    with JsonlEventSink(path) as sink:
+        sim = BatchStallSimulator(CONFIG, [1, 2], wc_kernel="jit",
+                                  events=sink)
+    assert sim.kernel_resolution.effective == "chunked"
+    events = read_events(path)  # validates every line against the schema
+    fallbacks = [e for e in events if e["type"] == "kernel.fallback"]
+    assert len(fallbacks) == 1
+    event = fallbacks[0]
+    assert event["requested"] == "jit"
+    assert event["effective"] == "chunked"
+    assert "numba unavailable" in event["reason"]
+    validate_event(event)
+
+
+def test_runner_fallback_emits_once_across_shards(no_backends, tmp_path):
+    """Shards receive the effective kernel: exactly one warning per run."""
+    path = str(tmp_path / "events.jsonl")
+    runner = BatchRunner(CONFIG, lanes=8, seed=0, shard_lanes=2,
+                         wc_kernel="jit")
+    assert runner.effective_kernel == "chunked"
+    with JsonlEventSink(path) as sink:
+        runner.run(400, events=sink)
+    events = read_events(path)
+    fallbacks = [e for e in events if e["type"] == "kernel.fallback"]
+    assert len(fallbacks) == 1
+    assert sum(1 for e in events if e["type"] == "shard_finished") == 4
+
+
+def test_jit_fallback_results_match_chunked(no_backends):
+    """The degraded path is the chunked kernel, bit for bit."""
+    jit = BatchStallSimulator(CONFIG, [1, 2], wc_kernel="jit").run(
+        1000, telemetry_stride=100)
+    chunked = BatchStallSimulator(CONFIG, [1, 2], wc_kernel="chunked").run(
+        1000, telemetry_stride=100)
+    assert jit.stalls.tolist() == chunked.stalls.tolist()
+    assert jit.telemetry.to_dict() == chunked.telemetry.to_dict()
+
+
+# -- compiled merging-lane model ------------------------------------------
+
+MERGE_BASE = dict(banks=4, bank_latency=4, queue_depth=3, delay_rows=6,
+                  bus_scaling=1.3, hash_latency=0, address_bits=16,
+                  stall_policy="drop")
+
+
+def _merge_stream(kind, count=1200, seed=3):
+    rng = random.Random(1000 + seed)
+    if kind == "flood":
+        pool = [rng.getrandbits(16) for _ in range(8)]
+        return [pool[i % len(pool)] for i in range(count)]
+    if kind == "uniform":
+        return [rng.getrandbits(16) for _ in range(count)]
+    return [None if rng.random() < 0.35 else rng.getrandbits(16)
+            for _ in range(count)]
+
+
+@needs_compiled
+@pytest.mark.parametrize("kind", ["flood", "uniform", "idle-mixed"])
+@pytest.mark.parametrize("merge", [True, False], ids=["merge", "no-merge"])
+@pytest.mark.parametrize("strict", [True, False],
+                         ids=["strict", "work-conserving"])
+def test_compiled_merge_matches_interpreter(kind, merge, strict):
+    config = VPNMConfig(merge_reads=merge, skip_idle_slots=not strict,
+                        **MERGE_BASE)
+    stream = _merge_stream(kind)
+
+    interp = MergingLaneSimulator(config, seed=3)
+    interp.run(stream)
+    expected = interp.drain()
+
+    compiled = CompiledMergingLaneSimulator(config, seed=3)
+    compiled.run(stream)
+    actual = compiled.drain()
+
+    assert actual == expected, (kind, merge, strict)
+
+
+@needs_compiled
+def test_compiled_merge_accumulates_across_run_calls():
+    config = VPNMConfig(merge_reads=True, skip_idle_slots=True,
+                        **MERGE_BASE)
+    stream = _merge_stream("uniform")
+
+    split = CompiledMergingLaneSimulator(config, seed=3)
+    split.run(stream[:600])
+    split.run(stream[600:])
+
+    whole = MergingLaneSimulator(config, seed=3)
+    whole.run(stream)
+
+    assert split.drain() == whole.drain()
+
+
+def test_merging_simulator_factory(no_backends):
+    config = VPNMConfig(merge_reads=True, skip_idle_slots=True,
+                        **MERGE_BASE)
+    assert isinstance(make_merging_simulator(config, kernel="python"),
+                      MergingLaneSimulator)
+    # No compiled backend: auto falls back, jit refuses.
+    assert isinstance(make_merging_simulator(config, kernel="auto"),
+                      MergingLaneSimulator)
+    with pytest.raises(RuntimeError, match="compiled"):
+        make_merging_simulator(config, kernel="jit")
+
+
+@needs_compiled
+def test_merging_simulator_factory_compiled():
+    config = VPNMConfig(merge_reads=True, skip_idle_slots=True,
+                        **MERGE_BASE)
+    assert isinstance(make_merging_simulator(config, kernel="jit"),
+                      CompiledMergingLaneSimulator)
+    assert isinstance(make_merging_simulator(config, kernel="auto"),
+                      CompiledMergingLaneSimulator)

@@ -136,6 +136,39 @@ class TestMts:
         assert capsys.readouterr().out == first
 
 
+class TestKernels:
+    def test_report_lists_backends_and_resolution(self, capsys):
+        code = main(["kernels"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reference, chunked" in out
+        assert "numba:" in out
+        assert "cc:" in out
+        assert "--kernel jit resolves to:" in out
+
+    def test_json_report(self, capsys):
+        import json as json_mod
+        code = main(["kernels", "--json"])
+        report = json_mod.loads(capsys.readouterr().out)
+        assert code == 0
+        assert set(report["backends"]) == {"numba", "cc"}
+        assert report["jit"]["effective"] in ("jit", "chunked")
+
+    def test_mts_kernel_flag_is_bit_identical(self, capsys):
+        hostile = TestMts.HOSTILE
+        outputs = {}
+        for kernel in ("chunked", "jit"):
+            code = main(["mts", *hostile, "--engine", "work-conserving",
+                         "--cycles", "3000", "--lanes", "2",
+                         "--kernel", kernel])
+            assert code == 0
+            out = capsys.readouterr().out
+            # The kernel label differs; the numbers must not.
+            outputs[kernel] = out.replace(
+                out.splitlines()[0], "")
+        assert outputs["chunked"] == outputs["jit"]
+
+
 class TestCampaign:
     # Small, stall-heavy fig6 grid so every cell observes stalls fast.
     RUN = ["campaign", "run", "--axis", "fig6", "--values", "1", "2",

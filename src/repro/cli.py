@@ -402,7 +402,8 @@ def _command_kernels(args: argparse.Namespace) -> int:
 
 
 def _command_obs(args: argparse.Namespace) -> int:
-    """Inspect a telemetry event log: summary / tail / chart."""
+    """Inspect a telemetry event log: summary / tail / chart / trace,
+    or scrape a live service (serve-metrics)."""
     from repro.obs.events import read_events
     from repro.obs.render import (
         cell_telemetry,
@@ -410,6 +411,8 @@ def _command_obs(args: argparse.Namespace) -> int:
         summarize_events,
     )
 
+    if args.action == "serve-metrics":
+        return _obs_serve_metrics(args)
     path = args.events
     if path is None:
         if args.dir is None:
@@ -418,10 +421,20 @@ def _command_obs(args: argparse.Namespace) -> int:
     if args.action == "tail" and args.follow:
         return _follow_events(path, poll=args.poll,
                               max_seconds=args.max_seconds)
+    # A missing or empty log is an empty result, not a usage error
+    # (rc 1): the path was understood, there is just nothing there yet.
     if not os.path.exists(path):
-        raise ConfigurationError(f"no event log at {path}")
+        print(f"no event log at {path} (did the run write --events?)",
+              file=sys.stderr)
+        return 1
     events = read_events(path)
+    if not events:
+        print(f"event log {path} is empty (nothing was emitted)",
+              file=sys.stderr)
+        return 1
 
+    if args.action == "trace":
+        return _obs_trace(args, path, events)
     if args.action == "tail":
         for event in events[-args.last:]:
             line = render_tenant_line(event) if args.pretty else None
@@ -441,6 +454,57 @@ def _command_obs(args: argparse.Namespace) -> int:
     title = (f"cell {args.cell}" if args.cell
              else "last finished cell with telemetry")
     print(render_telemetry(summary, title=title, width=args.width))
+    return 0
+
+
+def _obs_trace(args: argparse.Namespace, path: str, events: list) -> int:
+    """``obs trace report`` / ``obs trace export`` (DESIGN.md §14)."""
+    from repro.obs.trace import chrome_trace, render_attribution
+
+    if args.what == "export":
+        payload = chrome_trace(events)
+        spans = sum(1 for e in payload["traceEvents"]
+                    if e.get("ph") == "X")
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            print(f"wrote {args.out}: {spans} spans; open in "
+                  f"chrome://tracing or https://ui.perfetto.dev")
+        else:
+            json.dump(payload, sys.stdout, sort_keys=True)
+            print()
+        return 0 if spans else 1
+    print(f"event log: {path}")
+    print(render_attribution(events))
+    return 0
+
+
+def _obs_serve_metrics(args: argparse.Namespace) -> int:
+    """Scrape a running ``repro serve --listen`` instance's ``metrics``
+    op and print the Prometheus text dump."""
+    import socket
+
+    if args.port is None:
+        raise ConfigurationError("serve-metrics needs --port")
+    try:
+        with socket.create_connection((args.host, args.port),
+                                      timeout=args.timeout) as sock:
+            sock.sendall(b'{"id": 0, "op": "metrics"}\n')
+            line = sock.makefile("r").readline()
+    except OSError as error:
+        print(f"cannot reach service at {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    try:
+        response = json.loads(line)
+    except ValueError:
+        print(f"malformed response from {args.host}:{args.port}: {line!r}",
+              file=sys.stderr)
+        return 1
+    if response.get("status") != "ok":
+        print(f"service error: {response}", file=sys.stderr)
+        return 1
+    print(response["metrics"], end="")
     return 0
 
 
@@ -515,8 +579,12 @@ def _rate_argument(value: str):
 def _command_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant service over a synthetic fleet, inline."""
     from repro.obs.events import NULL_EVENTS, JsonlEventSink
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import RequestTracer
     from repro.service import ServiceCore, run_synthetic, synthetic_fleet
 
+    if args.trace_sample is not None and args.trace_sample < 1:
+        raise ConfigurationError("--trace-sample must be >= 1")
     config = VPNMConfig(
         banks=args.banks,
         bank_latency=args.bank_latency,
@@ -538,20 +606,31 @@ def _command_serve(args: argparse.Namespace) -> int:
         adversary_weight=args.adversary_weight,
     )
     sink = JsonlEventSink(args.events) if args.events else NULL_EVENTS
+    tracer = (RequestTracer(sink, sample_every=args.trace_sample)
+              if args.trace_sample is not None else None)
+    # The live observability ops (`stats` / `metrics`) render the
+    # registry, so listen mode always attaches one.
+    metrics = MetricsRegistry() if args.listen else None
     try:
         core = ServiceCore(
             specs,
             config=config,
             controllers=args.controllers,
             seed=args.seed,
+            metrics=metrics,
             events=sink,
             window=args.window,
             admission=not args.no_admission,
             arbiter=args.arbiter,
             quantum=args.quantum,
             slo_interval=args.slo_interval,
+            tracer=tracer,
         )
-        report = run_synthetic(core, profiles, args.cycles, seed=args.seed)
+        if args.listen:
+            report = _serve_listen(args, core, profiles)
+        else:
+            report = run_synthetic(core, profiles, args.cycles,
+                                   seed=args.seed)
     finally:
         sink.close()
     print(f"config: B={config.banks} L={config.bank_latency} "
@@ -565,7 +644,61 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(report.table())
     if args.events:
         print(f"events: {args.events}")
+    if tracer is not None:
+        print(f"traced: {tracer.emitted} sampled requests "
+              f"(1/{tracer.sample_every} sampling); inspect with: "
+              f"repro obs trace report --events {args.events or '...'}")
     return 0
+
+
+def _serve_listen(args: argparse.Namespace, core, profiles):
+    """Drive the fleet under asyncio while serving the socket transport.
+
+    The fleet loop owns the clock (the asyncio driver task stays off),
+    so the simulated schedule is identical to the inline path; socket
+    clients reach the same cycles through `request()` and the control
+    ops (`info` / `set-rate` / `stats` / `metrics`).  ``--linger`` keeps
+    the socket up after the fleet finishes so scrapers can read final
+    state.
+    """
+    import asyncio
+
+    from repro.service.frontend import AsyncMemoryService
+    from repro.service.synthetic import fleet_arrivals
+
+    host, _, port_text = args.listen.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"--listen wants HOST:PORT, got {args.listen!r}")
+
+    async def run():
+        service = AsyncMemoryService(core)
+        bound_host, bound_port = await service.serve_socket(host, port)
+        print(f"listening on {bound_host}:{bound_port}", flush=True)
+        submit_cycle = fleet_arrivals(core, profiles, args.seed)
+        for cycle in range(args.cycles):
+            submit_cycle()
+            core.tick()
+            if (cycle + 1) % 256 == 0:
+                # Let socket clients submit/consume between slices.
+                await asyncio.sleep(0)
+        core.quiesce()
+        if args.linger:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + args.linger
+            while loop.time() < deadline:
+                # Late socket submissions still need clock to resolve.
+                if any(t.queue or t.in_flight for t in core.tenants):
+                    for _ in range(64):
+                        core.tick()
+                await asyncio.sleep(0.05)
+            core.quiesce()
+        return await service.stop()
+
+    return asyncio.run(run())
 
 
 def _median(values) -> float:
@@ -732,14 +865,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs = commands.add_parser(
         "obs",
-        help="inspect a telemetry event log: summary, tail, or ASCII "
-             "occupancy charts with a per-bank pressure heatmap",
+        help="inspect a telemetry event log: summary, tail, ASCII "
+             "occupancy charts, trace attribution/export, or scrape a "
+             "live service's Prometheus metrics",
     )
-    obs.add_argument("action", choices=["summary", "tail", "chart"])
+    obs.add_argument("action", choices=["summary", "tail", "chart",
+                                        "trace", "serve-metrics"])
+    obs.add_argument("what", nargs="?", default="report",
+                     choices=["report", "export"],
+                     help="trace action: 'report' prints per-tenant "
+                          "latency attribution, 'export' writes "
+                          "Chrome-trace/Perfetto JSON (default report)")
     obs.add_argument("--dir", default=None,
                      help="campaign directory (reads its events.jsonl)")
     obs.add_argument("--events", default=None,
                      help="explicit event-log path (overrides --dir)")
+    obs.add_argument("--out", default=None,
+                     help="trace export: write the JSON here instead "
+                          "of stdout")
+    obs.add_argument("--host", default="127.0.0.1",
+                     help="serve-metrics: service host (default "
+                          "127.0.0.1)")
+    obs.add_argument("--port", type=int, default=None,
+                     help="serve-metrics: service control port (the "
+                          "port repro serve --listen bound)")
+    obs.add_argument("--timeout", type=float, default=5.0,
+                     help="serve-metrics: connect timeout in seconds")
     obs.add_argument("--cell", default=None,
                      help="chart action: cell id to chart (default: the "
                           "last finished cell carrying telemetry)")
@@ -822,6 +973,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default stall: retry next rotation)")
     serve.add_argument("--address-bits", type=int, default=20,
                        help="interface address width (default 20)")
+    serve.add_argument("--trace-sample", type=int, default=None,
+                       metavar="N",
+                       help="trace every Nth submitted request "
+                            "(deterministic by sequence number) into "
+                            "the --events stream as trace.span/"
+                            "trace.request events (default: off)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve the newline-JSON socket transport "
+                            "while the fleet runs (port 0 = ephemeral); "
+                            "enables the live stats/metrics control ops")
+    serve.add_argument("--linger", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="listen mode: keep the socket up this long "
+                            "after the fleet finishes (so scrapers can "
+                            "read final state)")
     serve.set_defaults(handler=_command_serve)
 
     kernels = commands.add_parser(

@@ -65,6 +65,9 @@ class BankController:
         # Telemetry hooks; attach_metrics binds them to a registry.
         self._m_queue = None
         self._m_merged = None
+        # Trace hook; attach_tracer binds it (None means tracing off).
+        self._tracer = None
+        self._trace_bank = index
 
     def attach_metrics(self, registry, banks: int) -> None:
         """Bind this bank's slice of the per-bank telemetry vectors.
@@ -84,6 +87,21 @@ class BankController:
         self.write_buffer.gauge = BoundGauge(
             registry.gauge_vector("bank.write_buffer", banks), self.index)
         self._m_merged = registry.counter_vector("bank.merged", banks)
+
+    def attach_tracer(self, tracer, bank_id: Optional[int] = None) -> None:
+        """Bind a :class:`repro.obs.trace.RequestTracer` to this bank.
+
+        The delay storage gets a bank-bound view (it knows rows, not
+        bank ids) — same binding trick as the occupancy ``BoundGauge``.
+        ``bank_id`` overrides the id used in trace keys; a service with
+        several controllers passes globally unique ids so (bank, row)
+        keys cannot collide across controllers.
+        """
+        from repro.obs.trace import BoundBankTracer
+
+        self._tracer = tracer
+        self._trace_bank = self.index if bank_id is None else bank_id
+        self.delay_storage.tracer = BoundBankTracer(tracer, self._trace_bank)
 
     # -- interface side --------------------------------------------------
 
@@ -159,6 +177,10 @@ class BankController:
         entry = self.access_queue.pop()
         if entry.operation is Operation.READ:
             line = self.delay_storage.address_of(entry.row_id)
+            # Trace the command-issue boundary before fill() resolves the
+            # row (on_fill drops the row -> request mapping).
+            if self._tracer is not None:
+                self._tracer.on_issue(self._trace_bank, entry.row_id)
             access = device.read(self.index, line, mem_now)
             self.delay_storage.fill(entry.row_id, access.data, access.ready_at)
         else:

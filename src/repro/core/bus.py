@@ -83,6 +83,15 @@ class BusScheduler:
         """Memory-bus slots already arbitrated (current memory time)."""
         return self._slots_consumed
 
+    @property
+    def clock_ratio(self):
+        """The exact bus ratio R as ``(numerator, denominator)``.
+
+        Consumers that convert memory-slot timestamps back to interface
+        cycles (the trace subsystem) must use this rational, never the
+        float ``config.bus_scaling``."""
+        return (self._num, self._den)
+
     # -- work tracking ------------------------------------------------------
 
     def notify_work(self, bank_index: int) -> None:

@@ -147,6 +147,25 @@ class VPNMController:
             self._m_queue_hist = metrics.histogram(
                 "ctrl.queue_at_accept",
                 list(range(self.config.queue_depth)))
+        # Trace hook; attach_tracer binds it (None means tracing off).
+        self._tracer = None
+        self._trace_bank_offset = 0
+
+    def attach_tracer(self, tracer, bank_offset: int = 0) -> None:
+        """Bind a :class:`repro.obs.trace.RequestTracer` to this controller.
+
+        Gives the tracer the exact bus clock ratio (memory-slot ->
+        interface-cycle conversion) and fans the bank-side hooks out to
+        every bank controller and its delay storage.  ``bank_offset``
+        shifts this controller's bank ids in trace keys so a service
+        sharing one tracer across controllers never aliases (bank, row).
+        """
+        self._tracer = tracer
+        self._trace_bank_offset = bank_offset
+        num, den = self.bus.clock_ratio
+        tracer.set_clock_ratio(num, den)
+        for bank in self.banks:
+            bank.attach_tracer(tracer, bank_offset + bank.index)
 
     # -- main loop ---------------------------------------------------------
 
@@ -157,6 +176,9 @@ class VPNMController:
         stall: Optional[StallEvent] = None
         ring_payload: Optional[_RingEntry] = None
 
+        if self._tracer is not None:
+            # Timestamps this cycle's bus-side command issues.
+            self._tracer.begin_cycle(cycle)
         if request is not None:
             accepted, stall, ring_payload = self._accept(request, cycle)
 
@@ -275,6 +297,10 @@ class VPNMController:
         if self._m_accepted is not None:
             self._m_accepted.inc()
             self._m_queue_hist.observe(occupancy["queue"])
+        if self._tracer is not None:
+            self._tracer.on_accept(request, cycle,
+                                   self._trace_bank_offset + mapping.bank,
+                                   result.merged, result.row_id)
         return True, None, ring_payload
 
     # -- delivery path -----------------------------------------------------

@@ -80,6 +80,11 @@ class DelayStorageBuffer:
         #: ``set(value)`` method, e.g. a ``repro.obs`` bound gauge.  Set
         #: by the owning bank controller; None means telemetry off.
         self.gauge = None
+        #: Optional trace hook: anything with an
+        #: ``on_fill(row_id, ready_at_mem)`` method (a
+        #: :class:`repro.obs.trace.BoundBankTracer`).  Set by the owning
+        #: bank controller; None means tracing off.
+        self.tracer = None
 
     # -- CAM side -----------------------------------------------------
 
@@ -169,6 +174,8 @@ class DelayStorageBuffer:
         row.data = data
         row.data_ready_at = ready_at_mem
         row.access_pending = False
+        if self.tracer is not None:
+            self.tracer.on_fill(row_id, ready_at_mem)
         if row.counter == 0:
             # Every reply was already forced out (latency violations);
             # the access has now completed, so the row can recycle.

@@ -18,7 +18,12 @@ three observability primitives every layer of the repo shares:
   and the mergeable per-run :class:`TelemetrySummary` that campaign
   manifests carry;
 * :mod:`repro.obs.render` — ASCII time-series and per-bank pressure
-  heatmap rendering for the ``repro obs`` CLI.
+  heatmap rendering for the ``repro obs`` CLI;
+* :mod:`repro.obs.trace` — cycle-exact request-scoped spans with
+  deterministic sampling, latency attribution and Chrome-trace export
+  (DESIGN.md §14);
+* :mod:`repro.obs.prom` — Prometheus text-format rendering of a
+  metrics snapshot for the live ``metrics`` control op.
 
 See DESIGN.md §9 for the event schema, the metrics naming convention
 and the sampling-stride semantics.
@@ -42,6 +47,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.prom import render_prometheus
 from repro.obs.render import (
     render_heatmap,
     render_series,
@@ -50,6 +56,14 @@ from repro.obs.render import (
 )
 from repro.obs.sampler import OccupancySampler
 from repro.obs.summary import TelemetrySummary
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullRequestTracer,
+    RequestTracer,
+    attribution,
+    chrome_trace,
+    render_attribution,
+)
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
@@ -66,9 +80,16 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullMetricsRegistry",
+    "NULL_TRACER",
+    "NullRequestTracer",
     "OccupancySampler",
+    "RequestTracer",
     "TelemetrySummary",
+    "attribution",
+    "chrome_trace",
+    "render_attribution",
     "render_heatmap",
+    "render_prometheus",
     "render_series",
     "render_telemetry",
     "summarize_events",

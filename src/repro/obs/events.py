@@ -86,6 +86,21 @@ EVENT_TYPES: Dict[str, Dict[str, type]] = {
     # End-of-run ledger: counts must satisfy request conservation
     # (admitted == completed + dropped once the service has quiesced).
     "tenant.summary": {"tenant": str, "counts": dict, "latency": dict},
+    # Request-scoped tracing (DESIGN.md §14).  ``trace.span`` is one
+    # stage residency of one sampled request — half-open interface-cycle
+    # interval [start, end) — and ``trace.request`` is that request's
+    # closing record: ``cycle`` is the submit cycle, ``spans`` maps
+    # stage name -> cycles and tiles [submit, submit+latency] exactly,
+    # so ``residual`` (latency minus the span sum) is 0 by construction
+    # for completed requests.  Sampling is by submission sequence
+    # number — carried as ``req`` (``seq`` is the envelope's per-sink
+    # counter) — so two identical runs trace identical requests and the
+    # streams are byte-identical modulo ``timing``.
+    "trace.span": {"tenant": str, "req": int, "stage": str,
+                   "start": int, "end": int},
+    "trace.request": {"tenant": str, "req": int, "cycle": int, "op": str,
+                      "status": str, "latency": int, "stalls": int,
+                      "merged": bool, "spans": dict, "residual": int},
 }
 
 

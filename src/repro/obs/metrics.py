@@ -21,7 +21,50 @@ Two implementations share the interface:
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence
+
+
+def percentile_index(n: int, q: float) -> int:
+    """Nearest-rank index into a sorted sample of ``n`` observations.
+
+    The single rank rule shared by every percentile in the repo
+    (service ledgers, SLO trackers, histograms, trace attribution):
+    ``index = round(q * n) - 1``, clamped into ``[0, n-1]``.  Keeping
+    one definition is what lets the trace report's "p99 request" be
+    exactly the request whose latency the service reports as p99.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    return max(0, min(n - 1, int(q * n + 0.5) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of a sample; None on an empty sample."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    return float(ordered[percentile_index(len(ordered), q)])
+
+
+def latency_percentiles(values: Sequence[int]) -> Dict[str, float]:
+    """p50/p95/p99/max/count of a latency sample (nearest-rank).
+
+    Empty input returns an empty dict — event payloads carry that as
+    "nothing completed this window".  This is the implementation behind
+    ``repro.service.tenants.percentiles``.
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    n = len(ordered)
+    return {
+        "p50": float(ordered[percentile_index(n, 0.50)]),
+        "p95": float(ordered[percentile_index(n, 0.95)]),
+        "p99": float(ordered[percentile_index(n, 0.99)]),
+        "max": float(ordered[-1]),
+        "count": float(n),
+    }
 
 
 class Counter:
@@ -149,6 +192,26 @@ class Histogram:
     def total(self) -> int:
         return sum(self.counts)
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile, resolved to a bucket upper bound.
+
+        A histogram only knows which bin each observation fell in, so
+        the answer is the upper bound of the bin holding the q-ranked
+        observation — the same convention Prometheus applies to
+        ``_bucket`` quantiles.  Returns None before any observation and
+        ``math.inf`` when the rank lands in the overflow bin.
+        """
+        total = self.total
+        if total == 0:
+            return None
+        rank = percentile_index(total, q)
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            if rank < cumulative:
+                return float(bound)
+        return math.inf
+
 
 class MetricsRegistry:
     """Creates and owns instruments; same name always returns the same one."""
@@ -260,6 +323,9 @@ class _NullHistogram:
 
     def observe(self, value) -> None:
         pass
+
+    def percentile(self, q: float) -> None:
+        return None
 
 
 _NULL_COUNTER = _NullCounter()

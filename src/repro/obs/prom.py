@@ -1,0 +1,105 @@
+"""Prometheus text-format rendering of a metrics snapshot.
+
+Turns a :meth:`repro.obs.metrics.MetricsRegistry.snapshot` dict (plus,
+optionally, the service's ``describe()`` info digest) into the
+Prometheus exposition text format, so a running ``repro serve
+--listen`` instance can be scraped through the socket control channel's
+``metrics`` op (``repro obs serve-metrics``).
+
+Naming: dotted instrument paths map to ``repro_``-prefixed underscore
+names (``tenant.queue_depth`` -> ``repro_tenant_queue_depth``); vectors
+become ``{index="i"}`` label sets; histograms render the standard
+cumulative ``_bucket{le=...}`` series plus ``_count``.  Gauges also
+expose their high-water mark as ``<name>_peak``.
+
+No Prometheus client library — the text format is five line shapes and
+this repo takes no new dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _num(value) -> str:
+    # Integral floats render as ints: Prometheus accepts both, ints diff
+    # cleaner in tests and CI logs.
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def render_prometheus(snapshot: dict, info: Optional[dict] = None) -> str:
+    """Render a metrics snapshot (and optional service info) as text."""
+    lines: List[str] = []
+
+    def emit(kind: str, name: str, entries) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in entries:
+            lines.append(f"{name}{labels} {_num(value)}")
+
+    for dotted in sorted(snapshot):
+        entry = snapshot[dotted]
+        name = _prom_name(dotted)
+        kind = entry.get("type")
+        if kind == "counter":
+            emit("counter", name, [("", entry["value"])])
+        elif kind == "gauge":
+            emit("gauge", name, [("", entry["value"])])
+            emit("gauge", name + "_peak", [("", entry["peak"])])
+        elif kind == "counter_vector":
+            emit("counter", name,
+                 [(f'{{index="{i}"}}', v)
+                  for i, v in enumerate(entry["values"])])
+        elif kind == "gauge_vector":
+            emit("gauge", name,
+                 [(f'{{index="{i}"}}', v)
+                  for i, v in enumerate(entry["values"])])
+            emit("gauge", name + "_peak",
+                 [(f'{{index="{i}"}}', v)
+                  for i, v in enumerate(entry["peaks"])])
+        elif kind == "histogram":
+            buckets = entry["buckets"]
+            counts = entry["counts"]
+            cumulative = 0
+            rows = []
+            for bound, count in zip(buckets, counts):
+                cumulative += count
+                rows.append((f'{{le="{_num(float(bound))}"}}', cumulative))
+            cumulative += counts[-1]
+            rows.append(('{le="+Inf"}', cumulative))
+            emit("histogram", name + "_bucket", rows)
+            lines.append(f"{name}_count {cumulative}")
+
+    if info is not None:
+        lines.append("# TYPE repro_service_cycle counter")
+        lines.append(f"repro_service_cycle {info.get('cycle', 0)}")
+
+        def tenant_rows(metric: str, kind: str, getter) -> None:
+            rows = []
+            for tenant_name in sorted(info.get("tenants", {})):
+                value = getter(info["tenants"][tenant_name])
+                if value is None:
+                    continue
+                rows.append((f'{{tenant="{tenant_name}"}}', value))
+            if rows:
+                emit(kind, "repro_tenant_" + metric, rows)
+
+        tenant_rows("queue_depth", "gauge", lambda t: t["queue_depth"])
+        tenant_rows("in_flight", "gauge", lambda t: t["in_flight"])
+        tenant_rows("shed", "gauge", lambda t: int(t["shed"]))
+        tenant_rows("backpressured", "gauge",
+                    lambda t: int(t["backpressured"]))
+        tenant_rows("slo_p99_rolling", "gauge",
+                    lambda t: t.get("slo", {}).get("p99_rolling"))
+        tenant_rows("slo_breached", "gauge",
+                    lambda t: (int(t["slo"]["breached"])
+                               if "slo" in t else None))
+        tenant_rows("slo_breaches", "counter",
+                    lambda t: t.get("slo", {}).get("breaches"))
+
+    return "\n".join(lines) + "\n"

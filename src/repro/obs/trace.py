@@ -1,0 +1,510 @@
+"""Cycle-exact request tracing with latency attribution (DESIGN.md §14).
+
+The paper's argument is entirely about *where* a request's latency
+comes from: bank conflicts are absorbed by per-bank delay storage so
+the interface sees a fixed ``D``-cycle pipeline.  End-to-end p99s and
+aggregate stall counters cannot show that absorption happening, so this
+module records *request-scoped spans*: a sampled request carries a
+:class:`RequestTrace` from ``ServiceCore.submit`` through the arbiter
+grant, the controller's accept/stall decision, bank-queue residency,
+the DRAM access and delay-row residency, to completion.
+
+Determinism contract
+--------------------
+Sampling is by submission sequence number (``seq % sample_every == 0``)
+— no wall clock, no RNG — so two identical runs trace identical
+requests.  Every recorded timestamp is a simulated interface cycle (or
+a memory-bus slot converted exactly through the bus ratio ``R``), and
+the emitted ``trace.span`` / ``trace.request`` events go through the
+canonical sort-keys serialization, so traced streams are byte-identical
+across replays modulo the ``timing`` envelope rule.
+
+Span model (exact tiling)
+-------------------------
+A completed read's spans tile ``[submit, complete]`` with **zero
+residual**, in :data:`STAGES` order:
+
+* ``queue``       submit -> first arbiter grant (tenant-queue wait +
+                  admission);
+* ``stall``       first grant -> controller acceptance (stall-policy
+                  retries burn these cycles);
+* ``bank_queue``  acceptance -> the bank controller issues the DRAM
+                  command onto the bus;
+* ``bank_access`` command issue -> DRAM data ready (the bank's ``L``,
+                  seen through the bus clock);
+* ``delay_wait``  data ready -> the delay ring fires at ``t + D`` (the
+                  paper's delay-storage residency — the absorption).
+
+Writes are posted (complete at acceptance): only ``queue``/``stall``.
+Merged reads never access the bank — their row's access belongs to
+another (possibly untraced) request — so everything after acceptance is
+``delay_wait`` and the record carries ``merged: true``.
+
+The tracer follows the MetricsRegistry null-object discipline:
+:data:`NULL_TRACER` is the tracing-off singleton the service layer
+calls unconditionally, while the core structures hold ``None`` hooks
+and guard the call site (one predictable branch when tracing is off).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import NULL_EVENTS
+
+#: Stage names in pipeline order (see the span model above).
+STAGES = ("queue", "stall", "bank_queue", "bank_access", "delay_wait")
+
+#: Terminal statuses a ``trace.request`` event may carry.  The
+#: rejection statuses mirror the service's submission verdicts.
+COMPLETED = "completed"
+DROPPED = "dropped"
+
+
+class RequestTrace:
+    """One sampled request's boundary timestamps (interface cycles).
+
+    ``ready_mem`` is the only memory-bus-slot value; it converts to an
+    interface cycle through the exact bus ratio when spans are built.
+    """
+
+    __slots__ = ("tenant", "seq", "op", "submit", "grant", "accept",
+                 "bank", "row", "merged", "issue", "ready_mem",
+                 "complete", "stalls")
+
+    def __init__(self, tenant: str, seq: int, op: str, submit: int):
+        self.tenant = tenant
+        self.seq = seq
+        self.op = op
+        self.submit = submit
+        self.grant: Optional[int] = None      # first arbiter offer
+        self.accept: Optional[int] = None     # controller acceptance
+        self.bank: Optional[int] = None
+        self.row: Optional[int] = None        # delay-storage row (reads)
+        self.merged = False
+        self.issue: Optional[int] = None      # DRAM command onto the bus
+        self.ready_mem: Optional[int] = None  # data-ready memory slot
+        self.complete: Optional[int] = None
+        self.stalls = 0                       # stall-policy retries
+
+    def spans(self, num: int, den: int) -> List[Tuple[str, int, int]]:
+        """Tile ``[submit, complete]`` into stage intervals.
+
+        ``num/den`` is the exact bus clock ratio R: data ready at
+        memory slot ``m`` is visible at the first interface cycle ``c``
+        with ``memory_now(c) = (c+1)*num//den >= m``, i.e.
+        ``c = ceil(m*den/num) - 1``.  Every boundary is clamped into
+        ``[accept, complete]`` so the tiling is exact even for replies
+        the ring forced out before their data (late replies under the
+        refresh extension).
+        """
+        accept = self.accept if self.accept is not None else self.complete
+        grant = self.grant if self.grant is not None else accept
+        out = [("queue", self.submit, grant), ("stall", grant, accept)]
+        if self.op != "read" or self.complete <= accept:
+            # Writes are posted; rejected/dropped requests never got
+            # past the controller boundary.
+            return out
+        if self.merged:
+            out.append(("delay_wait", accept, self.complete))
+            return out
+        if self.issue is None:
+            issue = self.complete  # reply forced out before issue
+        else:
+            issue = min(max(self.issue, accept), self.complete)
+        ready = issue
+        if self.ready_mem is not None:
+            ready = -((-self.ready_mem * den) // num) - 1
+        ready = min(max(ready, issue), self.complete)
+        out.append(("bank_queue", accept, issue))
+        out.append(("bank_access", issue, ready))
+        out.append(("delay_wait", ready, self.complete))
+        return out
+
+
+class RequestTracer:
+    """The recording tracer: deterministic sampling + span assembly.
+
+    ``events`` is an :class:`repro.obs.events.EventSink`; each sampled
+    request emits its nonzero ``trace.span`` intervals followed by one
+    closing ``trace.request`` record at the cycle it resolves
+    (completion, drop, or admission rejection), so the stream stays
+    ordered by resolution cycle and deterministic.
+
+    Internally traces are keyed by ``MemoryRequest.request_id`` (a
+    process-global counter) — that key never appears in any emitted
+    payload, which is what keeps two runs in one process byte-identical.
+    """
+
+    def __init__(self, events=None, sample_every: int = 64):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.events = events if events is not None else NULL_EVENTS
+        self.sample_every = sample_every
+        self._seq = 0
+        self._live: Dict[int, RequestTrace] = {}
+        #: (bank, delay-row) -> request_id for in-flight traced reads;
+        #: lets the bank-side hooks attribute issue/fill to a request.
+        self._rows: Dict[Tuple[int, int], int] = {}
+        self._cycle = 0
+        self._num = 1
+        self._den = 1
+        self.sampled = 0
+        self.emitted = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def set_clock_ratio(self, num: int, den: int) -> None:
+        """Bind the exact bus ratio R = num/den (set at controller attach)."""
+        self._num = num
+        self._den = den
+
+    # -- service-side hooks (called by ServiceCore) ----------------------
+
+    def on_submit(self, tenant: str, cycle: int,
+                  op: str) -> Optional[RequestTrace]:
+        """Count one submission; returns a trace when it is sampled."""
+        seq = self._seq
+        self._seq += 1
+        if seq % self.sample_every:
+            return None
+        self.sampled += 1
+        return RequestTrace(tenant, seq, op, cycle)
+
+    def on_reject(self, trace: Optional[RequestTrace], status: str) -> None:
+        """Admission rejected the submission (throttled/backpressure/shed)."""
+        if trace is not None:
+            self._finish(trace, status, trace.submit)
+
+    def on_admit(self, trace: Optional[RequestTrace], request) -> None:
+        if trace is not None:
+            self._live[request.request_id] = trace
+
+    def on_offer(self, request, cycle: int) -> None:
+        """The arbiter granted this request's tenant the cycle."""
+        trace = self._live.get(request.request_id)
+        if trace is not None and trace.grant is None:
+            trace.grant = cycle
+
+    def on_retry(self, request) -> None:
+        """A rejected offer stays queued (stall policy burned a cycle)."""
+        trace = self._live.get(request.request_id)
+        if trace is not None:
+            trace.stalls += 1
+
+    def on_drop(self, request, cycle: int) -> None:
+        """The controller rejected the offer under the drop policy."""
+        trace = self._live.pop(request.request_id, None)
+        if trace is not None:
+            self._finish(trace, DROPPED, cycle)
+
+    def on_complete(self, request_id: int, cycle: int) -> None:
+        trace = self._live.pop(request_id, None)
+        if trace is None:
+            return
+        if trace.row is not None:
+            self._rows.pop((trace.bank, trace.row), None)
+        self._finish(trace, COMPLETED, cycle)
+
+    # -- controller-side hooks (bound via attach_tracer) -----------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Controller step start: timestamps this cycle's bus-side issues."""
+        self._cycle = cycle
+
+    def on_accept(self, request, cycle: int, bank: int, merged: bool,
+                  row_id: Optional[int]) -> None:
+        trace = self._live.get(request.request_id)
+        if trace is None:
+            return
+        if trace.grant is None:
+            trace.grant = cycle
+        trace.accept = cycle
+        trace.bank = bank
+        trace.merged = bool(merged)
+        if trace.op == "read" and not merged and row_id is not None:
+            trace.row = row_id
+            self._rows[(bank, row_id)] = request.request_id
+
+    def on_issue(self, bank: int, row_id: int) -> None:
+        """The bank controller put the row's DRAM command on the bus."""
+        request_id = self._rows.get((bank, row_id))
+        if request_id is None:
+            return
+        trace = self._live.get(request_id)
+        if trace is not None:
+            trace.issue = self._cycle
+
+    def on_fill(self, bank: int, row_id: int, ready_at_mem: int) -> None:
+        """The delay row learned when its DRAM data lands (memory slot)."""
+        request_id = self._rows.pop((bank, row_id), None)
+        if request_id is None:
+            return
+        trace = self._live.get(request_id)
+        if trace is not None:
+            trace.ready_mem = ready_at_mem
+
+    # -- emission --------------------------------------------------------
+
+    def _finish(self, trace: RequestTrace, status: str, cycle: int) -> None:
+        trace.complete = cycle
+        spans = trace.spans(self._num, self._den)
+        durations = {}
+        for stage, start, end in spans:
+            durations[stage] = end - start
+            if end > start:
+                self.events.emit("trace.span", {
+                    "tenant": trace.tenant,
+                    "req": trace.seq,
+                    "stage": stage,
+                    "start": start,
+                    "end": end,
+                })
+        latency = trace.complete - trace.submit
+        self.events.emit("trace.request", {
+            "tenant": trace.tenant,
+            "req": trace.seq,
+            "cycle": trace.submit,
+            "op": trace.op,
+            "status": status,
+            "latency": latency,
+            "stalls": trace.stalls,
+            "merged": trace.merged,
+            "spans": durations,
+            "residual": latency - sum(durations.values()),
+        })
+        self.emitted += 1
+
+
+class NullRequestTracer:
+    """Tracing-off tracer: every hook is a no-op, nothing is sampled.
+
+    The service layer calls these unconditionally (null-object
+    discipline, like :data:`repro.obs.events.NULL_EVENTS`); the core
+    structures instead hold ``None`` and guard the call site.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    sample_every = 0
+    sampled = 0
+    emitted = 0
+
+    def set_clock_ratio(self, num: int, den: int) -> None:
+        pass
+
+    def on_submit(self, tenant: str, cycle: int, op: str) -> None:
+        return None
+
+    def on_reject(self, trace, status: str) -> None:
+        pass
+
+    def on_admit(self, trace, request) -> None:
+        pass
+
+    def on_offer(self, request, cycle: int) -> None:
+        pass
+
+    def on_retry(self, request) -> None:
+        pass
+
+    def on_drop(self, request, cycle: int) -> None:
+        pass
+
+    def on_complete(self, request_id: int, cycle: int) -> None:
+        pass
+
+    def begin_cycle(self, cycle: int) -> None:
+        pass
+
+    def on_accept(self, request, cycle: int, bank: int, merged: bool,
+                  row_id) -> None:
+        pass
+
+    def on_issue(self, bank: int, row_id: int) -> None:
+        pass
+
+    def on_fill(self, bank: int, row_id: int, ready_at_mem: int) -> None:
+        pass
+
+
+#: Shared tracing-off tracer (the service core's default).
+NULL_TRACER = NullRequestTracer()
+
+
+def tracer_or_null(tracer) -> "RequestTracer":
+    """Normalize an optional tracer argument to a usable one."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+class BoundBankTracer:
+    """One bank's slice of a tracer — the delay-storage fill hook.
+
+    Mirrors :class:`repro.obs.metrics.BoundGauge`: the delay storage
+    knows its row and ready slot but not its bank id, so the bank
+    controller binds the id in at attach time.
+    """
+
+    __slots__ = ("tracer", "bank")
+
+    def __init__(self, tracer: RequestTracer, bank: int):
+        self.tracer = tracer
+        self.bank = bank
+
+    def on_fill(self, row_id: int, ready_at_mem: int) -> None:
+        self.tracer.on_fill(self.bank, row_id, ready_at_mem)
+
+
+# -- attribution report ---------------------------------------------------
+
+
+def trace_requests(events: Sequence[dict],
+                   status: Optional[str] = None) -> List[dict]:
+    """The ``trace.request`` events of a decoded stream, optionally by
+    status."""
+    out = [e for e in events if e.get("type") == "trace.request"]
+    if status is not None:
+        out = [e for e in out if e.get("status") == status]
+    return out
+
+
+def attribution(events: Sequence[dict]) -> Dict[str, dict]:
+    """Per-tenant latency attribution from ``trace.request`` events.
+
+    For each tenant with completed sampled requests:
+
+    * ``p50``/``p99`` — nearest-rank latencies over the sampled set
+      (the same rank rule the service ledger uses);
+    * ``p99_spans`` — the p99-ranked request's *exact* stage spans,
+      which sum to ``p99`` (residual 0 by the tiling contract);
+    * ``budgets`` — mean cycles per stage across the sampled set;
+    * ``critical`` — the stage with the largest mean budget;
+    * ``attributed`` — fraction of all sampled end-to-end cycles the
+      named stages cover (1.0 by construction; the acceptance bound is
+      >= 0.95).
+    """
+    from repro.obs.metrics import percentile_index
+
+    per_tenant: Dict[str, List[dict]] = {}
+    for event in trace_requests(events, status=COMPLETED):
+        per_tenant.setdefault(event["tenant"], []).append(event)
+    out: Dict[str, dict] = {}
+    for tenant in sorted(per_tenant):
+        rows = sorted(per_tenant[tenant],
+                      key=lambda e: (e["latency"], e["req"]))
+        n = len(rows)
+        exemplar = rows[percentile_index(n, 0.99)]
+        budgets = {
+            stage: sum(e["spans"].get(stage, 0) for e in rows) / n
+            for stage in STAGES
+        }
+        total_latency = sum(e["latency"] for e in rows)
+        attributed = sum(sum(e["spans"].values()) for e in rows)
+        out[tenant] = {
+            "count": n,
+            "p50": rows[percentile_index(n, 0.50)]["latency"],
+            "p99": exemplar["latency"],
+            "p99_seq": exemplar["req"],
+            "p99_spans": {s: exemplar["spans"].get(s, 0) for s in STAGES},
+            "p99_residual": exemplar["residual"],
+            "budgets": budgets,
+            "critical": max(STAGES, key=lambda s: budgets[s]),
+            "attributed": (attributed / total_latency
+                           if total_latency else 1.0),
+            "max_residual": max(e["residual"] for e in rows),
+        }
+    return out
+
+
+def render_attribution(events: Sequence[dict]) -> str:
+    """The ``repro obs trace report`` table."""
+    digest = attribution(events)
+    if not digest:
+        return ("no completed trace.request events in this log "
+                "(run the service with tracing on: repro serve "
+                "--trace-sample N --events ...)")
+    short = {"queue": "queue", "stall": "stall", "bank_queue": "bank_q",
+             "bank_access": "access", "delay_wait": "delay"}
+    lines = ["latency attribution (sampled completed requests, "
+             "cycles; per-stage columns are mean budgets)",
+             f"{'tenant':<12} {'n':>5} {'p50':>6} {'p99':>6} "
+             f"{'critical':<12} "
+             + " ".join(f"{short[s]:>7}" for s in STAGES)]
+    for tenant, entry in digest.items():
+        lines.append(
+            f"{tenant:<12} {entry['count']:>5} {entry['p50']:>6} "
+            f"{entry['p99']:>6} {entry['critical']:<12} "
+            + " ".join(f"{entry['budgets'][s]:>7.1f}" for s in STAGES))
+    lines.append("")
+    lines.append("p99 decomposition (the p99-ranked sampled request's "
+                 "exact spans; sum == p99)")
+    lines.append(f"{'tenant':<12} {'seq':>7} {'latency':>7} "
+                 + " ".join(f"{short[s]:>7}" for s in STAGES)
+                 + f" {'resid':>6}")
+    for tenant, entry in digest.items():
+        lines.append(
+            f"{tenant:<12} {entry['p99_seq']:>7} {entry['p99']:>7} "
+            + " ".join(f"{entry['p99_spans'][s]:>7}" for s in STAGES)
+            + f" {entry['p99_residual']:>6}")
+    total = sum(e["count"] for e in digest.values())
+    worst = min(e["attributed"] for e in digest.values())
+    lines.append("")
+    lines.append(f"attributed: {worst:.1%} of sampled end-to-end cycles "
+                 f"(worst tenant) across {total} sampled requests")
+    return "\n".join(lines)
+
+
+# -- Chrome-trace / Perfetto export ---------------------------------------
+
+
+def chrome_trace(events: Sequence[dict]) -> dict:
+    """Convert ``trace.*`` events to Chrome Trace Event Format JSON.
+
+    Loadable by ``chrome://tracing`` and https://ui.perfetto.dev: each
+    tenant becomes a process (named via ``process_name`` metadata),
+    each sampled request a thread (``tid`` = its submission sequence
+    number), and each stage a complete ``"X"`` slice.  Timestamps carry
+    interface cycles one-to-one in the format's microsecond field.
+    """
+    tenants = sorted({e["tenant"] for e in events
+                      if e.get("type") in ("trace.span", "trace.request")})
+    pid = {name: index + 1 for index, name in enumerate(tenants)}
+    trace_events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid[name], "tid": 0,
+         "args": {"name": name}}
+        for name in tenants
+    ]
+    for event in events:
+        kind = event.get("type")
+        if kind == "trace.span":
+            trace_events.append({
+                "name": event["stage"],
+                "cat": "vpnm",
+                "ph": "X",
+                "ts": event["start"],
+                "dur": event["end"] - event["start"],
+                "pid": pid[event["tenant"]],
+                "tid": event["req"],
+            })
+        elif kind == "trace.request":
+            trace_events.append({
+                "name": f"{event['op']}:{event['status']}",
+                "cat": "vpnm",
+                "ph": "i",
+                "s": "t",
+                "ts": event["cycle"] + event["latency"],
+                "pid": pid[event["tenant"]],
+                "tid": event["req"],
+                "args": {"latency": event["latency"],
+                         "stalls": event["stalls"],
+                         "spans": event["spans"]},
+            })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "interface cycles (1 cycle = 1 us)"},
+    }

@@ -44,6 +44,7 @@ from repro.core.controller import VPNMController
 from repro.core.exceptions import ConfigurationError, VPNMError
 from repro.core.request import MemoryRequest, Operation
 from repro.obs.events import NULL_EVENTS
+from repro.obs.trace import NULL_TRACER
 from repro.service.arbiter import make_arbiter
 from repro.service.tenants import (
     RateLike,
@@ -86,6 +87,7 @@ class ServiceCore:
         arbiter: str = "round-robin",
         quantum: int = 1,
         slo_interval: Optional[int] = None,
+        tracer=None,
     ):
         """``window`` > 0 emits one ``tenant.window`` event per tenant per
         ``window`` cycles (with that window's latency percentiles);
@@ -99,6 +101,11 @@ class ServiceCore:
         how often (in cycles) the SLO controller re-evaluates rolling
         p99s against ``TenantSpec.slo_p99`` contracts; default is the
         window size, or 4·D without windows.
+
+        ``tracer`` is an optional
+        :class:`repro.obs.trace.RequestTracer`; sampled requests then
+        carry cycle-exact stage spans (DESIGN.md §14).  None keeps the
+        no-op :data:`~repro.obs.trace.NULL_TRACER` on the hot path.
         """
         if not tenants:
             raise ConfigurationError("service needs at least one tenant")
@@ -149,6 +156,11 @@ class ServiceCore:
         self._priority_classes = sorted(
             {t.spec.priority for t in self.tenants})
         self.events = events if events is not None else NULL_EVENTS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            for ci, controller in enumerate(self.controllers):
+                controller.attach_tracer(
+                    self.tracer, bank_offset=ci * self.config.banks)
         self.completion_hook = completion_hook
         self.backpressure_hook = backpressure_hook
         self._retry = self.config.stall_policy == "stall"
@@ -235,6 +247,10 @@ class ServiceCore:
             raise ConfigurationError(f"unknown op {op!r}")
         t = self._by_name[tenant_name]
         t.counts.submitted += 1
+        # Every submission counts against the sampling sequence (even
+        # rejected ones), so the sampled set is a pure function of the
+        # submission schedule.
+        trace = self.tracer.on_submit(t.spec.name, self._cycle, op)
         if self._m:
             self._m["submitted"].inc(t.index)
         if t.shed_active:
@@ -242,12 +258,14 @@ class ServiceCore:
             t.window_rejected += 1
             if self._m:
                 self._m["shed"].inc(t.index)
+            self.tracer.on_reject(trace, SHED)
             return SubmitResult(SHED, None)
         if self.admission and not t.bucket.try_grant(self._cycle):
             t.counts.throttled += 1
             t.window_rejected += 1
             if self._m:
                 self._m["throttled"].inc(t.index)
+            self.tracer.on_reject(trace, THROTTLED)
             return SubmitResult(THROTTLED, None)
         if len(t.queue) >= t.spec.queue_limit:
             t.counts.backpressured += 1
@@ -257,6 +275,7 @@ class ServiceCore:
             if not t.backpressure_engaged:
                 t.backpressure_engaged = True
                 self._emit_backpressure(t, engaged=True)
+            self.tracer.on_reject(trace, BACKPRESSURE)
             return SubmitResult(BACKPRESSURE, None)
         service_id = self._next_service_id
         self._next_service_id += 1
@@ -271,6 +290,7 @@ class ServiceCore:
                                     tag=(t.index, self._cycle, service_id,
                                          tag))
         t.queue.append(request)
+        self.tracer.on_admit(trace, request)
         t.counts.admitted += 1
         t.window_admitted += 1
         if self._m:
@@ -297,6 +317,7 @@ class ServiceCore:
                 step = controller.step()
             else:
                 request = tenant.queue[0]
+                self.tracer.on_offer(request, cycle)
                 if self.interleave is not None:
                     self.interleave[ci].append(
                         (request.operation.value, request.address))
@@ -318,9 +339,11 @@ class ServiceCore:
                     # round robin already rotated past at pick time).
                     arbiter.feedback(tenant, consumed=False)
                     tenant.counts.controller_stalls += 1
+                    self.tracer.on_retry(request)
                 else:
                     tenant.queue.popleft()
                     arbiter.feedback(tenant, consumed=True)
+                    self.tracer.on_drop(request, cycle)
                     tenant.counts.dropped += 1
                     tenant.window_dropped += 1
                     if self._m:
@@ -528,6 +551,7 @@ class ServiceCore:
         submit_cycle = request_or_reply.tag[1]
         latency = cycle - submit_cycle
         tenant.record_latency(latency)
+        self.tracer.on_complete(request_or_reply.request_id, cycle)
         if self._m:
             self._m["completed"].inc(tenant.index)
             self._m["latency"].observe(latency)

@@ -34,9 +34,19 @@ arbitration/SLO layer (DESIGN.md §12) without a memory access::
 ``info`` carries exact rational rates as ``"p/q"`` strings plus each
 tenant's rolling SLO state; ``set-rate`` accepts the same exact
 strings (or floats, or null for unlimited) and moves the tenant's
-token-bucket rate at the current cycle.  The transport exists for
-driving the service from outside the process (demos, load generators);
-the in-process API is the fast path.
+token-bucket rate at the current cycle.  Two more control ops serve
+live observability (DESIGN.md §14)::
+
+    -> {"id": 4, "op": "stats"}
+    <- {"id": 4, "status": "ok", "stats": {"metrics": {...}, "info": {...}}}
+    -> {"id": 5, "op": "metrics"}
+    <- {"id": 5, "status": "ok", "metrics": "# TYPE repro_... \n..."}
+
+``stats`` dumps the core's MetricsRegistry snapshot plus the ``info``
+digest as JSON; ``metrics`` renders the same state in Prometheus text
+format (what ``repro obs serve-metrics`` prints).  The transport
+exists for driving the service from outside the process (demos, load
+generators); the in-process API is the fast path.
 """
 
 from __future__ import annotations
@@ -232,7 +242,7 @@ class AsyncMemoryService:
             message = json.loads(line)
             request_id = message.get("id")
             op = message.get("op", "read")
-            if op in ("info", "set-rate"):
+            if op in ("info", "set-rate", "stats", "metrics"):
                 response = self._handle_control(message, request_id, op)
                 async with write_lock:
                     writer.write((json.dumps(response, sort_keys=True)
@@ -262,13 +272,30 @@ class AsyncMemoryService:
                           + "\n").encode())
             await writer.drain()
 
+    def _metrics_snapshot(self) -> dict:
+        metrics = self.core.metrics
+        if metrics is None or not metrics.enabled:
+            return {}
+        return metrics.snapshot()
+
     def _handle_control(self, message: dict, request_id,
                         op: str) -> dict:
-        """``info`` / ``set-rate`` control ops (no memory access)."""
+        """``info``/``set-rate``/``stats``/``metrics`` control ops
+        (no memory access)."""
         try:
             if op == "info":
                 return {"id": request_id, "status": "ok",
                         "info": self.core.describe()}
+            if op == "stats":
+                return {"id": request_id, "status": "ok",
+                        "stats": {"metrics": self._metrics_snapshot(),
+                                  "info": self.core.describe()}}
+            if op == "metrics":
+                from repro.obs.prom import render_prometheus
+                return {"id": request_id, "status": "ok",
+                        "metrics": render_prometheus(
+                            self._metrics_snapshot(),
+                            self.core.describe())}
             tenant = message["tenant"]
             new_rate = self.core.set_rate(tenant, message.get("rate"))
             return {"id": request_id, "status": "ok", "tenant": tenant,

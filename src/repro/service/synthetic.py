@@ -126,6 +126,36 @@ def _address_source(core: ServiceCore, profile: SyntheticProfile,
     return next_uniform
 
 
+def fleet_arrivals(
+    core: ServiceCore,
+    profiles: Sequence[SyntheticProfile],
+    seed: int = 0,
+) -> Callable[[], None]:
+    """Build one cycle's worth of fleet submissions as a closure.
+
+    Returns ``submit_cycle()``: each call flips every profiled tenant's
+    seeded coin (in registration order — part of the deterministic
+    interleave contract) and submits one read per heads.  Factored out
+    of :func:`run_synthetic` so the CLI's ``--listen`` mode can drive
+    the identical arrival process while also serving socket clients:
+    same (fleet, seed, cycle count) -> same submissions either way.
+    """
+    ordered = sorted(profiles, key=lambda p: core.tenant(p.name).index)
+    arrivals = [
+        (p, random.Random(100003 * seed + 7919 * core.tenant(p.name).index),
+         _address_source(core, p, 200003 * seed
+                         + 104729 * core.tenant(p.name).index))
+        for p in ordered
+    ]
+
+    def submit_cycle() -> None:
+        for profile, rng, next_address in arrivals:
+            if rng.random() < profile.offered:
+                core.submit(profile.name, next_address())
+
+    return submit_cycle
+
+
 def run_synthetic(
     core: ServiceCore,
     profiles: Sequence[SyntheticProfile],
@@ -140,19 +170,9 @@ def run_synthetic(
     ``finish`` the service quiesces afterwards (all admitted requests
     resolve), so the returned report's ledgers are conservation-closed.
     """
-    # Tenants submit in registration order within a cycle — part of the
-    # deterministic interleave contract.
-    ordered = sorted(profiles, key=lambda p: core.tenant(p.name).index)
-    arrivals = [
-        (p, random.Random(100003 * seed + 7919 * core.tenant(p.name).index),
-         _address_source(core, p, 200003 * seed
-                         + 104729 * core.tenant(p.name).index))
-        for p in ordered
-    ]
+    submit_cycle = fleet_arrivals(core, profiles, seed)
     for _ in range(cycles):
-        for profile, rng, next_address in arrivals:
-            if rng.random() < profile.offered:
-                core.submit(profile.name, next_address())
+        submit_cycle()
         core.tick()
     return core.finish() if finish else core.report()
 

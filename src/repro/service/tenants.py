@@ -20,6 +20,9 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Deque, Dict, List, Optional, Union
 
+from repro.obs.metrics import latency_percentiles
+from repro.obs.metrics import percentile as _percentile
+
 #: What contract fields accept as a rate: exact rationals (``Fraction``
 #: or strings like ``"1/10"``), floats (snapped to the nearest rational
 #: with denominator <= 1e6 — the documented PR 6 behaviour), or None.
@@ -230,11 +233,15 @@ class SLOTracker:
         self._ring.append(latency)
         self.observed += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Rolling-window quantile (nearest-rank, the shared
+        :func:`repro.obs.metrics.percentile` rule); None before any
+        completion."""
+        return _percentile(list(self._ring), q)
+
     def p99(self) -> Optional[float]:
         """Rolling-window p99, or None before any completion."""
-        if not self._ring:
-            return None
-        return percentiles(list(self._ring))["p99"]
+        return self.quantile(0.99)
 
     def snapshot(self) -> Dict[str, float]:
         """Full rolling percentiles (the socket ``info`` op payload)."""
@@ -335,22 +342,8 @@ class TenantState:
 def percentiles(values: List[int]) -> Dict[str, float]:
     """p50/p95/p99/max of a latency sample (nearest-rank, deterministic).
 
-    Empty input returns an empty dict — event payloads carry that as
-    "nothing completed this window".
+    Thin alias for :func:`repro.obs.metrics.latency_percentiles` — the
+    one place the rank rule lives — kept because every service event
+    payload and report imports it from here.
     """
-    if not values:
-        return {}
-    ordered = sorted(values)
-    n = len(ordered)
-
-    def rank(q: float) -> float:
-        index = max(0, min(n - 1, int(q * n + 0.5) - 1))
-        return float(ordered[index])
-
-    return {
-        "p50": rank(0.50),
-        "p95": rank(0.95),
-        "p99": rank(0.99),
-        "max": float(ordered[-1]),
-        "count": float(n),
-    }
+    return latency_percentiles(values)

@@ -120,3 +120,64 @@ class TestNullRegistry:
         registry = MetricsRegistry()
         assert registry_or_null(registry) is registry
         assert registry_or_null(None) is NULL_REGISTRY
+
+
+class TestPercentiles:
+    def test_percentile_index_nearest_rank(self):
+        from repro.obs.metrics import percentile_index
+
+        assert percentile_index(1, 0.99) == 0
+        assert percentile_index(100, 0.50) == 49
+        assert percentile_index(100, 0.99) == 98
+        assert percentile_index(100, 1.00) == 99
+        assert percentile_index(3, 0.0) == 0
+        with pytest.raises(ValueError):
+            percentile_index(10, 1.5)
+
+    def test_percentile_of_sample(self):
+        from repro.obs.metrics import percentile
+
+        assert percentile([], 0.5) is None
+        assert percentile([7], 0.99) == 7.0
+        assert percentile([3, 1, 2], 0.5) == 2.0
+        assert percentile(list(range(1, 101)), 0.99) == 99.0
+
+    def test_latency_percentiles_shares_the_rank_rule(self):
+        from repro.obs.metrics import latency_percentiles, percentile
+
+        sample = [5, 1, 9, 3, 7, 2, 8, 4, 6, 10]
+        digest = latency_percentiles(sample)
+        assert digest["count"] == 10.0
+        assert digest["max"] == 10.0
+        for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            assert digest[key] == percentile(sample, q)
+        assert latency_percentiles([]) == {}
+
+    def test_service_percentiles_is_the_same_function(self):
+        # The service re-exports the one implementation; p99s shown in
+        # ledgers and trace reports must never disagree.
+        from repro.obs.metrics import latency_percentiles
+        from repro.service.tenants import percentiles
+
+        sample = list(range(200, 0, -1))
+        assert percentiles(sample) == latency_percentiles(sample)
+
+    def test_histogram_percentile_resolves_to_bucket_bound(self):
+        hist = Histogram("h", [10, 20, 40])
+        assert hist.percentile(0.5) is None  # no observations yet
+        for value in [1, 2, 3, 15, 16, 35, 37, 39]:
+            hist.observe(value)
+        assert hist.percentile(0.0) == 10.0
+        assert hist.percentile(0.5) == 20.0
+        assert hist.percentile(0.99) == 40.0
+
+    def test_histogram_percentile_overflow_is_inf(self):
+        import math
+
+        hist = Histogram("h", [10])
+        hist.observe(5)
+        hist.observe(999)
+        assert hist.percentile(0.99) == math.inf
+
+    def test_null_histogram_percentile_is_none(self):
+        assert NULL_REGISTRY.histogram("h", [1]).percentile(0.99) is None

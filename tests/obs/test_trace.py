@@ -1,0 +1,372 @@
+"""Unit tests for the request-span tracer (DESIGN.md §14).
+
+Everything here drives :mod:`repro.obs.trace` directly with scripted
+hook calls — the service-integration and byte-determinism checks live
+in ``tests/service/test_trace_determinism.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.events import EVENT_SCHEMA_VERSION, EventSink, validate_event
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import (
+    COMPLETED,
+    DROPPED,
+    NULL_TRACER,
+    STAGES,
+    BoundBankTracer,
+    NullRequestTracer,
+    RequestTrace,
+    RequestTracer,
+    attribution,
+    chrome_trace,
+    render_attribution,
+    trace_requests,
+    tracer_or_null,
+)
+
+
+class RecordingSink(EventSink):
+    """Validates every event through the real schema, keeps it decoded."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event_type, payload=None, timing=None):
+        event = {"v": EVENT_SCHEMA_VERSION, "seq": len(self.events),
+                 "type": event_type, **(payload or {})}
+        validate_event(event)
+        self.events.append(event)
+
+
+class FakeRequest:
+    def __init__(self, request_id):
+        self.request_id = request_id
+
+
+def tiles_exactly(spans, submit, complete):
+    """True iff the spans cover [submit, complete] contiguously in order."""
+    cursor = submit
+    for _, start, end in spans:
+        if start != cursor or end < start:
+            return False
+        cursor = end
+    return cursor == complete
+
+
+class TestSpanTiling:
+    def read_trace(self):
+        trace = RequestTrace("alice", seq=0, op="read", submit=10)
+        trace.grant = 13
+        trace.accept = 15
+        trace.issue = 18
+        trace.complete = 47
+        return trace
+
+    def test_completed_read_tiles_with_zero_residual(self):
+        trace = self.read_trace()
+        trace.ready_mem = 25          # num=den=1: ready at cycle 24
+        spans = trace.spans(1, 1)
+        assert [s[0] for s in spans] == list(STAGES)
+        assert tiles_exactly(spans, 10, 47)
+        assert dict((s, e - b) for s, b, e in spans) == {
+            "queue": 3, "stall": 2, "bank_queue": 3,
+            "bank_access": 6, "delay_wait": 23}
+
+    def test_ready_slot_converts_through_the_bus_ratio(self):
+        # R = 2/1 (memory at twice the interface clock): data at memory
+        # slot m is visible at the first c with (c+1)*2 >= m.
+        trace = self.read_trace()
+        trace.ready_mem = 5
+        spans = dict((s, (b, e)) for s, b, e in trace.spans(2, 1))
+        # ceil(5/2) - 1 = 2, but clamped up to issue (18).
+        assert spans["bank_access"] == (18, 18)
+        trace.ready_mem = 60          # ceil(60/2) - 1 = 29
+        spans = dict((s, (b, e)) for s, b, e in trace.spans(2, 1))
+        assert spans["bank_access"] == (18, 29)
+        assert spans["delay_wait"] == (29, 47)
+
+    def test_boundaries_clamp_into_accept_complete(self):
+        trace = self.read_trace()
+        trace.issue = 999             # forced-out reply: issue after done
+        trace.ready_mem = 10_000
+        spans = trace.spans(1, 1)
+        assert tiles_exactly(spans, 10, 47)
+        durations = dict((s, e - b) for s, b, e in spans)
+        assert durations["bank_queue"] == 47 - 15
+        assert durations["bank_access"] == 0
+        assert durations["delay_wait"] == 0
+
+    def test_merged_read_is_all_delay_wait_after_accept(self):
+        trace = self.read_trace()
+        trace.merged = True
+        spans = trace.spans(1, 1)
+        assert [s[0] for s in spans] == ["queue", "stall", "delay_wait"]
+        assert tiles_exactly(spans, 10, 47)
+
+    def test_posted_write_has_only_queue_and_stall(self):
+        trace = RequestTrace("alice", seq=0, op="write", submit=10)
+        trace.grant = 12
+        trace.accept = 14
+        trace.complete = 14           # writes complete at acceptance
+        spans = trace.spans(1, 1)
+        assert [s[0] for s in spans] == ["queue", "stall"]
+        assert tiles_exactly(spans, 10, 14)
+
+    def test_rejected_request_tiles_to_zero(self):
+        # Never granted or accepted: both boundary fallbacks collapse
+        # onto complete, so the tiling is exact (all-zero spans).
+        trace = RequestTrace("alice", seq=0, op="read", submit=10)
+        trace.complete = 10
+        spans = trace.spans(1, 1)
+        assert tiles_exactly(spans, 10, 10)
+
+    def test_never_issued_read_is_bank_queue_to_the_end(self):
+        trace = self.read_trace()
+        trace.issue = None            # dropped reply before any issue
+        spans = dict((s, e - b) for s, b, e in trace.spans(1, 1))
+        assert spans["bank_queue"] == 47 - 15
+        assert spans["bank_access"] == 0 and spans["delay_wait"] == 0
+
+
+class TestRequestTracer:
+    def run_request(self, tracer, request_id=7, cycles=(10, 13, 15)):
+        """Script one sampled read end to end; returns its trace."""
+        submit, grant, accept = cycles
+        trace = tracer.on_submit("alice", submit, "read")
+        assert trace is not None
+        request = FakeRequest(request_id)
+        tracer.on_admit(trace, request)
+        tracer.on_offer(request, grant)
+        tracer.on_accept(request, accept, bank=3, merged=False, row_id=5)
+        tracer.begin_cycle(accept + 2)
+        tracer.on_issue(3, 5)
+        tracer.on_fill(3, 5, ready_at_mem=accept + 6)
+        tracer.on_complete(request_id, submit + 40)
+        return trace
+
+    def test_sampling_is_by_submission_sequence(self):
+        tracer = RequestTracer(sample_every=4)
+        sampled = [tracer.on_submit("t", cycle, "read") is not None
+                   for cycle in range(10)]
+        assert sampled == [True, False, False, False] * 2 + [True, False]
+        assert tracer.sampled == 3
+
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RequestTracer(sample_every=0)
+
+    def test_completed_request_emits_spans_and_closing_record(self):
+        sink = RecordingSink()
+        tracer = RequestTracer(sink, sample_every=1)
+        self.run_request(tracer)
+        requests = trace_requests(sink.events)
+        assert len(requests) == 1
+        record = requests[0]
+        assert record["status"] == COMPLETED
+        assert record["latency"] == 40
+        assert record["residual"] == 0
+        assert sum(record["spans"].values()) == 40
+        spans = [e for e in sink.events if e["type"] == "trace.span"]
+        assert spans and all(e["end"] > e["start"] for e in spans)
+        assert tracer.emitted == 1
+
+    def test_payloads_carry_req_not_request_id(self):
+        # request_id is a process-global counter; leaking it would make
+        # two same-process runs differ byte-for-byte.
+        sink = RecordingSink()
+        tracer = RequestTracer(sink, sample_every=1)
+        self.run_request(tracer, request_id=123456)
+        for event in sink.events:
+            assert "request_id" not in event
+            assert event["req"] == 0  # the tracer's own submission seq
+
+    def test_retries_count_as_stalls(self):
+        sink = RecordingSink()
+        tracer = RequestTracer(sink, sample_every=1)
+        trace = tracer.on_submit("alice", 0, "read")
+        request = FakeRequest(1)
+        tracer.on_admit(trace, request)
+        tracer.on_offer(request, 2)
+        tracer.on_retry(request)
+        tracer.on_retry(request)
+        tracer.on_accept(request, 4, bank=0, merged=True, row_id=None)
+        tracer.on_complete(1, 20)
+        record = trace_requests(sink.events)[0]
+        assert record["stalls"] == 2
+        assert record["merged"] is True
+
+    def test_rejection_closes_with_zero_latency(self):
+        sink = RecordingSink()
+        tracer = RequestTracer(sink, sample_every=1)
+        trace = tracer.on_submit("alice", 9, "read")
+        tracer.on_reject(trace, "throttled")
+        record = trace_requests(sink.events, status="throttled")[0]
+        assert record["latency"] == 0 and record["residual"] == 0
+        tracer.on_reject(None, "throttled")  # unsampled: no-op
+        assert tracer.emitted == 1
+
+    def test_drop_closes_with_dropped_status(self):
+        sink = RecordingSink()
+        tracer = RequestTracer(sink, sample_every=1)
+        trace = tracer.on_submit("alice", 0, "read")
+        request = FakeRequest(2)
+        tracer.on_admit(trace, request)
+        tracer.on_offer(request, 3)
+        tracer.on_drop(request, 3)
+        record = trace_requests(sink.events, status=DROPPED)[0]
+        assert record["latency"] == 3
+        assert record["residual"] == 0
+
+    def test_bound_bank_tracer_fills_with_its_bank(self):
+        tracer = RequestTracer(RecordingSink(), sample_every=1)
+        trace = tracer.on_submit("alice", 0, "read")
+        request = FakeRequest(3)
+        tracer.on_admit(trace, request)
+        tracer.on_accept(request, 1, bank=6, merged=False, row_id=2)
+        BoundBankTracer(tracer, 6).on_fill(2, ready_at_mem=9)
+        assert trace.ready_mem == 9
+
+    def test_untraced_bank_activity_is_ignored(self):
+        tracer = RequestTracer(RecordingSink(), sample_every=1)
+        tracer.on_issue(0, 0)
+        tracer.on_fill(0, 0, 5)
+        tracer.on_complete(999, 5)
+        assert tracer.emitted == 0
+
+
+class TestNullTracer:
+    def test_null_tracer_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.on_submit("t", 0, "read") is None
+        NULL_TRACER.on_reject(None, "shed")
+        NULL_TRACER.on_complete(0, 0)
+        NULL_TRACER.begin_cycle(0)
+        NULL_TRACER.on_accept(FakeRequest(0), 0, 0, False, None)
+        assert NULL_TRACER.sampled == 0 and NULL_TRACER.emitted == 0
+
+    def test_tracer_or_null(self):
+        assert tracer_or_null(None) is NULL_TRACER
+        tracer = RequestTracer(sample_every=1)
+        assert tracer_or_null(tracer) is tracer
+        assert isinstance(NULL_TRACER, NullRequestTracer)
+
+
+def request_event(tenant, req, latency, spans, status=COMPLETED, cycle=0,
+                  op="read"):
+    spans = {stage: spans.get(stage, 0) for stage in STAGES}
+    return {"v": 1, "seq": req, "type": "trace.request", "tenant": tenant,
+            "req": req, "cycle": cycle, "op": op, "status": status,
+            "latency": latency, "stalls": 0, "merged": False,
+            "spans": spans, "residual": latency - sum(spans.values())}
+
+
+class TestAttribution:
+    def events(self):
+        out = []
+        for i in range(100):
+            latency = 40 + i  # latencies 40..139, p99 exemplar = 138
+            out.append(request_event(
+                "alice", i, latency,
+                {"queue": 4, "delay_wait": latency - 4}))
+        out.append(request_event("bob", 0, 50, {"bank_queue": 50}))
+        out.append(request_event("bob", 1, 10, {}, status="dropped"))
+        return out
+
+    def test_per_tenant_percentiles_and_budgets(self):
+        digest = attribution(self.events())
+        alice = digest["alice"]
+        assert alice["count"] == 100
+        assert alice["p50"] == 89 and alice["p99"] == 138
+        assert alice["critical"] == "delay_wait"
+        assert alice["budgets"]["queue"] == 4.0
+        assert alice["attributed"] == 1.0
+        assert alice["max_residual"] == 0
+
+    def test_p99_decomposition_sums_exactly_to_the_p99(self):
+        alice = attribution(self.events())["alice"]
+        assert sum(alice["p99_spans"].values()) == alice["p99"]
+        assert alice["p99_residual"] == 0
+        assert alice["p99_seq"] == 98  # latency 138 is request seq 98
+
+    def test_non_completed_requests_are_excluded(self):
+        digest = attribution(self.events())
+        assert digest["bob"]["count"] == 1
+        assert digest["bob"]["critical"] == "bank_queue"
+
+    def test_render_mentions_every_tenant_and_the_coverage(self):
+        text = render_attribution(self.events())
+        assert "latency attribution" in text
+        assert "p99 decomposition" in text
+        assert "alice" in text and "bob" in text
+        assert "100.0% of sampled end-to-end cycles" in text
+
+    def test_render_on_untraced_log_points_at_trace_sample(self):
+        assert "--trace-sample" in render_attribution([])
+
+
+class TestChromeTrace:
+    def test_export_shape(self):
+        span = {"v": 1, "seq": 0, "type": "trace.span", "tenant": "alice",
+                "req": 4, "stage": "delay_wait", "start": 10, "end": 40}
+        document = chrome_trace([span, request_event(
+            "alice", 4, 40, {"delay_wait": 40}, cycle=0)])
+        json.dumps(document)  # must be serializable as-is
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert metadata[0]["args"]["name"] == "alice"
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices == [{"name": "delay_wait", "cat": "vpnm", "ph": "X",
+                           "ts": 10, "dur": 30, "pid": 1, "tid": 4}]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["name"] == "read:completed"
+        assert instants[0]["ts"] == 40
+
+    def test_tenants_map_to_stable_pids(self):
+        events = [request_event("zeta", 0, 5, {}),
+                  request_event("alpha", 0, 5, {})]
+        document = chrome_trace(events)
+        names = {e["pid"]: e["args"]["name"]
+                 for e in document["traceEvents"] if e["ph"] == "M"}
+        assert names == {1: "alpha", 2: "zeta"}  # sorted, not first-seen
+
+
+class TestRenderPrometheus:
+    def snapshot(self):
+        return {
+            "service.admitted": {"type": "counter", "value": 12},
+            "bank.queue": {"type": "gauge", "value": 3, "peak": 9},
+            "tenant.drops": {"type": "counter_vector", "values": [1, 2]},
+            "latency": {"type": "histogram", "buckets": [10, 20],
+                        "counts": [4, 1, 2], "count": 7},
+        }
+
+    def test_counters_gauges_and_vectors(self):
+        text = render_prometheus(self.snapshot())
+        assert "# TYPE repro_service_admitted counter" in text
+        assert "repro_service_admitted 12" in text
+        assert "repro_bank_queue 3" in text
+        assert "repro_bank_queue_peak 9" in text
+        assert 'repro_tenant_drops{index="1"} 2' in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(self.snapshot())
+        assert 'repro_latency_bucket{le="10"} 4' in text
+        assert 'repro_latency_bucket{le="20"} 5' in text
+        assert 'repro_latency_bucket{le="+Inf"} 7' in text
+        assert "repro_latency_count 7" in text
+
+    def test_info_block_labels_tenants(self):
+        info = {"cycle": 640, "tenants": {
+            "alice": {"queue_depth": 2, "in_flight": 5,
+                      "shed": False, "backpressured": True,
+                      "slo": {"p99_rolling": 88.0, "breached": False,
+                              "breaches": 0}}}}
+        text = render_prometheus({}, info)
+        assert "repro_service_cycle 640" in text
+        assert 'repro_tenant_queue_depth{tenant="alice"} 2' in text
+        assert 'repro_tenant_backpressured{tenant="alice"} 1' in text
+        assert 'repro_tenant_slo_p99_rolling{tenant="alice"} 88' in text

@@ -266,6 +266,67 @@ class TestControlOps:
         assert bad_rate["status"] == "error" and "fast" in bad_rate["detail"]
         assert still_ok["status"] == "ok"
 
+    def test_stats_dumps_metrics_snapshot_and_info(self):
+        async def main():
+            from repro.obs.metrics import MetricsRegistry
+            core = make_core([TenantSpec("alice")],
+                             metrics=MetricsRegistry())
+            async with AsyncMemoryService(core) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                await self.ask(reader, writer, {
+                    "id": 1, "tenant": "alice", "address": 7})
+                stats = await self.ask(reader, writer,
+                                       {"id": 2, "op": "stats"})
+                writer.close()
+                await writer.wait_closed()
+            return stats
+
+        stats = asyncio.run(main())
+        assert stats["id"] == 2 and stats["status"] == "ok"
+        assert "alice" in stats["stats"]["info"]["tenants"]
+        snapshot = stats["stats"]["metrics"]
+        assert snapshot["tenant.admitted"]["values"][0] == 1
+
+    def test_metrics_renders_prometheus_text(self):
+        async def main():
+            from repro.obs.metrics import MetricsRegistry
+            core = make_core([TenantSpec("alice")],
+                             metrics=MetricsRegistry())
+            async with AsyncMemoryService(core) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                await self.ask(reader, writer, {
+                    "id": 1, "tenant": "alice", "address": 7})
+                dump = await self.ask(reader, writer,
+                                      {"id": 2, "op": "metrics"})
+                writer.close()
+                await writer.wait_closed()
+            return dump
+
+        dump = asyncio.run(main())
+        assert dump["status"] == "ok"
+        text = dump["metrics"]
+        assert "# TYPE repro_tenant_admitted counter" in text
+        assert 'repro_tenant_admitted{index="0"} 1' in text
+        assert 'repro_tenant_queue_depth{tenant="alice"} 0' in text
+
+    def test_stats_without_metrics_registry_is_empty_not_an_error(self):
+        async def main():
+            core = make_core([TenantSpec("alice")])
+            async with AsyncMemoryService(core) as svc:
+                host, port = await svc.serve_socket()
+                reader, writer = await asyncio.open_connection(host, port)
+                stats = await self.ask(reader, writer,
+                                       {"id": 1, "op": "stats"})
+                writer.close()
+                await writer.wait_closed()
+            return stats
+
+        stats = asyncio.run(main())
+        assert stats["status"] == "ok"
+        assert stats["stats"]["metrics"] == {}
+
 
 class TestConstruction:
     def test_rejects_bad_slice(self):

@@ -116,6 +116,17 @@ class TestSLOTracker:
         with pytest.raises(ValueError):
             SLOTracker(window=0)
 
+    def test_quantile_uses_the_shared_rank_rule(self):
+        from repro.obs.metrics import percentile
+
+        tracker = SLOTracker(window=16)
+        sample = [40, 10, 30, 20, 60, 50]
+        for latency in sample:
+            tracker.observe(latency)
+        for q in (0.5, 0.95, 0.99):
+            assert tracker.quantile(q) == percentile(sample, q)
+        assert tracker.p99() == tracker.quantile(0.99)
+
 
 class TestSpecValidation:
     def test_bounds_need_slo_and_rate(self):

@@ -1,0 +1,179 @@
+"""Traced service runs: byte-determinism, zero perturbation, attribution.
+
+Three contracts from DESIGN.md §14:
+
+* two identical traced runs emit byte-identical JSONL modulo the
+  ``timing`` envelope member (the same bar the campaign determinism
+  test sets — tracing adds no wall clock and no RNG);
+* tracing is observation only: with the tracer pointed at its own
+  sink, the service's event stream and controller accounting are
+  byte-for-byte what an untraced run produces, and the differential
+  service-vs-serial-replay suite still passes with every request
+  sampled;
+* attribution closes: every sampled completed request's spans tile its
+  latency exactly (residual 0), so the per-tenant report attributes
+  100% of sampled end-to-end cycles (acceptance bound is >= 95%) and
+  the p99 decomposition sums to the p99 request's latency.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import VPNMConfig, VPNMController
+from repro.core.controller import read_request
+from repro.obs.events import JsonlEventSink, read_events
+from repro.obs.trace import RequestTracer, attribution, trace_requests
+from repro.service import ServiceCore, TenantSpec
+from repro.service.synthetic import run_synthetic, synthetic_fleet
+from repro.sim.runner import run_workload
+
+SEED = 17
+
+FLEET_CONFIG = dict(address_bits=16, banks=8, bank_latency=8,
+                    queue_depth=4, delay_rows=32, hash_latency=0)
+
+
+def traced_fleet_run(events_path, sample_every=8, cycles=1500):
+    """One synthetic adversary/benign fleet run with tracing on."""
+    specs, profiles = synthetic_fleet(tenants=4, adversaries=1,
+                                      benign_offered=0.2)
+    with JsonlEventSink(str(events_path)) as sink:
+        tracer = RequestTracer(sink, sample_every=sample_every)
+        core = ServiceCore(specs, config=VPNMConfig(**FLEET_CONFIG),
+                           seed=SEED, events=sink, window=512,
+                           tracer=tracer)
+        run_synthetic(core, profiles, cycles=cycles, seed=3)
+    return tracer
+
+
+def stripped_lines(path):
+    """Canonical lines with the (wall-clock) ``timing`` member removed."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            event = json.loads(line)
+            event.pop("timing", None)
+            out.append(json.dumps(event, sort_keys=True,
+                                  separators=(",", ":")))
+    return out
+
+
+class TestByteDeterminism:
+    def test_identical_traced_runs_are_byte_identical(self, tmp_path):
+        tracer_a = traced_fleet_run(tmp_path / "a.jsonl")
+        tracer_b = traced_fleet_run(tmp_path / "b.jsonl")
+        assert tracer_a.emitted == tracer_b.emitted > 0
+        lines_a = stripped_lines(tmp_path / "a.jsonl")
+        assert lines_a == stripped_lines(tmp_path / "b.jsonl")
+        # and the stream actually contains trace events, schema-valid.
+        events = read_events(str(tmp_path / "a.jsonl"))
+        assert any(e["type"] == "trace.span" for e in events)
+        assert trace_requests(events, status="completed")
+
+    def test_tracing_leaves_the_service_stream_untouched(self, tmp_path):
+        """Tracer on its own sink: the service's events and accounting
+        must be byte-for-byte those of an untraced run."""
+        specs, profiles = synthetic_fleet(tenants=3, adversaries=1)
+
+        def run(service_log, tracer):
+            with JsonlEventSink(str(service_log)) as sink:
+                core = ServiceCore(specs,
+                                   config=VPNMConfig(**FLEET_CONFIG),
+                                   seed=SEED, events=sink, window=256,
+                                   tracer=tracer)
+                run_synthetic(core, profiles, cycles=800, seed=5)
+            return core.controllers[0].stats
+
+        # every request sampled: the heaviest possible observation load
+        with JsonlEventSink(str(tmp_path / "spans.jsonl")) as span_sink:
+            traced = run(tmp_path / "traced.jsonl",
+                         RequestTracer(span_sink, sample_every=1))
+        untraced = run(tmp_path / "plain.jsonl", None)
+        assert stripped_lines(tmp_path / "traced.jsonl") == \
+            stripped_lines(tmp_path / "plain.jsonl")
+        assert traced.reads_accepted == untraced.reads_accepted
+        assert traced.stall_cycles == untraced.stall_cycles
+        assert dict(traced.stall_reasons) == dict(untraced.stall_reasons)
+
+
+DIFFERENTIAL_PARAMS = dict(banks=2, bank_latency=8, queue_depth=1,
+                           delay_rows=64)
+
+
+def make_drop_config():
+    return VPNMConfig(address_bits=16, hash_latency=0, stall_policy="drop",
+                      **DIFFERENTIAL_PARAMS)
+
+
+@pytest.mark.parametrize("arbiter", ["round-robin", "wdrr"])
+def test_differential_replay_with_tracing_on(arbiter):
+    """The service-vs-serial-replay ledger identity survives full
+    sampling (sample_every=1): tracing must not shift one offer."""
+    specs = [TenantSpec(f"t{i}", burst=4, queue_limit=32,
+                        weight=(i % 3) + 1) for i in range(4)]
+    core = ServiceCore(specs, config=make_drop_config(), seed=SEED,
+                       record_interleave=True, arbiter=arbiter,
+                       tracer=RequestTracer(sample_every=1))
+    rng = random.Random(99)
+    for _ in range(600):
+        for i in range(4):
+            if rng.random() < 0.4:
+                core.submit(f"t{i}", rng.getrandbits(16))
+        core.tick()
+    core.finish()
+    service_stats = core.controllers[0].stats
+    interleave = core.interleave[0]
+
+    controller = VPNMController(make_drop_config(), seed=SEED)
+    workload = [None if item is None else read_request(item[1])
+                for item in interleave]
+    run_workload(controller, workload, drain=True)
+
+    assert service_stats.stalls > 0
+    assert service_stats.reads_accepted == controller.stats.reads_accepted
+    assert service_stats.reads_merged == controller.stats.reads_merged
+    assert dict(service_stats.stall_reasons) == \
+        dict(controller.stats.stall_reasons)
+    assert service_stats.dropped_requests == \
+        controller.stats.dropped_requests
+    assert service_stats.stall_cycles == controller.stats.stall_cycles
+
+
+class TestAttributionAcceptance:
+    @pytest.fixture(scope="class")
+    def events(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "events.jsonl"
+        tracer = traced_fleet_run(path, sample_every=4, cycles=2000)
+        assert tracer.emitted > 0
+        return read_events(str(path))
+
+    def test_every_sampled_completion_tiles_exactly(self, events):
+        completed = trace_requests(events, status="completed")
+        assert len(completed) >= 50
+        assert all(e["residual"] == 0 for e in completed)
+        for event in completed:
+            assert sum(event["spans"].values()) == event["latency"]
+
+    def test_report_attributes_at_least_95_percent(self, events):
+        digest = attribution(events)
+        # adversary and benign tenants both sampled
+        assert "attacker0" in digest and "tenant1" in digest
+        for entry in digest.values():
+            assert entry["attributed"] >= 0.95
+            assert entry["attributed"] == pytest.approx(1.0)
+            assert entry["max_residual"] == 0
+
+    def test_p99_decomposition_sums_to_the_p99_exactly(self, events):
+        for entry in attribution(events).values():
+            assert sum(entry["p99_spans"].values()) == entry["p99"]
+            assert entry["p99_residual"] == 0
+
+    def test_delay_storage_dominates_the_adversary_victim_bank(self, events):
+        """The paper's story told by spans: under a single-bank hammer
+        the sampled latency beyond D lives in bank_queue/delay_wait,
+        not in unattributed residue."""
+        digest = attribution(events)
+        attacker = digest["attacker0"]
+        assert attacker["critical"] in ("queue", "bank_queue", "delay_wait")

@@ -279,9 +279,22 @@ class TestObs:
         assert main(["obs", "chart", "--dir", d, "--cell", cell]) == 0
         assert f"cell {cell}" in capsys.readouterr().out
 
-    def test_missing_log_is_a_configuration_error(self, capsys, tmp_path):
-        assert main(["obs", "summary", "--dir", str(tmp_path)]) == 2
-        assert "no event log" in capsys.readouterr().err
+    def test_missing_log_exits_cleanly_with_rc_1(self, capsys, tmp_path):
+        # A missing log is an empty result, not a usage error: clean
+        # one-line message on stderr and rc 1, never a traceback.
+        assert main(["obs", "summary", "--dir", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "no event log" in err
+        assert "Traceback" not in err
+
+    def test_empty_log_exits_cleanly_with_rc_1(self, capsys, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text("")
+        for action in ("summary", "tail"):
+            assert main(["obs", action, "--events", str(log)]) == 1
+            err = capsys.readouterr().err
+            assert "empty" in err
+            assert "Traceback" not in err
 
     def test_needs_dir_or_events(self, capsys):
         assert main(["obs", "summary"]) == 2
@@ -367,3 +380,90 @@ class TestObsTailService:
         assert main(["obs", "tail", "--events", missing, "--follow",
                      "--max-seconds", "0.2"]) == 1
         assert "no event log appeared" in capsys.readouterr().err
+
+
+class TestObsTrace:
+    def traced_log(self, tmp_path, capsys):
+        log = str(tmp_path / "traced.jsonl")
+        assert main(TestServe.ARGS + ["--events", log,
+                                      "--trace-sample", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "traced:" in out
+        return log
+
+    def test_serve_emits_valid_trace_events(self, capsys, tmp_path):
+        from repro.obs.events import read_events
+
+        log = self.traced_log(tmp_path, capsys)
+        events = read_events(log)  # schema-validates every line
+        spans = [e for e in events if e["type"] == "trace.span"]
+        requests = [e for e in events if e["type"] == "trace.request"]
+        assert spans and requests
+        completed = [e for e in requests if e["status"] == "completed"]
+        assert completed
+        # The acceptance contract: spans tile each sampled request's
+        # end-to-end latency exactly.
+        assert all(e["residual"] == 0 for e in completed)
+
+    def test_trace_report_renders_attribution(self, capsys, tmp_path):
+        log = self.traced_log(tmp_path, capsys)
+        assert main(["obs", "trace", "--events", log]) == 0
+        out = capsys.readouterr().out
+        assert "latency attribution" in out
+        assert "p99 decomposition" in out
+        assert "delay_wait" in out or "queue" in out
+        assert "attacker0" in out
+
+    def test_trace_export_writes_chrome_json(self, capsys, tmp_path):
+        import json as jsonlib
+
+        log = self.traced_log(tmp_path, capsys)
+        out_path = str(tmp_path / "trace.json")
+        assert main(["obs", "trace", "export", "--events", log,
+                     "--out", out_path]) == 0
+        capsys.readouterr()
+        with open(out_path) as fh:
+            payload = jsonlib.load(fh)
+        slices = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert slices
+        assert all(e["dur"] >= 1 for e in slices)
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e.get("ph") == "M"}
+        assert "attacker0" in names
+
+    def test_trace_report_on_untraced_log_hints(self, capsys, tmp_path):
+        log = str(tmp_path / "plain.jsonl")
+        assert main(TestServe.ARGS + ["--events", log]) == 0
+        capsys.readouterr()
+        assert main(["obs", "trace", "--events", log]) == 0
+        assert "--trace-sample" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_sample(self, capsys):
+        assert main(TestServe.ARGS + ["--trace-sample", "0"]) == 2
+        assert "trace-sample" in capsys.readouterr().err
+
+    def test_serve_metrics_unreachable_returns_1(self, capsys):
+        assert main(["obs", "serve-metrics", "--port", "1",
+                     "--timeout", "0.2"]) == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_serve_metrics_needs_port(self, capsys):
+        assert main(["obs", "serve-metrics"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+
+class TestServeListen:
+    def test_listen_mode_runs_fleet_and_prints_table(self, capsys):
+        args = ["serve", "--banks", "8", "--bank-latency", "8",
+                "--queue-depth", "4", "--delay-rows", "16",
+                "--address-bits", "16", "--tenants", "2",
+                "--adversaries", "0", "--cycles", "600", "--window", "0",
+                "--seed", "3", "--listen", "127.0.0.1:0"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+        assert "tenant1" in out
+
+    def test_listen_rejects_malformed_endpoint(self, capsys):
+        assert main(TestServe.ARGS + ["--listen", "nope"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err

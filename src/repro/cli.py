@@ -36,6 +36,7 @@ import json
 import math
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.combine import (
@@ -341,8 +342,48 @@ def _command_campaign(args: argparse.Namespace) -> int:
             print(f"  {cell_id}: shard {shard + 1}/{total} {verb} "
                   f"({elapsed:.1f}s)")
 
-        campaign.run(progress=progress, max_cells=args.max_cells)
+        if args.distributed:
+            campaign.run_distributed(
+                progress=progress, max_cells=args.max_cells,
+                ttl=args.lease_ttl, poll=args.poll,
+                idle_timeout=args.idle_timeout,
+                worker_id=args.worker_id)
+        else:
+            campaign.run(progress=progress, max_cells=args.max_cells)
         print(campaign.render_status())
+        return 0
+
+    if args.action == "worker":
+        from repro.sim.distrib import CampaignWorker
+
+        # Readiness marker: imports are done and the wait-for-manifest
+        # loop is about to start.  Lets a harness (the scale-out
+        # benchmark) exclude interpreter startup from drain timings.
+        workers_dir = os.path.join(args.dir, "workers")
+        os.makedirs(workers_dir, exist_ok=True)
+        ready_name = args.worker_id or f"pid{os.getpid()}"
+        with open(os.path.join(workers_dir, f"{ready_name}.ready"), "w"):
+            pass
+
+        manifest_path = os.path.join(args.dir, "manifest.json")
+        deadline = time.monotonic() + max(0.0, args.wait_manifest)
+        while not os.path.exists(manifest_path):
+            if time.monotonic() >= deadline:
+                raise ConfigurationError(
+                    f"no campaign manifest in {args.dir} after waiting "
+                    f"{args.wait_manifest:g}s; start the coordinator "
+                    "(campaign run --distributed) first or raise "
+                    "--wait-manifest")
+            time.sleep(0.2)
+        worker = CampaignWorker(
+            SweepCampaign(args.dir), worker_id=args.worker_id,
+            ttl=args.lease_ttl, poll=args.poll,
+            max_shards=args.max_shards)
+        summary = worker.drain(idle_timeout=args.idle_timeout)
+        print(f"worker {summary['worker']}: {summary['state']}, "
+              f"claimed {summary['claimed']} "
+              f"completed {summary['completed']} "
+              f"reclaimed {summary['reclaimed']}")
         return 0
 
     campaign = SweepCampaign(args.dir)
@@ -811,7 +852,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpointed sweep campaign over a (K | Q | load) grid "
              "with resume, status, and a predicted-vs-simulated report",
     )
-    campaign.add_argument("action", choices=["run", "status", "report"])
+    campaign.add_argument("action",
+                          choices=["run", "worker", "status", "report"])
     campaign.add_argument("--dir", required=True,
                           help="campaign directory (manifest + "
                                "per-cell shard checkpoints)")
@@ -861,6 +903,37 @@ def build_parser() -> argparse.ArgumentParser:
                                "resume refuses a different kernel or "
                                "compiled backend (default: the "
                                "manifest's kernel, else chunked)")
+    campaign.add_argument("--distributed", action="store_true",
+                          help="run action: coordinate a work-stealing "
+                               "drain — external 'campaign worker' "
+                               "processes sharing --dir lease shards; "
+                               "the coordinator harvests and publishes "
+                               "in grid order (and executes shards "
+                               "itself between harvests)")
+    campaign.add_argument("--lease-ttl", type=float, default=60.0,
+                          help="distributed: seconds without a lease "
+                               "heartbeat before a shard is considered "
+                               "abandoned and reclaimed (default 60)")
+    campaign.add_argument("--poll", type=float, default=0.5,
+                          help="distributed: seconds between exchange "
+                               "scans when no work was found "
+                               "(default 0.5)")
+    campaign.add_argument("--worker-id", default=None,
+                          help="distributed: stable identity for this "
+                               "process's worker session (default "
+                               "host-pid derived)")
+    campaign.add_argument("--max-shards", type=int, default=None,
+                          help="worker action: stop after completing "
+                               "this many shards (testing)")
+    campaign.add_argument("--idle-timeout", type=float, default=None,
+                          help="give up after this many seconds without "
+                               "progress while shards remain leased to "
+                               "peers (default: wait forever)")
+    campaign.add_argument("--wait-manifest", type=float, default=0.0,
+                          help="worker action: wait up to this many "
+                               "seconds for the campaign manifest to "
+                               "appear before giving up (lets workers "
+                               "start before the coordinator)")
     campaign.set_defaults(handler=_command_campaign)
 
     obs = commands.add_parser(

@@ -44,6 +44,23 @@ EVENT_TYPES: Dict[str, Dict[str, type]] = {
                        "lanes": int},
     "stalls_observed": {"shard": int, "delay_storage": int,
                         "bank_queue": int},
+    # Distributed work-stealing (DESIGN.md §15).  These live in
+    # per-worker logs under ``<campaign>/workers/`` — never in the
+    # campaign's own ``events.jsonl``, which must stay byte-identical
+    # to a serial run.  Wall-clock values ride ``timing`` as always.
+    "campaign.worker_started": {"worker": str, "role": str, "host": str,
+                                "pid": int, "cells": int},
+    "campaign.worker_stopped": {"worker": str, "claimed": int,
+                                "completed": int, "reclaimed": int},
+    # One shard's lease lifecycle on the exchange: claimed (O_EXCL
+    # create won), completed (checkpoint deposited, lease released),
+    # reclaimed (stale lease stolen from ``stale_worker`` after its
+    # heartbeat stopped for a TTL).
+    "shard.claimed": {"worker": str, "cell": str, "shard": int},
+    "shard.completed": {"worker": str, "cell": str, "shard": int,
+                        "lanes": int, "cycles": int},
+    "shard.reclaimed": {"worker": str, "cell": str, "shard": int,
+                        "stale_worker": str},
     # Kernel resolution (DESIGN.md §13): emitted exactly once per
     # resolution site when a requested compiled kernel ("jit") has to
     # degrade — ``effective`` is what actually runs ("chunked") and

@@ -58,7 +58,43 @@ from repro.sim import kernels as kernels_pkg
 from repro.sim.batchsim import BatchStallSimulator
 
 __all__ = ["BatchReport", "BatchRunner", "ShardPlan", "ShardProgress",
-           "lane_seeds", "lane_seeds_legacy"]
+           "atomic_write_json", "lane_seeds", "lane_seeds_legacy"]
+
+
+def atomic_write_json(path: str, payload: object, *,
+                      indent: Optional[int] = None,
+                      sort_keys: bool = False) -> None:
+    """Durably publish ``payload`` as JSON at ``path`` — all or nothing.
+
+    tmp file in the same directory → flush → ``fsync`` → ``os.replace``
+    → best-effort directory fsync.  A reader (including one on another
+    machine sharing the filesystem) either sees the old file or the
+    complete new one, never a truncated write; a crash between write
+    and rename leaves only a ``*.tmp`` orphan, which the distributed
+    executor's stale-lease sweep garbage-collects (DESIGN.md §15).
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=sort_keys)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(dir_fd)
 
 #: Per-shard progress callback: called once per shard as it completes
 #: (or is restored from a checkpoint), in completion order.
@@ -425,18 +461,10 @@ class BatchRunner:
             return
         os.makedirs(self.checkpoint_dir, exist_ok=True)
         payload = {"fingerprint": fingerprint, "result": data}
-        # Atomic publish: a crash mid-write must not leave a truncated
-        # checkpoint that a resume would then trip over.
-        fd, tmp = tempfile.mkstemp(dir=self.checkpoint_dir,
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        # Atomic, durable publish: a crash mid-write must not leave a
+        # truncated checkpoint that a resume (or a remote harvester
+        # watching the directory) would then trip over.
+        atomic_write_json(path, payload)
 
     # -- execution --------------------------------------------------------
 

@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 from dataclasses import asdict, dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
@@ -65,7 +64,15 @@ from repro.sim.batchrunner import (
     ShardPlan,
     _config_fingerprint,
     _run_tagged_shard,
+    atomic_write_json,
     lane_seeds,
+)
+from repro.sim.distrib import (
+    DEFAULT_LEASE_TTL,
+    ShardTask,
+    WorkerSession,
+    scan_leases,
+    worker_status,
 )
 
 __all__ = [
@@ -370,17 +377,10 @@ class SweepCampaign:
         return manifest
 
     def _save_manifest(self) -> None:
-        """Atomic publish, mirroring the shard-checkpoint discipline."""
+        """Atomic durable publish (tmp + fsync + ``os.replace``)."""
         os.makedirs(self.root_dir, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(self._manifest, fh, indent=1, sort_keys=True)
-            os.replace(tmp, self.manifest_path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write_json(self.manifest_path, self._manifest,
+                          indent=1, sort_keys=True)
 
     def _register(self, cells: Sequence[CellSpec]) -> None:
         if not cells:
@@ -594,6 +594,145 @@ class SweepCampaign:
         publish_ready()
         return fresh
 
+    def run_distributed(self, participate: bool = True,
+                        ttl: float = DEFAULT_LEASE_TTL,
+                        poll: float = 0.2,
+                        max_cells: Optional[int] = None,
+                        idle_timeout: Optional[float] = None,
+                        progress: Optional[CampaignProgress] = None,
+                        events: Optional[EventSink] = None,
+                        worker_id: Optional[str] = None,
+                        ) -> Dict[str, BatchReport]:
+        """Coordinate a work-stealing drain of the pending cells.
+
+        The campaign directory is the shard exchange (DESIGN.md §15):
+        any number of ``repro campaign worker`` processes — here or on
+        any machine sharing the directory — lease pending shards and
+        deposit checkpoints.  This method is the **coordinator**: it
+        plans every pending cell up front (capturing the resumed/
+        pending split exactly as the pooled scheduler does), harvests
+        deposited checkpoints, and publishes cells through the same
+        grid-order cursor — so the manifest and the campaign event
+        stream are identical to a serial run modulo ``timing``, no
+        matter how many workers drained the shards or in what order.
+
+        With ``participate=True`` (default) the coordinator is also a
+        worker: between harvest passes it claims and executes shards
+        itself, so ``run --distributed`` with zero external workers
+        still completes.  Either way it sweeps for stale leases every
+        round, reclaiming work from crashed workers after ``ttl``
+        seconds of heartbeat silence.  ``idle_timeout`` bounds how
+        long a non-participating coordinator waits without observing
+        progress before giving up with a ``ConfigurationError``.
+        """
+        os.makedirs(self.root_dir, exist_ok=True)
+        log = JsonlEventSink(self.event_log_path())
+        parts = [log]
+        if events is not None:
+            parts.append(events)
+        if progress is not None:
+            parts.append(CampaignProgressAdapter(progress))
+        sink = TeeEventSink(parts)
+        fresh: Dict[str, BatchReport] = {}
+        session = WorkerSession(self.root_dir, worker_id=worker_id,
+                                ttl=ttl, role="coordinator")
+        start = time.perf_counter()
+        try:
+            done = sum(self._entry(c)["status"] == "done"
+                       for c in self._manifest["order"])
+            sink.emit("campaign_started",
+                      {"cells_total": len(self._manifest["order"]),
+                       "cells_done": done})
+            if self._kernel_resolution.fallback_reason:
+                sink.emit("kernel.fallback", {
+                    "requested": self._kernel_resolution.requested,
+                    "effective": self._kernel_resolution.effective,
+                    "reason": self._kernel_resolution.fallback_reason,
+                })
+            cell_ids = [c for c in self._manifest["order"]
+                        if self._entry(c)["status"] != "done"]
+            if max_cells is not None:
+                cell_ids = cell_ids[:max_cells]
+            plans: Dict[str, ShardPlan] = {}
+            resumed: Dict[str, bool] = {}
+            for cell_id in cell_ids:
+                spec = self._spec(cell_id)
+                resumed[cell_id] = self._has_shard_checkpoints(cell_id)
+                plans[cell_id] = self._runner(cell_id).plan(
+                    spec.cycles, idle_probability=spec.idle_probability)
+            cell_dirs = {c: self._cell_dir(c) for c in cell_ids}
+            session.start(cells=len(cell_ids))
+            cursor = 0
+
+            def publish_ready():
+                nonlocal cursor
+                while (cursor < len(cell_ids)
+                       and plans[cell_ids[cursor]].done):
+                    cell_id = cell_ids[cursor]
+                    fresh[cell_id] = self._publish_planned_cell(
+                        cell_id, plans[cell_id], resumed[cell_id], sink,
+                        time.perf_counter() - start)
+                    cursor += 1
+
+            def harvest() -> int:
+                """Pull peer-deposited checkpoints into the plans."""
+                found = 0
+                for cell_id in cell_ids[cursor:]:
+                    plan = plans[cell_id]
+                    for i in plan.pending:
+                        if plan.results[i] is not None:
+                            continue
+                        data = plan.runner._load_checkpoint(
+                            i, plan.fingerprint, plan.shards[i])
+                        if data is not None:
+                            plan.results[i] = data
+                            found += 1
+                return found
+
+            idle_since: Optional[float] = None
+            publish_ready()
+            while cursor < len(cell_ids):
+                progressed = harvest() > 0
+                publish_ready()
+                if cursor >= len(cell_ids):
+                    break
+                if participate:
+                    for cell_id in cell_ids[cursor:]:
+                        plan = plans[cell_id]
+                        ran = False
+                        for i in plan.pending:
+                            if plan.results[i] is not None:
+                                continue
+                            task = ShardTask(cell_id, cell_dirs[cell_id],
+                                             i, plan)
+                            if session.try_execute(task):
+                                progressed = ran = True
+                                break
+                        if ran:
+                            break
+                if session.reclaim_pass(cell_dirs):
+                    progressed = True
+                publish_ready()
+                if cursor >= len(cell_ids):
+                    break
+                if progressed:
+                    idle_since = None
+                    continue
+                now = time.perf_counter()
+                if idle_since is None:
+                    idle_since = now
+                elif (idle_timeout is not None
+                        and now - idle_since >= idle_timeout):
+                    raise ConfigurationError(
+                        f"distributed campaign made no progress for "
+                        f"{idle_timeout:g}s with "
+                        f"{len(cell_ids) - cursor} cells outstanding")
+                time.sleep(poll)
+        finally:
+            session.stop()
+            log.close()
+        return fresh
+
     def _publish_planned_cell(self, cell_id: str, plan: ShardPlan,
                               resumed: bool, sink: EventSink,
                               elapsed: float) -> BatchReport:
@@ -738,6 +877,11 @@ class SweepCampaign:
             "cells_total": len(cells),
             "cells_done": done,
             "cells": cells,
+            # Distributed view (DESIGN.md §15): one row per worker that
+            # ever attached to this directory, from the typed events in
+            # ``<root>/workers/``, plus the live/stale lease census.
+            "workers_detail": worker_status(self.root_dir),
+            "leases": scan_leases(self.root_dir),
         }
 
     def render_status(self) -> str:
@@ -781,4 +925,25 @@ class SweepCampaign:
                 f"{stalls:>9} {wall:>8} {rate:>11} "
                 f"{peak_q if peak_q is not None else '-':>4} "
                 f"{peak_k if peak_k is not None else '-':>5} {mix}")
+        workers = status.get("workers_detail") or []
+        if workers:
+            leases = status.get("leases") or {}
+            lines.append(
+                f"workers: {sum(w['live'] for w in workers)} live / "
+                f"{len(workers)} seen, leases: "
+                f"{leases.get('active', 0)} active "
+                f"{leases.get('stale', 0)} stale")
+            lines.append(
+                f"{'worker':<36} {'role':>11} {'state':>12} {'live':>4} "
+                f"{'claimed':>7} {'done':>5} {'reclaim':>7} "
+                f"{'shards/s':>9}")
+            for worker in workers:
+                rate = (f"{worker['shards_per_s']:.2f}"
+                        if worker["shards_per_s"] else "-")
+                lines.append(
+                    f"{worker['worker']:<36} {worker['role']:>11} "
+                    f"{worker['state']:>12} "
+                    f"{'yes' if worker['live'] else 'no':>4} "
+                    f"{worker['claimed']:>7} {worker['completed']:>5} "
+                    f"{worker['reclaimed']:>7} {rate:>9}")
         return "\n".join(lines)

@@ -1,0 +1,635 @@
+"""File-based work-stealing executor for distributed campaigns.
+
+The pooled scheduler (DESIGN.md §10) keeps one machine's cores busy;
+this module generalizes it to *any number of processes on any number
+of machines sharing the campaign directory* — NFS is enough, no queue
+broker, no sockets.  The campaign directory becomes a **shard
+exchange**:
+
+* the manifest (plus the shard checkpoints already on disk) *is* the
+  work list — every ``(cell, shard)`` whose checkpoint is missing is
+  up for grabs, in grid order, by any worker;
+* a worker claims a shard by atomically creating a **lease file**
+  (``cells/<cell>/shard_<i>.lease`` via ``O_CREAT|O_EXCL`` — exactly
+  one creator wins), executes it with the campaign's resolved kernel
+  backend, deposits the result through the runner's atomic checkpoint
+  writer, and removes the lease;
+* liveness is the lease's **heartbeat mtime**: a background thread
+  touches the lease while the shard computes, so a lease whose mtime
+  is older than the TTL belongs to a dead worker.  Reclaiming renames
+  the lease to a tombstone — ``os.rename`` hands the stale lease to
+  exactly one reclaimer — after which the shard is claimable again;
+* a coordinator (:meth:`~repro.sim.campaign.SweepCampaign.
+  run_distributed`) harvests deposited checkpoints in grid order
+  through the same publication cursor the pooled scheduler uses, so
+  the manifest and the campaign event stream are identical to a
+  serial run (modulo the wall-clock ``timing`` channel).
+
+Safety argument (DESIGN.md §15): every observable write — shard
+checkpoint, manifest, lease, worker state — is atomic (``O_EXCL``
+create or tmp+fsync+\\ ``os.replace``), and a shard's result is a pure
+function of (config, seed, cycles, idle_probability).  So the
+worst a crash or a partitioned-then-revived worker can do is compute
+a shard twice, and both computations publish *byte-identical*
+checkpoints — the aggregate reads each shard exactly once either way.
+"Exactly once" in the happy path (no worker pauses beyond the TTL
+while still alive) is pinned by the Hypothesis interleaving suite in
+``tests/sim/test_distrib.py``.
+
+Workers never touch the campaign manifest or ``events.jsonl``; their
+own lifecycle rides typed events (``campaign.worker_*``,
+``shard.claimed|completed|reclaimed``) in per-worker logs under
+``<root>/workers/``, which is what ``repro campaign status`` renders
+as the per-worker view.
+
+``REPRO_DISTRIB_SHARD_DELAY`` (float seconds) injects a sleep before
+each shard executes — a testing/benchmark aid that models slow or
+remote shard execution without touching any simulated result.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.exceptions import ConfigurationError
+from repro.obs.events import EventSink, JsonlEventSink, NULL_EVENTS
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.batchrunner import ShardPlan, _run_shard, atomic_write_json
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "CampaignWorker",
+    "WorkerSession",
+    "lease_path",
+    "scan_leases",
+    "try_claim",
+    "reclaim_stale",
+    "worker_status",
+]
+
+DEFAULT_LEASE_TTL = 60.0
+WORKERS_DIRNAME = "workers"
+LEASE_SUFFIX = ".lease"
+TOMBSTONE_SUFFIX = ".lease.stale"
+
+#: Per-process counter so several sessions in one process (tests, the
+#: coordinator's inline worker) never collide on a worker id.
+_SESSION_COUNTER = itertools.count()
+
+_SHARD_DELAY_ENV = "REPRO_DISTRIB_SHARD_DELAY"
+
+
+def _shard_delay_from_env() -> float:
+    raw = os.environ.get(_SHARD_DELAY_ENV)
+    if not raw:
+        return 0.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 0.0
+
+
+def default_worker_id() -> str:
+    """Host-unique worker identity: ``<host>-<pid>-w<n>``."""
+    return (f"{socket.gethostname()}-{os.getpid()}"
+            f"-w{next(_SESSION_COUNTER)}")
+
+
+# -- lease primitives -----------------------------------------------------
+
+
+def lease_path(cell_dir: str, shard_index: int) -> str:
+    return os.path.join(cell_dir, f"shard_{shard_index:05d}{LEASE_SUFFIX}")
+
+
+def try_claim(path: str, payload: dict) -> bool:
+    """Atomically create a lease file; ``False`` if someone holds it.
+
+    ``O_CREAT | O_EXCL`` is the whole mutual-exclusion story: exactly
+    one creator wins, on local filesystems and (per the NFSv3+ spec)
+    on shared ones.  The payload is fsynced so a reclaimer can always
+    name the worker it is stealing from.
+    """
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return True
+
+
+def lease_info(path: str) -> Optional[dict]:
+    """Lease payload plus its heartbeat age; ``None`` if it vanished."""
+    try:
+        age = time.time() - os.stat(path).st_mtime
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    payload["age_s"] = max(0.0, age)
+    return payload
+
+
+def reclaim_stale(path: str, ttl: float) -> Optional[dict]:
+    """Steal a lease whose heartbeat stopped > ``ttl`` seconds ago.
+
+    Returns the dead worker's lease payload on success, ``None`` if
+    the lease is fresh, already gone, or another reclaimer won the
+    rename.  The rename-to-tombstone is the atomic arbiter: however
+    many workers observe the same stale lease, ``os.rename`` succeeds
+    for exactly one of them, and only the winner re-exposes the shard
+    for claiming (by unlinking the tombstone it now owns).
+    """
+    try:
+        if time.time() - os.stat(path).st_mtime <= ttl:
+            return None
+    except OSError:
+        return None
+    tombstone = path + ".stale"
+    try:
+        os.rename(path, tombstone)
+    except OSError:
+        return None  # another reclaimer won, or the owner finished
+    payload = {}
+    try:
+        with open(tombstone) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        pass
+    try:
+        os.unlink(tombstone)
+    except OSError:  # pragma: no cover - already swept
+        pass
+    return payload if isinstance(payload, dict) else {}
+
+
+def scan_leases(root_dir: str, ttl: float = DEFAULT_LEASE_TTL) -> dict:
+    """Count live and stale leases across every cell directory."""
+    cells_dir = os.path.join(root_dir, "cells")
+    active = stale = 0
+    if os.path.isdir(cells_dir):
+        for cell_id in sorted(os.listdir(cells_dir)):
+            cell_dir = os.path.join(cells_dir, cell_id)
+            if not os.path.isdir(cell_dir):
+                continue
+            for name in os.listdir(cell_dir):
+                if not name.endswith(LEASE_SUFFIX):
+                    continue
+                try:
+                    age = time.time() - os.stat(
+                        os.path.join(cell_dir, name)).st_mtime
+                except OSError:
+                    continue
+                if age > ttl:
+                    stale += 1
+                else:
+                    active += 1
+    return {"active": active, "stale": stale}
+
+
+class _Heartbeat(threading.Thread):
+    """Touches the lease (and the worker state file) while a shard runs.
+
+    The mtime *is* the liveness signal: a worker that dies mid-shard
+    stops touching its lease, and once the TTL elapses any peer may
+    reclaim it.  Touch failures are remembered, not raised — losing a
+    lease mid-run (clock skew, an over-eager reclaimer) must not kill
+    the computation, whose eventual checkpoint is byte-identical to
+    the reclaimer's anyway.
+    """
+
+    def __init__(self, paths: List[str], interval: float):
+        super().__init__(daemon=True)
+        self.paths = paths
+        self.interval = interval
+        self.lost = False
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            self.touch()
+
+    def touch(self) -> None:
+        for path in self.paths:
+            try:
+                os.utime(path)
+            except OSError:
+                if path.endswith(LEASE_SUFFIX):
+                    self.lost = True
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join()
+
+
+# -- worker session -------------------------------------------------------
+
+
+@dataclass
+class ShardTask:
+    """One claimable unit of work: a pending shard of a planned cell."""
+
+    cell_id: str
+    cell_dir: str
+    shard_index: int
+    plan: ShardPlan
+
+
+class WorkerSession:
+    """One process's identity on the shard exchange.
+
+    Owns the worker's per-worker event log + state file under
+    ``<root>/workers/``, its metrics counters, and the lease
+    operations (claim / execute / release / reclaim).  Both the
+    standalone :class:`CampaignWorker` drain loop and the
+    coordinator's inline participation run through one of these.
+    """
+
+    def __init__(self, root_dir: str,
+                 worker_id: Optional[str] = None,
+                 ttl: float = DEFAULT_LEASE_TTL,
+                 role: str = "worker",
+                 shard_delay: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        if ttl <= 0:
+            raise ConfigurationError("lease ttl must be > 0")
+        self.root_dir = root_dir
+        self.worker_id = worker_id or default_worker_id()
+        self.ttl = float(ttl)
+        self.role = role
+        self.heartbeat_interval = max(0.05, self.ttl / 4.0)
+        self.shard_delay = (shard_delay if shard_delay is not None
+                            else _shard_delay_from_env())
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.claimed = self.metrics.counter("distrib.shards_claimed")
+        self.completed = self.metrics.counter("distrib.shards_completed")
+        self.reclaimed = self.metrics.counter("distrib.shards_reclaimed")
+        self.lane_cycles = self.metrics.counter("distrib.lane_cycles")
+        self.workers_dir = os.path.join(root_dir, WORKERS_DIRNAME)
+        os.makedirs(self.workers_dir, exist_ok=True)
+        self.state_path = os.path.join(self.workers_dir,
+                                       f"{self.worker_id}.json")
+        self.events_path = os.path.join(self.workers_dir,
+                                        f"{self.worker_id}.events.jsonl")
+        self.events: EventSink = NULL_EVENTS
+        self._started = time.perf_counter()
+        self._started_wall = time.time()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    def start(self, cells: int) -> None:
+        self.events = JsonlEventSink(self.events_path)
+        self.events.emit("campaign.worker_started",
+                         {"worker": self.worker_id, "role": self.role,
+                          "host": socket.gethostname(), "pid": os.getpid(),
+                          "cells": cells},
+                         {"elapsed_s": self._elapsed()})
+        self._write_state("running")
+
+    def stop(self, state: str = "done") -> None:
+        self.events.emit("campaign.worker_stopped",
+                         {"worker": self.worker_id,
+                          "claimed": self.claimed.value,
+                          "completed": self.completed.value,
+                          "reclaimed": self.reclaimed.value},
+                         {"elapsed_s": self._elapsed()})
+        self._write_state(state)
+        self.events.close()
+        self.events = NULL_EVENTS
+
+    def _write_state(self, state: str) -> None:
+        atomic_write_json(self.state_path, {
+            "worker": self.worker_id,
+            "role": self.role,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "state": state,
+            "started_unix": self._started_wall,
+            "elapsed_s": self._elapsed(),
+            "claimed": self.claimed.value,
+            "completed": self.completed.value,
+            "reclaimed": self.reclaimed.value,
+            "lane_cycles": self.lane_cycles.value,
+            "metrics": self.metrics.snapshot(),
+        })
+
+    # -- claim / execute --------------------------------------------------
+
+    def claim(self, task: ShardTask) -> Optional[str]:
+        """Try to lease one shard; the lease path on success."""
+        os.makedirs(task.cell_dir, exist_ok=True)
+        path = lease_path(task.cell_dir, task.shard_index)
+        ok = try_claim(path, {"worker": self.worker_id,
+                              "host": socket.gethostname(),
+                              "pid": os.getpid(),
+                              "cell": task.cell_id,
+                              "shard": task.shard_index})
+        if not ok:
+            return None
+        self.claimed.inc()
+        self.events.emit("shard.claimed",
+                         {"worker": self.worker_id, "cell": task.cell_id,
+                          "shard": task.shard_index},
+                         {"elapsed_s": self._elapsed()})
+        return path
+
+    def execute(self, task: ShardTask, lease: str) -> dict:
+        """Run one claimed shard, checkpoint it, release the lease.
+
+        The checkpoint write happens *while the lease is held* and is
+        atomic, so the exchange never shows a shard as both unclaimed
+        and unfinished.  The lease (and the worker's state file, so
+        ``status`` liveness survives long shards) heartbeats in a
+        background thread for the duration.
+        """
+        heartbeat = _Heartbeat([lease, self.state_path],
+                               self.heartbeat_interval)
+        heartbeat.start()
+        try:
+            if self.shard_delay:
+                time.sleep(self.shard_delay)
+            data = _run_shard(task.plan.job(task.shard_index))
+            task.plan.complete(task.shard_index, data)
+        finally:
+            heartbeat.stop()
+        try:
+            os.unlink(lease)
+        except OSError:  # pragma: no cover - lease reclaimed mid-run
+            pass
+        self.completed.inc()
+        self.lane_cycles.inc(len(data["seeds"]) * task.plan.cycles)
+        self.events.emit("shard.completed",
+                         {"worker": self.worker_id, "cell": task.cell_id,
+                          "shard": task.shard_index,
+                          "lanes": len(data["seeds"]),
+                          "cycles": task.plan.cycles},
+                         {"elapsed_s": self._elapsed()})
+        self._write_state("running")
+        return data
+
+    def try_execute(self, task: ShardTask) -> bool:
+        """Claim-and-run one shard; ``False`` if it was taken or done.
+
+        After winning the lease the checkpoint is re-probed: a peer
+        may have completed the shard between our scan and our claim,
+        and running it again — while harmless for the aggregate —
+        would break the exactly-once completion property the
+        interleaving suite pins.
+        """
+        lease = self.claim(task)
+        if lease is None:
+            return False
+        runner = task.plan.runner
+        existing = runner._load_checkpoint(
+            task.shard_index, task.plan.fingerprint,
+            task.plan.shards[task.shard_index])
+        if existing is not None:
+            task.plan.results[task.shard_index] = existing
+            try:
+                os.unlink(lease)
+            except OSError:  # pragma: no cover
+                pass
+            return False
+        self.execute(task, lease)
+        return True
+
+    # -- reclaim ----------------------------------------------------------
+
+    def reclaim_pass(self, cell_dirs: Dict[str, str]) -> int:
+        """Sweep every cell dir for crashed-worker debris.
+
+        Stale leases are stolen (and logged as ``shard.reclaimed``);
+        orphaned ``*.tmp`` files — a worker killed between checkpoint
+        write and rename — and tombstones older than the TTL are
+        garbage-collected.  Returns the number of leases reclaimed.
+        """
+        count = 0
+        for cell_id, cell_dir in cell_dirs.items():
+            if not os.path.isdir(cell_dir):
+                continue
+            for name in sorted(os.listdir(cell_dir)):
+                path = os.path.join(cell_dir, name)
+                if name.endswith(LEASE_SUFFIX):
+                    dead = reclaim_stale(path, self.ttl)
+                    if dead is None:
+                        continue
+                    count += 1
+                    self.reclaimed.inc()
+                    self.events.emit(
+                        "shard.reclaimed",
+                        {"worker": self.worker_id, "cell": cell_id,
+                         "shard": dead.get("shard",
+                                           _shard_from_name(name)),
+                         "stale_worker": dead.get("worker", "unknown")},
+                        {"elapsed_s": self._elapsed()})
+                elif (name.endswith(".tmp")
+                      or name.endswith(TOMBSTONE_SUFFIX)):
+                    try:
+                        if time.time() - os.stat(path).st_mtime > self.ttl:
+                            os.unlink(path)
+                    except OSError:
+                        pass
+        if count:
+            self._write_state("running")
+        return count
+
+
+def _shard_from_name(name: str) -> int:
+    try:
+        return int(name[len("shard_"):].split(".", 1)[0])
+    except (ValueError, IndexError):
+        return -1
+
+
+# -- standalone worker ----------------------------------------------------
+
+
+class CampaignWorker:
+    """Drains a campaign directory's pending shards until none remain.
+
+    The work list is recomputed from disk each round — plan every
+    not-yet-done cell, skip shards whose checkpoints exist — so a
+    worker needs nothing but the directory: it may start before the
+    coordinator, outlive it, or run on another machine entirely.  The
+    loop ends when every shard of every cell has a checkpoint (or
+    ``max_shards`` / ``idle_timeout`` cuts it short).
+    """
+
+    def __init__(self, campaign,
+                 worker_id: Optional[str] = None,
+                 ttl: float = DEFAULT_LEASE_TTL,
+                 poll: float = 0.5,
+                 max_shards: Optional[int] = None,
+                 shard_delay: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.campaign = campaign
+        self.poll = poll
+        self.max_shards = max_shards
+        self.session = WorkerSession(
+            campaign.root_dir, worker_id=worker_id, ttl=ttl,
+            shard_delay=shard_delay, metrics=metrics)
+
+    @property
+    def worker_id(self) -> str:
+        return self.session.worker_id
+
+    def scan(self) -> List[ShardTask]:
+        """Pending shards, grid order: the claimable work list."""
+        tasks: List[ShardTask] = []
+        campaign = self.campaign
+        for cell_id in campaign.order:
+            if campaign._entry(cell_id)["status"] == "done":
+                continue
+            spec = campaign._spec(cell_id)
+            plan = campaign._runner(cell_id).plan(
+                spec.cycles, idle_probability=spec.idle_probability)
+            cell_dir = campaign._cell_dir(cell_id)
+            for i in plan.pending:
+                if plan.results[i] is None:
+                    tasks.append(ShardTask(cell_id, cell_dir, i, plan))
+        return tasks
+
+    def _cell_dirs(self) -> Dict[str, str]:
+        return {cell_id: self.campaign._cell_dir(cell_id)
+                for cell_id in self.campaign.order}
+
+    def step(self) -> tuple:
+        """One scheduling round: ``(made_progress, shards_outstanding)``.
+
+        Tries every pending shard in grid order until a claim wins; if
+        every one is leased by a peer, sweeps for stale leases instead.
+        """
+        tasks = self.scan()
+        if not tasks:
+            return False, 0
+        for task in tasks:
+            if self.session.try_execute(task):
+                return True, len(tasks)
+        if self.session.reclaim_pass(self._cell_dirs()):
+            return True, len(tasks)
+        return False, len(tasks)
+
+    def drain(self, idle_timeout: Optional[float] = None) -> dict:
+        """Work-steal until the campaign is fully checkpointed.
+
+        ``idle_timeout`` bounds how long the worker waits while every
+        outstanding shard is leased to (apparently live) peers — the
+        guard against waiting forever on a partitioned fileserver.
+        Returns the worker's final counters.
+        """
+        session = self.session
+        session.start(cells=len(self.campaign.order))
+        state = "done"
+        idle_since: Optional[float] = None
+        try:
+            while True:
+                if (self.max_shards is not None
+                        and session.completed.value >= self.max_shards):
+                    state = "stopped"
+                    break
+                progressed, outstanding = self.step()
+                if outstanding == 0:
+                    break
+                if progressed:
+                    idle_since = None
+                    continue
+                now = time.perf_counter()
+                if idle_since is None:
+                    idle_since = now
+                elif (idle_timeout is not None
+                        and now - idle_since >= idle_timeout):
+                    state = "idle-timeout"
+                    break
+                time.sleep(self.poll)
+        finally:
+            session.stop(state)
+        return {
+            "worker": session.worker_id,
+            "state": state,
+            "claimed": session.claimed.value,
+            "completed": session.completed.value,
+            "reclaimed": session.reclaimed.value,
+        }
+
+
+# -- status ---------------------------------------------------------------
+
+
+def worker_status(root_dir: str,
+                  ttl: float = DEFAULT_LEASE_TTL) -> List[dict]:
+    """Per-worker view of a campaign directory, from the typed events.
+
+    Counts come from each worker's event log (``shard.claimed`` /
+    ``shard.completed`` / ``shard.reclaimed``); liveness from the
+    state file's heartbeat mtime (running + touched within the TTL);
+    throughput from completions over the last event's elapsed time.
+    """
+    workers_dir = os.path.join(root_dir, WORKERS_DIRNAME)
+    if not os.path.isdir(workers_dir):
+        return []
+    out = []
+    for name in sorted(os.listdir(workers_dir)):
+        if not name.endswith(".json") or name.endswith(".events.jsonl"):
+            continue
+        state_path = os.path.join(workers_dir, name)
+        try:
+            age = time.time() - os.stat(state_path).st_mtime
+            with open(state_path) as fh:
+                state = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        worker = state.get("worker", name[:-len(".json")])
+        counts = {"claimed": 0, "completed": 0, "reclaimed": 0}
+        elapsed = None
+        events_path = os.path.join(workers_dir,
+                                   f"{worker}.events.jsonl")
+        try:
+            with open(events_path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        continue
+                    kind = event.get("type", "")
+                    if kind == "shard.claimed":
+                        counts["claimed"] += 1
+                    elif kind == "shard.completed":
+                        counts["completed"] += 1
+                    elif kind == "shard.reclaimed":
+                        counts["reclaimed"] += 1
+                    timing = event.get("timing") or {}
+                    if isinstance(timing.get("elapsed_s"), (int, float)):
+                        elapsed = float(timing["elapsed_s"])
+        except OSError:
+            pass
+        running = state.get("state") == "running"
+        out.append({
+            "worker": worker,
+            "role": state.get("role", "worker"),
+            "state": state.get("state", "unknown"),
+            "live": bool(running and age <= ttl),
+            "age_s": max(0.0, age),
+            "claimed": counts["claimed"],
+            "completed": counts["completed"],
+            "reclaimed": counts["reclaimed"],
+            "shards_per_s": (counts["completed"] / elapsed
+                             if elapsed else None),
+            "lane_cycles": state.get("lane_cycles", 0),
+        })
+    return out

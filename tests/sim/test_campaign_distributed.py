@@ -1,0 +1,223 @@
+"""Differential suite: distributed drains are invisible in the output.
+
+The acceptance bar for DESIGN.md §15: however a campaign's shards were
+drained — serially, by one worker, by four concurrent worker processes,
+or through a worker crash and a stale-lease reclaim — the manifest and
+the campaign event stream are byte-identical to the serial run once the
+wall-clock channels (``timing`` in events, elapsed/throughput fields in
+the manifest) are dropped.  Workers here are *real subprocesses* of the
+``repro campaign worker`` CLI, sharing nothing with the coordinator but
+the campaign directory.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs.events import read_events
+from repro.sim.campaign import (
+    EVENT_LOG_NAME,
+    MANIFEST_NAME,
+    SweepCampaign,
+    fig6_grid,
+)
+from repro.sim.distrib import scan_leases, worker_status
+
+CELLS = fig6_grid([1, 2], banks=4, bank_latency=4, delay_rows=64,
+                  cycles=4_000, lanes=4)
+SEED = 7
+SHARD_LANES = 2
+
+
+def _campaign(root):
+    return SweepCampaign(str(root), CELLS, seed=SEED,
+                         shard_lanes=SHARD_LANES)
+
+
+def _manifest_stats(root):
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    return {
+        cell_id: tuple(manifest["cells"][cell_id][k]
+                       for k in ("status", "seed", "fingerprint",
+                                 "shards", "result", "telemetry"))
+        for cell_id in manifest["order"]
+    }
+
+
+_ENVELOPE_KEYS = ("v", "seq", "type", "timing")
+
+
+def _event_skeleton(root):
+    return [
+        (ev["type"], json.dumps(
+            {k: v for k, v in ev.items() if k not in _ENVELOPE_KEYS},
+            sort_keys=True))
+        for ev in read_events(str(root / EVENT_LOG_NAME))
+    ]
+
+
+def _serial_baseline(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serial")
+    _campaign(root).run()
+    return root
+
+
+def _spawn_worker(root, worker_id, *, ttl=30.0, env_extra=None):
+    env = dict(os.environ, PYTHONPATH="src")
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "worker",
+         "--dir", str(root), "--worker-id", worker_id,
+         "--lease-ttl", str(ttl), "--poll", "0.05",
+         "--wait-manifest", "60", "--idle-timeout", "60"],
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True)
+
+
+@pytest.fixture(scope="module")
+def serial_root(tmp_path_factory):
+    return _serial_baseline(tmp_path_factory)
+
+
+class TestDifferential:
+    def test_one_worker_matches_serial(self, tmp_path, serial_root):
+        root = tmp_path / "one"
+        campaign = _campaign(root)
+        worker = _spawn_worker(root, "w0")
+        try:
+            campaign.run_distributed(participate=False, poll=0.05,
+                                     idle_timeout=120.0)
+        finally:
+            out, err = worker.communicate(timeout=120)
+        assert worker.returncode == 0, err
+        assert _event_skeleton(root) == _event_skeleton(serial_root)
+        assert _manifest_stats(root) == _manifest_stats(serial_root)
+        rows = {w["worker"]: w for w in worker_status(str(root))}
+        assert rows["w0"]["completed"] > 0
+
+    def test_four_workers_match_serial(self, tmp_path, serial_root):
+        root = tmp_path / "four"
+        campaign = _campaign(root)
+        workers = [_spawn_worker(root, f"w{i}") for i in range(4)]
+        try:
+            campaign.run_distributed(participate=False, poll=0.05,
+                                     idle_timeout=120.0)
+        finally:
+            for worker in workers:
+                worker.communicate(timeout=120)
+        assert all(w.returncode == 0 for w in workers)
+        assert _event_skeleton(root) == _event_skeleton(serial_root)
+        assert _manifest_stats(root) == _manifest_stats(serial_root)
+        rows = worker_status(str(root))
+        completed = sum(w["completed"] for w in rows
+                        if w["role"] == "worker")
+        claimed = sum(w["claimed"] for w in rows
+                      if w["role"] == "worker")
+        assert completed == claimed  # nobody double-ran a claim
+        assert completed > 0
+        assert scan_leases(str(root)) == {"active": 0, "stale": 0}
+
+    def test_killed_worker_mid_shard_matches_serial(self, tmp_path,
+                                                    serial_root):
+        """SIGKILL a worker while it holds a lease; a healthy worker
+        reclaims after the TTL and the run is still serial-identical
+        with no shard completed twice in aggregate."""
+        root = tmp_path / "kill"
+        campaign = _campaign(root)
+        # The victim computes slowly (injected per-shard delay), so it
+        # is reliably mid-shard — lease held, no checkpoint — when the
+        # kill lands.
+        victim = _spawn_worker(root, "victim", ttl=2.0,
+                               env_extra={
+                                   "REPRO_DISTRIB_SHARD_DELAY": "30"})
+        deadline = time.monotonic() + 60.0
+        cells_dir = root / "cells"
+
+        def leases():
+            found = []
+            if cells_dir.is_dir():
+                for cell in cells_dir.iterdir():
+                    found.extend(cell.glob("shard_*.lease"))
+            return found
+
+        while not leases():
+            if time.monotonic() > deadline:
+                victim.kill()
+                pytest.fail("victim never claimed a lease")
+            time.sleep(0.05)
+        victim.send_signal(signal.SIGKILL)
+        victim.communicate(timeout=60)
+        held = leases()
+        assert held, "kill must leave the victim's lease behind"
+        # Age the orphaned lease past the TTL so the reclaim is
+        # deterministic rather than a 2s wait.
+        for lease in held:
+            stat = os.stat(lease)
+            os.utime(lease, (stat.st_atime - 10.0, stat.st_mtime - 10.0))
+
+        rescuer = _spawn_worker(root, "rescuer", ttl=2.0)
+        try:
+            campaign.run_distributed(participate=False, poll=0.05,
+                                     ttl=2.0, idle_timeout=120.0)
+        finally:
+            out, err = rescuer.communicate(timeout=120)
+        assert rescuer.returncode == 0, err
+        assert _event_skeleton(root) == _event_skeleton(serial_root)
+        assert _manifest_stats(root) == _manifest_stats(serial_root)
+        rows = {w["worker"]: w for w in worker_status(str(root))}
+        # Someone observed the stale lease and reclaimed it.
+        reclaimed = sum(w["reclaimed"] for w in rows.values())
+        assert reclaimed >= 1
+        # Exactly-once in aggregate: total completions across every
+        # session equals the serial shard count (the victim completed
+        # nothing — it died mid-shard).
+        total_shards = sum(
+            stats[3]["total"]
+            for stats in _manifest_stats(serial_root).values())
+        completed = sum(w["completed"] for w in rows.values())
+        assert completed == total_shards
+        assert rows["victim"]["completed"] == 0
+        assert scan_leases(str(root)) == {"active": 0, "stale": 0}
+
+
+class TestCoordinatorParticipates:
+    def test_distributed_alone_completes_and_matches(self, tmp_path,
+                                                     serial_root):
+        """``run --distributed`` with zero external workers must still
+        drain the campaign (the coordinator is also a worker)."""
+        root = tmp_path / "solo"
+        campaign = _campaign(root)
+        campaign.run_distributed(poll=0.05)
+        assert _event_skeleton(root) == _event_skeleton(serial_root)
+        assert _manifest_stats(root) == _manifest_stats(serial_root)
+        rows = worker_status(str(root))
+        assert len(rows) == 1 and rows[0]["role"] == "coordinator"
+
+    def test_interrupted_distributed_resumes_from_manifest(
+            self, tmp_path, serial_root):
+        """Kill the coordinator after one cell; a plain reattach +
+        run_distributed finishes the rest from the manifest alone."""
+        root = tmp_path / "resume"
+        campaign = _campaign(root)
+        campaign.run_distributed(poll=0.05, max_cells=1)
+        stats = _manifest_stats(root)
+        done = [s for s in stats.values() if s[0] == "done"]
+        assert len(done) == 1
+        # Reattach with nothing but the directory.
+        SweepCampaign(str(root)).run_distributed(poll=0.05)
+        serial_stats = _manifest_stats(serial_root)
+        assert _manifest_stats(root) == serial_stats
+        # The event log is one continuous stream across the two runs:
+        # first run's prefix, then the resume's campaign_started and
+        # the remaining cell — exactly like an interrupted serial run.
+        types = [t for t, _ in _event_skeleton(root)]
+        assert types.count("campaign_started") == 2
+        assert types.count("cell_finished") == 2

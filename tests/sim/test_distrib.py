@@ -1,0 +1,333 @@
+"""Tests for the work-stealing lease protocol (sim/distrib).
+
+The contract under test (DESIGN.md §15): a lease is won by exactly one
+claimer (``O_CREAT|O_EXCL``), a stale lease is stolen by exactly one
+reclaimer (``os.rename`` to a tombstone), a worker crash anywhere —
+including between a checkpoint's tmp-file write and its ``os.replace``
+— leaves only debris that a reclaim pass sweeps cleanly, and under any
+interleaving of claims, crashes, and reclaims every shard is completed
+exactly once (in the happy path where no live worker stalls past the
+TTL).
+"""
+
+import json
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.batchrunner import atomic_write_json
+from repro.sim.campaign import SweepCampaign, fig6_grid
+from repro.sim.distrib import (
+    CampaignWorker,
+    WorkerSession,
+    lease_info,
+    lease_path,
+    reclaim_stale,
+    scan_leases,
+    try_claim,
+    worker_status,
+)
+
+CELLS = fig6_grid([1, 2], banks=4, bank_latency=4, delay_rows=64,
+                  cycles=2_000, lanes=4)
+
+
+def _campaign(root):
+    return SweepCampaign(str(root), CELLS, seed=7, shard_lanes=2)
+
+
+def _age(path, seconds):
+    """Backdate a file's heartbeat mtime by ``seconds``."""
+    stat = os.stat(path)
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+class TestLeasePrimitives:
+    def test_exactly_one_claimer_wins(self, tmp_path):
+        path = lease_path(str(tmp_path), 0)
+        assert try_claim(path, {"worker": "a", "shard": 0})
+        assert not try_claim(path, {"worker": "b", "shard": 0})
+        info = lease_info(path)
+        assert info["worker"] == "a"
+        assert info["age_s"] >= 0.0
+
+    def test_concurrent_claims_single_winner(self, tmp_path):
+        path = lease_path(str(tmp_path), 3)
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def contend(name):
+            barrier.wait()
+            if try_claim(path, {"worker": name, "shard": 3}):
+                wins.append(name)
+
+        threads = [threading.Thread(target=contend, args=(f"w{i}",))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+        assert lease_info(path)["worker"] == wins[0]
+
+    def test_fresh_lease_not_reclaimable(self, tmp_path):
+        path = lease_path(str(tmp_path), 0)
+        try_claim(path, {"worker": "a", "shard": 0})
+        assert reclaim_stale(path, ttl=60.0) is None
+        assert os.path.exists(path)
+
+    def test_stale_lease_reclaimed_exactly_once(self, tmp_path):
+        path = lease_path(str(tmp_path), 0)
+        try_claim(path, {"worker": "dead", "shard": 0})
+        _age(path, 120.0)
+        first = reclaim_stale(path, ttl=60.0)
+        assert first["worker"] == "dead"
+        # The lease (and its tombstone) are gone: the second reclaimer
+        # and any new claimer see a free shard.
+        assert reclaim_stale(path, ttl=60.0) is None
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".stale")
+        assert try_claim(path, {"worker": "b", "shard": 0})
+
+    def test_scan_counts_active_and_stale(self, tmp_path):
+        cell = tmp_path / "cells" / "c0"
+        cell.mkdir(parents=True)
+        fresh = lease_path(str(cell), 0)
+        stale = lease_path(str(cell), 1)
+        try_claim(fresh, {"worker": "a", "shard": 0})
+        try_claim(stale, {"worker": "b", "shard": 1})
+        _age(stale, 120.0)
+        assert scan_leases(str(tmp_path), ttl=60.0) == {
+            "active": 1, "stale": 1}
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"a": 1})
+        atomic_write_json(path, {"a": 2}, indent=1, sort_keys=True)
+        assert json.load(open(path)) == {"a": 2}
+        assert [n for n in os.listdir(tmp_path)
+                if n.endswith(".tmp")] == []
+
+    def test_failed_write_leaves_no_tmp(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert not os.path.exists(path)
+        assert [n for n in os.listdir(tmp_path)
+                if n.endswith(".tmp")] == []
+
+
+class TestCrashInjection:
+    def test_crash_between_write_and_rename_reclaims_clean(self, tmp_path):
+        """Satellite 1: a worker dies after the checkpoint tmp write but
+        before ``os.replace`` — the shard exchange must show only a
+        stale lease plus an orphan ``*.tmp``, both swept by one reclaim
+        pass, and the shard must then complete normally."""
+        campaign = _campaign(tmp_path)
+        worker = CampaignWorker(campaign, worker_id="victim", ttl=5.0)
+        task = worker.scan()[0]
+        lease = worker.session.claim(task)
+        assert lease is not None
+        # The crash moment: the checkpoint tmp file exists, the rename
+        # never happened, the process is gone (heartbeat stops).
+        orphan = os.path.join(task.cell_dir, "shard_partial.tmp")
+        with open(orphan, "w") as fh:
+            fh.write('{"half": "a checkpoi')
+        _age(lease, 30.0)
+        _age(orphan, 30.0)
+
+        rescuer = CampaignWorker(campaign, worker_id="rescuer", ttl=5.0)
+        rescuer.session.start(cells=len(campaign.order))
+        assert rescuer.session.reclaim_pass(
+            {task.cell_id: task.cell_dir}) == 1
+        rescuer.session.stop()
+        assert not os.path.exists(lease)
+        assert not os.path.exists(orphan)
+        # The shard is claimable and completable again.
+        fresh = CampaignWorker(campaign, worker_id="redo", ttl=5.0)
+        redo_task = [t for t in fresh.scan()
+                     if (t.cell_id, t.shard_index)
+                     == (task.cell_id, task.shard_index)][0]
+        assert fresh.session.try_execute(redo_task)
+        checkpoint = os.path.join(
+            task.cell_dir, f"shard_{task.shard_index:05d}.json")
+        assert os.path.exists(checkpoint)
+        status = [w for w in worker_status(str(tmp_path))
+                  if w["worker"] == "rescuer"][0]
+        assert status["reclaimed"] == 1
+
+    def test_completed_shard_not_rerun_after_claim(self, tmp_path):
+        """The post-claim checkpoint probe: a peer finished the shard
+        between our scan and our claim — we must release and not
+        recompute (the exactly-once property)."""
+        campaign = _campaign(tmp_path)
+        first = CampaignWorker(campaign, worker_id="first")
+        task = first.scan()[0]
+        assert first.session.try_execute(task)
+        # A second worker scanned before the completion landed: its
+        # stale task list still contains the shard.
+        second = CampaignWorker(campaign, worker_id="second")
+        assert not second.session.try_execute(task)
+        assert second.session.completed.value == 0
+        assert not os.path.exists(
+            lease_path(task.cell_dir, task.shard_index))
+
+
+class TestWorkerDrain:
+    def test_single_worker_drains_everything(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        worker = CampaignWorker(campaign, worker_id="solo", poll=0.01)
+        summary = worker.drain()
+        total = sum(len(CampaignWorker(campaign).scan()) for _ in [0])
+        assert summary["state"] == "done"
+        assert summary["completed"] > 0
+        assert total == 0  # nothing left to claim
+        rows = worker_status(str(tmp_path))
+        solo = [w for w in rows if w["worker"] == "solo"][0]
+        assert solo["completed"] == summary["completed"]
+        assert solo["claimed"] == summary["claimed"]
+        assert solo["shards_per_s"] is None or solo["shards_per_s"] > 0
+
+    def test_max_shards_stops_early(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        worker = CampaignWorker(campaign, worker_id="capped",
+                                max_shards=1, poll=0.01)
+        summary = worker.drain()
+        assert summary["state"] == "stopped"
+        assert summary["completed"] == 1
+
+    def test_idle_timeout_when_all_leased_by_live_peer(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        blocker = CampaignWorker(campaign, worker_id="blocker", ttl=60.0)
+        for task in blocker.scan():
+            assert blocker.session.claim(task) is not None
+        waiter = CampaignWorker(campaign, worker_id="waiter",
+                                ttl=60.0, poll=0.01)
+        summary = waiter.drain(idle_timeout=0.05)
+        assert summary["state"] == "idle-timeout"
+        assert summary["completed"] == 0
+
+
+class TestWorkerEvents:
+    def test_worker_lifecycle_events_validate(self, tmp_path):
+        from repro.obs.events import read_events
+
+        campaign = _campaign(tmp_path)
+        worker = CampaignWorker(campaign, worker_id="evt",
+                                max_shards=1, poll=0.01)
+        worker.drain()
+        events = read_events(worker.session.events_path)
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "campaign.worker_started"
+        assert kinds[-1] == "campaign.worker_stopped"
+        assert "shard.claimed" in kinds
+        assert "shard.completed" in kinds
+        stopped = events[-1]
+        assert stopped["completed"] == 1
+        # Campaign-level event log untouched by workers.
+        assert not os.path.exists(tmp_path / "events.jsonl")
+
+    def test_state_file_is_atomic_json(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        worker = CampaignWorker(campaign, worker_id="state",
+                                max_shards=1, poll=0.01)
+        worker.drain()
+        state = json.load(open(worker.session.state_path))
+        assert state["worker"] == "state"
+        assert state["state"] == "stopped"
+        assert state["completed"] == 1
+        assert state["metrics"][
+            "distrib.shards_completed"]["value"] == 1
+
+
+# -- exactly-once under randomized interleavings --------------------------
+#
+# A miniature model of the exchange: N virtual workers step through the
+# real protocol (claim → maybe crash → complete → release; reclaim when
+# blocked) against one real campaign directory, with the interleaving
+# and the crash points drawn by Hypothesis.  A "crash" abandons the
+# lease and backdates its heartbeat past the TTL, exactly what a killed
+# process looks like to its peers.  The invariant: when the exchange
+# drains, every shard has been *completed* exactly once in aggregate.
+
+
+class _VirtualWorker:
+    def __init__(self, campaign, name, ttl, completions):
+        self.worker = CampaignWorker(campaign, worker_id=name, ttl=ttl)
+        self.session = self.worker.session
+        self.held = None  # (task, lease_path)
+        self.completions = completions
+
+    def step(self, crash):
+        if self.held is not None:
+            task, lease = self.held
+            self.held = None
+            if crash:
+                # Killed mid-shard: heartbeat stops; peers see a stale
+                # lease once the TTL passes (backdated here).
+                _age(lease, 10_000.0)
+                return
+            self.session.execute(task, lease)
+            self.completions[(task.cell_id, task.shard_index)] += 1
+            return
+        for task in self.worker.scan():
+            if task.plan.results[task.shard_index] is not None:
+                continue
+            lease = self.session.claim(task)
+            if lease is None:
+                continue
+            existing = task.plan.runner._load_checkpoint(
+                task.shard_index, task.plan.fingerprint,
+                task.plan.shards[task.shard_index])
+            if existing is not None:
+                task.plan.results[task.shard_index] = existing
+                os.unlink(lease)
+                continue
+            self.held = (task, lease)
+            return
+        self.session.reclaim_pass(
+            {c: self.worker.campaign._cell_dir(c)
+             for c in self.worker.campaign.order})
+
+
+class TestExactlyOnceProperty:
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_every_shard_completed_exactly_once(self, data, tmp_path_factory):
+        root = tmp_path_factory.mktemp("exchange")
+        cells = fig6_grid([1], banks=4, bank_latency=4, delay_rows=64,
+                          cycles=200, lanes=4)
+        campaign = SweepCampaign(str(root), cells, seed=3, shard_lanes=1)
+        total_shards = len(CampaignWorker(campaign).scan())
+        assert total_shards >= 2
+        from collections import defaultdict
+        completions = defaultdict(int)
+        ttl = 60.0
+        workers = [_VirtualWorker(campaign, f"vw{i}", ttl, completions)
+                   for i in range(data.draw(st.integers(2, 4)))]
+        for _ in range(200):
+            if not any(w.held for w in workers) and not CampaignWorker(
+                    campaign).scan():
+                break
+            who = data.draw(st.integers(0, len(workers) - 1))
+            crash = data.draw(
+                st.booleans()) and data.draw(st.booleans())
+            workers[who].step(crash)
+        else:
+            pytest.fail("exchange did not drain in 200 steps")
+        assert sum(completions.values()) == total_shards
+        assert all(count == 1 for count in completions.values())
+        # And the drained campaign aggregates identically to serial.
+        serial_root = tmp_path_factory.mktemp("serial")
+        serial = SweepCampaign(str(serial_root), cells, seed=3,
+                               shard_lanes=1)
+        serial.run()
+        assert {c: (r.accepted.tolist(), r.stalls.tolist())
+                for c, r in campaign.reports().items()} == \
+               {c: (r.accepted.tolist(), r.stalls.tolist())
+                for c, r in serial.reports().items()}
